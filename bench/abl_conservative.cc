@@ -1,0 +1,98 @@
+// ABL-CONS — ablation of Section 2.2's boundary-cell design choice:
+// conservative rasters (keep every boundary cell; false positives only)
+// vs non-conservative (drop cells under a coverage threshold; two-sided
+// error, smaller index, often lower net count error because drops cancel
+// overcounts).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace dbsa {
+namespace {
+
+void Run(size_t n_points) {
+  PrintBanner("Ablation: conservative vs non-conservative boundary cells");
+  bench::PrintScale(HumanCount(static_cast<double>(n_points)) +
+                    " points, neighborhoods-like regions, eps=8m");
+
+  const data::PointSet points = bench::BenchPoints(n_points);
+  const data::RegionSet regions = bench::BenchNeighborhoods();
+  const raster::Grid grid({0, 0}, bench::BenchUniverse().Width());
+  const join::JoinInput in = bench::MakeInput(points, regions);
+  const join::JoinStats exact = join::BruteForceJoin(in, join::AggKind::kCount);
+
+  TablePrinter table({"mode", "min coverage", "index cells", "one-sided?",
+                      "sum |err|", "sum err (signed)", "max region err"});
+  for (const double min_coverage : {-1.0, 0.25, 0.5, 0.75}) {
+    join::ActJoinOptions opts;
+    opts.epsilon = 8.0;
+    // Conservative multi-match would double-count in a tiling set, so the
+    // conservative row uses center assignment for counting but reports
+    // one-sidedness from the raster's perspective.
+    opts.assign = join::BoundaryAssign::kCenter;
+    std::string label = "center-assign";
+    if (min_coverage >= 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "non-conservative %.2f", min_coverage);
+      label = buf;
+    }
+    // Build rasters with the requested mode by adjusting raster options
+    // through the ACT join (center assignment already drops out-of-center
+    // cells; the coverage sweep tightens that further).
+    raster::RasterOptions raster_opts;
+    raster_opts.conservative = min_coverage < 0;
+    raster_opts.min_coverage = min_coverage < 0 ? 0.0 : min_coverage;
+
+    // Manual join so the raster options reach the HR builder.
+    Timer timer;
+    index::ActIndex act(3);
+    size_t cells = 0;
+    for (size_t j = 0; j < regions.polys.size(); ++j) {
+      const raster::HierarchicalRaster hr = raster::HierarchicalRaster::BuildEpsilon(
+          regions.polys[j], grid, opts.epsilon, raster_opts);
+      for (const raster::HrCell& cell : hr.cells()) {
+        if (cell.boundary && raster_opts.conservative) {
+          // Center assignment to keep the tiling a partition.
+          if (!regions.polys[j].Contains(grid.CellBox(cell.id).Center())) continue;
+        }
+        act.Insert(cell.id, static_cast<uint32_t>(j), cell.boundary);
+        ++cells;
+      }
+    }
+    std::vector<double> counts(regions.num_regions, 0.0);
+    index::ActMatch match;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (act.LookupFirst(grid.LeafKey(points.locs[i]), &match)) {
+        counts[regions.region_of[match.value]] += 1.0;
+      }
+    }
+    (void)timer;
+
+    double abs_err = 0, signed_err = 0, max_err = 0;
+    for (size_t r = 0; r < regions.num_regions; ++r) {
+      const double err = counts[r] - exact.value[r];
+      abs_err += std::fabs(err);
+      signed_err += err;
+      max_err = std::max(max_err, std::fabs(err));
+    }
+    table.AddRow({label,
+                  min_coverage < 0 ? "-" : TablePrinter::Num(min_coverage, 3),
+                  std::to_string(cells), min_coverage < 0 ? "per-cell" : "no",
+                  TablePrinter::Num(abs_err, 6), TablePrinter::Num(signed_err, 6),
+                  TablePrinter::Num(max_err, 5)});
+  }
+  table.Print();
+  PrintNote("");
+  PrintNote("expected shape: raising min-coverage drops cells (smaller index) and");
+  PrintNote("biases counts negative; around 0.5 the over/under errors roughly cancel");
+  PrintNote("(the reason non-conservative mode exists); all errors stay eps-local.");
+}
+
+}  // namespace
+}  // namespace dbsa
+
+int main(int argc, char** argv) {
+  dbsa::Run(dbsa::bench::FlagSize(argc, argv, "points", 500000));
+  return 0;
+}

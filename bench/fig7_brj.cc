@@ -1,0 +1,82 @@
+// FIG7 — Bounded Raster Join (Section 5.2, Figure 7): BRJ vs the accurate
+// "GPU baseline" (1024^2 grid index + PIP) while the distance bound
+// shrinks 10m -> 1m. Tighter bounds need higher canvas resolutions; when
+// the resolution exceeds the device texture limit the canvas is
+// subdivided and BRJ's cost jumps — the paper's crossover (8.5x faster at
+// 10m, slower at 1m). Count accuracy (median relative error per polygon)
+// is reported alongside, as in the paper (~0.15% at 10m).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "canvas/brj.h"
+
+namespace dbsa {
+namespace {
+
+void Run(size_t n_points) {
+  PrintBanner("Figure 7: Bounded Raster Join vs GPU-baseline grid join");
+  // A compact 8.2km city keeps the software-rasterized canvases tractable.
+  const geom::Box universe(0, 0, 8192.0, 8192.0);
+  bench::PrintScale(HumanCount(static_cast<double>(n_points)) +
+                    " points, 289 neighborhood-like polygons, 8.2km universe "
+                    "(paper: 600M points, 260 NYC neighborhoods, GTX 1060)");
+
+  data::TaxiConfig taxi_config;
+  taxi_config.universe = universe;
+  const data::PointSet points = data::GenerateTaxiPoints(n_points, taxi_config);
+  const data::RegionSet regions =
+      data::GenerateRegions(data::NeighborhoodsConfig(universe));
+  const join::JoinInput in = bench::MakeInput(points, regions);
+
+  // Exact reference (for the error column) and the GPU baseline.
+  const join::JoinStats baseline =
+      join::GridPipJoin(in, join::AggKind::kCount, /*resolution=*/1024);
+  const double baseline_ms = baseline.build_ms + baseline.probe_ms;
+
+  TablePrinter table({"distance bound", "canvas px/side", "tiles", "points pass (ms)",
+                      "polygons pass (ms)", "total (ms)", "vs baseline",
+                      "median count err"});
+  table.AddRow({"GPU baseline (exact)", "-", "-", "-", "-",
+                TablePrinter::Num(baseline_ms, 4), "1.00x", "0"});
+
+  for (const double eps : {10.0, 5.0, 2.5, 1.0}) {
+    canvas::BrjOptions opts;
+    opts.epsilon = eps;
+    opts.device.max_canvas_side = 2048;
+    Timer timer;
+    const canvas::BrjResult brj = canvas::BoundedRasterJoin(
+        in.points, nullptr, in.num_points, regions.polys, regions.region_of,
+        regions.num_regions, universe, opts);
+    const double total_ms = timer.Millis();
+
+    Percentiles err;
+    for (size_t r = 0; r < regions.num_regions; ++r) {
+      if (baseline.value[r] >= 100) {
+        err.Add(std::fabs(brj.count[r] - baseline.value[r]) / baseline.value[r]);
+      }
+    }
+    char eps_label[32];
+    std::snprintf(eps_label, sizeof(eps_label), "BRJ %.1fm", eps);
+    table.AddRow({eps_label, std::to_string(brj.canvas_side),
+                  std::to_string(brj.tiles), TablePrinter::Num(brj.points_pass_ms, 4),
+                  TablePrinter::Num(brj.polygons_pass_ms, 4),
+                  TablePrinter::Num(total_ms, 4),
+                  TablePrinter::Num(baseline_ms / total_ms, 3) + "x",
+                  TablePrinter::Num(err.Median() * 100.0, 3) + "%"});
+  }
+  table.Print();
+  PrintNote("");
+  PrintNote("expected shape (paper Fig. 7): BRJ is several times faster than the");
+  PrintNote("baseline at 10m (paper: 8.5x) with ~0.15% median count error, loses its");
+  PrintNote("lead as the bound tightens, and falls behind at 1m once the resolution");
+  PrintNote("exceeds the device limit and the canvas must be subdivided (tiles > 1).");
+}
+
+}  // namespace
+}  // namespace dbsa
+
+int main(int argc, char** argv) {
+  dbsa::Run(dbsa::bench::FlagSize(argc, argv, "points", 1000000));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// DISC-RANGE — Section 6 "Result Range Estimation": with a conservative
+// raster, the exact COUNT provably lies in [alpha - eps_b, alpha]. This
+// bench verifies 100% empirical coverage across query polygons and
+// reports how the interval width shrinks with the distance bound.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace dbsa {
+namespace {
+
+void Run(size_t n_points, size_t n_queries) {
+  PrintBanner("Section 6: result-range estimation coverage and width");
+  bench::PrintScale(HumanCount(static_cast<double>(n_points)) + " points, " +
+                    std::to_string(n_queries) + " query polygons");
+
+  const data::PointSet points = bench::BenchPoints(n_points);
+  const raster::Grid grid({0, 0}, bench::BenchUniverse().Width());
+  const join::PointIndex index(points.locs.data(), nullptr, points.size(), grid);
+  const data::RegionSet queries = bench::BenchCensus(n_queries);
+
+  TablePrinter table({"eps (m)", "coverage", "mean width", "mean width/exact",
+                      "mean |estimate-exact|/exact"});
+  for (const double eps : {64.0, 16.0, 4.0}) {
+    size_t covered = 0, total = 0;
+    RunningStats width, rel_width, est_err;
+    for (const geom::Polygon& poly : queries.polys) {
+      size_t exact = 0;
+      for (const geom::Point& p : points.locs) {
+        if (poly.bounds().Contains(p) && poly.Contains(p)) ++exact;
+      }
+      const raster::HierarchicalRaster hr =
+          raster::HierarchicalRaster::BuildEpsilon(poly, grid, eps);
+      const join::ResultRange range = join::CountRange(
+          index.QueryCells(hr, join::SearchStrategy::kRadixSpline));
+      ++total;
+      covered += range.Contains(static_cast<double>(exact)) ? 1 : 0;
+      width.Add(range.Width());
+      if (exact > 0) {
+        rel_width.Add(range.Width() / static_cast<double>(exact));
+        est_err.Add(std::fabs(range.estimate - static_cast<double>(exact)) /
+                    static_cast<double>(exact));
+      }
+    }
+    char eps_label[16];
+    std::snprintf(eps_label, sizeof(eps_label), "%.0f", eps);
+    table.AddRow({eps_label,
+                  std::to_string(covered) + "/" + std::to_string(total),
+                  TablePrinter::Num(width.mean(), 5),
+                  TablePrinter::Num(rel_width.mean(), 4),
+                  TablePrinter::Num(est_err.mean(), 4)});
+  }
+  table.Print();
+  PrintNote("");
+  PrintNote("expected shape (paper Sec. 6): coverage is always 100% (the bound is");
+  PrintNote("guaranteed, not probabilistic); the interval width shrinks linearly");
+  PrintNote("with eps; the beta=0.5 point estimate is far tighter than the bound.");
+}
+
+}  // namespace
+}  // namespace dbsa
+
+int main(int argc, char** argv) {
+  dbsa::Run(dbsa::bench::FlagSize(argc, argv, "points", 300000),
+            dbsa::bench::FlagSize(argc, argv, "queries", 60));
+  return 0;
+}

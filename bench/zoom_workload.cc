@@ -1,0 +1,75 @@
+// ZOOM — the motivating interactive-exploration workload (Section 1):
+// level-of-detail zooming with a per-level distance bound of one screen
+// pixel. Measures cold (first query, index building) vs warm latency per
+// zoom level, and what each approximate plan costs — the interactivity
+// argument behind the whole paper.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace dbsa {
+namespace {
+
+void Run(size_t n_points) {
+  PrintBanner("Zoom workload: level-of-detail exploration latency");
+  bench::PrintScale(HumanCount(static_cast<double>(n_points)) +
+                    " points, 1024px viewport, zoom factor 2 per level");
+
+  const geom::Box universe = bench::BenchUniverse();
+  const data::PointSet points = bench::BenchPoints(n_points);
+  const raster::Grid grid({0, 0}, universe.Width());
+
+  // Cold: building the point index (amortized across the whole session).
+  Timer build_timer;
+  const join::PointIndex index(points.locs.data(), points.fare.data(), points.size(),
+                               grid);
+  const double build_ms = build_timer.Millis();
+  PrintNote("one-off point-index build: " + TablePrinter::Num(build_ms, 4) + " ms");
+
+  const geom::Point focus{universe.Width() * 0.45, universe.Height() * 0.55};
+  const auto steps = data::MakeZoomSequence(universe, focus, 7, 1024);
+
+  TablePrinter table({"zoom", "viewport (km)", "eps (m)", "query cells",
+                      "warm latency (ms)", "count", "range width"});
+  for (size_t z = 0; z < steps.size(); ++z) {
+    geom::Polygon viewport_poly(
+        geom::Ring{steps[z].viewport.min,
+                   {steps[z].viewport.max.x, steps[z].viewport.min.y},
+                   steps[z].viewport.max,
+                   {steps[z].viewport.min.x, steps[z].viewport.max.y}});
+    viewport_poly.Normalize();
+    const raster::HierarchicalRaster hr = raster::HierarchicalRaster::BuildEpsilon(
+        viewport_poly, grid, steps[z].epsilon);
+    // Warm: median of several runs.
+    Percentiles lat;
+    join::CellAggregate agg;
+    for (int run = 0; run < 5; ++run) {
+      Timer t;
+      agg = index.QueryCells(hr, join::SearchStrategy::kRadixSpline);
+      lat.Add(t.Millis());
+    }
+    const join::ResultRange range = join::CountRange(agg);
+    char viewport_km[32];
+    std::snprintf(viewport_km, sizeof(viewport_km), "%.2f",
+                  steps[z].viewport.Width() / 1000.0);
+    table.AddRow({std::to_string(z), viewport_km,
+                  TablePrinter::Num(steps[z].epsilon, 4),
+                  std::to_string(agg.query_cells), TablePrinter::Num(lat.Median(), 4),
+                  TablePrinter::Num(agg.count, 10),
+                  TablePrinter::Num(range.Width(), 4)});
+  }
+  table.Print();
+  PrintNote("");
+  PrintNote("expected shape: every zoom level answers in interactive time because");
+  PrintNote("the bound follows the pixel size — overview queries use coarse cells,");
+  PrintNote("deep zooms use fine cells over small areas; work stays roughly flat.");
+}
+
+}  // namespace
+}  // namespace dbsa
+
+int main(int argc, char** argv) {
+  dbsa::Run(dbsa::bench::FlagSize(argc, argv, "points", 1000000));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Common interface for the classical geometric approximations the paper
+// surveys (Section 2.1, citing Brinkhoff et al.): MBR, rotated MBR,
+// minimum bounding circle/ellipse, convex hull, n-corner and clipped
+// bounding rectangle. These serve two purposes in the reproduction:
+//
+//   * baselines for the Figure 2 motivating example (MBR filtering), and
+//   * evidence for Section 2.2's observation that, unlike rasters, none of
+//     them admits a data-independent distance bound (their Hausdorff
+//     distance to the object is data-dependent).
+
+#ifndef DBSA_APPROX_APPROXIMATION_H_
+#define DBSA_APPROX_APPROXIMATION_H_
+
+#include <memory>
+#include <string>
+
+#include "geom/polygon.h"
+
+namespace dbsa::approx {
+
+/// A conservative outer approximation of a polygon: contains the whole
+/// geometry, so a negative Contains() answer is exact while a positive
+/// answer may be a false positive.
+class Approximation {
+ public:
+  virtual ~Approximation() = default;
+
+  /// Name for reports ("MBR", "RMBR", ...).
+  virtual std::string Name() const = 0;
+
+  /// Containment test against the approximation (not the exact geometry).
+  virtual bool Contains(const geom::Point& p) const = 0;
+
+  /// Area of the approximation (>= area of the polygon).
+  virtual double Area() const = 0;
+
+  /// Polygonal outline of the approximation boundary, for measuring the
+  /// Hausdorff distance to the original geometry. Curved shapes are
+  /// sampled with `samples` vertices.
+  virtual geom::Ring Outline(int samples) const = 0;
+
+  /// Approximate storage cost.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+enum class ApproxKind {
+  kMbr,
+  kRotatedMbr,
+  kCircle,
+  kEllipse,
+  kConvexHull,
+  kNCorner,
+  kClippedMbr,
+};
+
+/// Factory covering the whole zoo.
+std::unique_ptr<Approximation> BuildApproximation(ApproxKind kind,
+                                                  const geom::Polygon& poly);
+
+const char* ApproxKindName(ApproxKind kind);
+
+}  // namespace dbsa::approx
+
+#endif  // DBSA_APPROX_APPROXIMATION_H_

@@ -1,0 +1,100 @@
+#include "approx/clipped.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dbsa::approx {
+
+ClippedMbrApproximation::ClippedMbrApproximation(const geom::Polygon& poly)
+    : box_(poly.bounds()) {
+  lo_pp_ = lo_pm_ = std::numeric_limits<double>::infinity();
+  hi_pp_ = hi_pm_ = -std::numeric_limits<double>::infinity();
+  auto visit = [&](const geom::Ring& ring) {
+    for (const geom::Point& p : ring) {
+      lo_pp_ = std::min(lo_pp_, p.x + p.y);
+      hi_pp_ = std::max(hi_pp_, p.x + p.y);
+      lo_pm_ = std::min(lo_pm_, p.x - p.y);
+      hi_pm_ = std::max(hi_pm_, p.x - p.y);
+    }
+  };
+  visit(poly.outer());
+  // Holes cannot extend the support; outer ring suffices.
+}
+
+bool ClippedMbrApproximation::Contains(const geom::Point& p) const {
+  if (!box_.Contains(p)) return false;
+  const double pp = p.x + p.y;
+  const double pm = p.x - p.y;
+  return pp >= lo_pp_ - 1e-12 && pp <= hi_pp_ + 1e-12 && pm >= lo_pm_ - 1e-12 &&
+         pm <= hi_pm_ + 1e-12;
+}
+
+namespace {
+
+// Area of the right triangle clipped off a box corner by a 45-degree line
+// at (signed) margin m, clamped to the box dimensions.
+double CornerClipArea(double m, double w, double h) {
+  const double side = std::clamp(m, 0.0, std::min(w, h));
+  return 0.5 * side * side;
+}
+
+}  // namespace
+
+double ClippedMbrApproximation::Area() const {
+  const double w = box_.Width();
+  const double h = box_.Height();
+  double area = w * h;
+  // Corner (min,min) clipped by x+y >= lo_pp.
+  area -= CornerClipArea(lo_pp_ - (box_.min.x + box_.min.y), w, h);
+  // Corner (max,max) clipped by x+y <= hi_pp.
+  area -= CornerClipArea((box_.max.x + box_.max.y) - hi_pp_, w, h);
+  // Corner (min,max) clipped by x-y >= lo_pm.
+  area -= CornerClipArea(lo_pm_ - (box_.min.x - box_.max.y), w, h);
+  // Corner (max,min) clipped by x-y <= hi_pm.
+  area -= CornerClipArea((box_.max.x - box_.min.y) - hi_pm_, w, h);
+  return std::max(area, 0.0);
+}
+
+geom::Ring ClippedMbrApproximation::Outline(int /*samples*/) const {
+  // Start from the box corners, inserting clip segments where active.
+  geom::Ring ring;
+  const double x0 = box_.min.x, y0 = box_.min.y, x1 = box_.max.x, y1 = box_.max.y;
+  auto push_unique = [&ring](geom::Point p) {
+    if (ring.empty() || geom::Distance2(ring.back(), p) > 1e-24) ring.push_back(p);
+  };
+
+  // Bottom-left corner, clip x+y = lo_pp.
+  if (lo_pp_ > x0 + y0 + 1e-12) {
+    push_unique({x0, std::min(lo_pp_ - x0, y1)});
+    push_unique({std::min(lo_pp_ - y0, x1), y0});
+  } else {
+    push_unique({x0, y0});
+  }
+  // Bottom-right corner, clip x-y = hi_pm.
+  if (hi_pm_ < x1 - y0 - 1e-12) {
+    push_unique({std::max(hi_pm_ + y0, x0), y0});
+    push_unique({x1, std::max(x1 - hi_pm_, y0)});
+  } else {
+    push_unique({x1, y0});
+  }
+  // Top-right corner, clip x+y = hi_pp.
+  if (hi_pp_ < x1 + y1 - 1e-12) {
+    push_unique({x1, std::max(hi_pp_ - x1, y0)});
+    push_unique({std::max(hi_pp_ - y1, x0), y1});
+  } else {
+    push_unique({x1, y1});
+  }
+  // Top-left corner, clip x-y = lo_pm.
+  if (lo_pm_ > x0 - y1 + 1e-12) {
+    push_unique({std::min(lo_pm_ + y1, x1), y1});
+    push_unique({x0, std::min(x0 - lo_pm_, y1)});
+  } else {
+    push_unique({x0, y1});
+  }
+  if (ring.size() >= 2 && geom::Distance2(ring.front(), ring.back()) <= 1e-24) {
+    ring.pop_back();
+  }
+  return ring;
+}
+
+}  // namespace dbsa::approx

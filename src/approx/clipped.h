@@ -1,0 +1,36 @@
+// Clipped Bounding Rectangle (Sidlauskas et al., ICDE'18, cited by the
+// paper): an MBR whose empty corners are clipped by 45-degree lines, each
+// pushed as far as the geometry allows.
+
+#ifndef DBSA_APPROX_CLIPPED_H_
+#define DBSA_APPROX_CLIPPED_H_
+
+#include "approx/approximation.h"
+#include "geom/box.h"
+
+namespace dbsa::approx {
+
+/// MBR with four maximal 45-degree corner clips.
+class ClippedMbrApproximation : public Approximation {
+ public:
+  explicit ClippedMbrApproximation(const geom::Polygon& poly);
+
+  std::string Name() const override { return "CBR"; }
+  bool Contains(const geom::Point& p) const override;
+  double Area() const override;
+  geom::Ring Outline(int samples) const override;
+  size_t MemoryBytes() const override {
+    return sizeof(geom::Box) + 4 * sizeof(double);
+  }
+
+ private:
+  geom::Box box_;
+  // Support values of the geometry along the four diagonal directions:
+  // points inside satisfy  x+y >= lo_pp, x+y <= hi_pp, x-y >= lo_pm,
+  // x-y <= hi_pm.
+  double lo_pp_ = 0.0, hi_pp_ = 0.0, lo_pm_ = 0.0, hi_pm_ = 0.0;
+};
+
+}  // namespace dbsa::approx
+
+#endif  // DBSA_APPROX_CLIPPED_H_

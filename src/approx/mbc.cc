@@ -1,0 +1,92 @@
+#include "approx/mbc.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dbsa::approx {
+
+namespace {
+
+struct Circle {
+  geom::Point c;
+  double r2 = -1.0;  // Squared radius; negative means empty.
+
+  bool Contains(const geom::Point& p) const {
+    return r2 >= 0 && geom::Distance2(p, c) <= r2 * (1.0 + 1e-10) + 1e-20;
+  }
+};
+
+Circle FromTwo(const geom::Point& a, const geom::Point& b) {
+  Circle circ;
+  circ.c = (a + b) * 0.5;
+  circ.r2 = geom::Distance2(a, b) * 0.25;
+  return circ;
+}
+
+Circle FromThree(const geom::Point& a, const geom::Point& b, const geom::Point& c) {
+  // Circumcircle via perpendicular bisectors.
+  const double d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+  if (std::fabs(d) < 1e-18) {
+    // Collinear: use the widest pair.
+    Circle ab = FromTwo(a, b), bc = FromTwo(b, c), ac = FromTwo(a, c);
+    Circle best = ab;
+    if (bc.r2 > best.r2) best = bc;
+    if (ac.r2 > best.r2) best = ac;
+    return best;
+  }
+  const double a2 = a.Norm2(), b2 = b.Norm2(), c2 = c.Norm2();
+  Circle circ;
+  circ.c.x = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+  circ.c.y = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+  circ.r2 = geom::Distance2(circ.c, a);
+  return circ;
+}
+
+// Welzl's move-to-front algorithm, iterative-restart formulation.
+Circle Welzl(std::vector<geom::Point> pts) {
+  Rng rng(0xC1DCu);
+  // Shuffle for expected-linear behaviour.
+  for (size_t i = pts.size(); i > 1; --i) {
+    std::swap(pts[i - 1], pts[rng.Below(i)]);
+  }
+  Circle circ;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (circ.Contains(pts[i])) continue;
+    circ = Circle{pts[i], 0.0};
+    for (size_t j = 0; j < i; ++j) {
+      if (circ.Contains(pts[j])) continue;
+      circ = FromTwo(pts[i], pts[j]);
+      for (size_t k = 0; k < j; ++k) {
+        if (circ.Contains(pts[k])) continue;
+        circ = FromThree(pts[i], pts[j], pts[k]);
+      }
+    }
+  }
+  return circ;
+}
+
+}  // namespace
+
+CircleApproximation::CircleApproximation(const geom::Polygon& poly) {
+  std::vector<geom::Point> pts = poly.outer();
+  for (const geom::Ring& h : poly.holes()) pts.insert(pts.end(), h.begin(), h.end());
+  if (pts.empty()) return;
+  const Circle circ = Welzl(std::move(pts));
+  center_ = circ.c;
+  radius_ = circ.r2 > 0 ? std::sqrt(circ.r2) : 0.0;
+}
+
+geom::Ring CircleApproximation::Outline(int samples) const {
+  geom::Ring ring;
+  const int n = samples < 8 ? 8 : samples;
+  ring.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double t = 2.0 * 3.141592653589793 * i / n;
+    ring.push_back({center_.x + radius_ * std::cos(t), center_.y + radius_ * std::sin(t)});
+  }
+  return ring;
+}
+
+}  // namespace dbsa::approx

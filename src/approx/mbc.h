@@ -1,0 +1,33 @@
+// Minimum Bounding Circle (Welzl's algorithm).
+
+#ifndef DBSA_APPROX_MBC_H_
+#define DBSA_APPROX_MBC_H_
+
+#include "approx/approximation.h"
+
+namespace dbsa::approx {
+
+/// Smallest enclosing circle of the polygon's vertices.
+class CircleApproximation : public Approximation {
+ public:
+  explicit CircleApproximation(const geom::Polygon& poly);
+
+  std::string Name() const override { return "MBC"; }
+  bool Contains(const geom::Point& p) const override {
+    return geom::Distance2(p, center_) <= radius_ * radius_ * (1.0 + 1e-12);
+  }
+  double Area() const override { return 3.141592653589793 * radius_ * radius_; }
+  geom::Ring Outline(int samples) const override;
+  size_t MemoryBytes() const override { return 3 * sizeof(double); }
+
+  const geom::Point& center() const { return center_; }
+  double radius() const { return radius_; }
+
+ private:
+  geom::Point center_;
+  double radius_ = 0.0;
+};
+
+}  // namespace dbsa::approx
+
+#endif  // DBSA_APPROX_MBC_H_

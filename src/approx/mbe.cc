@@ -1,0 +1,156 @@
+#include "approx/mbe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geom/convex_hull.h"
+
+namespace dbsa::approx {
+
+EllipseApproximation::EllipseApproximation(const geom::Polygon& poly) {
+  const geom::Ring hull = geom::ConvexHullOf(poly);
+  const size_t n = hull.size();
+  if (n == 0) return;
+  if (n == 1) {
+    center_ = hull[0];
+    a11_ = a22_ = 1e12;  // Degenerate: a tiny ellipse around the point.
+    return;
+  }
+
+  // Khachiyan's algorithm in d = 2: lift points to (x, y, 1) and iterate
+  // weights u until the Mahalanobis bound converges.
+  std::vector<double> u(n, 1.0 / static_cast<double>(n));
+  const int max_iter = 200;
+  const double tol = 1e-7;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    // X = sum u_i q_i q_i^T for lifted q_i (3x3 symmetric).
+    double s00 = 0, s01 = 0, s02 = 0, s11 = 0, s12 = 0, s22 = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double x = hull[i].x, y = hull[i].y, w = u[i];
+      s00 += w * x * x;
+      s01 += w * x * y;
+      s02 += w * x;
+      s11 += w * y * y;
+      s12 += w * y;
+      s22 += w;
+    }
+    // Invert the 3x3 symmetric matrix.
+    const double c00 = s11 * s22 - s12 * s12;
+    const double c01 = s02 * s12 - s01 * s22;
+    const double c02 = s01 * s12 - s02 * s11;
+    const double det = s00 * c00 + s01 * c01 + s02 * c02;
+    if (std::fabs(det) < 1e-30) break;
+    const double inv = 1.0 / det;
+    const double i00 = c00 * inv;
+    const double i01 = c01 * inv;
+    const double i02 = c02 * inv;
+    const double i11 = (s00 * s22 - s02 * s02) * inv;
+    const double i12 = (s01 * s02 - s00 * s12) * inv;
+    const double i22 = (s00 * s11 - s01 * s01) * inv;
+
+    // M_i = q_i^T X^{-1} q_i; the farthest point gets more weight.
+    double max_m = -1.0;
+    size_t max_i = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double x = hull[i].x, y = hull[i].y;
+      const double m = x * (i00 * x + i01 * y + i02) + y * (i01 * x + i11 * y + i12) +
+                       (i02 * x + i12 * y + i22);
+      if (m > max_m) {
+        max_m = m;
+        max_i = i;
+      }
+    }
+    const double step = (max_m - 3.0) / (3.0 * (max_m - 1.0));
+    if (max_m - 3.0 < tol * 3.0) break;
+    for (double& w : u) w *= (1.0 - step);
+    u[max_i] += step;
+  }
+
+  // Center and covariance from the final weights.
+  double cx = 0, cy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cx += u[i] * hull[i].x;
+    cy += u[i] * hull[i].y;
+  }
+  center_ = {cx, cy};
+  double p11 = 0, p12 = 0, p22 = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = hull[i].x - cx, dy = hull[i].y - cy;
+    p11 += u[i] * dx * dx;
+    p12 += u[i] * dx * dy;
+    p22 += u[i] * dy * dy;
+  }
+  // Shape matrix A = (1/d) * P^{-1} with d = 2.
+  const double det = p11 * p22 - p12 * p12;
+  if (std::fabs(det) < 1e-30) {
+    a11_ = a22_ = 1e12;
+    a12_ = 0.0;
+  } else {
+    const double inv = 1.0 / (2.0 * det);
+    a11_ = p22 * inv;
+    a12_ = -p12 * inv;
+    a22_ = p11 * inv;
+  }
+
+  // Inflate so every hull vertex is strictly covered (Khachiyan stops at a
+  // tolerance; conservativeness is non-negotiable for a filter).
+  double worst = 0.0;
+  for (const geom::Point& p : hull) {
+    const double dx = p.x - center_.x, dy = p.y - center_.y;
+    const double q = a11_ * dx * dx + 2.0 * a12_ * dx * dy + a22_ * dy * dy;
+    worst = std::max(worst, q);
+  }
+  if (worst > 0.0) {
+    const double scale = 1.0 / worst;
+    a11_ *= scale;
+    a12_ *= scale;
+    a22_ *= scale;
+  }
+}
+
+bool EllipseApproximation::Contains(const geom::Point& p) const {
+  const double dx = p.x - center_.x, dy = p.y - center_.y;
+  return a11_ * dx * dx + 2.0 * a12_ * dx * dy + a22_ * dy * dy <= 1.0 + 1e-9;
+}
+
+double EllipseApproximation::Area() const {
+  const double det = a11_ * a22_ - a12_ * a12_;
+  if (det <= 0.0) return 0.0;
+  return 3.141592653589793 / std::sqrt(det);
+}
+
+geom::Ring EllipseApproximation::Outline(int samples) const {
+  // Eigen-decompose A to get the principal axes.
+  const double tr = a11_ + a22_;
+  const double det = a11_ * a22_ - a12_ * a12_;
+  const double disc = std::sqrt(std::max(tr * tr / 4.0 - det, 0.0));
+  const double l1 = tr / 2.0 + disc;  // Larger eigenvalue -> shorter axis.
+  const double l2 = tr / 2.0 - disc;
+  double vx = 1.0, vy = 0.0;
+  if (std::fabs(a12_) > 1e-30) {
+    vx = l1 - a22_;
+    vy = a12_;
+    const double norm = std::sqrt(vx * vx + vy * vy);
+    vx /= norm;
+    vy /= norm;
+  } else if (a22_ > a11_) {
+    vx = 0.0;
+    vy = 1.0;
+  }
+  const double r1 = l1 > 0 ? 1.0 / std::sqrt(l1) : 0.0;
+  const double r2 = l2 > 0 ? 1.0 / std::sqrt(l2) : 0.0;
+
+  geom::Ring ring;
+  const int n = samples < 8 ? 8 : samples;
+  ring.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double t = 2.0 * 3.141592653589793 * i / n;
+    const double eu = r1 * std::cos(t);
+    const double ev = r2 * std::sin(t);
+    ring.push_back({center_.x + eu * vx - ev * vy, center_.y + eu * vy + ev * vx});
+  }
+  return ring;
+}
+
+}  // namespace dbsa::approx

@@ -1,0 +1,30 @@
+// Minimum Bounding Ellipse (Khachiyan's algorithm on the hull vertices).
+
+#ifndef DBSA_APPROX_MBE_H_
+#define DBSA_APPROX_MBE_H_
+
+#include "approx/approximation.h"
+
+namespace dbsa::approx {
+
+/// Minimum-volume enclosing ellipse, computed to a small tolerance with
+/// Khachiyan's iterative scheme and then inflated to guarantee coverage.
+class EllipseApproximation : public Approximation {
+ public:
+  explicit EllipseApproximation(const geom::Polygon& poly);
+
+  std::string Name() const override { return "MBE"; }
+  bool Contains(const geom::Point& p) const override;
+  double Area() const override;
+  geom::Ring Outline(int samples) const override;
+  size_t MemoryBytes() const override { return 6 * sizeof(double); }
+
+ private:
+  geom::Point center_;
+  // Inverse shape matrix: (p-c)^T A (p-c) <= 1 defines the ellipse.
+  double a11_ = 0.0, a12_ = 0.0, a22_ = 0.0;
+};
+
+}  // namespace dbsa::approx
+
+#endif  // DBSA_APPROX_MBE_H_

@@ -1,0 +1,12 @@
+#include "approx/mbr.h"
+
+namespace dbsa::approx {
+
+geom::Ring MbrApproximation::Outline(int /*samples*/) const {
+  return {box_.min,
+          {box_.max.x, box_.min.y},
+          box_.max,
+          {box_.min.x, box_.max.y}};
+}
+
+}  // namespace dbsa::approx

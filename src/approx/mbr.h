@@ -1,0 +1,31 @@
+// Minimum Bounding Rectangle — Figure 1(a), the approximation the paper's
+// baselines filter with.
+
+#ifndef DBSA_APPROX_MBR_H_
+#define DBSA_APPROX_MBR_H_
+
+#include "approx/approximation.h"
+#include "geom/box.h"
+
+namespace dbsa::approx {
+
+/// Axis-aligned minimum bounding rectangle of a polygon.
+class MbrApproximation : public Approximation {
+ public:
+  explicit MbrApproximation(const geom::Polygon& poly) : box_(poly.bounds()) {}
+
+  std::string Name() const override { return "MBR"; }
+  bool Contains(const geom::Point& p) const override { return box_.Contains(p); }
+  double Area() const override { return box_.Area(); }
+  geom::Ring Outline(int samples) const override;
+  size_t MemoryBytes() const override { return sizeof(geom::Box); }
+
+  const geom::Box& box() const { return box_; }
+
+ private:
+  geom::Box box_;
+};
+
+}  // namespace dbsa::approx
+
+#endif  // DBSA_APPROX_MBR_H_

@@ -1,0 +1,104 @@
+#include "approx/ncorner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/convex_hull.h"
+
+namespace dbsa::approx {
+
+namespace {
+
+// Containment in a CCW convex ring: the point must be left of every edge.
+bool ConvexContains(const geom::Ring& ring, const geom::Point& p) {
+  const size_t n = ring.size();
+  if (n < 3) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (geom::Orient(ring[i], ring[(i + 1) % n], p) < -1e-9) return false;
+  }
+  return true;
+}
+
+// Intersection of infinite lines (a1->a2) and (b1->b2); false if parallel.
+bool LineIntersect(const geom::Point& a1, const geom::Point& a2, const geom::Point& b1,
+                   const geom::Point& b2, geom::Point* out) {
+  const geom::Point da = a2 - a1;
+  const geom::Point db = b2 - b1;
+  const double denom = da.Cross(db);
+  if (std::fabs(denom) < 1e-18) return false;
+  const double t = (b1 - a1).Cross(db) / denom;
+  *out = a1 + da * t;
+  return true;
+}
+
+}  // namespace
+
+NCornerApproximation::NCornerApproximation(const geom::Polygon& poly, int n_corners)
+    : n_corners_(std::max(n_corners, 3)) {
+  ring_ = geom::ConvexHullOf(poly);
+  // Greedy edge removal: deleting edge (v_i, v_{i+1}) extends its two
+  // neighbouring edges to their intersection x, replacing both endpoints
+  // by x. Coverage is preserved (x lies outward of the removed edge) and
+  // the vertex count drops by one; pick the removal adding minimum area.
+  while (static_cast<int>(ring_.size()) > n_corners_) {
+    const size_t n = ring_.size();
+    double best_area = std::numeric_limits<double>::infinity();
+    size_t best_i = n;
+    geom::Point best_pt;
+    for (size_t i = 0; i < n; ++i) {
+      const geom::Point& a = ring_[(i + n - 1) % n];  // Predecessor of v_i.
+      const geom::Point& b = ring_[i];                // Edge start.
+      const geom::Point& c = ring_[(i + 1) % n];      // Edge end.
+      const geom::Point& d = ring_[(i + 2) % n];      // Successor of v_{i+1}.
+      geom::Point x;
+      if (!LineIntersect(a, b, d, c, &x)) continue;
+      // x must lie outward of edge (b, c): to its right for a CCW ring,
+      // and ahead of b along (a->b) so the ring stays convex.
+      if (geom::Orient(b, c, x) > 1e-12) continue;
+      if ((x - b).Dot(b - a) < -1e-12) continue;
+      if ((x - c).Dot(c - d) < -1e-12) continue;
+      const double added = 0.5 * std::fabs((x - b).Cross(c - b));
+      if (added < best_area) {
+        best_area = added;
+        best_i = i;
+        best_pt = x;
+      }
+    }
+    if (best_i == n) break;  // No valid merge (parallel neighbours).
+    geom::Ring next_ring;
+    next_ring.reserve(n - 1);
+    const size_t skip = (best_i + 1) % n;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == best_i) {
+        next_ring.push_back(best_pt);
+      } else if (j != skip) {
+        next_ring.push_back(ring_[j]);
+      }
+    }
+    ring_ = std::move(next_ring);
+  }
+}
+
+std::string NCornerApproximation::Name() const {
+  return std::to_string(n_corners_) + "-C";
+}
+
+bool NCornerApproximation::Contains(const geom::Point& p) const {
+  return ConvexContains(ring_, p);
+}
+
+double NCornerApproximation::Area() const { return std::fabs(geom::SignedArea(ring_)); }
+
+ConvexHullApproximation::ConvexHullApproximation(const geom::Polygon& poly)
+    : ring_(geom::ConvexHullOf(poly)) {}
+
+bool ConvexHullApproximation::Contains(const geom::Point& p) const {
+  return ConvexContains(ring_, p);
+}
+
+double ConvexHullApproximation::Area() const {
+  return std::fabs(geom::SignedArea(ring_));
+}
+
+}  // namespace dbsa::approx

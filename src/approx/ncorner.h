@@ -1,0 +1,46 @@
+// Minimum-bounding n-corner: a convex polygon with at most n vertices that
+// encloses the geometry, built by greedy edge-merging of the convex hull
+// (each merge replaces two adjacent hull edges by their intersection,
+// adding the least possible area).
+
+#ifndef DBSA_APPROX_NCORNER_H_
+#define DBSA_APPROX_NCORNER_H_
+
+#include "approx/approximation.h"
+
+namespace dbsa::approx {
+
+/// Convex n-corner enclosure (n >= 3).
+class NCornerApproximation : public Approximation {
+ public:
+  NCornerApproximation(const geom::Polygon& poly, int n_corners);
+
+  std::string Name() const override;
+  bool Contains(const geom::Point& p) const override;
+  double Area() const override;
+  geom::Ring Outline(int /*samples*/) const override { return ring_; }
+  size_t MemoryBytes() const override { return ring_.size() * sizeof(geom::Point); }
+
+ private:
+  int n_corners_;
+  geom::Ring ring_;  ///< CCW convex ring.
+};
+
+/// Convex hull as an approximation (the n = hull-size special case).
+class ConvexHullApproximation : public Approximation {
+ public:
+  explicit ConvexHullApproximation(const geom::Polygon& poly);
+
+  std::string Name() const override { return "CH"; }
+  bool Contains(const geom::Point& p) const override;
+  double Area() const override;
+  geom::Ring Outline(int /*samples*/) const override { return ring_; }
+  size_t MemoryBytes() const override { return ring_.size() * sizeof(geom::Point); }
+
+ private:
+  geom::Ring ring_;
+};
+
+}  // namespace dbsa::approx
+
+#endif  // DBSA_APPROX_NCORNER_H_

@@ -1,0 +1,79 @@
+#include "approx/quality.h"
+
+#include "approx/clipped.h"
+#include "approx/mbc.h"
+#include "approx/mbe.h"
+#include "approx/mbr.h"
+#include "approx/ncorner.h"
+#include "approx/rmbr.h"
+#include "geom/distance.h"
+
+namespace dbsa::approx {
+
+std::unique_ptr<Approximation> BuildApproximation(ApproxKind kind,
+                                                  const geom::Polygon& poly) {
+  switch (kind) {
+    case ApproxKind::kMbr:
+      return std::make_unique<MbrApproximation>(poly);
+    case ApproxKind::kRotatedMbr:
+      return std::make_unique<RotatedMbrApproximation>(poly);
+    case ApproxKind::kCircle:
+      return std::make_unique<CircleApproximation>(poly);
+    case ApproxKind::kEllipse:
+      return std::make_unique<EllipseApproximation>(poly);
+    case ApproxKind::kConvexHull:
+      return std::make_unique<ConvexHullApproximation>(poly);
+    case ApproxKind::kNCorner:
+      return std::make_unique<NCornerApproximation>(poly, 5);
+    case ApproxKind::kClippedMbr:
+      return std::make_unique<ClippedMbrApproximation>(poly);
+  }
+  return nullptr;
+}
+
+const char* ApproxKindName(ApproxKind kind) {
+  switch (kind) {
+    case ApproxKind::kMbr:
+      return "MBR";
+    case ApproxKind::kRotatedMbr:
+      return "RMBR";
+    case ApproxKind::kCircle:
+      return "MBC";
+    case ApproxKind::kEllipse:
+      return "MBE";
+    case ApproxKind::kConvexHull:
+      return "CH";
+    case ApproxKind::kNCorner:
+      return "5-C";
+    case ApproxKind::kClippedMbr:
+      return "CBR";
+  }
+  return "?";
+}
+
+Quality MeasureQuality(const Approximation& approx, const geom::Polygon& poly,
+                       double sample_step) {
+  Quality q;
+  q.name = approx.Name();
+  const double poly_area = poly.Area();
+  q.area_ratio = poly_area > 0 ? approx.Area() / poly_area : 0.0;
+  const geom::Ring outline = approx.Outline(256);
+  q.hausdorff = geom::HausdorffSampled(outline, poly.outer(), sample_step);
+  q.memory_bytes = approx.MemoryBytes();
+  return q;
+}
+
+std::vector<Quality> MeasureAllApproximations(const geom::Polygon& poly,
+                                              double sample_step) {
+  std::vector<Quality> out;
+  for (const ApproxKind kind :
+       {ApproxKind::kMbr, ApproxKind::kRotatedMbr, ApproxKind::kCircle,
+        ApproxKind::kEllipse, ApproxKind::kConvexHull, ApproxKind::kNCorner,
+        ApproxKind::kClippedMbr}) {
+    const auto approx = BuildApproximation(kind, poly);
+    out.push_back(MeasureQuality(*approx, poly, sample_step));
+  }
+  return out;
+}
+
+}  // namespace dbsa::approx

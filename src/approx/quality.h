@@ -1,0 +1,35 @@
+// Approximation-quality metrics: false area and measured Hausdorff
+// distance. These quantify Section 2.2's argument that MBR-family
+// approximations have data-dependent error while rasters have a tunable,
+// geometry-independent bound.
+
+#ifndef DBSA_APPROX_QUALITY_H_
+#define DBSA_APPROX_QUALITY_H_
+
+#include "approx/approximation.h"
+
+namespace dbsa::approx {
+
+/// Quality report of one approximation vs its source polygon.
+struct Quality {
+  std::string name;
+  /// approx_area / polygon_area (>= 1 for conservative approximations).
+  double area_ratio = 0.0;
+  /// Sampled Hausdorff distance between the approximation outline and the
+  /// polygon outer ring — the paper's distance-error notion.
+  double hausdorff = 0.0;
+  size_t memory_bytes = 0;
+};
+
+/// Measures an approximation against the polygon. sample_step controls
+/// the boundary sampling for the Hausdorff estimate.
+Quality MeasureQuality(const Approximation& approx, const geom::Polygon& poly,
+                       double sample_step);
+
+/// Builds and measures the full zoo (factory from approximation.h).
+std::vector<Quality> MeasureAllApproximations(const geom::Polygon& poly,
+                                              double sample_step);
+
+}  // namespace dbsa::approx
+
+#endif  // DBSA_APPROX_QUALITY_H_

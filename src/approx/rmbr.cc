@@ -1,0 +1,74 @@
+#include "approx/rmbr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/convex_hull.h"
+
+namespace dbsa::approx {
+
+RotatedMbrApproximation::RotatedMbrApproximation(const geom::Polygon& poly) {
+  const geom::Ring hull = geom::ConvexHullOf(poly);
+  const size_t n = hull.size();
+  if (n == 0) return;
+  if (n < 3) {
+    center_ = hull[0];
+    axis_u_ = {1.0, 0.0};
+    if (n == 2) {
+      const geom::Point d = hull[1] - hull[0];
+      const double len = d.Norm();
+      center_ = (hull[0] + hull[1]) * 0.5;
+      axis_u_ = len > 0 ? d / len : geom::Point{1.0, 0.0};
+      extent_u_ = len;
+    }
+    return;
+  }
+
+  // Rotating calipers: the minimum-area rectangle has one side collinear
+  // with a hull edge; try each edge direction.
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Point e = hull[(i + 1) % n] - hull[i];
+    const double len = e.Norm();
+    if (len <= 0.0) continue;
+    const geom::Point u = e / len;
+    const geom::Point v{-u.y, u.x};
+    double min_u = std::numeric_limits<double>::infinity(), max_u = -min_u;
+    double min_v = min_u, max_v = -min_u;
+    for (const geom::Point& p : hull) {
+      const double pu = p.Dot(u);
+      const double pv = p.Dot(v);
+      min_u = std::min(min_u, pu);
+      max_u = std::max(max_u, pu);
+      min_v = std::min(min_v, pv);
+      max_v = std::max(max_v, pv);
+    }
+    const double area = (max_u - min_u) * (max_v - min_v);
+    if (area < best_area) {
+      best_area = area;
+      axis_u_ = u;
+      extent_u_ = max_u - min_u;
+      extent_v_ = max_v - min_v;
+      const double cu = (min_u + max_u) * 0.5;
+      const double cv = (min_v + max_v) * 0.5;
+      center_ = u * cu + v * cv;
+    }
+  }
+}
+
+bool RotatedMbrApproximation::Contains(const geom::Point& p) const {
+  const geom::Point d = p - center_;
+  const geom::Point v{-axis_u_.y, axis_u_.x};
+  return std::fabs(d.Dot(axis_u_)) <= extent_u_ * 0.5 + 1e-12 &&
+         std::fabs(d.Dot(v)) <= extent_v_ * 0.5 + 1e-12;
+}
+
+geom::Ring RotatedMbrApproximation::Outline(int /*samples*/) const {
+  const geom::Point v{-axis_u_.y, axis_u_.x};
+  const geom::Point du = axis_u_ * (extent_u_ * 0.5);
+  const geom::Point dv = v * (extent_v_ * 0.5);
+  return {center_ - du - dv, center_ + du - dv, center_ + du + dv, center_ - du + dv};
+}
+
+}  // namespace dbsa::approx

@@ -1,0 +1,31 @@
+// Rotated Minimum Bounding Rectangle: the minimum-area oriented rectangle,
+// found with rotating calipers over the convex hull.
+
+#ifndef DBSA_APPROX_RMBR_H_
+#define DBSA_APPROX_RMBR_H_
+
+#include "approx/approximation.h"
+
+namespace dbsa::approx {
+
+/// Minimum-area oriented bounding rectangle.
+class RotatedMbrApproximation : public Approximation {
+ public:
+  explicit RotatedMbrApproximation(const geom::Polygon& poly);
+
+  std::string Name() const override { return "RMBR"; }
+  bool Contains(const geom::Point& p) const override;
+  double Area() const override { return extent_u_ * extent_v_; }
+  geom::Ring Outline(int samples) const override;
+  size_t MemoryBytes() const override { return 6 * sizeof(double); }
+
+ private:
+  geom::Point center_;  ///< Rectangle center.
+  geom::Point axis_u_;  ///< Unit vector of the first axis.
+  double extent_u_ = 0.0;
+  double extent_v_ = 0.0;
+};
+
+}  // namespace dbsa::approx
+
+#endif  // DBSA_APPROX_RMBR_H_

@@ -1,0 +1,99 @@
+#include "canvas/ops.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dbsa::canvas {
+
+namespace {
+
+inline Rgba ApplyBlend(const Rgba& d, const Rgba& s, BlendFn fn) {
+  switch (fn) {
+    case BlendFn::kAdd:
+      return {d.r + s.r, d.g + s.g, d.b + s.b, d.a + s.a};
+    case BlendFn::kMin:
+      return {std::min(d.r, s.r), std::min(d.g, s.g), std::min(d.b, s.b),
+              std::min(d.a, s.a)};
+    case BlendFn::kMax:
+      return {std::max(d.r, s.r), std::max(d.g, s.g), std::max(d.b, s.b),
+              std::max(d.a, s.a)};
+    case BlendFn::kOver:
+      return s.a > 0.f ? s : d;
+    case BlendFn::kMultiply:
+      return {d.r * s.r, d.g * s.g, d.b * s.b, d.a * s.a};
+  }
+  return d;
+}
+
+}  // namespace
+
+void BlendInto(Canvas* dst, const Canvas& src, BlendFn fn) {
+  DBSA_CHECK(dst->width() == src.width() && dst->height() == src.height());
+  auto& d = dst->data();
+  const auto& s = src.data();
+  for (size_t i = 0; i < d.size(); ++i) d[i] = ApplyBlend(d[i], s[i], fn);
+}
+
+Canvas Blend(const Canvas& a, const Canvas& b, BlendFn fn) {
+  Canvas out = a;
+  BlendInto(&out, b, fn);
+  return out;
+}
+
+Canvas Mask(const Canvas& src, const MaskPredicate& pred) {
+  Canvas out = src;
+  MaskInPlace(&out, pred);
+  return out;
+}
+
+void MaskInPlace(Canvas* c, const MaskPredicate& pred) {
+  for (Rgba& px : c->data()) {
+    if (!pred(px)) px = Rgba();
+  }
+}
+
+Canvas AffineResample(const Canvas& src, int width, int height,
+                      const geom::Box& viewport) {
+  Canvas out(width, height, viewport);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const geom::Point world = out.PixelCenter(x, y);
+      int sx, sy;
+      if (src.WorldToPixel(world, &sx, &sy)) {
+        out.At(x, y) = src.At(sx, sy);
+      }
+    }
+  }
+  return out;
+}
+
+Rgba Reduce(const Canvas& c) {
+  Rgba acc;
+  for (const Rgba& px : c.data()) {
+    acc.r += px.r;
+    acc.g += px.g;
+    acc.b += px.b;
+    acc.a += px.a;
+  }
+  return acc;
+}
+
+Rgba ReduceWhere(const Canvas& values, const Canvas& stencil) {
+  DBSA_CHECK(values.width() == stencil.width() &&
+             values.height() == stencil.height());
+  Rgba acc;
+  const auto& v = values.data();
+  const auto& m = stencil.data();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (m[i].a > 0.f) {
+      acc.r += v[i].r;
+      acc.g += v[i].g;
+      acc.b += v[i].b;
+      acc.a += v[i].a;
+    }
+  }
+  return acc;
+}
+
+}  // namespace dbsa::canvas

@@ -1,0 +1,165 @@
+#include "canvas/plan.h"
+
+#include "util/check.h"
+
+namespace dbsa::canvas {
+
+CanvasPlan::Ptr CanvasPlan::RenderPoints(const geom::Point* points,
+                                         const double* weights, size_t n) {
+  auto plan = std::shared_ptr<CanvasPlan>(new CanvasPlan(Kind::kRenderPoints));
+  plan->points_ = points;
+  plan->weights_ = weights;
+  plan->num_points_ = n;
+  return plan;
+}
+
+CanvasPlan::Ptr CanvasPlan::RenderPolygon(geom::Polygon poly, const Rgba& fill) {
+  auto plan = std::shared_ptr<CanvasPlan>(new CanvasPlan(Kind::kRenderPolygon));
+  plan->poly_ = std::move(poly);
+  plan->fill_ = fill;
+  return plan;
+}
+
+CanvasPlan::Ptr CanvasPlan::Blend(Ptr a, Ptr b, BlendFn fn) {
+  DBSA_CHECK(a != nullptr && b != nullptr);
+  auto plan = std::shared_ptr<CanvasPlan>(new CanvasPlan(Kind::kBlend));
+  plan->left_ = std::move(a);
+  plan->right_ = std::move(b);
+  plan->blend_fn_ = fn;
+  return plan;
+}
+
+CanvasPlan::Ptr CanvasPlan::MaskWhere(Ptr value, Ptr stencil) {
+  DBSA_CHECK(value != nullptr && stencil != nullptr);
+  auto plan = std::shared_ptr<CanvasPlan>(new CanvasPlan(Kind::kMaskWhere));
+  plan->left_ = std::move(value);
+  plan->right_ = std::move(stencil);
+  return plan;
+}
+
+CanvasPlan::Ptr CanvasPlan::Affine(Ptr child) {
+  DBSA_CHECK(child != nullptr);
+  auto plan = std::shared_ptr<CanvasPlan>(new CanvasPlan(Kind::kAffine));
+  plan->left_ = std::move(child);
+  return plan;
+}
+
+Canvas CanvasPlan::Execute(int width, int height, const geom::Box& viewport) const {
+  switch (kind_) {
+    case Kind::kRenderPoints: {
+      Canvas c(width, height, viewport);
+      ScatterPoints(&c, points_, weights_, num_points_);
+      return c;
+    }
+    case Kind::kRenderPolygon: {
+      Canvas c(width, height, viewport);
+      FillPolygon(&c, poly_, fill_);
+      return c;
+    }
+    case Kind::kBlend: {
+      Canvas a = left_->Execute(width, height, viewport);
+      const Canvas b = right_->Execute(width, height, viewport);
+      BlendInto(&a, b, blend_fn_);
+      return a;
+    }
+    case Kind::kMaskWhere: {
+      Canvas value = left_->Execute(width, height, viewport);
+      const Canvas stencil = right_->Execute(width, height, viewport);
+      auto& data = value.data();
+      const auto& mask = stencil.data();
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (mask[i].a <= 0.f) data[i] = Rgba();
+      }
+      return value;
+    }
+    case Kind::kAffine: {
+      // Identity-geometry resample (the general form re-targets
+      // viewports; the executor's geometry is the target).
+      const Canvas child = left_->Execute(width, height, viewport);
+      return AffineResample(child, width, height, viewport);
+    }
+  }
+  return Canvas(width, height, viewport);
+}
+
+Rgba CanvasPlan::ExecuteAndReduce(int width, int height,
+                                  const geom::Box& viewport) const {
+  // Fusion opportunity: mask-then-reduce avoids materializing the masked
+  // canvas (the optimization BRJ applies).
+  if (kind_ == Kind::kMaskWhere) {
+    const Canvas value = left_->Execute(width, height, viewport);
+    const Canvas stencil = right_->Execute(width, height, viewport);
+    return ReduceWhere(value, stencil);
+  }
+  return Reduce(Execute(width, height, viewport));
+}
+
+void CanvasPlan::DescribeRec(int depth, std::string* out) const {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  switch (kind_) {
+    case Kind::kRenderPoints:
+      out->append("RenderPoints(n=" + std::to_string(num_points_) + ")\n");
+      break;
+    case Kind::kRenderPolygon:
+      out->append("RenderPolygon(vertices=" +
+                  std::to_string(poly_.NumVertices()) + ")\n");
+      break;
+    case Kind::kBlend: {
+      const char* fn = "?";
+      switch (blend_fn_) {
+        case BlendFn::kAdd:
+          fn = "ADD";
+          break;
+        case BlendFn::kMin:
+          fn = "MIN";
+          break;
+        case BlendFn::kMax:
+          fn = "MAX";
+          break;
+        case BlendFn::kOver:
+          fn = "OVER";
+          break;
+        case BlendFn::kMultiply:
+          fn = "MULTIPLY";
+          break;
+      }
+      out->append(std::string("Blend(") + fn + ")\n");
+      left_->DescribeRec(depth + 1, out);
+      right_->DescribeRec(depth + 1, out);
+      break;
+    }
+    case Kind::kMaskWhere:
+      out->append("MaskWhere\n");
+      left_->DescribeRec(depth + 1, out);
+      right_->DescribeRec(depth + 1, out);
+      break;
+    case Kind::kAffine:
+      out->append("Affine\n");
+      left_->DescribeRec(depth + 1, out);
+      break;
+  }
+}
+
+std::string CanvasPlan::Describe() const {
+  std::string out;
+  DescribeRec(0, &out);
+  return out;
+}
+
+CanvasPlan::Ptr AggregationPlanMask(const geom::Point* points, const double* weights,
+                                    size_t n, const geom::Polygon& poly) {
+  return CanvasPlan::MaskWhere(CanvasPlan::RenderPoints(points, weights, n),
+                               CanvasPlan::RenderPolygon(poly));
+}
+
+CanvasPlan::Ptr AggregationPlanBlend(const geom::Point* points, const double* weights,
+                                     size_t n, const geom::Polygon& poly) {
+  // Promote the stencil to all-ones on covered pixels; a MULTIPLY blend
+  // then zeroes every value channel outside the polygon and passes the
+  // inside through — intersection expressed purely with blend.
+  return CanvasPlan::Blend(CanvasPlan::RenderPoints(points, weights, n),
+                           CanvasPlan::RenderPolygon(poly, Rgba{1.f, 1.f, 1.f, 1.f}),
+                           BlendFn::kMultiply);
+}
+
+}  // namespace dbsa::canvas

@@ -1,0 +1,62 @@
+#include "canvas/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dbsa::canvas {
+
+void ScatterPoints(Canvas* c, const geom::Point* points, const double* weights,
+                   size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    int px, py;
+    if (!c->WorldToPixel(points[i], &px, &py)) continue;
+    Rgba& dst = c->At(px, py);
+    dst.r += 1.f;
+    if (weights != nullptr) dst.g += static_cast<float>(weights[i]);
+    dst.a = 1.f;
+  }
+}
+
+void ScanPolygon(const Canvas& c, const geom::Polygon& poly,
+                 const std::function<void(int, int, int)>& fn) {
+  const geom::Box& vp = c.viewport();
+  const geom::Box& bb = poly.bounds();
+  if (!vp.Intersects(bb)) return;
+  const double ph = c.pixel_height();
+  const double pw = c.pixel_width();
+
+  int y0 = static_cast<int>(std::floor((bb.min.y - vp.min.y) / ph));
+  int y1 = static_cast<int>(std::floor((bb.max.y - vp.min.y) / ph));
+  y0 = std::max(y0, 0);
+  y1 = std::min(y1, c.height() - 1);
+
+  std::vector<double> xs;
+  for (int y = y0; y <= y1; ++y) {
+    const double wy = vp.min.y + (y + 0.5) * ph;
+    xs.clear();
+    poly.ForEachEdge([&](const geom::Point& a, const geom::Point& b) {
+      if ((a.y > wy) != (b.y > wy)) {
+        xs.push_back(a.x + (wy - a.y) / (b.y - a.y) * (b.x - a.x));
+      }
+    });
+    if (xs.size() < 2) continue;
+    std::sort(xs.begin(), xs.end());
+    for (size_t k = 0; k + 1 < xs.size(); k += 2) {
+      // Pixels whose center-x lies in (xs[k], xs[k+1]).
+      int x0 = static_cast<int>(std::ceil((xs[k] - vp.min.x) / pw - 0.5));
+      int x1 = static_cast<int>(std::floor((xs[k + 1] - vp.min.x) / pw - 0.5));
+      x0 = std::max(x0, 0);
+      x1 = std::min(x1, c.width() - 1);
+      if (x0 <= x1) fn(y, x0, x1);
+    }
+  }
+}
+
+void FillPolygon(Canvas* c, const geom::Polygon& poly, const Rgba& fill) {
+  ScanPolygon(*c, poly, [c, &fill](int y, int x0, int x1) {
+    for (int x = x0; x <= x1; ++x) c->At(x, y) = fill;
+  });
+}
+
+}  // namespace dbsa::canvas

@@ -1,0 +1,37 @@
+// Software stand-in for the GPU render passes: scattering points into a
+// canvas with additive blending, and filling polygons with center-sampled
+// rasterization (the sampling rule of the graphics pipeline). See
+// DESIGN.md for the GPU -> software substitution argument.
+
+#ifndef DBSA_CANVAS_RENDER_H_
+#define DBSA_CANVAS_RENDER_H_
+
+#include <functional>
+
+#include "canvas/canvas.h"
+#include "geom/polygon.h"
+
+namespace dbsa::canvas {
+
+/// Scatters points: each point inside the viewport adds (1, weight, 0, 1)
+/// to its pixel — r accumulates counts, g accumulates the attribute.
+/// weights may be null (then g accumulates 0).
+void ScatterPoints(Canvas* c, const geom::Point* points, const double* weights,
+                   size_t n);
+
+/// Fills a polygon using center sampling, exactly like GPU rasterization:
+/// a pixel is covered iff its center is inside. Covered pixels are
+/// overwritten with `fill` (default: a pure stencil, a = 1). Only pixels
+/// within the polygon's bbox are touched.
+void FillPolygon(Canvas* c, const geom::Polygon& poly,
+                 const Rgba& fill = Rgba{0.f, 0.f, 0.f, 1.f});
+
+/// Visits the pixel-x intervals covered by the polygon per row (the fused
+/// form of FillPolygon + masked reduction used by BRJ). fn(y, x0, x1)
+/// receives inclusive pixel bounds.
+void ScanPolygon(const Canvas& c, const geom::Polygon& poly,
+                 const std::function<void(int, int, int)>& fn);
+
+}  // namespace dbsa::canvas
+
+#endif  // DBSA_CANVAS_RENDER_H_

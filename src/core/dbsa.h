@@ -1,0 +1,50 @@
+// Umbrella header for the dbsa library — distance-bounded spatial
+// approximations (CIDR'21 reproduction). Include this to get the public
+// API: the SpatialEngine façade, the raster approximations, the indexing
+// layer, the canvas algebra, and the join executors.
+
+#ifndef DBSA_CORE_DBSA_H_
+#define DBSA_CORE_DBSA_H_
+
+// Geometry kernel.
+#include "geom/box.h"       // IWYU pragma: export
+#include "geom/distance.h"  // IWYU pragma: export
+#include "geom/point.h"     // IWYU pragma: export
+#include "geom/polygon.h"   // IWYU pragma: export
+#include "geom/wkt.h"       // IWYU pragma: export
+
+// Distance-bounded raster approximations.
+#include "raster/grid.h"                 // IWYU pragma: export
+#include "raster/hierarchical_raster.h"  // IWYU pragma: export
+#include "raster/uniform_raster.h"       // IWYU pragma: export
+
+// Indexes over linearized cells.
+#include "index/act.h"           // IWYU pragma: export
+#include "index/radix_spline.h"  // IWYU pragma: export
+
+// Canvas algebra and BRJ.
+#include "canvas/brj.h"  // IWYU pragma: export
+#include "canvas/ops.h"  // IWYU pragma: export
+
+// Join executors and result ranges.
+#include "join/act_join.h"          // IWYU pragma: export
+#include "join/exact_join.h"        // IWYU pragma: export
+#include "join/point_index_join.h"  // IWYU pragma: export
+#include "join/result_range.h"      // IWYU pragma: export
+
+// Data generators (synthetic NYC-like workloads).
+#include "data/regions.h"   // IWYU pragma: export
+#include "data/taxi.h"      // IWYU pragma: export
+#include "data/workload.h"  // IWYU pragma: export
+
+// Engine façade.
+#include "core/engine.h"  // IWYU pragma: export
+
+namespace dbsa {
+
+/// Library version.
+inline constexpr const char* kVersion = "0.1.0";
+
+}  // namespace dbsa
+
+#endif  // DBSA_CORE_DBSA_H_

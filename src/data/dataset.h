@@ -1,0 +1,70 @@
+// In-memory datasets used by benches, examples and tests: a point table
+// with attributes (the taxi-trip stand-in) and a region table (the
+// Boroughs / Neighborhoods / Census stand-ins). See DESIGN.md §2 for the
+// substitution rationale.
+
+#ifndef DBSA_DATA_DATASET_H_
+#define DBSA_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/polygon.h"
+
+namespace dbsa::data {
+
+/// Column-oriented point table: P(loc, fare, passengers, hour).
+struct PointSet {
+  std::vector<geom::Point> locs;
+  std::vector<double> fare;
+  std::vector<uint8_t> passengers;
+  std::vector<uint8_t> hour;
+
+  size_t size() const { return locs.size(); }
+  geom::Box Bounds() const {
+    geom::Box b;
+    for (const geom::Point& p : locs) b.Extend(p);
+    return b;
+  }
+};
+
+/// Region table: R(id, name, geometry). Regions may be multi-part:
+/// polys[i] belongs to region region_of[i].
+struct RegionSet {
+  std::vector<geom::Polygon> polys;
+  std::vector<uint32_t> region_of;
+  std::vector<std::string> names;
+  size_t num_regions = 0;
+
+  size_t NumPolygons() const { return polys.size(); }
+
+  double AvgVertices() const {
+    if (polys.empty()) return 0.0;
+    size_t total = 0;
+    for (const geom::Polygon& p : polys) total += p.NumVertices();
+    return static_cast<double>(total) / static_cast<double>(polys.size());
+  }
+
+  double TotalPerimeter() const {
+    double t = 0.0;
+    for (const geom::Polygon& p : polys) t += p.TotalPerimeter();
+    return t;
+  }
+
+  double TotalArea() const {
+    double t = 0.0;
+    for (const geom::Polygon& p : polys) t += p.Area();
+    return t;
+  }
+
+  geom::Box Bounds() const {
+    geom::Box b;
+    for (const geom::Polygon& p : polys) b.Extend(p.bounds());
+    return b;
+  }
+};
+
+}  // namespace dbsa::data
+
+#endif  // DBSA_DATA_DATASET_H_

@@ -1,0 +1,236 @@
+#include "data/regions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace dbsa::data {
+
+namespace {
+
+// Smooth pseudo-random warp field. All vertices (including shared edge
+// samples) go through this same function, so shared boundaries remain
+// shared after warping. The envelope pins the universe border in place.
+class Warp {
+ public:
+  Warp(const geom::Box& universe, double amplitude)
+      : u_(universe), a_(amplitude), inv_w_(1.0 / universe.Width()),
+        inv_h_(1.0 / universe.Height()) {}
+
+  geom::Point Apply(const geom::Point& p) const {
+    const double nx = (p.x - u_.min.x) * inv_w_;
+    const double ny = (p.y - u_.min.y) * inv_h_;
+    const double env = Envelope(nx) * Envelope(ny);
+    const double two_pi = 6.283185307179586;
+    const double fx = std::sin(two_pi * (3.1 * nx + 1.7 * ny) + 0.9) +
+                      0.6 * std::sin(two_pi * (7.3 * nx - 5.1 * ny) + 2.1) +
+                      0.35 * std::sin(two_pi * (13.7 * nx + 11.3 * ny) + 4.2);
+    const double fy = std::sin(two_pi * (2.7 * nx - 3.3 * ny) + 5.3) +
+                      0.6 * std::sin(two_pi * (6.1 * nx + 8.3 * ny) + 1.3) +
+                      0.35 * std::sin(two_pi * (12.3 * nx - 9.7 * ny) + 3.7);
+    return {p.x + a_ * env * fx, p.y + a_ * env * fy};
+  }
+
+ private:
+  // Smoothstep ramp over the outer 2% so the universe border stays fixed.
+  static double Envelope(double t) {
+    const double margin = 0.02;
+    const double d = std::min({t, 1.0 - t, margin}) / margin;
+    return d * d * (3.0 - 2.0 * d);
+  }
+
+  geom::Box u_;
+  double a_;
+  double inv_w_, inv_h_;
+};
+
+struct Rect {
+  double x0, y0, x1, y1;
+  double Area() const { return (x1 - x0) * (y1 - y0); }
+};
+
+}  // namespace
+
+RegionSet GenerateRegions(const RegionConfig& config) {
+  DBSA_CHECK(config.num_polygons >= 1);
+  Rng rng(config.seed);
+  const geom::Box& u = config.universe;
+
+  // --- 1. KD subdivision: split the largest rect until num_polygons.
+  std::vector<Rect> rects = {{u.min.x, u.min.y, u.max.x, u.max.y}};
+  while (rects.size() < config.num_polygons) {
+    size_t largest = 0;
+    for (size_t i = 1; i < rects.size(); ++i) {
+      if (rects[i].Area() > rects[largest].Area()) largest = i;
+    }
+    Rect r = rects[largest];
+    const double ratio = rng.Uniform(0.35, 0.65);
+    Rect a = r, b = r;
+    if (r.x1 - r.x0 >= r.y1 - r.y0) {
+      const double cut = r.x0 + (r.x1 - r.x0) * ratio;
+      a.x1 = cut;
+      b.x0 = cut;
+    } else {
+      const double cut = r.y0 + (r.y1 - r.y0) * ratio;
+      a.y1 = cut;
+      b.y0 = cut;
+    }
+    rects[largest] = a;
+    rects.push_back(b);
+  }
+
+  // Corner maps: every rect corner, grouped by its y (for horizontal
+  // edges) and x (for vertical edges). A neighbour's corner lying on this
+  // rect's edge is a T-junction and must become a shared vertex — that is
+  // what keeps the warped tiling exact.
+  std::map<double, std::set<double>> corners_at_y;  // y -> {x}.
+  std::map<double, std::set<double>> corners_at_x;  // x -> {y}.
+  for (const Rect& r : rects) {
+    corners_at_y[r.y0].insert(r.x0);
+    corners_at_y[r.y0].insert(r.x1);
+    corners_at_y[r.y1].insert(r.x0);
+    corners_at_y[r.y1].insert(r.x1);
+    corners_at_x[r.x0].insert(r.y0);
+    corners_at_x[r.x0].insert(r.y1);
+    corners_at_x[r.x1].insert(r.y0);
+    corners_at_x[r.x1].insert(r.y1);
+  }
+
+  // --- 2. Edge sampling step from the vertex-count target.
+  double avg_perimeter = 0.0;
+  for (const Rect& r : rects) avg_perimeter += 2.0 * ((r.x1 - r.x0) + (r.y1 - r.y0));
+  avg_perimeter /= static_cast<double>(rects.size());
+  const double target = std::max(config.target_avg_vertices, 4.0);
+  const double step = avg_perimeter / std::max(target - 6.0, 2.0);
+
+  const double amplitude =
+      std::min(config.warp_amplitude_frac * step, u.Width() / 220.0);
+  const Warp warp(u, amplitude);
+
+  // Sample positions along one axis: global lattice multiples of `step`
+  // plus every T-junction corner strictly inside (lo, hi). Both
+  // neighbours of a shared edge use the same rule, so their warped
+  // polylines coincide and the tiling stays exact.
+  auto axis_samples = [&](double lo, double hi, const std::set<double>& junctions) {
+    std::vector<double> out;
+    out.push_back(lo);
+    const double first = std::ceil(lo / step) * step;
+    for (double v = first; v < hi - 1e-9; v += step) {
+      if (v > lo + 1e-9) out.push_back(v);
+    }
+    for (auto it = junctions.upper_bound(lo);
+         it != junctions.end() && *it < hi - 1e-9; ++it) {
+      out.push_back(*it);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](double a, double b) { return std::fabs(a - b) < 1e-9; }),
+              out.end());
+    return out;  // Includes lo, excludes hi.
+  };
+
+  RegionSet regions;
+  regions.polys.reserve(rects.size());
+  const std::set<double> empty_set;
+  auto junctions_at = [&](const std::map<double, std::set<double>>& m,
+                          double coord) -> const std::set<double>& {
+    const auto it = m.find(coord);
+    return it == m.end() ? empty_set : it->second;
+  };
+  for (const Rect& r : rects) {
+    geom::Ring ring;
+    // Bottom edge (left to right), excluding the end corner of each edge.
+    for (const double x : axis_samples(r.x0, r.x1, junctions_at(corners_at_y, r.y0))) {
+      ring.push_back(warp.Apply({x, r.y0}));
+    }
+    // Right edge (bottom to top).
+    for (const double y : axis_samples(r.y0, r.y1, junctions_at(corners_at_x, r.x1))) {
+      ring.push_back(warp.Apply({r.x1, y}));
+    }
+    // Top edge (right to left): x1 corner then interior samples reversed.
+    {
+      auto xs = axis_samples(r.x0, r.x1, junctions_at(corners_at_y, r.y1));
+      ring.push_back(warp.Apply({r.x1, r.y1}));
+      for (size_t i = xs.size(); i-- > 1;) {
+        ring.push_back(warp.Apply({xs[i], r.y1}));
+      }
+    }
+    // Left edge (top to bottom): y1 corner then interior samples reversed.
+    {
+      auto ys = axis_samples(r.y0, r.y1, junctions_at(corners_at_x, r.x0));
+      ring.push_back(warp.Apply({r.x0, r.y1}));
+      for (size_t i = ys.size(); i-- > 1;) {
+        ring.push_back(warp.Apply({r.x0, ys[i]}));
+      }
+    }
+    geom::Polygon poly(std::move(ring));
+    poly.Normalize();
+    regions.polys.push_back(std::move(poly));
+  }
+
+  // --- 3. Region ids (optionally fold polygons into multi-part regions).
+  const size_t n = regions.polys.size();
+  regions.region_of.resize(n);
+  for (size_t i = 0; i < n; ++i) regions.region_of[i] = static_cast<uint32_t>(i);
+  if (config.multi_fraction > 0.0 && n >= 2) {
+    const size_t folds = static_cast<size_t>(config.multi_fraction * n);
+    for (size_t f = 0; f < folds; ++f) {
+      const size_t a = rng.Below(n);
+      const size_t b = rng.Below(n);
+      if (a != b) regions.region_of[a] = regions.region_of[b];
+    }
+    // Path-compress and densify ids.
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t r = regions.region_of[i];
+      while (regions.region_of[r] != r) r = regions.region_of[r];
+      regions.region_of[i] = r;
+    }
+  }
+  std::vector<int64_t> remap(n, -1);
+  uint32_t next_id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t root = regions.region_of[i];
+    if (remap[root] < 0) remap[root] = next_id++;
+    regions.region_of[i] = static_cast<uint32_t>(remap[root]);
+  }
+  regions.num_regions = next_id;
+  regions.names.resize(regions.num_regions);
+  for (size_t r = 0; r < regions.num_regions; ++r) {
+    regions.names[r] = "R" + std::to_string(r);
+  }
+  return regions;
+}
+
+RegionConfig BoroughsConfig(const geom::Box& universe) {
+  RegionConfig c;
+  c.universe = universe;
+  c.num_polygons = 5;
+  c.target_avg_vertices = 663.0;
+  c.seed = 501;
+  return c;
+}
+
+RegionConfig NeighborhoodsConfig(const geom::Box& universe) {
+  RegionConfig c;
+  c.universe = universe;
+  c.num_polygons = 289;
+  c.target_avg_vertices = 30.6;
+  c.multi_fraction = 0.1;  // ~260 regions out of 289 polygons, as in Fig 7.
+  c.seed = 502;
+  return c;
+}
+
+RegionConfig CensusConfig(const geom::Box& universe, size_t num_polygons) {
+  RegionConfig c;
+  c.universe = universe;
+  c.num_polygons = num_polygons;  // Paper: 39,200; benches scale down.
+  c.target_avg_vertices = 13.6;
+  c.seed = 503;
+  return c;
+}
+
+}  // namespace dbsa::data

@@ -1,0 +1,39 @@
+// Synthetic administrative-region generator — the stand-in for the NYC
+// polygon datasets (Boroughs: 5 polygons / 663 avg vertices,
+// Neighborhoods: 289 / 30.6, Census: 39,200 / 13.6). A KD subdivision of
+// the universe is pushed through a smooth global warp; because shared
+// edges are sampled on a global lattice (plus all split coordinates) and
+// warped pointwise, the regions tile the universe exactly — every point
+// belongs to exactly one region, as with real administrative boundaries.
+
+#ifndef DBSA_DATA_REGIONS_H_
+#define DBSA_DATA_REGIONS_H_
+
+#include "data/dataset.h"
+
+namespace dbsa::data {
+
+struct RegionConfig {
+  geom::Box universe = geom::Box(0.0, 0.0, 65536.0, 65536.0);
+  size_t num_polygons = 289;
+  double target_avg_vertices = 30.0;
+  /// Warp displacement as a fraction of the edge-sampling step.
+  double warp_amplitude_frac = 0.35;
+  /// Fraction of polygons folded into other polygons' regions, producing
+  /// multi-polygon regions (the paper's Neighborhoods contain some).
+  double multi_fraction = 0.0;
+  uint64_t seed = 7;
+};
+
+/// Generates a tiling region set per the config.
+RegionSet GenerateRegions(const RegionConfig& config);
+
+/// Presets calibrated to the paper's datasets, scaled by `scale` (1.0 =
+/// paper-sized polygon counts; benches use smaller scales for Census).
+RegionConfig BoroughsConfig(const geom::Box& universe);
+RegionConfig NeighborhoodsConfig(const geom::Box& universe);
+RegionConfig CensusConfig(const geom::Box& universe, size_t num_polygons = 3920);
+
+}  // namespace dbsa::data
+
+#endif  // DBSA_DATA_REGIONS_H_

@@ -1,0 +1,80 @@
+#include "data/taxi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace dbsa::data {
+
+PointSet GenerateTaxiPoints(size_t n, const TaxiConfig& config) {
+  Rng rng(config.seed);
+  const geom::Box& u = config.universe;
+
+  // Hotspot centers: one dominant core plus secondary centers.
+  struct Hotspot {
+    geom::Point center;
+    double sigma;
+    double weight;
+  };
+  std::vector<Hotspot> hotspots;
+  const geom::Point core{u.min.x + u.Width() * 0.45, u.min.y + u.Height() * 0.55};
+  hotspots.push_back({core, u.Width() * 0.04, 0.4});
+  for (int h = 1; h < std::max(config.num_hotspots, 1); ++h) {
+    Hotspot hs;
+    hs.center = {rng.Uniform(u.min.x + u.Width() * 0.1, u.max.x - u.Width() * 0.1),
+                 rng.Uniform(u.min.y + u.Height() * 0.1, u.max.y - u.Height() * 0.1)};
+    hs.sigma = u.Width() * rng.Uniform(0.01, 0.05);
+    hs.weight = rng.Uniform(0.2, 1.0);
+    hotspots.push_back(hs);
+  }
+  double total_weight = 0.0;
+  for (const Hotspot& hs : hotspots) total_weight += hs.weight;
+
+  PointSet points;
+  points.locs.reserve(n);
+  points.fare.reserve(n);
+  points.passengers.reserve(n);
+  points.hour.reserve(n);
+
+  const double diag = std::sqrt(u.Width() * u.Width() + u.Height() * u.Height());
+  for (size_t i = 0; i < n; ++i) {
+    geom::Point p;
+    if (rng.Bernoulli(config.hotspot_fraction)) {
+      // Pick a hotspot by weight.
+      double pick = rng.Uniform() * total_weight;
+      size_t h = 0;
+      while (h + 1 < hotspots.size() && pick > hotspots[h].weight) {
+        pick -= hotspots[h].weight;
+        ++h;
+      }
+      const Hotspot& hs = hotspots[h];
+      do {
+        p = {rng.Gaussian(hs.center.x, hs.sigma), rng.Gaussian(hs.center.y, hs.sigma)};
+      } while (!u.Contains(p));
+    } else {
+      p = {rng.Uniform(u.min.x, u.max.x), rng.Uniform(u.min.y, u.max.y)};
+    }
+    points.locs.push_back(p);
+
+    // Fare: lognormal base plus a distance-from-core component.
+    const double dist_frac = geom::Distance(p, core) / diag;
+    const double fare = std::exp(rng.Gaussian(2.2, 0.45)) + 25.0 * dist_frac;
+    points.fare.push_back(fare);
+    points.passengers.push_back(static_cast<uint8_t>(1 + rng.Below(6)));
+    // Hour with rush-hour humps at 8-9 and 17-19.
+    const double r = rng.Uniform();
+    int hour;
+    if (r < 0.25) {
+      hour = 8 + static_cast<int>(rng.Below(2));
+    } else if (r < 0.55) {
+      hour = 17 + static_cast<int>(rng.Below(3));
+    } else {
+      hour = static_cast<int>(rng.Below(24));
+    }
+    points.hour.push_back(static_cast<uint8_t>(hour));
+  }
+  return points;
+}
+
+}  // namespace dbsa::data

@@ -1,0 +1,27 @@
+// Synthetic taxi-trip generator — the stand-in for the NYC TLC trip data
+// the paper joins (1.2B pickups, 2009-2016). Pickup locations follow a
+// hotspot mixture (a dense core plus secondary centers over a uniform
+// floor), matching the skew that makes the paper's experiments
+// interesting; fares correlate with distance from the core.
+
+#ifndef DBSA_DATA_TAXI_H_
+#define DBSA_DATA_TAXI_H_
+
+#include "data/dataset.h"
+
+namespace dbsa::data {
+
+/// Configuration of the synthetic city.
+struct TaxiConfig {
+  geom::Box universe = geom::Box(0.0, 0.0, 65536.0, 65536.0);  ///< ~65 km side.
+  int num_hotspots = 12;
+  double hotspot_fraction = 0.85;  ///< Points drawn from hotspots vs uniform.
+  uint64_t seed = 20210111;        ///< CIDR'21 started Jan 11, 2021.
+};
+
+/// Generates n trip pickups.
+PointSet GenerateTaxiPoints(size_t n, const TaxiConfig& config = {});
+
+}  // namespace dbsa::data
+
+#endif  // DBSA_DATA_TAXI_H_

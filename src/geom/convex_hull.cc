@@ -1,0 +1,38 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+
+namespace dbsa::geom {
+
+Ring ConvexHull(std::vector<Point> pts) {
+  std::sort(pts.begin(), pts.end(), [](const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const size_t n = pts.size();
+  if (n < 3) return pts;
+
+  Ring hull(2 * n);
+  size_t k = 0;
+  // Lower chain.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Orient(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  // Upper chain.
+  const size_t lower = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower && Orient(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  return hull;
+}
+
+Ring ConvexHullOf(const Polygon& poly) {
+  std::vector<Point> pts = poly.outer();
+  for (const Ring& h : poly.holes()) pts.insert(pts.end(), h.begin(), h.end());
+  return ConvexHull(std::move(pts));
+}
+
+}  // namespace dbsa::geom

@@ -1,0 +1,23 @@
+// Convex hull (Andrew's monotone chain) — substrate for the CH, RMBR and
+// n-corner approximations from Brinkhoff et al. that the paper surveys.
+
+#ifndef DBSA_GEOM_CONVEX_HULL_H_
+#define DBSA_GEOM_CONVEX_HULL_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/polygon.h"
+
+namespace dbsa::geom {
+
+/// Returns the convex hull as a CCW ring (no repeated endpoint). Degenerate
+/// inputs (< 3 distinct points) return what is available.
+Ring ConvexHull(std::vector<Point> points);
+
+/// Hull of all polygon vertices (outer ring and holes).
+Ring ConvexHullOf(const Polygon& poly);
+
+}  // namespace dbsa::geom
+
+#endif  // DBSA_GEOM_CONVEX_HULL_H_

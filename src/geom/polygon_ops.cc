@@ -1,0 +1,91 @@
+#include "geom/polygon_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/segment.h"
+
+namespace dbsa::geom {
+
+BoxRelation ClassifyBox(const Polygon& poly, const Box& box) {
+  if (!poly.bounds().Intersects(box)) return BoxRelation::kOutside;
+  if (poly.BoundaryIntersectsBox(box)) return BoxRelation::kBoundary;
+  // No boundary crossing: the box is homogeneously inside or outside; the
+  // center decides.
+  return poly.Contains(box.Center()) ? BoxRelation::kInside : BoxRelation::kOutside;
+}
+
+namespace {
+
+// Clips `in` against the half-plane `inside(p)`, with `intersect(a, b)`
+// giving the edge/boundary intersection point.
+template <typename InsideFn, typename IntersectFn>
+Ring ClipHalfPlane(const Ring& in, InsideFn inside, IntersectFn intersect) {
+  Ring out;
+  const size_t n = in.size();
+  if (n == 0) return out;
+  out.reserve(n + 4);
+  for (size_t i = 0; i < n; ++i) {
+    const Point& cur = in[i];
+    const Point& nxt = in[(i + 1 == n) ? 0 : i + 1];
+    const bool cur_in = inside(cur);
+    const bool nxt_in = inside(nxt);
+    if (cur_in) {
+      out.push_back(cur);
+      if (!nxt_in) out.push_back(intersect(cur, nxt));
+    } else if (nxt_in) {
+      out.push_back(intersect(cur, nxt));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Ring ClipRingToBox(const Ring& ring, const Box& box) {
+  Ring r = ring;
+  r = ClipHalfPlane(
+      r, [&](const Point& p) { return p.x >= box.min.x; },
+      [&](const Point& a, const Point& b) {
+        const double t = (box.min.x - a.x) / (b.x - a.x);
+        return Point{box.min.x, a.y + t * (b.y - a.y)};
+      });
+  r = ClipHalfPlane(
+      r, [&](const Point& p) { return p.x <= box.max.x; },
+      [&](const Point& a, const Point& b) {
+        const double t = (box.max.x - a.x) / (b.x - a.x);
+        return Point{box.max.x, a.y + t * (b.y - a.y)};
+      });
+  r = ClipHalfPlane(
+      r, [&](const Point& p) { return p.y >= box.min.y; },
+      [&](const Point& a, const Point& b) {
+        const double t = (box.min.y - a.y) / (b.y - a.y);
+        return Point{a.x + t * (b.x - a.x), box.min.y};
+      });
+  r = ClipHalfPlane(
+      r, [&](const Point& p) { return p.y <= box.max.y; },
+      [&](const Point& a, const Point& b) {
+        const double t = (box.max.y - a.y) / (b.y - a.y);
+        return Point{a.x + t * (b.x - a.x), box.max.y};
+      });
+  return r;
+}
+
+double PolygonBoxIntersectionArea(const Polygon& poly, const Box& box) {
+  if (!poly.bounds().Intersects(box)) return 0.0;
+  const Ring outer_clip = ClipRingToBox(poly.outer(), box);
+  double area = std::fabs(SignedArea(outer_clip));
+  for (const Ring& h : poly.holes()) {
+    const Ring hole_clip = ClipRingToBox(h, box);
+    area -= std::fabs(SignedArea(hole_clip));
+  }
+  return std::max(area, 0.0);
+}
+
+double BoxCoverageFraction(const Polygon& poly, const Box& box) {
+  const double ba = box.Area();
+  if (ba <= 0.0) return 0.0;
+  return std::clamp(PolygonBoxIntersectionArea(poly, box) / ba, 0.0, 1.0);
+}
+
+}  // namespace dbsa::geom

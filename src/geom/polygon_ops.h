@@ -1,0 +1,33 @@
+// Polygon-vs-box operations used by the rasterizer (cell classification)
+// and by the coverage-fraction computation of non-conservative rasters.
+
+#ifndef DBSA_GEOM_POLYGON_OPS_H_
+#define DBSA_GEOM_POLYGON_OPS_H_
+
+#include "geom/polygon.h"
+
+namespace dbsa::geom {
+
+/// Relationship of a box to a polygon.
+enum class BoxRelation {
+  kOutside,   ///< No overlap at all.
+  kBoundary,  ///< Overlaps the polygon boundary.
+  kInside,    ///< Entirely inside the polygon (no hole intrusion).
+};
+
+/// Exact classification of a cell box against a polygon.
+BoxRelation ClassifyBox(const Polygon& poly, const Box& box);
+
+/// Clips a ring to a box (Sutherland-Hodgman). The result may be empty.
+Ring ClipRingToBox(const Ring& ring, const Box& box);
+
+/// Area of (polygon intersect box), computed by clipping. Holes are
+/// clipped and subtracted.
+double PolygonBoxIntersectionArea(const Polygon& poly, const Box& box);
+
+/// Fraction of the box covered by the polygon, in [0, 1].
+double BoxCoverageFraction(const Polygon& poly, const Box& box);
+
+}  // namespace dbsa::geom
+
+#endif  // DBSA_GEOM_POLYGON_OPS_H_

@@ -1,0 +1,95 @@
+// Line-segment predicates: intersection tests and point-to-segment
+// distances. These are the inner loops of the PIP tests and of the
+// Hausdorff computations, so they are header-only and branch-light.
+
+#ifndef DBSA_GEOM_SEGMENT_H_
+#define DBSA_GEOM_SEGMENT_H_
+
+#include <algorithm>
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace dbsa::geom {
+
+/// A line segment between two points.
+struct Segment {
+  Point a;
+  Point b;
+
+  Segment() = default;
+  Segment(Point pa, Point pb) : a(pa), b(pb) {}
+
+  Box Bounds() const {
+    Box box;
+    box.Extend(a);
+    box.Extend(b);
+    return box;
+  }
+};
+
+/// Squared distance from point p to segment (a, b).
+inline double DistancePointSegment2(const Point& p, const Point& a, const Point& b) {
+  const Point ab = b - a;
+  const double len2 = ab.Norm2();
+  if (len2 <= 0.0) return Distance2(p, a);
+  double t = (p - a).Dot(ab) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const Point proj = a + ab * t;
+  return Distance2(p, proj);
+}
+
+/// Distance from point p to segment (a, b).
+inline double DistancePointSegment(const Point& p, const Point& a, const Point& b) {
+  return std::sqrt(DistancePointSegment2(p, a, b));
+}
+
+/// True iff point q lies on segment (a, b), assuming collinearity.
+inline bool OnSegment(const Point& a, const Point& b, const Point& q) {
+  return q.x >= std::min(a.x, b.x) && q.x <= std::max(a.x, b.x) &&
+         q.y >= std::min(a.y, b.y) && q.y <= std::max(a.y, b.y);
+}
+
+/// Proper-or-touching intersection test for segments (p1,p2) and (q1,q2).
+inline bool SegmentsIntersect(const Point& p1, const Point& p2, const Point& q1,
+                              const Point& q2) {
+  const double o1 = Orient(p1, p2, q1);
+  const double o2 = Orient(p1, p2, q2);
+  const double o3 = Orient(q1, q2, p1);
+  const double o4 = Orient(q1, q2, p2);
+
+  if (((o1 > 0) != (o2 > 0)) && ((o3 > 0) != (o4 > 0)) && o1 != 0 && o2 != 0 &&
+      o3 != 0 && o4 != 0) {
+    return true;
+  }
+  // Collinear / touching cases.
+  if (o1 == 0 && OnSegment(p1, p2, q1)) return true;
+  if (o2 == 0 && OnSegment(p1, p2, q2)) return true;
+  if (o3 == 0 && OnSegment(q1, q2, p1)) return true;
+  if (o4 == 0 && OnSegment(q1, q2, p2)) return true;
+  return false;
+}
+
+/// Squared distance between two segments (0 if they intersect).
+inline double DistanceSegmentSegment2(const Point& p1, const Point& p2,
+                                      const Point& q1, const Point& q2) {
+  if (SegmentsIntersect(p1, p2, q1, q2)) return 0.0;
+  return std::min({DistancePointSegment2(p1, q1, q2), DistancePointSegment2(p2, q1, q2),
+                   DistancePointSegment2(q1, p1, p2), DistancePointSegment2(q2, p1, p2)});
+}
+
+/// True iff segment (a, b) intersects the (closed) box.
+inline bool SegmentIntersectsBox(const Point& a, const Point& b, const Box& box) {
+  if (box.Contains(a) || box.Contains(b)) return true;
+  if (!box.Intersects(Segment(a, b).Bounds())) return false;
+  const Point c0 = box.min;
+  const Point c1{box.max.x, box.min.y};
+  const Point c2 = box.max;
+  const Point c3{box.min.x, box.max.y};
+  return SegmentsIntersect(a, b, c0, c1) || SegmentsIntersect(a, b, c1, c2) ||
+         SegmentsIntersect(a, b, c2, c3) || SegmentsIntersect(a, b, c3, c0);
+}
+
+}  // namespace dbsa::geom
+
+#endif  // DBSA_GEOM_SEGMENT_H_

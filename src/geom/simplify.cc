@@ -1,0 +1,90 @@
+#include "geom/simplify.h"
+
+#include <algorithm>
+
+#include "geom/segment.h"
+
+namespace dbsa::geom {
+
+namespace {
+
+// Marks kept vertices in [first, last] (inclusive) recursively.
+void DouglasPeucker(const std::vector<Point>& pts, size_t first, size_t last,
+                    double eps2, std::vector<bool>* keep) {
+  if (last <= first + 1) return;
+  double worst = 0.0;
+  size_t worst_i = first;
+  for (size_t i = first + 1; i < last; ++i) {
+    const double d2 = DistancePointSegment2(pts[i], pts[first], pts[last]);
+    if (d2 > worst) {
+      worst = d2;
+      worst_i = i;
+    }
+  }
+  if (worst > eps2) {
+    (*keep)[worst_i] = true;
+    DouglasPeucker(pts, first, worst_i, eps2, keep);
+    DouglasPeucker(pts, worst_i, last, eps2, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<Point> SimplifyPolyline(const std::vector<Point>& line, double epsilon) {
+  const size_t n = line.size();
+  if (n <= 2) return line;
+  std::vector<bool> keep(n, false);
+  keep.front() = keep.back() = true;
+  DouglasPeucker(line, 0, n - 1, epsilon * epsilon, &keep);
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) out.push_back(line[i]);
+  }
+  return out;
+}
+
+Ring SimplifyRing(const Ring& ring, double epsilon) {
+  const size_t n = ring.size();
+  if (n <= 3) return ring;
+  // Pin the two x-extreme vertices and simplify the two arcs between
+  // them; this keeps the ring closed and non-degenerate.
+  size_t lo = 0, hi = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (ring[i].x < ring[lo].x) lo = i;
+    if (ring[i].x > ring[hi].x) hi = i;
+  }
+  if (lo == hi) return ring;  // Degenerate (all same x).
+
+  auto arc = [&](size_t from, size_t to) {
+    std::vector<Point> pts;
+    for (size_t i = from; i != to; i = (i + 1) % n) pts.push_back(ring[i]);
+    pts.push_back(ring[to]);
+    return pts;
+  };
+  const std::vector<Point> a = SimplifyPolyline(arc(lo, hi), epsilon);
+  const std::vector<Point> b = SimplifyPolyline(arc(hi, lo), epsilon);
+
+  Ring out;
+  out.reserve(a.size() + b.size() - 2);
+  out.insert(out.end(), a.begin(), a.end() - 1);  // lo .. hi-1 simplified.
+  out.insert(out.end(), b.begin(), b.end() - 1);  // hi .. lo-1 simplified.
+  if (out.size() < 3) return ring;
+  return out;
+}
+
+Polygon SimplifyPolygon(const Polygon& poly, double epsilon) {
+  Ring outer = SimplifyRing(poly.outer(), epsilon);
+  std::vector<Ring> holes;
+  for (const Ring& h : poly.holes()) {
+    Ring hs = SimplifyRing(h, epsilon);
+    if (hs.size() >= 3 && std::fabs(SignedArea(hs)) > 0.0) {
+      holes.push_back(std::move(hs));
+    }
+  }
+  Polygon out(std::move(outer), std::move(holes));
+  out.Normalize();
+  return out;
+}
+
+}  // namespace dbsa::geom

@@ -1,0 +1,29 @@
+// Distance-bounded polyline/polygon simplification (Douglas-Peucker).
+// The vector-space counterpart of the paper's raster approximations: the
+// simplified ring stays within Hausdorff distance epsilon of the
+// original in the simplified->original direction, which makes it another
+// epsilon-approximation in the Section 2.2 sense (without the raster's
+// conservative one-sidedness).
+
+#ifndef DBSA_GEOM_SIMPLIFY_H_
+#define DBSA_GEOM_SIMPLIFY_H_
+
+#include "geom/polygon.h"
+
+namespace dbsa::geom {
+
+/// Douglas-Peucker on an open polyline: keeps endpoints, drops interior
+/// vertices whose deviation from the simplified chain is <= epsilon.
+std::vector<Point> SimplifyPolyline(const std::vector<Point>& line, double epsilon);
+
+/// Simplifies a ring (closed). The two extreme vertices are pinned so the
+/// result stays a valid ring; output has >= 3 vertices.
+Ring SimplifyRing(const Ring& ring, double epsilon);
+
+/// Simplifies every ring of a polygon; holes that collapse below 3
+/// vertices are dropped.
+Polygon SimplifyPolygon(const Polygon& poly, double epsilon);
+
+}  // namespace dbsa::geom
+
+#endif  // DBSA_GEOM_SIMPLIFY_H_

@@ -1,0 +1,203 @@
+#include "geom/wkt.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbsa::geom {
+
+namespace {
+
+// Simple recursive-descent scanner over the WKT text.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : s_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeKeyword(const char* kw) {
+    SkipSpace();
+    size_t p = pos_;
+    for (const char* c = kw; *c; ++c, ++p) {
+      if (p >= s_.size() || std::toupper(static_cast<unsigned char>(s_[p])) != *c) {
+        return false;
+      }
+    }
+    pos_ = p;
+    return true;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  bool ParseDouble(double* out) {
+    SkipSpace();
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<size_t>(end - start);
+    *out = v;
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= s_.size();
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+Status ParseCoord(Scanner* sc, Point* out) {
+  if (!sc->ParseDouble(&out->x)) return Status::InvalidArgument("expected x coordinate");
+  if (!sc->ParseDouble(&out->y)) return Status::InvalidArgument("expected y coordinate");
+  return Status::OK();
+}
+
+Status ParseRing(Scanner* sc, Ring* out) {
+  if (!sc->Consume('(')) return Status::InvalidArgument("expected '(' starting ring");
+  out->clear();
+  do {
+    Point p;
+    Status st = ParseCoord(sc, &p);
+    if (!st.ok()) return st;
+    out->push_back(p);
+  } while (sc->Consume(','));
+  if (!sc->Consume(')')) return Status::InvalidArgument("expected ')' ending ring");
+  // WKT repeats the first vertex at the end; drop the duplicate.
+  if (out->size() >= 2 && out->front() == out->back()) out->pop_back();
+  if (out->size() < 3) return Status::InvalidArgument("ring needs >= 3 vertices");
+  return Status::OK();
+}
+
+Status ParsePolygonBody(Scanner* sc, Polygon* out) {
+  if (!sc->Consume('(')) return Status::InvalidArgument("expected '(' starting polygon");
+  Ring outer;
+  Status st = ParseRing(sc, &outer);
+  if (!st.ok()) return st;
+  std::vector<Ring> holes;
+  while (sc->Consume(',')) {
+    Ring h;
+    st = ParseRing(sc, &h);
+    if (!st.ok()) return st;
+    holes.push_back(std::move(h));
+  }
+  if (!sc->Consume(')')) return Status::InvalidArgument("expected ')' ending polygon");
+  *out = Polygon(std::move(outer), std::move(holes));
+  out->Normalize();
+  return Status::OK();
+}
+
+void AppendRing(std::string* out, const Ring& r) {
+  out->push_back('(');
+  char buf[64];
+  for (size_t i = 0; i <= r.size(); ++i) {
+    const Point& p = r[i % r.size()];  // Repeat the first vertex to close.
+    std::snprintf(buf, sizeof(buf), "%s%.10g %.10g", i == 0 ? "" : ", ", p.x, p.y);
+    out->append(buf);
+  }
+  out->push_back(')');
+}
+
+void AppendPolygonBody(std::string* out, const Polygon& poly) {
+  out->push_back('(');
+  AppendRing(out, poly.outer());
+  for (const Ring& h : poly.holes()) {
+    out->append(", ");
+    AppendRing(out, h);
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+StatusOr<Point> ParseWktPoint(const std::string& wkt) {
+  Scanner sc(wkt);
+  if (!sc.ConsumeKeyword("POINT")) return Status::InvalidArgument("expected POINT");
+  if (!sc.Consume('(')) return Status::InvalidArgument("expected '('");
+  Point p;
+  Status st = ParseCoord(&sc, &p);
+  if (!st.ok()) return st;
+  if (!sc.Consume(')')) return Status::InvalidArgument("expected ')'");
+  if (!sc.AtEnd()) return Status::InvalidArgument("trailing characters after POINT");
+  return p;
+}
+
+StatusOr<Polygon> ParseWktPolygon(const std::string& wkt) {
+  Scanner sc(wkt);
+  if (!sc.ConsumeKeyword("POLYGON")) return Status::InvalidArgument("expected POLYGON");
+  Polygon poly;
+  Status st = ParsePolygonBody(&sc, &poly);
+  if (!st.ok()) return st;
+  if (!sc.AtEnd()) return Status::InvalidArgument("trailing characters after POLYGON");
+  return poly;
+}
+
+StatusOr<MultiPolygon> ParseWktMultiPolygon(const std::string& wkt) {
+  Scanner sc(wkt);
+  if (sc.ConsumeKeyword("MULTIPOLYGON")) {
+    if (!sc.Consume('(')) return Status::InvalidArgument("expected '('");
+    std::vector<Polygon> parts;
+    do {
+      Polygon poly;
+      Status st = ParsePolygonBody(&sc, &poly);
+      if (!st.ok()) return st;
+      parts.push_back(std::move(poly));
+    } while (sc.Consume(','));
+    if (!sc.Consume(')')) return Status::InvalidArgument("expected ')'");
+    if (!sc.AtEnd()) {
+      return Status::InvalidArgument("trailing characters after MULTIPOLYGON");
+    }
+    return MultiPolygon(std::move(parts));
+  }
+  // Fall back: accept a single POLYGON as a one-part multi-polygon.
+  StatusOr<Polygon> poly = ParseWktPolygon(wkt);
+  if (!poly.ok()) return poly.status();
+  std::vector<Polygon> parts;
+  parts.push_back(std::move(poly.value()));
+  return MultiPolygon(std::move(parts));
+}
+
+std::string ToWkt(const Point& p) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "POINT (%.10g %.10g)", p.x, p.y);
+  return buf;
+}
+
+std::string ToWkt(const Polygon& poly) {
+  std::string out = "POLYGON ";
+  AppendPolygonBody(&out, poly);
+  return out;
+}
+
+std::string ToWkt(const MultiPolygon& mp) {
+  std::string out = "MULTIPOLYGON (";
+  for (size_t i = 0; i < mp.parts().size(); ++i) {
+    if (i) out.append(", ");
+    AppendPolygonBody(&out, mp.parts()[i]);
+  }
+  out.push_back(')');
+  return out;
+}
+
+}  // namespace dbsa::geom

@@ -1,0 +1,30 @@
+// Minimal WKT (Well-Known Text) reader/writer for POINT, POLYGON and
+// MULTIPOLYGON — the interchange format for examples and tests.
+
+#ifndef DBSA_GEOM_WKT_H_
+#define DBSA_GEOM_WKT_H_
+
+#include <string>
+
+#include "geom/polygon.h"
+#include "util/status.h"
+
+namespace dbsa::geom {
+
+/// Parses "POINT (x y)".
+StatusOr<Point> ParseWktPoint(const std::string& wkt);
+
+/// Parses "POLYGON ((x y, ...), (hole...))".
+StatusOr<Polygon> ParseWktPolygon(const std::string& wkt);
+
+/// Parses "MULTIPOLYGON (((...)), ((...)))" (also accepts plain POLYGON).
+StatusOr<MultiPolygon> ParseWktMultiPolygon(const std::string& wkt);
+
+/// Serializers.
+std::string ToWkt(const Point& p);
+std::string ToWkt(const Polygon& poly);
+std::string ToWkt(const MultiPolygon& mp);
+
+}  // namespace dbsa::geom
+
+#endif  // DBSA_GEOM_WKT_H_

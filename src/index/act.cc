@@ -1,0 +1,110 @@
+#include "index/act.h"
+
+#include "util/check.h"
+
+namespace dbsa::index {
+
+namespace {
+constexpr uint32_t kBoundaryBit = 0x80000000u;
+}  // namespace
+
+ActIndex::ActIndex(int levels_per_node) : levels_per_node_(levels_per_node) {
+  DBSA_CHECK(levels_per_node >= 1 && levels_per_node <= 8);
+  DBSA_CHECK(raster::CellId::kMaxLevel % levels_per_node == 0);
+  slots_per_node_ = 1u << (2 * levels_per_node);
+  nodes_.resize(slots_per_node_);  // Root = node 0.
+}
+
+uint32_t ActIndex::EnsureChild(uint32_t node, uint32_t slot_idx) {
+  Slot& slot = nodes_[static_cast<size_t>(node) * slots_per_node_ + slot_idx];
+  if (slot.child == 0) {
+    const uint32_t new_node = static_cast<uint32_t>(nodes_.size() / slots_per_node_);
+    nodes_.resize(nodes_.size() + slots_per_node_);
+    // resize may invalidate `slot`; re-fetch.
+    nodes_[static_cast<size_t>(node) * slots_per_node_ + slot_idx].child = new_node + 1;
+    return new_node;
+  }
+  return slot.child - 1;
+}
+
+void ActIndex::PushValue(uint32_t node, uint32_t slot_idx, uint32_t value,
+                         bool boundary) {
+  DBSA_DCHECK((value & kBoundaryBit) == 0);
+  ValueEntry entry;
+  entry.payload = value | (boundary ? kBoundaryBit : 0);
+  Slot& slot = nodes_[static_cast<size_t>(node) * slots_per_node_ + slot_idx];
+  entry.next = slot.value;
+  values_.push_back(entry);
+  slot.value = static_cast<uint32_t>(values_.size());  // Index + 1.
+}
+
+void ActIndex::Insert(const raster::CellId& cell, uint32_t value, bool boundary) {
+  const int level = cell.level();
+  DBSA_CHECK(level >= 1);  // A level-0 cell would cover the whole universe.
+  const uint64_t prefix = cell.prefix();
+
+  uint32_t node = 0;
+  int base = 0;  // The current node spans quad levels (base, base+s].
+  const int s = levels_per_node_;
+  while (level > base + s) {
+    const uint32_t slot_idx = static_cast<uint32_t>(
+        (prefix >> (2 * (level - base - s))) & (slots_per_node_ - 1));
+    node = EnsureChild(node, slot_idx);
+    base += s;
+  }
+  // The cell's level is in (base, base+s]: it covers 4^(base+s-level)
+  // slots of this node; replicate the value over that slot range.
+  const int rem = level - base;                  // 1..s
+  const int expand = s - rem;                    // Levels below the cell.
+  const uint64_t cell_bits = prefix & ((1ull << (2 * rem)) - 1);
+  const uint32_t first_slot = static_cast<uint32_t>(cell_bits << (2 * expand));
+  const uint32_t span = 1u << (2 * expand);
+  for (uint32_t i = 0; i < span; ++i) {
+    PushValue(node, first_slot + i, value, boundary);
+  }
+}
+
+void ActIndex::Lookup(uint64_t leaf_key, std::vector<ActMatch>* out) const {
+  out->clear();
+  uint32_t node = 0;
+  int base = 0;
+  const int s = levels_per_node_;
+  const int max_level = raster::CellId::kMaxLevel;
+  while (true) {
+    const int shift = 2 * (max_level - base - s);
+    const uint32_t slot_idx =
+        static_cast<uint32_t>((leaf_key >> shift) & (slots_per_node_ - 1));
+    const Slot& slot = nodes_[static_cast<size_t>(node) * slots_per_node_ + slot_idx];
+    for (uint32_t v = slot.value; v != 0; v = values_[v - 1].next) {
+      const uint32_t payload = values_[v - 1].payload;
+      out->push_back({payload & ~kBoundaryBit, (payload & kBoundaryBit) != 0});
+    }
+    if (slot.child == 0 || base + s >= max_level) break;
+    node = slot.child - 1;
+    base += s;
+  }
+}
+
+bool ActIndex::LookupFirst(uint64_t leaf_key, ActMatch* out) const {
+  uint32_t node = 0;
+  int base = 0;
+  const int s = levels_per_node_;
+  const int max_level = raster::CellId::kMaxLevel;
+  while (true) {
+    const int shift = 2 * (max_level - base - s);
+    const uint32_t slot_idx =
+        static_cast<uint32_t>((leaf_key >> shift) & (slots_per_node_ - 1));
+    const Slot& slot = nodes_[static_cast<size_t>(node) * slots_per_node_ + slot_idx];
+    if (slot.value != 0) {
+      const uint32_t payload = values_[slot.value - 1].payload;
+      out->value = payload & ~kBoundaryBit;
+      out->boundary = (payload & kBoundaryBit) != 0;
+      return true;
+    }
+    if (slot.child == 0 || base + s >= max_level) return false;
+    node = slot.child - 1;
+    base += s;
+  }
+}
+
+}  // namespace dbsa::index

@@ -1,0 +1,73 @@
+#include "index/sorted_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dbsa::index {
+
+SortedKeyArray SortedKeyArray::Build(std::vector<uint64_t> keys) {
+  SortedKeyArray arr;
+  std::sort(keys.begin(), keys.end());
+  arr.keys_ = std::move(keys);
+  return arr;
+}
+
+size_t SortedKeyArray::LowerBoundFrom(uint64_t key, size_t begin, size_t end) const {
+  // Branch-reduced binary search over [begin, end).
+  const uint64_t* base = keys_.data() + begin;
+  size_t n = end - begin;
+  while (n > 1) {
+    const size_t half = n / 2;
+    base = (base[half - 1] < key) ? base + half : base;
+    n -= half;
+  }
+  size_t pos = static_cast<size_t>(base - keys_.data());
+  if (n == 1 && pos < end && keys_[pos] < key) ++pos;
+  return pos;
+}
+
+size_t SortedKeyArray::UpperBound(uint64_t key) const {
+  if (key == UINT64_MAX) return keys_.size();
+  return LowerBound(key + 1);
+}
+
+PrefixSumIndex PrefixSumIndex::Build(std::vector<uint64_t> keys,
+                                     std::vector<double> values) {
+  DBSA_CHECK(keys.size() == values.size());
+  const size_t n = keys.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+
+  std::vector<uint64_t> sorted_keys(n);
+  PrefixSumIndex idx;
+  idx.prefix_.resize(n + 1);
+  idx.prefix_[0] = 0.0;
+  idx.ids_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    sorted_keys[i] = keys[order[i]];
+    idx.ids_[i] = static_cast<uint32_t>(order[i]);
+    idx.prefix_[i + 1] = idx.prefix_[i] + values[order[i]];
+  }
+  SortedKeyArray arr;
+  arr = SortedKeyArray::Build(std::move(sorted_keys));  // Already sorted; cheap.
+  idx.keys_ = std::move(arr);
+  return idx;
+}
+
+size_t PrefixSumIndex::RangeCount(uint64_t lo_key, uint64_t hi_key) const {
+  const size_t lo = keys_.LowerBound(lo_key);
+  const size_t hi = keys_.UpperBound(hi_key);
+  return CountBetween(lo, hi);
+}
+
+double PrefixSumIndex::RangeSum(uint64_t lo_key, uint64_t hi_key) const {
+  const size_t lo = keys_.LowerBound(lo_key);
+  const size_t hi = keys_.UpperBound(hi_key);
+  return SumBetween(lo, hi);
+}
+
+}  // namespace dbsa::index

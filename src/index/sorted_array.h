@@ -1,0 +1,90 @@
+// Sorted-array point index with prefix-sum aggregates — the physical
+// representation of Section 3's "Point Indexing": points become sorted
+// 1-D cell keys; COUNT/SUM over a query cell's key range costs two
+// searches (Ho et al., SIGMOD'97). The searches themselves are pluggable
+// (binary search here, RadixSpline / B+-tree elsewhere).
+
+#ifndef DBSA_INDEX_SORTED_ARRAY_H_
+#define DBSA_INDEX_SORTED_ARRAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbsa::index {
+
+/// Sorted key array with branch-reduced binary search.
+class SortedKeyArray {
+ public:
+  SortedKeyArray() = default;
+
+  /// Takes ownership, sorts if needed.
+  static SortedKeyArray Build(std::vector<uint64_t> keys);
+
+  const std::vector<uint64_t>& keys() const { return keys_; }
+  size_t size() const { return keys_.size(); }
+
+  /// Index of the first key >= `key`.
+  size_t LowerBound(uint64_t key) const { return LowerBoundFrom(key, 0, keys_.size()); }
+
+  /// Index of the first key > `key`.
+  size_t UpperBound(uint64_t key) const;
+
+  /// Lower bound restricted to [begin, end) — used with learned-index
+  /// search windows.
+  size_t LowerBoundFrom(uint64_t key, size_t begin, size_t end) const;
+
+  size_t MemoryBytes() const { return keys_.size() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> keys_;
+};
+
+/// Sorted keys plus prefix sums of an attribute: range COUNT and SUM in
+/// O(search). The positions returned by any search strategy over keys()
+/// can be fed to CountBetween / SumBetween. The sort permutation is kept,
+/// so selections can map positions back to original row ids.
+class PrefixSumIndex {
+ public:
+  /// Builds from parallel key/value arrays (reordered together).
+  static PrefixSumIndex Build(std::vector<uint64_t> keys, std::vector<double> values);
+
+  /// Original row id stored at sorted position `pos`.
+  uint32_t IdAt(size_t pos) const { return ids_[pos]; }
+
+  /// Appends the original row ids in [lo_pos, hi_pos) to `out`.
+  void CollectIds(size_t lo_pos, size_t hi_pos, std::vector<uint32_t>* out) const {
+    for (size_t i = lo_pos; i < hi_pos; ++i) out->push_back(ids_[i]);
+  }
+
+  const SortedKeyArray& keys() const { return keys_; }
+  size_t size() const { return keys_.size(); }
+
+  /// COUNT of keys in [lo_key, hi_key] (inclusive).
+  size_t RangeCount(uint64_t lo_key, uint64_t hi_key) const;
+
+  /// SUM of values for keys in [lo_key, hi_key] (inclusive).
+  double RangeSum(uint64_t lo_key, uint64_t hi_key) const;
+
+  /// Aggregates between precomputed positions [lo_pos, hi_pos).
+  size_t CountBetween(size_t lo_pos, size_t hi_pos) const {
+    return hi_pos > lo_pos ? hi_pos - lo_pos : 0;
+  }
+  double SumBetween(size_t lo_pos, size_t hi_pos) const {
+    return hi_pos > lo_pos ? prefix_[hi_pos] - prefix_[lo_pos] : 0.0;
+  }
+
+  size_t MemoryBytes() const {
+    return keys_.MemoryBytes() + prefix_.size() * sizeof(double) +
+           ids_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  SortedKeyArray keys_;
+  std::vector<double> prefix_;  ///< prefix_[i] = sum of values[0..i).
+  std::vector<uint32_t> ids_;   ///< Sort permutation (original row ids).
+};
+
+}  // namespace dbsa::index
+
+#endif  // DBSA_INDEX_SORTED_ARRAY_H_

@@ -1,0 +1,79 @@
+// The paper's approximate main-memory join (Section 5.1): polygons are
+// approximated with epsilon-bounded hierarchical rasters and indexed in
+// ACT; every point probes the trie and is aggregated WITHOUT any exact
+// geometric test. All join errors are within epsilon of the true region
+// boundaries (the property tests verify this).
+
+#ifndef DBSA_JOIN_ACT_JOIN_H_
+#define DBSA_JOIN_ACT_JOIN_H_
+
+#include "index/act.h"
+#include "join/exact_join.h"
+#include "raster/grid.h"
+
+namespace dbsa::join {
+
+/// How boundary cells are assigned to regions.
+enum class BoundaryAssign {
+  /// A boundary cell belongs to the polygon whose interior contains the
+  /// cell center. For tiling region sets this yields a partition (each
+  /// point maps to exactly one region) and keeps the distance bound.
+  kCenter,
+  /// Conservative: every polygon overlapping the cell indexes it; lookups
+  /// resolve multi-matches by first match. Enables result-range bounds.
+  kConservative,
+};
+
+struct ActJoinOptions {
+  double epsilon = 4.0;  ///< The paper's Section 5.1 run uses 4 m.
+  BoundaryAssign assign = BoundaryAssign::kCenter;
+  int levels_per_node = 3;  ///< ACT radix width (quad levels per node).
+  /// Refine boundary-cell hits with an exact PIP test (and fall through
+  /// to the true owner). Interior hits stay test-free, so this gives
+  /// EXACT results with only a residual fraction of PIP tests — the
+  /// filter-and-refine mode of the ACT line of work (Kipf et al.,
+  /// EDBT'20) that the vision paper proposes dropping. Requires
+  /// BoundaryAssign::kConservative to be meaningful (a center-assigned
+  /// cell may hide the true owner).
+  bool exact_refine = false;
+};
+
+/// Epsilon-bounded ACT over a region set; probe-only approximate lookups.
+class ActJoinIndex {
+ public:
+  ActJoinIndex(const JoinInput& in, const raster::Grid& grid,
+               const ActJoinOptions& opts);
+
+  /// Approximate region of p: first matching cell's polygon, or -1.
+  /// Never performs a PIP test.
+  int64_t FindPolygon(const geom::Point& p) const;
+
+  /// Like FindPolygon but also reports whether the match was a boundary
+  /// cell (drives result-range estimation).
+  int64_t FindPolygon(const geom::Point& p, bool* boundary) const;
+
+  /// Exact containment: interior-cell hits are accepted test-free,
+  /// boundary-cell candidates are PIP-refined. Only meaningful when the
+  /// index was built with BoundaryAssign::kConservative.
+  int64_t FindPolygonExact(const geom::Point& p, size_t* pip_tests) const;
+
+  size_t MemoryBytes() const { return act_.MemoryBytes(); }
+  size_t NumCells() const { return num_cells_; }
+  double achieved_epsilon() const { return achieved_epsilon_; }
+
+ private:
+  const raster::Grid& grid_;
+  const JoinInput& in_;
+  index::ActIndex act_;
+  size_t num_cells_ = 0;
+  double achieved_epsilon_ = 0.0;
+  mutable std::vector<index::ActMatch> scratch_;
+};
+
+/// Full approximate aggregation join (index-nested-loop, zero PIP tests).
+JoinStats ActJoin(const JoinInput& in, AggKind agg, const raster::Grid& grid,
+                  const ActJoinOptions& opts = {});
+
+}  // namespace dbsa::join
+
+#endif  // DBSA_JOIN_ACT_JOIN_H_

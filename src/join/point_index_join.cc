@@ -1,0 +1,123 @@
+#include "join/point_index_join.h"
+
+namespace dbsa::join {
+
+const char* SearchStrategyName(SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::kBinarySearch:
+      return "BS";
+    case SearchStrategy::kRadixSpline:
+      return "RS";
+    case SearchStrategy::kBTree:
+      return "B+tree";
+  }
+  return "?";
+}
+
+PointIndex::PointIndex(const geom::Point* points, const double* attrs, size_t n,
+                       const raster::Grid& grid, const Options& opts)
+    : grid_(grid) {
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = grid_.LeafKey(points[i]);
+  std::vector<double> values(n, 0.0);
+  if (attrs != nullptr) values.assign(attrs, attrs + n);
+  index_ = index::PrefixSumIndex::Build(std::move(keys), std::move(values));
+  spline_ = index::RadixSpline::Build(index_.keys().keys(), opts.radix_bits,
+                                      opts.spline_error);
+  btree_ = index::StaticBTree::Build(index_.keys().keys());
+}
+
+size_t PointIndex::LowerBound(uint64_t key, SearchStrategy s) const {
+  switch (s) {
+    case SearchStrategy::kBinarySearch:
+      return index_.keys().LowerBound(key);
+    case SearchStrategy::kRadixSpline: {
+      const index::SearchBound b = spline_.Lookup(key);
+      size_t pos = index_.keys().LowerBoundFrom(key, b.begin, b.end);
+      if (pos == b.end && pos < index_.size()) {
+        // Duplicate run pushed the answer past the window (rare): finish
+        // with an unbounded search from the window end.
+        pos = index_.keys().LowerBoundFrom(key, pos, index_.size());
+      }
+      return pos;
+    }
+    case SearchStrategy::kBTree:
+      return btree_.LowerBoundRank(key);
+  }
+  return 0;
+}
+
+size_t PointIndex::UpperBound(uint64_t key, SearchStrategy s) const {
+  if (key == UINT64_MAX) return index_.size();
+  return LowerBound(key + 1, s);
+}
+
+CellAggregate PointIndex::QueryCells(const raster::HierarchicalRaster& hr,
+                                     SearchStrategy strategy) const {
+  CellAggregate agg;
+  for (const raster::HrCell& cell : hr.cells()) {
+    const uint64_t lo_key = cell.id.LeafKeyMin();
+    const uint64_t hi_key = cell.id.LeafKeyMax();
+    const size_t lo = LowerBound(lo_key, strategy);
+    const size_t hi = UpperBound(hi_key, strategy);
+    agg.searches += 2;
+    ++agg.query_cells;
+    const double cnt = static_cast<double>(index_.CountBetween(lo, hi));
+    const double sum = index_.SumBetween(lo, hi);
+    agg.count += cnt;
+    agg.sum += sum;
+    if (cell.boundary) {
+      agg.boundary_count += cnt;
+      agg.boundary_sum += sum;
+    }
+  }
+  return agg;
+}
+
+CellAggregate PointIndex::QueryCellRange(const raster::CellId& cell,
+                                         SearchStrategy strategy) const {
+  CellAggregate agg;
+  const size_t lo = LowerBound(cell.LeafKeyMin(), strategy);
+  const size_t hi = UpperBound(cell.LeafKeyMax(), strategy);
+  agg.searches = 2;
+  agg.query_cells = 1;
+  agg.count = static_cast<double>(index_.CountBetween(lo, hi));
+  agg.sum = index_.SumBetween(lo, hi);
+  return agg;
+}
+
+size_t PointIndex::SelectIds(const raster::HierarchicalRaster& hr,
+                             SearchStrategy strategy,
+                             std::vector<uint32_t>* out) const {
+  const size_t before = out->size();
+  for (const raster::HrCell& cell : hr.cells()) {
+    const size_t lo = LowerBound(cell.id.LeafKeyMin(), strategy);
+    const size_t hi = UpperBound(cell.id.LeafKeyMax(), strategy);
+    index_.CollectIds(lo, hi, out);
+  }
+  return out->size() - before;
+}
+
+CellAggregate PointIndex::QueryPolygon(const geom::Polygon& poly, size_t cells_budget,
+                                       SearchStrategy strategy) const {
+  const raster::HierarchicalRaster hr =
+      raster::HierarchicalRaster::BuildBudget(poly, grid_, cells_budget);
+  return QueryCells(hr, strategy);
+}
+
+size_t PointIndex::MemoryBytes(SearchStrategy strategy) const {
+  size_t bytes = index_.MemoryBytes();
+  switch (strategy) {
+    case SearchStrategy::kBinarySearch:
+      break;
+    case SearchStrategy::kRadixSpline:
+      bytes += spline_.MemoryBytes();
+      break;
+    case SearchStrategy::kBTree:
+      bytes += btree_.MemoryBytes();
+      break;
+  }
+  return bytes;
+}
+
+}  // namespace dbsa::join

@@ -1,0 +1,89 @@
+// Section 3's point-indexing pipeline: points are linearized to finest-
+// level cell keys and stored sorted with prefix sums; a query polygon is
+// approximated by hierarchical-raster query cells; each query cell turns
+// into one contiguous key range answered by two searches. The search
+// strategy is pluggable — binary search, RadixSpline (learned) or a
+// B+-tree — which is exactly the comparison of Figure 4.
+
+#ifndef DBSA_JOIN_POINT_INDEX_JOIN_H_
+#define DBSA_JOIN_POINT_INDEX_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/btree.h"
+#include "index/radix_spline.h"
+#include "index/sorted_array.h"
+#include "join/agg.h"
+#include "raster/grid.h"
+#include "raster/hierarchical_raster.h"
+
+namespace dbsa::join {
+
+/// Which structure answers the lower/upper-bound searches.
+enum class SearchStrategy { kBinarySearch, kRadixSpline, kBTree };
+
+const char* SearchStrategyName(SearchStrategy s);
+
+/// Aggregates returned for one query polygon.
+struct CellAggregate {
+  double count = 0.0;
+  double sum = 0.0;
+  double boundary_count = 0.0;  ///< Partial restricted to boundary cells.
+  double boundary_sum = 0.0;
+  size_t query_cells = 0;
+  size_t searches = 0;
+};
+
+/// Sorted linearized point index with prefix-sum aggregates and three
+/// interchangeable search strategies.
+class PointIndex {
+ public:
+  struct Options {
+    int radix_bits = 18;       ///< Paper: 25 at 1.2B keys; scale with data.
+    size_t spline_error = 32;  ///< Paper: 32.
+  };
+
+  PointIndex(const geom::Point* points, const double* attrs, size_t n,
+             const raster::Grid& grid, const Options& opts);
+  PointIndex(const geom::Point* points, const double* attrs, size_t n,
+             const raster::Grid& grid)
+      : PointIndex(points, attrs, n, grid, Options{}) {}
+
+  /// Answers a query polygon given its precomputed HR approximation.
+  CellAggregate QueryCells(const raster::HierarchicalRaster& hr,
+                           SearchStrategy strategy) const;
+
+  /// Convenience: approximates the polygon with a budget-driven HR first.
+  CellAggregate QueryPolygon(const geom::Polygon& poly, size_t cells_budget,
+                             SearchStrategy strategy) const;
+
+  /// Aggregates over a single cell's key range (micro-bench / building
+  /// block for custom query shapes).
+  CellAggregate QueryCellRange(const raster::CellId& cell,
+                               SearchStrategy strategy) const;
+
+  /// Approximate SELECTION: ids of all points covered by the query
+  /// approximation (no exact tests; epsilon semantics as usual). Appends
+  /// to `out`; returns the number of ids added.
+  size_t SelectIds(const raster::HierarchicalRaster& hr, SearchStrategy strategy,
+                   std::vector<uint32_t>* out) const;
+
+  const raster::Grid& grid() const { return grid_; }
+  size_t size() const { return index_.size(); }
+  size_t MemoryBytes(SearchStrategy strategy) const;
+
+ private:
+  // Positions of the first key >= key under the chosen strategy.
+  size_t LowerBound(uint64_t key, SearchStrategy s) const;
+  size_t UpperBound(uint64_t key, SearchStrategy s) const;
+
+  raster::Grid grid_;
+  index::PrefixSumIndex index_;
+  index::RadixSpline spline_;
+  index::StaticBTree btree_;
+};
+
+}  // namespace dbsa::join
+
+#endif  // DBSA_JOIN_POINT_INDEX_JOIN_H_

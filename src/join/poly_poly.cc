@@ -1,0 +1,109 @@
+#include "join/poly_poly.h"
+
+#include <algorithm>
+
+#include "geom/segment.h"
+
+namespace dbsa::join {
+
+const char* IntersectVerdictName(IntersectVerdict verdict) {
+  switch (verdict) {
+    case IntersectVerdict::kNo:
+      return "NO";
+    case IntersectVerdict::kWithinBound:
+      return "WITHIN-BOUND";
+    case IntersectVerdict::kYes:
+      return "YES";
+  }
+  return "?";
+}
+
+IntersectVerdict ApproxIntersects(const raster::HierarchicalRaster& a,
+                                  const raster::HierarchicalRaster& b) {
+  // Two sorted sequences of disjoint leaf-key ranges: sweep both.
+  const auto& ca = a.cells();
+  const auto& cb = b.cells();
+  size_t i = 0, j = 0;
+  bool boundary_overlap = false;
+  while (i < ca.size() && j < cb.size()) {
+    const uint64_t a_lo = ca[i].id.LeafKeyMin();
+    const uint64_t a_hi = ca[i].id.LeafKeyMax();
+    const uint64_t b_lo = cb[j].id.LeafKeyMin();
+    const uint64_t b_hi = cb[j].id.LeafKeyMax();
+    if (a_hi < b_lo) {
+      ++i;
+      continue;
+    }
+    if (b_hi < a_lo) {
+      ++j;
+      continue;
+    }
+    // Ranges overlap: a shared cell region.
+    if (!ca[i].boundary && !cb[j].boundary) {
+      // Interior-interior: both solids certainly cover this area.
+      return IntersectVerdict::kYes;
+    }
+    boundary_overlap = true;
+    // Advance the range that ends first.
+    if (a_hi <= b_hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return boundary_overlap ? IntersectVerdict::kWithinBound : IntersectVerdict::kNo;
+}
+
+bool ExactIntersects(const geom::Polygon& a, const geom::Polygon& b) {
+  if (!a.bounds().Intersects(b.bounds())) return false;
+  // Any edge crossing?
+  bool crossing = false;
+  a.ForEachEdge([&](const geom::Point& a1, const geom::Point& a2) {
+    if (crossing) return;
+    if (!b.bounds().Intersects(geom::Segment(a1, a2).Bounds())) return;
+    b.ForEachEdge([&](const geom::Point& b1, const geom::Point& b2) {
+      if (!crossing && geom::SegmentsIntersect(a1, a2, b1, b2)) crossing = true;
+    });
+  });
+  if (crossing) return true;
+  // No edge crossing: containment one way or the other.
+  return a.Contains(b.outer().front()) || b.Contains(a.outer().front());
+}
+
+double ApproxOverlapArea(const raster::HierarchicalRaster& a,
+                         const raster::HierarchicalRaster& b,
+                         const raster::Grid& grid) {
+  const auto& ca = a.cells();
+  const auto& cb = b.cells();
+  // Leaf cells have side = universe/2^kMaxLevel; each leaf key covers one
+  // such cell, so range overlap length converts directly to area.
+  const double leaf_side = grid.CellSize(raster::CellId::kMaxLevel);
+  const double leaf_area = leaf_side * leaf_side;
+  size_t i = 0, j = 0;
+  double overlap_leaves = 0.0;
+  while (i < ca.size() && j < cb.size()) {
+    const uint64_t a_lo = ca[i].id.LeafKeyMin();
+    const uint64_t a_hi = ca[i].id.LeafKeyMax();
+    const uint64_t b_lo = cb[j].id.LeafKeyMin();
+    const uint64_t b_hi = cb[j].id.LeafKeyMax();
+    if (a_hi < b_lo) {
+      ++i;
+      continue;
+    }
+    if (b_hi < a_lo) {
+      ++j;
+      continue;
+    }
+    const uint64_t lo = std::max(a_lo, b_lo);
+    const uint64_t hi = std::min(a_hi, b_hi);
+    overlap_leaves += static_cast<double>(hi - lo + 1);
+    if (a_hi <= b_hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap_leaves * leaf_area;
+}
+
+}  // namespace dbsa::join

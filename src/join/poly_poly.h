@@ -1,0 +1,44 @@
+// Distance-bounded polygon-polygon predicates — Section 4's point that
+// the raster representation is geometry-type-agnostic: with both inputs
+// as cell sets, intersection tests become cell-range overlap instead of
+// type-specific edge arithmetic. Semantics under a conservative epsilon
+// raster:
+//
+//   * kNo  -> the exact geometries definitely do not intersect,
+//   * kYes -> interiors overlap on at least one fully-interior cell, so
+//             they definitely intersect,
+//   * kWithinBound -> only boundary cells overlap: the geometries are
+//             within 2*epsilon of each other (and may or may not
+//             intersect) — the distance-bounded "maybe".
+
+#ifndef DBSA_JOIN_POLY_POLY_H_
+#define DBSA_JOIN_POLY_POLY_H_
+
+#include "geom/polygon.h"
+#include "raster/hierarchical_raster.h"
+
+namespace dbsa::join {
+
+enum class IntersectVerdict { kNo, kWithinBound, kYes };
+
+const char* IntersectVerdictName(IntersectVerdict verdict);
+
+/// Cell-level intersection of two HR approximations (sorted range merge;
+/// no geometry touched).
+IntersectVerdict ApproxIntersects(const raster::HierarchicalRaster& a,
+                                  const raster::HierarchicalRaster& b);
+
+/// Exact polygon-polygon intersection test (edge intersection or mutual
+/// containment) — the baseline the raster test replaces.
+bool ExactIntersects(const geom::Polygon& a, const geom::Polygon& b);
+
+/// Approximate overlap area: total area of cells claimed by both rasters
+/// (interior-interior overlaps are exact contributions; boundary overlaps
+/// carry the epsilon error).
+double ApproxOverlapArea(const raster::HierarchicalRaster& a,
+                         const raster::HierarchicalRaster& b,
+                         const raster::Grid& grid);
+
+}  // namespace dbsa::join
+
+#endif  // DBSA_JOIN_POLY_POLY_H_

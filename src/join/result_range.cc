@@ -1,0 +1,25 @@
+#include "join/result_range.h"
+
+#include <algorithm>
+
+namespace dbsa::join {
+
+ResultRange MakeResultRange(double total, double boundary_partial, double beta) {
+  ResultRange r;
+  r.approx = total;
+  r.hi = total;
+  r.lo = total - boundary_partial;
+  r.estimate = total - (1.0 - beta) * boundary_partial;
+  r.lo = std::min(r.lo, r.hi);
+  return r;
+}
+
+ResultRange CountRange(const CellAggregate& agg, double beta) {
+  return MakeResultRange(agg.count, agg.boundary_count, beta);
+}
+
+ResultRange SumRange(const CellAggregate& agg, double beta) {
+  return MakeResultRange(agg.sum, agg.boundary_sum, beta);
+}
+
+}  // namespace dbsa::join

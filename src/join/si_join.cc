@@ -1,0 +1,54 @@
+#include "join/si_join.h"
+
+#include "raster/hierarchical_raster.h"
+#include "util/timer.h"
+
+namespace dbsa::join {
+
+SiIndex::SiIndex(const JoinInput& in, const raster::Grid& grid,
+                 size_t cells_per_poly)
+    : in_(in), grid_(grid) {
+  for (size_t j = 0; j < in.polys->size(); ++j) {
+    const raster::HierarchicalRaster hr =
+        raster::HierarchicalRaster::BuildBudget((*in.polys)[j], grid, cells_per_poly);
+    for (const raster::HrCell& cell : hr.cells()) {
+      act_.Insert(cell.id, static_cast<uint32_t>(j), cell.boundary);
+    }
+    num_cells_ += hr.NumCells();
+  }
+}
+
+int64_t SiIndex::FindPolygon(const geom::Point& p, size_t* pip_tests) const {
+  const uint64_t key = grid_.LeafKey(p);
+  act_.Lookup(key, &scratch_);
+  for (const index::ActMatch& m : scratch_) {
+    if (!m.boundary) return m.value;  // Interior cell: no test needed.
+    ++*pip_tests;
+    if ((*in_.polys)[m.value].Contains(p)) return m.value;
+  }
+  return -1;
+}
+
+JoinStats SiJoin(const JoinInput& in, AggKind agg, const raster::Grid& grid,
+                 size_t cells_per_poly) {
+  JoinStats stats;
+  Timer timer;
+  SiIndex si(in, grid, cells_per_poly);
+  stats.build_ms = timer.Millis();
+  stats.index_bytes = si.MemoryBytes();
+  stats.index_cells = si.NumCells();
+
+  timer.Reset();
+  std::vector<Accumulator> accs(in.num_regions);
+  for (size_t i = 0; i < in.num_points; ++i) {
+    const int64_t j = si.FindPolygon(in.points[i], &stats.pip_tests);
+    if (j >= 0) {
+      accs[in.RegionOf(static_cast<size_t>(j))].Add(in.attrs ? in.attrs[i] : 0.0);
+    }
+  }
+  stats.probe_ms = timer.Millis();
+  stats.value = Finalize(accs, agg);
+  return stats;
+}
+
+}  // namespace dbsa::join

@@ -1,0 +1,45 @@
+// S2ShapeIndex-style join baseline (Section 5.1's "SI"): polygons are
+// indexed with a coarse, budget-driven hierarchical raster; lookups accept
+// interior-cell hits without any geometric test and refine boundary-cell
+// hits with an exact PIP. Exact results, like S2ShapeIndex — but, unlike
+// ACT, the approximation is not distance-bounded (the budget, not an
+// epsilon, dictates cell sizes), so residual PIP tests remain.
+
+#ifndef DBSA_JOIN_SI_JOIN_H_
+#define DBSA_JOIN_SI_JOIN_H_
+
+#include "index/act.h"
+#include "join/exact_join.h"
+#include "raster/grid.h"
+
+namespace dbsa::join {
+
+/// Coarse-HR polygon index with exact refinement.
+class SiIndex {
+ public:
+  /// cells_per_poly is the HR refinement budget (S2ShapeIndex tunes an
+  /// analogous max-cells knob).
+  SiIndex(const JoinInput& in, const raster::Grid& grid, size_t cells_per_poly);
+
+  /// Exact containment probe: returns the polygon index containing p, or
+  /// -1. pip_tests is incremented per refinement performed.
+  int64_t FindPolygon(const geom::Point& p, size_t* pip_tests) const;
+
+  size_t MemoryBytes() const { return act_.MemoryBytes(); }
+  size_t NumCells() const { return num_cells_; }
+
+ private:
+  const JoinInput& in_;
+  const raster::Grid& grid_;
+  index::ActIndex act_;
+  size_t num_cells_ = 0;
+  mutable std::vector<index::ActMatch> scratch_;
+};
+
+/// Full aggregation join through an SiIndex.
+JoinStats SiJoin(const JoinInput& in, AggKind agg, const raster::Grid& grid,
+                 size_t cells_per_poly = 64);
+
+}  // namespace dbsa::join
+
+#endif  // DBSA_JOIN_SI_JOIN_H_

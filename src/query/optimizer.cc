@@ -1,0 +1,107 @@
+#include "query/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dbsa::query {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kActJoin:
+      return "ACT-JOIN";
+    case PlanKind::kPointIndexJoin:
+      return "POINT-INDEX-JOIN";
+    case PlanKind::kCanvasBrj:
+      return "CANVAS-BRJ";
+    case PlanKind::kExactRStar:
+      return "EXACT-RSTAR";
+  }
+  return "?";
+}
+
+PlanCosts EstimateCosts(const QueryProfile& p) {
+  PlanCosts c;
+  const double n = static_cast<double>(p.num_points);
+  const double m = static_cast<double>(std::max<size_t>(p.num_polygons, 1));
+  const double reps = static_cast<double>(std::max(p.repetitions, 1));
+  const double eps = std::max(p.epsilon, 1e-9);
+  const double cell = eps / 1.4142135623730951;
+
+  // Boundary cells per polygon set ~ total perimeter / cell side; interior
+  // cells collapse logarithmically in the HR.
+  const double boundary_cells = p.total_perimeter / cell;
+  const double interior_cells =
+      p.total_polygon_area > 0 ? p.total_polygon_area / (cell * cell) : 0.0;
+  const double hr_cells = boundary_cells + std::max(1.0, std::log2(interior_cells + 2));
+
+  // Abstract unit = one simple memory/compare operation.
+  constexpr double kTrieHop = 4.0;
+  constexpr double kSearch = 2.0;      // Per log2 step of a bounded search.
+  constexpr double kPixel = 0.6;       // Canvas pixel touch.
+  constexpr double kPipPerVertex = 1.5;
+
+  // ACT join: build (insert hr cells) + n probes * trie depth.
+  const double act_depth = 8.0;  // kMaxLevel / levels_per_node.
+  c.act = hr_cells * kTrieHop * 8.0 + reps * n * act_depth * kTrieHop;
+
+  // Point-index join: (amortized) sort build + per query cell two bounded
+  // searches. Query cells come from budget/epsilon HR of the query polys.
+  const double build = p.point_index_available ? 0.0 : n * std::log2(n + 2) * 0.5;
+  const double searches = 2.0 * hr_cells;
+  c.point_index = build + reps * searches * kSearch * std::log2(n + 2);
+
+  // BRJ: points pass + polygon fill per tile.
+  const double res = p.universe_extent / cell;
+  const double tiles = std::pow(std::ceil(res / 2048.0), 2.0);
+  const double fill_pixels =
+      p.total_polygon_area > 0 ? p.total_polygon_area / (cell * cell) : res * res;
+  c.brj = reps * (n * std::max(tiles, 1.0) + fill_pixels * kPixel + res * res * 0.1);
+
+  // Exact filter-and-refine: every point PIP-tested against candidate
+  // polygons (~1.3 candidates with an R* over MBRs of a tiling set).
+  c.exact = reps * n * (std::log2(m + 2) * kSearch +
+                        1.3 * p.avg_vertices * kPipPerVertex);
+  return c;
+}
+
+PlanChoice ChoosePlan(const QueryProfile& p) {
+  const PlanCosts c = EstimateCosts(p);
+  PlanChoice choice;
+  char buf[512];
+
+  if (p.epsilon <= 0.0) {
+    choice.kind = PlanKind::kExactRStar;
+    choice.est_cost = c.exact;
+    std::snprintf(buf, sizeof(buf),
+                  "epsilon=0 (exact required) -> %s (cost %.3g); approximate plans "
+                  "not applicable",
+                  PlanKindName(choice.kind), c.exact);
+    choice.explain = buf;
+    return choice;
+  }
+
+  choice.kind = PlanKind::kActJoin;
+  choice.est_cost = c.act;
+  if (c.point_index < choice.est_cost) {
+    choice.kind = PlanKind::kPointIndexJoin;
+    choice.est_cost = c.point_index;
+  }
+  if (c.brj < choice.est_cost) {
+    choice.kind = PlanKind::kCanvasBrj;
+    choice.est_cost = c.brj;
+  }
+  if (c.exact < choice.est_cost) {
+    choice.kind = PlanKind::kExactRStar;
+    choice.est_cost = c.exact;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "candidates: ACT=%.3g POINT-INDEX=%.3g BRJ=%.3g EXACT=%.3g "
+                "(n=%zu, polys=%zu, avg_vertices=%.1f, eps=%.3g, reps=%d) -> %s",
+                c.act, c.point_index, c.brj, c.exact, p.num_points, p.num_polygons,
+                p.avg_vertices, p.epsilon, p.repetitions, PlanKindName(choice.kind));
+  choice.explain = buf;
+  return choice;
+}
+
+}  // namespace dbsa::query

@@ -1,0 +1,84 @@
+#include "query/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/polygon_ops.h"
+#include "util/check.h"
+
+namespace dbsa::query {
+
+SelectivityHistogram::SelectivityHistogram(const geom::Point* points, size_t n,
+                                           const geom::Box& universe,
+                                           uint32_t resolution)
+    : universe_(universe), resolution_(resolution) {
+  DBSA_CHECK(resolution >= 1);
+  cell_w_ = universe_.Width() / resolution_;
+  cell_h_ = universe_.Height() / resolution_;
+  counts_.assign(static_cast<size_t>(resolution_) * resolution_, 0);
+  const double max_idx = static_cast<double>(resolution_ - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double fx = (points[i].x - universe_.min.x) / cell_w_;
+    const double fy = (points[i].y - universe_.min.y) / cell_h_;
+    const uint32_t cx = static_cast<uint32_t>(std::clamp(std::floor(fx), 0.0, max_idx));
+    const uint32_t cy = static_cast<uint32_t>(std::clamp(std::floor(fy), 0.0, max_idx));
+    ++counts_[static_cast<size_t>(cy) * resolution_ + cx];
+  }
+  total_ = n;
+}
+
+geom::Box SelectivityHistogram::CellBox(uint32_t cx, uint32_t cy) const {
+  const double x0 = universe_.min.x + cell_w_ * cx;
+  const double y0 = universe_.min.y + cell_h_ * cy;
+  return geom::Box(x0, y0, x0 + cell_w_, y0 + cell_h_);
+}
+
+double SelectivityHistogram::EstimateBox(const geom::Box& box) const {
+  const geom::Box q = box.Intersection(universe_);
+  if (q.IsEmpty()) return 0.0;
+  double estimate = 0.0;
+  const double max_idx = static_cast<double>(resolution_ - 1);
+  const uint32_t x0 = static_cast<uint32_t>(
+      std::clamp(std::floor((q.min.x - universe_.min.x) / cell_w_), 0.0, max_idx));
+  const uint32_t y0 = static_cast<uint32_t>(
+      std::clamp(std::floor((q.min.y - universe_.min.y) / cell_h_), 0.0, max_idx));
+  const uint32_t x1 = static_cast<uint32_t>(
+      std::clamp(std::floor((q.max.x - universe_.min.x) / cell_w_), 0.0, max_idx));
+  const uint32_t y1 = static_cast<uint32_t>(
+      std::clamp(std::floor((q.max.y - universe_.min.y) / cell_h_), 0.0, max_idx));
+  for (uint32_t cy = y0; cy <= y1; ++cy) {
+    for (uint32_t cx = x0; cx <= x1; ++cx) {
+      const geom::Box cell = CellBox(cx, cy);
+      const double frac = cell.Intersection(q).Area() / cell.Area();
+      estimate += frac * counts_[static_cast<size_t>(cy) * resolution_ + cx];
+    }
+  }
+  return estimate;
+}
+
+double SelectivityHistogram::EstimatePolygon(const geom::Polygon& poly) const {
+  const geom::Box q = poly.bounds().Intersection(universe_);
+  if (q.IsEmpty()) return 0.0;
+  double estimate = 0.0;
+  const double max_idx = static_cast<double>(resolution_ - 1);
+  const uint32_t x0 = static_cast<uint32_t>(
+      std::clamp(std::floor((q.min.x - universe_.min.x) / cell_w_), 0.0, max_idx));
+  const uint32_t y0 = static_cast<uint32_t>(
+      std::clamp(std::floor((q.min.y - universe_.min.y) / cell_h_), 0.0, max_idx));
+  const uint32_t x1 = static_cast<uint32_t>(
+      std::clamp(std::floor((q.max.x - universe_.min.x) / cell_w_), 0.0, max_idx));
+  const uint32_t y1 = static_cast<uint32_t>(
+      std::clamp(std::floor((q.max.y - universe_.min.y) / cell_h_), 0.0, max_idx));
+  for (uint32_t cy = y0; cy <= y1; ++cy) {
+    for (uint32_t cx = x0; cx <= x1; ++cx) {
+      const geom::Box cell = CellBox(cx, cy);
+      const geom::BoxRelation rel = geom::ClassifyBox(poly, cell);
+      if (rel == geom::BoxRelation::kOutside) continue;
+      const double weight = rel == geom::BoxRelation::kInside ? 1.0 : 0.5;
+      estimate += weight * counts_[static_cast<size_t>(cy) * resolution_ + cx];
+    }
+  }
+  return estimate;
+}
+
+}  // namespace dbsa::query

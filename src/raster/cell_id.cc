@@ -1,0 +1,16 @@
+#include "raster/cell_id.h"
+
+#include <cstdio>
+
+namespace dbsa::raster {
+
+std::string CellId::ToString() const {
+  if (!IsValid()) return "invalid";
+  uint32_t ix = 0, iy = 0;
+  ToXY(&ix, &iy);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "L%d:(%u,%u)", level(), ix, iy);
+  return buf;
+}
+
+}  // namespace dbsa::raster

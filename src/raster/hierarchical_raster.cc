@@ -1,0 +1,242 @@
+#include "raster/hierarchical_raster.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "raster/rasterizer.h"
+
+#include "geom/polygon_ops.h"
+
+namespace dbsa::raster {
+
+HierarchicalRaster HierarchicalRaster::BuildEpsilon(const geom::Polygon& poly,
+                                                    const Grid& grid, double epsilon,
+                                                    const RasterOptions& opts) {
+  // Estimate the finest-level footprint; the bottom-up path materializes
+  // every interior cell, so switch to top-down when that would be large.
+  const int level = grid.LevelForEpsilon(epsilon);
+  const double cs = grid.CellSize(level);
+  const double bbox_cells = (poly.bounds().Width() / cs) * (poly.bounds().Height() / cs);
+  // The bottom-up scanline materializes every finest-level interior cell
+  // (O(area)); top-down only touches descendants of boundary cells
+  // (O(perimeter)). The crossover sits around tens of thousands of cells.
+  if (bbox_cells > 32768.0) {
+    return BuildEpsilonTopDown(poly, grid, epsilon, opts);
+  }
+  return BuildEpsilonBottomUp(poly, grid, epsilon, opts);
+}
+
+HierarchicalRaster HierarchicalRaster::BuildEpsilonBottomUp(const geom::Polygon& poly,
+                                                            const Grid& grid,
+                                                            double epsilon,
+                                                            const RasterOptions& opts) {
+  const int level = grid.LevelForEpsilon(epsilon);
+  const CellCover cover = RasterizePolygon(poly, grid, level, opts);
+
+  std::vector<HrCell> out;
+  out.reserve(cover.boundary.size() + cover.interior.size() / 2);
+  for (const uint64_t m : cover.boundary) {
+    out.push_back({CellId::FromLevelPrefix(level, m), /*boundary=*/true});
+  }
+
+  // Bottom-up merge of interior cells: whenever all four children of a
+  // parent are interior, replace them by the parent. Interior cells are
+  // error-free regardless of size (Section 2.2).
+  std::vector<uint64_t> cur = cover.interior;  // Already sorted.
+  for (int l = level; l > 0 && !cur.empty(); --l) {
+    std::vector<uint64_t> promoted;
+    size_t i = 0;
+    const size_t n = cur.size();
+    while (i < n) {
+      if (i + 3 < n && (cur[i] >> 2) == (cur[i + 3] >> 2)) {
+        // Sorted and distinct: four entries sharing a parent are exactly
+        // the four children.
+        promoted.push_back(cur[i] >> 2);
+        i += 4;
+      } else {
+        out.push_back({CellId::FromLevelPrefix(l, cur[i]), /*boundary=*/false});
+        ++i;
+      }
+    }
+    cur = std::move(promoted);
+  }
+  if (!cur.empty()) {
+    // Merged all the way to a single level-0 cell (whole universe).
+    for (const uint64_t m : cur) {
+      out.push_back({CellId::FromLevelPrefix(0, m), /*boundary=*/false});
+    }
+  }
+
+  HierarchicalRaster hr;
+  hr.FinalizeFrom(std::move(out));
+  return hr;
+}
+
+HierarchicalRaster HierarchicalRaster::BuildEpsilonTopDown(const geom::Polygon& poly,
+                                                           const Grid& grid,
+                                                           double epsilon,
+                                                           const RasterOptions& opts) {
+  const int max_level = grid.LevelForEpsilon(epsilon);
+
+  // Start at the smallest cell containing the polygon's bounding box.
+  const uint64_t lo = grid.LeafKey(poly.bounds().min);
+  const uint64_t hi = grid.LeafKey(poly.bounds().max);
+  int start_level = 0;
+  for (int l = CellId::kMaxLevel; l >= 0; --l) {
+    const int shift = 2 * (CellId::kMaxLevel - l);
+    if ((lo >> shift) == (hi >> shift)) {
+      start_level = l;
+      break;
+    }
+  }
+  start_level = std::min(start_level, max_level);
+
+  // Per-level boundary cells (prefix -> present), from edge supercover.
+  // Total work is O(perimeter / finest cell size), independent of area.
+  std::vector<std::unordered_set<uint64_t>> boundary(
+      static_cast<size_t>(max_level + 1));
+  for (int l = start_level; l <= max_level; ++l) {
+    auto& set = boundary[static_cast<size_t>(l)];
+    poly.ForEachEdge([&](const geom::Point& a, const geom::Point& b) {
+      TraverseSegment(a, b, grid, l, [&](uint32_t ix, uint32_t iy) {
+        set.insert(sfc::MortonEncode(ix, iy));
+      });
+    });
+  }
+
+  std::vector<HrCell> out;
+  // Iterative DFS over descendants of boundary cells.
+  std::vector<std::pair<int, uint64_t>> stack;  // (level, morton prefix).
+  stack.push_back({start_level,
+                   lo >> (2 * (CellId::kMaxLevel - start_level))});
+  while (!stack.empty()) {
+    const auto [l, prefix] = stack.back();
+    stack.pop_back();
+    const bool is_boundary = boundary[static_cast<size_t>(l)].count(prefix) > 0;
+    if (!is_boundary) {
+      // Off-boundary cell: homogeneous; its center decides.
+      uint32_t ix, iy;
+      sfc::MortonDecode(prefix, &ix, &iy);
+      if (poly.Contains(grid.CellBoxXY(l, ix, iy).Center())) {
+        out.push_back({CellId::FromLevelPrefix(l, prefix), /*boundary=*/false});
+      }
+      continue;
+    }
+    if (l == max_level) {
+      if (!opts.conservative) {
+        uint32_t ix, iy;
+        sfc::MortonDecode(prefix, &ix, &iy);
+        if (geom::BoxCoverageFraction(poly, grid.CellBoxXY(l, ix, iy)) <
+            opts.min_coverage) {
+          continue;
+        }
+      }
+      out.push_back({CellId::FromLevelPrefix(l, prefix), /*boundary=*/true});
+      continue;
+    }
+    for (uint64_t child = 0; child < 4; ++child) {
+      stack.push_back({l + 1, (prefix << 2) | child});
+    }
+  }
+
+  HierarchicalRaster hr;
+  hr.FinalizeFrom(std::move(out));
+  return hr;
+}
+
+HierarchicalRaster HierarchicalRaster::BuildBudget(const geom::Polygon& poly,
+                                                   const Grid& grid, size_t max_cells,
+                                                   const RasterOptions& opts) {
+  // Start at the smallest cell containing the polygon's bounding box.
+  const uint64_t lo = grid.LeafKey(poly.bounds().min);
+  const uint64_t hi = grid.LeafKey(poly.bounds().max);
+  int start_level = 0;
+  for (int l = CellId::kMaxLevel; l >= 0; --l) {
+    const int shift = 2 * (CellId::kMaxLevel - l);
+    if ((lo >> shift) == (hi >> shift)) {
+      start_level = l;
+      break;
+    }
+  }
+
+  std::deque<CellId> queue;
+  queue.push_back(CellId::FromLevelPrefix(
+      start_level, lo >> (2 * (CellId::kMaxLevel - start_level))));
+
+  std::vector<HrCell> out;
+  while (!queue.empty()) {
+    const CellId cell = queue.front();
+    queue.pop_front();
+    const geom::Box box = grid.CellBox(cell);
+    const geom::BoxRelation rel = geom::ClassifyBox(poly, box);
+    if (rel == geom::BoxRelation::kOutside) continue;
+    if (rel == geom::BoxRelation::kInside) {
+      out.push_back({cell, /*boundary=*/false});
+      continue;
+    }
+    // Boundary cell: refine breadth-first while the budget allows (a split
+    // nets at most +3 cells).
+    const size_t current_total = out.size() + queue.size() + 1;
+    if (cell.level() < CellId::kMaxLevel && current_total + 3 <= max_cells) {
+      for (int i = 0; i < 4; ++i) queue.push_back(cell.Child(i));
+    } else {
+      if (!opts.conservative &&
+          geom::BoxCoverageFraction(poly, box) < opts.min_coverage) {
+        continue;
+      }
+      out.push_back({cell, /*boundary=*/true});
+    }
+  }
+
+  HierarchicalRaster hr;
+  hr.FinalizeFrom(std::move(out));
+  return hr;
+}
+
+void HierarchicalRaster::FinalizeFrom(std::vector<HrCell> cells) {
+  std::sort(cells.begin(), cells.end(),
+            [](const HrCell& a, const HrCell& b) { return a.id < b.id; });
+  cells_ = std::move(cells);
+  range_lo_.resize(cells_.size());
+  range_hi_.resize(cells_.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    range_lo_[i] = cells_[i].id.LeafKeyMin();
+    range_hi_[i] = cells_[i].id.LeafKeyMax();
+  }
+}
+
+size_t HierarchicalRaster::NumBoundaryCells() const {
+  size_t n = 0;
+  for (const HrCell& c : cells_) n += c.boundary ? 1 : 0;
+  return n;
+}
+
+double HierarchicalRaster::AchievedEpsilon(const Grid& grid) const {
+  int coarsest_boundary = CellId::kMaxLevel;
+  bool any = false;
+  for (const HrCell& c : cells_) {
+    if (c.boundary) {
+      coarsest_boundary = std::min(coarsest_boundary, c.id.level());
+      any = true;
+    }
+  }
+  return any ? grid.CellDiagonal(coarsest_boundary) : 0.0;
+}
+
+CellKind HierarchicalRaster::Classify(const geom::Point& p, const Grid& grid) const {
+  if (cells_.empty()) return CellKind::kOutside;
+  const uint64_t key = grid.LeafKey(p);
+  // Cells are disjoint and sorted by id, which sorts range_lo ascending.
+  const auto it = std::upper_bound(range_lo_.begin(), range_lo_.end(), key);
+  if (it == range_lo_.begin()) return CellKind::kOutside;
+  const size_t idx = static_cast<size_t>(it - range_lo_.begin()) - 1;
+  if (key > range_hi_[idx]) return CellKind::kOutside;
+  return cells_[idx].boundary ? CellKind::kBoundary : CellKind::kInterior;
+}
+
+size_t HierarchicalRaster::MemoryBytes() const {
+  return cells_.size() * (sizeof(HrCell) + 2 * sizeof(uint64_t));
+}
+
+}  // namespace dbsa::raster

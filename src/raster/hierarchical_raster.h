@@ -1,0 +1,83 @@
+// Hierarchical Raster (HR) approximation — Figure 1(c): boundary cells at
+// the fine epsilon level, interior cells merged into the largest quadtree
+// cells that still fit (they contribute no approximation error). Two
+// construction modes, both used by the paper:
+//
+//   * epsilon-driven (Section 5.1: ACT with a 4 m bound),
+//   * cell-budget-driven (Section 3: 32/128/512 cells per query polygon).
+
+#ifndef DBSA_RASTER_HIERARCHICAL_RASTER_H_
+#define DBSA_RASTER_HIERARCHICAL_RASTER_H_
+
+#include <vector>
+
+#include "raster/uniform_raster.h"
+
+namespace dbsa::raster {
+
+/// One variable-level cell of an HR approximation.
+struct HrCell {
+  CellId id;
+  bool boundary = false;
+};
+
+/// A hierarchical (variable cell size) raster approximation of a polygon.
+/// Cells are non-overlapping and sorted by id (Z-order).
+class HierarchicalRaster {
+ public:
+  /// Epsilon-driven: boundary cells at LevelForEpsilon(epsilon), interior
+  /// cells as large as possible. Chooses between the bottom-up scanline
+  /// construction (fast for small footprints) and the top-down refinement
+  /// (memory-bounded for huge ones) automatically.
+  static HierarchicalRaster BuildEpsilon(const geom::Polygon& poly, const Grid& grid,
+                                         double epsilon,
+                                         const RasterOptions& opts = {});
+
+  /// Bottom-up scanline construction: rasterize at the epsilon level and
+  /// merge interior cells. Cost grows with the polygon's area in finest
+  /// cells.
+  static HierarchicalRaster BuildEpsilonBottomUp(const geom::Polygon& poly,
+                                                 const Grid& grid, double epsilon,
+                                                 const RasterOptions& opts = {});
+
+  /// Top-down refinement: per-level supercover boundary detection plus
+  /// center tests for off-boundary children. Cost grows only with the
+  /// polygon's perimeter in finest cells, independent of area.
+  static HierarchicalRaster BuildEpsilonTopDown(const geom::Polygon& poly,
+                                                const Grid& grid, double epsilon,
+                                                const RasterOptions& opts = {});
+
+  /// Budget-driven: top-down refinement until at most max_cells cells.
+  /// The achieved epsilon is the diagonal of the largest boundary cell.
+  static HierarchicalRaster BuildBudget(const geom::Polygon& poly, const Grid& grid,
+                                        size_t max_cells,
+                                        const RasterOptions& opts = {});
+
+  const std::vector<HrCell>& cells() const { return cells_; }
+  size_t NumCells() const { return cells_.size(); }
+  size_t NumBoundaryCells() const;
+
+  /// Diagonal of the largest boundary cell = the guaranteed bound.
+  double AchievedEpsilon(const Grid& grid) const;
+
+  /// Point classification via binary search on disjoint leaf-key ranges.
+  CellKind Classify(const geom::Point& p, const Grid& grid) const;
+  bool ApproxContains(const geom::Point& p, const Grid& grid) const {
+    return Classify(p, grid) != CellKind::kOutside;
+  }
+
+  /// 8 bytes per cell id plus range/flag arrays.
+  size_t MemoryBytes() const;
+
+ private:
+  void FinalizeFrom(std::vector<HrCell> cells);
+
+  std::vector<HrCell> cells_;
+  // Parallel lookup arrays: inclusive leaf-key ranges per cell.
+  std::vector<uint64_t> range_lo_;
+  std::vector<uint64_t> range_hi_;
+};
+
+}  // namespace dbsa::raster
+
+#endif  // DBSA_RASTER_HIERARCHICAL_RASTER_H_

@@ -1,0 +1,53 @@
+// Scanline polygon rasterization with interior/boundary classification —
+// the software equivalent of the GPU rasterization the paper leverages to
+// compute fine-grained approximations on the fly (Section 1, "Hardware
+// Trends"). Produces the cell sets that UniformRaster / HierarchicalRaster
+// wrap.
+
+#ifndef DBSA_RASTER_RASTERIZER_H_
+#define DBSA_RASTER_RASTERIZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/polygon.h"
+#include "raster/grid.h"
+
+namespace dbsa::raster {
+
+/// Options controlling boundary-cell treatment (Section 2.2).
+struct RasterOptions {
+  /// Conservative rasters keep every cell touching the boundary: only
+  /// false positives are possible. Non-conservative rasters drop boundary
+  /// cells whose coverage fraction is below min_coverage, admitting false
+  /// negatives as well (both stay within the distance bound).
+  bool conservative = true;
+
+  /// Only used when conservative == false; in [0, 1].
+  double min_coverage = 0.5;
+};
+
+/// The uniform-grid footprint of one polygon at a fixed level: Morton
+/// codes (at that level) of interior cells and of boundary cells, each
+/// sorted ascending. Interior and boundary sets are disjoint.
+struct CellCover {
+  int level = 0;
+  std::vector<uint64_t> interior;
+  std::vector<uint64_t> boundary;
+
+  size_t TotalCells() const { return interior.size() + boundary.size(); }
+};
+
+/// Rasterizes a polygon onto the grid at `level`.
+CellCover RasterizePolygon(const geom::Polygon& poly, const Grid& grid, int level,
+                           const RasterOptions& opts = RasterOptions());
+
+/// Visits every cell (ix, iy) at `level` crossed by segment (a, b) —
+/// supercover grid traversal (Amanatides-Woo with corner handling).
+void TraverseSegment(const geom::Point& a, const geom::Point& b, const Grid& grid,
+                     int level, const std::function<void(uint32_t, uint32_t)>& visit);
+
+}  // namespace dbsa::raster
+
+#endif  // DBSA_RASTER_RASTERIZER_H_

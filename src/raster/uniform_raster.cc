@@ -1,0 +1,32 @@
+#include "raster/uniform_raster.h"
+
+#include <algorithm>
+
+namespace dbsa::raster {
+
+UniformRaster UniformRaster::Build(const geom::Polygon& poly, const Grid& grid,
+                                   double epsilon, const RasterOptions& opts) {
+  return BuildAtLevel(poly, grid, grid.LevelForEpsilon(epsilon), opts);
+}
+
+UniformRaster UniformRaster::BuildAtLevel(const geom::Polygon& poly, const Grid& grid,
+                                          int level, const RasterOptions& opts) {
+  UniformRaster ur;
+  ur.cover_ = RasterizePolygon(poly, grid, level, opts);
+  return ur;
+}
+
+CellKind UniformRaster::Classify(const geom::Point& p, const Grid& grid) const {
+  uint32_t ix = 0, iy = 0;
+  grid.PointToXY(p, cover_.level, &ix, &iy);
+  const uint64_t m = sfc::MortonEncode(ix, iy);
+  if (std::binary_search(cover_.interior.begin(), cover_.interior.end(), m)) {
+    return CellKind::kInterior;
+  }
+  if (std::binary_search(cover_.boundary.begin(), cover_.boundary.end(), m)) {
+    return CellKind::kBoundary;
+  }
+  return CellKind::kOutside;
+}
+
+}  // namespace dbsa::raster

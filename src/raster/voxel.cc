@@ -1,0 +1,111 @@
+#include "raster/voxel.h"
+
+#include <algorithm>
+
+#include "sfc/morton3.h"
+#include "util/check.h"
+
+namespace dbsa::raster {
+
+Sdf SphereSdf(Point3 center, double radius) {
+  return [center, radius](const Point3& p) { return (p - center).Norm() - radius; };
+}
+
+Sdf BoxSdf(Point3 min, Point3 max) {
+  return [min, max](const Point3& p) {
+    const double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+    const double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+    const double dz = std::max({min.z - p.z, 0.0, p.z - max.z});
+    const double outside = std::sqrt(dx * dx + dy * dy + dz * dz);
+    if (outside > 0.0) return outside;
+    // Inside: negative distance to the nearest face.
+    const double inside =
+        std::min({p.x - min.x, max.x - p.x, p.y - min.y, max.y - p.y, p.z - min.z,
+                  max.z - p.z});
+    return -inside;
+  };
+}
+
+Sdf CapsuleSdf(Point3 a, Point3 b, double radius) {
+  return [a, b, radius](const Point3& p) {
+    const Point3 ab = b - a;
+    const Point3 ap = p - a;
+    const double len2 = ab.x * ab.x + ab.y * ab.y + ab.z * ab.z;
+    double t = len2 > 0 ? (ap.x * ab.x + ap.y * ab.y + ap.z * ab.z) / len2 : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const Point3 closest{a.x + ab.x * t, a.y + ab.y * t, a.z + ab.z * t};
+    return (p - closest).Norm() - radius;
+  };
+}
+
+Sdf UnionSdf(Sdf a, Sdf b) {
+  return [a = std::move(a), b = std::move(b)](const Point3& p) {
+    return std::min(a(p), b(p));
+  };
+}
+
+Sdf IntersectSdf(Sdf a, Sdf b) {
+  return [a = std::move(a), b = std::move(b)](const Point3& p) {
+    return std::max(a(p), b(p));
+  };
+}
+
+VoxelRaster VoxelRaster::Build(const Sdf& solid, Point3 origin, double side,
+                               double epsilon, int max_level) {
+  DBSA_CHECK(epsilon > 0.0 && side > 0.0);
+  VoxelRaster vr;
+  vr.origin_ = origin;
+  vr.side_ = side;
+  // Voxel diagonal sqrt(3)*s <= epsilon.
+  const double ratio = side * kSqrt3 / epsilon;
+  vr.level_ = std::clamp(
+      static_cast<int>(std::ceil(std::log2(std::max(ratio, 1.0)))), 0, max_level);
+
+  const uint32_t n = 1u << vr.level_;
+  const double vs = vr.VoxelSize();
+  const double half_diag = 0.5 * vs * kSqrt3;
+  for (uint32_t z = 0; z < n; ++z) {
+    for (uint32_t y = 0; y < n; ++y) {
+      for (uint32_t x = 0; x < n; ++x) {
+        const Point3 center{origin.x + (x + 0.5) * vs, origin.y + (y + 0.5) * vs,
+                            origin.z + (z + 0.5) * vs};
+        const double d = solid(center);
+        if (d <= -half_diag) {
+          vr.interior_.push_back(sfc::Morton3Encode(x, y, z));
+        } else if (d < half_diag) {
+          // Within half a diagonal of the surface: the voxel may touch
+          // the solid; keep it as a (conservative) boundary voxel.
+          vr.boundary_.push_back(sfc::Morton3Encode(x, y, z));
+        }
+      }
+    }
+  }
+  std::sort(vr.interior_.begin(), vr.interior_.end());
+  std::sort(vr.boundary_.begin(), vr.boundary_.end());
+  return vr;
+}
+
+uint64_t VoxelRaster::VoxelKey(const Point3& p) const {
+  const double n = static_cast<double>(1u << level_);
+  const double max_idx = n - 1.0;
+  const auto clamp_idx = [max_idx](double v) {
+    return static_cast<uint32_t>(std::clamp(std::floor(v), 0.0, max_idx));
+  };
+  const uint32_t x = clamp_idx((p.x - origin_.x) / side_ * n);
+  const uint32_t y = clamp_idx((p.y - origin_.y) / side_ * n);
+  const uint32_t z = clamp_idx((p.z - origin_.z) / side_ * n);
+  return sfc::Morton3Encode(x, y, z);
+}
+
+CellKind VoxelRaster::Classify(const Point3& p) const {
+  const uint64_t key = VoxelKey(p);
+  if (std::binary_search(interior_.begin(), interior_.end(), key)) {
+    return CellKind::kInterior;
+  }
+  if (std::binary_search(boundary_.begin(), boundary_.end(), key)) {
+    return CellKind::kBoundary;
+  }
+  return CellKind::kOutside;
+}
+
+}  // namespace dbsa::raster

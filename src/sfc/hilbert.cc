@@ -1,0 +1,46 @@
+#include "sfc/hilbert.h"
+
+namespace dbsa::sfc {
+
+namespace {
+
+// Rotates/flips a quadrant appropriately (classic Hilbert transform step).
+inline void Rot(uint32_t n, uint32_t* x, uint32_t* y, uint32_t rx, uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    const uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertEncode(uint32_t x, uint32_t y, int order) {
+  uint64_t d = 0;
+  for (int s = order - 1; s >= 0; --s) {
+    const uint32_t rx = (x >> s) & 1u;
+    const uint32_t ry = (y >> s) & 1u;
+    d += static_cast<uint64_t>((3u * rx) ^ ry) << (2 * s);
+    Rot(1u << order, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertDecode(uint64_t d, int order, uint32_t* out_x, uint32_t* out_y) {
+  uint32_t x = 0, y = 0;
+  for (int s = 0; s < order; ++s) {
+    const uint32_t rx = 1u & static_cast<uint32_t>(d >> (2 * s + 1));
+    const uint32_t ry = 1u & static_cast<uint32_t>((d >> (2 * s)) ^ rx);
+    Rot(1u << s, &x, &y, rx, ry);
+    x += rx << s;
+    y += ry << s;
+  }
+  *out_x = x;
+  *out_y = y;
+}
+
+}  // namespace dbsa::sfc

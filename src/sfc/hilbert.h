@@ -1,0 +1,21 @@
+// 2-D Hilbert curve encoding — the alternative linearization the paper
+// mentions; it has better locality than Morton at the cost of a more
+// expensive transform. Compared against Morton in bench/abl_sfc.
+
+#ifndef DBSA_SFC_HILBERT_H_
+#define DBSA_SFC_HILBERT_H_
+
+#include <cstdint>
+
+namespace dbsa::sfc {
+
+/// Maps (x, y) on a 2^order x 2^order grid to its Hilbert index.
+/// order must be in [1, 31].
+uint64_t HilbertEncode(uint32_t x, uint32_t y, int order);
+
+/// Inverse of HilbertEncode.
+void HilbertDecode(uint64_t d, int order, uint32_t* x, uint32_t* y);
+
+}  // namespace dbsa::sfc
+
+#endif  // DBSA_SFC_HILBERT_H_

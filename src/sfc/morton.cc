@@ -1,0 +1,25 @@
+#include "sfc/morton.h"
+
+namespace dbsa::sfc {
+
+uint64_t SpreadBits(uint32_t x) {
+  uint64_t v = x;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+uint32_t CollectBits(uint64_t v) {
+  v &= 0x5555555555555555ULL;
+  v = (v | (v >> 1)) & 0x3333333333333333ULL;
+  v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v >> 4)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v >> 8)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace dbsa::sfc

@@ -1,0 +1,31 @@
+// 2-D Morton (Z-order) encoding — the default linearization the paper uses
+// to map raster cells into a 1-D key domain (Section 3, "Dimensionality
+// Reduction").
+
+#ifndef DBSA_SFC_MORTON_H_
+#define DBSA_SFC_MORTON_H_
+
+#include <cstdint>
+
+namespace dbsa::sfc {
+
+/// Spreads the low 32 bits of x so bit i moves to bit 2i.
+uint64_t SpreadBits(uint32_t x);
+
+/// Inverse of SpreadBits: collects even-position bits.
+uint32_t CollectBits(uint64_t x);
+
+/// Interleaves (x, y) into a Morton code; x occupies even bits.
+inline uint64_t MortonEncode(uint32_t x, uint32_t y) {
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+/// Inverse of MortonEncode.
+inline void MortonDecode(uint64_t code, uint32_t* x, uint32_t* y) {
+  *x = CollectBits(code);
+  *y = CollectBits(code >> 1);
+}
+
+}  // namespace dbsa::sfc
+
+#endif  // DBSA_SFC_MORTON_H_

@@ -1,0 +1,25 @@
+#include "sfc/morton3.h"
+
+namespace dbsa::sfc {
+
+uint64_t SpreadBits3(uint32_t x) {
+  uint64_t v = x & 0x1fffffu;  // 21 bits.
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+uint32_t CollectBits3(uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v | (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v | (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v | (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v | (v >> 32)) & 0x1fffffULL;
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace dbsa::sfc

@@ -1,0 +1,32 @@
+// 3-D Morton encoding — the linearization for the voxel rasters of the
+// paper's "Higher-Dimensional Data" extension (Section 6): 21 bits per
+// axis interleave into a 63-bit key.
+
+#ifndef DBSA_SFC_MORTON3_H_
+#define DBSA_SFC_MORTON3_H_
+
+#include <cstdint>
+
+namespace dbsa::sfc {
+
+/// Spreads the low 21 bits of x so bit i moves to bit 3i.
+uint64_t SpreadBits3(uint32_t x);
+
+/// Inverse of SpreadBits3.
+uint32_t CollectBits3(uint64_t x);
+
+/// Interleaves (x, y, z), 21 bits each; x occupies bits 0, 3, 6, ...
+inline uint64_t Morton3Encode(uint32_t x, uint32_t y, uint32_t z) {
+  return SpreadBits3(x) | (SpreadBits3(y) << 1) | (SpreadBits3(z) << 2);
+}
+
+/// Inverse of Morton3Encode.
+inline void Morton3Decode(uint64_t code, uint32_t* x, uint32_t* y, uint32_t* z) {
+  *x = CollectBits3(code);
+  *y = CollectBits3(code >> 1);
+  *z = CollectBits3(code >> 2);
+}
+
+}  // namespace dbsa::sfc
+
+#endif  // DBSA_SFC_MORTON3_H_

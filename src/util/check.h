@@ -1,0 +1,34 @@
+// Invariant-checking macros. DBSA_CHECK is always on (used for API
+// contract violations); DBSA_DCHECK compiles out in NDEBUG builds.
+
+#ifndef DBSA_UTIL_CHECK_H_
+#define DBSA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbsa::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "DBSA_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace dbsa::internal
+
+#define DBSA_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::dbsa::internal::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                           \
+  } while (0)
+
+#ifdef NDEBUG
+#define DBSA_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define DBSA_DCHECK(expr) DBSA_CHECK(expr)
+#endif
+
+#endif  // DBSA_UTIL_CHECK_H_

@@ -1,0 +1,64 @@
+// Streaming statistics and percentile summaries used by benches and the
+// approximation-quality reports.
+
+#ifndef DBSA_UTIL_STATS_H_
+#define DBSA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dbsa {
+
+/// Welford one-pass mean / variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile summary: stores all samples (fine at bench scales).
+class Percentiles {
+ public:
+  void Add(double x) { xs_.push_back(x); }
+  void AddAll(const std::vector<double>& xs);
+
+  size_t count() const { return xs_.size(); }
+
+  /// p in [0, 100]. Linear interpolation between order statistics.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// "p50=... p90=... p99=... max=..."
+  std::string Summary() const;
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// Pretty-print a byte count ("143.2 MB").
+std::string HumanBytes(size_t bytes);
+
+/// Pretty-print a count ("1.2B", "39.2K").
+std::string HumanCount(double n);
+
+}  // namespace dbsa
+
+#endif  // DBSA_UTIL_STATS_H_

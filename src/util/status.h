@@ -1,0 +1,97 @@
+// Status / StatusOr: lightweight error propagation in the RocksDB / Arrow
+// style. The library does not throw exceptions; fallible operations return
+// Status (or StatusOr<T> when they produce a value).
+
+#ifndef DBSA_UTIL_STATUS_H_
+#define DBSA_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dbsa {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kUnimplemented = 4,
+  kInternal = 5,
+};
+
+/// Result of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// non-OK StatusOr aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {                 // NOLINT
+    DBSA_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DBSA_CHECK(status_.ok());
+    return value_;
+  }
+  T& value() & {
+    DBSA_CHECK(status_.ok());
+    return value_;
+  }
+  T&& value() && {
+    DBSA_CHECK(status_.ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace dbsa
+
+#endif  // DBSA_UTIL_STATUS_H_

@@ -1,0 +1,146 @@
+// Tests for the Bounded Raster Join: equivalence of the fused and
+// physical-operator pipelines, invariance under device-limit subdivision,
+// and the distance-bounded accuracy of the counts.
+
+#include <gtest/gtest.h>
+
+#include "canvas/brj.h"
+#include "geom/distance.h"
+#include "join/exact_join.h"
+#include "test_util.h"
+
+namespace dbsa::canvas {
+namespace {
+
+struct Workload {
+  std::vector<geom::Point> pts;
+  std::vector<double> attrs;
+  std::vector<geom::Polygon> polys;
+  std::vector<uint32_t> region_of;
+  geom::Box universe{0, 0, 256, 256};
+};
+
+Workload MakeWorkload(uint64_t seed, size_t n_points = 5000) {
+  Workload w;
+  w.pts = dbsa::testing::RandomPoints(geom::Box(10, 10, 246, 246), n_points, seed);
+  Rng rng(seed + 100);
+  for (const auto& p : w.pts) {
+    (void)p;
+    w.attrs.push_back(rng.Uniform(1, 5));
+  }
+  w.polys.push_back(dbsa::testing::MakeStarPolygon({80, 80}, 30, 60, 16, seed));
+  w.polys.push_back(dbsa::testing::MakeStarPolygon({180, 170}, 25, 55, 14, seed + 1));
+  w.polys.push_back(dbsa::testing::MakeRectPolygon(20, 180, 90, 240));
+  w.region_of = {0, 1, 2};
+  return w;
+}
+
+BrjResult RunBrj(const Workload& w, const BrjOptions& opts) {
+  return BoundedRasterJoin(w.pts.data(), w.attrs.data(), w.pts.size(), w.polys,
+                           w.region_of, 3, w.universe, opts);
+}
+
+TEST(BrjTest, FusedEqualsPhysicalOperators) {
+  const Workload w = MakeWorkload(1);
+  BrjOptions fused;
+  fused.epsilon = 8.0;
+  BrjOptions physical = fused;
+  physical.use_physical_operators = true;
+  const BrjResult a = RunBrj(w, fused);
+  const BrjResult b = RunBrj(w, physical);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(a.count[r], b.count[r]) << "region " << r;
+    EXPECT_NEAR(a.sum[r], b.sum[r], 1e-3) << "region " << r;
+  }
+}
+
+TEST(BrjTest, SubdivisionDoesNotChangeResults) {
+  // Forcing a tiny device limit splits the canvas into many tiles; the
+  // aggregates must be identical (pixels align because tiles cut on
+  // pixel boundaries).
+  const Workload w = MakeWorkload(2);
+  BrjOptions one_tile;
+  one_tile.epsilon = 4.0;
+  one_tile.device.max_canvas_side = 1 << 14;
+  BrjOptions many_tiles = one_tile;
+  many_tiles.device.max_canvas_side = 64;
+  const BrjResult a = RunBrj(w, one_tile);
+  const BrjResult b = RunBrj(w, many_tiles);
+  EXPECT_EQ(a.tiles, 1);
+  EXPECT_GT(b.tiles, 1);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(a.count[r], b.count[r]) << "region " << r;
+    EXPECT_NEAR(a.sum[r], b.sum[r], 1e-3) << "region " << r;
+  }
+}
+
+TEST(BrjTest, ErrorsAreDistanceBounded) {
+  // Every count discrepancy vs the exact join must come from points
+  // within epsilon of the owning region's boundary. Verify the aggregate
+  // error is no larger than the number of such near-boundary points.
+  const Workload w = MakeWorkload(3);
+  const double eps = 6.0;
+  BrjOptions opts;
+  opts.epsilon = eps;
+  const BrjResult brj = RunBrj(w, opts);
+
+  join::JoinInput in;
+  in.points = w.pts.data();
+  in.attrs = w.attrs.data();
+  in.num_points = w.pts.size();
+  in.polys = &w.polys;
+  in.region_of = &w.region_of;
+  in.num_regions = 3;
+  const join::JoinStats exact = join::BruteForceJoin(in, join::AggKind::kCount);
+
+  for (size_t r = 0; r < 3; ++r) {
+    size_t near_boundary = 0;
+    for (const geom::Point& p : w.pts) {
+      if (geom::DistanceToBoundary(p, w.polys[r]) <= eps) ++near_boundary;
+    }
+    EXPECT_LE(std::fabs(brj.count[r] - exact.value[r]),
+              static_cast<double>(near_boundary))
+        << "region " << r;
+    // And the counts are close in relative terms (sanity).
+    if (exact.value[r] > 100) {
+      EXPECT_LT(std::fabs(brj.count[r] - exact.value[r]) / exact.value[r], 0.25)
+          << "region " << r;
+    }
+  }
+}
+
+TEST(BrjTest, TighterEpsilonReducesError) {
+  const Workload w = MakeWorkload(4, 20000);
+  join::JoinInput in;
+  in.points = w.pts.data();
+  in.attrs = w.attrs.data();
+  in.num_points = w.pts.size();
+  in.polys = &w.polys;
+  in.region_of = &w.region_of;
+  in.num_regions = 3;
+  const join::JoinStats exact = join::BruteForceJoin(in, join::AggKind::kCount);
+
+  double prev_err = 1e300;
+  for (const double eps : {16.0, 4.0, 1.0}) {
+    BrjOptions opts;
+    opts.epsilon = eps;
+    const BrjResult brj = RunBrj(w, opts);
+    double err = 0;
+    for (size_t r = 0; r < 3; ++r) err += std::fabs(brj.count[r] - exact.value[r]);
+    EXPECT_LE(err, prev_err * 1.5 + 3.0) << "eps " << eps;  // Allow small noise.
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err / (exact.value[0] + exact.value[1] + exact.value[2]), 0.02);
+}
+
+TEST(BrjTest, CanvasSideTracksEpsilon) {
+  const Workload w = MakeWorkload(5, 100);
+  BrjOptions coarse;
+  coarse.epsilon = 16.0;
+  BrjOptions fine;
+  fine.epsilon = 1.0;
+  EXPECT_LT(RunBrj(w, coarse).canvas_side, RunBrj(w, fine).canvas_side);
+}
+
+}  // namespace
+}  // namespace dbsa::canvas

@@ -1,0 +1,122 @@
+// Tests for the canvas plan layer: alternative operator trees for the
+// same query must produce identical aggregates (Section 4's optimizer
+// premise), and the fused mask-reduce must equal the materialized path.
+
+#include <gtest/gtest.h>
+
+#include "canvas/plan.h"
+#include "test_util.h"
+
+namespace dbsa::canvas {
+namespace {
+
+struct PlanFixture {
+  std::vector<geom::Point> pts;
+  std::vector<double> weights;
+  geom::Polygon poly;
+  geom::Box viewport{0, 0, 256, 256};
+
+  explicit PlanFixture(uint64_t seed) {
+    pts = dbsa::testing::RandomPoints(geom::Box(10, 10, 246, 246), 5000, seed);
+    Rng rng(seed + 5);
+    for (size_t i = 0; i < pts.size(); ++i) weights.push_back(rng.Uniform(1, 3));
+    poly = dbsa::testing::MakeStarPolygon({128, 128}, 40, 90, 16, seed);
+  }
+};
+
+TEST(CanvasPlanTest, LeafExecutionMatchesDirectRender) {
+  const PlanFixture f(1);
+  const auto plan = CanvasPlan::RenderPoints(f.pts.data(), f.weights.data(),
+                                             f.pts.size());
+  const Canvas via_plan = plan->Execute(128, 128, f.viewport);
+  Canvas direct(128, 128, f.viewport);
+  ScatterPoints(&direct, f.pts.data(), f.weights.data(), f.pts.size());
+  for (size_t i = 0; i < direct.data().size(); ++i) {
+    ASSERT_FLOAT_EQ(via_plan.data()[i].r, direct.data()[i].r);
+    ASSERT_FLOAT_EQ(via_plan.data()[i].g, direct.data()[i].g);
+  }
+}
+
+TEST(CanvasPlanTest, AlternativePlansAgree) {
+  // Section 4: the mask-based and the multiply-blend-based trees answer
+  // the same aggregation.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const PlanFixture f(seed);
+    const auto plan_mask =
+        AggregationPlanMask(f.pts.data(), f.weights.data(), f.pts.size(), f.poly);
+    const auto plan_blend =
+        AggregationPlanBlend(f.pts.data(), f.weights.data(), f.pts.size(), f.poly);
+    const Rgba a = plan_mask->ExecuteAndReduce(256, 256, f.viewport);
+    const Rgba b = plan_blend->ExecuteAndReduce(256, 256, f.viewport);
+    ASSERT_FLOAT_EQ(a.r, b.r) << "seed " << seed;  // Counts.
+    ASSERT_NEAR(a.g, b.g, 1e-2) << "seed " << seed;  // Weight sums.
+  }
+}
+
+TEST(CanvasPlanTest, FusedReduceEqualsMaterialized) {
+  const PlanFixture f(7);
+  const auto plan =
+      AggregationPlanMask(f.pts.data(), f.weights.data(), f.pts.size(), f.poly);
+  // Fused path.
+  const Rgba fused = plan->ExecuteAndReduce(200, 200, f.viewport);
+  // Materialized path: execute the tree, reduce the canvas.
+  const Canvas materialized = plan->Execute(200, 200, f.viewport);
+  const Rgba direct = Reduce(materialized);
+  EXPECT_FLOAT_EQ(fused.r, direct.r);
+  EXPECT_NEAR(fused.g, direct.g, 1e-2);
+}
+
+TEST(CanvasPlanTest, PlanCountsMatchScanline) {
+  // The plan result equals the fused scanline computation BRJ uses.
+  const PlanFixture f(3);
+  const auto plan =
+      AggregationPlanMask(f.pts.data(), f.weights.data(), f.pts.size(), f.poly);
+  const Rgba agg = plan->ExecuteAndReduce(256, 256, f.viewport);
+
+  Canvas points_canvas(256, 256, f.viewport);
+  ScatterPoints(&points_canvas, f.pts.data(), f.weights.data(), f.pts.size());
+  double count = 0;
+  ScanPolygon(points_canvas, f.poly, [&](int y, int x0, int x1) {
+    for (int x = x0; x <= x1; ++x) count += points_canvas.At(x, y).r;
+  });
+  EXPECT_FLOAT_EQ(agg.r, static_cast<float>(count));
+}
+
+TEST(CanvasPlanTest, BlendTreeComposition) {
+  // blend(render(A), render(B), ADD) == scatter A then B into one canvas.
+  const PlanFixture f1(11), f2(12);
+  const auto plan = CanvasPlan::Blend(
+      CanvasPlan::RenderPoints(f1.pts.data(), nullptr, f1.pts.size()),
+      CanvasPlan::RenderPoints(f2.pts.data(), nullptr, f2.pts.size()), BlendFn::kAdd);
+  const Canvas combined = plan->Execute(64, 64, f1.viewport);
+  Canvas direct(64, 64, f1.viewport);
+  ScatterPoints(&direct, f1.pts.data(), nullptr, f1.pts.size());
+  ScatterPoints(&direct, f2.pts.data(), nullptr, f2.pts.size());
+  for (size_t i = 0; i < direct.data().size(); ++i) {
+    ASSERT_FLOAT_EQ(combined.data()[i].r, direct.data()[i].r);
+  }
+}
+
+TEST(CanvasPlanTest, AffineNodeIsIdentityAtSameGeometry) {
+  const PlanFixture f(13);
+  const auto base = CanvasPlan::RenderPolygon(f.poly);
+  const auto wrapped = CanvasPlan::Affine(base);
+  const Canvas a = base->Execute(100, 100, f.viewport);
+  const Canvas b = wrapped->Execute(100, 100, f.viewport);
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    ASSERT_FLOAT_EQ(a.data()[i].a, b.data()[i].a);
+  }
+}
+
+TEST(CanvasPlanTest, DescribePrintsTree) {
+  const PlanFixture f(17);
+  const auto plan =
+      AggregationPlanMask(f.pts.data(), f.weights.data(), f.pts.size(), f.poly);
+  const std::string explain = plan->Describe();
+  EXPECT_NE(explain.find("MaskWhere"), std::string::npos);
+  EXPECT_NE(explain.find("RenderPoints"), std::string::npos);
+  EXPECT_NE(explain.find("RenderPolygon"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbsa::canvas

@@ -1,0 +1,66 @@
+// Tests for the monotone-chain convex hull.
+
+#include <gtest/gtest.h>
+
+#include "geom/convex_hull.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace dbsa::geom {
+namespace {
+
+TEST(ConvexHullTest, Square) {
+  const Ring hull =
+      ConvexHull({{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.8}});
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_DOUBLE_EQ(std::fabs(SignedArea(hull)), 1.0);
+  EXPECT_GT(SignedArea(hull), 0.0);  // CCW.
+}
+
+TEST(ConvexHullTest, CollinearPointsDropped) {
+  const Ring hull = ConvexHull({{0, 0}, {1, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 2}});
+  EXPECT_EQ(hull.size(), 4u);
+}
+
+TEST(ConvexHullTest, DegenerateInputs) {
+  EXPECT_EQ(ConvexHull({{1, 1}}).size(), 1u);
+  EXPECT_EQ(ConvexHull({{1, 1}, {2, 2}}).size(), 2u);
+  EXPECT_EQ(ConvexHull({{1, 1}, {1, 1}, {1, 1}}).size(), 1u);  // Duplicates.
+}
+
+TEST(ConvexHullTest, HullContainsAllPoints) {
+  Rng rng(99);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.Gaussian(0, 10), rng.Gaussian(0, 10)});
+  }
+  const Ring hull = ConvexHull(pts);
+  ASSERT_GE(hull.size(), 3u);
+  // Every point is left of (or on) every CCW hull edge.
+  for (const Point& p : pts) {
+    for (size_t i = 0; i < hull.size(); ++i) {
+      const Point& a = hull[i];
+      const Point& b = hull[(i + 1) % hull.size()];
+      EXPECT_GE(Orient(a, b, p), -1e-9);
+    }
+  }
+}
+
+TEST(ConvexHullTest, HullIsConvex) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Polygon star = dbsa::testing::MakeStarPolygon({0, 0}, 2, 8, 30, seed);
+    const Ring hull = ConvexHullOf(star);
+    ASSERT_GE(hull.size(), 3u);
+    for (size_t i = 0; i < hull.size(); ++i) {
+      const Point& a = hull[i];
+      const Point& b = hull[(i + 1) % hull.size()];
+      const Point& c = hull[(i + 2) % hull.size()];
+      EXPECT_GT(Orient(a, b, c), 0.0) << "seed " << seed;  // Strictly convex turns.
+    }
+    // Hull area >= polygon area.
+    EXPECT_GE(std::fabs(SignedArea(hull)) + 1e-9, star.Area());
+  }
+}
+
+}  // namespace
+}  // namespace dbsa::geom

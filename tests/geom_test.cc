@@ -1,0 +1,124 @@
+// Unit tests for the geometry kernel primitives: Point, Box, Segment.
+
+#include <gtest/gtest.h>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace dbsa::geom {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ((a + b).x, 4.0);
+  EXPECT_EQ((a + b).y, 1.0);
+  EXPECT_EQ((a - b).x, -2.0);
+  EXPECT_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -7.0);
+}
+
+TEST(PointTest, DistanceAndNorm) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance2({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Point(3, 4).Norm(), 5.0);
+}
+
+TEST(PointTest, Orientation) {
+  EXPECT_GT(Orient({0, 0}, {1, 0}, {1, 1}), 0);  // CCW.
+  EXPECT_LT(Orient({0, 0}, {1, 0}, {1, -1}), 0);
+  EXPECT_EQ(Orient({0, 0}, {1, 1}, {2, 2}), 0);  // Collinear.
+}
+
+TEST(BoxTest, EmptyBoxBehaviour) {
+  Box b;
+  EXPECT_TRUE(b.IsEmpty());
+  EXPECT_EQ(b.Area(), 0.0);
+  b.Extend(Point{1, 1});
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_EQ(b.Area(), 0.0);  // Degenerate point box.
+  EXPECT_TRUE(b.Contains(Point{1, 1}));
+}
+
+TEST(BoxTest, ExtendAndContains) {
+  Box b;
+  b.Extend(Point{0, 0});
+  b.Extend(Point{2, 3});
+  EXPECT_EQ(b.Width(), 2.0);
+  EXPECT_EQ(b.Height(), 3.0);
+  EXPECT_EQ(b.Area(), 6.0);
+  EXPECT_TRUE(b.Contains(Point{1, 1}));
+  EXPECT_TRUE(b.Contains(Point{0, 0}));  // Boundary closed.
+  EXPECT_FALSE(b.Contains(Point{2.01, 1}));
+}
+
+TEST(BoxTest, IntersectionAndUnion) {
+  const Box a(0, 0, 2, 2);
+  const Box b(1, 1, 3, 3);
+  EXPECT_TRUE(a.Intersects(b));
+  const Box i = a.Intersection(b);
+  EXPECT_EQ(i.min.x, 1.0);
+  EXPECT_EQ(i.max.x, 2.0);
+  EXPECT_EQ(i.Area(), 1.0);
+  const Box u = a.Union(b);
+  EXPECT_EQ(u.Area(), 9.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 5.0);
+
+  const Box far_box(10, 10, 11, 11);
+  EXPECT_FALSE(a.Intersects(far_box));
+  EXPECT_TRUE(a.Intersection(far_box).IsEmpty());
+}
+
+TEST(BoxTest, TouchingBoxesIntersect) {
+  const Box a(0, 0, 1, 1);
+  const Box b(1, 0, 2, 1);
+  EXPECT_TRUE(a.Intersects(b));  // Closed-interval semantics.
+}
+
+TEST(BoxTest, DistanceToPoint) {
+  const Box b(0, 0, 2, 2);
+  EXPECT_EQ(b.Distance({1, 1}), 0.0);   // Inside.
+  EXPECT_EQ(b.Distance({3, 1}), 1.0);   // Right.
+  EXPECT_DOUBLE_EQ(b.Distance({5, 6}), 5.0);  // Corner: 3-4-5.
+}
+
+TEST(SegmentTest, PointSegmentDistance) {
+  EXPECT_DOUBLE_EQ(DistancePointSegment({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  // Beyond the endpoint: distance to the endpoint.
+  EXPECT_DOUBLE_EQ(DistancePointSegment({2, 0}, {-1, 0}, {1, 0}), 1.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(DistancePointSegment({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(SegmentTest, ProperIntersection) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));  // Disjoint collinear.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {1, 1}, {3, 3}));   // Overlapping collinear.
+}
+
+TEST(SegmentTest, TouchingIntersection) {
+  // Endpoint on the other segment counts as intersection.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {1, 1}));
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {2, 0}, {3, 1}));
+}
+
+TEST(SegmentTest, SegmentSegmentDistance) {
+  EXPECT_DOUBLE_EQ(DistanceSegmentSegment2({0, 0}, {1, 0}, {0, 1}, {1, 1}), 1.0);
+  EXPECT_EQ(DistanceSegmentSegment2({0, 0}, {2, 2}, {0, 2}, {2, 0}), 0.0);
+}
+
+TEST(SegmentTest, SegmentBoxIntersection) {
+  const Box b(0, 0, 2, 2);
+  EXPECT_TRUE(SegmentIntersectsBox({1, 1}, {5, 5}, b));   // Endpoint inside.
+  EXPECT_TRUE(SegmentIntersectsBox({-1, 1}, {3, 1}, b));  // Crosses through.
+  EXPECT_FALSE(SegmentIntersectsBox({3, 3}, {5, 5}, b));
+  // Diagonal passing beside the box.
+  EXPECT_FALSE(SegmentIntersectsBox({3, 0}, {5, 2}, b));
+  // Touching a corner.
+  EXPECT_TRUE(SegmentIntersectsBox({2, 2}, {3, 3}, b));
+}
+
+}  // namespace
+}  // namespace dbsa::geom

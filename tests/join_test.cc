@@ -1,0 +1,233 @@
+// Tests for the join executors (Section 5.1): exact joins agree with
+// brute force; the ACT approximate join's errors are confined to points
+// within epsilon of true region boundaries — the paper's core guarantee.
+
+#include <gtest/gtest.h>
+
+#include "data/regions.h"
+#include "geom/distance.h"
+#include "join/act_join.h"
+#include "join/exact_join.h"
+#include "join/si_join.h"
+#include "test_util.h"
+
+namespace dbsa::join {
+namespace {
+
+struct JoinSetup {
+  data::RegionSet regions;
+  std::vector<geom::Point> pts;
+  std::vector<double> attrs;
+  raster::Grid grid{{0, 0}, 1024.0};
+
+  JoinInput Input() const {
+    JoinInput in;
+    in.points = pts.data();
+    in.attrs = attrs.data();
+    in.num_points = pts.size();
+    in.polys = &regions.polys;
+    in.region_of = &regions.region_of;
+    in.num_regions = regions.num_regions;
+    return in;
+  }
+};
+
+JoinSetup MakeSetup(size_t n_regions, size_t n_points, uint64_t seed) {
+  JoinSetup s;
+  data::RegionConfig config;
+  config.universe = geom::Box(0, 0, 1024, 1024);
+  config.num_polygons = n_regions;
+  config.target_avg_vertices = 24;
+  config.seed = seed;
+  s.regions = data::GenerateRegions(config);
+  s.pts = dbsa::testing::RandomPoints(geom::Box(1, 1, 1023, 1023), n_points, seed + 9);
+  Rng rng(seed + 21);
+  for (size_t i = 0; i < n_points; ++i) s.attrs.push_back(rng.Uniform(1, 10));
+  return s;
+}
+
+TEST(ExactJoinTest, RStarEqualsBruteForce) {
+  const JoinSetup s = MakeSetup(16, 4000, 1);
+  const JoinInput in = s.Input();
+  const JoinStats brute = BruteForceJoin(in, AggKind::kCount);
+  const JoinStats rstar = RStarMbrJoin(in, AggKind::kCount);
+  ASSERT_EQ(brute.value.size(), rstar.value.size());
+  for (size_t r = 0; r < brute.value.size(); ++r) {
+    ASSERT_DOUBLE_EQ(brute.value[r], rstar.value[r]) << "region " << r;
+  }
+  EXPECT_GT(rstar.pip_tests, 0u);
+}
+
+TEST(ExactJoinTest, GridPipEqualsBruteForce) {
+  const JoinSetup s = MakeSetup(16, 4000, 2);
+  const JoinInput in = s.Input();
+  const JoinStats brute = BruteForceJoin(in, AggKind::kSum);
+  for (const bool shortcut : {false, true}) {
+    const JoinStats grid = GridPipJoin(in, AggKind::kSum, 64, shortcut);
+    for (size_t r = 0; r < brute.value.size(); ++r) {
+      ASSERT_NEAR(brute.value[r], grid.value[r], 1e-6)
+          << "region " << r << " shortcut " << shortcut;
+    }
+  }
+}
+
+TEST(ExactJoinTest, InteriorShortcutReducesPipTests) {
+  const JoinSetup s = MakeSetup(8, 20000, 3);
+  const JoinInput in = s.Input();
+  const JoinStats plain = GridPipJoin(in, AggKind::kCount, 64, false);
+  const JoinStats shortcut = GridPipJoin(in, AggKind::kCount, 64, true);
+  EXPECT_LT(shortcut.pip_tests, plain.pip_tests);
+}
+
+TEST(SiJoinTest, ExactDespiteCoarseCells) {
+  const JoinSetup s = MakeSetup(16, 5000, 4);
+  const JoinInput in = s.Input();
+  const JoinStats brute = BruteForceJoin(in, AggKind::kCount);
+  for (const size_t budget : {8u, 64u, 256u}) {
+    const JoinStats si = SiJoin(in, AggKind::kCount, s.grid, budget);
+    for (size_t r = 0; r < brute.value.size(); ++r) {
+      ASSERT_DOUBLE_EQ(brute.value[r], si.value[r])
+          << "region " << r << " budget " << budget;
+    }
+  }
+}
+
+TEST(SiJoinTest, FinerBudgetCutsPipTests) {
+  const JoinSetup s = MakeSetup(16, 10000, 5);
+  const JoinInput in = s.Input();
+  const JoinStats coarse = SiJoin(in, AggKind::kCount, s.grid, 8);
+  const JoinStats fine = SiJoin(in, AggKind::kCount, s.grid, 512);
+  EXPECT_LT(fine.pip_tests, coarse.pip_tests);
+  EXPECT_GT(fine.index_bytes, coarse.index_bytes);
+}
+
+TEST(ActJoinTest, NoPipTestsAndBoundedErrors) {
+  // The defining properties of the approximate join: zero exact tests,
+  // and every misclassified point lies within epsilon of the boundary of
+  // its true and/or assigned region.
+  const JoinSetup s = MakeSetup(16, 8000, 6);
+  const JoinInput in = s.Input();
+  const double eps = 8.0;
+
+  ActJoinOptions opts;
+  opts.epsilon = eps;
+  ActJoinIndex index(in, s.grid, opts);
+  EXPECT_LE(index.achieved_epsilon(), eps * (1 + 1e-12));
+
+  size_t mismatches = 0;
+  for (size_t i = 0; i < s.pts.size(); ++i) {
+    const geom::Point& p = s.pts[i];
+    const int64_t approx_poly = index.FindPolygon(p);
+    int64_t exact_poly = -1;
+    for (size_t j = 0; j < s.regions.polys.size(); ++j) {
+      if (s.regions.polys[j].bounds().Contains(p) && s.regions.polys[j].Contains(p)) {
+        exact_poly = static_cast<int64_t>(j);
+        break;
+      }
+    }
+    if (approx_poly != exact_poly) {
+      ++mismatches;
+      // Error locality: p is within eps of the true region's boundary
+      // (false negative side) or of the assigned region's boundary
+      // (false positive side).
+      double dist = 1e300;
+      if (exact_poly >= 0) {
+        dist = std::min(dist, geom::DistanceToBoundary(
+                                  p, s.regions.polys[static_cast<size_t>(exact_poly)]));
+      }
+      if (approx_poly >= 0) {
+        dist = std::min(dist,
+                        geom::DistanceToBoundary(
+                            p, s.regions.polys[static_cast<size_t>(approx_poly)]));
+      }
+      ASSERT_LE(dist, eps + 1e-9)
+          << "point " << p.x << "," << p.y << " misassigned across > eps";
+    }
+  }
+  // Most points are classified correctly.
+  EXPECT_LT(static_cast<double>(mismatches) / static_cast<double>(s.pts.size()), 0.10);
+}
+
+TEST(ActJoinTest, JoinStatsReportZeroPip) {
+  const JoinSetup s = MakeSetup(8, 3000, 7);
+  ActJoinOptions opts;
+  opts.epsilon = 4.0;
+  const JoinStats stats = ActJoin(s.Input(), AggKind::kCount, s.grid, opts);
+  EXPECT_EQ(stats.pip_tests, 0u);
+  EXPECT_GT(stats.index_cells, 0u);
+  double total = 0;
+  for (const double v : stats.value) total += v;
+  // Tiling regions + center assignment: every point lands somewhere.
+  EXPECT_NEAR(total, static_cast<double>(s.pts.size()),
+              static_cast<double>(s.pts.size()) * 0.01);
+}
+
+TEST(ActJoinTest, TighterEpsilonImprovesAccuracy) {
+  const JoinSetup s = MakeSetup(12, 10000, 8);
+  const JoinInput in = s.Input();
+  const JoinStats exact = BruteForceJoin(in, AggKind::kCount);
+  double prev_err = 1e300;
+  for (const double eps : {32.0, 8.0, 2.0}) {
+    ActJoinOptions opts;
+    opts.epsilon = eps;
+    const JoinStats approx = ActJoin(in, AggKind::kCount, s.grid, opts);
+    double err = 0;
+    for (size_t r = 0; r < exact.value.size(); ++r) {
+      err += std::fabs(approx.value[r] - exact.value[r]);
+    }
+    EXPECT_LE(err, prev_err + 1.0) << "eps " << eps;
+    prev_err = err;
+  }
+}
+
+TEST(ActJoinTest, ExactRefineMatchesBruteForce) {
+  // exact_refine turns the approximate join into the EDBT'20 filter-and-
+  // refine mode: exact answers, PIP tests only on boundary-cell hits.
+  const JoinSetup s = MakeSetup(16, 6000, 10);
+  const JoinInput in = s.Input();
+  const JoinStats brute = BruteForceJoin(in, AggKind::kCount);
+  ActJoinOptions opts;
+  opts.epsilon = 8.0;
+  opts.exact_refine = true;
+  const JoinStats refined = ActJoin(in, AggKind::kCount, s.grid, opts);
+  for (size_t r = 0; r < brute.value.size(); ++r) {
+    ASSERT_DOUBLE_EQ(brute.value[r], refined.value[r]) << "region " << r;
+  }
+  EXPECT_GT(refined.pip_tests, 0u);
+  // Residual refinement: only points in boundary cells pay a PIP.
+  EXPECT_LT(refined.pip_tests, s.pts.size());
+}
+
+TEST(ActJoinTest, TighterEpsilonCutsRefinementWork) {
+  const JoinSetup s = MakeSetup(12, 10000, 11);
+  const JoinInput in = s.Input();
+  size_t prev = SIZE_MAX;
+  for (const double eps : {32.0, 8.0, 2.0}) {
+    ActJoinOptions opts;
+    opts.epsilon = eps;
+    opts.exact_refine = true;
+    const JoinStats stats = ActJoin(in, AggKind::kCount, s.grid, opts);
+    EXPECT_LT(stats.pip_tests, prev) << "eps " << eps;
+    prev = stats.pip_tests;
+  }
+}
+
+TEST(ActJoinTest, AggregatesBeyondCount) {
+  const JoinSetup s = MakeSetup(8, 5000, 9);
+  const JoinInput in = s.Input();
+  const JoinStats exact_sum = BruteForceJoin(in, AggKind::kSum);
+  ActJoinOptions opts;
+  opts.epsilon = 2.0;
+  const JoinStats approx_sum = ActJoin(in, AggKind::kSum, s.grid, opts);
+  const JoinStats approx_avg = ActJoin(in, AggKind::kAvg, s.grid, opts);
+  for (size_t r = 0; r < exact_sum.value.size(); ++r) {
+    if (exact_sum.value[r] > 100) {
+      EXPECT_NEAR(approx_sum.value[r] / exact_sum.value[r], 1.0, 0.1) << r;
+      EXPECT_GT(approx_avg.value[r], 0.0);
+      EXPECT_LT(approx_avg.value[r], 10.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbsa::join

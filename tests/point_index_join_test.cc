@@ -1,0 +1,147 @@
+// Tests for the Section 3 point-indexing pipeline: all three search
+// strategies return identical aggregates; conservative query cells give
+// counts >= exact; result ranges always contain the exact answer.
+
+#include <gtest/gtest.h>
+
+#include "join/point_index_join.h"
+#include "join/result_range.h"
+#include "test_util.h"
+
+namespace dbsa::join {
+namespace {
+
+struct PiSetup {
+  raster::Grid grid{{0, 0}, 512.0};
+  std::vector<geom::Point> pts;
+  std::vector<double> attrs;
+};
+
+PiSetup MakeSetup(size_t n, uint64_t seed) {
+  PiSetup s;
+  s.pts = dbsa::testing::RandomPoints(geom::Box(5, 5, 507, 507), n, seed);
+  Rng rng(seed + 1);
+  for (size_t i = 0; i < n; ++i) s.attrs.push_back(rng.Uniform(0, 2));
+  return s;
+}
+
+TEST(PointIndexTest, StrategiesAgree) {
+  const PiSetup s = MakeSetup(20000, 1);
+  const PointIndex index(s.pts.data(), s.attrs.data(), s.pts.size(), s.grid);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const geom::Polygon poly =
+        dbsa::testing::MakeStarPolygon({256, 256}, 60, 150, 18, seed);
+    const raster::HierarchicalRaster hr =
+        raster::HierarchicalRaster::BuildEpsilon(poly, s.grid, 4.0);
+    const CellAggregate bs = index.QueryCells(hr, SearchStrategy::kBinarySearch);
+    const CellAggregate rs = index.QueryCells(hr, SearchStrategy::kRadixSpline);
+    const CellAggregate bt = index.QueryCells(hr, SearchStrategy::kBTree);
+    ASSERT_DOUBLE_EQ(bs.count, rs.count) << "seed " << seed;
+    ASSERT_DOUBLE_EQ(bs.count, bt.count) << "seed " << seed;
+    ASSERT_NEAR(bs.sum, rs.sum, 1e-9);
+    ASSERT_NEAR(bs.sum, bt.sum, 1e-9);
+    ASSERT_EQ(bs.query_cells, rs.query_cells);
+  }
+}
+
+TEST(PointIndexTest, ConservativeCountsBracketExact) {
+  const PiSetup s = MakeSetup(30000, 2);
+  const PointIndex index(s.pts.data(), s.attrs.data(), s.pts.size(), s.grid);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const geom::Polygon poly =
+        dbsa::testing::MakeStarPolygon({256, 256}, 60, 150, 18, seed);
+    size_t exact = 0;
+    for (const geom::Point& p : s.pts) {
+      if (poly.bounds().Contains(p) && poly.Contains(p)) ++exact;
+    }
+    const raster::HierarchicalRaster hr =
+        raster::HierarchicalRaster::BuildEpsilon(poly, s.grid, 4.0);
+    const CellAggregate agg = index.QueryCells(hr, SearchStrategy::kRadixSpline);
+    // Conservative: count >= exact; over-count confined to boundary cells.
+    EXPECT_GE(agg.count + 1e-9, static_cast<double>(exact)) << "seed " << seed;
+    EXPECT_LE(agg.count - agg.boundary_count, static_cast<double>(exact) + 1e-9)
+        << "interior-only count must under-count";
+  }
+}
+
+TEST(PointIndexTest, ResultRangeAlwaysContainsExact) {
+  const PiSetup s = MakeSetup(30000, 3);
+  const PointIndex index(s.pts.data(), s.attrs.data(), s.pts.size(), s.grid);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const geom::Polygon poly =
+        dbsa::testing::MakeStarPolygon({200 + 10.0 * seed, 256}, 50, 140, 16, seed);
+    size_t exact_count = 0;
+    double exact_sum = 0;
+    for (size_t i = 0; i < s.pts.size(); ++i) {
+      if (poly.bounds().Contains(s.pts[i]) && poly.Contains(s.pts[i])) {
+        ++exact_count;
+        exact_sum += s.attrs[i];
+      }
+    }
+    const raster::HierarchicalRaster hr =
+        raster::HierarchicalRaster::BuildEpsilon(poly, s.grid, 8.0);
+    const CellAggregate agg = index.QueryCells(hr, SearchStrategy::kBinarySearch);
+    const ResultRange count_range = CountRange(agg);
+    const ResultRange sum_range = SumRange(agg);
+    EXPECT_TRUE(count_range.Contains(static_cast<double>(exact_count)))
+        << "seed " << seed << " range [" << count_range.lo << "," << count_range.hi
+        << "] exact " << exact_count;
+    EXPECT_TRUE(sum_range.Contains(exact_sum)) << "seed " << seed;
+    // The beta estimate lands inside the guaranteed interval.
+    EXPECT_GE(count_range.estimate, count_range.lo - 1e-9);
+    EXPECT_LE(count_range.estimate, count_range.hi + 1e-9);
+  }
+}
+
+TEST(PointIndexTest, TighterEpsilonShrinksRange) {
+  const PiSetup s = MakeSetup(30000, 4);
+  const PointIndex index(s.pts.data(), s.attrs.data(), s.pts.size(), s.grid);
+  const geom::Polygon poly = dbsa::testing::MakeStarPolygon({256, 256}, 60, 150, 18, 5);
+  double prev_width = 1e300;
+  for (const double eps : {32.0, 8.0, 2.0}) {
+    const raster::HierarchicalRaster hr =
+        raster::HierarchicalRaster::BuildEpsilon(poly, s.grid, eps);
+    const CellAggregate agg = index.QueryCells(hr, SearchStrategy::kBinarySearch);
+    const ResultRange range = CountRange(agg);
+    EXPECT_LT(range.Width(), prev_width) << "eps " << eps;
+    prev_width = range.Width();
+  }
+}
+
+TEST(PointIndexTest, BudgetQueryPolygonPath) {
+  const PiSetup s = MakeSetup(10000, 5);
+  const PointIndex index(s.pts.data(), s.attrs.data(), s.pts.size(), s.grid);
+  const geom::Polygon poly = dbsa::testing::MakeStarPolygon({256, 256}, 60, 150, 18, 6);
+  size_t prev_cells = 0;
+  double prev_err = 1e300;
+  size_t exact = 0;
+  for (const geom::Point& p : s.pts) {
+    if (poly.bounds().Contains(p) && poly.Contains(p)) ++exact;
+  }
+  for (const size_t budget : {32u, 128u, 512u}) {
+    const CellAggregate agg =
+        index.QueryPolygon(poly, budget, SearchStrategy::kRadixSpline);
+    EXPECT_LE(agg.query_cells, budget);
+    EXPECT_GT(agg.query_cells, prev_cells);
+    prev_cells = agg.query_cells;
+    const double err = std::fabs(agg.count - static_cast<double>(exact));
+    EXPECT_LE(err, prev_err + 1.0) << "budget " << budget;
+    prev_err = err;
+  }
+  // At 512 cells the count is close to exact (Figure 4(b)'s message).
+  EXPECT_LT(prev_err / static_cast<double>(exact), 0.12);
+}
+
+TEST(PointIndexTest, MemoryAccounting) {
+  const PiSetup s = MakeSetup(5000, 6);
+  const PointIndex index(s.pts.data(), s.attrs.data(), s.pts.size(), s.grid);
+  const size_t bs = index.MemoryBytes(SearchStrategy::kBinarySearch);
+  const size_t rs = index.MemoryBytes(SearchStrategy::kRadixSpline);
+  const size_t bt = index.MemoryBytes(SearchStrategy::kBTree);
+  EXPECT_GT(bs, 0u);
+  EXPECT_GT(rs, bs);  // Spline + radix table on top of the keys.
+  EXPECT_GT(bt, bs);
+}
+
+}  // namespace
+}  // namespace dbsa::join

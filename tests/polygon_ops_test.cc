@@ -1,0 +1,92 @@
+// Tests for polygon-box operations: classification (the rasterizer's cell
+// kind decision) and clipping (coverage fractions for non-conservative
+// rasters).
+
+#include <gtest/gtest.h>
+
+#include "geom/polygon_ops.h"
+#include "test_util.h"
+
+namespace dbsa::geom {
+namespace {
+
+TEST(ClassifyBoxTest, ObviousCases) {
+  const Polygon sq = dbsa::testing::MakeRectPolygon(0, 0, 10, 10);
+  EXPECT_EQ(ClassifyBox(sq, Box(2, 2, 3, 3)), BoxRelation::kInside);
+  EXPECT_EQ(ClassifyBox(sq, Box(20, 20, 21, 21)), BoxRelation::kOutside);
+  EXPECT_EQ(ClassifyBox(sq, Box(-1, -1, 1, 1)), BoxRelation::kBoundary);
+}
+
+TEST(ClassifyBoxTest, BoxContainingPolygonIsBoundary) {
+  const Polygon sq = dbsa::testing::MakeRectPolygon(4, 4, 6, 6);
+  EXPECT_EQ(ClassifyBox(sq, Box(0, 0, 10, 10)), BoxRelation::kBoundary);
+}
+
+TEST(ClassifyBoxTest, HoleMakesBoxOutside) {
+  Polygon poly(Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+               {Ring{{3, 3}, {7, 3}, {7, 7}, {3, 7}}});
+  poly.Normalize();
+  EXPECT_EQ(ClassifyBox(poly, Box(4.5, 4.5, 5.5, 5.5)), BoxRelation::kOutside);
+  EXPECT_EQ(ClassifyBox(poly, Box(1, 1, 2, 2)), BoxRelation::kInside);
+  EXPECT_EQ(ClassifyBox(poly, Box(2.5, 2.5, 3.5, 3.5)), BoxRelation::kBoundary);
+}
+
+TEST(ClipRingTest, SquareClippedToHalf) {
+  const Ring sq{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const Ring clipped = ClipRingToBox(sq, Box(1, 0, 3, 2));
+  EXPECT_DOUBLE_EQ(std::fabs(SignedArea(clipped)), 2.0);
+}
+
+TEST(ClipRingTest, DisjointClipIsEmpty) {
+  const Ring sq{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const Ring clipped = ClipRingToBox(sq, Box(5, 5, 6, 6));
+  EXPECT_LT(std::fabs(SignedArea(clipped)), 1e-12);
+}
+
+TEST(ClipRingTest, FullyInsideClipUnchangedArea) {
+  const Ring tri{{1, 1}, {2, 1}, {1.5, 2}};
+  const Ring clipped = ClipRingToBox(tri, Box(0, 0, 10, 10));
+  EXPECT_DOUBLE_EQ(std::fabs(SignedArea(clipped)), std::fabs(SignedArea(tri)));
+}
+
+TEST(CoverageTest, ExactFractions) {
+  const Polygon sq = dbsa::testing::MakeRectPolygon(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(BoxCoverageFraction(sq, Box(1, 1, 2, 2)), 1.0);
+  EXPECT_DOUBLE_EQ(BoxCoverageFraction(sq, Box(20, 20, 21, 21)), 0.0);
+  EXPECT_NEAR(BoxCoverageFraction(sq, Box(-1, 0, 1, 2)), 0.5, 1e-12);
+}
+
+TEST(CoverageTest, HoleReducesCoverage) {
+  Polygon poly(Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+               {Ring{{4, 4}, {6, 4}, {6, 6}, {4, 6}}});
+  poly.Normalize();
+  // Box exactly over the hole region plus a ring around it.
+  EXPECT_NEAR(BoxCoverageFraction(poly, Box(3, 3, 7, 7)), (16.0 - 4.0) / 16.0, 1e-12);
+}
+
+TEST(CoverageTest, AdditivityOverSubdividedBoxes) {
+  // Property: coverage area over a box equals the sum over its quadrants.
+  const Polygon star = dbsa::testing::MakeStarPolygon({5, 5}, 2.0, 4.5, 20, 7);
+  const Box box(2, 2, 8, 8);
+  const Point c = box.Center();
+  const Box quads[4] = {Box(box.min, c),
+                        Box({c.x, box.min.y}, {box.max.x, c.y}),
+                        Box({box.min.x, c.y}, {c.x, box.max.y}),
+                        Box(c, box.max)};
+  double sum = 0.0;
+  for (const Box& q : quads) sum += PolygonBoxIntersectionArea(star, q);
+  EXPECT_NEAR(PolygonBoxIntersectionArea(star, box), sum, 1e-9);
+}
+
+TEST(CoverageTest, TotalCoverageEqualsPolygonArea) {
+  // Property: clipping to a box containing the polygon yields its area.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Polygon star = dbsa::testing::MakeStarPolygon({0, 0}, 1.0, 3.0, 16, seed);
+    EXPECT_NEAR(PolygonBoxIntersectionArea(star, Box(-5, -5, 5, 5)), star.Area(),
+                1e-9)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dbsa::geom

@@ -1,0 +1,126 @@
+// Tests for the optimization layer: selectivity estimation accuracy and
+// cost-based plan selection behaviour.
+
+#include <gtest/gtest.h>
+
+#include "query/optimizer.h"
+#include "query/selectivity.h"
+#include "test_util.h"
+
+namespace dbsa::query {
+namespace {
+
+TEST(SelectivityTest, UniformDataBoxEstimates) {
+  const geom::Box universe(0, 0, 1000, 1000);
+  const auto pts = dbsa::testing::RandomPoints(universe, 50000, 1);
+  const SelectivityHistogram hist(pts.data(), pts.size(), universe, 64);
+  EXPECT_EQ(hist.total(), 50000u);
+
+  for (const double frac : {0.5, 0.2, 0.05}) {
+    const double side = 1000.0 * frac;
+    const geom::Box q(100, 100, 100 + side, 100 + side);
+    const double want = 50000.0 * frac * frac;
+    const double got = hist.EstimateBox(q);
+    EXPECT_NEAR(got, want, want * 0.15 + 50) << "frac " << frac;
+  }
+}
+
+TEST(SelectivityTest, FractionalCellCoverage) {
+  const geom::Box universe(0, 0, 100, 100);
+  const auto pts = dbsa::testing::RandomPoints(universe, 10000, 2);
+  const SelectivityHistogram hist(pts.data(), pts.size(), universe, 10);
+  // A box covering exactly half a cell row.
+  const double est = hist.EstimateBox(geom::Box(0, 0, 100, 5));
+  EXPECT_NEAR(est, 500.0, 120.0);
+}
+
+TEST(SelectivityTest, PolygonEstimateTracksArea) {
+  const geom::Box universe(0, 0, 1000, 1000);
+  const auto pts = dbsa::testing::RandomPoints(universe, 40000, 3);
+  const SelectivityHistogram hist(pts.data(), pts.size(), universe, 64);
+  const geom::Polygon star = dbsa::testing::MakeStarPolygon({500, 500}, 150, 250, 20, 4);
+  const double want = 40000.0 * star.Area() / 1e6;
+  const double got = hist.EstimatePolygon(star);
+  EXPECT_NEAR(got, want, want * 0.3 + 100);
+}
+
+TEST(SelectivityTest, DisjointQueryIsZero) {
+  const geom::Box universe(0, 0, 100, 100);
+  const auto pts = dbsa::testing::RandomPoints(universe, 1000, 5);
+  const SelectivityHistogram hist(pts.data(), pts.size(), universe, 16);
+  EXPECT_EQ(hist.EstimateBox(geom::Box(200, 200, 300, 300)), 0.0);
+}
+
+QueryProfile BaseProfile() {
+  QueryProfile p;
+  p.num_points = 1000000;
+  p.num_polygons = 300;
+  p.avg_vertices = 30;
+  p.epsilon = 4.0;
+  p.universe_extent = 65536.0;
+  p.total_perimeter = 300 * 4 * 4000.0;
+  p.total_polygon_area = 65536.0 * 65536.0;
+  p.repetitions = 1;
+  return p;
+}
+
+TEST(OptimizerTest, ExactRequiredWhenEpsilonZero) {
+  QueryProfile p = BaseProfile();
+  p.epsilon = 0.0;
+  const PlanChoice choice = ChoosePlan(p);
+  EXPECT_EQ(choice.kind, PlanKind::kExactRStar);
+  EXPECT_NE(choice.explain.find("exact"), std::string::npos);
+}
+
+TEST(OptimizerTest, RepetitionFavorsIndexedPlans) {
+  // With an amortized point index, complex query polygons and many
+  // repetitions, the cell-range searches beat per-point PIP refinement.
+  QueryProfile p = BaseProfile();
+  p.num_points = 10000000;
+  p.num_polygons = 100;
+  p.avg_vertices = 663;                      // Boroughs-like complexity.
+  p.total_perimeter = 100 * 4 * 1000.0;      // Compact regions.
+  p.point_index_available = true;
+  p.repetitions = 100;
+  const PlanCosts costs = EstimateCosts(p);
+  EXPECT_LT(costs.point_index, costs.exact);
+  const PlanChoice choice = ChoosePlan(p);
+  EXPECT_NE(choice.kind, PlanKind::kExactRStar);
+}
+
+TEST(OptimizerTest, ComplexPolygonsPenalizeExact) {
+  QueryProfile simple = BaseProfile();
+  simple.avg_vertices = 10;
+  QueryProfile complex_polys = BaseProfile();
+  complex_polys.avg_vertices = 700;
+  EXPECT_GT(EstimateCosts(complex_polys).exact, EstimateCosts(simple).exact * 5);
+}
+
+TEST(OptimizerTest, TightEpsilonRaisesRasterCosts) {
+  QueryProfile loose = BaseProfile();
+  loose.epsilon = 10.0;
+  QueryProfile tight = BaseProfile();
+  tight.epsilon = 0.5;
+  const PlanCosts lc = EstimateCosts(loose);
+  const PlanCosts tc = EstimateCosts(tight);
+  EXPECT_GT(tc.brj, lc.brj);
+  EXPECT_GT(tc.act, lc.act);
+  // Exact cost is epsilon-independent.
+  EXPECT_DOUBLE_EQ(tc.exact, lc.exact);
+}
+
+TEST(OptimizerTest, ExplainMentionsAllCandidates) {
+  const PlanChoice choice = ChoosePlan(BaseProfile());
+  EXPECT_NE(choice.explain.find("ACT"), std::string::npos);
+  EXPECT_NE(choice.explain.find("BRJ"), std::string::npos);
+  EXPECT_NE(choice.explain.find("EXACT"), std::string::npos);
+  EXPECT_GT(choice.est_cost, 0.0);
+}
+
+TEST(OptimizerTest, PlanKindNamesAreStable) {
+  EXPECT_STREQ(PlanKindName(PlanKind::kActJoin), "ACT-JOIN");
+  EXPECT_STREQ(PlanKindName(PlanKind::kCanvasBrj), "CANVAS-BRJ");
+}
+
+}  // namespace
+}  // namespace dbsa::query

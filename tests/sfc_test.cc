@@ -1,0 +1,145 @@
+// Tests for the linearization layer: Morton and Hilbert curves.
+
+#include <gtest/gtest.h>
+
+#include "sfc/hilbert.h"
+#include "sfc/morton.h"
+#include "util/random.h"
+
+namespace dbsa::sfc {
+namespace {
+
+TEST(MortonTest, KnownValues) {
+  EXPECT_EQ(MortonEncode(0, 0), 0u);
+  EXPECT_EQ(MortonEncode(1, 0), 1u);
+  EXPECT_EQ(MortonEncode(0, 1), 2u);
+  EXPECT_EQ(MortonEncode(1, 1), 3u);
+  EXPECT_EQ(MortonEncode(2, 0), 4u);
+  EXPECT_EQ(MortonEncode(0xffffffffu, 0xffffffffu), 0xffffffffffffffffull);
+}
+
+TEST(MortonTest, RoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.Next());
+    const uint32_t y = static_cast<uint32_t>(rng.Next());
+    uint32_t dx, dy;
+    MortonDecode(MortonEncode(x, y), &dx, &dy);
+    ASSERT_EQ(x, dx);
+    ASSERT_EQ(y, dy);
+  }
+}
+
+TEST(MortonTest, QuadrantPrefixProperty) {
+  // All cells of one quadtree quadrant share the Morton prefix: the
+  // property the CellId scheme and ACT rely on.
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.Next()) >> 12;  // 20 bits.
+    const uint32_t y = static_cast<uint32_t>(rng.Next()) >> 12;
+    const uint64_t parent = MortonEncode(x >> 1, y >> 1);
+    const uint64_t child = MortonEncode(x, y);
+    ASSERT_EQ(child >> 2, parent);
+  }
+}
+
+TEST(HilbertTest, RoundTrip) {
+  Rng rng(3);
+  for (const int order : {1, 2, 4, 8, 16, 24, 31}) {
+    const uint32_t mask = order == 31 ? 0x7fffffffu : ((1u << order) - 1);
+    for (int i = 0; i < 2000; ++i) {
+      const uint32_t x = static_cast<uint32_t>(rng.Next()) & mask;
+      const uint32_t y = static_cast<uint32_t>(rng.Next()) & mask;
+      uint32_t dx, dy;
+      HilbertDecode(HilbertEncode(x, y, order), order, &dx, &dy);
+      ASSERT_EQ(x, dx) << "order " << order;
+      ASSERT_EQ(y, dy) << "order " << order;
+    }
+  }
+}
+
+TEST(HilbertTest, IsBijectionOnSmallGrid) {
+  const int order = 4;  // 16x16.
+  std::vector<bool> seen(256, false);
+  for (uint32_t y = 0; y < 16; ++y) {
+    for (uint32_t x = 0; x < 16; ++x) {
+      const uint64_t d = HilbertEncode(x, y, order);
+      ASSERT_LT(d, 256u);
+      ASSERT_FALSE(seen[d]) << "collision at " << x << "," << y;
+      seen[d] = true;
+    }
+  }
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining locality property of the Hilbert curve: successive
+  // indices differ by one grid step.
+  const int order = 6;  // 64x64.
+  uint32_t px = 0, py = 0;
+  HilbertDecode(0, order, &px, &py);
+  for (uint64_t d = 1; d < 64ull * 64ull; ++d) {
+    uint32_t x, y;
+    HilbertDecode(d, order, &x, &y);
+    const uint32_t manhattan =
+        (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    ASSERT_EQ(manhattan, 1u) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(HilbertTest, QuadrantContiguity) {
+  // Every level-1 quadrant of the grid occupies one contiguous quarter of
+  // the Hilbert range — the property that lets cell ranges drive index
+  // lookups under Hilbert linearization too.
+  const int order = 5;  // 32x32; quadrants are 16x16 = 256 indices.
+  for (int q = 0; q < 4; ++q) {
+    const uint32_t qx = (q & 1) ? 16 : 0;
+    const uint32_t qy = (q & 2) ? 16 : 0;
+    uint64_t min_d = UINT64_MAX, max_d = 0;
+    for (uint32_t y = 0; y < 16; ++y) {
+      for (uint32_t x = 0; x < 16; ++x) {
+        const uint64_t d = HilbertEncode(qx + x, qy + y, order);
+        min_d = std::min(min_d, d);
+        max_d = std::max(max_d, d);
+      }
+    }
+    EXPECT_EQ(max_d - min_d + 1, 256u) << "quadrant " << q;
+    EXPECT_EQ(min_d % 256, 0u) << "quadrant " << q;
+  }
+}
+
+TEST(SfcLocalityTest, HilbertHasPerfectIndexAdjacency) {
+  // The standard locality comparison: walking the curve index by index,
+  // Hilbert always moves to a grid neighbour; Z-order takes long jumps at
+  // quadrant seams. bench/abl_sfc measures the end-to-end index effect.
+  const int order = 7;
+  const uint64_t total = 1ull << (2 * order);
+  auto neighbor_fraction = [&](auto decode) {
+    uint64_t neighbors = 0;
+    uint32_t px, py;
+    decode(0, &px, &py);
+    for (uint64_t d = 1; d < total; ++d) {
+      uint32_t x, y;
+      decode(d, &x, &y);
+      const uint32_t manhattan =
+          (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+      neighbors += (manhattan == 1) ? 1 : 0;
+      px = x;
+      py = y;
+    }
+    return static_cast<double>(neighbors) / static_cast<double>(total - 1);
+  };
+  const double morton_frac = neighbor_fraction([](uint64_t d, uint32_t* x, uint32_t* y) {
+    MortonDecode(d, x, y);
+  });
+  const double hilbert_frac =
+      neighbor_fraction([order](uint64_t d, uint32_t* x, uint32_t* y) {
+        HilbertDecode(d, order, x, y);
+      });
+  EXPECT_DOUBLE_EQ(hilbert_frac, 1.0);
+  EXPECT_LT(morton_frac, 0.75);
+}
+
+}  // namespace
+}  // namespace dbsa::sfc

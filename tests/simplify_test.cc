@@ -1,0 +1,80 @@
+// Tests for distance-bounded polygon simplification (Douglas-Peucker) —
+// the vector-space epsilon-approximation companion to the rasters.
+
+#include <gtest/gtest.h>
+
+#include "geom/distance.h"
+#include "geom/simplify.h"
+#include "test_util.h"
+
+namespace dbsa::geom {
+namespace {
+
+TEST(SimplifyTest, CollinearChainCollapses) {
+  std::vector<Point> line;
+  for (int i = 0; i <= 10; ++i) line.push_back({static_cast<double>(i), 0.0});
+  const auto out = SimplifyPolyline(line, 0.01);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.front().x, 0.0);
+  EXPECT_EQ(out.back().x, 10.0);
+}
+
+TEST(SimplifyTest, KeepsSignificantDeviation) {
+  const std::vector<Point> line{{0, 0}, {5, 3}, {10, 0}};
+  EXPECT_EQ(SimplifyPolyline(line, 1.0).size(), 3u);   // Peak kept.
+  EXPECT_EQ(SimplifyPolyline(line, 5.0).size(), 2u);   // Peak dropped.
+}
+
+TEST(SimplifyTest, EndpointsAlwaysKept) {
+  Rng rng(1);
+  std::vector<Point> line;
+  for (int i = 0; i <= 50; ++i) {
+    line.push_back({static_cast<double>(i), rng.Uniform(-1, 1)});
+  }
+  const auto out = SimplifyPolyline(line, 10.0);
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out.front().x, line.front().x);
+  EXPECT_EQ(out.back().x, line.back().x);
+}
+
+TEST(SimplifyTest, SimplifiedWithinEpsilonOfOriginal) {
+  // The DP guarantee: every dropped vertex is within eps of the kept
+  // chain -> directed Hausdorff(original -> simplified) <= eps.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const Polygon star = dbsa::testing::MakeStarPolygon({0, 0}, 50, 100, 64, seed);
+    for (const double eps : {2.0, 10.0, 30.0}) {
+      const Ring simplified = SimplifyRing(star.outer(), eps);
+      const double h = DirectedHausdorffSampled(star.outer(), simplified, 1.0);
+      EXPECT_LE(h, eps + 1.0) << "seed " << seed << " eps " << eps;  // +sampling slack.
+    }
+  }
+}
+
+TEST(SimplifyTest, LargerEpsilonFewerVertices) {
+  const Polygon star = dbsa::testing::MakeStarPolygon({0, 0}, 50, 100, 128, 3);
+  size_t prev = star.outer().size() + 1;
+  for (const double eps : {1.0, 5.0, 20.0, 60.0}) {
+    const Ring simplified = SimplifyRing(star.outer(), eps);
+    EXPECT_LE(simplified.size(), prev) << "eps " << eps;
+    EXPECT_GE(simplified.size(), 3u);
+    prev = simplified.size();
+  }
+}
+
+TEST(SimplifyTest, PolygonDropsCollapsedHoles) {
+  Polygon poly(Ring{{0, 0}, {100, 0}, {100, 100}, {0, 100}},
+               {Ring{{50, 50}, {50.5, 50}, {50.5, 50.5}, {50, 50.5}}});
+  poly.Normalize();
+  const Polygon simplified = SimplifyPolygon(poly, 5.0);
+  EXPECT_TRUE(simplified.holes().empty() ||
+              std::fabs(SignedArea(simplified.holes()[0])) > 0.0);
+  EXPECT_TRUE(simplified.IsValid());
+}
+
+TEST(SimplifyTest, TinyRingsPassThrough) {
+  const Ring tri{{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_EQ(SimplifyRing(tri, 100.0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace dbsa::geom

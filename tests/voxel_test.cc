@@ -1,0 +1,137 @@
+// Tests for the 3-D extension (paper Section 6, "Higher-Dimensional
+// Data"): Morton3 bijectivity and the epsilon bound of voxel rasters over
+// SDF solids.
+
+#include <gtest/gtest.h>
+
+#include "raster/voxel.h"
+#include "sfc/morton3.h"
+#include "util/random.h"
+
+namespace dbsa::raster {
+namespace {
+
+TEST(Morton3Test, KnownValues) {
+  EXPECT_EQ(sfc::Morton3Encode(0, 0, 0), 0u);
+  EXPECT_EQ(sfc::Morton3Encode(1, 0, 0), 1u);
+  EXPECT_EQ(sfc::Morton3Encode(0, 1, 0), 2u);
+  EXPECT_EQ(sfc::Morton3Encode(0, 0, 1), 4u);
+  EXPECT_EQ(sfc::Morton3Encode(1, 1, 1), 7u);
+}
+
+TEST(Morton3Test, RoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.Next()) & 0x1fffff;
+    const uint32_t y = static_cast<uint32_t>(rng.Next()) & 0x1fffff;
+    const uint32_t z = static_cast<uint32_t>(rng.Next()) & 0x1fffff;
+    uint32_t dx, dy, dz;
+    sfc::Morton3Decode(sfc::Morton3Encode(x, y, z), &dx, &dy, &dz);
+    ASSERT_EQ(x, dx);
+    ASSERT_EQ(y, dy);
+    ASSERT_EQ(z, dz);
+  }
+}
+
+TEST(SdfTest, SphereDistances) {
+  const Sdf s = SphereSdf({0, 0, 0}, 10.0);
+  EXPECT_DOUBLE_EQ(s({0, 0, 0}), -10.0);
+  EXPECT_DOUBLE_EQ(s({10, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(s({13, 0, 0}), 3.0);
+}
+
+TEST(SdfTest, BoxDistances) {
+  const Sdf b = BoxSdf({0, 0, 0}, {10, 10, 10});
+  EXPECT_DOUBLE_EQ(b({5, 5, 5}), -5.0);
+  EXPECT_DOUBLE_EQ(b({5, 5, 9}), -1.0);
+  EXPECT_DOUBLE_EQ(b({13, 5, 5}), 3.0);
+  EXPECT_DOUBLE_EQ(b({13, 14, 5}), 5.0);
+}
+
+TEST(SdfTest, CapsuleDistances) {
+  const Sdf c = CapsuleSdf({0, 0, 0}, {10, 0, 0}, 2.0);
+  EXPECT_DOUBLE_EQ(c({5, 0, 0}), -2.0);
+  EXPECT_DOUBLE_EQ(c({5, 2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(c({-3, 0, 0}), 1.0);  // Beyond the cap.
+}
+
+TEST(SdfTest, CsgOps) {
+  const Sdf u = UnionSdf(SphereSdf({0, 0, 0}, 5), SphereSdf({20, 0, 0}, 5));
+  EXPECT_LT(u({0, 0, 0}), 0.0);
+  EXPECT_LT(u({20, 0, 0}), 0.0);
+  EXPECT_GT(u({10, 0, 0}), 0.0);
+  const Sdf i = IntersectSdf(SphereSdf({0, 0, 0}, 5), SphereSdf({4, 0, 0}, 5));
+  EXPECT_LT(i({2, 0, 0}), 0.0);
+  EXPECT_GT(i({-4, 0, 0}), 0.0);
+}
+
+class VoxelBoundTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(VoxelBoundTest, EpsilonBoundHoldsForSphere) {
+  const double eps = GetParam();
+  const Sdf sphere = SphereSdf({50, 50, 50}, 30.0);
+  const VoxelRaster vr = VoxelRaster::Build(sphere, {0, 0, 0}, 100.0, eps, 8);
+  EXPECT_LE(vr.AchievedEpsilon(), std::max(eps, vr.VoxelSize() * 1.7320509));
+
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const Point3 p{rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    const double d = sphere(p);
+    const CellKind kind = vr.Classify(p);
+    if (d <= -vr.AchievedEpsilon()) {
+      // Deep inside: must be covered.
+      ASSERT_NE(kind, CellKind::kOutside) << "depth " << d;
+    }
+    if (d >= vr.AchievedEpsilon()) {
+      // Far outside: must not be covered.
+      ASSERT_EQ(kind, CellKind::kOutside) << "dist " << d;
+    }
+    // Everything else is within the bound of the surface: any answer is
+    // epsilon-consistent by definition.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, VoxelBoundTest, ::testing::Values(20.0, 8.0, 3.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "eps" + std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(VoxelTest, InteriorVoxelsAreInside) {
+  const Sdf box = BoxSdf({20, 20, 20}, {80, 80, 80});
+  const VoxelRaster vr = VoxelRaster::Build(box, {0, 0, 0}, 100.0, 5.0, 7);
+  EXPECT_GT(vr.NumInterior(), 0u);
+  EXPECT_GT(vr.NumBoundary(), 0u);
+  EXPECT_EQ(vr.Classify({50, 50, 50}), CellKind::kInterior);
+  EXPECT_EQ(vr.Classify({5, 5, 5}), CellKind::kOutside);
+}
+
+TEST(VoxelTest, TighterEpsilonMoreVoxels) {
+  const Sdf sphere = SphereSdf({50, 50, 50}, 30.0);
+  size_t prev = 0;
+  for (const double eps : {40.0, 15.0, 5.0}) {
+    const VoxelRaster vr = VoxelRaster::Build(sphere, {0, 0, 0}, 100.0, eps, 8);
+    const size_t total = vr.NumInterior() + vr.NumBoundary();
+    EXPECT_GT(total, prev) << "eps " << eps;
+    prev = total;
+  }
+}
+
+TEST(VoxelTest, CorridorQueryScenario) {
+  // A flight-corridor capsule across the cube, queried with 3-D points —
+  // the kind of 3-D spatial selection the paper's future work sketches.
+  const Sdf corridor = CapsuleSdf({0, 50, 50}, {100, 50, 50}, 8.0);
+  const VoxelRaster vr = VoxelRaster::Build(corridor, {0, 0, 0}, 100.0, 4.0, 8);
+  Rng rng(9);
+  size_t approx_in = 0, exact_in = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Point3 p{rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    if (vr.ApproxContains(p)) ++approx_in;
+    if (corridor(p) <= 0) ++exact_in;
+  }
+  // Conservative: approx >= exact, and within the boundary-shell excess.
+  EXPECT_GE(approx_in, exact_in);
+  EXPECT_LT(static_cast<double>(approx_in - exact_in) / exact_in, 0.6);
+}
+
+}  // namespace
+}  // namespace dbsa::raster

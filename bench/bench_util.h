@@ -8,9 +8,11 @@
 #ifndef DBSA_BENCH_BENCH_UTIL_H_
 #define DBSA_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/dbsa.h"
 #include "join/si_join.h"
@@ -77,6 +79,48 @@ inline void PrintScale(const std::string& what) {
   PrintNote("scale: " + what);
   PrintNote("(single-threaded; shapes, not absolute times, are the target)");
 }
+
+/// One machine-readable result record, printed as a single JSON object
+/// line prefixed with "JSON " so scripts can grep it out of the human
+/// output. The standard emission format for bench measurements.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) { Add("bench", bench); }
+
+  JsonLine& Add(const std::string& key, const std::string& value) {
+    fields_.push_back("\"" + key + "\": \"" + value + "\"");
+    return *this;
+  }
+  JsonLine& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonLine& Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.push_back("\"" + key + "\": " + buf);
+    return *this;
+  }
+  JsonLine& Add(const std::string& key, size_t value) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(value));
+    return *this;
+  }
+  JsonLine& Add(const std::string& key, int value) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(value));
+    return *this;
+  }
+
+  void Print(std::FILE* out = stdout) const {
+    std::fputs("JSON {", out);
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::fputs(i ? ", " : "", out);
+      std::fputs(fields_[i].c_str(), out);
+    }
+    std::fputs("}\n", out);
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
 
 }  // namespace dbsa::bench
 

@@ -1,0 +1,147 @@
+// SERVICE — throughput of the concurrent query service: queries/sec vs
+// thread count, and what the approximation cache buys on repeated-epsilon
+// workloads (the paper's interactive regime: many sessions asking for the
+// same regions at the same handful of distance bounds).
+//
+// Per thread count the bench runs the same mixed workload twice against a
+// fresh service: a COLD pass (every HR approximation is built) and a WARM
+// pass (every approximation served from the LRU cache). The warm/cold
+// ratio is the amortization argument of the serving layer.
+//
+// Flags: --points=N --regions=N --rounds=N --max_threads=N
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/query_service.h"
+
+namespace dbsa {
+namespace {
+
+using service::QueryService;
+using service::Request;
+using service::ServiceOptions;
+
+/// The repeated-epsilon workload: region aggregations across a few
+/// distance bounds plus ad-hoc viewport counts (a dashboard's refresh).
+std::vector<Request> MakeWorkload(const geom::Box& universe, size_t rounds) {
+  std::vector<Request> reqs;
+  const std::vector<double> epsilons = {4.0, 16.0, 64.0};
+  std::vector<geom::Polygon> viewports;
+  Rng rng(2021);
+  for (int v = 0; v < 4; ++v) {
+    const double w = universe.Width() * rng.Uniform(0.1, 0.3);
+    const double x0 = rng.Uniform(universe.min.x, universe.max.x - w);
+    const double y0 = rng.Uniform(universe.min.y, universe.max.y - w);
+    geom::Polygon viewport(
+        geom::Ring{{x0, y0}, {x0 + w, y0}, {x0 + w, y0 + w}, {x0, y0 + w}});
+    viewport.Normalize();
+    viewports.push_back(std::move(viewport));
+  }
+  for (size_t round = 0; round < rounds; ++round) {
+    for (const double eps : epsilons) {
+      reqs.push_back(Request::MakeAggregate(join::AggKind::kCount, core::Attr::kNone,
+                                            eps, core::Mode::kPointIndex));
+      reqs.push_back(Request::MakeAggregate(join::AggKind::kSum, core::Attr::kFare,
+                                            eps, core::Mode::kPointIndex));
+      for (const geom::Polygon& viewport : viewports) {
+        reqs.push_back(Request::MakeCount(viewport, eps));
+      }
+    }
+  }
+  return reqs;
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  double hit_ratio = 0.0;
+};
+
+PassResult RunPass(QueryService& service, const std::vector<Request>& workload) {
+  const service::ApproxCache::Stats before = service.cache_stats();
+  Timer timer;
+  for (const Request& req : workload) service.Submit(req);
+  service.Drain();
+  PassResult result;
+  result.seconds = timer.Seconds();
+  result.qps = static_cast<double>(workload.size()) / result.seconds;
+  const service::ApproxCache::Stats after = service.cache_stats();
+  const size_t hits = after.hits - before.hits;
+  const size_t misses = after.misses - before.misses;
+  result.hit_ratio =
+      hits + misses ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                    : 0.0;
+  return result;
+}
+
+void Run(size_t n_points, size_t n_regions, size_t rounds, size_t max_threads) {
+  PrintBanner("Service throughput: queries/sec vs threads, cold vs warm cache");
+  bench::PrintScale(HumanCount(static_cast<double>(n_points)) + " points, " +
+                    std::to_string(n_regions) + " region polygons, " +
+                    std::to_string(rounds) + " rounds");
+
+  data::PointSet points = bench::BenchPoints(n_points);
+  data::RegionSet regions =
+      data::GenerateRegions(data::CensusConfig(bench::BenchUniverse(), n_regions));
+
+  Timer snap_timer;
+  const std::shared_ptr<const core::EngineState> snapshot =
+      core::BuildEngineState(std::move(points), std::move(regions));
+  PrintNote("one-off snapshot build (grid + point index): " +
+            TablePrinter::Num(snap_timer.Millis(), 4) + " ms");
+
+  const std::vector<Request> workload =
+      MakeWorkload(snapshot->grid.universe(), rounds);
+  PrintNote(std::to_string(workload.size()) + " queries per pass");
+  if (workload.empty()) {
+    PrintNote("empty workload (rounds=0); nothing to measure");
+    return;
+  }
+
+  TablePrinter table({"threads", "cold qps", "warm qps", "warm/cold", "hit ratio",
+                      "cache"});
+  for (size_t threads = 1; threads <= max_threads; threads *= 2) {
+    ServiceOptions options;
+    options.num_threads = threads;
+    options.cache_budget_bytes = size_t{256} << 20;
+    QueryService service(snapshot, options);  // Fresh (cold) cache.
+
+    const PassResult cold = RunPass(service, workload);
+    const PassResult warm = RunPass(service, workload);
+    const service::ApproxCache::Stats stats = service.cache_stats();
+
+    table.AddRow({std::to_string(threads), TablePrinter::Num(cold.qps, 5),
+                  TablePrinter::Num(warm.qps, 5),
+                  TablePrinter::Num(warm.qps / cold.qps, 4),
+                  TablePrinter::Num(warm.hit_ratio, 4), HumanBytes(stats.bytes_used)});
+
+    bench::JsonLine("service_throughput")
+        .Add("threads", threads)
+        .Add("queries", workload.size())
+        .Add("cold_qps", cold.qps)
+        .Add("warm_qps", warm.qps)
+        .Add("warm_over_cold", warm.qps / cold.qps)
+        .Add("warm_hit_ratio", warm.hit_ratio)
+        .Add("cache_bytes", stats.bytes_used)
+        .Add("cache_entries", stats.entries)
+        .Print();
+  }
+  table.Print();
+  PrintNote("warm/cold > 1 is the approximation cache amortizing HR builds;");
+  PrintNote("qps scaling with threads is the shared-snapshot concurrency.");
+}
+
+}  // namespace
+}  // namespace dbsa
+
+int main(int argc, char** argv) {
+  const size_t n_points = dbsa::bench::FlagSize(argc, argv, "points", 100000);
+  const size_t n_regions = dbsa::bench::FlagSize(argc, argv, "regions", 500);
+  const size_t rounds = dbsa::bench::FlagSize(argc, argv, "rounds", 3);
+  const size_t max_threads = dbsa::bench::FlagSize(argc, argv, "max_threads", 8);
+  dbsa::Run(n_points, n_regions, rounds, max_threads);
+  return 0;
+}

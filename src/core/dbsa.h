@@ -37,8 +37,14 @@
 #include "data/taxi.h"      // IWYU pragma: export
 #include "data/workload.h"  // IWYU pragma: export
 
-// Engine façade.
-#include "core/engine.h"  // IWYU pragma: export
+// Engine façade and its shareable immutable state.
+#include "core/engine.h"        // IWYU pragma: export
+#include "core/engine_state.h"  // IWYU pragma: export
+
+// Concurrent serving layer (thread pool + approximation cache).
+#include "service/approx_cache.h"   // IWYU pragma: export
+#include "service/query_service.h"  // IWYU pragma: export
+#include "service/thread_pool.h"    // IWYU pragma: export
 
 namespace dbsa {
 

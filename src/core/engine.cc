@@ -1,238 +1,50 @@
 #include "core/engine.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "canvas/brj.h"
-#include "join/exact_join.h"
-#include "join/si_join.h"
 #include "util/check.h"
-#include "util/timer.h"
 
 namespace dbsa::core {
 
-struct SpatialEngine::Impl {
-  std::optional<raster::Grid> grid;
-  std::optional<join::PointIndex> point_index;
-  std::optional<query::SelectivityHistogram> histogram;
-};
+SpatialEngine::SpatialEngine()
+    : points_(std::make_shared<const data::PointSet>()),
+      regions_(std::make_shared<const data::RegionSet>()) {}
 
-SpatialEngine::SpatialEngine() : impl_(std::make_unique<Impl>()) {}
 SpatialEngine::~SpatialEngine() = default;
 
 void SpatialEngine::SetPoints(data::PointSet points) {
-  points_ = std::move(points);
-  passengers_as_double_.assign(points_.passengers.begin(), points_.passengers.end());
-  impl_->grid.reset();
-  impl_->point_index.reset();
-  impl_->histogram.reset();
+  points_ = std::make_shared<const data::PointSet>(std::move(points));
+  state_.reset();
 }
 
 void SpatialEngine::SetRegions(data::RegionSet regions) {
-  regions_ = std::move(regions);
-  impl_->grid.reset();
+  regions_ = std::make_shared<const data::RegionSet>(std::move(regions));
+  state_.reset();
+}
+
+std::shared_ptr<const EngineState> SpatialEngine::Snapshot() {
+  if (!state_) state_ = BuildEngineState(points_, regions_);
+  return state_;
 }
 
 const raster::Grid& SpatialEngine::grid() const {
-  DBSA_CHECK(impl_->grid.has_value());
-  return *impl_->grid;
-}
-
-const double* SpatialEngine::AttrColumn(Attr attr) {
-  switch (attr) {
-    case Attr::kNone:
-      return nullptr;
-    case Attr::kFare:
-      return points_.fare.data();
-    case Attr::kPassengers:
-      return passengers_as_double_.data();
-  }
-  return nullptr;
-}
-
-join::JoinInput SpatialEngine::MakeInput(Attr attr) {
-  if (!impl_->grid.has_value()) {
-    geom::Box bounds = points_.Bounds();
-    bounds.Extend(regions_.Bounds());
-    impl_->grid = raster::Grid::Covering(bounds);
-  }
-  join::JoinInput in;
-  in.points = points_.locs.data();
-  in.attrs = AttrColumn(attr);
-  in.num_points = points_.size();
-  in.polys = &regions_.polys;
-  in.region_of = &regions_.region_of;
-  in.num_regions = regions_.num_regions;
-  return in;
-}
-
-void SpatialEngine::EnsurePointIndex() {
-  if (!impl_->point_index.has_value()) {
-    impl_->point_index.emplace(points_.locs.data(), points_.fare.data(),
-                               points_.size(), *impl_->grid);
-  }
+  DBSA_CHECK(state_ != nullptr);
+  return state_->grid;
 }
 
 AggregateAnswer SpatialEngine::Aggregate(join::AggKind agg, Attr attr, double epsilon,
                                          Mode mode) {
-  DBSA_CHECK(!regions_.polys.empty());
-  const join::JoinInput in = MakeInput(attr);
-  AggregateAnswer answer;
-
-  // Plan selection.
-  query::QueryProfile profile;
-  profile.num_points = points_.size();
-  profile.num_polygons = regions_.NumPolygons();
-  profile.avg_vertices = regions_.AvgVertices();
-  profile.epsilon = epsilon;
-  profile.universe_extent = impl_->grid->side();
-  profile.total_perimeter = regions_.TotalPerimeter();
-  profile.total_polygon_area = regions_.TotalArea();
-  profile.point_index_available = impl_->point_index.has_value();
-  const query::PlanChoice choice = query::ChoosePlan(profile);
-
-  query::PlanKind plan = choice.kind;
-  switch (mode) {
-    case Mode::kAuto:
-      break;
-    case Mode::kAct:
-      plan = query::PlanKind::kActJoin;
-      break;
-    case Mode::kPointIndex:
-      plan = query::PlanKind::kPointIndexJoin;
-      break;
-    case Mode::kCanvasBrj:
-      plan = query::PlanKind::kCanvasBrj;
-      break;
-    case Mode::kExact:
-      plan = query::PlanKind::kExactRStar;
-      break;
-  }
-  if (epsilon <= 0.0) plan = query::PlanKind::kExactRStar;
-
-  answer.stats.plan = plan;
-  answer.stats.explain = choice.explain;
-
-  Timer timer;
-  switch (plan) {
-    case query::PlanKind::kActJoin: {
-      join::ActJoinOptions opts;
-      opts.epsilon = epsilon;
-      const join::JoinStats stats = join::ActJoin(in, agg, *impl_->grid, opts);
-      answer.stats.pip_tests = stats.pip_tests;
-      answer.stats.index_bytes = stats.index_bytes;
-      answer.stats.achieved_epsilon =
-          impl_->grid->AchievedEpsilon(impl_->grid->LevelForEpsilon(epsilon));
-      answer.rows.resize(stats.value.size());
-      for (size_t r = 0; r < stats.value.size(); ++r) {
-        answer.rows[r] = {static_cast<uint32_t>(r), stats.value[r], stats.value[r],
-                          stats.value[r]};
-      }
-      break;
-    }
-    case query::PlanKind::kPointIndexJoin: {
-      EnsurePointIndex();
-      DBSA_CHECK(agg == join::AggKind::kCount || agg == join::AggKind::kSum ||
-                 agg == join::AggKind::kAvg);
-      answer.stats.achieved_epsilon =
-          impl_->grid->AchievedEpsilon(impl_->grid->LevelForEpsilon(epsilon));
-      // Per region: conservative HR query cells + prefix-sum lookups; the
-      // boundary partials give the Section 6 result range.
-      std::vector<join::CellAggregate> per_region(regions_.num_regions);
-      for (size_t j = 0; j < regions_.polys.size(); ++j) {
-        const raster::HierarchicalRaster hr = raster::HierarchicalRaster::BuildEpsilon(
-            regions_.polys[j], *impl_->grid, epsilon);
-        const join::CellAggregate cell_agg =
-            impl_->point_index->QueryCells(hr, join::SearchStrategy::kRadixSpline);
-        join::CellAggregate& acc = per_region[regions_.region_of[j]];
-        acc.count += cell_agg.count;
-        acc.sum += cell_agg.sum;
-        acc.boundary_count += cell_agg.boundary_count;
-        acc.boundary_sum += cell_agg.boundary_sum;
-      }
-      answer.stats.index_bytes =
-          impl_->point_index->MemoryBytes(join::SearchStrategy::kRadixSpline);
-      answer.rows.resize(per_region.size());
-      for (size_t r = 0; r < per_region.size(); ++r) {
-        const join::CellAggregate& a = per_region[r];
-        double value = 0.0, lo = 0.0, hi = 0.0;
-        if (agg == join::AggKind::kCount) {
-          const join::ResultRange range = join::CountRange(a);
-          value = range.estimate;
-          lo = range.lo;
-          hi = range.hi;
-        } else if (agg == join::AggKind::kSum) {
-          const join::ResultRange range = join::SumRange(a);
-          value = range.estimate;
-          lo = range.lo;
-          hi = range.hi;
-        } else {  // AVG
-          value = a.count > 0 ? a.sum / a.count : 0.0;
-          lo = hi = value;
-        }
-        answer.rows[r] = {static_cast<uint32_t>(r), value, lo, hi};
-      }
-      break;
-    }
-    case query::PlanKind::kCanvasBrj: {
-      canvas::BrjOptions opts;
-      opts.epsilon = epsilon;
-      const canvas::BrjResult brj = canvas::BoundedRasterJoin(
-          in.points, in.attrs, in.num_points, regions_.polys, regions_.region_of,
-          regions_.num_regions, impl_->grid->universe(), opts);
-      answer.stats.achieved_epsilon = epsilon;
-      answer.rows.resize(regions_.num_regions);
-      for (size_t r = 0; r < regions_.num_regions; ++r) {
-        double value = 0.0;
-        if (agg == join::AggKind::kCount) {
-          value = brj.count[r];
-        } else if (agg == join::AggKind::kSum) {
-          value = brj.sum[r];
-        } else if (agg == join::AggKind::kAvg) {
-          value = brj.count[r] > 0 ? brj.sum[r] / brj.count[r] : 0.0;
-        } else {
-          DBSA_CHECK(false);  // MIN/MAX not supported on the count canvas.
-        }
-        answer.rows[r] = {static_cast<uint32_t>(r), value, value, value};
-      }
-      break;
-    }
-    case query::PlanKind::kExactRStar: {
-      const join::JoinStats stats = join::RStarMbrJoin(in, agg);
-      answer.stats.pip_tests = stats.pip_tests;
-      answer.stats.index_bytes = stats.index_bytes;
-      answer.stats.achieved_epsilon = 0.0;
-      answer.rows.resize(stats.value.size());
-      for (size_t r = 0; r < stats.value.size(); ++r) {
-        answer.rows[r] = {static_cast<uint32_t>(r), stats.value[r], stats.value[r],
-                          stats.value[r]};
-      }
-      break;
-    }
-  }
-  answer.stats.elapsed_ms = timer.Millis();
-  return answer;
-}
-
-std::vector<uint32_t> SpatialEngine::SelectInPolygon(const geom::Polygon& poly,
-                                                     double epsilon) {
-  MakeInput(Attr::kNone);
-  EnsurePointIndex();
-  const raster::HierarchicalRaster hr =
-      raster::HierarchicalRaster::BuildEpsilon(poly, *impl_->grid, epsilon);
-  std::vector<uint32_t> ids;
-  impl_->point_index->SelectIds(hr, join::SearchStrategy::kRadixSpline, &ids);
-  return ids;
+  return ExecuteAggregate(*Snapshot(), agg, attr, epsilon, mode);
 }
 
 join::ResultRange SpatialEngine::CountInPolygon(const geom::Polygon& poly,
                                                 double epsilon) {
-  MakeInput(Attr::kNone);
-  EnsurePointIndex();
-  const raster::HierarchicalRaster hr =
-      raster::HierarchicalRaster::BuildEpsilon(poly, *impl_->grid, epsilon);
-  const join::CellAggregate agg =
-      impl_->point_index->QueryCells(hr, join::SearchStrategy::kRadixSpline);
-  return join::CountRange(agg);
+  return ExecuteCountInPolygon(*Snapshot(), poly, epsilon);
+}
+
+std::vector<uint32_t> SpatialEngine::SelectInPolygon(const geom::Polygon& poly,
+                                                     double epsilon) {
+  return ExecuteSelectInPolygon(*Snapshot(), poly, epsilon);
 }
 
 }  // namespace dbsa::core

@@ -1,67 +1,41 @@
-// SpatialEngine: the library's public façade. Register a point table and
-// a region table once, then run distance-bounded aggregation queries; the
-// engine approximates the regions within the requested epsilon, picks an
-// execution plan (Section 4's optimizer) and answers without exact
-// geometric tests — or exactly, when epsilon == 0. Conservative runs also
-// return the Section 6 result ranges.
+// SpatialEngine: the library's single-session façade. Register a point
+// table and a region table once, then run distance-bounded aggregation
+// queries; the engine approximates the regions within the requested
+// epsilon, picks an execution plan (Section 4's optimizer) and answers
+// without exact geometric tests — or exactly, when epsilon == 0.
+// Conservative runs also return the Section 6 result ranges.
+//
+// The engine itself is a thin, NOT thread-safe wrapper that stages tables
+// and lazily freezes them into an immutable core::EngineState (see
+// engine_state.h). Snapshot() exposes that state for sharing — the
+// concurrent serving layer in src/service/ runs many queries against one
+// snapshot from a thread pool.
 
 #ifndef DBSA_CORE_ENGINE_H_
 #define DBSA_CORE_ENGINE_H_
 
 #include <memory>
-#include <optional>
-#include <string>
+#include <vector>
 
-#include "data/dataset.h"
-#include "join/act_join.h"
-#include "join/point_index_join.h"
-#include "join/result_range.h"
-#include "query/optimizer.h"
+#include "core/engine_state.h"
 
 namespace dbsa::core {
 
-/// Per-region answer of an aggregation query.
-struct AggregateRow {
-  uint32_t region = 0;
-  double value = 0.0;
-  /// Guaranteed range (conservative plans only; lo == hi == value
-  /// otherwise).
-  double lo = 0.0;
-  double hi = 0.0;
-};
-
-/// Execution report of one query.
-struct ExecStats {
-  query::PlanKind plan = query::PlanKind::kExactRStar;
-  std::string explain;
-  double elapsed_ms = 0.0;
-  double achieved_epsilon = 0.0;
-  size_t pip_tests = 0;
-  size_t index_bytes = 0;
-};
-
-struct AggregateAnswer {
-  std::vector<AggregateRow> rows;
-  ExecStats stats;
-};
-
-/// Which attribute of the point table to aggregate.
-enum class Attr { kNone, kFare, kPassengers };
-
-/// Execution-mode override (kAuto defers to the optimizer).
-enum class Mode { kAuto, kAct, kPointIndex, kCanvasBrj, kExact };
-
-/// The engine. Not thread-safe; one instance per session.
 class SpatialEngine {
  public:
   SpatialEngine();
   ~SpatialEngine();
 
-  /// Registers the point table (copied).
+  /// Registers the point table (moved in; never copied again afterwards).
   void SetPoints(data::PointSet points);
 
-  /// Registers the region table (copied).
+  /// Registers the region table (moved in; never copied again afterwards).
   void SetRegions(data::RegionSet regions);
+
+  /// The frozen, shareable build products for the current registration.
+  /// Builds them on first use; invalidated by SetPoints / SetRegions.
+  /// Thread-safe to *use* (see engine_state.h), not to obtain.
+  std::shared_ptr<const EngineState> Snapshot();
 
   /// SELECT AGG(attr) FROM P, R WHERE P.loc INSIDE R.geometry GROUP BY R.id
   /// with distance bound epsilon (0 = exact).
@@ -77,21 +51,15 @@ class SpatialEngine {
   /// inside is returned; extras are within epsilon of the boundary).
   std::vector<uint32_t> SelectInPolygon(const geom::Polygon& poly, double epsilon);
 
-  const data::PointSet& points() const { return points_; }
-  const data::RegionSet& regions() const { return regions_; }
+  const data::PointSet& points() const { return *points_; }
+  const data::RegionSet& regions() const { return *regions_; }
+  /// Requires a snapshot (any query, or Snapshot(), builds one).
   const raster::Grid& grid() const;
 
  private:
-  struct Impl;
-
-  const double* AttrColumn(Attr attr);
-  join::JoinInput MakeInput(Attr attr);
-  void EnsurePointIndex();
-
-  data::PointSet points_;
-  data::RegionSet regions_;
-  std::vector<double> passengers_as_double_;
-  std::unique_ptr<Impl> impl_;
+  std::shared_ptr<const data::PointSet> points_;
+  std::shared_ptr<const data::RegionSet> regions_;
+  std::shared_ptr<const EngineState> state_;  ///< Null while dirty.
 };
 
 }  // namespace dbsa::core

@@ -1,0 +1,258 @@
+#include "core/engine_state.h"
+
+#include <utility>
+
+#include "canvas/brj.h"
+#include "join/act_join.h"
+#include "join/exact_join.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace dbsa::core {
+
+const double* EngineState::AttrColumn(Attr attr) const {
+  switch (attr) {
+    case Attr::kNone:
+      return nullptr;
+    case Attr::kFare:
+      return points->fare.data();
+    case Attr::kPassengers:
+      return passengers_as_double.data();
+  }
+  return nullptr;
+}
+
+join::JoinInput EngineState::MakeInput(Attr attr) const {
+  join::JoinInput in;
+  in.points = points->locs.data();
+  in.attrs = AttrColumn(attr);
+  in.num_points = points->size();
+  in.polys = &regions->polys;
+  in.region_of = &regions->region_of;
+  in.num_regions = regions->num_regions;
+  return in;
+}
+
+std::shared_ptr<const EngineState> BuildEngineState(
+    std::shared_ptr<const data::PointSet> points,
+    std::shared_ptr<const data::RegionSet> regions) {
+  DBSA_CHECK(points != nullptr && regions != nullptr);
+  auto state = std::make_shared<EngineState>();
+  state->points = std::move(points);
+  state->regions = std::move(regions);
+  state->passengers_as_double.assign(state->points->passengers.begin(),
+                                     state->points->passengers.end());
+  geom::Box bounds = state->points->Bounds();
+  bounds.Extend(state->regions->Bounds());
+  state->grid = raster::Grid::Covering(bounds);
+  state->point_index.emplace(state->points->locs.data(), state->points->fare.data(),
+                             state->points->size(), state->grid);
+  return state;
+}
+
+std::shared_ptr<const EngineState> BuildEngineState(data::PointSet points,
+                                                    data::RegionSet regions) {
+  return BuildEngineState(
+      std::make_shared<const data::PointSet>(std::move(points)),
+      std::make_shared<const data::RegionSet>(std::move(regions)));
+}
+
+namespace {
+
+/// HR for one polygon: through the provider when given (cache path),
+/// otherwise built fresh on this thread's stack.
+std::shared_ptr<const raster::HierarchicalRaster> HrFor(const EngineState& state,
+                                                        const ExecHooks& hooks,
+                                                        size_t poly_index,
+                                                        const geom::Polygon& poly,
+                                                        double epsilon) {
+  if (hooks.hr_provider) return hooks.hr_provider(poly_index, poly, epsilon);
+  return std::make_shared<raster::HierarchicalRaster>(
+      raster::HierarchicalRaster::BuildEpsilon(poly, state.grid, epsilon));
+}
+
+}  // namespace
+
+AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
+                                 Attr attr, double epsilon, Mode mode,
+                                 const ExecHooks& hooks) {
+  DBSA_CHECK(!state.regions->polys.empty());
+  const join::JoinInput in = state.MakeInput(attr);
+  AggregateAnswer answer;
+
+  // Plan selection.
+  query::QueryProfile profile;
+  profile.num_points = state.points->size();
+  profile.num_polygons = state.regions->NumPolygons();
+  profile.avg_vertices = state.regions->AvgVertices();
+  profile.epsilon = epsilon;
+  profile.universe_extent = state.grid.side();
+  profile.total_perimeter = state.regions->TotalPerimeter();
+  profile.total_polygon_area = state.regions->TotalArea();
+  profile.point_index_available = state.point_index.has_value();
+  profile.hr_cache_available = static_cast<bool>(hooks.hr_provider);
+  const query::PlanChoice choice = query::ChoosePlan(profile);
+
+  query::PlanKind plan = choice.kind;
+  switch (mode) {
+    case Mode::kAuto:
+      break;
+    case Mode::kAct:
+      plan = query::PlanKind::kActJoin;
+      break;
+    case Mode::kPointIndex:
+      plan = query::PlanKind::kPointIndexJoin;
+      break;
+    case Mode::kCanvasBrj:
+      plan = query::PlanKind::kCanvasBrj;
+      break;
+    case Mode::kExact:
+      plan = query::PlanKind::kExactRStar;
+      break;
+  }
+  if (epsilon <= 0.0) plan = query::PlanKind::kExactRStar;
+  // The point index stores prefix sums of one attribute column (fare); a
+  // SUM/AVG over another column cannot be answered from it. Reroute to the
+  // ACT join, which aggregates any column at the same distance bound.
+  if (plan == query::PlanKind::kPointIndexJoin && agg != join::AggKind::kCount &&
+      attr == Attr::kPassengers) {
+    plan = query::PlanKind::kActJoin;
+  }
+
+  answer.stats.plan = plan;
+  answer.stats.explain = choice.explain;
+
+  Timer timer;
+  switch (plan) {
+    case query::PlanKind::kActJoin: {
+      join::ActJoinOptions opts;
+      opts.epsilon = epsilon;
+      const join::JoinStats stats = join::ActJoin(in, agg, state.grid, opts);
+      answer.stats.pip_tests = stats.pip_tests;
+      answer.stats.index_bytes = stats.index_bytes;
+      answer.stats.achieved_epsilon =
+          state.grid.AchievedEpsilon(state.grid.LevelForEpsilon(epsilon));
+      answer.rows.resize(stats.value.size());
+      for (size_t r = 0; r < stats.value.size(); ++r) {
+        answer.rows[r] = {static_cast<uint32_t>(r), stats.value[r], stats.value[r],
+                          stats.value[r]};
+      }
+      break;
+    }
+    case query::PlanKind::kPointIndexJoin: {
+      DBSA_CHECK(state.point_index.has_value());
+      DBSA_CHECK(agg == join::AggKind::kCount || agg == join::AggKind::kSum ||
+                 agg == join::AggKind::kAvg);
+      answer.stats.achieved_epsilon =
+          state.grid.AchievedEpsilon(state.grid.LevelForEpsilon(epsilon));
+      // Stage 1 — independent per polygon (HR query cells + prefix-sum
+      // lookups), so the hook may fan it out across threads.
+      const std::vector<geom::Polygon>& polys = state.regions->polys;
+      std::vector<join::CellAggregate> per_poly(polys.size());
+      const auto one_poly = [&](size_t j) {
+        const std::shared_ptr<const raster::HierarchicalRaster> hr =
+            HrFor(state, hooks, j, polys[j], epsilon);
+        per_poly[j] = state.point_index->QueryCells(*hr,
+                                                    join::SearchStrategy::kRadixSpline);
+      };
+      if (hooks.parallel_for) {
+        hooks.parallel_for(polys.size(), one_poly);
+      } else {
+        for (size_t j = 0; j < polys.size(); ++j) one_poly(j);
+      }
+      // Stage 2 — combine into regions serially in polygon order, keeping
+      // floating-point accumulation order independent of the scheduling
+      // above (the service's determinism guarantee). The boundary partials
+      // give the Section 6 result range.
+      std::vector<join::CellAggregate> per_region(state.regions->num_regions);
+      for (size_t j = 0; j < polys.size(); ++j) {
+        per_region[state.regions->region_of[j]].Merge(per_poly[j]);
+      }
+      answer.stats.index_bytes =
+          state.point_index->MemoryBytes(join::SearchStrategy::kRadixSpline);
+      answer.rows.resize(per_region.size());
+      for (size_t r = 0; r < per_region.size(); ++r) {
+        const join::CellAggregate& a = per_region[r];
+        double value = 0.0, lo = 0.0, hi = 0.0;
+        if (agg == join::AggKind::kCount) {
+          const join::ResultRange range = join::CountRange(a);
+          value = range.estimate;
+          lo = range.lo;
+          hi = range.hi;
+        } else if (agg == join::AggKind::kSum) {
+          const join::ResultRange range = join::SumRange(a);
+          value = range.estimate;
+          lo = range.lo;
+          hi = range.hi;
+        } else {  // AVG
+          value = a.count > 0 ? a.sum / a.count : 0.0;
+          lo = hi = value;
+        }
+        answer.rows[r] = {static_cast<uint32_t>(r), value, lo, hi};
+      }
+      break;
+    }
+    case query::PlanKind::kCanvasBrj: {
+      canvas::BrjOptions opts;
+      opts.epsilon = epsilon;
+      const canvas::BrjResult brj = canvas::BoundedRasterJoin(
+          in.points, in.attrs, in.num_points, state.regions->polys,
+          state.regions->region_of, state.regions->num_regions,
+          state.grid.universe(), opts);
+      answer.stats.achieved_epsilon = epsilon;
+      answer.rows.resize(state.regions->num_regions);
+      for (size_t r = 0; r < state.regions->num_regions; ++r) {
+        double value = 0.0;
+        if (agg == join::AggKind::kCount) {
+          value = brj.count[r];
+        } else if (agg == join::AggKind::kSum) {
+          value = brj.sum[r];
+        } else if (agg == join::AggKind::kAvg) {
+          value = brj.count[r] > 0 ? brj.sum[r] / brj.count[r] : 0.0;
+        } else {
+          DBSA_CHECK(false);  // MIN/MAX not supported on the count canvas.
+        }
+        answer.rows[r] = {static_cast<uint32_t>(r), value, value, value};
+      }
+      break;
+    }
+    case query::PlanKind::kExactRStar: {
+      const join::JoinStats stats = join::RStarMbrJoin(in, agg);
+      answer.stats.pip_tests = stats.pip_tests;
+      answer.stats.index_bytes = stats.index_bytes;
+      answer.stats.achieved_epsilon = 0.0;
+      answer.rows.resize(stats.value.size());
+      for (size_t r = 0; r < stats.value.size(); ++r) {
+        answer.rows[r] = {static_cast<uint32_t>(r), stats.value[r], stats.value[r],
+                          stats.value[r]};
+      }
+      break;
+    }
+  }
+  answer.stats.elapsed_ms = timer.Millis();
+  return answer;
+}
+
+join::ResultRange ExecuteCountInPolygon(const EngineState& state,
+                                        const geom::Polygon& poly, double epsilon,
+                                        const ExecHooks& hooks) {
+  DBSA_CHECK(state.point_index.has_value());
+  const std::shared_ptr<const raster::HierarchicalRaster> hr =
+      HrFor(state, hooks, kAdHocPolygon, poly, epsilon);
+  const join::CellAggregate agg =
+      state.point_index->QueryCells(*hr, join::SearchStrategy::kRadixSpline);
+  return join::CountRange(agg);
+}
+
+std::vector<uint32_t> ExecuteSelectInPolygon(const EngineState& state,
+                                             const geom::Polygon& poly, double epsilon,
+                                             const ExecHooks& hooks) {
+  DBSA_CHECK(state.point_index.has_value());
+  const std::shared_ptr<const raster::HierarchicalRaster> hr =
+      HrFor(state, hooks, kAdHocPolygon, poly, epsilon);
+  std::vector<uint32_t> ids;
+  state.point_index->SelectIds(*hr, join::SearchStrategy::kRadixSpline, &ids);
+  return ids;
+}
+
+}  // namespace dbsa::core

@@ -1,0 +1,130 @@
+// The engine's immutable build products, split out of the SpatialEngine
+// façade so they can be shared: one EngineState holds the registered
+// tables, the covering grid and the linearized point index, and NOTHING in
+// it mutates after BuildEngineState returns. Any number of threads may
+// execute queries against the same state concurrently through the
+// Execute* functions below — all per-query scratch lives on the caller's
+// stack. The service layer (src/service/) shares states behind
+// shared_ptr snapshots and injects caching / intra-query parallelism via
+// ExecHooks.
+
+#ifndef DBSA_CORE_ENGINE_STATE_H_
+#define DBSA_CORE_ENGINE_STATE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "join/exact_join.h"
+#include "join/point_index_join.h"
+#include "join/result_range.h"
+#include "query/optimizer.h"
+
+namespace dbsa::core {
+
+/// Per-region answer of an aggregation query.
+struct AggregateRow {
+  uint32_t region = 0;
+  double value = 0.0;
+  /// Guaranteed range (conservative plans only; lo == hi == value
+  /// otherwise).
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Execution report of one query.
+struct ExecStats {
+  query::PlanKind plan = query::PlanKind::kExactRStar;
+  std::string explain;
+  double elapsed_ms = 0.0;
+  double achieved_epsilon = 0.0;
+  size_t pip_tests = 0;
+  size_t index_bytes = 0;
+  size_t hr_cache_hits = 0;    ///< Approximations served from a cache.
+  size_t hr_cache_misses = 0;  ///< Approximations built by this query.
+};
+
+struct AggregateAnswer {
+  std::vector<AggregateRow> rows;
+  ExecStats stats;
+};
+
+/// Which attribute of the point table to aggregate.
+enum class Attr { kNone, kFare, kPassengers };
+
+/// Execution-mode override (kAuto defers to the optimizer).
+enum class Mode { kAuto, kAct, kPointIndex, kCanvasBrj, kExact };
+
+/// Immutable snapshot of one (points, regions) registration: the tables
+/// themselves plus every shared build product. Construct only through
+/// BuildEngineState; treat as frozen afterwards.
+struct EngineState {
+  std::shared_ptr<const data::PointSet> points;
+  std::shared_ptr<const data::RegionSet> regions;
+  /// Widened passenger column, materialized once per state (the seed
+  /// engine recomputed it on every SetPoints call).
+  std::vector<double> passengers_as_double;
+  raster::Grid grid{geom::Point{0.0, 0.0}, 1.0};
+  /// Built eagerly so concurrent queries never race on lazy construction.
+  std::optional<join::PointIndex> point_index;
+
+  const double* AttrColumn(Attr attr) const;
+  join::JoinInput MakeInput(Attr attr) const;
+};
+
+/// Builds the shared products (covering grid, point index, attribute
+/// columns) for the given tables. The tables are adopted, not copied.
+std::shared_ptr<const EngineState> BuildEngineState(
+    std::shared_ptr<const data::PointSet> points,
+    std::shared_ptr<const data::RegionSet> regions);
+
+/// Convenience overload that wraps the tables (moved, not copied).
+std::shared_ptr<const EngineState> BuildEngineState(data::PointSet points,
+                                                    data::RegionSet regions);
+
+/// poly_index value passed to an HrProvider for polygons that are not part
+/// of the registered region table (ad-hoc query polygons).
+inline constexpr size_t kAdHocPolygon = static_cast<size_t>(-1);
+
+/// Returns the HR approximation of `poly` at the level implied by
+/// `epsilon` — either freshly built or shared from a cache. Must be
+/// thread-safe; the returned structure must stay valid for the query's
+/// lifetime (shared_ptr ownership guarantees it).
+using HrProvider = std::function<std::shared_ptr<const raster::HierarchicalRaster>(
+    size_t poly_index, const geom::Polygon& poly, double epsilon)>;
+
+/// Injection points for the serving layer. Defaults (empty functions)
+/// reproduce the single-threaded engine exactly.
+struct ExecHooks {
+  /// Approximation source; null -> build fresh on the caller's stack.
+  HrProvider hr_provider;
+  /// Runs fn(0..n-1) — possibly concurrently, in any order. Used for the
+  /// per-polygon stage of the point-index plan; the per-region combine
+  /// stays serial in polygon order, so results are bit-identical to the
+  /// serial execution regardless of scheduling.
+  std::function<void(size_t n, const std::function<void(size_t)>& fn)> parallel_for;
+};
+
+/// SELECT AGG(attr) FROM P, R WHERE P.loc INSIDE R.geometry GROUP BY R.id
+/// with distance bound epsilon (0 = exact). Pure: state is shared-read.
+AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
+                                 Attr attr, double epsilon, Mode mode = Mode::kAuto,
+                                 const ExecHooks& hooks = {});
+
+/// COUNT points inside an ad-hoc polygon with a guaranteed result range.
+join::ResultRange ExecuteCountInPolygon(const EngineState& state,
+                                        const geom::Polygon& poly, double epsilon,
+                                        const ExecHooks& hooks = {});
+
+/// Conservative approximate selection of point ids inside an ad-hoc
+/// polygon (every true inside point returned; extras within epsilon).
+std::vector<uint32_t> ExecuteSelectInPolygon(const EngineState& state,
+                                             const geom::Polygon& poly, double epsilon,
+                                             const ExecHooks& hooks = {});
+
+}  // namespace dbsa::core
+
+#endif  // DBSA_CORE_ENGINE_STATE_H_

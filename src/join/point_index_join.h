@@ -33,6 +33,16 @@ struct CellAggregate {
   double boundary_sum = 0.0;
   size_t query_cells = 0;
   size_t searches = 0;
+
+  /// Folds another polygon's aggregate into this one (multi-part regions).
+  void Merge(const CellAggregate& other) {
+    count += other.count;
+    sum += other.sum;
+    boundary_count += other.boundary_count;
+    boundary_sum += other.boundary_sum;
+    query_cells += other.query_cells;
+    searches += other.searches;
+  }
 };
 
 /// Sorted linearized point index with prefix-sum aggregates and three

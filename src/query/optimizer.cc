@@ -49,7 +49,11 @@ PlanCosts EstimateCosts(const QueryProfile& p) {
   // searches. Query cells come from budget/epsilon HR of the query polys.
   const double build = p.point_index_available ? 0.0 : n * std::log2(n + 2) * 0.5;
   const double searches = 2.0 * hr_cells;
-  c.point_index = build + reps * searches * kSearch * std::log2(n + 2);
+  // Rasterizing the query polygons dominates the probe for small point
+  // sets; a serving-layer approximation cache amortizes it away.
+  const double hr_build = p.hr_cache_available ? 0.0 : hr_cells * kTrieHop;
+  c.point_index =
+      build + reps * (hr_build + searches * kSearch * std::log2(n + 2));
 
   // BRJ: points pass + polygon fill per tile.
   const double res = p.universe_extent / cell;

@@ -33,6 +33,10 @@ struct QueryProfile {
   double total_perimeter = 0.0;    ///< Sum over polygons (boundary cells).
   double total_polygon_area = 0.0;
   bool point_index_available = false;  ///< Amortized across queries?
+  /// True when a serving layer caches HR approximations of the region
+  /// table, making the per-query HR construction of the point-index plan
+  /// (nearly) free after the first execution.
+  bool hr_cache_available = false;
   int repetitions = 1;                 ///< Expected executions of the plan.
 };
 

@@ -27,6 +27,14 @@ HierarchicalRaster HierarchicalRaster::BuildEpsilon(const geom::Polygon& poly,
   return BuildEpsilonBottomUp(poly, grid, epsilon, opts);
 }
 
+HierarchicalRaster HierarchicalRaster::BuildLevel(const geom::Polygon& poly,
+                                                  const Grid& grid, int level,
+                                                  const RasterOptions& opts) {
+  // AchievedEpsilon(level) is exactly the cell diagonal, so LevelForEpsilon
+  // maps it back to `level` and both construction paths see the same level.
+  return BuildEpsilon(poly, grid, grid.AchievedEpsilon(level), opts);
+}
+
 HierarchicalRaster HierarchicalRaster::BuildEpsilonBottomUp(const geom::Polygon& poly,
                                                             const Grid& grid,
                                                             double epsilon,

@@ -47,6 +47,13 @@ class HierarchicalRaster {
                                                 const Grid& grid, double epsilon,
                                                 const RasterOptions& opts = {});
 
+  /// Epsilon-driven at an explicit boundary level. Equivalent to
+  /// BuildEpsilon with epsilon = grid.AchievedEpsilon(level); the natural
+  /// entry point for caches keyed by (polygon, level), where every epsilon
+  /// mapping to the same level must produce the identical structure.
+  static HierarchicalRaster BuildLevel(const geom::Polygon& poly, const Grid& grid,
+                                       int level, const RasterOptions& opts = {});
+
   /// Budget-driven: top-down refinement until at most max_cells cells.
   /// The achieved epsilon is the diagonal of the largest boundary cell.
   static HierarchicalRaster BuildBudget(const geom::Polygon& poly, const Grid& grid,

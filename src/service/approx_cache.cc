@@ -1,0 +1,137 @@
+#include "service/approx_cache.h"
+
+#include <cstring>
+#include <utility>
+
+namespace dbsa::service {
+
+namespace {
+
+inline uint64_t FnvMix(uint64_t h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (bits >> shift) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t FnvRing(uint64_t h, const geom::Ring& ring) {
+  for (const geom::Point& p : ring) {
+    h = FnvMix(h, p.x);
+    h = FnvMix(h, p.y);
+  }
+  // Ring separator so ((a), (b)) and ((a, b)) hash differently.
+  h ^= 0x1fu;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace
+
+uint64_t PolygonFingerprint(const geom::Polygon& poly) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+  h = FnvRing(h, poly.outer());
+  for (const geom::Ring& hole : poly.holes()) h = FnvRing(h, hole);
+  return h | (1ULL << 63);
+}
+
+ApproxCache::ApproxCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+ApproxCache::HrPtr ApproxCache::GetOrBuild(uint64_t object_id, int level,
+                                           const Builder& build, bool* built) {
+  if (built != nullptr) *built = false;
+  const Key key{object_id, level};
+  std::shared_future<HrPtr> wait_on;
+  std::promise<HrPtr> promise;
+  uint64_t my_generation = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // Promote.
+      return it->second->hr;
+    }
+    const auto flight = inflight_.find(key);
+    if (flight != inflight_.end()) {
+      ++hits_;  // No construction on this thread.
+      wait_on = flight->second;
+    } else {
+      ++misses_;
+      my_generation = generation_;
+      inflight_.emplace(key, promise.get_future().share());
+    }
+  }
+  if (wait_on.valid()) return wait_on.get();
+  if (built != nullptr) *built = true;
+
+  // Build outside the lock — constructions of different keys proceed in
+  // parallel, and waiting threads block on the future, not the mutex.
+  HrPtr hr;
+  try {
+    hr = std::make_shared<const raster::HierarchicalRaster>(build());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);  // The key stays retryable.
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  const size_t bytes = hr->MemoryBytes();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    // A Clear() issued mid-build invalidates this generation: hand the
+    // result to the waiters but do not resurrect it into the cache.
+    if (generation_ == my_generation && bytes <= budget_bytes_) {
+      lru_.push_front(Entry{key, hr, bytes});
+      map_.emplace(key, lru_.begin());
+      bytes_used_ += bytes;
+      EvictToBudgetLocked();
+    }
+  }
+  promise.set_value(hr);
+  return hr;
+}
+
+ApproxCache::HrPtr ApproxCache::Peek(uint64_t object_id, int level) const {
+  const Key key{object_id, level};
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  return it != map_.end() ? it->second->hr : nullptr;
+}
+
+ApproxCache::Stats ApproxCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = map_.size();
+  s.bytes_used = bytes_used_;
+  s.budget_bytes = budget_bytes_;
+  return s;
+}
+
+void ApproxCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  bytes_used_ = 0;
+  ++generation_;
+}
+
+void ApproxCache::EvictToBudgetLocked() {
+  while (bytes_used_ > budget_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_used_ -= victim.bytes;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace dbsa::service

@@ -1,0 +1,120 @@
+// Memory-budgeted LRU cache of hierarchical-raster approximations, keyed
+// by (object id, epsilon level). This is what turns the paper's "compute
+// approximations on the fly" story into a serving-layer amortization:
+// the HR of a region at a given distance-bound level is built once —
+// by whichever query first needs it — and every later query, session or
+// thread reuses the shared immutable structure.
+//
+// Concurrency: all operations are thread-safe. Concurrent requests for
+// the same missing key are single-flighted — one thread builds, the rest
+// wait on a shared future — so a burst of identical queries costs one
+// construction, not N.
+
+#ifndef DBSA_SERVICE_APPROX_CACHE_H_
+#define DBSA_SERVICE_APPROX_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "geom/polygon.h"
+#include "raster/hierarchical_raster.h"
+
+namespace dbsa::service {
+
+/// Stable 64-bit fingerprint of a polygon's geometry (FNV-1a over the
+/// vertex coordinates' bit patterns). Lets ad-hoc query polygons share
+/// cache entries across repeated submissions — e.g. a dashboard viewport
+/// re-requested at every refresh. The high bit is set so fingerprints
+/// never collide with region-table polygon indexes used as object ids.
+uint64_t PolygonFingerprint(const geom::Polygon& poly);
+
+class ApproxCache {
+ public:
+  using HrPtr = std::shared_ptr<const raster::HierarchicalRaster>;
+  /// Invoked on a miss to construct the approximation. Must be pure: the
+  /// same (object id, level) must always produce the same structure.
+  using Builder = std::function<raster::HierarchicalRaster()>;
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;      ///< Builder invocations.
+    size_t evictions = 0;   ///< Entries dropped to respect the budget.
+    size_t entries = 0;
+    size_t bytes_used = 0;
+    size_t budget_bytes = 0;
+
+    double HitRatio() const {
+      const size_t total = hits + misses;
+      return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+    }
+  };
+
+  /// budget_bytes bounds the summed HierarchicalRaster::MemoryBytes() of
+  /// the cached entries. An entry larger than the whole budget is built
+  /// and returned but never cached.
+  explicit ApproxCache(size_t budget_bytes);
+
+  /// Returns the cached approximation for (object_id, level), building it
+  /// with `build` on a miss. Waiters on an in-flight build count as hits
+  /// (they performed no construction). If `built` is non-null it reports
+  /// whether THIS call ran the builder (per-query miss accounting).
+  HrPtr GetOrBuild(uint64_t object_id, int level, const Builder& build,
+                   bool* built = nullptr);
+
+  /// Lookup without building or LRU promotion (tests, introspection).
+  HrPtr Peek(uint64_t object_id, int level) const;
+
+  Stats stats() const;
+
+  /// Drops every entry (in-flight builds complete and are then dropped).
+  void Clear();
+
+ private:
+  struct Key {
+    uint64_t object_id = 0;
+    int level = 0;
+    bool operator==(const Key& o) const {
+      return object_id == o.object_id && level == o.level;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // Splitmix-style finalizer over the two fields.
+      uint64_t x = k.object_id ^ (static_cast<uint64_t>(k.level) * 0x9e3779b97f4a7c15ULL);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      return static_cast<size_t>(x);
+    }
+  };
+  struct Entry {
+    Key key;
+    HrPtr hr;
+    size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  void EvictToBudgetLocked();
+
+  const size_t budget_bytes_;
+  mutable std::mutex mu_;
+  LruList lru_;  ///< Front = most recently used.
+  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
+  std::unordered_map<Key, std::shared_future<HrPtr>, KeyHash> inflight_;
+  size_t bytes_used_ = 0;
+  uint64_t generation_ = 0;  ///< Bumped by Clear(); stale builds not cached.
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace dbsa::service
+
+#endif  // DBSA_SERVICE_APPROX_CACHE_H_

@@ -1,0 +1,172 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.h"
+
+namespace dbsa::service {
+
+Request Request::MakeAggregate(join::AggKind agg, core::Attr attr, double epsilon,
+                               core::Mode mode) {
+  Request r;
+  r.kind = Kind::kAggregate;
+  r.agg = agg;
+  r.attr = attr;
+  r.epsilon = epsilon;
+  r.mode = mode;
+  return r;
+}
+
+Request Request::MakeCount(geom::Polygon poly, double epsilon) {
+  Request r;
+  r.kind = Kind::kCountInPolygon;
+  r.poly = std::move(poly);
+  r.epsilon = epsilon;
+  return r;
+}
+
+Request Request::MakeSelect(geom::Polygon poly, double epsilon) {
+  Request r;
+  r.kind = Kind::kSelectInPolygon;
+  r.poly = std::move(poly);
+  r.epsilon = epsilon;
+  return r;
+}
+
+QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
+                           const ServiceOptions& options)
+    : state_(std::move(state)),
+      options_(options),
+      cache_(options.cache_budget_bytes),
+      pool_(options.num_threads) {
+  DBSA_CHECK(state_ != nullptr);
+}
+
+QueryService::QueryService(data::PointSet points, data::RegionSet regions,
+                           const ServiceOptions& options)
+    : QueryService(core::BuildEngineState(std::move(points), std::move(regions)),
+                   options) {}
+
+QueryService::~QueryService() = default;
+
+core::ExecHooks QueryService::MakeHooks(std::atomic<size_t>* query_hits,
+                                        std::atomic<size_t>* query_misses) {
+  core::ExecHooks hooks;
+  hooks.hr_provider = [this, query_hits, query_misses](
+                          size_t poly_index, const geom::Polygon& poly,
+                          double epsilon) {
+    const int level = state_->grid.LevelForEpsilon(epsilon);
+    const uint64_t object_id = poly_index == core::kAdHocPolygon
+                                   ? PolygonFingerprint(poly)
+                                   : static_cast<uint64_t>(poly_index);
+    bool built = false;
+    ApproxCache::HrPtr hr = cache_.GetOrBuild(
+        object_id, level,
+        [&]() {
+          return raster::HierarchicalRaster::BuildLevel(poly, state_->grid, level);
+        },
+        &built);
+    if (query_hits != nullptr && query_misses != nullptr) {
+      (built ? *query_misses : *query_hits).fetch_add(1, std::memory_order_relaxed);
+    }
+    return hr;
+  };
+  if (options_.parallel_regions && pool_.size() > 1) {
+    hooks.parallel_for = [this](size_t n, const std::function<void(size_t)>& fn) {
+      pool_.ParallelFor(n, fn);
+    };
+  }
+  return hooks;
+}
+
+core::AggregateAnswer QueryService::RunAggregate(const Request& request) {
+  std::atomic<size_t> query_hits{0};
+  std::atomic<size_t> query_misses{0};
+  core::AggregateAnswer answer =
+      core::ExecuteAggregate(*state_, request.agg, request.attr, request.epsilon,
+                             request.mode, MakeHooks(&query_hits, &query_misses));
+  answer.stats.hr_cache_hits = query_hits.load(std::memory_order_relaxed);
+  answer.stats.hr_cache_misses = query_misses.load(std::memory_order_relaxed);
+  return answer;
+}
+
+Response QueryService::Run(uint64_t ticket, const Request& request) {
+  Response response;
+  response.ticket = ticket;
+  response.kind = request.kind;
+  switch (request.kind) {
+    case Request::Kind::kAggregate:
+      response.aggregate = RunAggregate(request);
+      break;
+    case Request::Kind::kCountInPolygon:
+      response.range = core::ExecuteCountInPolygon(*state_, request.poly,
+                                                   request.epsilon, MakeHooks());
+      break;
+    case Request::Kind::kSelectInPolygon:
+      response.ids = core::ExecuteSelectInPolygon(*state_, request.poly,
+                                                  request.epsilon, MakeHooks());
+      break;
+  }
+  return response;
+}
+
+std::future<core::AggregateAnswer> QueryService::Aggregate(join::AggKind agg,
+                                                           core::Attr attr,
+                                                           double epsilon,
+                                                           core::Mode mode) {
+  Request request = Request::MakeAggregate(agg, attr, epsilon, mode);
+  return pool_.Async(
+      [this, request = std::move(request)]() { return RunAggregate(request); });
+}
+
+std::future<join::ResultRange> QueryService::CountInPolygon(geom::Polygon poly,
+                                                            double epsilon) {
+  return pool_.Async([this, poly = std::move(poly), epsilon]() {
+    return core::ExecuteCountInPolygon(*state_, poly, epsilon, MakeHooks());
+  });
+}
+
+std::future<std::vector<uint32_t>> QueryService::SelectInPolygon(geom::Polygon poly,
+                                                                 double epsilon) {
+  return pool_.Async([this, poly = std::move(poly), epsilon]() {
+    return core::ExecuteSelectInPolygon(*state_, poly, epsilon, MakeHooks());
+  });
+}
+
+uint64_t QueryService::Submit(Request request) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  const uint64_t ticket = next_ticket_++;
+  pending_.emplace_back(ticket, pool_.Async([this, ticket,
+                                             request = std::move(request)]() {
+                          return Run(ticket, request);
+                        }));
+  return ticket;
+}
+
+std::vector<Response> QueryService::Drain() {
+  std::vector<std::pair<uint64_t, std::future<Response>>> pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending.swap(pending_);
+  }
+  std::vector<Response> responses;
+  responses.reserve(pending.size());
+  for (auto& [ticket, future] : pending) {
+    (void)ticket;
+    responses.push_back(future.get());
+  }
+  std::sort(responses.begin(), responses.end(),
+            [](const Response& a, const Response& b) { return a.ticket < b.ticket; });
+  return responses;
+}
+
+void QueryService::WarmCache(double epsilon) {
+  const core::ExecHooks hooks = MakeHooks();
+  const std::vector<geom::Polygon>& polys = state_->regions->polys;
+  pool_.ParallelFor(polys.size(), [&](size_t j) {
+    hooks.hr_provider(j, polys[j], epsilon);
+  });
+}
+
+}  // namespace dbsa::service

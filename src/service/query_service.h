@@ -1,0 +1,140 @@
+// QueryService — the concurrent serving layer over one immutable engine
+// snapshot (core::EngineState). Clients submit Aggregate /
+// CountInPolygon / SelectInPolygon requests; a fixed thread pool executes
+// them, and a memory-budgeted LRU cache shares the HR approximations
+// across queries, sessions and threads (built once per (region, epsilon
+// level), with cache misses fanned out across the pool).
+//
+// Two client styles:
+//   * typed futures — Aggregate() / CountInPolygon() / SelectInPolygon()
+//     return std::future, one per request;
+//   * batched — Submit() tickets requests, Drain() waits for everything
+//     outstanding and returns the responses in submission order.
+//
+// Determinism: a service run with any thread count returns results
+// byte-identical to the single-threaded SpatialEngine on the same
+// workload — per-query floating-point accumulation order is fixed (see
+// ExecHooks in core/engine_state.h), only scheduling varies.
+
+#ifndef DBSA_SERVICE_QUERY_SERVICE_H_
+#define DBSA_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/engine_state.h"
+#include "service/approx_cache.h"
+#include "service/thread_pool.h"
+
+namespace dbsa::service {
+
+struct ServiceOptions {
+  /// 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Budget for the shared approximation cache (HR bytes).
+  size_t cache_budget_bytes = size_t{64} << 20;
+  /// Fan the per-polygon stage of region aggregations out across the
+  /// pool (cache misses build HRs in parallel). Results are identical
+  /// either way; this only trades latency for pool occupancy.
+  bool parallel_regions = true;
+};
+
+/// One queued request. kind selects which fields matter.
+struct Request {
+  enum class Kind { kAggregate, kCountInPolygon, kSelectInPolygon };
+
+  Kind kind = Kind::kAggregate;
+  // kAggregate:
+  join::AggKind agg = join::AggKind::kCount;
+  core::Attr attr = core::Attr::kNone;
+  core::Mode mode = core::Mode::kAuto;
+  // All kinds:
+  double epsilon = 0.0;
+  // kCountInPolygon / kSelectInPolygon:
+  geom::Polygon poly;
+
+  static Request MakeAggregate(join::AggKind agg, core::Attr attr, double epsilon,
+                               core::Mode mode = core::Mode::kAuto);
+  static Request MakeCount(geom::Polygon poly, double epsilon);
+  static Request MakeSelect(geom::Polygon poly, double epsilon);
+};
+
+/// Response to one request; the field matching the request's kind is set.
+struct Response {
+  uint64_t ticket = 0;
+  Request::Kind kind = Request::Kind::kAggregate;
+  core::AggregateAnswer aggregate;
+  join::ResultRange range;
+  std::vector<uint32_t> ids;
+};
+
+class QueryService {
+ public:
+  /// Serves the given snapshot. The snapshot is immutable and shared —
+  /// several services (or a service plus single-threaded engines) may
+  /// serve the same one.
+  explicit QueryService(std::shared_ptr<const core::EngineState> state,
+                        const ServiceOptions& options = {});
+
+  /// Convenience: builds the snapshot from the tables (moved, not copied).
+  QueryService(data::PointSet points, data::RegionSet regions,
+               const ServiceOptions& options = {});
+
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // ---- typed futures -------------------------------------------------
+  std::future<core::AggregateAnswer> Aggregate(join::AggKind agg, core::Attr attr,
+                                               double epsilon,
+                                               core::Mode mode = core::Mode::kAuto);
+  std::future<join::ResultRange> CountInPolygon(geom::Polygon poly, double epsilon);
+  std::future<std::vector<uint32_t>> SelectInPolygon(geom::Polygon poly,
+                                                     double epsilon);
+
+  // ---- batched -------------------------------------------------------
+  /// Enqueues a request; returns its ticket. Never blocks.
+  uint64_t Submit(Request request);
+
+  /// Waits for every outstanding submitted request and returns their
+  /// responses sorted by ticket (= submission) order.
+  std::vector<Response> Drain();
+
+  // ---- cache management ---------------------------------------------
+  /// Builds the HR approximations of ALL region polygons at the given
+  /// epsilon in parallel across the pool (the cache-miss path of a full
+  /// region aggregation, without running a query). Blocks until warm.
+  void WarmCache(double epsilon);
+
+  ApproxCache::Stats cache_stats() const { return cache_.stats(); }
+
+  const core::EngineState& state() const { return *state_; }
+  size_t num_threads() const { return pool_.size(); }
+
+ private:
+  /// Builds the cache-backed exec hooks. When the counter pointers are
+  /// non-null they receive this query's hit/miss tallies; they must
+  /// outlive every Execute* call using the hooks.
+  core::ExecHooks MakeHooks(std::atomic<size_t>* query_hits = nullptr,
+                            std::atomic<size_t>* query_misses = nullptr);
+  Response Run(uint64_t ticket, const Request& request);
+  core::AggregateAnswer RunAggregate(const Request& request);
+
+  std::shared_ptr<const core::EngineState> state_;
+  ServiceOptions options_;
+  ApproxCache cache_;
+  ThreadPool pool_;  ///< Last member: workers die before cache/state.
+
+  std::mutex pending_mu_;
+  uint64_t next_ticket_ = 1;
+  std::vector<std::pair<uint64_t, std::future<Response>>> pending_;
+};
+
+}  // namespace dbsa::service
+
+#endif  // DBSA_SERVICE_QUERY_SERVICE_H_

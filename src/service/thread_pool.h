@@ -1,0 +1,70 @@
+// Fixed-size thread pool for the query service. Two entry points:
+//
+//   * Submit / Async — fire-and-forget tasks and future-returning tasks,
+//     the service's one-task-per-query execution model;
+//   * ParallelFor — intra-task data parallelism (the cache-miss HR build
+//     fan-out). The calling thread participates, so a pool worker may
+//     nest a ParallelFor without risking deadlock: even if every other
+//     worker is busy, the caller drains the iteration space alone.
+
+#ifndef DBSA_SERVICE_THREAD_POOL_H_
+#define DBSA_SERVICE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dbsa::service {
+
+class ThreadPool {
+ public:
+  /// num_threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains nothing: outstanding tasks are finished, queued tasks are
+  /// still executed, then the workers exit.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future for its result.
+  template <typename F>
+  auto Async(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    Submit([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(0..n-1) across the pool and the calling thread; returns when
+  /// every iteration has finished. Iterations must be independent — the
+  /// execution order is unspecified. Safe to call from a pool worker.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dbsa::service
+
+#endif  // DBSA_SERVICE_THREAD_POOL_H_

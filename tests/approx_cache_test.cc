@@ -1,0 +1,182 @@
+// Unit tests for the service approximation cache: LRU eviction under a
+// memory budget, single-flight construction, and polygon fingerprints.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "raster/grid.h"
+#include "service/approx_cache.h"
+#include "test_util.h"
+
+namespace dbsa::service {
+namespace {
+
+class ApproxCacheTest : public ::testing::Test {
+ protected:
+  ApproxCacheTest() : grid_({0, 0}, 1024.0) {}
+
+  /// A distinct polygon per id (shifted rectangles).
+  geom::Polygon PolyFor(int id) const {
+    const double x0 = 64.0 + 8.0 * id;
+    return dbsa::testing::MakeRectPolygon(x0, 64.0, x0 + 200.0, 300.0);
+  }
+
+  raster::HierarchicalRaster BuildFor(int id, int level) const {
+    return raster::HierarchicalRaster::BuildLevel(PolyFor(id), grid_, level);
+  }
+
+  size_t BytesFor(int id, int level) const {
+    return BuildFor(id, level).MemoryBytes();
+  }
+
+  raster::Grid grid_;
+};
+
+TEST_F(ApproxCacheTest, HitsAndMissesAreCounted) {
+  ApproxCache cache(size_t{16} << 20);
+  int builds = 0;
+  const auto builder = [&]() {
+    ++builds;
+    return BuildFor(0, 6);
+  };
+  const ApproxCache::HrPtr first = cache.GetOrBuild(0, 6, builder);
+  const ApproxCache::HrPtr second = cache.GetOrBuild(0, 6, builder);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(first.get(), second.get());  // Shared, not rebuilt.
+  const ApproxCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes_used, 0u);
+
+  // A different level of the same object is a distinct entry.
+  cache.GetOrBuild(0, 7, [&]() { return BuildFor(0, 7); });
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST_F(ApproxCacheTest, EvictsLeastRecentlyUsedToRespectBudget) {
+  const int level = 6;
+  const size_t one = BytesFor(0, level);
+  // Room for three entries, not four.
+  ApproxCache cache(3 * one + one / 2);
+  for (int id = 0; id < 3; ++id) {
+    cache.GetOrBuild(id, level, [&]() { return BuildFor(id, level); });
+  }
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch id 0 so id 1 is the LRU victim, then overflow.
+  EXPECT_NE(cache.GetOrBuild(0, level, [&]() { return BuildFor(0, level); }),
+            nullptr);
+  cache.GetOrBuild(3, level, [&]() { return BuildFor(3, level); });
+
+  const ApproxCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes_used, stats.budget_bytes);
+  EXPECT_NE(cache.Peek(0, level), nullptr);  // Recently touched: kept.
+  EXPECT_EQ(cache.Peek(1, level), nullptr);  // LRU: evicted.
+  EXPECT_NE(cache.Peek(3, level), nullptr);  // Newest: kept.
+}
+
+TEST_F(ApproxCacheTest, OversizedEntryIsReturnedButNotCached) {
+  ApproxCache cache(/*budget_bytes=*/1);
+  const ApproxCache::HrPtr hr =
+      cache.GetOrBuild(0, 6, [&]() { return BuildFor(0, 6); });
+  ASSERT_NE(hr, nullptr);
+  EXPECT_GT(hr->NumCells(), 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes_used, 0u);
+}
+
+TEST_F(ApproxCacheTest, ClearEmptiesTheCache) {
+  ApproxCache cache(size_t{16} << 20);
+  cache.GetOrBuild(0, 6, [&]() { return BuildFor(0, 6); });
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes_used, 0u);
+  EXPECT_EQ(cache.Peek(0, 6), nullptr);
+}
+
+TEST_F(ApproxCacheTest, ThrowingBuilderLeavesTheKeyRetryable) {
+  ApproxCache cache(size_t{16} << 20);
+  EXPECT_THROW(cache.GetOrBuild(
+                   0, 6, [&]() -> raster::HierarchicalRaster {
+                     throw std::runtime_error("build failed");
+                   }),
+               std::runtime_error);
+  // The failure must not poison the key: the next request builds.
+  const ApproxCache::HrPtr hr =
+      cache.GetOrBuild(0, 6, [&]() { return BuildFor(0, 6); });
+  ASSERT_NE(hr, nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST_F(ApproxCacheTest, ClearDropsEntriesFromInFlightBuilds) {
+  ApproxCache cache(size_t{16} << 20);
+  std::atomic<bool> build_started{false};
+  std::thread builder([&]() {
+    cache.GetOrBuild(0, 6, [&]() {
+      build_started.store(true);
+      // Hold the build open so Clear() lands while it is in flight.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      return BuildFor(0, 6);
+    });
+  });
+  while (!build_started.load()) std::this_thread::yield();
+  cache.Clear();
+  builder.join();
+  // The in-flight build completed after Clear(): its caller got a valid
+  // result, but the entry must not resurrect into the cleared cache.
+  EXPECT_EQ(cache.Peek(0, 6), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes_used, 0u);
+}
+
+TEST_F(ApproxCacheTest, ConcurrentRequestsForOneKeyBuildOnce) {
+  ApproxCache cache(size_t{16} << 20);
+  std::atomic<int> builds{0};
+  constexpr int kThreads = 8;
+  std::vector<ApproxCache::HrPtr> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      results[t] = cache.GetOrBuild(42, 6, [&]() {
+        builds.fetch_add(1);
+        // Widen the race window so waiters really pile onto the future.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return BuildFor(0, 6);
+      });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(builds.load(), 1);  // Single-flight.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+  const ApproxCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<size_t>(kThreads - 1));
+}
+
+TEST(PolygonFingerprintTest, DistinguishesGeometry) {
+  const geom::Polygon a = dbsa::testing::MakeRectPolygon(0, 0, 10, 10);
+  const geom::Polygon a2 = dbsa::testing::MakeRectPolygon(0, 0, 10, 10);
+  const geom::Polygon b = dbsa::testing::MakeRectPolygon(0, 0, 10, 11);
+  const geom::Polygon star =
+      dbsa::testing::MakeStarPolygon({50, 50}, 10, 30, 12, 7);
+  EXPECT_EQ(PolygonFingerprint(a), PolygonFingerprint(a2));
+  EXPECT_NE(PolygonFingerprint(a), PolygonFingerprint(b));
+  EXPECT_NE(PolygonFingerprint(a), PolygonFingerprint(star));
+  // The ad-hoc namespace bit never collides with region polygon indexes.
+  EXPECT_NE(PolygonFingerprint(a) & (1ULL << 63), 0u);
+}
+
+}  // namespace
+}  // namespace dbsa::service

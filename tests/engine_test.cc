@@ -94,6 +94,25 @@ TEST_F(EngineTest, SumAndAvgAggregates) {
   }
 }
 
+TEST_F(EngineTest, PointIndexPassengerSumReroutesToAct) {
+  // The point index carries prefix sums of the fare column only; a
+  // SUM/AVG over passengers must not silently aggregate fares. The engine
+  // reroutes such queries to the ACT join.
+  const AggregateAnswer rerouted = engine_.Aggregate(
+      join::AggKind::kSum, Attr::kPassengers, 8.0, Mode::kPointIndex);
+  EXPECT_EQ(rerouted.stats.plan, query::PlanKind::kActJoin);
+  const AggregateAnswer act =
+      engine_.Aggregate(join::AggKind::kSum, Attr::kPassengers, 8.0, Mode::kAct);
+  ASSERT_EQ(rerouted.rows.size(), act.rows.size());
+  for (size_t r = 0; r < act.rows.size(); ++r) {
+    EXPECT_EQ(rerouted.rows[r].value, act.rows[r].value) << "region " << r;
+  }
+  // COUNT needs no attribute column and stays on the point index.
+  const AggregateAnswer count = engine_.Aggregate(join::AggKind::kCount,
+                                                  Attr::kNone, 8.0, Mode::kPointIndex);
+  EXPECT_EQ(count.stats.plan, query::PlanKind::kPointIndexJoin);
+}
+
 TEST_F(EngineTest, AutoModePicksAPlanAndExplains) {
   const AggregateAnswer auto_run =
       engine_.Aggregate(join::AggKind::kCount, Attr::kNone, 8.0, Mode::kAuto);

@@ -1,0 +1,298 @@
+// Tests for the concurrent query service: thread-pool basics, the
+// batched Submit/Drain API, cache warm-up, and the load-bearing guarantee
+// that a service run with many threads returns results BYTE-IDENTICAL to
+// the single-threaded SpatialEngine on the same workload.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/dbsa.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+#include "test_util.h"
+
+namespace dbsa::service {
+namespace {
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Async([&counter, i]() {
+      counter.fetch_add(1);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futures[i].get(), i * i);
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> outer;
+  // More outer tasks than threads, each nesting an inner loop: the inner
+  // ParallelFor must make progress on the calling worker alone.
+  for (int t = 0; t < 4; ++t) {
+    outer.push_back(pool.Async([&]() {
+      pool.ParallelFor(50, [&](size_t) { total.fetch_add(1); });
+    }));
+  }
+  for (auto& f : outer) f.get();
+  EXPECT_EQ(total.load(), 4 * 50);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneIterationLoops) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+// ----------------------------------------------------------- the service
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::TaxiConfig taxi_config;
+    taxi_config.universe = geom::Box(0, 0, 4096, 4096);
+    points_ = data::GenerateTaxiPoints(20000, taxi_config);
+
+    data::RegionConfig region_config;
+    region_config.universe = taxi_config.universe;
+    region_config.num_polygons = 16;
+    region_config.target_avg_vertices = 24;
+    region_config.multi_fraction = 0.2;  // Exercise multi-part regions.
+    regions_ = data::GenerateRegions(region_config);
+
+    engine_.SetPoints(points_);
+    engine_.SetRegions(regions_);
+  }
+
+  /// The mixed workload both executors run. Explicit modes (not kAuto):
+  /// the service advertises its HR cache to the optimizer, so kAuto may
+  /// legitimately pick different plans than the engine.
+  std::vector<Request> MixedWorkload() const {
+    std::vector<Request> reqs;
+    const geom::Polygon star1 =
+        dbsa::testing::MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+    const geom::Polygon star2 =
+        dbsa::testing::MakeStarPolygon({1200, 2800}, 300, 700, 12, 23);
+    for (const double eps : {4.0, 8.0, 16.0}) {
+      for (const core::Mode mode :
+           {core::Mode::kAct, core::Mode::kPointIndex, core::Mode::kCanvasBrj}) {
+        reqs.push_back(Request::MakeAggregate(join::AggKind::kCount,
+                                              core::Attr::kNone, eps, mode));
+        reqs.push_back(Request::MakeAggregate(join::AggKind::kSum, core::Attr::kFare,
+                                              eps, mode));
+        reqs.push_back(Request::MakeAggregate(join::AggKind::kAvg,
+                                              core::Attr::kPassengers, eps, mode));
+      }
+      reqs.push_back(Request::MakeCount(star1, eps));
+      reqs.push_back(Request::MakeCount(star2, eps));
+      reqs.push_back(Request::MakeSelect(star1, eps));
+    }
+    reqs.push_back(Request::MakeAggregate(join::AggKind::kCount, core::Attr::kNone,
+                                          /*epsilon=*/0.0, core::Mode::kExact));
+    return reqs;
+  }
+
+  /// Single-threaded reference execution through the engine façade.
+  Response Baseline(const Request& req) {
+    Response r;
+    r.kind = req.kind;
+    switch (req.kind) {
+      case Request::Kind::kAggregate:
+        r.aggregate = engine_.Aggregate(req.agg, req.attr, req.epsilon, req.mode);
+        break;
+      case Request::Kind::kCountInPolygon:
+        r.range = engine_.CountInPolygon(req.poly, req.epsilon);
+        break;
+      case Request::Kind::kSelectInPolygon:
+        r.ids = engine_.SelectInPolygon(req.poly, req.epsilon);
+        break;
+    }
+    return r;
+  }
+
+  /// Byte-exact comparison of the query payloads (== on doubles, no
+  /// tolerance: the determinism contract).
+  static void ExpectIdentical(const Response& got, const Response& want,
+                              size_t index) {
+    ASSERT_EQ(got.kind, want.kind) << "request " << index;
+    switch (want.kind) {
+      case Request::Kind::kAggregate: {
+        ASSERT_EQ(got.aggregate.rows.size(), want.aggregate.rows.size())
+            << "request " << index;
+        for (size_t r = 0; r < want.aggregate.rows.size(); ++r) {
+          EXPECT_EQ(got.aggregate.rows[r].region, want.aggregate.rows[r].region)
+              << "request " << index << " region " << r;
+          EXPECT_EQ(got.aggregate.rows[r].value, want.aggregate.rows[r].value)
+              << "request " << index << " region " << r;
+          EXPECT_EQ(got.aggregate.rows[r].lo, want.aggregate.rows[r].lo)
+              << "request " << index << " region " << r;
+          EXPECT_EQ(got.aggregate.rows[r].hi, want.aggregate.rows[r].hi)
+              << "request " << index << " region " << r;
+        }
+        break;
+      }
+      case Request::Kind::kCountInPolygon:
+        EXPECT_EQ(got.range.estimate, want.range.estimate) << "request " << index;
+        EXPECT_EQ(got.range.lo, want.range.lo) << "request " << index;
+        EXPECT_EQ(got.range.hi, want.range.hi) << "request " << index;
+        break;
+      case Request::Kind::kSelectInPolygon:
+        ASSERT_EQ(got.ids, want.ids) << "request " << index;
+        break;
+    }
+  }
+
+  data::PointSet points_;
+  data::RegionSet regions_;
+  core::SpatialEngine engine_;
+};
+
+TEST_F(QueryServiceTest, EightThreadsByteMatchSingleThreadedEngine) {
+  // Duplicate the workload so the second half hits the warm cache —
+  // cached approximations must not change a single bit of any answer.
+  std::vector<Request> workload = MixedWorkload();
+  const size_t unique = workload.size();
+  workload.insert(workload.end(), workload.begin(), workload.begin() + unique);
+
+  std::vector<Response> expected;
+  expected.reserve(workload.size());
+  for (const Request& req : workload) expected.push_back(Baseline(req));
+
+  ServiceOptions options;
+  options.num_threads = 8;
+  options.cache_budget_bytes = size_t{32} << 20;
+  QueryService service(engine_.Snapshot(), options);
+  ASSERT_EQ(service.num_threads(), 8u);
+
+  std::vector<uint64_t> tickets;
+  tickets.reserve(workload.size());
+  for (const Request& req : workload) tickets.push_back(service.Submit(req));
+  const std::vector<Response> responses = service.Drain();
+
+  ASSERT_EQ(responses.size(), workload.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].ticket, tickets[i]) << "Drain must keep submit order";
+    ExpectIdentical(responses[i], expected[i], i);
+  }
+
+  // The duplicated half must have found the region approximations in the
+  // cache: every (polygon, level) pair is built at most once.
+  const ApproxCache::Stats stats = service.cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_LE(stats.bytes_used, stats.budget_bytes);
+}
+
+TEST_F(QueryServiceTest, TypedFutureInterface) {
+  QueryService service(engine_.Snapshot(), {});
+  std::future<core::AggregateAnswer> agg = service.Aggregate(
+      join::AggKind::kCount, core::Attr::kNone, 8.0, core::Mode::kPointIndex);
+  const geom::Polygon star =
+      dbsa::testing::MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  std::future<join::ResultRange> range = service.CountInPolygon(star, 8.0);
+  std::future<std::vector<uint32_t>> ids = service.SelectInPolygon(star, 8.0);
+
+  const core::AggregateAnswer engine_agg =
+      engine_.Aggregate(join::AggKind::kCount, core::Attr::kNone, 8.0,
+                        core::Mode::kPointIndex);
+  const core::AggregateAnswer service_agg = agg.get();
+  ASSERT_EQ(service_agg.rows.size(), engine_agg.rows.size());
+  for (size_t r = 0; r < engine_agg.rows.size(); ++r) {
+    EXPECT_EQ(service_agg.rows[r].value, engine_agg.rows[r].value);
+  }
+  const join::ResultRange engine_range = engine_.CountInPolygon(star, 8.0);
+  const join::ResultRange service_range = range.get();
+  EXPECT_EQ(service_range.lo, engine_range.lo);
+  EXPECT_EQ(service_range.hi, engine_range.hi);
+  EXPECT_EQ(ids.get(), engine_.SelectInPolygon(star, 8.0));
+}
+
+TEST_F(QueryServiceTest, WarmCacheMakesAggregatesMissFree) {
+  QueryService service(engine_.Snapshot(), {});
+  service.WarmCache(8.0);
+  const size_t polys = service.state().regions->NumPolygons();
+  EXPECT_EQ(service.cache_stats().misses, polys);
+
+  const core::AggregateAnswer answer =
+      service
+          .Aggregate(join::AggKind::kCount, core::Attr::kNone, 8.0,
+                     core::Mode::kPointIndex)
+          .get();
+  EXPECT_EQ(answer.stats.hr_cache_misses, 0u);
+  EXPECT_EQ(answer.stats.hr_cache_hits, polys);
+}
+
+TEST_F(QueryServiceTest, ColdAggregateReportsMissesThenHits) {
+  QueryService service(engine_.Snapshot(), {});
+  const size_t polys = service.state().regions->NumPolygons();
+  const core::AggregateAnswer cold =
+      service
+          .Aggregate(join::AggKind::kCount, core::Attr::kNone, 8.0,
+                     core::Mode::kPointIndex)
+          .get();
+  EXPECT_EQ(cold.stats.hr_cache_misses, polys);
+  const core::AggregateAnswer warm =
+      service
+          .Aggregate(join::AggKind::kCount, core::Attr::kNone, 8.0,
+                     core::Mode::kPointIndex)
+          .get();
+  EXPECT_EQ(warm.stats.hr_cache_misses, 0u);
+  EXPECT_EQ(warm.stats.hr_cache_hits, polys);
+}
+
+TEST_F(QueryServiceTest, SharedSnapshotServesManyServices) {
+  // Two services over one snapshot: no copies of the tables or index, and
+  // identical answers.
+  const std::shared_ptr<const core::EngineState> snapshot = engine_.Snapshot();
+  ServiceOptions options;
+  options.num_threads = 2;
+  QueryService a(snapshot, options);
+  QueryService b(snapshot, options);
+  const core::AggregateAnswer ra =
+      a.Aggregate(join::AggKind::kSum, core::Attr::kFare, 8.0, core::Mode::kAct)
+          .get();
+  const core::AggregateAnswer rb =
+      b.Aggregate(join::AggKind::kSum, core::Attr::kFare, 8.0, core::Mode::kAct)
+          .get();
+  ASSERT_EQ(ra.rows.size(), rb.rows.size());
+  for (size_t r = 0; r < ra.rows.size(); ++r) {
+    EXPECT_EQ(ra.rows[r].value, rb.rows[r].value);
+  }
+}
+
+TEST_F(QueryServiceTest, AutoModeUsesTheCacheAdvertisement) {
+  // Not a determinism check (plans may differ engine-vs-service by
+  // design); just that kAuto works end to end and explains itself.
+  QueryService service(engine_.Snapshot(), {});
+  const core::AggregateAnswer answer =
+      service.Aggregate(join::AggKind::kCount, core::Attr::kNone, 8.0).get();
+  EXPECT_FALSE(answer.stats.explain.empty());
+  EXPECT_FALSE(answer.rows.empty());
+}
+
+}  // namespace
+}  // namespace dbsa::service

@@ -8,7 +8,16 @@
 // pass (every approximation served from the LRU cache). The warm/cold
 // ratio is the amortization argument of the serving layer.
 //
+// A second section measures SFC sharding on the selective-polygon
+// workload (small ad-hoc viewports, one query in flight at a time — the
+// interactive latency regime): qps at 1..max_shards spatial shards with a
+// fixed thread count, HR cache warm, so the scatter-gather fan-out across
+// surviving shards is the only variable. Speedup is reported relative to
+// the single-shard path. NOTE: shard fan-out parallelism needs cores; on
+// a single-core host the expected speedup is ~1x.
+//
 // Flags: --points=N --regions=N --rounds=N --max_threads=N
+//        --max_shards=N --viewports=N
 
 #include <cstdio>
 #include <memory>
@@ -134,6 +143,103 @@ void Run(size_t n_points, size_t n_regions, size_t rounds, size_t max_threads) {
   PrintNote("qps scaling with threads is the shared-snapshot concurrency.");
 }
 
+/// Selective ad-hoc viewports: each covers a few percent of the universe,
+/// so its approximation cells intersect only a handful of Hilbert shards.
+std::vector<geom::Polygon> MakeViewports(const geom::Box& universe, size_t count) {
+  std::vector<geom::Polygon> viewports;
+  Rng rng(1109);
+  viewports.reserve(count);
+  for (size_t v = 0; v < count; ++v) {
+    // 15-30% of the side = 2-9% of the area: selective, yet wide enough
+    // that the approximation cells scatter across several Hilbert shards.
+    const double w = universe.Width() * rng.Uniform(0.15, 0.30);
+    const double x0 = rng.Uniform(universe.min.x, universe.max.x - w);
+    const double y0 = rng.Uniform(universe.min.y, universe.max.y - w);
+    geom::Polygon viewport(
+        geom::Ring{{x0, y0}, {x0 + w, y0}, {x0 + w, y0 + w}, {x0, y0 + w}});
+    viewport.Normalize();
+    viewports.push_back(std::move(viewport));
+  }
+  return viewports;
+}
+
+void RunSharding(size_t n_points, size_t n_regions, size_t threads,
+                 size_t max_shards, size_t num_viewports) {
+  PrintBanner("SFC sharding: selective-polygon qps vs shard count");
+  bench::PrintScale(HumanCount(static_cast<double>(n_points)) + " points, " +
+                    std::to_string(num_viewports) + " viewports, " +
+                    std::to_string(threads) + " threads");
+
+  data::PointSet points = bench::BenchPoints(n_points);
+  data::RegionSet regions =
+      data::GenerateRegions(data::CensusConfig(bench::BenchUniverse(), n_regions));
+  const std::shared_ptr<const core::EngineState> snapshot =
+      core::BuildEngineState(std::move(points), std::move(regions));
+
+  const std::vector<geom::Polygon> viewports =
+      MakeViewports(snapshot->grid.universe(), num_viewports);
+  const double eps = 4.0;
+
+  // Built once for the stats column — the HRs are identical across shard
+  // counts (and across the timed passes, which serve them from the cache).
+  std::vector<raster::HierarchicalRaster> viewport_hrs;
+  viewport_hrs.reserve(viewports.size());
+  for (const geom::Polygon& v : viewports) {
+    viewport_hrs.push_back(
+        raster::HierarchicalRaster::BuildEpsilon(v, snapshot->grid, eps));
+  }
+
+  TablePrinter table({"shards", "qps", "speedup", "avg surviving"});
+  double base_qps = 0.0;
+  for (size_t shards = 1; shards <= max_shards; shards *= 2) {
+    ServiceOptions options;
+    options.num_threads = threads;
+    options.cache_budget_bytes = size_t{256} << 20;
+    options.num_shards = shards;
+    QueryService service(snapshot, options);
+
+    // Warm the HR cache so both paths measure probes, not rasterization.
+    for (const geom::Polygon& v : viewports) {
+      service.CountInPolygon(v, eps).get();
+    }
+
+    // One query in flight at a time: per-query latency is the metric; the
+    // shard fan-out across the pool is the only intra-query parallelism.
+    Timer timer;
+    for (const geom::Polygon& v : viewports) {
+      service.CountInPolygon(v, eps).get();
+    }
+    const double seconds = timer.Seconds();
+    const double qps = static_cast<double>(viewports.size()) / seconds;
+    if (shards == 1) base_qps = qps;
+
+    double avg_surviving = static_cast<double>(shards);
+    if (service.sharded() != nullptr) {
+      size_t total = 0;
+      for (const raster::HierarchicalRaster& hr : viewport_hrs) {
+        total += service.sharded()->SurvivingShards(hr).size();
+      }
+      avg_surviving =
+          static_cast<double>(total) / static_cast<double>(viewports.size());
+    }
+
+    table.AddRow({std::to_string(shards), TablePrinter::Num(qps, 5),
+                  TablePrinter::Num(qps / base_qps, 4),
+                  TablePrinter::Num(avg_surviving, 3)});
+    bench::JsonLine("service_sharding")
+        .Add("shards", shards)
+        .Add("threads", threads)
+        .Add("queries", viewports.size())
+        .Add("qps", qps)
+        .Add("speedup_vs_one_shard", qps / base_qps)
+        .Add("avg_surviving_shards", avg_surviving)
+        .Print();
+  }
+  table.Print();
+  PrintNote("speedup = scatter-gather across surviving shards (needs cores);");
+  PrintNote("avg surviving << shards is the Hilbert-locality pruning at work.");
+}
+
 }  // namespace
 }  // namespace dbsa
 
@@ -142,6 +248,9 @@ int main(int argc, char** argv) {
   const size_t n_regions = dbsa::bench::FlagSize(argc, argv, "regions", 500);
   const size_t rounds = dbsa::bench::FlagSize(argc, argv, "rounds", 3);
   const size_t max_threads = dbsa::bench::FlagSize(argc, argv, "max_threads", 8);
+  const size_t max_shards = dbsa::bench::FlagSize(argc, argv, "max_shards", 8);
+  const size_t viewports = dbsa::bench::FlagSize(argc, argv, "viewports", 48);
   dbsa::Run(n_points, n_regions, rounds, max_threads);
+  dbsa::RunSharding(n_points, n_regions, max_threads, max_shards, viewports);
   return 0;
 }

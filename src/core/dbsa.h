@@ -37,9 +37,11 @@
 #include "data/taxi.h"      // IWYU pragma: export
 #include "data/workload.h"  // IWYU pragma: export
 
-// Engine façade and its shareable immutable state.
-#include "core/engine.h"        // IWYU pragma: export
-#include "core/engine_state.h"  // IWYU pragma: export
+// Engine façade, its shareable immutable state, and the SFC-sharded
+// scatter-gather execution layer.
+#include "core/engine.h"         // IWYU pragma: export
+#include "core/engine_state.h"   // IWYU pragma: export
+#include "core/sharded_state.h"  // IWYU pragma: export
 
 // Concurrent serving layer (thread pool + approximation cache).
 #include "service/approx_cache.h"   // IWYU pragma: export

@@ -35,16 +35,21 @@ join::JoinInput EngineState::MakeInput(Attr attr) const {
 
 std::shared_ptr<const EngineState> BuildEngineState(
     std::shared_ptr<const data::PointSet> points,
-    std::shared_ptr<const data::RegionSet> regions) {
+    std::shared_ptr<const data::RegionSet> regions,
+    const raster::Grid* grid_override) {
   DBSA_CHECK(points != nullptr && regions != nullptr);
   auto state = std::make_shared<EngineState>();
   state->points = std::move(points);
   state->regions = std::move(regions);
   state->passengers_as_double.assign(state->points->passengers.begin(),
                                      state->points->passengers.end());
-  geom::Box bounds = state->points->Bounds();
-  bounds.Extend(state->regions->Bounds());
-  state->grid = raster::Grid::Covering(bounds);
+  if (grid_override != nullptr) {
+    state->grid = *grid_override;
+  } else {
+    geom::Box bounds = state->points->Bounds();
+    bounds.Extend(state->regions->Bounds());
+    state->grid = raster::Grid::Covering(bounds);
+  }
   state->point_index.emplace(state->points->locs.data(), state->points->fare.data(),
                              state->points->size(), state->grid);
   return state;
@@ -57,30 +62,8 @@ std::shared_ptr<const EngineState> BuildEngineState(data::PointSet points,
       std::make_shared<const data::RegionSet>(std::move(regions)));
 }
 
-namespace {
-
-/// HR for one polygon: through the provider when given (cache path),
-/// otherwise built fresh on this thread's stack.
-std::shared_ptr<const raster::HierarchicalRaster> HrFor(const EngineState& state,
-                                                        const ExecHooks& hooks,
-                                                        size_t poly_index,
-                                                        const geom::Polygon& poly,
-                                                        double epsilon) {
-  if (hooks.hr_provider) return hooks.hr_provider(poly_index, poly, epsilon);
-  return std::make_shared<raster::HierarchicalRaster>(
-      raster::HierarchicalRaster::BuildEpsilon(poly, state.grid, epsilon));
-}
-
-}  // namespace
-
-AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
-                                 Attr attr, double epsilon, Mode mode,
-                                 const ExecHooks& hooks) {
-  DBSA_CHECK(!state.regions->polys.empty());
-  const join::JoinInput in = state.MakeInput(attr);
-  AggregateAnswer answer;
-
-  // Plan selection.
+query::QueryProfile MakeAggregateProfile(const EngineState& state, double epsilon,
+                                         const ExecHooks& hooks) {
   query::QueryProfile profile;
   profile.num_points = state.points->size();
   profile.num_polygons = state.regions->NumPolygons();
@@ -91,9 +74,13 @@ AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
   profile.total_polygon_area = state.regions->TotalArea();
   profile.point_index_available = state.point_index.has_value();
   profile.hr_cache_available = static_cast<bool>(hooks.hr_provider);
-  const query::PlanChoice choice = query::ChoosePlan(profile);
+  return profile;
+}
 
-  query::PlanKind plan = choice.kind;
+query::PlanKind ResolveAggregatePlan(query::PlanKind optimizer_choice,
+                                     join::AggKind agg, Attr attr, double epsilon,
+                                     Mode mode) {
+  query::PlanKind plan = optimizer_choice;
   switch (mode) {
     case Mode::kAuto:
       break;
@@ -118,6 +105,52 @@ AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
       attr == Attr::kPassengers) {
     plan = query::PlanKind::kActJoin;
   }
+  return plan;
+}
+
+void RowsFromRegionAggregates(const std::vector<join::CellAggregate>& per_region,
+                              join::AggKind agg, std::vector<AggregateRow>* rows) {
+  rows->resize(per_region.size());
+  for (size_t r = 0; r < per_region.size(); ++r) {
+    const join::CellAggregate& a = per_region[r];
+    double value = 0.0, lo = 0.0, hi = 0.0;
+    if (agg == join::AggKind::kCount) {
+      const join::ResultRange range = join::CountRange(a);
+      value = range.estimate;
+      lo = range.lo;
+      hi = range.hi;
+    } else if (agg == join::AggKind::kSum) {
+      const join::ResultRange range = join::SumRange(a);
+      value = range.estimate;
+      lo = range.lo;
+      hi = range.hi;
+    } else {  // AVG
+      value = a.count > 0 ? a.sum / a.count : 0.0;
+      lo = hi = value;
+    }
+    (*rows)[r] = {static_cast<uint32_t>(r), value, lo, hi};
+  }
+}
+
+std::shared_ptr<const raster::HierarchicalRaster> HrForPolygon(
+    const EngineState& state, const ExecHooks& hooks, size_t poly_index,
+    const geom::Polygon& poly, double epsilon) {
+  if (hooks.hr_provider) return hooks.hr_provider(poly_index, poly, epsilon);
+  return std::make_shared<raster::HierarchicalRaster>(
+      raster::HierarchicalRaster::BuildEpsilon(poly, state.grid, epsilon));
+}
+
+AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
+                                 Attr attr, double epsilon, Mode mode,
+                                 const ExecHooks& hooks) {
+  DBSA_CHECK(!state.regions->polys.empty());
+  const join::JoinInput in = state.MakeInput(attr);
+  AggregateAnswer answer;
+
+  const query::QueryProfile profile = MakeAggregateProfile(state, epsilon, hooks);
+  const query::PlanChoice choice = query::ChoosePlan(profile);
+  const query::PlanKind plan =
+      ResolveAggregatePlan(choice.kind, agg, attr, epsilon, mode);
 
   answer.stats.plan = plan;
   answer.stats.explain = choice.explain;
@@ -151,7 +184,7 @@ AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
       std::vector<join::CellAggregate> per_poly(polys.size());
       const auto one_poly = [&](size_t j) {
         const std::shared_ptr<const raster::HierarchicalRaster> hr =
-            HrFor(state, hooks, j, polys[j], epsilon);
+            HrForPolygon(state, hooks, j, polys[j], epsilon);
         per_poly[j] = state.point_index->QueryCells(*hr,
                                                     join::SearchStrategy::kRadixSpline);
       };
@@ -170,26 +203,7 @@ AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
       }
       answer.stats.index_bytes =
           state.point_index->MemoryBytes(join::SearchStrategy::kRadixSpline);
-      answer.rows.resize(per_region.size());
-      for (size_t r = 0; r < per_region.size(); ++r) {
-        const join::CellAggregate& a = per_region[r];
-        double value = 0.0, lo = 0.0, hi = 0.0;
-        if (agg == join::AggKind::kCount) {
-          const join::ResultRange range = join::CountRange(a);
-          value = range.estimate;
-          lo = range.lo;
-          hi = range.hi;
-        } else if (agg == join::AggKind::kSum) {
-          const join::ResultRange range = join::SumRange(a);
-          value = range.estimate;
-          lo = range.lo;
-          hi = range.hi;
-        } else {  // AVG
-          value = a.count > 0 ? a.sum / a.count : 0.0;
-          lo = hi = value;
-        }
-        answer.rows[r] = {static_cast<uint32_t>(r), value, lo, hi};
-      }
+      RowsFromRegionAggregates(per_region, agg, &answer.rows);
       break;
     }
     case query::PlanKind::kCanvasBrj: {
@@ -238,7 +252,7 @@ join::ResultRange ExecuteCountInPolygon(const EngineState& state,
                                         const ExecHooks& hooks) {
   DBSA_CHECK(state.point_index.has_value());
   const std::shared_ptr<const raster::HierarchicalRaster> hr =
-      HrFor(state, hooks, kAdHocPolygon, poly, epsilon);
+      HrForPolygon(state, hooks, kAdHocPolygon, poly, epsilon);
   const join::CellAggregate agg =
       state.point_index->QueryCells(*hr, join::SearchStrategy::kRadixSpline);
   return join::CountRange(agg);
@@ -249,7 +263,7 @@ std::vector<uint32_t> ExecuteSelectInPolygon(const EngineState& state,
                                              const ExecHooks& hooks) {
   DBSA_CHECK(state.point_index.has_value());
   const std::shared_ptr<const raster::HierarchicalRaster> hr =
-      HrFor(state, hooks, kAdHocPolygon, poly, epsilon);
+      HrForPolygon(state, hooks, kAdHocPolygon, poly, epsilon);
   std::vector<uint32_t> ids;
   state.point_index->SelectIds(*hr, join::SearchStrategy::kRadixSpline, &ids);
   return ids;

@@ -45,6 +45,9 @@ struct ExecStats {
   size_t index_bytes = 0;
   size_t hr_cache_hits = 0;    ///< Approximations served from a cache.
   size_t hr_cache_misses = 0;  ///< Approximations built by this query.
+  /// Sharded execution only: distinct shards that survived pruning for at
+  /// least one query polygon (0 = the unsharded path ran).
+  size_t shards_probed = 0;
 };
 
 struct AggregateAnswer {
@@ -77,9 +80,14 @@ struct EngineState {
 
 /// Builds the shared products (covering grid, point index, attribute
 /// columns) for the given tables. The tables are adopted, not copied.
+/// `grid_override`, when non-null, pins the state's grid instead of
+/// deriving it from the table bounds — shards of one base state must all
+/// linearize against the base grid so cell keys and epsilon levels agree
+/// across shards (core/sharded_state.h).
 std::shared_ptr<const EngineState> BuildEngineState(
     std::shared_ptr<const data::PointSet> points,
-    std::shared_ptr<const data::RegionSet> regions);
+    std::shared_ptr<const data::RegionSet> regions,
+    const raster::Grid* grid_override = nullptr);
 
 /// Convenience overload that wraps the tables (moved, not copied).
 std::shared_ptr<const EngineState> BuildEngineState(data::PointSet points,
@@ -107,6 +115,34 @@ struct ExecHooks {
   /// serial execution regardless of scheduling.
   std::function<void(size_t n, const std::function<void(size_t)>& fn)> parallel_for;
 };
+
+// ---- executor building blocks -----------------------------------------
+// Shared by the unsharded executor below and the sharded scatter-gather
+// executor (core/sharded_state.h) so the two paths cannot drift apart —
+// the sharded merge identity depends on them performing the exact same
+// plan resolution and row assembly.
+
+/// Optimizer profile for a region aggregation over `state`.
+query::QueryProfile MakeAggregateProfile(const EngineState& state, double epsilon,
+                                         const ExecHooks& hooks);
+
+/// Applies the mode override, the epsilon==0 exactness requirement, and
+/// the kPassengers reroute (the point index carries fare prefix sums
+/// only) to the optimizer's choice.
+query::PlanKind ResolveAggregatePlan(query::PlanKind optimizer_choice,
+                                     join::AggKind agg, Attr attr, double epsilon,
+                                     Mode mode);
+
+/// Builds the per-region answer rows (value + Section 6 range) from the
+/// merged per-region cell aggregates of a point-index execution.
+void RowsFromRegionAggregates(const std::vector<join::CellAggregate>& per_region,
+                              join::AggKind agg, std::vector<AggregateRow>* rows);
+
+/// HR approximation of one polygon: through hooks.hr_provider when set
+/// (the serving layer's cache), otherwise built fresh on this thread.
+std::shared_ptr<const raster::HierarchicalRaster> HrForPolygon(
+    const EngineState& state, const ExecHooks& hooks, size_t poly_index,
+    const geom::Polygon& poly, double epsilon);
 
 /// SELECT AGG(attr) FROM P, R WHERE P.loc INSIDE R.geometry GROUP BY R.id
 /// with distance bound epsilon (0 = exact). Pure: state is shared-read.

@@ -1,0 +1,441 @@
+#include "core/sharded_state.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include "join/result_range.h"
+#include "sfc/hilbert.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace dbsa::core {
+
+namespace {
+
+void RunMaybeParallel(const ExecHooks& hooks, size_t n,
+                      const std::function<void(size_t)>& fn) {
+  if (hooks.parallel_for && n > 1) {
+    hooks.parallel_for(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+/// Decomposes the Hilbert run [h_lo, h_hi] (positions at `hilbert_level`)
+/// into maximal curve-aligned blocks. Each aligned block of 4^b positions
+/// is — by the curve's hierarchical containment (sfc_test) — exactly the
+/// descendant set of ONE quadtree cell at level (hilbert_level - b), so it
+/// converts to one contiguous leaf-key interval. Returns the intervals
+/// sorted and merged: the shard's point keys all lie inside them.
+std::vector<std::pair<uint64_t, uint64_t>> HilbertRunToKeyRanges(
+    uint64_t h_lo, uint64_t h_hi, int hilbert_level) {
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  uint64_t lo = h_lo;
+  while (lo <= h_hi) {
+    // Largest aligned block starting at lo that still fits in the run.
+    int b = 0;
+    while (b < hilbert_level) {
+      const uint64_t size = uint64_t{1} << (2 * (b + 1));
+      if (lo % size != 0 || lo + size - 1 > h_hi) break;
+      ++b;
+    }
+    const int level = hilbert_level - b;
+    uint32_t x = 0, y = 0;
+    if (level > 0) {
+      sfc::HilbertDecode(lo >> (2 * b), level, &x, &y);
+    }
+    const raster::CellId cell = raster::CellId::FromXY(level, x, y);
+    ranges.emplace_back(cell.LeafKeyMin(), cell.LeafKeyMax());
+    lo += uint64_t{1} << (2 * b);
+    if (lo == 0) break;  // Wrapped (whole-curve run).
+  }
+  std::sort(ranges.begin(), ranges.end());
+  // Merge adjacent/contiguous intervals to shrink the search list.
+  std::vector<std::pair<uint64_t, uint64_t>> merged;
+  for (const auto& r : ranges) {
+    if (!merged.empty() && merged.back().second != UINT64_MAX &&
+        merged.back().second + 1 >= r.first) {
+      merged.back().second = std::max(merged.back().second, r.second);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::shared_ptr<const ShardedState> ShardedState::Build(
+    std::shared_ptr<const EngineState> base, const ShardingOptions& options) {
+  DBSA_CHECK(base != nullptr);
+  std::shared_ptr<ShardedState> sharded(new ShardedState());
+  sharded->base_ = std::move(base);
+  const EngineState& b = *sharded->base_;
+  const std::vector<geom::Point>& locs = b.points->locs;
+  const size_t n = locs.size();
+  const size_t k =
+      n == 0 ? 1 : std::min(std::max<size_t>(options.num_shards, 1), n);
+  const int hilbert_level =
+      std::clamp(options.hilbert_level, 1, raster::CellId::kMaxLevel);
+  sharded->hilbert_level_ = hilbert_level;
+
+  // Order the points along the Hilbert curve of the base grid at the
+  // chosen level (ties — points in one curve cell — by row id, so every
+  // shard slice is ascending in row id after the cut).
+  std::vector<uint64_t> rank(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t ix = 0, iy = 0;
+    b.grid.PointToXY(locs[i], hilbert_level, &ix, &iy);
+    rank[i] = sfc::HilbertEncode(ix, iy, hilbert_level);
+  }
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b2) {
+    return rank[a] != rank[b2] ? rank[a] < rank[b2] : a < b2;
+  });
+
+  sharded->shards_.resize(k);
+  for (size_t s = 0; s < k; ++s) {
+    Shard& shard = sharded->shards_[s];
+    const size_t begin = n * s / k;
+    const size_t end = n * (s + 1) / k;
+    shard.global_ids.assign(order.begin() + begin, order.begin() + end);
+    if (shard.global_ids.empty()) continue;
+    // Curve run of this shard: [rank of first point, rank of last point]
+    // in the (rank, id)-sorted order. Adjacent shards overlap in at most
+    // the one curve cell a cut may split.
+    shard.hilbert_lo = rank[order[begin]];
+    shard.hilbert_hi = rank[order[end - 1]];
+    shard.key_ranges =
+        HilbertRunToKeyRanges(shard.hilbert_lo, shard.hilbert_hi, hilbert_level);
+    std::sort(shard.global_ids.begin(), shard.global_ids.end());
+
+    // Attribute columns are copied all-or-nothing: a column is either
+    // parallel to locs (copied row-for-row) or absent (left empty) — a
+    // partially-filled base column would otherwise silently misalign the
+    // shard's prefix sums against its points.
+    const bool has_fare = b.points->fare.size() == n;
+    const bool has_passengers = b.points->passengers.size() == n;
+    const bool has_hour = b.points->hour.size() == n;
+    auto slice = std::make_shared<data::PointSet>();
+    slice->locs.reserve(shard.global_ids.size());
+    if (has_fare) slice->fare.reserve(shard.global_ids.size());
+    if (has_passengers) slice->passengers.reserve(shard.global_ids.size());
+    if (has_hour) slice->hour.reserve(shard.global_ids.size());
+    for (const uint32_t id : shard.global_ids) {
+      slice->locs.push_back(b.points->locs[id]);
+      if (has_fare) slice->fare.push_back(b.points->fare[id]);
+      if (has_passengers) slice->passengers.push_back(b.points->passengers[id]);
+      if (has_hour) slice->hour.push_back(b.points->hour[id]);
+      shard.bounds.Extend(b.points->locs[id]);
+      uint32_t ix = 0, iy = 0;
+      b.grid.PointToXY(b.points->locs[id], raster::CellId::kMaxLevel, &ix, &iy);
+      shard.min_ix = std::min(shard.min_ix, ix);
+      shard.min_iy = std::min(shard.min_iy, iy);
+      shard.max_ix = std::max(shard.max_ix, ix);
+      shard.max_iy = std::max(shard.max_iy, iy);
+    }
+    shard.state = BuildEngineState(std::move(slice), b.regions, &b.grid);
+  }
+  return sharded;
+}
+
+std::vector<ShardedState::CellRoute> ShardedState::MakeRoutes(
+    const raster::HrCell* cells, size_t num_cells) const {
+  std::vector<CellRoute> routes(num_cells);
+  for (size_t c = 0; c < num_cells; ++c) {
+    CellRoute& route = routes[c];
+    uint32_t cx = 0, cy = 0;
+    cells[c].id.ToXY(&cx, &cy);
+    const int leaf_shift = raster::CellId::kMaxLevel - cells[c].id.level();
+    route.lo_x = cx << leaf_shift;
+    route.lo_y = cy << leaf_shift;
+    route.hi_x = ((cx + 1u) << leaf_shift) - 1u;
+    route.hi_y = ((cy + 1u) << leaf_shift) - 1u;
+    route.key_lo = cells[c].id.LeafKeyMin();
+    route.key_hi = cells[c].id.LeafKeyMax();
+  }
+  return routes;
+}
+
+bool ShardedState::ShardIntersects(size_t s, const CellRoute* routes,
+                                   size_t num_cells) const {
+  const Shard& shard = shards_[s];
+  if (shard.state == nullptr || shard.min_ix > shard.max_ix) return false;
+  // Merge-join: routes are in ascending key order (HR cells are sorted
+  // and disjoint) and key_ranges are sorted disjoint intervals, so one
+  // forward pass with ~3 integer compares per step decides every cell.
+  const auto& ranges = shard.key_ranges;
+  size_t ri = 0;
+  for (size_t c = 0; c < num_cells; ++c) {
+    const CellRoute& r = routes[c];
+    while (ri < ranges.size() && ranges[ri].second < r.key_lo) ++ri;
+    if (ri == ranges.size()) return false;
+    if (ranges[ri].first <= r.key_hi && r.lo_x <= shard.max_ix &&
+        r.hi_x >= shard.min_ix && r.lo_y <= shard.max_iy &&
+        r.hi_y >= shard.min_iy) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ShardedState::ShardIntersects(size_t s, const raster::HrCell* cells,
+                                   size_t num_cells) const {
+  const std::vector<CellRoute> routes = MakeRoutes(cells, num_cells);
+  return ShardIntersects(s, routes.data(), num_cells);
+}
+
+std::vector<uint32_t> ShardedState::SurvivingShards(const CellRoute* routes,
+                                                    size_t num_cells) const {
+  std::vector<uint32_t> out;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (ShardIntersects(s, routes, num_cells)) {
+      out.push_back(static_cast<uint32_t>(s));
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> ShardedState::SurvivingShards(
+    const raster::HierarchicalRaster& hr) const {
+  const std::vector<CellRoute> routes =
+      MakeRoutes(hr.cells().data(), hr.cells().size());
+  return SurvivingShards(routes.data(), routes.size());
+}
+
+std::vector<raster::HrCell> ShardedState::PruneCellsForShard(
+    size_t s, const raster::HrCell* cells, const CellRoute* routes,
+    size_t num_cells) const {
+  std::vector<raster::HrCell> out;
+  const Shard& shard = shards_[s];
+  if (shard.state == nullptr || shard.min_ix > shard.max_ix) return out;
+  // Merge-join over the sorted cell keys and the shard's sorted curve-run
+  // intervals: curve-run test routes near-exclusively (only shards whose
+  // run crosses the cell keep it), leaf-bounds test trims the run's
+  // endpoint cells. Both integer-exact, so a cell containing a shard
+  // point always survives for that shard.
+  const auto& ranges = shard.key_ranges;
+  size_t ri = 0;
+  for (size_t c = 0; c < num_cells; ++c) {
+    const CellRoute& r = routes[c];
+    while (ri < ranges.size() && ranges[ri].second < r.key_lo) ++ri;
+    if (ri == ranges.size()) break;
+    if (ranges[ri].first <= r.key_hi && r.lo_x <= shard.max_ix &&
+        r.hi_x >= shard.min_ix && r.lo_y <= shard.max_iy &&
+        r.hi_y >= shard.min_iy) {
+      out.push_back(cells[c]);
+    }
+  }
+  return out;
+}
+
+std::vector<raster::HrCell> ShardedState::PruneCellsForShard(
+    size_t s, const raster::HrCell* cells, size_t num_cells) const {
+  const std::vector<CellRoute> routes = MakeRoutes(cells, num_cells);
+  return PruneCellsForShard(s, cells, routes.data(), num_cells);
+}
+
+size_t ShardedState::IndexBytes() const {
+  size_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.state != nullptr && shard.state->point_index.has_value()) {
+      bytes +=
+          shard.state->point_index->MemoryBytes(join::SearchStrategy::kRadixSpline);
+    }
+  }
+  return bytes;
+}
+
+namespace {
+
+/// Below this many approximation cells a query's shard fan-out cannot
+/// amortize the task-submission overhead; the scatter runs on the
+/// calling thread instead. Results are identical either way — only
+/// scheduling changes.
+constexpr size_t kShardFanOutMinCells = 256;
+
+/// Scatter-gather of one polygon's HR over the shards: each surviving
+/// shard answers its pruned cell subset from its local index — in
+/// parallel via hooks.parallel_for when the cell volume warrants it (the
+/// wall-clock division the optimizer's parallel_shards discount models) —
+/// and partials merge in ascending shard order. `touched`, when given,
+/// records which shards survived (ExecStats::shards_probed).
+join::CellAggregate ScatterGatherCells(const ShardedState& sharded,
+                                       const raster::HierarchicalRaster& hr,
+                                       const ExecHooks& hooks,
+                                       std::atomic<uint32_t>* touched) {
+  // Routes computed once, shared by every shard's pruning pass.
+  const std::vector<ShardedState::CellRoute> routes =
+      sharded.MakeRoutes(hr.cells().data(), hr.cells().size());
+  const std::vector<uint32_t> surviving =
+      sharded.SurvivingShards(routes.data(), routes.size());
+  if (touched != nullptr) {
+    for (const uint32_t s : surviving) {
+      touched[s].store(1, std::memory_order_relaxed);
+    }
+  }
+  std::vector<join::CellAggregate> partials(surviving.size());
+  const auto one_shard = [&](size_t t) {
+    const size_t s = surviving[t];
+    const std::vector<raster::HrCell> cells = sharded.PruneCellsForShard(
+        s, hr.cells().data(), routes.data(), hr.cells().size());
+    partials[t] = sharded.shard(s).state->point_index->QueryCells(
+        cells.data(), cells.size(), join::SearchStrategy::kRadixSpline);
+  };
+  if (hr.cells().size() >= kShardFanOutMinCells) {
+    RunMaybeParallel(hooks, surviving.size(), one_shard);
+  } else {
+    for (size_t t = 0; t < surviving.size(); ++t) one_shard(t);
+  }
+  join::CellAggregate agg;
+  for (const join::CellAggregate& partial : partials) agg.Merge(partial);
+  return agg;
+}
+
+Mode ModeForPlan(query::PlanKind plan) {
+  switch (plan) {
+    case query::PlanKind::kActJoin:
+      return Mode::kAct;
+    case query::PlanKind::kPointIndexJoin:
+      return Mode::kPointIndex;
+    case query::PlanKind::kCanvasBrj:
+      return Mode::kCanvasBrj;
+    case query::PlanKind::kExactRStar:
+      return Mode::kExact;
+  }
+  return Mode::kExact;
+}
+
+}  // namespace
+
+AggregateAnswer ExecuteAggregate(const ShardedState& sharded, join::AggKind agg,
+                                 Attr attr, double epsilon, Mode mode,
+                                 const ExecHooks& hooks) {
+  const EngineState& base = sharded.base();
+  DBSA_CHECK(!base.regions->polys.empty());
+
+  // Plan selection runs through the SAME shared helpers as the unsharded
+  // executor (engine_state.cc), with one addition: the cost model knows
+  // the point-index probe fans out across the shards, so under
+  // Mode::kAuto it may legitimately pick a different plan than an
+  // unsharded engine would (see the byte-identity contract in the header:
+  // the guarantee is per pinned plan).
+  query::QueryProfile profile = MakeAggregateProfile(base, epsilon, hooks);
+  profile.parallel_shards = static_cast<double>(sharded.num_shards());
+  const query::PlanChoice choice = query::ChoosePlan(profile);
+  const query::PlanKind plan =
+      ResolveAggregatePlan(choice.kind, agg, attr, epsilon, mode);
+
+  if (plan != query::PlanKind::kPointIndexJoin) {
+    // Non-sharded plans execute against the base snapshot, byte-identical
+    // to the unsharded engine by construction. Pin the plan we chose —
+    // the base's own optimizer pass must not second-guess it.
+    AggregateAnswer answer = ExecuteAggregate(base, agg, attr, epsilon,
+                                              epsilon <= 0.0 ? Mode::kExact
+                                                             : ModeForPlan(plan),
+                                              hooks);
+    answer.stats.explain = choice.explain;
+    return answer;
+  }
+
+  AggregateAnswer answer;
+  answer.stats.plan = plan;
+  answer.stats.explain = choice.explain;
+
+  Timer timer;
+  DBSA_CHECK(agg == join::AggKind::kCount || agg == join::AggKind::kSum ||
+             agg == join::AggKind::kAvg);
+  answer.stats.achieved_epsilon =
+      base.grid.AchievedEpsilon(base.grid.LevelForEpsilon(epsilon));
+
+  // Scatter stage — independent per polygon (HR lookup + shard-local
+  // prefix-sum probes), fanned out via the hook. The gather inside each
+  // polygon walks the shards in ascending order, so scheduling never
+  // changes the merge order.
+  const std::vector<geom::Polygon>& polys = base.regions->polys;
+  std::vector<join::CellAggregate> per_poly(polys.size());
+  std::unique_ptr<std::atomic<uint32_t>[]> touched(
+      new std::atomic<uint32_t>[sharded.num_shards()]);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) touched[s].store(0);
+  const auto one_poly = [&](size_t j) {
+    const std::shared_ptr<const raster::HierarchicalRaster> hr =
+        HrForPolygon(base, hooks, j, polys[j], epsilon);
+    per_poly[j] = ScatterGatherCells(sharded, *hr, hooks, touched.get());
+  };
+  RunMaybeParallel(hooks, polys.size(), one_poly);
+
+  // Gather stage — identical to the unsharded point-index plan: combine
+  // into regions serially in polygon order.
+  std::vector<join::CellAggregate> per_region(base.regions->num_regions);
+  for (size_t j = 0; j < polys.size(); ++j) {
+    per_region[base.regions->region_of[j]].Merge(per_poly[j]);
+  }
+  answer.stats.index_bytes = sharded.IndexBytes();
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    answer.stats.shards_probed += touched[s].load(std::memory_order_relaxed);
+  }
+  RowsFromRegionAggregates(per_region, agg, &answer.rows);
+  answer.stats.elapsed_ms = timer.Millis();
+  return answer;
+}
+
+join::ResultRange ExecuteCountInPolygon(const ShardedState& sharded,
+                                        const geom::Polygon& poly, double epsilon,
+                                        const ExecHooks& hooks) {
+  const EngineState& base = sharded.base();
+  const std::shared_ptr<const raster::HierarchicalRaster> hr =
+      HrForPolygon(base, hooks, kAdHocPolygon, poly, epsilon);
+  // Scatter across the surviving shards in parallel; gather in ascending
+  // shard order (counts are integers — the merge is exact).
+  return join::CountRange(ScatterGatherCells(sharded, *hr, hooks, nullptr));
+}
+
+std::vector<uint32_t> ExecuteSelectInPolygon(const ShardedState& sharded,
+                                             const geom::Polygon& poly,
+                                             double epsilon,
+                                             const ExecHooks& hooks) {
+  const EngineState& base = sharded.base();
+  const std::shared_ptr<const raster::HierarchicalRaster> hr =
+      HrForPolygon(base, hooks, kAdHocPolygon, poly, epsilon);
+  const std::vector<ShardedState::CellRoute> routes =
+      sharded.MakeRoutes(hr->cells().data(), hr->cells().size());
+  const std::vector<uint32_t> surviving =
+      sharded.SurvivingShards(routes.data(), routes.size());
+
+  // Scatter: each surviving shard selects its local rows, remapped to
+  // base-table ids.
+  std::vector<std::vector<uint32_t>> per_shard(surviving.size());
+  RunMaybeParallel(hooks, surviving.size(), [&](size_t t) {
+    const size_t s = surviving[t];
+    const ShardedState::Shard& shard = sharded.shard(s);
+    const std::vector<raster::HrCell> cells = sharded.PruneCellsForShard(
+        s, hr->cells().data(), routes.data(), hr->cells().size());
+    std::vector<uint32_t> local;
+    shard.state->point_index->SelectIds(cells.data(), cells.size(),
+                                        join::SearchStrategy::kRadixSpline, &local);
+    per_shard[t].reserve(local.size());
+    for (const uint32_t l : local) per_shard[t].push_back(shard.global_ids[l]);
+  });
+
+  // Gather: the unsharded index emits ids in (leaf key, row id) order —
+  // disjoint cells ascending, canonical tie-break inside each cell (see
+  // PrefixSumIndex::Build). Re-sorting the union by the same key restores
+  // that order exactly, so the merged selection is byte-identical.
+  std::vector<std::pair<uint64_t, uint32_t>> keyed;
+  for (const std::vector<uint32_t>& ids : per_shard) {
+    for (const uint32_t id : ids) {
+      keyed.emplace_back(base.grid.LeafKey(base.points->locs[id]), id);
+    }
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<uint32_t> out;
+  out.reserve(keyed.size());
+  for (const auto& [key, id] : keyed) out.push_back(id);
+  return out;
+}
+
+}  // namespace dbsa::core

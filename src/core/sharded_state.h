@@ -1,0 +1,187 @@
+// SFC-sharded execution state — the scaling layer between one immutable
+// EngineState snapshot and a multi-core (later multi-node) deployment.
+//
+// The point table is partitioned into K spatially-local shards by the
+// Hilbert rank of each point's coordinates: points are ordered along the
+// Hilbert curve (the better-locality linearization already used by
+// bench/abl_sfc) and cut into K equal-size contiguous runs. Each shard is
+// an independent EngineState slice — its own point table, attribute
+// columns and eagerly built point index — sharing the base state's region
+// table and, critically, the base GRID, so cell keys and epsilon levels
+// agree across shards.
+//
+// Query execution is scatter-gather:
+//
+//   scatter  the query's HR approximation cells are routed only to shards
+//            whose point bounds intersect them (shard pruning — exact
+//            integer leaf-coordinate tests, no floating-point slack);
+//   execute  each surviving shard answers its cell subset from its local
+//            point index (fanned out via ExecHooks::parallel_for);
+//   gather   shard partials merge in ascending shard order via
+//            CellAggregate::Merge, and per-region combination proceeds
+//            exactly like the unsharded point-index plan.
+//
+// Merge identity (per pinned plan): shards partition the points, every
+// point's home cell survives pruning for its own shard, and the gather
+// order is canonical — so COUNT aggregates, result ranges and selections
+// are byte-identical to the unsharded engine for any shard count and any
+// thread count. SUM aggregates additionally match bit-for-bit whenever
+// per-cell sums are exact in double (integer-valued or dyadic
+// attributes, e.g. counts, passengers, quantized fares); for arbitrary
+// attributes they are still deterministic (fixed merge order) but may
+// differ from the unsharded engine by floating-point reassociation.
+// Under Mode::kAuto the identity covers the EXECUTION of whichever plan
+// is chosen, not the choice itself: the shard-aware cost model (see
+// QueryProfile::parallel_shards) may legitimately pick a different plan
+// than an unsharded engine would — exactly as the serving layer's
+// hr_cache_available advertisement already does — and different plans
+// answer within the same distance bound but not bit-identically. Pin the
+// plan with an explicit Mode to compare executions across shard counts.
+
+#ifndef DBSA_CORE_SHARDED_STATE_H_
+#define DBSA_CORE_SHARDED_STATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine_state.h"
+#include "raster/hierarchical_raster.h"
+
+namespace dbsa::core {
+
+struct ShardingOptions {
+  /// Number of spatial shards (clamped to [1, num points]).
+  size_t num_shards = 1;
+  /// Grid level whose cells define the Hilbert ordering granularity.
+  /// Points within one level-`hilbert_level` cell always land in the same
+  /// shard run; 16 gives 2^32 curve positions — plenty below city scale.
+  int hilbert_level = 16;
+};
+
+/// K spatially-local shards of one EngineState snapshot. Immutable after
+/// Build, shareable behind shared_ptr exactly like EngineState itself.
+class ShardedState {
+ public:
+  struct Shard {
+    /// Slice state: shard points + shared regions, base grid, eagerly
+    /// built point index. Null iff the shard is empty.
+    std::shared_ptr<const EngineState> state;
+    /// Local row -> base-table row. Ascending, so shard-local sorted
+    /// order equals the base (key, row) order restricted to the shard.
+    std::vector<uint32_t> global_ids;
+    /// Tight bounds of the shard's points (display / cost model).
+    geom::Box bounds;
+    /// Exact leaf-coordinate bounds at CellId::kMaxLevel, used for shard
+    /// pruning: integer tests mean a cell that covers any shard point can
+    /// never be pruned by rounding. Empty shard: min > max.
+    uint32_t min_ix = UINT32_MAX, min_iy = UINT32_MAX;
+    uint32_t max_ix = 0, max_iy = 0;
+    /// Hilbert-curve positions (at the partitioner's level) of the
+    /// shard's first and last points. The shard is a contiguous curve
+    /// run, and every quadtree cell is a contiguous curve interval, so
+    /// routing is an exact interval intersection — a cell is probed by
+    /// (almost) exactly the shards whose curve segment crosses it, not by
+    /// every shard whose bounding box happens to overlap. Empty: lo > hi.
+    uint64_t hilbert_lo = 1, hilbert_hi = 0;
+    /// The curve run [hilbert_lo, hilbert_hi], decomposed at build time
+    /// into maximal curve-aligned quadtree blocks and re-expressed as
+    /// sorted disjoint leaf-key (Morton) intervals. Query-time routing is
+    /// then one binary search per cell over ~O(levels) intervals — no
+    /// Hilbert arithmetic on the query path.
+    std::vector<std::pair<uint64_t, uint64_t>> key_ranges;
+
+    size_t num_points() const { return global_ids.size(); }
+  };
+
+  /// Partitions the base snapshot's points into `options.num_shards`
+  /// Hilbert-contiguous shards. The base state is retained: non-sharded
+  /// plans (ACT, canvas BRJ, exact) execute against it unchanged.
+  static std::shared_ptr<const ShardedState> Build(
+      std::shared_ptr<const EngineState> base, const ShardingOptions& options = {});
+
+  const EngineState& base() const { return *base_; }
+  const std::shared_ptr<const EngineState>& base_ptr() const { return base_; }
+  size_t num_shards() const { return shards_.size(); }
+  const Shard& shard(size_t i) const { return shards_[i]; }
+  const std::vector<Shard>& shards() const { return shards_; }
+
+  /// Per-cell routing geometry, precomputed once per query and shared by
+  /// every shard's pruning test: the cell's inclusive leaf-key (Morton)
+  /// range — matched against each shard's key_ranges — and its inclusive
+  /// leaf-coordinate rectangle. All integer — routing decisions always
+  /// agree with leaf-key membership.
+  struct CellRoute {
+    uint64_t key_lo, key_hi;
+    uint32_t lo_x, lo_y, hi_x, hi_y;
+  };
+
+  /// Computes the routes of a query's cells (the per-query scatter prep).
+  std::vector<CellRoute> MakeRoutes(const raster::HrCell* cells,
+                                    size_t num_cells) const;
+
+  /// True iff any routed cell intersects shard `s` — the pruning
+  /// predicate of the scatter step: the cell's curve interval must cross
+  /// the shard's curve run AND its rectangle the shard's point bounds.
+  bool ShardIntersects(size_t s, const CellRoute* routes, size_t num_cells) const;
+
+  /// Convenience overload (tests): routes computed on the fly.
+  bool ShardIntersects(size_t s, const raster::HrCell* cells,
+                       size_t num_cells) const;
+
+  /// The scatter set of a query approximation: indexes of shards that
+  /// survive pruning, ascending. This is the exact set execution probes.
+  std::vector<uint32_t> SurvivingShards(const CellRoute* routes,
+                                        size_t num_cells) const;
+
+  /// Convenience overload (tests, stats): routes computed on the fly.
+  std::vector<uint32_t> SurvivingShards(const raster::HierarchicalRaster& hr) const;
+
+  /// Cells of `hr` that intersect shard `s` (the shard's scatter slice).
+  std::vector<raster::HrCell> PruneCellsForShard(size_t s,
+                                                 const raster::HrCell* cells,
+                                                 const CellRoute* routes,
+                                                 size_t num_cells) const;
+
+  /// Convenience overload (tests): routes computed on the fly.
+  std::vector<raster::HrCell> PruneCellsForShard(
+      size_t s, const raster::HrCell* cells, size_t num_cells) const;
+
+  /// Total bytes of the shard point indexes (stats).
+  size_t IndexBytes() const;
+
+  int hilbert_level() const { return hilbert_level_; }
+
+ private:
+  ShardedState() = default;
+
+  std::shared_ptr<const EngineState> base_;
+  std::vector<Shard> shards_;
+  int hilbert_level_ = 16;
+};
+
+/// Scatter-gather equivalents of the EngineState Execute* functions.
+/// Per pinned plan, results are byte-identical to the unsharded
+/// functions (see the merge identity above — Mode::kAuto may resolve to
+/// a different plan than an unsharded engine); only ExecStats
+/// bookkeeping fields (shards_probed, index_bytes, query-cell counters)
+/// reflect the sharded execution.
+///
+/// Plans other than the point-index join do not shard — they run against
+/// the base state exactly as ExecuteAggregate(state, ...) would.
+AggregateAnswer ExecuteAggregate(const ShardedState& sharded, join::AggKind agg,
+                                 Attr attr, double epsilon, Mode mode = Mode::kAuto,
+                                 const ExecHooks& hooks = {});
+
+join::ResultRange ExecuteCountInPolygon(const ShardedState& sharded,
+                                        const geom::Polygon& poly, double epsilon,
+                                        const ExecHooks& hooks = {});
+
+std::vector<uint32_t> ExecuteSelectInPolygon(const ShardedState& sharded,
+                                             const geom::Polygon& poly,
+                                             double epsilon,
+                                             const ExecHooks& hooks = {});
+
+}  // namespace dbsa::core
+
+#endif  // DBSA_CORE_SHARDED_STATE_H_

@@ -39,8 +39,13 @@ PrefixSumIndex PrefixSumIndex::Build(std::vector<uint64_t> keys,
   const size_t n = keys.size();
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(),
-            [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+  // Tie-break equal keys by original row: the sorted order (and therefore
+  // CollectIds output) becomes the canonical (key, row id) order, which
+  // spatially-partitioned executions can reproduce exactly when merging
+  // shard-local selections (core/sharded_state.h).
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return keys[a] != keys[b] ? keys[a] < keys[b] : a < b;
+  });
 
   std::vector<uint64_t> sorted_keys(n);
   PrefixSumIndex idx;

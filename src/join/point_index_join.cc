@@ -54,8 +54,14 @@ size_t PointIndex::UpperBound(uint64_t key, SearchStrategy s) const {
 
 CellAggregate PointIndex::QueryCells(const raster::HierarchicalRaster& hr,
                                      SearchStrategy strategy) const {
+  return QueryCells(hr.cells().data(), hr.cells().size(), strategy);
+}
+
+CellAggregate PointIndex::QueryCells(const raster::HrCell* cells, size_t num_cells,
+                                     SearchStrategy strategy) const {
   CellAggregate agg;
-  for (const raster::HrCell& cell : hr.cells()) {
+  for (size_t c = 0; c < num_cells; ++c) {
+    const raster::HrCell& cell = cells[c];
     const uint64_t lo_key = cell.id.LeafKeyMin();
     const uint64_t hi_key = cell.id.LeafKeyMax();
     const size_t lo = LowerBound(lo_key, strategy);
@@ -89,10 +95,16 @@ CellAggregate PointIndex::QueryCellRange(const raster::CellId& cell,
 size_t PointIndex::SelectIds(const raster::HierarchicalRaster& hr,
                              SearchStrategy strategy,
                              std::vector<uint32_t>* out) const {
+  return SelectIds(hr.cells().data(), hr.cells().size(), strategy, out);
+}
+
+size_t PointIndex::SelectIds(const raster::HrCell* cells, size_t num_cells,
+                             SearchStrategy strategy,
+                             std::vector<uint32_t>* out) const {
   const size_t before = out->size();
-  for (const raster::HrCell& cell : hr.cells()) {
-    const size_t lo = LowerBound(cell.id.LeafKeyMin(), strategy);
-    const size_t hi = UpperBound(cell.id.LeafKeyMax(), strategy);
+  for (size_t c = 0; c < num_cells; ++c) {
+    const size_t lo = LowerBound(cells[c].id.LeafKeyMin(), strategy);
+    const size_t hi = UpperBound(cells[c].id.LeafKeyMax(), strategy);
     index_.CollectIds(lo, hi, out);
   }
   return out->size() - before;

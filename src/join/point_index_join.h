@@ -64,6 +64,12 @@ class PointIndex {
   CellAggregate QueryCells(const raster::HierarchicalRaster& hr,
                            SearchStrategy strategy) const;
 
+  /// Same, over an explicit cell subset — the scatter half of sharded
+  /// execution, where each shard answers only the query cells that
+  /// intersect its bounds (core/sharded_state.h).
+  CellAggregate QueryCells(const raster::HrCell* cells, size_t num_cells,
+                           SearchStrategy strategy) const;
+
   /// Convenience: approximates the polygon with a budget-driven HR first.
   CellAggregate QueryPolygon(const geom::Polygon& poly, size_t cells_budget,
                              SearchStrategy strategy) const;
@@ -78,6 +84,10 @@ class PointIndex {
   /// to `out`; returns the number of ids added.
   size_t SelectIds(const raster::HierarchicalRaster& hr, SearchStrategy strategy,
                    std::vector<uint32_t>* out) const;
+
+  /// Selection over an explicit cell subset (sharded execution).
+  size_t SelectIds(const raster::HrCell* cells, size_t num_cells,
+                   SearchStrategy strategy, std::vector<uint32_t>* out) const;
 
   const raster::Grid& grid() const { return grid_; }
   size_t size() const { return index_.size(); }

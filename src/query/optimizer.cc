@@ -52,8 +52,13 @@ PlanCosts EstimateCosts(const QueryProfile& p) {
   // Rasterizing the query polygons dominates the probe for small point
   // sets; a serving-layer approximation cache amortizes it away.
   const double hr_build = p.hr_cache_available ? 0.0 : hr_cells * kTrieHop;
+  // Sharded execution scatters the probes across spatially-local slices:
+  // wall-clock probe cost divides by the surviving shards, and each
+  // shard's searches run over an index 1/shards the size.
+  const double shards = std::max(p.parallel_shards, 1.0);
   c.point_index =
-      build + reps * (hr_build + searches * kSearch * std::log2(n + 2));
+      build +
+      reps * (hr_build + searches * kSearch * std::log2(n / shards + 2) / shards);
 
   // BRJ: points pass + polygon fill per tile.
   const double res = p.universe_extent / cell;
@@ -101,9 +106,11 @@ PlanChoice ChoosePlan(const QueryProfile& p) {
   }
   std::snprintf(buf, sizeof(buf),
                 "candidates: ACT=%.3g POINT-INDEX=%.3g BRJ=%.3g EXACT=%.3g "
-                "(n=%zu, polys=%zu, avg_vertices=%.1f, eps=%.3g, reps=%d) -> %s",
+                "(n=%zu, polys=%zu, avg_vertices=%.1f, eps=%.3g, reps=%d, "
+                "shards=%.0f) -> %s",
                 c.act, c.point_index, c.brj, c.exact, p.num_points, p.num_polygons,
-                p.avg_vertices, p.epsilon, p.repetitions, PlanKindName(choice.kind));
+                p.avg_vertices, p.epsilon, p.repetitions,
+                std::max(p.parallel_shards, 1.0), PlanKindName(choice.kind));
   choice.explain = buf;
   return choice;
 }

@@ -37,6 +37,13 @@ struct QueryProfile {
   /// table, making the per-query HR construction of the point-index plan
   /// (nearly) free after the first execution.
   bool hr_cache_available = false;
+  /// Spatially-partitioned shards the point-index plan fans its probes
+  /// out across (core::ShardedState). The modeled probe cost divides by
+  /// this number — an optimistic discount: it is realized when a query's
+  /// cells scatter across all shards on enough cores, and overstated when
+  /// pruning leaves fewer survivors (selective queries) or cores are
+  /// scarce. 1 = unsharded.
+  double parallel_shards = 1.0;
   int repetitions = 1;                 ///< Expected executions of the plan.
 };
 

@@ -22,7 +22,16 @@ int Grid::LevelForEpsilon(double epsilon) const {
   // Smallest L with side / 2^L * sqrt(2) <= epsilon.
   const double ratio = side_ * kSqrt2 / epsilon;
   int level = static_cast<int>(std::ceil(std::log2(std::max(ratio, 1.0))));
-  return std::clamp(level, 0, CellId::kMaxLevel);
+  level = std::clamp(level, 0, CellId::kMaxLevel);
+  // ceil(log2(ratio)) is computed in floating point: when the ratio sits at
+  // (or within one ulp of) an exact power of two, the rounded logarithm can
+  // land one level off in either direction — too coarse violates the
+  // requested distance bound, too fine wastes cells. Snap to the smallest
+  // level whose guarantee actually covers the request; only the kMaxLevel
+  // clamp may leave AchievedEpsilon(level) above epsilon.
+  while (level > 0 && AchievedEpsilon(level - 1) <= epsilon) --level;
+  while (level < CellId::kMaxLevel && AchievedEpsilon(level) > epsilon) ++level;
+  return level;
 }
 
 void Grid::PointToXY(const geom::Point& p, int level, uint32_t* ix, uint32_t* iy) const {

@@ -38,8 +38,10 @@ class Grid {
   double CellDiagonal(int level) const { return CellSize(level) * kSqrt2; }
 
   /// Smallest level whose cell diagonal is <= epsilon, i.e. the raster
-  /// level that guarantees d_H <= epsilon per the paper. Clamped to
-  /// kMaxLevel; use AchievedEpsilon to see what a level actually provides.
+  /// level that guarantees d_H <= epsilon per the paper. Guaranteed:
+  /// AchievedEpsilon(LevelForEpsilon(eps)) <= eps unless the level was
+  /// clamped to kMaxLevel (the only case where a request can be finer than
+  /// the grid provides); use AchievedEpsilon to see what a level gives.
   int LevelForEpsilon(double epsilon) const;
 
   /// The distance bound actually guaranteed at a level (= cell diagonal).

@@ -7,9 +7,7 @@ namespace dbsa::service {
 
 namespace {
 
-inline uint64_t FnvMix(uint64_t h, double v) {
-  uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
+inline uint64_t FnvMixBits(uint64_t h, uint64_t bits) {
   for (int shift = 0; shift < 64; shift += 8) {
     h ^= (bits >> shift) & 0xffu;
     h *= 0x100000001b3ULL;
@@ -17,12 +15,19 @@ inline uint64_t FnvMix(uint64_t h, double v) {
   return h;
 }
 
+inline uint64_t FnvMix(uint64_t h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return FnvMixBits(h, bits);
+}
+
+/// One FNV-1a stream over a ring's vertex bytes plus a separator, so
+/// ((a), (b)) and ((a, b)) hash differently.
 inline uint64_t FnvRing(uint64_t h, const geom::Ring& ring) {
   for (const geom::Point& p : ring) {
     h = FnvMix(h, p.x);
     h = FnvMix(h, p.y);
   }
-  // Ring separator so ((a), (b)) and ((a, b)) hash differently.
   h ^= 0x1fu;
   h *= 0x100000001b3ULL;
   return h;
@@ -30,19 +35,59 @@ inline uint64_t FnvRing(uint64_t h, const geom::Ring& ring) {
 
 }  // namespace
 
-uint64_t PolygonFingerprint(const geom::Polygon& poly) {
-  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
-  h = FnvRing(h, poly.outer());
-  for (const geom::Ring& hole : poly.holes()) h = FnvRing(h, hole);
-  return h | (1ULL << 63);
+ObjectKey PolygonFingerprint(const geom::Polygon& poly) {
+  // Two independent streams: `lo` is FNV-1a over the raw vertex bytes,
+  // `hi` runs over the same bytes from a different offset basis and mixes
+  // in the ring/vertex structure, so the two words never degenerate into
+  // one 64-bit quantity with a constant offset.
+  uint64_t lo = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+  lo = FnvRing(lo, poly.outer());
+  for (const geom::Ring& hole : poly.holes()) lo = FnvRing(lo, hole);
+
+  uint64_t hi = 0x84222325cbf29ce4ULL;  // Rotated basis: independent stream.
+  hi = FnvMixBits(hi, poly.outer().size());
+  for (const geom::Point& p : poly.outer()) {
+    hi = FnvMix(hi, p.y);  // Swapped coordinate order vs the `lo` stream.
+    hi = FnvMix(hi, p.x);
+  }
+  hi = FnvMixBits(hi, poly.holes().size());
+  for (const geom::Ring& hole : poly.holes()) {
+    hi = FnvMixBits(hi, hole.size());
+    for (const geom::Point& p : hole) {
+      hi = FnvMix(hi, p.y);
+      hi = FnvMix(hi, p.x);
+    }
+  }
+  return ObjectKey(hi | (1ULL << 63), lo);
+}
+
+GeometrySummary GeometrySummary::Of(const geom::Polygon& poly) {
+  GeometrySummary s;
+  s.num_rings = 1 + poly.holes().size();
+  s.num_vertices = poly.NumVertices();
+  s.bounds = poly.bounds();
+  if (!poly.outer().empty()) s.first_vertex = poly.outer().front();
+  return s;
+}
+
+bool GeometrySummary::Matches(const GeometrySummary& o) const {
+  return num_rings == o.num_rings && num_vertices == o.num_vertices &&
+         bounds.min.x == o.bounds.min.x && bounds.min.y == o.bounds.min.y &&
+         bounds.max.x == o.bounds.max.x && bounds.max.y == o.bounds.max.y &&
+         first_vertex.x == o.first_vertex.x && first_vertex.y == o.first_vertex.y;
 }
 
 ApproxCache::ApproxCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
 
-ApproxCache::HrPtr ApproxCache::GetOrBuild(uint64_t object_id, int level,
-                                           const Builder& build, bool* built) {
+ApproxCache::HrPtr ApproxCache::GetOrBuild(const ObjectKey& object_id, int level,
+                                           const Builder& build, bool* built,
+                                           const geom::Polygon* geometry) {
   if (built != nullptr) *built = false;
   const Key key{object_id, level};
+  GeometrySummary summary;
+  const bool verify = geometry != nullptr;
+  if (verify) summary = GeometrySummary::Of(*geometry);
+
   std::shared_future<HrPtr> wait_on;
   std::promise<HrPtr> promise;
   uint64_t my_generation = 0;
@@ -50,18 +95,42 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(uint64_t object_id, int level,
     std::unique_lock<std::mutex> lock(mu_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
-      ++hits_;
-      lru_.splice(lru_.begin(), lru_, it->second);  // Promote.
-      return it->second->hr;
+      if (verify && it->second->has_summary && !summary.Matches(it->second->summary)) {
+        // Fingerprint collision: the cached entry was built from different
+        // geometry. Drop it and fall through to a fresh build under the
+        // same key (last writer wins; both geometries stay correct).
+        ++collisions_;
+        EraseEntryLocked(it->second);
+        map_.erase(it);
+      } else {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);  // Promote.
+        return it->second->hr;
+      }
     }
     const auto flight = inflight_.find(key);
     if (flight != inflight_.end()) {
+      if (verify && flight->second.has_summary &&
+          !summary.Matches(flight->second.summary)) {
+        // Collision against an in-flight build of different geometry: do
+        // not wait on (or poison) the other build — construct our own
+        // uncached result below.
+        ++collisions_;
+        ++misses_;
+        lock.unlock();
+        if (built != nullptr) *built = true;
+        return std::make_shared<const raster::HierarchicalRaster>(build());
+      }
       ++hits_;  // No construction on this thread.
-      wait_on = flight->second;
+      wait_on = flight->second.future;
     } else {
       ++misses_;
       my_generation = generation_;
-      inflight_.emplace(key, promise.get_future().share());
+      Inflight flight_entry;
+      flight_entry.future = promise.get_future().share();
+      flight_entry.has_summary = verify;
+      flight_entry.summary = summary;
+      inflight_.emplace(key, std::move(flight_entry));
     }
   }
   if (wait_on.valid()) return wait_on.get();
@@ -86,8 +155,15 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(uint64_t object_id, int level,
     inflight_.erase(key);
     // A Clear() issued mid-build invalidates this generation: hand the
     // result to the waiters but do not resurrect it into the cache.
-    if (generation_ == my_generation && bytes <= budget_bytes_) {
-      lru_.push_front(Entry{key, hr, bytes});
+    if (generation_ == my_generation && bytes <= budget_bytes_ &&
+        map_.find(key) == map_.end()) {
+      Entry entry;
+      entry.key = key;
+      entry.hr = hr;
+      entry.bytes = bytes;
+      entry.has_summary = verify;
+      entry.summary = summary;
+      lru_.push_front(std::move(entry));
       map_.emplace(key, lru_.begin());
       bytes_used_ += bytes;
       EvictToBudgetLocked();
@@ -97,7 +173,7 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(uint64_t object_id, int level,
   return hr;
 }
 
-ApproxCache::HrPtr ApproxCache::Peek(uint64_t object_id, int level) const {
+ApproxCache::HrPtr ApproxCache::Peek(const ObjectKey& object_id, int level) const {
   const Key key{object_id, level};
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(key);
@@ -110,6 +186,7 @@ ApproxCache::Stats ApproxCache::stats() const {
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.collisions = collisions_;
   s.entries = map_.size();
   s.bytes_used = bytes_used_;
   s.budget_bytes = budget_bytes_;
@@ -122,6 +199,11 @@ void ApproxCache::Clear() {
   lru_.clear();
   bytes_used_ = 0;
   ++generation_;
+}
+
+void ApproxCache::EraseEntryLocked(LruList::iterator it) {
+  bytes_used_ -= it->bytes;
+  lru_.erase(it);
 }
 
 void ApproxCache::EvictToBudgetLocked() {

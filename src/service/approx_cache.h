@@ -9,6 +9,12 @@
 // the same missing key are single-flighted — one thread builds, the rest
 // wait on a shared future — so a burst of identical queries costs one
 // construction, not N.
+//
+// Collision safety: ad-hoc polygons are identified by a 128-bit geometry
+// fingerprint, and callers may additionally pass the polygon itself so a
+// hit is verified against a structural summary of the geometry that
+// produced the entry. A fingerprint collision is then detected instead of
+// silently serving the wrong approximation (see Stats::collisions).
 
 #ifndef DBSA_SERVICE_APPROX_CACHE_H_
 #define DBSA_SERVICE_APPROX_CACHE_H_
@@ -26,12 +32,46 @@
 
 namespace dbsa::service {
 
-/// Stable 64-bit fingerprint of a polygon's geometry (FNV-1a over the
-/// vertex coordinates' bit patterns). Lets ad-hoc query polygons share
-/// cache entries across repeated submissions — e.g. a dashboard viewport
-/// re-requested at every refresh. The high bit is set so fingerprints
-/// never collide with region-table polygon indexes used as object ids.
-uint64_t PolygonFingerprint(const geom::Polygon& poly);
+/// 128-bit cache object identity. Region-table polygons use {0, index};
+/// ad-hoc polygons use PolygonFingerprint, which sets the top bit of `hi`
+/// so the two namespaces can never collide. The implicit constructor from
+/// a plain integer covers the table-index case.
+struct ObjectKey {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  constexpr ObjectKey() = default;
+  constexpr ObjectKey(uint64_t object_id) : hi(0), lo(object_id) {}  // NOLINT
+  constexpr ObjectKey(uint64_t hi_word, uint64_t lo_word)
+      : hi(hi_word), lo(lo_word) {}
+
+  bool operator==(const ObjectKey& o) const { return hi == o.hi && lo == o.lo; }
+  bool operator!=(const ObjectKey& o) const { return !(*this == o); }
+};
+
+/// Stable 128-bit fingerprint of a polygon's geometry: two independent
+/// FNV-1a streams over the vertex coordinates' bit patterns, mixed with
+/// the ring/vertex structure (ring count and per-ring lengths), so rings
+/// that merely re-chunk the same byte stream hash differently. Lets
+/// ad-hoc query polygons share cache entries across repeated submissions
+/// — e.g. a dashboard viewport re-requested at every refresh. The top bit
+/// of `hi` is always set (the ad-hoc namespace marker).
+ObjectKey PolygonFingerprint(const geom::Polygon& poly);
+
+/// Cheap structural summary of a polygon, stored with each cache entry
+/// and compared on every verified hit: a fingerprint collision between
+/// distinct geometries is caught unless the geometries also agree on ring
+/// count, vertex count, bounding box and first vertex — at which point
+/// they are the same polygon for any practical purpose.
+struct GeometrySummary {
+  uint64_t num_rings = 0;
+  uint64_t num_vertices = 0;
+  geom::Box bounds;
+  geom::Point first_vertex;
+
+  static GeometrySummary Of(const geom::Polygon& poly);
+  bool Matches(const GeometrySummary& o) const;
+};
 
 class ApproxCache {
  public:
@@ -44,6 +84,7 @@ class ApproxCache {
     size_t hits = 0;
     size_t misses = 0;      ///< Builder invocations.
     size_t evictions = 0;   ///< Entries dropped to respect the budget.
+    size_t collisions = 0;  ///< Hits rejected by geometry verification.
     size_t entries = 0;
     size_t bytes_used = 0;
     size_t budget_bytes = 0;
@@ -63,11 +104,16 @@ class ApproxCache {
   /// with `build` on a miss. Waiters on an in-flight build count as hits
   /// (they performed no construction). If `built` is non-null it reports
   /// whether THIS call ran the builder (per-query miss accounting).
-  HrPtr GetOrBuild(uint64_t object_id, int level, const Builder& build,
-                   bool* built = nullptr);
+  ///
+  /// When `geometry` is non-null the hit is verified: if the cached entry
+  /// was built from a polygon whose structural summary differs (an id
+  /// collision), the stale entry is discarded and the approximation is
+  /// rebuilt from `build` — the wrong approximation is never returned.
+  HrPtr GetOrBuild(const ObjectKey& object_id, int level, const Builder& build,
+                   bool* built = nullptr, const geom::Polygon* geometry = nullptr);
 
   /// Lookup without building or LRU promotion (tests, introspection).
-  HrPtr Peek(uint64_t object_id, int level) const;
+  HrPtr Peek(const ObjectKey& object_id, int level) const;
 
   Stats stats() const;
 
@@ -76,7 +122,7 @@ class ApproxCache {
 
  private:
   struct Key {
-    uint64_t object_id = 0;
+    ObjectKey object_id;
     int level = 0;
     bool operator==(const Key& o) const {
       return object_id == o.object_id && level == o.level;
@@ -84,8 +130,9 @@ class ApproxCache {
   };
   struct KeyHash {
     size_t operator()(const Key& k) const {
-      // Splitmix-style finalizer over the two fields.
-      uint64_t x = k.object_id ^ (static_cast<uint64_t>(k.level) * 0x9e3779b97f4a7c15ULL);
+      // Splitmix-style finalizer over the three fields.
+      uint64_t x = k.object_id.lo ^ (k.object_id.hi * 0xff51afd7ed558ccdULL) ^
+                   (static_cast<uint64_t>(k.level) * 0x9e3779b97f4a7c15ULL);
       x ^= x >> 30;
       x *= 0xbf58476d1ce4e5b9ULL;
       x ^= x >> 27;
@@ -98,21 +145,30 @@ class ApproxCache {
     Key key;
     HrPtr hr;
     size_t bytes = 0;
+    bool has_summary = false;
+    GeometrySummary summary;
   };
   using LruList = std::list<Entry>;
+  struct Inflight {
+    std::shared_future<HrPtr> future;
+    bool has_summary = false;
+    GeometrySummary summary;
+  };
 
   void EvictToBudgetLocked();
+  void EraseEntryLocked(LruList::iterator it);
 
   const size_t budget_bytes_;
   mutable std::mutex mu_;
   LruList lru_;  ///< Front = most recently used.
   std::unordered_map<Key, LruList::iterator, KeyHash> map_;
-  std::unordered_map<Key, std::shared_future<HrPtr>, KeyHash> inflight_;
+  std::unordered_map<Key, Inflight, KeyHash> inflight_;
   size_t bytes_used_ = 0;
   uint64_t generation_ = 0;  ///< Bumped by Clear(); stale builds not cached.
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t evictions_ = 0;
+  size_t collisions_ = 0;
 };
 
 }  // namespace dbsa::service

@@ -41,6 +41,12 @@ QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
       cache_(options.cache_budget_bytes),
       pool_(options.num_threads) {
   DBSA_CHECK(state_ != nullptr);
+  if (options.num_shards > 1) {
+    core::ShardingOptions sharding;
+    sharding.num_shards = options.num_shards;
+    sharding.hilbert_level = options.shard_hilbert_level;
+    sharded_ = core::ShardedState::Build(state_, sharding);
+  }
 }
 
 QueryService::QueryService(data::PointSet points, data::RegionSet regions,
@@ -57,16 +63,19 @@ core::ExecHooks QueryService::MakeHooks(std::atomic<size_t>* query_hits,
                           size_t poly_index, const geom::Polygon& poly,
                           double epsilon) {
     const int level = state_->grid.LevelForEpsilon(epsilon);
-    const uint64_t object_id = poly_index == core::kAdHocPolygon
-                                   ? PolygonFingerprint(poly)
-                                   : static_cast<uint64_t>(poly_index);
+    const bool ad_hoc = poly_index == core::kAdHocPolygon;
+    const ObjectKey object_id =
+        ad_hoc ? PolygonFingerprint(poly) : ObjectKey(static_cast<uint64_t>(poly_index));
     bool built = false;
+    // Ad-hoc polygons are identified only by their fingerprint, so their
+    // hits are verified against the geometry; region-table entries are
+    // keyed by table index and cannot collide.
     ApproxCache::HrPtr hr = cache_.GetOrBuild(
         object_id, level,
         [&]() {
           return raster::HierarchicalRaster::BuildLevel(poly, state_->grid, level);
         },
-        &built);
+        &built, ad_hoc ? &poly : nullptr);
     if (query_hits != nullptr && query_misses != nullptr) {
       (built ? *query_misses : *query_hits).fetch_add(1, std::memory_order_relaxed);
     }
@@ -83,12 +92,29 @@ core::ExecHooks QueryService::MakeHooks(std::atomic<size_t>* query_hits,
 core::AggregateAnswer QueryService::RunAggregate(const Request& request) {
   std::atomic<size_t> query_hits{0};
   std::atomic<size_t> query_misses{0};
+  const core::ExecHooks hooks = MakeHooks(&query_hits, &query_misses);
   core::AggregateAnswer answer =
-      core::ExecuteAggregate(*state_, request.agg, request.attr, request.epsilon,
-                             request.mode, MakeHooks(&query_hits, &query_misses));
+      sharded_ != nullptr
+          ? core::ExecuteAggregate(*sharded_, request.agg, request.attr,
+                                   request.epsilon, request.mode, hooks)
+          : core::ExecuteAggregate(*state_, request.agg, request.attr,
+                                   request.epsilon, request.mode, hooks);
   answer.stats.hr_cache_hits = query_hits.load(std::memory_order_relaxed);
   answer.stats.hr_cache_misses = query_misses.load(std::memory_order_relaxed);
   return answer;
+}
+
+join::ResultRange QueryService::RunCount(const geom::Polygon& poly, double epsilon) {
+  return sharded_ != nullptr
+             ? core::ExecuteCountInPolygon(*sharded_, poly, epsilon, MakeHooks())
+             : core::ExecuteCountInPolygon(*state_, poly, epsilon, MakeHooks());
+}
+
+std::vector<uint32_t> QueryService::RunSelect(const geom::Polygon& poly,
+                                              double epsilon) {
+  return sharded_ != nullptr
+             ? core::ExecuteSelectInPolygon(*sharded_, poly, epsilon, MakeHooks())
+             : core::ExecuteSelectInPolygon(*state_, poly, epsilon, MakeHooks());
 }
 
 Response QueryService::Run(uint64_t ticket, const Request& request) {
@@ -100,12 +126,10 @@ Response QueryService::Run(uint64_t ticket, const Request& request) {
       response.aggregate = RunAggregate(request);
       break;
     case Request::Kind::kCountInPolygon:
-      response.range = core::ExecuteCountInPolygon(*state_, request.poly,
-                                                   request.epsilon, MakeHooks());
+      response.range = RunCount(request.poly, request.epsilon);
       break;
     case Request::Kind::kSelectInPolygon:
-      response.ids = core::ExecuteSelectInPolygon(*state_, request.poly,
-                                                  request.epsilon, MakeHooks());
+      response.ids = RunSelect(request.poly, request.epsilon);
       break;
   }
   return response;
@@ -123,14 +147,14 @@ std::future<core::AggregateAnswer> QueryService::Aggregate(join::AggKind agg,
 std::future<join::ResultRange> QueryService::CountInPolygon(geom::Polygon poly,
                                                             double epsilon) {
   return pool_.Async([this, poly = std::move(poly), epsilon]() {
-    return core::ExecuteCountInPolygon(*state_, poly, epsilon, MakeHooks());
+    return RunCount(poly, epsilon);
   });
 }
 
 std::future<std::vector<uint32_t>> QueryService::SelectInPolygon(geom::Polygon poly,
                                                                  double epsilon) {
   return pool_.Async([this, poly = std::move(poly), epsilon]() {
-    return core::ExecuteSelectInPolygon(*state_, poly, epsilon, MakeHooks());
+    return RunSelect(poly, epsilon);
   });
 }
 

@@ -15,6 +15,13 @@
 // byte-identical to the single-threaded SpatialEngine on the same
 // workload — per-query floating-point accumulation order is fixed (see
 // ExecHooks in core/engine_state.h), only scheduling varies.
+//
+// Sharding: with ServiceOptions::num_shards > 1 the snapshot's points are
+// partitioned into Hilbert-contiguous spatial shards (core::ShardedState)
+// and point-index queries run scatter-gather — approximation cells routed
+// only to intersecting shards, shard partials merged in canonical order —
+// preserving the determinism guarantee (see sharded_state.h for the exact
+// merge-identity contract).
 
 #ifndef DBSA_SERVICE_QUERY_SERVICE_H_
 #define DBSA_SERVICE_QUERY_SERVICE_H_
@@ -27,6 +34,7 @@
 #include <vector>
 
 #include "core/engine_state.h"
+#include "core/sharded_state.h"
 #include "service/approx_cache.h"
 #include "service/thread_pool.h"
 
@@ -41,6 +49,13 @@ struct ServiceOptions {
   /// pool (cache misses build HRs in parallel). Results are identical
   /// either way; this only trades latency for pool occupancy.
   bool parallel_regions = true;
+  /// > 1 partitions the point table into this many Hilbert-contiguous
+  /// spatial shards (core::ShardedState); point-index queries scatter
+  /// across the shards that survive pruning and gather byte-identical
+  /// results. 1 = serve the snapshot unsharded.
+  size_t num_shards = 1;
+  /// Grid level of the Hilbert ordering used by the partitioner.
+  int shard_hilbert_level = 16;
 };
 
 /// One queued request. kind selects which fields matter.
@@ -114,6 +129,8 @@ class QueryService {
   ApproxCache::Stats cache_stats() const { return cache_.stats(); }
 
   const core::EngineState& state() const { return *state_; }
+  /// Non-null iff options.num_shards > 1 (the shard-aware execution path).
+  const core::ShardedState* sharded() const { return sharded_.get(); }
   size_t num_threads() const { return pool_.size(); }
 
  private:
@@ -124,8 +141,11 @@ class QueryService {
                             std::atomic<size_t>* query_misses = nullptr);
   Response Run(uint64_t ticket, const Request& request);
   core::AggregateAnswer RunAggregate(const Request& request);
+  join::ResultRange RunCount(const geom::Polygon& poly, double epsilon);
+  std::vector<uint32_t> RunSelect(const geom::Polygon& poly, double epsilon);
 
   std::shared_ptr<const core::EngineState> state_;
+  std::shared_ptr<const core::ShardedState> sharded_;  ///< Null when unsharded.
   ServiceOptions options_;
   ApproxCache cache_;
   ThreadPool pool_;  ///< Last member: workers die before cache/state.

@@ -54,20 +54,40 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
   // Shared iteration state: workers and the caller race on `next`; the
   // caller waits until `done` reaches n. Helpers are best-effort — if the
-  // pool is saturated, the caller finishes the loop alone.
+  // pool is saturated, the caller finishes the loop alone. A throwing body
+  // must not strand the caller at done < n: the first exception is
+  // captured, the remaining iterations are drained (claimed and counted
+  // without running the body), and the caller rethrows after the loop.
   struct LoopState {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex err_mu;
+    std::exception_ptr error;
     std::mutex mu;
     std::condition_variable cv;
   };
   auto state = std::make_shared<LoopState>();
   const size_t total = n;
-  const auto drain = [state, total, &fn]() {
+  // One body shared by the caller and the queued helpers; `f` is the
+  // caller's reference on the calling thread and a by-value copy in the
+  // helpers (a queued helper may start after the caller already drained
+  // the loop and returned, at which point a reference would dangle).
+  const auto drain = [state, total](const std::function<void(size_t)>& f) {
     for (;;) {
       const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) break;
-      fn(i);
+      if (!state->failed.load(std::memory_order_acquire)) {
+        try {
+          f(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(state->err_mu);
+            if (state->error == nullptr) state->error = std::current_exception();
+          }
+          state->failed.store(true, std::memory_order_release);
+        }
+      }
       if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
         std::lock_guard<std::mutex> lock(state->mu);
         state->cv.notify_all();
@@ -75,29 +95,22 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     }
   };
 
-  // The helper tasks capture fn by value: a queued helper may start after
-  // the caller already drained the loop and returned, at which point a
-  // reference would dangle.
   const size_t helpers = std::min(threads_.size(), n - 1);
   for (size_t h = 0; h < helpers; ++h) {
-    Submit([state, total, fn]() {
-      for (;;) {
-        const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= total) return;
-        fn(i);
-        if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
-          std::lock_guard<std::mutex> lock(state->mu);
-          state->cv.notify_all();
-        }
-      }
-    });
+    Submit([drain, fn]() { drain(fn); });
   }
 
-  drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&]() {
-    return state->done.load(std::memory_order_acquire) == total;
-  });
+  drain(fn);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&]() {
+      return state->done.load(std::memory_order_acquire) == total;
+    });
+  }
+  if (state->failed.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(state->err_mu);
+    std::rethrow_exception(state->error);
+  }
 }
 
 }  // namespace dbsa::service

@@ -53,6 +53,11 @@ class ThreadPool {
   /// Runs fn(0..n-1) across the pool and the calling thread; returns when
   /// every iteration has finished. Iterations must be independent — the
   /// execution order is unspecified. Safe to call from a pool worker.
+  ///
+  /// Exceptions: if any iteration throws, the first exception (by capture
+  /// order) is rethrown on the calling thread after the loop completes;
+  /// iterations not yet started by then are skipped. The pool stays fully
+  /// usable afterwards.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

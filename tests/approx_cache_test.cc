@@ -171,11 +171,78 @@ TEST(PolygonFingerprintTest, DistinguishesGeometry) {
   const geom::Polygon b = dbsa::testing::MakeRectPolygon(0, 0, 10, 11);
   const geom::Polygon star =
       dbsa::testing::MakeStarPolygon({50, 50}, 10, 30, 12, 7);
-  EXPECT_EQ(PolygonFingerprint(a), PolygonFingerprint(a2));
-  EXPECT_NE(PolygonFingerprint(a), PolygonFingerprint(b));
-  EXPECT_NE(PolygonFingerprint(a), PolygonFingerprint(star));
+  EXPECT_TRUE(PolygonFingerprint(a) == PolygonFingerprint(a2));
+  EXPECT_TRUE(PolygonFingerprint(a) != PolygonFingerprint(b));
+  EXPECT_TRUE(PolygonFingerprint(a) != PolygonFingerprint(star));
   // The ad-hoc namespace bit never collides with region polygon indexes.
-  EXPECT_NE(PolygonFingerprint(a) & (1ULL << 63), 0u);
+  EXPECT_NE(PolygonFingerprint(a).hi & (1ULL << 63), 0u);
+  // The two 64-bit words are independent streams, not one value reused.
+  EXPECT_NE(PolygonFingerprint(a).lo, PolygonFingerprint(a).hi & ~(1ULL << 63));
+}
+
+TEST(PolygonFingerprintTest, RingStructureChangesTheFingerprint) {
+  // Same vertex byte stream, chunked differently into rings: one hexagon
+  // vs a triangle with a triangular hole. A hash over raw bytes alone
+  // would collide; the structure mix must not.
+  const geom::Ring all{{0, 0}, {40, 0}, {20, 30}, {10, 10}, {30, 10}, {20, 24}};
+  const geom::Polygon one_ring(all);
+  const geom::Polygon two_rings(geom::Ring{{0, 0}, {40, 0}, {20, 30}},
+                                {geom::Ring{{10, 10}, {30, 10}, {20, 24}}});
+  EXPECT_TRUE(PolygonFingerprint(one_ring) != PolygonFingerprint(two_rings));
+}
+
+TEST(GeometrySummaryTest, MatchesIdenticalRejectsDifferent) {
+  const geom::Polygon a = dbsa::testing::MakeRectPolygon(0, 0, 10, 10);
+  const geom::Polygon b = dbsa::testing::MakeRectPolygon(0, 0, 10, 11);
+  EXPECT_TRUE(GeometrySummary::Of(a).Matches(GeometrySummary::Of(a)));
+  EXPECT_FALSE(GeometrySummary::Of(a).Matches(GeometrySummary::Of(b)));
+}
+
+TEST_F(ApproxCacheTest, FingerprintCollisionIsDetectedNotServed) {
+  // Adversarial setup: two distinct polygons forced onto the SAME 128-bit
+  // key (the worst case a real hash collision would produce). With the
+  // geometry passed for verification, the cache must detect the mismatch,
+  // discard the stale entry and rebuild — never serve the wrong HR.
+  ApproxCache cache(size_t{16} << 20);
+  const ObjectKey colliding_key(0x8000000000001234ULL, 0x5678ULL);
+  const geom::Polygon poly_a = PolyFor(0);
+  const geom::Polygon poly_b = PolyFor(40);  // Disjoint footprint from A.
+
+  bool built = false;
+  const ApproxCache::HrPtr hr_a = cache.GetOrBuild(
+      colliding_key, 6, [&]() { return BuildFor(0, 6); }, &built, &poly_a);
+  EXPECT_TRUE(built);
+
+  // Same key, different geometry: must NOT serve A's approximation.
+  const ApproxCache::HrPtr hr_b = cache.GetOrBuild(
+      colliding_key, 6, [&]() { return BuildFor(40, 6); }, &built, &poly_b);
+  EXPECT_TRUE(built);
+  EXPECT_NE(hr_a.get(), hr_b.get());
+  // B's approximation covers B's footprint, not A's.
+  EXPECT_TRUE(hr_b->ApproxContains(poly_b.Centroid(), grid_));
+  EXPECT_FALSE(hr_b->ApproxContains(poly_a.Centroid(), grid_));
+  EXPECT_EQ(cache.stats().collisions, 1u);
+
+  // Without verification geometry the key is trusted (region-table ids).
+  const ApproxCache::HrPtr again = cache.GetOrBuild(
+      colliding_key, 6, [&]() { return BuildFor(40, 6); }, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(again.get(), hr_b.get());
+}
+
+TEST_F(ApproxCacheTest, VerifiedHitDoesNotRebuild) {
+  ApproxCache cache(size_t{16} << 20);
+  const geom::Polygon poly = PolyFor(3);
+  const ObjectKey key = PolygonFingerprint(poly);
+  bool built = false;
+  const ApproxCache::HrPtr first = cache.GetOrBuild(
+      key, 6, [&]() { return BuildFor(3, 6); }, &built, &poly);
+  EXPECT_TRUE(built);
+  const ApproxCache::HrPtr second = cache.GetOrBuild(
+      key, 6, [&]() { return BuildFor(3, 6); }, &built, &poly);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.stats().collisions, 0u);
 }
 
 }  // namespace

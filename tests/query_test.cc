@@ -88,6 +88,26 @@ TEST(OptimizerTest, RepetitionFavorsIndexedPlans) {
   EXPECT_NE(choice.kind, PlanKind::kExactRStar);
 }
 
+TEST(OptimizerTest, ShardsDividePointIndexProbeCost) {
+  QueryProfile p = BaseProfile();
+  p.point_index_available = true;
+  p.hr_cache_available = true;  // Isolate the probe term.
+  const double unsharded = EstimateCosts(p).point_index;
+  p.parallel_shards = 8.0;
+  const double sharded = EstimateCosts(p).point_index;
+  EXPECT_LT(sharded, unsharded / 4.0);  // ~8x with the smaller per-shard index.
+  // Other plans are unaffected by sharding.
+  QueryProfile q = BaseProfile();
+  QueryProfile q8 = BaseProfile();
+  q8.parallel_shards = 8.0;
+  EXPECT_EQ(EstimateCosts(q).act, EstimateCosts(q8).act);
+  EXPECT_EQ(EstimateCosts(q).brj, EstimateCosts(q8).brj);
+  EXPECT_EQ(EstimateCosts(q).exact, EstimateCosts(q8).exact);
+  // The sharded probe discount can flip the plan choice.
+  const PlanChoice choice = ChoosePlan(q8);
+  EXPECT_NE(choice.explain.find("shards=8"), std::string::npos);
+}
+
 TEST(OptimizerTest, ComplexPolygonsPenalizeExact) {
   QueryProfile simple = BaseProfile();
   simple.avg_vertices = 10;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "geom/distance.h"
@@ -28,6 +29,36 @@ TEST(GridTest, LevelForEpsilonMeetsBound) {
     if (level > 0) {
       // One level coarser would violate the bound.
       EXPECT_GT(grid.CellDiagonal(level - 1), eps) << "eps " << eps;
+    }
+  }
+}
+
+TEST(GridTest, LevelForEpsilonNeverExceedsRequestAtPowerOfTwoRatios) {
+  // Regression: the level was ceil(log2(side * sqrt(2) / eps)) in floating
+  // point, so epsilons that put the ratio at (or within one ulp of) an
+  // exact power of two could round to a level whose achieved epsilon
+  // exceeds the request — a distance-bound violation. Sweep exact
+  // power-of-two ratios and their one-ulp neighbours on several grids.
+  for (const double side : {1024.0, 1.0, 3.0, 16384.0, 0.125}) {
+    const Grid grid({0, 0}, side);
+    for (int level = 0; level <= CellId::kMaxLevel; ++level) {
+      // eps chosen so side * sqrt(2) / eps == 2^level up to rounding.
+      const double exact = grid.CellDiagonal(level);
+      for (const double eps :
+           {exact, std::nextafter(exact, 2 * exact),
+            std::nextafter(exact, 0.0)}) {
+        const int chosen = grid.LevelForEpsilon(eps);
+        if (chosen < CellId::kMaxLevel) {
+          EXPECT_LE(grid.AchievedEpsilon(chosen), eps)
+              << "side " << side << " level " << level << " eps " << eps;
+        }
+        // Never wastefully fine: one level coarser must violate the bound
+        // (the "smallest such level" contract).
+        if (chosen > 0) {
+          EXPECT_GT(grid.AchievedEpsilon(chosen - 1), eps)
+              << "side " << side << " level " << level << " eps " << eps;
+        }
+      }
     }
   }
 }

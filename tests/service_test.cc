@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -57,6 +58,57 @@ TEST(ThreadPoolTest, NestedParallelForFromWorkerDoesNotDeadlock) {
   }
   for (auto& f : outer) f.get();
   EXPECT_EQ(total.load(), 4 * 50);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyExceptionWithoutHanging) {
+  // Regression: a throwing body used to strand the caller waiting for
+  // done == n (the thrown iteration never counted) or terminate the
+  // worker. The contract now: first exception rethrown on the caller,
+  // remaining iterations drained, pool fully usable afterwards.
+  ThreadPool pool(4);
+  constexpr size_t kN = 200;
+  std::atomic<int> ran{0};
+  try {
+    pool.ParallelFor(kN, [&](size_t i) {
+      if (i == 17) throw std::runtime_error("iteration 17 failed");
+      ran.fetch_add(1);
+    });
+    FAIL() << "ParallelFor must rethrow the body exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "iteration 17 failed");
+  }
+  EXPECT_LT(ran.load(), static_cast<int>(kN));  // 17 itself never counted.
+
+  // Every iteration throws: still exactly one exception, no hang.
+  EXPECT_THROW(
+      pool.ParallelFor(kN, [](size_t) { throw std::runtime_error("all fail"); }),
+      std::runtime_error);
+
+  // The pool survives and runs clean loops afterwards.
+  std::atomic<int> clean{0};
+  pool.ParallelFor(kN, [&](size_t) { clean.fetch_add(1); });
+  EXPECT_EQ(clean.load(), static_cast<int>(kN));
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionFromNestedWorkerLoop) {
+  // A pool worker nesting a throwing ParallelFor must get the exception
+  // on its own (worker) thread and not wedge the outer loop.
+  ThreadPool pool(2);
+  std::atomic<int> caught{0};
+  std::vector<std::future<void>> outer;
+  for (int t = 0; t < 4; ++t) {
+    outer.push_back(pool.Async([&]() {
+      try {
+        pool.ParallelFor(50, [&](size_t i) {
+          if (i % 7 == 3) throw std::logic_error("nested failure");
+        });
+      } catch (const std::logic_error&) {
+        caught.fetch_add(1);
+      }
+    }));
+  }
+  for (auto& f : outer) f.get();
+  EXPECT_EQ(caught.load(), 4);
 }
 
 TEST(ThreadPoolTest, ZeroAndOneIterationLoops) {

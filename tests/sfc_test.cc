@@ -109,6 +109,22 @@ TEST(HilbertTest, QuadrantContiguity) {
   }
 }
 
+TEST(HilbertTest, HierarchicalContainment) {
+  // The order-n curve is the order-(n+1) curve coarsened: cell (x, y) at
+  // order n-1 covers exactly positions [4d, 4d+3] at order n. This is the
+  // property the sharded scatter layer relies on to map every quadtree
+  // cell to ONE contiguous Hilbert interval (core/sharded_state.cc).
+  Rng rng(99);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const int order = 2 + static_cast<int>(rng.Below(15));
+    const uint32_t x = static_cast<uint32_t>(rng.Below(1u << order));
+    const uint32_t y = static_cast<uint32_t>(rng.Below(1u << order));
+    const uint64_t d = HilbertEncode(x, y, order);
+    const uint64_t parent = HilbertEncode(x >> 1, y >> 1, order - 1);
+    ASSERT_EQ(d >> 2, parent) << "order " << order << " (" << x << ", " << y << ")";
+  }
+}
+
 TEST(SfcLocalityTest, HilbertHasPerfectIndexAdjacency) {
   // The standard locality comparison: walking the curve index by index,
   // Hilbert always moves to a grid neighbour; Z-order takes long jumps at

@@ -1,0 +1,269 @@
+// Stress tests for SFC-sharded scatter-gather execution: results must be
+// BYTE-IDENTICAL to the unsharded engine at every (shard count, thread
+// count) combination, across all three query kinds, including shards
+// that prune to zero.
+//
+// Attribute note: fares are quantized to multiples of 1/64 (dyadic), so
+// every per-cell and per-shard partial sum is exactly representable in
+// double and the gather merge is exact — the merge-identity contract of
+// core/sharded_state.h holds bit-for-bit for SUM and AVG as well as for
+// the always-exact COUNT / range / selection results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/dbsa.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+#include "test_util.h"
+
+namespace dbsa::core {
+namespace {
+
+using dbsa::testing::MakeRectPolygon;
+using dbsa::testing::MakeStarPolygon;
+
+/// Bitwise row comparison (== on doubles — the determinism contract).
+void ExpectRowsIdentical(const AggregateAnswer& got, const AggregateAnswer& want,
+                         const std::string& label) {
+  ASSERT_EQ(got.rows.size(), want.rows.size()) << label;
+  for (size_t r = 0; r < want.rows.size(); ++r) {
+    EXPECT_EQ(got.rows[r].region, want.rows[r].region) << label << " region " << r;
+    EXPECT_EQ(got.rows[r].value, want.rows[r].value) << label << " region " << r;
+    EXPECT_EQ(got.rows[r].lo, want.rows[r].lo) << label << " region " << r;
+    EXPECT_EQ(got.rows[r].hi, want.rows[r].hi) << label << " region " << r;
+  }
+}
+
+class ShardedStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::TaxiConfig taxi_config;
+    taxi_config.universe = geom::Box(0, 0, 4096, 4096);
+    data::PointSet points = data::GenerateTaxiPoints(20000, taxi_config);
+    // Dyadic fares: exact sums under any association (see file comment).
+    for (double& f : points.fare) f = std::round(f * 64.0) / 64.0;
+
+    data::RegionConfig region_config;
+    region_config.universe = taxi_config.universe;
+    region_config.num_polygons = 24;
+    region_config.target_avg_vertices = 24;
+    region_config.multi_fraction = 0.2;
+    data::RegionSet regions = data::GenerateRegions(region_config);
+
+    base_ = BuildEngineState(std::move(points), std::move(regions));
+  }
+
+  std::shared_ptr<const EngineState> base_;
+};
+
+TEST_F(ShardedStateTest, BuildPartitionsPointsIntoLocalShards) {
+  const auto sharded = ShardedState::Build(base_, {/*num_shards=*/7});
+  ASSERT_EQ(sharded->num_shards(), 7u);
+  std::vector<char> seen(base_->points->size(), 0);
+  size_t total = 0;
+  for (size_t s = 0; s < sharded->num_shards(); ++s) {
+    const ShardedState::Shard& shard = sharded->shard(s);
+    ASSERT_NE(shard.state, nullptr);
+    EXPECT_EQ(shard.state->points->size(), shard.num_points());
+    EXPECT_TRUE(shard.state->point_index.has_value());  // Eagerly built.
+    // Shards share the base grid — cell keys agree across shards.
+    EXPECT_EQ(shard.state->grid.origin(), base_->grid.origin());
+    EXPECT_EQ(shard.state->grid.side(), base_->grid.side());
+    EXPECT_TRUE(std::is_sorted(shard.global_ids.begin(), shard.global_ids.end()));
+    for (const uint32_t id : shard.global_ids) {
+      EXPECT_EQ(seen[id], 0) << "point " << id << " in two shards";
+      seen[id] = 1;
+      EXPECT_TRUE(shard.bounds.Contains(base_->points->locs[id]));
+    }
+    total += shard.num_points();
+    // Hilbert-contiguous runs are spatially local: each shard's bbox is a
+    // strict sub-area of the universe.
+    EXPECT_LT(shard.bounds.Area(), base_->grid.universe().Area() * 0.9);
+  }
+  EXPECT_EQ(total, base_->points->size());
+}
+
+TEST_F(ShardedStateTest, ScatterGatherByteMatchesUnshardedEverywhere) {
+  const geom::Polygon star1 = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  const geom::Polygon star2 = MakeStarPolygon({1200, 2800}, 300, 700, 12, 23);
+  const geom::Polygon corner = MakeRectPolygon(100, 100, 380, 420);
+  const std::vector<geom::Polygon> polys = {star1, star2, corner};
+  const std::vector<double> epsilons = {4.0, 16.0};
+
+  for (const size_t k : {size_t{1}, size_t{2}, size_t{7}, size_t{16}}) {
+    const auto sharded = ShardedState::Build(base_, {k});
+    for (const size_t threads : {size_t{0}, size_t{4}, size_t{8}}) {
+      // threads == 0: no parallel hook (serial gather); otherwise fan the
+      // scatter stage out across a real pool.
+      std::unique_ptr<service::ThreadPool> pool;
+      ExecHooks hooks;
+      if (threads > 0) {
+        pool = std::make_unique<service::ThreadPool>(threads);
+        hooks.parallel_for = [&pool](size_t n,
+                                     const std::function<void(size_t)>& fn) {
+          pool->ParallelFor(n, fn);
+        };
+      }
+      const std::string label =
+          "k=" + std::to_string(k) + " threads=" + std::to_string(threads);
+
+      for (const double eps : epsilons) {
+        // Region aggregations, all three aggregate kinds.
+        ExpectRowsIdentical(
+            ExecuteAggregate(*sharded, join::AggKind::kCount, Attr::kNone, eps,
+                             Mode::kPointIndex, hooks),
+            ExecuteAggregate(*base_, join::AggKind::kCount, Attr::kNone, eps,
+                             Mode::kPointIndex),
+            label + " count eps=" + std::to_string(eps));
+        ExpectRowsIdentical(
+            ExecuteAggregate(*sharded, join::AggKind::kSum, Attr::kFare, eps,
+                             Mode::kPointIndex, hooks),
+            ExecuteAggregate(*base_, join::AggKind::kSum, Attr::kFare, eps,
+                             Mode::kPointIndex),
+            label + " sum eps=" + std::to_string(eps));
+        ExpectRowsIdentical(
+            ExecuteAggregate(*sharded, join::AggKind::kAvg, Attr::kFare, eps,
+                             Mode::kPointIndex, hooks),
+            ExecuteAggregate(*base_, join::AggKind::kAvg, Attr::kFare, eps,
+                             Mode::kPointIndex),
+            label + " avg eps=" + std::to_string(eps));
+
+        // Ad-hoc counts and selections.
+        for (size_t p = 0; p < polys.size(); ++p) {
+          const join::ResultRange got =
+              ExecuteCountInPolygon(*sharded, polys[p], eps, hooks);
+          const join::ResultRange want = ExecuteCountInPolygon(*base_, polys[p], eps);
+          EXPECT_EQ(got.estimate, want.estimate) << label << " poly " << p;
+          EXPECT_EQ(got.lo, want.lo) << label << " poly " << p;
+          EXPECT_EQ(got.hi, want.hi) << label << " poly " << p;
+          EXPECT_EQ(ExecuteSelectInPolygon(*sharded, polys[p], eps, hooks),
+                    ExecuteSelectInPolygon(*base_, polys[p], eps))
+              << label << " poly " << p;
+        }
+      }
+
+      // Delegated (non-point-index) plans flow through unchanged.
+      ExpectRowsIdentical(ExecuteAggregate(*sharded, join::AggKind::kSum,
+                                           Attr::kFare, 8.0, Mode::kAct, hooks),
+                          ExecuteAggregate(*base_, join::AggKind::kSum, Attr::kFare,
+                                           8.0, Mode::kAct),
+                          label + " delegated ACT");
+      ExpectRowsIdentical(ExecuteAggregate(*sharded, join::AggKind::kCount,
+                                           Attr::kNone, 0.0, Mode::kExact, hooks),
+                          ExecuteAggregate(*base_, join::AggKind::kCount,
+                                           Attr::kNone, 0.0, Mode::kExact),
+                          label + " delegated exact");
+    }
+  }
+}
+
+TEST_F(ShardedStateTest, SelectivePolygonPrunesShards) {
+  const auto sharded = ShardedState::Build(base_, {/*num_shards=*/16});
+  const geom::Polygon corner = MakeRectPolygon(100, 100, 380, 420);
+  const raster::HierarchicalRaster hr =
+      raster::HierarchicalRaster::BuildEpsilon(corner, base_->grid, 8.0);
+  const std::vector<uint32_t> surviving = sharded->SurvivingShards(hr);
+  // A ~0.5% viewport touches a handful of Hilbert-local shards, not all.
+  EXPECT_GE(surviving.size(), 1u);
+  EXPECT_LT(surviving.size(), 8u);
+
+  // The aggregate stats report how many shards were actually probed.
+  const AggregateAnswer answer = ExecuteAggregate(
+      *sharded, join::AggKind::kCount, Attr::kNone, 8.0, Mode::kPointIndex);
+  EXPECT_GT(answer.stats.shards_probed, 0u);
+  EXPECT_LE(answer.stats.shards_probed, 16u);
+}
+
+TEST_F(ShardedStateTest, QueryOutsideEveryShardPrunesToZero) {
+  // Points confined to the left half of the universe; the query sits in
+  // the right half: every shard prunes to zero and the (empty) gather
+  // must still byte-match the unsharded engine's zero answers.
+  data::TaxiConfig config;
+  config.universe = geom::Box(0, 0, 2000, 4096);  // Left half only.
+  data::PointSet points = data::GenerateTaxiPoints(5000, config);
+  data::RegionConfig region_config;
+  region_config.universe = geom::Box(0, 0, 4096, 4096);
+  region_config.num_polygons = 8;
+  data::RegionSet regions = data::GenerateRegions(region_config);
+  const auto base = BuildEngineState(std::move(points), std::move(regions));
+  const auto sharded = ShardedState::Build(base, {/*num_shards=*/4});
+
+  const geom::Polygon far_poly = MakeRectPolygon(3000, 1000, 3800, 2000);
+  const raster::HierarchicalRaster hr =
+      raster::HierarchicalRaster::BuildEpsilon(far_poly, base->grid, 8.0);
+  EXPECT_TRUE(sharded->SurvivingShards(hr).empty());
+
+  const join::ResultRange got = ExecuteCountInPolygon(*sharded, far_poly, 8.0);
+  const join::ResultRange want = ExecuteCountInPolygon(*base, far_poly, 8.0);
+  EXPECT_EQ(got.estimate, want.estimate);
+  EXPECT_EQ(got.lo, want.lo);
+  EXPECT_EQ(got.hi, want.hi);
+  EXPECT_EQ(got.estimate, 0.0);
+  EXPECT_TRUE(ExecuteSelectInPolygon(*sharded, far_poly, 8.0).empty());
+}
+
+TEST_F(ShardedStateTest, ShardedQueryServiceByteMatchesUnshardedEngine) {
+  // End-to-end through the serving layer: 8 shards x 8 threads, workload
+  // duplicated so the second half exercises the warm HR cache.
+  SpatialEngine engine;
+  engine.SetPoints(data::PointSet(*base_->points));
+  engine.SetRegions(data::RegionSet(*base_->regions));
+
+  std::vector<service::Request> workload;
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  const geom::Polygon corner = MakeRectPolygon(100, 100, 380, 420);
+  for (const double eps : {4.0, 8.0}) {
+    workload.push_back(service::Request::MakeAggregate(
+        join::AggKind::kCount, Attr::kNone, eps, Mode::kPointIndex));
+    workload.push_back(service::Request::MakeAggregate(
+        join::AggKind::kSum, Attr::kFare, eps, Mode::kPointIndex));
+    workload.push_back(service::Request::MakeCount(star, eps));
+    workload.push_back(service::Request::MakeCount(corner, eps));
+    workload.push_back(service::Request::MakeSelect(star, eps));
+  }
+  const size_t unique = workload.size();
+  workload.insert(workload.end(), workload.begin(), workload.begin() + unique);
+
+  service::ServiceOptions options;
+  options.num_threads = 8;
+  options.num_shards = 8;
+  service::QueryService service(engine.Snapshot(), options);
+  ASSERT_NE(service.sharded(), nullptr);
+  ASSERT_EQ(service.sharded()->num_shards(), 8u);
+
+  for (const service::Request& req : workload) service.Submit(req);
+  const std::vector<service::Response> responses = service.Drain();
+  ASSERT_EQ(responses.size(), workload.size());
+
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const service::Request& req = workload[i];
+    const service::Response& got = responses[i];
+    switch (req.kind) {
+      case service::Request::Kind::kAggregate: {
+        const AggregateAnswer want =
+            engine.Aggregate(req.agg, req.attr, req.epsilon, req.mode);
+        ExpectRowsIdentical(got.aggregate, want, "request " + std::to_string(i));
+        break;
+      }
+      case service::Request::Kind::kCountInPolygon: {
+        const join::ResultRange want = engine.CountInPolygon(req.poly, req.epsilon);
+        EXPECT_EQ(got.range.estimate, want.estimate) << "request " << i;
+        EXPECT_EQ(got.range.lo, want.lo) << "request " << i;
+        EXPECT_EQ(got.range.hi, want.hi) << "request " << i;
+        break;
+      }
+      case service::Request::Kind::kSelectInPolygon:
+        EXPECT_EQ(got.ids, engine.SelectInPolygon(req.poly, req.epsilon))
+            << "request " << i;
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbsa::core

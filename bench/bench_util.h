@@ -34,6 +34,42 @@ inline size_t FlagSize(int argc, char** argv, const char* name, size_t def) {
   return def;
 }
 
+/// Parses "--name=value" style string flags from argv.
+inline std::string FlagString(int argc, char** argv, const char* name,
+                              const std::string& def = "") {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+/// Optional secondary sink for the JSON result lines (--json_out=PATH):
+/// every JsonLine::Print also appends the bare JSON object to the file,
+/// giving the perf trajectory a stable machine-readable path (the
+/// checked-in BENCH_*.json baselines) without grepping human output.
+inline std::FILE*& JsonOutFile() {
+  static std::FILE* file = nullptr;
+  return file;
+}
+
+inline void OpenJsonOut(const std::string& path) {
+  if (path.empty()) return;
+  JsonOutFile() = std::fopen(path.c_str(), "w");
+  if (JsonOutFile() == nullptr) {
+    std::fprintf(stderr, "cannot open --json_out=%s\n", path.c_str());
+  }
+}
+
+inline void CloseJsonOut() {
+  if (JsonOutFile() != nullptr) {
+    std::fclose(JsonOutFile());
+    JsonOutFile() = nullptr;
+  }
+}
+
 /// Standard bench universe: a 16.4 km "city" square. Small enough that a
 /// 4 m distance bound produces index sizes that build in seconds on one
 /// core, large enough to keep thousands of regions meaningful.
@@ -110,7 +146,16 @@ class JsonLine {
   }
 
   void Print(std::FILE* out = stdout) const {
-    std::fputs("JSON {", out);
+    PrintTo(out, /*prefix=*/true);
+    if (JsonOutFile() != nullptr) {
+      PrintTo(JsonOutFile(), /*prefix=*/false);
+      std::fflush(JsonOutFile());
+    }
+  }
+
+ private:
+  void PrintTo(std::FILE* out, bool prefix) const {
+    std::fputs(prefix ? "JSON {" : "{", out);
     for (size_t i = 0; i < fields_.size(); ++i) {
       std::fputs(i ? ", " : "", out);
       std::fputs(fields_[i].c_str(), out);
@@ -118,7 +163,6 @@ class JsonLine {
     std::fputs("}\n", out);
   }
 
- private:
   std::vector<std::string> fields_;
 };
 

@@ -77,6 +77,29 @@ query::QueryProfile MakeAggregateProfile(const EngineState& state, double epsilo
   return profile;
 }
 
+Mode ModeForPlan(query::PlanKind plan) {
+  switch (plan) {
+    case query::PlanKind::kActJoin:
+      return Mode::kAct;
+    case query::PlanKind::kPointIndexJoin:
+      return Mode::kPointIndex;
+    case query::PlanKind::kCanvasBrj:
+      return Mode::kCanvasBrj;
+    case query::PlanKind::kExactRStar:
+      return Mode::kExact;
+  }
+  return Mode::kExact;
+}
+
+void RunMaybeParallel(const ExecHooks& hooks, size_t n,
+                      const std::function<void(size_t)>& fn) {
+  if (hooks.parallel_for && n > 1) {
+    hooks.parallel_for(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
 query::PlanKind ResolveAggregatePlan(query::PlanKind optimizer_choice,
                                      join::AggKind agg, Attr attr, double epsilon,
                                      Mode mode) {

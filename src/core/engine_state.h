@@ -126,6 +126,17 @@ struct ExecHooks {
 query::QueryProfile MakeAggregateProfile(const EngineState& state, double epsilon,
                                          const ExecHooks& hooks);
 
+/// The Mode that pins an already-resolved plan: executors that choose a
+/// plan against one cost model (e.g. the shard-aware profile) and then
+/// delegate execution must not let the delegate's optimizer second-guess
+/// the choice.
+Mode ModeForPlan(query::PlanKind plan);
+
+/// Runs fn(0..n-1) through hooks.parallel_for when set (and n > 1),
+/// serially otherwise — the standard fan-out of every executor stage.
+void RunMaybeParallel(const ExecHooks& hooks, size_t n,
+                      const std::function<void(size_t)>& fn);
+
 /// Applies the mode override, the epsilon==0 exactness requirement, and
 /// the kPassengers reroute (the point index carries fare prefix sums
 /// only) to the optimizer's choice.

@@ -15,15 +15,6 @@ namespace dbsa::core {
 
 namespace {
 
-void RunMaybeParallel(const ExecHooks& hooks, size_t n,
-                      const std::function<void(size_t)>& fn) {
-  if (hooks.parallel_for && n > 1) {
-    hooks.parallel_for(n, fn);
-  } else {
-    for (size_t i = 0; i < n; ++i) fn(i);
-  }
-}
-
 /// Decomposes the Hilbert run [h_lo, h_hi] (positions at `hilbert_level`)
 /// into maximal curve-aligned blocks. Each aligned block of 4^b positions
 /// is — by the curve's hierarchical containment (sfc_test) — exactly the
@@ -252,12 +243,6 @@ size_t ShardedState::IndexBytes() const {
 
 namespace {
 
-/// Below this many approximation cells a query's shard fan-out cannot
-/// amortize the task-submission overhead; the scatter runs on the
-/// calling thread instead. Results are identical either way — only
-/// scheduling changes.
-constexpr size_t kShardFanOutMinCells = 256;
-
 /// Scatter-gather of one polygon's HR over the shards: each surviving
 /// shard answers its pruned cell subset from its local index — in
 /// parallel via hooks.parallel_for when the cell volume warrants it (the
@@ -294,20 +279,6 @@ join::CellAggregate ScatterGatherCells(const ShardedState& sharded,
   join::CellAggregate agg;
   for (const join::CellAggregate& partial : partials) agg.Merge(partial);
   return agg;
-}
-
-Mode ModeForPlan(query::PlanKind plan) {
-  switch (plan) {
-    case query::PlanKind::kActJoin:
-      return Mode::kAct;
-    case query::PlanKind::kPointIndexJoin:
-      return Mode::kPointIndex;
-    case query::PlanKind::kCanvasBrj:
-      return Mode::kCanvasBrj;
-    case query::PlanKind::kExactRStar:
-      return Mode::kExact;
-  }
-  return Mode::kExact;
 }
 
 }  // namespace

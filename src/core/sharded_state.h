@@ -138,6 +138,11 @@ class ShardedState {
   std::vector<uint32_t> SurvivingShards(const raster::HierarchicalRaster& hr) const;
 
   /// Cells of `hr` that intersect shard `s` (the shard's scatter slice).
+  /// This IS the message payload of the distribution seam: a serialized
+  /// ScatterRequest (service/transport.h) carries exactly this slice to
+  /// the shard's server, and the in-process executors below consume it
+  /// directly — the two paths share one routing function so they cannot
+  /// drift.
   std::vector<raster::HrCell> PruneCellsForShard(size_t s,
                                                  const raster::HrCell* cells,
                                                  const CellRoute* routes,
@@ -159,6 +164,14 @@ class ShardedState {
   std::vector<Shard> shards_;
   int hilbert_level_ = 16;
 };
+
+/// Below this many approximation cells a query's shard fan-out cannot
+/// amortize the task-submission overhead; the scatter runs on the calling
+/// thread instead. Results are identical either way — only scheduling
+/// changes. Shared by the in-process executors below and the
+/// transport-backed shard-server executors (service/shard_server.h) so
+/// the two paths schedule identically.
+inline constexpr size_t kShardFanOutMinCells = 256;
 
 /// Scatter-gather equivalents of the EngineState Execute* functions.
 /// Per pinned plan, results are byte-identical to the unsharded

@@ -56,9 +56,13 @@ PlanCosts EstimateCosts(const QueryProfile& p) {
   // wall-clock probe cost divides by the surviving shards, and each
   // shard's searches run over an index 1/shards the size.
   const double shards = std::max(p.parallel_shards, 1.0);
+  // Message-seam shards charge one round-trip per shard per execution
+  // (scatter request + gather partial) on top of the divided probe work.
+  const double transport = shards * std::max(p.transport_overhead, 0.0);
   c.point_index =
       build +
-      reps * (hr_build + searches * kSearch * std::log2(n / shards + 2) / shards);
+      reps * (hr_build + transport +
+              searches * kSearch * std::log2(n / shards + 2) / shards);
 
   // BRJ: points pass + polygon fill per tile.
   const double res = p.universe_extent / cell;
@@ -107,10 +111,11 @@ PlanChoice ChoosePlan(const QueryProfile& p) {
   std::snprintf(buf, sizeof(buf),
                 "candidates: ACT=%.3g POINT-INDEX=%.3g BRJ=%.3g EXACT=%.3g "
                 "(n=%zu, polys=%zu, avg_vertices=%.1f, eps=%.3g, reps=%d, "
-                "shards=%.0f) -> %s",
+                "shards=%.0f, transport=%.3g) -> %s",
                 c.act, c.point_index, c.brj, c.exact, p.num_points, p.num_polygons,
                 p.avg_vertices, p.epsilon, p.repetitions,
-                std::max(p.parallel_shards, 1.0), PlanKindName(choice.kind));
+                std::max(p.parallel_shards, 1.0),
+                std::max(p.transport_overhead, 0.0), PlanKindName(choice.kind));
   choice.explain = buf;
   return choice;
 }

@@ -44,6 +44,13 @@ struct QueryProfile {
   /// pruning leaves fewer survivors (selective queries) or cores are
   /// scarce. 1 = unsharded.
   double parallel_shards = 1.0;
+  /// Abstract cost units charged per shard probe message round-trip when
+  /// the shards sit behind a transport (service/shard_server.h): each
+  /// repetition of the point-index plan pays `parallel_shards *
+  /// transport_overhead` on top of the divided probe cost, so the fan-out
+  /// discount no longer looks free once serialization (loopback) or a
+  /// network (RPC) is in the loop. 0 = in-process shards.
+  double transport_overhead = 0.0;
   int repetitions = 1;                 ///< Expected executions of the plan.
 };
 

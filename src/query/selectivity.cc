@@ -8,20 +8,48 @@
 
 namespace dbsa::query {
 
+namespace {
+
+/// Histogram column/row of a coordinate. `cell` is always > 0 (degenerate
+/// axes are given a synthetic unit cell), so the division can produce
+/// neither NaN nor infinity for in-universe coordinates; the clamp keeps
+/// out-of-universe and rounding stragglers in range — the uint32_t cast
+/// is only ever applied to a value in [0, resolution - 1].
+uint32_t AxisIndex(double v, double origin, double cell, uint32_t resolution) {
+  const double f = std::floor((v - origin) / cell);
+  return static_cast<uint32_t>(
+      std::clamp(f, 0.0, static_cast<double>(resolution - 1)));
+}
+
+/// Fraction of the cell interval [cell_lo, cell_hi] covered by the query
+/// interval [q_lo, q_hi], clamped to [0, 1].
+double AxisFraction(double q_lo, double q_hi, double cell_lo, double cell_hi) {
+  const double width = cell_hi - cell_lo;
+  const double overlap = std::min(q_hi, cell_hi) - std::max(q_lo, cell_lo);
+  return std::clamp(overlap / width, 0.0, 1.0);
+}
+
+}  // namespace
+
 SelectivityHistogram::SelectivityHistogram(const geom::Point* points, size_t n,
                                            const geom::Box& universe,
                                            uint32_t resolution)
     : universe_(universe), resolution_(resolution) {
   DBSA_CHECK(resolution >= 1);
-  cell_w_ = universe_.Width() / resolution_;
-  cell_h_ = universe_.Height() / resolution_;
+  // A degenerate universe (all points collinear, or a single point) has
+  // zero extent on one or both axes. Zero-sized cells would turn the
+  // index computation into NaN (undefined behaviour on the uint32_t
+  // cast) and the coverage fraction into 0/0 — instead the degenerate
+  // axis collapses to a single synthetic unit cell: every point lands in
+  // row/column 0 and any query touching the axis counts as full overlap.
+  degenerate_w_ = !(universe_.Width() > 0.0);
+  degenerate_h_ = !(universe_.Height() > 0.0);
+  cell_w_ = degenerate_w_ ? 1.0 : universe_.Width() / resolution_;
+  cell_h_ = degenerate_h_ ? 1.0 : universe_.Height() / resolution_;
   counts_.assign(static_cast<size_t>(resolution_) * resolution_, 0);
-  const double max_idx = static_cast<double>(resolution_ - 1);
   for (size_t i = 0; i < n; ++i) {
-    const double fx = (points[i].x - universe_.min.x) / cell_w_;
-    const double fy = (points[i].y - universe_.min.y) / cell_h_;
-    const uint32_t cx = static_cast<uint32_t>(std::clamp(std::floor(fx), 0.0, max_idx));
-    const uint32_t cy = static_cast<uint32_t>(std::clamp(std::floor(fy), 0.0, max_idx));
+    const uint32_t cx = AxisIndex(points[i].x, universe_.min.x, cell_w_, resolution_);
+    const uint32_t cy = AxisIndex(points[i].y, universe_.min.y, cell_h_, resolution_);
     ++counts_[static_cast<size_t>(cy) * resolution_ + cx];
   }
   total_ = n;
@@ -37,20 +65,22 @@ double SelectivityHistogram::EstimateBox(const geom::Box& box) const {
   const geom::Box q = box.Intersection(universe_);
   if (q.IsEmpty()) return 0.0;
   double estimate = 0.0;
-  const double max_idx = static_cast<double>(resolution_ - 1);
-  const uint32_t x0 = static_cast<uint32_t>(
-      std::clamp(std::floor((q.min.x - universe_.min.x) / cell_w_), 0.0, max_idx));
-  const uint32_t y0 = static_cast<uint32_t>(
-      std::clamp(std::floor((q.min.y - universe_.min.y) / cell_h_), 0.0, max_idx));
-  const uint32_t x1 = static_cast<uint32_t>(
-      std::clamp(std::floor((q.max.x - universe_.min.x) / cell_w_), 0.0, max_idx));
-  const uint32_t y1 = static_cast<uint32_t>(
-      std::clamp(std::floor((q.max.y - universe_.min.y) / cell_h_), 0.0, max_idx));
+  const uint32_t x0 = AxisIndex(q.min.x, universe_.min.x, cell_w_, resolution_);
+  const uint32_t y0 = AxisIndex(q.min.y, universe_.min.y, cell_h_, resolution_);
+  const uint32_t x1 = AxisIndex(q.max.x, universe_.min.x, cell_w_, resolution_);
+  const uint32_t y1 = AxisIndex(q.max.y, universe_.min.y, cell_h_, resolution_);
   for (uint32_t cy = y0; cy <= y1; ++cy) {
     for (uint32_t cx = x0; cx <= x1; ++cx) {
       const geom::Box cell = CellBox(cx, cy);
-      const double frac = cell.Intersection(q).Area() / cell.Area();
-      estimate += frac * counts_[static_cast<size_t>(cy) * resolution_ + cx];
+      // Per-axis coverage: the product equals intersection area over cell
+      // area on a regular grid, and a degenerate axis (zero-extent query
+      // interval inside a synthetic cell) counts as fully covered rather
+      // than 0/0.
+      const double fx =
+          degenerate_w_ ? 1.0 : AxisFraction(q.min.x, q.max.x, cell.min.x, cell.max.x);
+      const double fy =
+          degenerate_h_ ? 1.0 : AxisFraction(q.min.y, q.max.y, cell.min.y, cell.max.y);
+      estimate += fx * fy * counts_[static_cast<size_t>(cy) * resolution_ + cx];
     }
   }
   return estimate;
@@ -60,15 +90,10 @@ double SelectivityHistogram::EstimatePolygon(const geom::Polygon& poly) const {
   const geom::Box q = poly.bounds().Intersection(universe_);
   if (q.IsEmpty()) return 0.0;
   double estimate = 0.0;
-  const double max_idx = static_cast<double>(resolution_ - 1);
-  const uint32_t x0 = static_cast<uint32_t>(
-      std::clamp(std::floor((q.min.x - universe_.min.x) / cell_w_), 0.0, max_idx));
-  const uint32_t y0 = static_cast<uint32_t>(
-      std::clamp(std::floor((q.min.y - universe_.min.y) / cell_h_), 0.0, max_idx));
-  const uint32_t x1 = static_cast<uint32_t>(
-      std::clamp(std::floor((q.max.x - universe_.min.x) / cell_w_), 0.0, max_idx));
-  const uint32_t y1 = static_cast<uint32_t>(
-      std::clamp(std::floor((q.max.y - universe_.min.y) / cell_h_), 0.0, max_idx));
+  const uint32_t x0 = AxisIndex(q.min.x, universe_.min.x, cell_w_, resolution_);
+  const uint32_t y0 = AxisIndex(q.min.y, universe_.min.y, cell_h_, resolution_);
+  const uint32_t x1 = AxisIndex(q.max.x, universe_.min.x, cell_w_, resolution_);
+  const uint32_t y1 = AxisIndex(q.max.y, universe_.min.y, cell_h_, resolution_);
   for (uint32_t cy = y0; cy <= y1; ++cy) {
     for (uint32_t cx = x0; cx <= x1; ++cx) {
       const geom::Box cell = CellBox(cx, cy);

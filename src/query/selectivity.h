@@ -32,6 +32,10 @@ class SelectivityHistogram {
 
   geom::Box universe_;
   uint32_t resolution_;
+  /// True when the universe has zero extent on the axis (e.g. collinear
+  /// points): the axis collapses to one synthetic unit cell and any query
+  /// overlap on it counts as full coverage (no 0-sized cells, no NaN).
+  bool degenerate_w_ = false, degenerate_h_ = false;
   double cell_w_, cell_h_;
   size_t total_ = 0;
   std::vector<uint32_t> counts_;

@@ -49,6 +49,33 @@ struct ObjectKey {
   bool operator!=(const ObjectKey& o) const { return !(*this == o); }
 };
 
+/// (object, epsilon level) — the key domain shared by the central
+/// ApproxCache, the per-shard slice caches (service/shard_server.h) and
+/// the router's cache bookkeeping. One definition so the hash/equality
+/// can never diverge between the layers.
+struct ObjectLevelKey {
+  ObjectKey object;
+  int level = 0;
+
+  bool operator==(const ObjectLevelKey& o) const {
+    return object == o.object && level == o.level;
+  }
+};
+
+struct ObjectLevelKeyHash {
+  size_t operator()(const ObjectLevelKey& k) const {
+    // Splitmix-style finalizer over the three fields.
+    uint64_t x = k.object.lo ^ (k.object.hi * 0xff51afd7ed558ccdULL) ^
+                 (static_cast<uint64_t>(k.level) * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
 /// Stable 128-bit fingerprint of a polygon's geometry: two independent
 /// FNV-1a streams over the vertex coordinates' bit patterns, mixed with
 /// the ring/vertex structure (ring count and per-ring lengths), so rings
@@ -121,26 +148,8 @@ class ApproxCache {
   void Clear();
 
  private:
-  struct Key {
-    ObjectKey object_id;
-    int level = 0;
-    bool operator==(const Key& o) const {
-      return object_id == o.object_id && level == o.level;
-    }
-  };
-  struct KeyHash {
-    size_t operator()(const Key& k) const {
-      // Splitmix-style finalizer over the three fields.
-      uint64_t x = k.object_id.lo ^ (k.object_id.hi * 0xff51afd7ed558ccdULL) ^
-                   (static_cast<uint64_t>(k.level) * 0x9e3779b97f4a7c15ULL);
-      x ^= x >> 30;
-      x *= 0xbf58476d1ce4e5b9ULL;
-      x ^= x >> 27;
-      x *= 0x94d049bb133111ebULL;
-      x ^= x >> 31;
-      return static_cast<size_t>(x);
-    }
-  };
+  using Key = ObjectLevelKey;
+  using KeyHash = ObjectLevelKeyHash;
   struct Entry {
     Key key;
     HrPtr hr;

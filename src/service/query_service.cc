@@ -2,10 +2,42 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <stdexcept>
 
 #include "util/check.h"
 
 namespace dbsa::service {
+
+namespace {
+
+// Request validation: contract violations that would otherwise abort the
+// process deep in the engine (DBSA_CHECK) or poison a batch are rejected
+// with std::invalid_argument here; Drain converts the exception into an
+// error Response for the offending ticket only.
+
+void ValidateEpsilon(double epsilon) {
+  if (std::isnan(epsilon)) {
+    throw std::invalid_argument("epsilon must not be NaN");
+  }
+}
+
+void ValidateAggregate(const Request& request) {
+  ValidateEpsilon(request.epsilon);
+  if ((request.agg == join::AggKind::kSum || request.agg == join::AggKind::kAvg) &&
+      request.attr == core::Attr::kNone) {
+    throw std::invalid_argument("SUM/AVG require an attribute column");
+  }
+}
+
+void ValidatePolygonQuery(const geom::Polygon& poly, double epsilon) {
+  ValidateEpsilon(epsilon);
+  if (poly.outer().size() < 3) {
+    throw std::invalid_argument("query polygon needs at least 3 vertices");
+  }
+}
+
+}  // namespace
 
 Request Request::MakeAggregate(join::AggKind agg, core::Attr attr, double epsilon,
                                core::Mode mode) {
@@ -41,11 +73,32 @@ QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
       cache_(options.cache_budget_bytes),
       pool_(options.num_threads) {
   DBSA_CHECK(state_ != nullptr);
-  if (options.num_shards > 1) {
+  if (options.num_shards > 1 || options.use_transport) {
     core::ShardingOptions sharding;
-    sharding.num_shards = options.num_shards;
+    sharding.num_shards = std::max<size_t>(options.num_shards, 1);
     sharding.hilbert_level = options.shard_hilbert_level;
     sharded_ = core::ShardedState::Build(state_, sharding);
+  }
+  if (options.use_transport) {
+    // The distribution rehearsal: one ShardServer per shard (each owning
+    // its slice, id map and per-shard cell cache) behind a loopback
+    // transport; every shard probe crosses the serialized wire format.
+    ShardServer::Options server_options;
+    server_options.cell_cache_budget_bytes = options.shard_cache_budget_bytes;
+    std::vector<LoopbackTransport::Handler> handlers;
+    servers_.reserve(sharded_->num_shards());
+    handlers.reserve(sharded_->num_shards());
+    for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+      const core::ShardedState::Shard& shard = sharded_->shard(s);
+      servers_.push_back(std::make_shared<ShardServer>(
+          shard.state, shard.global_ids, server_options));
+      handlers.push_back(
+          [server = servers_.back()](const std::string& request) {
+            return server->Handle(request);
+          });
+    }
+    loopback_ = std::make_shared<LoopbackTransport>(std::move(handlers));
+    router_ = std::make_unique<ShardRouter>(sharded_, loopback_);
   }
 }
 
@@ -90,21 +143,29 @@ core::ExecHooks QueryService::MakeHooks(std::atomic<size_t>* query_hits,
 }
 
 core::AggregateAnswer QueryService::RunAggregate(const Request& request) {
+  ValidateAggregate(request);
   std::atomic<size_t> query_hits{0};
   std::atomic<size_t> query_misses{0};
   const core::ExecHooks hooks = MakeHooks(&query_hits, &query_misses);
   core::AggregateAnswer answer =
-      sharded_ != nullptr
-          ? core::ExecuteAggregate(*sharded_, request.agg, request.attr,
-                                   request.epsilon, request.mode, hooks)
-          : core::ExecuteAggregate(*state_, request.agg, request.attr,
-                                   request.epsilon, request.mode, hooks);
+      router_ != nullptr
+          ? ExecuteAggregate(*router_, request.agg, request.attr, request.epsilon,
+                             request.mode, hooks)
+          : (sharded_ != nullptr
+                 ? core::ExecuteAggregate(*sharded_, request.agg, request.attr,
+                                          request.epsilon, request.mode, hooks)
+                 : core::ExecuteAggregate(*state_, request.agg, request.attr,
+                                          request.epsilon, request.mode, hooks));
   answer.stats.hr_cache_hits = query_hits.load(std::memory_order_relaxed);
   answer.stats.hr_cache_misses = query_misses.load(std::memory_order_relaxed);
   return answer;
 }
 
 join::ResultRange QueryService::RunCount(const geom::Polygon& poly, double epsilon) {
+  ValidatePolygonQuery(poly, epsilon);
+  if (router_ != nullptr) {
+    return ExecuteCountInPolygon(*router_, poly, epsilon, MakeHooks());
+  }
   return sharded_ != nullptr
              ? core::ExecuteCountInPolygon(*sharded_, poly, epsilon, MakeHooks())
              : core::ExecuteCountInPolygon(*state_, poly, epsilon, MakeHooks());
@@ -112,6 +173,10 @@ join::ResultRange QueryService::RunCount(const geom::Polygon& poly, double epsil
 
 std::vector<uint32_t> QueryService::RunSelect(const geom::Polygon& poly,
                                               double epsilon) {
+  ValidatePolygonQuery(poly, epsilon);
+  if (router_ != nullptr) {
+    return ExecuteSelectInPolygon(*router_, poly, epsilon, MakeHooks());
+  }
   return sharded_ != nullptr
              ? core::ExecuteSelectInPolygon(*sharded_, poly, epsilon, MakeHooks())
              : core::ExecuteSelectInPolygon(*state_, poly, epsilon, MakeHooks());
@@ -121,16 +186,25 @@ Response QueryService::Run(uint64_t ticket, const Request& request) {
   Response response;
   response.ticket = ticket;
   response.kind = request.kind;
-  switch (request.kind) {
-    case Request::Kind::kAggregate:
-      response.aggregate = RunAggregate(request);
-      break;
-    case Request::Kind::kCountInPolygon:
-      response.range = RunCount(request.poly, request.epsilon);
-      break;
-    case Request::Kind::kSelectInPolygon:
-      response.ids = RunSelect(request.poly, request.epsilon);
-      break;
+  // Failures become error responses HERE, on the worker: the batched
+  // path never stores an exception in a future, so one poisoned query
+  // can neither abort a Drain nor share exception state across threads.
+  try {
+    switch (request.kind) {
+      case Request::Kind::kAggregate:
+        response.aggregate = RunAggregate(request);
+        break;
+      case Request::Kind::kCountInPolygon:
+        response.range = RunCount(request.poly, request.epsilon);
+        break;
+      case Request::Kind::kSelectInPolygon:
+        response.ids = RunSelect(request.poly, request.epsilon);
+        break;
+    }
+  } catch (const std::exception& e) {
+    response.error = e.what()[0] != '\0' ? e.what() : "query failed";
+  } catch (...) {
+    response.error = "query failed with a non-standard exception";
   }
   return response;
 }
@@ -161,24 +235,42 @@ std::future<std::vector<uint32_t>> QueryService::SelectInPolygon(geom::Polygon p
 uint64_t QueryService::Submit(Request request) {
   std::lock_guard<std::mutex> lock(pending_mu_);
   const uint64_t ticket = next_ticket_++;
-  pending_.emplace_back(ticket, pool_.Async([this, ticket,
-                                             request = std::move(request)]() {
-                          return Run(ticket, request);
-                        }));
+  const Request::Kind kind = request.kind;
+  pending_.push_back(Pending{
+      ticket, kind, pool_.Async([this, ticket, request = std::move(request)]() {
+        return Run(ticket, request);
+      })});
   return ticket;
 }
 
 std::vector<Response> QueryService::Drain() {
-  std::vector<std::pair<uint64_t, std::future<Response>>> pending;
+  std::vector<Pending> pending;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     pending.swap(pending_);
   }
   std::vector<Response> responses;
   responses.reserve(pending.size());
-  for (auto& [ticket, future] : pending) {
-    (void)ticket;
-    responses.push_back(future.get());
+  for (Pending& p : pending) {
+    // One throwing query must not abort the drain: every later future
+    // still gets consumed (abandoning them would lose their responses
+    // and leave the batch blocked on destruction), and the failed ticket
+    // surfaces as an error Response in its submission slot.
+    try {
+      responses.push_back(p.future.get());
+    } catch (const std::exception& e) {
+      Response error;
+      error.ticket = p.ticket;
+      error.kind = p.kind;
+      error.error = e.what()[0] != '\0' ? e.what() : "query failed";
+      responses.push_back(std::move(error));
+    } catch (...) {
+      Response error;
+      error.ticket = p.ticket;
+      error.kind = p.kind;
+      error.error = "query failed with a non-standard exception";
+      responses.push_back(std::move(error));
+    }
   }
   std::sort(responses.begin(), responses.end(),
             [](const Response& a, const Response& b) { return a.ticket < b.ticket; });
@@ -188,8 +280,15 @@ std::vector<Response> QueryService::Drain() {
 void QueryService::WarmCache(double epsilon) {
   const core::ExecHooks hooks = MakeHooks();
   const std::vector<geom::Polygon>& polys = state_->regions->polys;
+  const int level = state_->grid.LevelForEpsilon(epsilon);
   pool_.ParallelFor(polys.size(), [&](size_t j) {
-    hooks.hr_provider(j, polys[j], epsilon);
+    const ApproxCache::HrPtr hr = hooks.hr_provider(j, polys[j], epsilon);
+    if (router_ != nullptr) {
+      // Shard-aware warm: ship each region's routed cell slice to exactly
+      // the shards its cells route to — every other shard's cache stays
+      // untouched by this region.
+      router_->WarmObject(ObjectKey(static_cast<uint64_t>(j)), level, *hr);
+    }
   });
 }
 

@@ -30,13 +30,16 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/engine_state.h"
 #include "core/sharded_state.h"
 #include "service/approx_cache.h"
+#include "service/shard_server.h"
 #include "service/thread_pool.h"
+#include "service/transport.h"
 
 namespace dbsa::service {
 
@@ -56,6 +59,17 @@ struct ServiceOptions {
   size_t num_shards = 1;
   /// Grid level of the Hilbert ordering used by the partitioner.
   int shard_hilbert_level = 16;
+  /// Serve the shards through the shard-server message seam: every shard
+  /// probe crosses the serialized wire format of service/transport.h via
+  /// an in-process LoopbackTransport (the multi-node rehearsal — a real
+  /// RPC transport drops in without touching execution). Effective at any
+  /// num_shards >= 1 (one shard server is the degenerate deployment).
+  /// Results stay byte-identical to the in-process engine per pinned
+  /// plan; each ShardServer additionally keeps a per-shard HR cache of
+  /// its routed cell slices (see WarmCache).
+  bool use_transport = false;
+  /// Budget of each shard server's routed-cell cache (transport only).
+  size_t shard_cache_budget_bytes = size_t{8} << 20;
 };
 
 /// One queued request. kind selects which fields matter.
@@ -79,12 +93,18 @@ struct Request {
 };
 
 /// Response to one request; the field matching the request's kind is set.
+/// A failed query (invalid request, execution exception) surfaces as a
+/// response with `error` set and default payload fields — Drain never
+/// loses a ticket to one bad query.
 struct Response {
   uint64_t ticket = 0;
   Request::Kind kind = Request::Kind::kAggregate;
   core::AggregateAnswer aggregate;
   join::ResultRange range;
   std::vector<uint32_t> ids;
+  std::string error;  ///< Empty iff the query succeeded.
+
+  bool ok() const { return error.empty(); }
 };
 
 class QueryService {
@@ -117,21 +137,37 @@ class QueryService {
   uint64_t Submit(Request request);
 
   /// Waits for every outstanding submitted request and returns their
-  /// responses sorted by ticket (= submission) order.
+  /// responses sorted by ticket (= submission) order. A query that threw
+  /// yields an error Response (same ticket slot, `ok() == false`); the
+  /// drain always returns one response per outstanding ticket.
   std::vector<Response> Drain();
 
   // ---- cache management ---------------------------------------------
   /// Builds the HR approximations of ALL region polygons at the given
   /// epsilon in parallel across the pool (the cache-miss path of a full
   /// region aggregation, without running a query). Blocks until warm.
+  /// Shard-aware: with the transport seam active, each shard server's
+  /// per-shard cache is additionally warmed with the routed cell slices
+  /// of exactly the regions whose cells route to that shard.
   void WarmCache(double epsilon);
 
   ApproxCache::Stats cache_stats() const { return cache_.stats(); }
 
   const core::EngineState& state() const { return *state_; }
-  /// Non-null iff options.num_shards > 1 (the shard-aware execution path).
+  /// Non-null iff the shard-aware execution path is active
+  /// (options.num_shards > 1, or options.use_transport).
   const core::ShardedState* sharded() const { return sharded_.get(); }
   size_t num_threads() const { return pool_.size(); }
+
+  // ---- the message seam (non-null iff options.use_transport) ---------
+  size_t num_shard_servers() const { return servers_.size(); }
+  const ShardServer* shard_server(size_t s) const {
+    return s < servers_.size() ? servers_[s].get() : nullptr;
+  }
+  /// Loopback byte/message counters ({} when the seam is inactive).
+  LoopbackTransport::Stats transport_stats() const {
+    return loopback_ != nullptr ? loopback_->stats() : LoopbackTransport::Stats{};
+  }
 
  private:
   /// Builds the cache-backed exec hooks. When the counter pointers are
@@ -146,13 +182,23 @@ class QueryService {
 
   std::shared_ptr<const core::EngineState> state_;
   std::shared_ptr<const core::ShardedState> sharded_;  ///< Null when unsharded.
+  /// The message seam (all null unless options.use_transport): one server
+  /// per shard behind a loopback transport, driven by the router.
+  std::vector<std::shared_ptr<ShardServer>> servers_;
+  std::shared_ptr<LoopbackTransport> loopback_;
+  std::unique_ptr<ShardRouter> router_;
   ServiceOptions options_;
   ApproxCache cache_;
   ThreadPool pool_;  ///< Last member: workers die before cache/state.
 
+  struct Pending {
+    uint64_t ticket = 0;
+    Request::Kind kind = Request::Kind::kAggregate;
+    std::future<Response> future;
+  };
   std::mutex pending_mu_;
   uint64_t next_ticket_ = 1;
-  std::vector<std::pair<uint64_t, std::future<Response>>> pending_;
+  std::vector<Pending> pending_;
 };
 
 }  // namespace dbsa::service

@@ -1,0 +1,472 @@
+#include "service/shard_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "join/result_range.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace dbsa::service {
+
+uint64_t ApproxChecksum(const raster::HrCell* cells, size_t num_cells) {
+  // FNV-1a over the cell ids and boundary flags: order-sensitive, so any
+  // structural difference between two approximations changes it.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(num_cells);
+  for (size_t i = 0; i < num_cells; ++i) {
+    mix(cells[i].id.id() | (cells[i].boundary ? (uint64_t{1} << 63) : 0));
+  }
+  return h;
+}
+
+// ------------------------------------------------------------ ShardServer
+
+ShardServer::ShardServer(std::shared_ptr<const core::EngineState> state,
+                         std::vector<uint32_t> global_ids, const Options& options)
+    : state_(std::move(state)),
+      global_ids_(std::move(global_ids)),
+      cache_budget_bytes_(options.cell_cache_budget_bytes) {
+  DBSA_CHECK(state_ == nullptr || state_->points->size() == global_ids_.size());
+}
+
+ShardServer::ShardServer(std::shared_ptr<const core::EngineState> state,
+                         std::vector<uint32_t> global_ids)
+    : ShardServer(std::move(state), std::move(global_ids), Options()) {}
+
+std::string ShardServer::Handle(const std::string& request_bytes) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ScatterRequest request;
+  std::string parse_error;
+  GatherPartial partial;
+  if (!ScatterRequest::Decode(request_bytes, &request, &parse_error)) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    partial.status = GatherPartial::Status::kError;
+    partial.error = "bad request: " + parse_error;
+  } else {
+    partial = Dispatch(request);
+  }
+  return partial.Encode();
+}
+
+GatherPartial ShardServer::Dispatch(const ScatterRequest& request) {
+  GatherPartial out;
+  out.kind = request.kind;
+
+  if (request.kind == ScatterRequest::Kind::kWarm) {
+    if (!request.has_object || !request.has_cells) {
+      out.status = GatherPartial::Status::kError;
+      out.error = "warm request needs an object key and cells";
+      return out;
+    }
+    out.cells_cached = request.cells.size();
+    CachePut({request.object, request.level}, request.checksum, request.cells);
+    return out;
+  }
+
+  // Resolve the cell slice: shipped inline (and cached under the object
+  // key for later reference requests), or referenced from the cache.
+  CellsPtr cached;
+  const raster::HrCell* cells = nullptr;
+  size_t num_cells = 0;
+  if (request.has_cells) {
+    cells = request.cells.data();
+    num_cells = request.cells.size();
+    if (request.has_object) {
+      CachePut({request.object, request.level}, request.checksum, request.cells);
+    }
+  } else if (request.has_object) {
+    cached = CacheGet({request.object, request.level}, request.checksum);
+    if (cached == nullptr) {
+      out.status = GatherPartial::Status::kNotCached;
+      out.error = "slice not cached";
+      return out;
+    }
+    cells = cached->data();
+    num_cells = cached->size();
+  } else {
+    out.status = GatherPartial::Status::kError;
+    out.error = "request carries neither cells nor an object reference";
+    return out;
+  }
+
+  if (state_ == nullptr || !state_->point_index.has_value() || num_cells == 0) {
+    return out;  // Empty shard or empty slice: zero partial.
+  }
+  switch (request.kind) {
+    case ScatterRequest::Kind::kAggregateCells: {
+      out.aggregate = state_->point_index->QueryCells(
+          cells, num_cells, join::SearchStrategy::kRadixSpline);
+      break;
+    }
+    case ScatterRequest::Kind::kSelectIds: {
+      std::vector<uint32_t> local;
+      state_->point_index->SelectIds(cells, num_cells,
+                                     join::SearchStrategy::kRadixSpline, &local);
+      out.keyed_ids.reserve(local.size());
+      // Keys computed from the shard's own copy of the point (identical
+      // bits to the base table row), ids remapped to base rows: the
+      // router needs no point data to canonicalize the gather.
+      for (const uint32_t l : local) {
+        out.keyed_ids.emplace_back(state_->grid.LeafKey(state_->points->locs[l]),
+                                   global_ids_[l]);
+      }
+      break;
+    }
+    case ScatterRequest::Kind::kWarm:
+      break;  // Handled above.
+  }
+  return out;
+}
+
+void ShardServer::CachePut(const CacheKey& key, uint64_t checksum,
+                           std::vector<raster::HrCell> cells) {
+  const size_t bytes = cells.size() * sizeof(raster::HrCell) + sizeof(CacheEntry);
+  if (bytes > cache_budget_bytes_) return;  // Never cache a budget-buster.
+  CellsPtr shared =
+      std::make_shared<const std::vector<raster::HrCell>>(std::move(cells));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    cache_bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  lru_.push_front(CacheEntry{key, checksum, std::move(shared), bytes});
+  map_[key] = lru_.begin();
+  cache_bytes_ += bytes;
+  while (cache_bytes_ > cache_budget_bytes_ && lru_.size() > 1) {
+    const CacheEntry& victim = lru_.back();
+    cache_bytes_ -= victim.bytes;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++cache_evictions_;
+  }
+}
+
+ShardServer::CellsPtr ShardServer::CacheGet(const CacheKey& key,
+                                            uint64_t checksum) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second->checksum != checksum) {
+    // A checksum mismatch means the key now identifies a different
+    // approximation (fingerprint collision or level re-use); drop the
+    // stale slice so the router's re-ship replaces it.
+    if (it != map_.end()) {
+      cache_bytes_ -= it->second->bytes;
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+    ++cache_misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // Promote.
+  ++cache_hits_;
+  return it->second->cells;  // Shared, immutable: no copy under the lock.
+}
+
+ShardServer::Stats ShardServer::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.cache_entries = map_.size();
+  s.cache_bytes = cache_bytes_;
+  s.cache_hits = cache_hits_;
+  s.cache_misses = cache_misses_;
+  s.cache_evictions = cache_evictions_;
+  return s;
+}
+
+std::vector<std::pair<ObjectKey, int>> ShardServer::CachedKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<ObjectKey, int>> keys;
+  keys.reserve(map_.size());
+  for (const CacheEntry& entry : lru_) {
+    keys.emplace_back(entry.key.object, entry.key.level);
+  }
+  return keys;
+}
+
+// ------------------------------------------------------------ ShardRouter
+
+ShardRouter::ShardRouter(std::shared_ptr<const core::ShardedState> sharded,
+                         std::shared_ptr<Transport> transport)
+    : sharded_(std::move(sharded)), transport_(std::move(transport)) {
+  DBSA_CHECK(sharded_ != nullptr && transport_ != nullptr);
+  DBSA_CHECK(transport_->num_shards() == sharded_->num_shards());
+  known_.resize(sharded_->num_shards());
+}
+
+bool ShardRouter::KnownCached(size_t shard, const Key& key) const {
+  std::lock_guard<std::mutex> lock(known_mu_);
+  return known_[shard].count(key) != 0;
+}
+
+void ShardRouter::MarkCached(size_t shard, const Key& key, bool cached) {
+  std::lock_guard<std::mutex> lock(known_mu_);
+  if (cached) {
+    auto& keys = known_[shard];
+    if (keys.size() >= kMaxKnownKeysPerShard && keys.count(key) == 0) {
+      // Bounded in sympathy with the server-side LRU: drop an arbitrary
+      // entry (the hint is advisory — at worst one extra inline ship).
+      keys.erase(keys.begin());
+    }
+    keys[key] = 1;
+  } else {
+    known_[shard].erase(key);
+  }
+}
+
+namespace {
+
+GatherPartial RoundtripDecode(Transport& transport, size_t shard,
+                              const ScatterRequest& request) {
+  const std::string response = transport.Roundtrip(shard, request.Encode());
+  GatherPartial partial;
+  std::string error;
+  if (!GatherPartial::Decode(response, &partial, &error)) {
+    throw std::runtime_error("shard " + std::to_string(shard) +
+                             ": undecodable response: " + error);
+  }
+  if (partial.status == GatherPartial::Status::kError) {
+    throw std::runtime_error("shard " + std::to_string(shard) + ": " +
+                             partial.error);
+  }
+  if (partial.status == GatherPartial::Status::kOk &&
+      partial.kind != request.kind) {
+    throw std::runtime_error("shard " + std::to_string(shard) +
+                             ": response kind mismatch");
+  }
+  return partial;
+}
+
+}  // namespace
+
+GatherPartial ShardRouter::CallShard(size_t shard, ScatterRequest::Kind kind,
+                                     const ObjectKey* object, int level,
+                                     uint64_t checksum,
+                                     const raster::HrCell* cells,
+                                     const core::ShardedState::CellRoute* routes,
+                                     size_t num_cells) {
+  ScatterRequest request;
+  request.kind = kind;
+  request.level = level;
+  request.checksum = checksum;
+  if (object != nullptr) {
+    request.has_object = true;
+    request.object = *object;
+  }
+  const Key key{object != nullptr ? *object : ObjectKey(), level};
+  if (object != nullptr && KnownCached(shard, key)) {
+    // Reference-only request: no cell payload. The shard may have evicted
+    // or replaced the slice; kNotCached falls through to the inline path.
+    GatherPartial partial = RoundtripDecode(*transport_, shard, request);
+    if (partial.status == GatherPartial::Status::kOk) return partial;
+    MarkCached(shard, key, false);
+  }
+  request.has_cells = true;
+  request.cells = sharded_->PruneCellsForShard(shard, cells, routes, num_cells);
+  GatherPartial partial = RoundtripDecode(*transport_, shard, request);
+  if (partial.status != GatherPartial::Status::kOk) {
+    throw std::runtime_error("shard " + std::to_string(shard) +
+                             ": rejected inline slice: " + partial.error);
+  }
+  if (object != nullptr) MarkCached(shard, key, true);
+  return partial;
+}
+
+join::CellAggregate ShardRouter::ScatterGather(
+    const raster::HierarchicalRaster& hr, const ObjectKey* object, int level,
+    const core::ExecHooks& hooks, std::atomic<uint32_t>* touched) {
+  const raster::HrCell* cells = hr.cells().data();
+  const size_t num_cells = hr.cells().size();
+  const std::vector<core::ShardedState::CellRoute> routes =
+      sharded_->MakeRoutes(cells, num_cells);
+  const std::vector<uint32_t> surviving =
+      sharded_->SurvivingShards(routes.data(), num_cells);
+  if (touched != nullptr) {
+    for (const uint32_t s : surviving) {
+      touched[s].store(1, std::memory_order_relaxed);
+    }
+  }
+  const uint64_t checksum = ApproxChecksum(cells, num_cells);
+  std::vector<join::CellAggregate> partials(surviving.size());
+  const auto one_shard = [&](size_t t) {
+    partials[t] = CallShard(surviving[t], ScatterRequest::Kind::kAggregateCells,
+                            object, level, checksum, cells, routes.data(),
+                            num_cells)
+                      .aggregate;
+  };
+  // Same fan-out threshold as the in-process executor: scheduling (not
+  // results) is all that changes with it.
+  if (num_cells >= core::kShardFanOutMinCells) {
+    core::RunMaybeParallel(hooks, surviving.size(), one_shard);
+  } else {
+    for (size_t t = 0; t < surviving.size(); ++t) one_shard(t);
+  }
+  join::CellAggregate agg;
+  for (const join::CellAggregate& partial : partials) agg.Merge(partial);
+  return agg;
+}
+
+std::vector<std::pair<uint64_t, uint32_t>> ShardRouter::SelectKeyed(
+    const raster::HierarchicalRaster& hr, const ObjectKey* object, int level,
+    const core::ExecHooks& hooks) {
+  const raster::HrCell* cells = hr.cells().data();
+  const size_t num_cells = hr.cells().size();
+  const std::vector<core::ShardedState::CellRoute> routes =
+      sharded_->MakeRoutes(cells, num_cells);
+  const std::vector<uint32_t> surviving =
+      sharded_->SurvivingShards(routes.data(), num_cells);
+  const uint64_t checksum = ApproxChecksum(cells, num_cells);
+  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> per_shard(
+      surviving.size());
+  core::RunMaybeParallel(hooks, surviving.size(), [&](size_t t) {
+    per_shard[t] = std::move(CallShard(surviving[t],
+                                       ScatterRequest::Kind::kSelectIds, object,
+                                       level, checksum, cells, routes.data(),
+                                       num_cells)
+                                 .keyed_ids);
+  });
+  std::vector<std::pair<uint64_t, uint32_t>> keyed;
+  for (std::vector<std::pair<uint64_t, uint32_t>>& ids : per_shard) {
+    keyed.insert(keyed.end(), ids.begin(), ids.end());
+  }
+  return keyed;
+}
+
+size_t ShardRouter::WarmObject(const ObjectKey& object, int level,
+                               const raster::HierarchicalRaster& hr) {
+  const raster::HrCell* cells = hr.cells().data();
+  const size_t num_cells = hr.cells().size();
+  const std::vector<core::ShardedState::CellRoute> routes =
+      sharded_->MakeRoutes(cells, num_cells);
+  const std::vector<uint32_t> surviving =
+      sharded_->SurvivingShards(routes.data(), num_cells);
+  const uint64_t checksum = ApproxChecksum(cells, num_cells);
+  for (const uint32_t s : surviving) {
+    ScatterRequest request;
+    request.kind = ScatterRequest::Kind::kWarm;
+    request.level = level;
+    request.checksum = checksum;
+    request.has_object = true;
+    request.object = object;
+    request.has_cells = true;
+    request.cells = sharded_->PruneCellsForShard(s, cells, routes.data(), num_cells);
+    RoundtripDecode(*transport_, s, request);
+    MarkCached(s, Key{object, level}, true);
+  }
+  return surviving.size();
+}
+
+// ------------------------------------------- transport-backed executors
+
+core::AggregateAnswer ExecuteAggregate(ShardRouter& router, join::AggKind agg,
+                                       core::Attr attr, double epsilon,
+                                       core::Mode mode,
+                                       const core::ExecHooks& hooks) {
+  const core::ShardedState& sharded = router.sharded();
+  const core::EngineState& base = sharded.base();
+  DBSA_CHECK(!base.regions->polys.empty());
+
+  // Same shared plan-selection helpers as the in-process executors, plus
+  // the transport-cost term: each shard probe now costs a message
+  // round-trip, which the optimizer weighs against the fan-out discount.
+  query::QueryProfile profile = core::MakeAggregateProfile(base, epsilon, hooks);
+  profile.parallel_shards = static_cast<double>(sharded.num_shards());
+  profile.transport_overhead = router.transport().CostPerMessage();
+  const query::PlanChoice choice = query::ChoosePlan(profile);
+  const query::PlanKind plan =
+      core::ResolveAggregatePlan(choice.kind, agg, attr, epsilon, mode);
+
+  if (plan != query::PlanKind::kPointIndexJoin) {
+    // Non-sharded plans never cross the seam: they execute against the
+    // base snapshot exactly as the in-process sharded engine delegates.
+    core::AggregateAnswer answer = core::ExecuteAggregate(
+        base, agg, attr, epsilon,
+        epsilon <= 0.0 ? core::Mode::kExact : core::ModeForPlan(plan), hooks);
+    answer.stats.explain = choice.explain;
+    return answer;
+  }
+
+  core::AggregateAnswer answer;
+  answer.stats.plan = plan;
+  answer.stats.explain = choice.explain;
+
+  Timer timer;
+  DBSA_CHECK(agg == join::AggKind::kCount || agg == join::AggKind::kSum ||
+             agg == join::AggKind::kAvg);
+  const int level = base.grid.LevelForEpsilon(epsilon);
+  answer.stats.achieved_epsilon = base.grid.AchievedEpsilon(level);
+
+  const std::vector<geom::Polygon>& polys = base.regions->polys;
+  std::vector<join::CellAggregate> per_poly(polys.size());
+  std::unique_ptr<std::atomic<uint32_t>[]> touched(
+      new std::atomic<uint32_t>[sharded.num_shards()]);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) touched[s].store(0);
+  const auto one_poly = [&](size_t j) {
+    const std::shared_ptr<const raster::HierarchicalRaster> hr =
+        core::HrForPolygon(base, hooks, j, polys[j], epsilon);
+    const ObjectKey object(static_cast<uint64_t>(j));
+    per_poly[j] = router.ScatterGather(*hr, &object, level, hooks, touched.get());
+  };
+  core::RunMaybeParallel(hooks, polys.size(), one_poly);
+
+  // Gather: canonical — serial in polygon order, ascending-shard merges
+  // already folded inside ScatterGather. Identical to the in-process
+  // sharded executor, hence (per pinned plan) to the unsharded engine.
+  std::vector<join::CellAggregate> per_region(base.regions->num_regions);
+  for (size_t j = 0; j < polys.size(); ++j) {
+    per_region[base.regions->region_of[j]].Merge(per_poly[j]);
+  }
+  answer.stats.index_bytes = sharded.IndexBytes();
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    answer.stats.shards_probed += touched[s].load(std::memory_order_relaxed);
+  }
+  core::RowsFromRegionAggregates(per_region, agg, &answer.rows);
+  answer.stats.elapsed_ms = timer.Millis();
+  return answer;
+}
+
+join::ResultRange ExecuteCountInPolygon(ShardRouter& router,
+                                        const geom::Polygon& poly, double epsilon,
+                                        const core::ExecHooks& hooks) {
+  const core::EngineState& base = router.sharded().base();
+  const std::shared_ptr<const raster::HierarchicalRaster> hr =
+      core::HrForPolygon(base, hooks, core::kAdHocPolygon, poly, epsilon);
+  const ObjectKey object = PolygonFingerprint(poly);
+  const int level = base.grid.LevelForEpsilon(epsilon);
+  return join::CountRange(
+      router.ScatterGather(*hr, &object, level, hooks, nullptr));
+}
+
+std::vector<uint32_t> ExecuteSelectInPolygon(ShardRouter& router,
+                                             const geom::Polygon& poly,
+                                             double epsilon,
+                                             const core::ExecHooks& hooks) {
+  const core::EngineState& base = router.sharded().base();
+  const std::shared_ptr<const raster::HierarchicalRaster> hr =
+      core::HrForPolygon(base, hooks, core::kAdHocPolygon, poly, epsilon);
+  const ObjectKey object = PolygonFingerprint(poly);
+  const int level = base.grid.LevelForEpsilon(epsilon);
+  std::vector<std::pair<uint64_t, uint32_t>> keyed =
+      router.SelectKeyed(*hr, &object, level, hooks);
+  // Canonicalize exactly like the in-process gather: the unsharded index
+  // emits (leaf key, row id) ascending, and re-sorting the shard union by
+  // the same key restores that order bit-for-bit.
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<uint32_t> out;
+  out.reserve(keyed.size());
+  for (const auto& [key, id] : keyed) out.push_back(id);
+  return out;
+}
+
+}  // namespace dbsa::service

@@ -1,0 +1,210 @@
+// The shard-server layer: each spatial shard of a ShardedState runs
+// behind a ShardServer that speaks ONLY the serialized wire format of
+// service/transport.h — the single-process rehearsal of a multi-node
+// deployment. A ShardServer owns one shard's EngineState slice (points,
+// attribute columns, point index), the local→base row id map, and a
+// per-shard HR cache of routed cell slices, and knows nothing about the
+// other shards or the router.
+//
+// The client half is ShardRouter: it keeps the routing metadata (the
+// ShardedState — curve-run key ranges and leaf bounds are a few dozen
+// integers per shard), prunes each query approximation per shard, and
+// executes scatter/gather over a Transport. Per pinned plan the results
+// are BYTE-IDENTICAL to the in-process sharded engine: cell aggregates
+// travel as IEEE-754 bit patterns and merge in ascending shard order;
+// selections travel as (leaf key, base row id) pairs and re-sort to the
+// canonical (key, row) order (see core/sharded_state.h for the merge
+// identity; tested in shard_server_test.cc).
+//
+// Per-shard HR cache: a shard caches the routed cell slice of each
+// approximation it has seen, keyed by (ApproxCache object key, epsilon
+// level) — region polygons by table index, ad-hoc polygons by geometry
+// fingerprint. The router remembers which shard holds which key and
+// sends a reference-only ScatterRequest (no cell payload) on repeat
+// queries; a shard that evicted the entry answers kNotCached and the
+// router falls back to shipping the cells. Reference requests carry a
+// checksum of the full approximation, so a stale or fingerprint-colliding
+// entry is detected and re-shipped instead of silently reused.
+// QueryService::WarmCache uses the same machinery to pre-warm each
+// shard's cache with exactly the regions whose cells route to it.
+
+#ifndef DBSA_SERVICE_SHARD_SERVER_H_
+#define DBSA_SERVICE_SHARD_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/sharded_state.h"
+#include "service/transport.h"
+
+namespace dbsa::service {
+
+/// One shard behind the message seam. Thread-safe: Handle may be called
+/// concurrently (the router fans requests out across the service pool).
+class ShardServer {
+ public:
+  struct Options {
+    /// Budget for the per-shard cache of routed cell slices.
+    size_t cell_cache_budget_bytes = size_t{8} << 20;
+  };
+
+  /// Serves one shard slice. `state` may be null (an empty shard): every
+  /// query then answers zeros. `global_ids[local row] = base row`.
+  ShardServer(std::shared_ptr<const core::EngineState> state,
+              std::vector<uint32_t> global_ids, const Options& options);
+  ShardServer(std::shared_ptr<const core::EngineState> state,
+              std::vector<uint32_t> global_ids);
+
+  /// Handles one framed ScatterRequest; always returns a framed
+  /// GatherPartial (malformed input yields a kError partial, never UB).
+  std::string Handle(const std::string& request_bytes);
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t parse_errors = 0;
+    size_t cache_entries = 0;
+    size_t cache_bytes = 0;
+    uint64_t cache_hits = 0;      ///< Reference requests served from cache.
+    uint64_t cache_misses = 0;    ///< Reference requests answered kNotCached.
+    uint64_t cache_evictions = 0;
+  };
+  Stats stats() const;
+
+  /// (object, level) keys currently cached (test introspection).
+  std::vector<std::pair<ObjectKey, int>> CachedKeys() const;
+
+  size_t num_points() const { return global_ids_.size(); }
+
+ private:
+  using CacheKey = ObjectLevelKey;
+  /// Slices are shared, never copied: a hit hands out the pointer under
+  /// the lock, so concurrent reference requests do not serialize on a
+  /// multi-kilobyte copy.
+  using CellsPtr = std::shared_ptr<const std::vector<raster::HrCell>>;
+  struct CacheEntry {
+    CacheKey key;
+    uint64_t checksum = 0;  ///< Of the full approximation (see header).
+    CellsPtr cells;
+    size_t bytes = 0;
+  };
+  using LruList = std::list<CacheEntry>;
+
+  GatherPartial Dispatch(const ScatterRequest& request);
+  void CachePut(const CacheKey& key, uint64_t checksum,
+                std::vector<raster::HrCell> cells);
+  CellsPtr CacheGet(const CacheKey& key, uint64_t checksum);
+
+  std::shared_ptr<const core::EngineState> state_;
+  std::vector<uint32_t> global_ids_;
+  const size_t cache_budget_bytes_;
+
+  mutable std::mutex mu_;
+  LruList lru_;  ///< Front = most recently used.
+  std::unordered_map<CacheKey, LruList::iterator, ObjectLevelKeyHash> map_;
+  size_t cache_bytes_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t cache_evictions_ = 0;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+};
+
+/// Cheap order-sensitive checksum of an approximation's cell list; shipped
+/// with cache-reference requests so a shard never serves a cached slice
+/// that was pruned from a different approximation.
+uint64_t ApproxChecksum(const raster::HrCell* cells, size_t num_cells);
+
+/// The client half of the seam: prunes per shard, scatters serialized
+/// requests over the transport, and gathers partials in canonical order.
+class ShardRouter {
+ public:
+  ShardRouter(std::shared_ptr<const core::ShardedState> sharded,
+              std::shared_ptr<Transport> transport);
+
+  const core::ShardedState& sharded() const { return *sharded_; }
+  Transport& transport() const { return *transport_; }
+
+  /// Scatter-gather of one approximation over the surviving shards;
+  /// byte-identical to the in-process ScatterGatherCells. `object`, when
+  /// non-null, keys the per-shard caches. `touched`, when non-null, has
+  /// one flag per shard (ExecStats::shards_probed).
+  join::CellAggregate ScatterGather(const raster::HierarchicalRaster& hr,
+                                    const ObjectKey* object, int level,
+                                    const core::ExecHooks& hooks,
+                                    std::atomic<uint32_t>* touched);
+
+  /// Scatter of a selection: the union of the shards' (leaf key, base
+  /// row id) pairs, unsorted (the caller canonicalizes).
+  std::vector<std::pair<uint64_t, uint32_t>> SelectKeyed(
+      const raster::HierarchicalRaster& hr, const ObjectKey* object, int level,
+      const core::ExecHooks& hooks);
+
+  /// Warms the per-shard caches of exactly the shards `hr` routes to with
+  /// their pruned slices. Returns the number of shards warmed.
+  size_t WarmObject(const ObjectKey& object, int level,
+                    const raster::HierarchicalRaster& hr);
+
+ private:
+  using Key = ObjectLevelKey;
+
+  /// One shard's call: reference-only when the shard is known to hold the
+  /// key (falling back to inline cells on kNotCached), inline otherwise.
+  GatherPartial CallShard(size_t shard, ScatterRequest::Kind kind,
+                          const ObjectKey* object, int level, uint64_t checksum,
+                          const raster::HrCell* cells,
+                          const core::ShardedState::CellRoute* routes,
+                          size_t num_cells);
+
+  bool KnownCached(size_t shard, const Key& key) const;
+  void MarkCached(size_t shard, const Key& key, bool cached);
+
+  std::shared_ptr<const core::ShardedState> sharded_;
+  std::shared_ptr<Transport> transport_;
+
+  /// Per-shard cap on the advisory key set below — it mirrors the
+  /// server-side LRU (which is byte-bounded), so it must not outgrow it:
+  /// without a bound, a long-running service streaming distinct ad-hoc
+  /// polygons would accumulate fingerprint keys forever.
+  static constexpr size_t kMaxKnownKeysPerShard = 4096;
+
+  mutable std::mutex known_mu_;
+  /// Advisory: keys each shard is believed to hold (server eviction or
+  /// the cap makes this stale, which only costs a kNotCached round-trip
+  /// or an unnecessary inline ship).
+  std::vector<std::unordered_map<Key, char, ObjectLevelKeyHash>> known_;
+};
+
+// ---- transport-backed executors ---------------------------------------
+// Mirrors of core::ExecuteAggregate/ExecuteCountInPolygon/
+// ExecuteSelectInPolygon over a ShardedState, with the shard probes
+// crossing the message seam. Per pinned plan, results are byte-identical
+// to the in-process sharded executors (and hence to the unsharded
+// engine). Plan choice feeds the transport's CostPerMessage into
+// query::QueryProfile::transport_overhead, so under Mode::kAuto the
+// optimizer may legitimately resolve differently than in-process — pin
+// the mode to compare executions (same caveat as sharding itself).
+
+core::AggregateAnswer ExecuteAggregate(ShardRouter& router, join::AggKind agg,
+                                       core::Attr attr, double epsilon,
+                                       core::Mode mode = core::Mode::kAuto,
+                                       const core::ExecHooks& hooks = {});
+
+join::ResultRange ExecuteCountInPolygon(ShardRouter& router,
+                                        const geom::Polygon& poly, double epsilon,
+                                        const core::ExecHooks& hooks = {});
+
+std::vector<uint32_t> ExecuteSelectInPolygon(ShardRouter& router,
+                                             const geom::Polygon& poly,
+                                             double epsilon,
+                                             const core::ExecHooks& hooks = {});
+
+}  // namespace dbsa::service
+
+#endif  // DBSA_SERVICE_SHARD_SERVER_H_

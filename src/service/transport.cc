@@ -1,0 +1,331 @@
+#include "service/transport.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dbsa::service {
+
+void WireWriter::Raw(const void* data, size_t n) {
+  // Values are written in host order; the supported targets are
+  // little-endian (static_assert below would be the place to widen this).
+  out_.append(static_cast<const char*>(data), n);
+}
+
+void WireWriter::F64(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+std::string WireWriter::TakeFramed(MessageType type) {
+  WireWriter framed;
+  framed.U32(static_cast<uint32_t>(out_.size() + 4));  // magic+version+type.
+  framed.U16(kWireMagic);
+  framed.U8(kWireVersion);
+  framed.U8(static_cast<uint8_t>(type));
+  framed.Bytes(out_.data(), out_.size());
+  out_.clear();
+  return std::move(framed.out_);
+}
+
+void WireReader::Raw(void* out, size_t n) {
+  if (!ok_ || n_ - pos_ < n) {
+    ok_ = false;
+    std::memset(out, 0, n);
+    return;
+  }
+  std::memcpy(out, p_ + pos_, n);
+  pos_ += n;
+}
+
+uint8_t WireReader::U8() {
+  uint8_t v = 0;
+  Raw(&v, sizeof(v));
+  return v;
+}
+uint16_t WireReader::U16() {
+  uint16_t v = 0;
+  Raw(&v, sizeof(v));
+  return v;
+}
+uint32_t WireReader::U32() {
+  uint32_t v = 0;
+  Raw(&v, sizeof(v));
+  return v;
+}
+uint64_t WireReader::U64() {
+  uint64_t v = 0;
+  Raw(&v, sizeof(v));
+  return v;
+}
+int32_t WireReader::I32() {
+  int32_t v = 0;
+  Raw(&v, sizeof(v));
+  return v;
+}
+double WireReader::F64() {
+  const uint64_t bits = U64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool ParseFrame(const std::string& bytes, MessageType* type,
+                const char** payload, size_t* payload_size, std::string* error) {
+  WireReader reader(bytes);
+  const uint32_t length = reader.U32();
+  const uint16_t magic = reader.U16();
+  const uint8_t version = reader.U8();
+  const uint8_t raw_type = reader.U8();
+  if (!reader.ok()) {
+    *error = "frame shorter than header";
+    return false;
+  }
+  if (magic != kWireMagic) {
+    *error = "bad magic";
+    return false;
+  }
+  if (version != kWireVersion) {
+    *error = "unsupported wire version " + std::to_string(version);
+    return false;
+  }
+  if (static_cast<size_t>(length) + 4 != bytes.size()) {
+    *error = "frame length mismatch";
+    return false;
+  }
+  if (raw_type != static_cast<uint8_t>(MessageType::kScatterRequest) &&
+      raw_type != static_cast<uint8_t>(MessageType::kGatherPartial)) {
+    *error = "unknown message type " + std::to_string(raw_type);
+    return false;
+  }
+  *type = static_cast<MessageType>(raw_type);
+  *payload = bytes.data() + 8;
+  *payload_size = bytes.size() - 8;
+  return true;
+}
+
+namespace {
+
+/// A well-formed CellId: a single sentinel bit at an even position at or
+/// below 2*kMaxLevel, with the Morton prefix inside the 49-bit id domain.
+/// Must be checked BEFORE CellId::level()/prefix() touch the value —
+/// __builtin_ctzll(0) is undefined behaviour.
+bool ValidCellIdBits(uint64_t id) {
+  if (id == 0) return false;
+  if (id >= (uint64_t{1} << (2 * raster::CellId::kMaxLevel + 1))) return false;
+  const int ctz = __builtin_ctzll(id);
+  return ctz % 2 == 0 && ctz <= 2 * raster::CellId::kMaxLevel;
+}
+
+constexpr uint8_t kFlagHasObject = 1u << 0;
+constexpr uint8_t kFlagHasCells = 1u << 1;
+
+bool ValidScatterKind(uint8_t k) {
+  return k <= static_cast<uint8_t>(ScatterRequest::Kind::kWarm);
+}
+
+}  // namespace
+
+std::string ScatterRequest::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(kind));
+  uint8_t flags = 0;
+  if (has_object) flags |= kFlagHasObject;
+  if (has_cells) flags |= kFlagHasCells;
+  w.U8(flags);
+  w.I32(level);
+  w.U64(checksum);
+  if (has_object) {
+    w.U64(object.hi);
+    w.U64(object.lo);
+  }
+  if (has_cells) {
+    w.U32(static_cast<uint32_t>(cells.size()));
+    for (const raster::HrCell& cell : cells) {
+      w.U64(cell.id.id());
+      w.U8(cell.boundary ? 1 : 0);
+    }
+  }
+  return w.TakeFramed(MessageType::kScatterRequest);
+}
+
+bool ScatterRequest::Decode(const std::string& bytes, ScatterRequest* out,
+                            std::string* error) {
+  MessageType type;
+  const char* payload = nullptr;
+  size_t payload_size = 0;
+  if (!ParseFrame(bytes, &type, &payload, &payload_size, error)) return false;
+  if (type != MessageType::kScatterRequest) {
+    *error = "not a ScatterRequest";
+    return false;
+  }
+  WireReader r(payload, payload_size);
+  const uint8_t raw_kind = r.U8();
+  const uint8_t flags = r.U8();
+  out->level = r.I32();
+  out->checksum = r.U64();
+  if (!ValidScatterKind(raw_kind)) {
+    *error = "unknown scatter kind";
+    return false;
+  }
+  out->kind = static_cast<Kind>(raw_kind);
+  out->has_object = (flags & kFlagHasObject) != 0;
+  out->has_cells = (flags & kFlagHasCells) != 0;
+  out->object = ObjectKey();
+  if (out->has_object) {
+    const uint64_t hi = r.U64();
+    const uint64_t lo = r.U64();
+    out->object = ObjectKey(hi, lo);
+  }
+  out->cells.clear();
+  if (out->has_cells) {
+    const uint32_t n = r.U32();
+    // The count must be consistent with the remaining bytes before any
+    // allocation — a corrupted count must not reserve gigabytes.
+    if (!r.ok() || static_cast<uint64_t>(n) * 9 != r.remaining()) {
+      *error = "cell count inconsistent with payload size";
+      return false;
+    }
+    out->cells.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t id = r.U64();
+      const uint8_t boundary = r.U8();
+      if (!ValidCellIdBits(id) || boundary > 1) {
+        *error = "invalid cell encoding";
+        return false;
+      }
+      out->cells.push_back({raster::CellId(id), boundary != 0});
+    }
+  }
+  if (!r.AtEnd()) {
+    *error = "trailing bytes in ScatterRequest";
+    return false;
+  }
+  return true;
+}
+
+std::string GatherPartial::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(kind));
+  w.U8(static_cast<uint8_t>(status));
+  if (status != Status::kOk) {
+    w.U32(static_cast<uint32_t>(error.size()));
+    w.Bytes(error.data(), error.size());
+  } else {
+    switch (kind) {
+      case ScatterRequest::Kind::kAggregateCells: {
+        w.F64(aggregate.count);
+        w.F64(aggregate.sum);
+        w.F64(aggregate.boundary_count);
+        w.F64(aggregate.boundary_sum);
+        w.U64(aggregate.query_cells);
+        w.U64(aggregate.searches);
+        break;
+      }
+      case ScatterRequest::Kind::kSelectIds: {
+        w.U32(static_cast<uint32_t>(keyed_ids.size()));
+        for (const auto& [key, id] : keyed_ids) {
+          w.U64(key);
+          w.U32(id);
+        }
+        break;
+      }
+      case ScatterRequest::Kind::kWarm: {
+        w.U64(cells_cached);
+        break;
+      }
+    }
+  }
+  return w.TakeFramed(MessageType::kGatherPartial);
+}
+
+bool GatherPartial::Decode(const std::string& bytes, GatherPartial* out,
+                           std::string* error) {
+  MessageType type;
+  const char* payload = nullptr;
+  size_t payload_size = 0;
+  if (!ParseFrame(bytes, &type, &payload, &payload_size, error)) return false;
+  if (type != MessageType::kGatherPartial) {
+    *error = "not a GatherPartial";
+    return false;
+  }
+  WireReader r(payload, payload_size);
+  const uint8_t raw_kind = r.U8();
+  const uint8_t raw_status = r.U8();
+  if (!ValidScatterKind(raw_kind) ||
+      raw_status > static_cast<uint8_t>(Status::kNotCached)) {
+    *error = "invalid GatherPartial header";
+    return false;
+  }
+  out->kind = static_cast<ScatterRequest::Kind>(raw_kind);
+  out->status = static_cast<Status>(raw_status);
+  out->error.clear();
+  out->aggregate = join::CellAggregate();
+  out->keyed_ids.clear();
+  out->cells_cached = 0;
+  if (out->status != Status::kOk) {
+    const uint32_t n = r.U32();
+    if (!r.ok() || n != r.remaining()) {
+      *error = "error text inconsistent with payload size";
+      return false;
+    }
+    out->error.assign(payload + (payload_size - n), n);
+    return true;
+  }
+  switch (out->kind) {
+    case ScatterRequest::Kind::kAggregateCells: {
+      out->aggregate.count = r.F64();
+      out->aggregate.sum = r.F64();
+      out->aggregate.boundary_count = r.F64();
+      out->aggregate.boundary_sum = r.F64();
+      out->aggregate.query_cells = static_cast<size_t>(r.U64());
+      out->aggregate.searches = static_cast<size_t>(r.U64());
+      break;
+    }
+    case ScatterRequest::Kind::kSelectIds: {
+      const uint32_t n = r.U32();
+      if (!r.ok() || static_cast<uint64_t>(n) * 12 != r.remaining()) {
+        *error = "id count inconsistent with payload size";
+        return false;
+      }
+      out->keyed_ids.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint64_t key = r.U64();
+        const uint32_t id = r.U32();
+        out->keyed_ids.emplace_back(key, id);
+      }
+      break;
+    }
+    case ScatterRequest::Kind::kWarm: {
+      out->cells_cached = r.U64();
+      break;
+    }
+  }
+  if (!r.AtEnd()) {
+    *error = "trailing bytes in GatherPartial";
+    return false;
+  }
+  return true;
+}
+
+std::string LoopbackTransport::Roundtrip(size_t shard, const std::string& request) {
+  if (shard >= handlers_.size()) {
+    throw std::runtime_error("LoopbackTransport: no such shard " +
+                             std::to_string(shard));
+  }
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  request_bytes_.fetch_add(request.size(), std::memory_order_relaxed);
+  std::string response = handlers_[shard](request);
+  response_bytes_.fetch_add(response.size(), std::memory_order_relaxed);
+  return response;
+}
+
+LoopbackTransport::Stats LoopbackTransport::stats() const {
+  Stats s;
+  s.messages = messages_.load(std::memory_order_relaxed);
+  s.request_bytes = request_bytes_.load(std::memory_order_relaxed);
+  s.response_bytes = response_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dbsa::service

@@ -1,0 +1,238 @@
+// The shard-server message seam: a byte-level wire format plus the
+// transport abstraction the distribution rehearsal runs over.
+//
+// ShardedState (core/sharded_state.h) already isolates shards behind
+// independent EngineState slices with clean scatter/gather seams — the
+// routed cell slice of PruneCellsForShard going out, a CellAggregate or
+// keyed id list coming back, merged in ascending shard order. This header
+// turns those seams into explicit serialized messages:
+//
+//   ScatterRequest   query kind, epsilon level, optional approximation
+//                    identity (the per-shard cache key) and the routed
+//                    cell span for ONE shard;
+//   GatherPartial    the shard's partial answer — cell aggregates for
+//                    aggregations/counts, (leaf key, global id) pairs for
+//                    selections — or a typed error / not-cached signal.
+//
+// Wire format invariants (tested in transport_test.cc):
+//
+//   * every message is length-prefixed and versioned:
+//       [u32 length][u16 magic 0xDB5A][u8 version][u8 type][payload]
+//     where `length` counts every byte after the length field, so a
+//     stream transport can frame messages without understanding them;
+//   * all integers are little-endian fixed-width; doubles travel as their
+//     IEEE-754 bit pattern (bit-exact round trip — the byte-identity
+//     contract of the sharded engine survives serialization);
+//   * decoding is total: truncated, oversized, version-skewed or
+//     corrupted bytes produce a decode error, never undefined behaviour
+//     (cell ids are validated against the CellId invariants before any
+//     bit-twiddling touches them);
+//   * unknown trailing payload bytes are rejected — a frame must be
+//     consumed exactly.
+//
+// The Transport interface is one blocking round-trip per shard message.
+// LoopbackTransport is the in-process implementation (request and
+// response still cross the byte format, so the rehearsal exercises the
+// full seam); a real RPC transport drops in by implementing Roundtrip.
+
+#ifndef DBSA_SERVICE_TRANSPORT_H_
+#define DBSA_SERVICE_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "join/point_index_join.h"
+#include "raster/hierarchical_raster.h"
+#include "service/approx_cache.h"
+
+namespace dbsa::service {
+
+// ---------------------------------------------------------------- wire
+// Primitive little-endian encoding helpers. WireReader is bounds-checked:
+// any read past the end flips ok() and returns zeros, so decoders can
+// validate once at the end instead of after every field.
+
+inline constexpr uint16_t kWireMagic = 0xDB5A;
+inline constexpr uint8_t kWireVersion = 1;
+
+enum class MessageType : uint8_t {
+  kScatterRequest = 1,
+  kGatherPartial = 2,
+};
+
+class WireWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  /// IEEE-754 bit pattern — bit-exact round trip.
+  void F64(double v);
+  void Bytes(const void* data, size_t n) { Raw(data, n); }
+
+  const std::string& payload() const { return out_; }
+
+  /// Wraps the accumulated payload in a framed message and resets.
+  std::string TakeFramed(MessageType type);
+
+ private:
+  void Raw(const void* data, size_t n);
+
+  std::string out_;
+};
+
+class WireReader {
+ public:
+  WireReader(const void* data, size_t n)
+      : p_(static_cast<const uint8_t*>(data)), n_(n) {}
+  explicit WireReader(const std::string& bytes) : WireReader(bytes.data(), bytes.size()) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  int32_t I32();
+  double F64();
+
+  /// True iff every read so far was in bounds.
+  bool ok() const { return ok_; }
+  /// True iff the payload was consumed exactly (no trailing bytes).
+  bool AtEnd() const { return ok_ && pos_ == n_; }
+  size_t remaining() const { return n_ - pos_; }
+
+ private:
+  void Raw(void* out, size_t n);
+
+  const uint8_t* p_;
+  size_t n_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Parses a frame header; on success points `payload` into `bytes`.
+/// Rejects short frames, length mismatches, bad magic and version skew.
+bool ParseFrame(const std::string& bytes, MessageType* type,
+                const char** payload, size_t* payload_size, std::string* error);
+
+// ------------------------------------------------------------- messages
+
+/// One shard's slice of a scattered query. Cells, when present, are the
+/// exact output of ShardedState::PruneCellsForShard for this shard — the
+/// in-process seam re-expressed as a payload. When `has_cells` is false
+/// the request references the shard's cached slice for (object, level)
+/// instead of shipping it (the per-shard HR cache hit path); the server
+/// answers kNotCached if it no longer holds the entry.
+struct ScatterRequest {
+  enum class Kind : uint8_t {
+    kAggregateCells = 0,  ///< GatherPartial carries a CellAggregate.
+    kSelectIds = 1,       ///< GatherPartial carries (leaf key, id) pairs.
+    kWarm = 2,            ///< Cache the cells; no execution.
+  };
+
+  Kind kind = Kind::kAggregateCells;
+  /// Epsilon level of the approximation (half of the cache key).
+  int32_t level = 0;
+  /// Checksum of the FULL approximation the cells were pruned from
+  /// (ApproxChecksum in shard_server.h). Stored with cached slices and
+  /// compared on reference requests, so a stale or colliding cache entry
+  /// is detected instead of silently reused.
+  uint64_t checksum = 0;
+  /// Identity of the approximation the cells came from (region index or
+  /// ad-hoc polygon fingerprint — the ApproxCache key space).
+  bool has_object = false;
+  ObjectKey object;
+  /// Routed cell span for this shard.
+  bool has_cells = false;
+  std::vector<raster::HrCell> cells;
+
+  std::string Encode() const;
+  static bool Decode(const std::string& bytes, ScatterRequest* out,
+                     std::string* error);
+};
+
+/// One shard's partial answer, merged client-side in ascending shard
+/// order (the canonical gather of the merge-identity contract).
+struct GatherPartial {
+  enum class Status : uint8_t {
+    kOk = 0,
+    kError = 1,      ///< `error` holds the server's message.
+    kNotCached = 2,  ///< Cache reference missed; resend with cells.
+  };
+
+  ScatterRequest::Kind kind = ScatterRequest::Kind::kAggregateCells;
+  Status status = Status::kOk;
+  std::string error;
+  /// kAggregateCells: the shard's cell aggregate (doubles bit-exact).
+  join::CellAggregate aggregate;
+  /// kSelectIds: (base-grid leaf key, base-table row id), ascending.
+  std::vector<std::pair<uint64_t, uint32_t>> keyed_ids;
+  /// kWarm: number of cells now cached for the key.
+  uint64_t cells_cached = 0;
+
+  std::string Encode() const;
+  static bool Decode(const std::string& bytes, GatherPartial* out,
+                     std::string* error);
+};
+
+// ------------------------------------------------------------ transport
+
+/// Blocking message transport to a set of shard servers. Implementations
+/// must be thread-safe: the router fans scatter requests out across the
+/// service pool.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual size_t num_shards() const = 0;
+
+  /// Sends one framed request to shard `shard` and returns the framed
+  /// response. Throws std::runtime_error on transport failure.
+  virtual std::string Roundtrip(size_t shard, const std::string& request) = 0;
+
+  /// Abstract optimizer cost units (one simple memory op = 1) charged per
+  /// message round-trip — the transport-cost term of the shard probe
+  /// model (query::QueryProfile::transport_overhead).
+  virtual double CostPerMessage() const = 0;
+};
+
+/// In-process transport: requests are handed to per-shard handler
+/// functions (ShardServer::Handle bound by the service). The bytes still
+/// cross the full wire format, so loopback execution exercises exactly
+/// the seam a remote deployment would.
+class LoopbackTransport : public Transport {
+ public:
+  using Handler = std::function<std::string(const std::string&)>;
+
+  explicit LoopbackTransport(std::vector<Handler> handlers)
+      : handlers_(std::move(handlers)) {}
+
+  size_t num_shards() const override { return handlers_.size(); }
+  std::string Roundtrip(size_t shard, const std::string& request) override;
+  double CostPerMessage() const override { return kCostPerMessage; }
+
+  struct Stats {
+    uint64_t messages = 0;
+    uint64_t request_bytes = 0;
+    uint64_t response_bytes = 0;
+  };
+  Stats stats() const;
+
+  /// Loopback serialization overhead in optimizer cost units. A real RPC
+  /// transport would report orders of magnitude more.
+  static constexpr double kCostPerMessage = 64.0;
+
+ private:
+  std::vector<Handler> handlers_;
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> request_bytes_{0};
+  std::atomic<uint64_t> response_bytes_{0};
+};
+
+}  // namespace dbsa::service
+
+#endif  // DBSA_SERVICE_TRANSPORT_H_

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "query/optimizer.h"
 #include "query/selectivity.h"
 #include "test_util.h"
@@ -49,6 +51,56 @@ TEST(SelectivityTest, DisjointQueryIsZero) {
   const auto pts = dbsa::testing::RandomPoints(universe, 1000, 5);
   const SelectivityHistogram hist(pts.data(), pts.size(), universe, 16);
   EXPECT_EQ(hist.EstimateBox(geom::Box(200, 200, 300, 300)), 0.0);
+}
+
+TEST(SelectivityTest, CollinearPointsDegenerateUniverse) {
+  // Regression: a zero-width universe (all points on a vertical line)
+  // used to produce 0-sized cells, NaN indexes (UB on the uint32_t cast)
+  // and NaN estimates from 0/0 coverage fractions.
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 100; ++i) pts.push_back({5.0, static_cast<double>(i)});
+  geom::Box universe;
+  for (const geom::Point& p : pts) universe.Extend(p);
+  ASSERT_EQ(universe.Width(), 0.0);
+
+  const SelectivityHistogram hist(pts.data(), pts.size(), universe, 16);
+  EXPECT_EQ(hist.total(), 100u);
+
+  // Covering box: everything. Disjoint box: nothing. Half the y-range:
+  // about half, and always finite.
+  const double all = hist.EstimateBox(geom::Box(0, -1, 10, 100));
+  EXPECT_TRUE(std::isfinite(all));
+  EXPECT_NEAR(all, 100.0, 1e-9);
+  EXPECT_EQ(hist.EstimateBox(geom::Box(6, 0, 10, 99)), 0.0);
+  const double half = hist.EstimateBox(geom::Box(0, 0, 10, 49.5));
+  EXPECT_TRUE(std::isfinite(half));
+  EXPECT_NEAR(half, 50.0, 8.0);
+
+  const geom::Polygon poly = dbsa::testing::MakeRectPolygon(0, 10, 10, 20);
+  EXPECT_TRUE(std::isfinite(hist.EstimatePolygon(poly)));
+}
+
+TEST(SelectivityTest, HorizontalLineAndSinglePointUniverses) {
+  // Horizontal line: zero height.
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 64; ++i) pts.push_back({static_cast<double>(i), -3.0});
+  geom::Box universe;
+  for (const geom::Point& p : pts) universe.Extend(p);
+  ASSERT_EQ(universe.Height(), 0.0);
+  const SelectivityHistogram hist(pts.data(), pts.size(), universe, 8);
+  const double all = hist.EstimateBox(geom::Box(-1, -4, 64, 0));
+  EXPECT_TRUE(std::isfinite(all));
+  EXPECT_NEAR(all, 64.0, 1e-9);
+  EXPECT_EQ(hist.EstimateBox(geom::Box(0, 0, 63, 10)), 0.0);
+
+  // Single point: both axes degenerate.
+  const geom::Point p{7.0, 11.0};
+  const geom::Box point_universe(p, p);
+  const SelectivityHistogram point_hist(&p, 1, point_universe, 4);
+  const double got = point_hist.EstimateBox(geom::Box(0, 0, 20, 20));
+  EXPECT_TRUE(std::isfinite(got));
+  EXPECT_NEAR(got, 1.0, 1e-9);
+  EXPECT_EQ(point_hist.EstimateBox(geom::Box(8, 12, 20, 20)), 0.0);
 }
 
 QueryProfile BaseProfile() {
@@ -106,6 +158,32 @@ TEST(OptimizerTest, ShardsDividePointIndexProbeCost) {
   // The sharded probe discount can flip the plan choice.
   const PlanChoice choice = ChoosePlan(q8);
   EXPECT_NE(choice.explain.find("shards=8"), std::string::npos);
+}
+
+TEST(OptimizerTest, TransportOverheadChargesPerShardMessage) {
+  QueryProfile p = BaseProfile();
+  p.point_index_available = true;
+  p.hr_cache_available = true;
+  p.parallel_shards = 8.0;
+  const double in_process = EstimateCosts(p).point_index;
+  p.transport_overhead = 64.0;  // Loopback-ish serialization cost.
+  const double loopback = EstimateCosts(p).point_index;
+  EXPECT_NEAR(loopback, in_process + 8.0 * 64.0, 1e-6);
+  // A network-ish overhead scales the penalty with the fan-out: the
+  // discount is no longer free, and more shards cost more messages.
+  p.transport_overhead = 1e6;
+  const double rpc8 = EstimateCosts(p).point_index;
+  p.parallel_shards = 16.0;
+  const double rpc16 = EstimateCosts(p).point_index;
+  EXPECT_GT(rpc8, in_process);
+  EXPECT_GT(rpc16, rpc8);
+  // Other plans never pay the transport term.
+  QueryProfile q = BaseProfile();
+  QueryProfile qt = BaseProfile();
+  qt.transport_overhead = 1e6;
+  EXPECT_EQ(EstimateCosts(q).act, EstimateCosts(qt).act);
+  EXPECT_EQ(EstimateCosts(q).brj, EstimateCosts(qt).brj);
+  EXPECT_EQ(EstimateCosts(q).exact, EstimateCosts(qt).exact);
 }
 
 TEST(OptimizerTest, ComplexPolygonsPenalizeExact) {

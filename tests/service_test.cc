@@ -226,9 +226,11 @@ class QueryServiceTest : public ::testing::Test {
 TEST_F(QueryServiceTest, EightThreadsByteMatchSingleThreadedEngine) {
   // Duplicate the workload so the second half hits the warm cache —
   // cached approximations must not change a single bit of any answer.
+  // (Via an explicit copy: self-range insert invalidates the source
+  // iterators on reallocation and used to corrupt the duplicated half.)
   std::vector<Request> workload = MixedWorkload();
-  const size_t unique = workload.size();
-  workload.insert(workload.end(), workload.begin(), workload.begin() + unique);
+  const std::vector<Request> first_pass = workload;
+  workload.insert(workload.end(), first_pass.begin(), first_pass.end());
 
   std::vector<Response> expected;
   expected.reserve(workload.size());
@@ -314,6 +316,60 @@ TEST_F(QueryServiceTest, ColdAggregateReportsMissesThenHits) {
           .get();
   EXPECT_EQ(warm.stats.hr_cache_misses, 0u);
   EXPECT_EQ(warm.stats.hr_cache_hits, polys);
+}
+
+TEST_F(QueryServiceTest, DrainSurvivesPoisonedQueriesMidBatch) {
+  // Regression: Drain used to call future.get() bare — the first
+  // throwing query aborted the drain, lost every later response and left
+  // the abandoned futures to block elsewhere. Now each failed ticket
+  // surfaces as an error Response in its submission slot and the drain
+  // completes.
+  QueryService service(engine_.Snapshot(), {});
+  const geom::Polygon star =
+      dbsa::testing::MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  const geom::Polygon degenerate(geom::Ring{{0, 0}, {10, 10}});  // 2 vertices.
+
+  std::vector<Request> workload;
+  workload.push_back(Request::MakeCount(star, 8.0));  // Good.
+  workload.push_back(Request::MakeAggregate(join::AggKind::kSum, core::Attr::kNone,
+                                            8.0));    // Poisoned: SUM w/o column.
+  workload.push_back(Request::MakeCount(star, 8.0));  // Good.
+  workload.push_back(Request::MakeCount(degenerate, 8.0));  // Poisoned: 2 vertices.
+  workload.push_back(Request::MakeSelect(star, 8.0));       // Good.
+
+  std::vector<uint64_t> tickets;
+  for (const Request& req : workload) tickets.push_back(service.Submit(req));
+  const std::vector<Response> responses = service.Drain();
+
+  ASSERT_EQ(responses.size(), workload.size());  // No ticket lost.
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].ticket, tickets[i]) << "ticket order kept, slot " << i;
+    EXPECT_EQ(responses[i].kind, workload[i].kind) << "slot " << i;
+  }
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_FALSE(responses[1].ok());
+  EXPECT_NE(responses[1].error.find("attribute"), std::string::npos)
+      << responses[1].error;
+  EXPECT_TRUE(responses[2].ok());
+  EXPECT_FALSE(responses[3].ok());
+  EXPECT_NE(responses[3].error.find("vertices"), std::string::npos)
+      << responses[3].error;
+  EXPECT_TRUE(responses[4].ok());
+
+  // The good responses are untouched by their poisoned neighbours.
+  const join::ResultRange want = engine_.CountInPolygon(star, 8.0);
+  for (const size_t good : {size_t{0}, size_t{2}}) {
+    EXPECT_EQ(responses[good].range.lo, want.lo);
+    EXPECT_EQ(responses[good].range.hi, want.hi);
+  }
+  EXPECT_EQ(responses[4].ids, engine_.SelectInPolygon(star, 8.0));
+
+  // And the service stays fully usable after a poisoned batch.
+  service.Submit(Request::MakeCount(star, 8.0));
+  const std::vector<Response> after = service.Drain();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_TRUE(after[0].ok());
+  EXPECT_EQ(after[0].range.hi, want.hi);
 }
 
 TEST_F(QueryServiceTest, SharedSnapshotServesManyServices) {

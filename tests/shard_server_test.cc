@@ -1,0 +1,504 @@
+// Tests for the shard-server message seam: LoopbackTransport execution
+// must return results BYTE-IDENTICAL to the in-process ShardedState
+// engine (per pinned plan) for all three query kinds at every
+// (shard count, thread count) combination, including queries that prune
+// to zero shards — serialization must not cost a single bit. Plus the
+// per-shard HR cache: shard-aware WarmCache routing, reference-request
+// hits, eviction and checksum-mismatch fallbacks, and malformed-message
+// hardening.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dbsa.h"
+#include "service/query_service.h"
+#include "service/shard_server.h"
+#include "service/thread_pool.h"
+#include "service/transport.h"
+#include "test_util.h"
+
+namespace dbsa::service {
+namespace {
+
+using dbsa::testing::MakeRectPolygon;
+using dbsa::testing::MakeStarPolygon;
+
+void ExpectRowsIdentical(const core::AggregateAnswer& got,
+                         const core::AggregateAnswer& want,
+                         const std::string& label) {
+  ASSERT_EQ(got.rows.size(), want.rows.size()) << label;
+  for (size_t r = 0; r < want.rows.size(); ++r) {
+    EXPECT_EQ(got.rows[r].region, want.rows[r].region) << label << " region " << r;
+    EXPECT_EQ(got.rows[r].value, want.rows[r].value) << label << " region " << r;
+    EXPECT_EQ(got.rows[r].lo, want.rows[r].lo) << label << " region " << r;
+    EXPECT_EQ(got.rows[r].hi, want.rows[r].hi) << label << " region " << r;
+  }
+}
+
+/// A complete in-process deployment of the seam: shard servers behind a
+/// loopback transport plus the router driving them.
+struct Seam {
+  std::shared_ptr<const core::ShardedState> sharded;
+  std::vector<std::shared_ptr<ShardServer>> servers;
+  std::shared_ptr<LoopbackTransport> transport;
+  std::unique_ptr<ShardRouter> router;
+};
+
+Seam MakeSeam(const std::shared_ptr<const core::EngineState>& base, size_t k,
+              size_t cache_budget_bytes = size_t{8} << 20) {
+  Seam seam;
+  seam.sharded = core::ShardedState::Build(base, {k});
+  ShardServer::Options options;
+  options.cell_cache_budget_bytes = cache_budget_bytes;
+  std::vector<LoopbackTransport::Handler> handlers;
+  for (size_t s = 0; s < seam.sharded->num_shards(); ++s) {
+    const core::ShardedState::Shard& shard = seam.sharded->shard(s);
+    seam.servers.push_back(
+        std::make_shared<ShardServer>(shard.state, shard.global_ids, options));
+    handlers.push_back([server = seam.servers.back()](const std::string& request) {
+      return server->Handle(request);
+    });
+  }
+  seam.transport = std::make_shared<LoopbackTransport>(std::move(handlers));
+  seam.router = std::make_unique<ShardRouter>(seam.sharded, seam.transport);
+  return seam;
+}
+
+class ShardServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::TaxiConfig taxi_config;
+    taxi_config.universe = geom::Box(0, 0, 4096, 4096);
+    data::PointSet points = data::GenerateTaxiPoints(20000, taxi_config);
+    // Dyadic fares: SUM/AVG partials exact in double, so the merge
+    // identity holds bit-for-bit (see sharded_state_test.cc).
+    for (double& f : points.fare) f = std::round(f * 64.0) / 64.0;
+
+    data::RegionConfig region_config;
+    region_config.universe = taxi_config.universe;
+    region_config.num_polygons = 24;
+    region_config.target_avg_vertices = 24;
+    region_config.multi_fraction = 0.2;
+    data::RegionSet regions = data::GenerateRegions(region_config);
+
+    base_ = core::BuildEngineState(std::move(points), std::move(regions));
+  }
+
+  std::shared_ptr<const core::EngineState> base_;
+};
+
+// The acceptance stress: loopback execution vs the in-process sharded
+// engine, every query kind, K x threads, zero-surviving included.
+TEST_F(ShardServerTest, LoopbackByteMatchesInProcessShardedEverywhere) {
+  const geom::Polygon star1 = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  const geom::Polygon star2 = MakeStarPolygon({1200, 2800}, 300, 700, 12, 23);
+  const geom::Polygon corner = MakeRectPolygon(100, 100, 380, 420);
+  const std::vector<geom::Polygon> polys = {star1, star2, corner};
+  const std::vector<double> epsilons = {4.0, 16.0};
+
+  for (const size_t k : {size_t{1}, size_t{2}, size_t{7}, size_t{16}}) {
+    Seam seam = MakeSeam(base_, k);
+    for (const size_t threads : {size_t{0}, size_t{4}, size_t{8}}) {
+      std::unique_ptr<ThreadPool> pool;
+      core::ExecHooks hooks;
+      if (threads > 0) {
+        pool = std::make_unique<ThreadPool>(threads);
+        hooks.parallel_for = [&pool](size_t n,
+                                     const std::function<void(size_t)>& fn) {
+          pool->ParallelFor(n, fn);
+        };
+      }
+      const std::string label =
+          "k=" + std::to_string(k) + " threads=" + std::to_string(threads);
+
+      for (const double eps : epsilons) {
+        ExpectRowsIdentical(
+            ExecuteAggregate(*seam.router, join::AggKind::kCount, core::Attr::kNone,
+                             eps, core::Mode::kPointIndex, hooks),
+            core::ExecuteAggregate(*seam.sharded, join::AggKind::kCount,
+                                   core::Attr::kNone, eps, core::Mode::kPointIndex,
+                                   hooks),
+            label + " count eps=" + std::to_string(eps));
+        ExpectRowsIdentical(
+            ExecuteAggregate(*seam.router, join::AggKind::kSum, core::Attr::kFare,
+                             eps, core::Mode::kPointIndex, hooks),
+            core::ExecuteAggregate(*seam.sharded, join::AggKind::kSum,
+                                   core::Attr::kFare, eps, core::Mode::kPointIndex,
+                                   hooks),
+            label + " sum eps=" + std::to_string(eps));
+        ExpectRowsIdentical(
+            ExecuteAggregate(*seam.router, join::AggKind::kAvg, core::Attr::kFare,
+                             eps, core::Mode::kPointIndex, hooks),
+            core::ExecuteAggregate(*seam.sharded, join::AggKind::kAvg,
+                                   core::Attr::kFare, eps, core::Mode::kPointIndex,
+                                   hooks),
+            label + " avg eps=" + std::to_string(eps));
+
+        for (size_t p = 0; p < polys.size(); ++p) {
+          const join::ResultRange got =
+              ExecuteCountInPolygon(*seam.router, polys[p], eps, hooks);
+          const join::ResultRange want =
+              core::ExecuteCountInPolygon(*seam.sharded, polys[p], eps, hooks);
+          EXPECT_EQ(got.estimate, want.estimate) << label << " poly " << p;
+          EXPECT_EQ(got.lo, want.lo) << label << " poly " << p;
+          EXPECT_EQ(got.hi, want.hi) << label << " poly " << p;
+          EXPECT_EQ(ExecuteSelectInPolygon(*seam.router, polys[p], eps, hooks),
+                    core::ExecuteSelectInPolygon(*seam.sharded, polys[p], eps, hooks))
+              << label << " poly " << p;
+        }
+      }
+
+      // Non-point-index plans delegate beneath the seam unchanged.
+      ExpectRowsIdentical(
+          ExecuteAggregate(*seam.router, join::AggKind::kSum, core::Attr::kFare,
+                           8.0, core::Mode::kAct, hooks),
+          core::ExecuteAggregate(*seam.sharded, join::AggKind::kSum,
+                                 core::Attr::kFare, 8.0, core::Mode::kAct, hooks),
+          label + " delegated ACT");
+      ExpectRowsIdentical(
+          ExecuteAggregate(*seam.router, join::AggKind::kCount, core::Attr::kNone,
+                           0.0, core::Mode::kExact, hooks),
+          core::ExecuteAggregate(*seam.sharded, join::AggKind::kCount,
+                                 core::Attr::kNone, 0.0, core::Mode::kExact, hooks),
+          label + " delegated exact");
+    }
+  }
+}
+
+TEST_F(ShardServerTest, ZeroSurvivingShardsAnswersZeroAcrossTheSeam) {
+  // Points confined to the left half; the query polygon sits in the
+  // right half: the scatter set is empty and the (empty) gather must
+  // still byte-match the in-process engine's zeros.
+  data::TaxiConfig config;
+  config.universe = geom::Box(0, 0, 2000, 4096);
+  data::PointSet points = data::GenerateTaxiPoints(5000, config);
+  data::RegionConfig region_config;
+  region_config.universe = geom::Box(0, 0, 4096, 4096);
+  region_config.num_polygons = 8;
+  data::RegionSet regions = data::GenerateRegions(region_config);
+  const auto base = core::BuildEngineState(std::move(points), std::move(regions));
+
+  Seam seam = MakeSeam(base, 4);
+  const geom::Polygon far_poly = MakeRectPolygon(3000, 1000, 3800, 2000);
+  const raster::HierarchicalRaster hr =
+      raster::HierarchicalRaster::BuildEpsilon(far_poly, base->grid, 8.0);
+  ASSERT_TRUE(seam.sharded->SurvivingShards(hr).empty());
+
+  const join::ResultRange got = ExecuteCountInPolygon(*seam.router, far_poly, 8.0);
+  const join::ResultRange want = core::ExecuteCountInPolygon(*base, far_poly, 8.0);
+  EXPECT_EQ(got.estimate, want.estimate);
+  EXPECT_EQ(got.lo, want.lo);
+  EXPECT_EQ(got.hi, want.hi);
+  EXPECT_EQ(got.estimate, 0.0);
+  EXPECT_TRUE(ExecuteSelectInPolygon(*seam.router, far_poly, 8.0).empty());
+  // No messages at all crossed the transport for the empty scatter set.
+  EXPECT_EQ(seam.transport->stats().messages, 0u);
+}
+
+TEST_F(ShardServerTest, TransportServiceByteMatchesUnshardedEngine) {
+  // End-to-end through QueryService with the seam on: 8 shard servers x
+  // 8 threads, workload duplicated so the second half runs on warm
+  // central + per-shard caches (reference requests).
+  core::SpatialEngine engine;
+  engine.SetPoints(data::PointSet(*base_->points));
+  engine.SetRegions(data::RegionSet(*base_->regions));
+
+  std::vector<Request> workload;
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  const geom::Polygon corner = MakeRectPolygon(100, 100, 380, 420);
+  for (const double eps : {4.0, 8.0}) {
+    workload.push_back(Request::MakeAggregate(join::AggKind::kCount,
+                                              core::Attr::kNone, eps,
+                                              core::Mode::kPointIndex));
+    workload.push_back(Request::MakeAggregate(join::AggKind::kSum, core::Attr::kFare,
+                                              eps, core::Mode::kPointIndex));
+    workload.push_back(Request::MakeCount(star, eps));
+    workload.push_back(Request::MakeCount(corner, eps));
+    workload.push_back(Request::MakeSelect(star, eps));
+  }
+  // Duplicate through an explicit copy: self-range insert invalidates the
+  // source iterators when the vector reallocates (it silently corrupted
+  // the duplicated half of earlier versions of this idiom).
+  const std::vector<Request> first_pass = workload;
+  workload.insert(workload.end(), first_pass.begin(), first_pass.end());
+
+  ServiceOptions options;
+  options.num_threads = 8;
+  options.num_shards = 8;
+  options.use_transport = true;
+  QueryService service(engine.Snapshot(), options);
+  ASSERT_NE(service.sharded(), nullptr);
+  ASSERT_EQ(service.num_shard_servers(), 8u);
+
+  for (const Request& req : workload) service.Submit(req);
+  const std::vector<Response> responses = service.Drain();
+  ASSERT_EQ(responses.size(), workload.size());
+  EXPECT_GT(service.transport_stats().messages, 0u);
+
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const Request& req = workload[i];
+    const Response& got = responses[i];
+    ASSERT_TRUE(got.ok()) << got.error;
+    switch (req.kind) {
+      case Request::Kind::kAggregate: {
+        const core::AggregateAnswer want =
+            engine.Aggregate(req.agg, req.attr, req.epsilon, req.mode);
+        ExpectRowsIdentical(got.aggregate, want, "request " + std::to_string(i));
+        break;
+      }
+      case Request::Kind::kCountInPolygon: {
+        const join::ResultRange want = engine.CountInPolygon(req.poly, req.epsilon);
+        EXPECT_EQ(got.range.estimate, want.estimate) << "request " << i;
+        EXPECT_EQ(got.range.lo, want.lo) << "request " << i;
+        EXPECT_EQ(got.range.hi, want.hi) << "request " << i;
+        break;
+      }
+      case Request::Kind::kSelectInPolygon:
+        EXPECT_EQ(got.ids, engine.SelectInPolygon(req.poly, req.epsilon))
+            << "request " << i;
+        break;
+    }
+  }
+
+  // The duplicated half was served by reference: at least one shard
+  // answered from its per-shard cache, and the per-shard caches only
+  // hold keys (no stale bytes growth beyond the budget).
+  size_t hits = 0;
+  for (size_t s = 0; s < service.num_shard_servers(); ++s) {
+    hits += service.shard_server(s)->stats().cache_hits;
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+TEST_F(ShardServerTest, ReferenceRequestsShipFewerBytesOnRepeat) {
+  Seam seam = MakeSeam(base_, 8);
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  const ObjectKey object = PolygonFingerprint(star);
+  const raster::HierarchicalRaster hr =
+      raster::HierarchicalRaster::BuildEpsilon(star, base_->grid, 4.0);
+  const int level = base_->grid.LevelForEpsilon(4.0);
+
+  const join::CellAggregate cold =
+      seam.router->ScatterGather(hr, &object, level, {}, nullptr);
+  const LoopbackTransport::Stats after_cold = seam.transport->stats();
+  const join::CellAggregate warm =
+      seam.router->ScatterGather(hr, &object, level, {}, nullptr);
+  const LoopbackTransport::Stats after_warm = seam.transport->stats();
+
+  // Identical partials either way (the cached slice is the pruned slice).
+  EXPECT_EQ(warm.count, cold.count);
+  EXPECT_EQ(warm.sum, cold.sum);
+  EXPECT_EQ(warm.boundary_count, cold.boundary_count);
+  EXPECT_EQ(warm.boundary_sum, cold.boundary_sum);
+  // The repeat pass referenced the per-shard caches: same message count,
+  // far fewer request bytes (no cell payloads).
+  const uint64_t cold_bytes = after_cold.request_bytes;
+  const uint64_t warm_bytes = after_warm.request_bytes - after_cold.request_bytes;
+  EXPECT_EQ(after_warm.messages, 2 * after_cold.messages);
+  EXPECT_LT(warm_bytes, cold_bytes / 4);
+  size_t hits = 0;
+  for (const auto& server : seam.servers) hits += server->stats().cache_hits;
+  EXPECT_EQ(hits, after_cold.messages);  // Every repeat probe was a hit.
+}
+
+TEST_F(ShardServerTest, EvictedSliceFallsBackToInlineShipping) {
+  // Budget 0: servers never retain a slice, so every reference request
+  // answers kNotCached and the router re-ships inline — results must be
+  // unaffected.
+  Seam seam = MakeSeam(base_, 8, /*cache_budget_bytes=*/0);
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  const ObjectKey object = PolygonFingerprint(star);
+  const raster::HierarchicalRaster hr =
+      raster::HierarchicalRaster::BuildEpsilon(star, base_->grid, 4.0);
+  const int level = base_->grid.LevelForEpsilon(4.0);
+
+  const join::CellAggregate first =
+      seam.router->ScatterGather(hr, &object, level, {}, nullptr);
+  const join::CellAggregate second =
+      seam.router->ScatterGather(hr, &object, level, {}, nullptr);
+  EXPECT_EQ(second.count, first.count);
+  EXPECT_EQ(second.sum, first.sum);
+  size_t misses = 0, entries = 0;
+  for (const auto& server : seam.servers) {
+    misses += server->stats().cache_misses;
+    entries += server->stats().cache_entries;
+  }
+  EXPECT_GT(misses, 0u);   // The second pass hit the kNotCached path.
+  EXPECT_EQ(entries, 0u);  // Nothing is ever retained at budget 0.
+}
+
+TEST_F(ShardServerTest, ChecksumMismatchInvalidatesCachedSlice) {
+  Seam seam = MakeSeam(base_, 1);
+  ASSERT_EQ(seam.servers.size(), 1u);
+  ShardServer& server = *seam.servers[0];
+
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  const raster::HierarchicalRaster hr =
+      raster::HierarchicalRaster::BuildEpsilon(star, base_->grid, 8.0);
+  ScatterRequest warm;
+  warm.kind = ScatterRequest::Kind::kWarm;
+  warm.level = 7;
+  warm.checksum = ApproxChecksum(hr.cells().data(), hr.cells().size());
+  warm.has_object = true;
+  warm.object = ObjectKey(0x8000000000000000ull, 99);
+  warm.has_cells = true;
+  warm.cells = hr.cells();
+  GatherPartial partial;
+  std::string error;
+  ASSERT_TRUE(GatherPartial::Decode(server.Handle(warm.Encode()), &partial, &error));
+  ASSERT_EQ(partial.status, GatherPartial::Status::kOk);
+  EXPECT_EQ(server.stats().cache_entries, 1u);
+
+  // A reference with the right checksum hits...
+  ScatterRequest reference;
+  reference.kind = ScatterRequest::Kind::kAggregateCells;
+  reference.level = warm.level;
+  reference.checksum = warm.checksum;
+  reference.has_object = true;
+  reference.object = warm.object;
+  ASSERT_TRUE(
+      GatherPartial::Decode(server.Handle(reference.Encode()), &partial, &error));
+  EXPECT_EQ(partial.status, GatherPartial::Status::kOk);
+
+  // ...but a different checksum under the same key (a stale or colliding
+  // entry) answers kNotCached and drops the entry.
+  reference.checksum ^= 1;
+  ASSERT_TRUE(
+      GatherPartial::Decode(server.Handle(reference.Encode()), &partial, &error));
+  EXPECT_EQ(partial.status, GatherPartial::Status::kNotCached);
+  EXPECT_EQ(server.stats().cache_entries, 0u);
+}
+
+TEST_F(ShardServerTest, MalformedRequestYieldsErrorPartialNotUb) {
+  Seam seam = MakeSeam(base_, 1);
+  ShardServer& server = *seam.servers[0];
+  GatherPartial partial;
+  std::string error;
+  // Unframed garbage.
+  ASSERT_TRUE(GatherPartial::Decode(server.Handle("garbage"), &partial, &error));
+  EXPECT_EQ(partial.status, GatherPartial::Status::kError);
+  // A request that carries neither cells nor an object reference.
+  ScatterRequest empty;
+  empty.kind = ScatterRequest::Kind::kAggregateCells;
+  ASSERT_TRUE(GatherPartial::Decode(server.Handle(empty.Encode()), &partial, &error));
+  EXPECT_EQ(partial.status, GatherPartial::Status::kError);
+  // A warm request without cells.
+  ScatterRequest bad_warm;
+  bad_warm.kind = ScatterRequest::Kind::kWarm;
+  bad_warm.has_object = true;
+  bad_warm.object = ObjectKey(3);
+  ASSERT_TRUE(
+      GatherPartial::Decode(server.Handle(bad_warm.Encode()), &partial, &error));
+  EXPECT_EQ(partial.status, GatherPartial::Status::kError);
+  EXPECT_EQ(server.stats().parse_errors, 1u);  // Only the unframed one.
+  EXPECT_EQ(server.stats().requests, 3u);
+}
+
+// ---- shard-aware WarmCache --------------------------------------------
+
+TEST_F(ShardServerTest, WarmCacheWarmsOnlyRoutedRegionsPerShard) {
+  for (const size_t k : {size_t{1}, size_t{2}, size_t{7}}) {
+    ServiceOptions options;
+    options.num_threads = 4;
+    options.num_shards = k;
+    options.use_transport = true;
+    QueryService service(std::shared_ptr<const core::EngineState>(base_), options);
+    ASSERT_EQ(service.num_shard_servers(), k);
+
+    const double eps = 8.0;
+    service.WarmCache(eps);
+    const int level = base_->grid.LevelForEpsilon(eps);
+    const std::vector<geom::Polygon>& polys = base_->regions->polys;
+
+    for (size_t s = 0; s < k; ++s) {
+      // Expected: exactly the regions whose HR cells route to shard s.
+      std::vector<uint64_t> expected;
+      for (size_t j = 0; j < polys.size(); ++j) {
+        const raster::HierarchicalRaster hr =
+            raster::HierarchicalRaster::BuildLevel(polys[j], base_->grid, level);
+        if (service.sharded()->ShardIntersects(s, hr.cells().data(),
+                                               hr.cells().size())) {
+          expected.push_back(j);
+        }
+      }
+      std::vector<uint64_t> cached;
+      for (const auto& [object, cached_level] : service.shard_server(s)->CachedKeys()) {
+        EXPECT_EQ(cached_level, level) << "k=" << k << " shard " << s;
+        EXPECT_EQ(object.hi, 0u) << "k=" << k << " shard " << s
+                                 << ": region keys only";
+        cached.push_back(object.lo);
+      }
+      std::sort(cached.begin(), cached.end());
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(cached, expected) << "k=" << k << " shard " << s;
+      // The warm routed at least one region somewhere but no shard holds
+      // the full region table unless everything routes to it.
+      EXPECT_LE(cached.size(), polys.size());
+    }
+  }
+}
+
+TEST_F(ShardServerTest, WarmAndColdResultsByteIdentical) {
+  std::vector<Request> workload;
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  for (const double eps : {4.0, 8.0}) {
+    workload.push_back(Request::MakeAggregate(join::AggKind::kCount,
+                                              core::Attr::kNone, eps,
+                                              core::Mode::kPointIndex));
+    workload.push_back(Request::MakeAggregate(join::AggKind::kSum, core::Attr::kFare,
+                                              eps, core::Mode::kPointIndex));
+    workload.push_back(Request::MakeCount(star, eps));
+    workload.push_back(Request::MakeSelect(star, eps));
+  }
+
+  for (const size_t k : {size_t{1}, size_t{2}, size_t{7}}) {
+    for (const size_t threads : {size_t{1}, size_t{8}}) {
+      ServiceOptions options;
+      options.num_threads = threads;
+      options.num_shards = k;
+      options.use_transport = true;
+
+      QueryService cold(std::shared_ptr<const core::EngineState>(base_), options);
+      QueryService warm(std::shared_ptr<const core::EngineState>(base_), options);
+      warm.WarmCache(4.0);
+      warm.WarmCache(8.0);
+
+      for (const Request& req : workload) {
+        cold.Submit(req);
+        warm.Submit(req);
+      }
+      const std::vector<Response> cold_responses = cold.Drain();
+      const std::vector<Response> warm_responses = warm.Drain();
+      ASSERT_EQ(cold_responses.size(), workload.size());
+      ASSERT_EQ(warm_responses.size(), workload.size());
+      const std::string label =
+          "k=" + std::to_string(k) + " threads=" + std::to_string(threads);
+      for (size_t i = 0; i < workload.size(); ++i) {
+        const Response& c = cold_responses[i];
+        const Response& w = warm_responses[i];
+        ASSERT_TRUE(c.ok() && w.ok()) << label << " " << c.error << w.error;
+        ExpectRowsIdentical(w.aggregate, c.aggregate,
+                            label + " request " + std::to_string(i));
+        EXPECT_EQ(w.range.estimate, c.range.estimate) << label << " request " << i;
+        EXPECT_EQ(w.range.lo, c.range.lo) << label << " request " << i;
+        EXPECT_EQ(w.range.hi, c.range.hi) << label << " request " << i;
+        EXPECT_EQ(w.ids, c.ids) << label << " request " << i;
+      }
+      // The warm service's aggregates found every region HR in the
+      // central cache and (for point-index plans) the routed slices in
+      // the per-shard caches.
+      size_t warm_hits = 0;
+      for (size_t s = 0; s < warm.num_shard_servers(); ++s) {
+        warm_hits += warm.shard_server(s)->stats().cache_hits;
+      }
+      EXPECT_GT(warm_hits, 0u) << label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbsa::service

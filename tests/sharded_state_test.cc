@@ -226,8 +226,10 @@ TEST_F(ShardedStateTest, ShardedQueryServiceByteMatchesUnshardedEngine) {
     workload.push_back(service::Request::MakeCount(corner, eps));
     workload.push_back(service::Request::MakeSelect(star, eps));
   }
-  const size_t unique = workload.size();
-  workload.insert(workload.end(), workload.begin(), workload.begin() + unique);
+  // Explicit copy: self-range insert invalidates the source iterators on
+  // reallocation and used to corrupt the duplicated half.
+  const std::vector<service::Request> first_pass = workload;
+  workload.insert(workload.end(), first_pass.begin(), first_pass.end());
 
   service::ServiceOptions options;
   options.num_threads = 8;

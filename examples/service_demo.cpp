@@ -1,11 +1,13 @@
-// Service demo: the concurrent serving layer in ~60 seconds.
+// Service demo: the v2 query envelope in ~60 seconds.
 //
 //   1. Generate a synthetic city and freeze it into an immutable snapshot.
 //   2. Stand up a QueryService: a thread pool plus a memory-budgeted LRU
 //      cache of HR approximations shared across queries and threads.
-//   3. Warm the cache, then fire a batch of mixed queries and drain it.
-//   4. Inspect the cache statistics — the "build approximations once,
-//      serve them forever" economics of the paper's vision.
+//   3. Build Query descriptors with typed distance bounds (ErrorBound):
+//      an absolute Hausdorff bound, a pinned grid level, and exact.
+//   4. Read the ACHIEVED side of the contract off each Result — epsilon
+//      actually guaranteed, HR level served, cells touched, cache hits —
+//      the paper's bound as an observable, not a float argument.
 //
 // Build & run:  ./build/example_service_demo
 
@@ -27,7 +29,6 @@ int main() {
   district_config.target_avg_vertices = 40;
   data::RegionSet districts = data::GenerateRegions(district_config);
 
-  // Freeze the tables + grid + point index into one shared snapshot.
   const auto snapshot =
       core::BuildEngineState(std::move(pickups), std::move(districts));
 
@@ -40,45 +41,68 @@ int main() {
               service.num_threads(),
               static_cast<double>(options.cache_budget_bytes) / (1 << 20));
 
-  // 3. Warm the 10 m approximations, then run a batch.
   service.WarmCache(/*epsilon=*/10.0);
 
-  // A repeated-epsilon burst on the cache-backed point-index plan.
+  // 3. One envelope, three bound regimes.
+  service::ExecOptions within_10m;  // "anything within 10 map units".
+  within_10m.bound = query::ErrorBound::Absolute(10.0);
+  within_10m.mode = core::Mode::kPointIndex;
+
+  service::ExecOptions at_level;  // "serve raster level 9, exactly".
+  at_level.bound = query::ErrorBound::AtLevel(9);
+
+  service::ExecOptions exact;  // "no approximation at all".
+  exact.bound = query::ErrorBound::Exact();
+
   for (int burst = 0; burst < 3; ++burst) {
-    service.Submit(service::Request::MakeAggregate(
-        join::AggKind::kCount, core::Attr::kNone, 10.0, core::Mode::kPointIndex));
-    service.Submit(service::Request::MakeAggregate(
-        join::AggKind::kSum, core::Attr::kFare, 10.0, core::Mode::kPointIndex));
+    service.Submit(service::Query::Aggregate(join::AggKind::kCount), within_10m);
+    service.Submit(
+        service::Query::Aggregate(join::AggKind::kSum, core::Attr::kFare),
+        within_10m);
   }
   geom::Polygon viewport = geom::ParseWktPolygon(
                                "POLYGON ((4000 4000, 12000 5000, 12000 12000, "
                                "8000 10000, 4000 12000, 4000 4000))")
                                .value();
-  service.Submit(service::Request::MakeCount(viewport, /*epsilon=*/25.0));
+  service.Submit(service::Query::Count(viewport), at_level);
+  service.Submit(service::Query::Count(viewport), exact);
+  service.Submit(service::Query::Select(viewport), at_level);
 
-  const std::vector<service::Response> responses = service.Drain();
-  for (const service::Response& r : responses) {
+  // 4. Drain and read the achieved bound off every Result.
+  for (const service::Result& r : service.Drain()) {
+    if (!r.ok()) {
+      std::printf("#%llu FAILED: %s\n", static_cast<unsigned long long>(r.ticket),
+                  r.status.ToString().c_str());
+      continue;
+    }
+    const service::BoundReport& b = r.bound;
     switch (r.kind) {
-      case service::Request::Kind::kAggregate:
-        std::printf("#%llu %-16s rows=%zu  %.2f ms  (cache: %zu hits, %zu misses)\n",
-                    static_cast<unsigned long long>(r.ticket),
-                    query::PlanKindName(r.aggregate.stats.plan),
-                    r.aggregate.rows.size(), r.aggregate.stats.elapsed_ms,
-                    r.aggregate.stats.hr_cache_hits, r.aggregate.stats.hr_cache_misses);
+      case service::QueryKind::kAggregate:
+        std::printf(
+            "#%llu %-14s rows=%zu  asked %s, served eps<=%.3f (level %d), "
+            "%zu cells, cache %zu/%zu hit/miss\n",
+            static_cast<unsigned long long>(r.ticket),
+            query::PlanKindName(r.aggregate.stats.plan), r.aggregate.rows.size(),
+            b.requested.ToString().c_str(), b.epsilon_achieved, b.hr_level,
+            b.cells_touched, b.hr_cache_hits, b.hr_cache_misses);
         break;
-      case service::Request::Kind::kCountInPolygon:
-        std::printf("#%llu viewport count  %.0f in [%.0f, %.0f]\n",
-                    static_cast<unsigned long long>(r.ticket), r.range.estimate,
-                    r.range.lo, r.range.hi);
+      case service::QueryKind::kCount:
+        std::printf(
+            "#%llu viewport count  %.0f in [%.0f, %.0f]  asked %s, served "
+            "eps<=%.3f (level %d)\n",
+            static_cast<unsigned long long>(r.ticket), r.range.estimate,
+            r.range.lo, r.range.hi, b.requested.ToString().c_str(),
+            b.epsilon_achieved, b.hr_level);
         break;
-      case service::Request::Kind::kSelectInPolygon:
-        std::printf("#%llu select          %zu ids\n",
-                    static_cast<unsigned long long>(r.ticket), r.ids.size());
+      case service::QueryKind::kSelect:
+        std::printf("#%llu select          %zu ids  (%s via %s path)\n",
+                    static_cast<unsigned long long>(r.ticket), r.ids.size(),
+                    b.requested.ToString().c_str(), ExecPathName(b.path));
         break;
     }
   }
 
-  // 4. The amortization story.
+  // The amortization story.
   const service::ApproxCache::Stats stats = service.cache_stats();
   std::printf(
       "\ncache: %zu entries, %.1f MB used, %zu hits / %zu misses "

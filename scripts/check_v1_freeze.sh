@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Freeze guard for the deprecated v1 serving surface.
+#
+# The v1 Request/Response shims (service/v1_compat.h/.cc) exist only to
+# keep one release of source compatibility while callers migrate to the
+# v2 query envelope (service/query.h). Nothing may be ADDED to them: any
+# new capability belongs on the envelope. This script pins each shim file
+# to its line count at freeze time and fails CI when a file grows.
+# Shrinking (deleting shims as callers migrate) is always allowed —
+# update the budget downward when you do.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+check() {
+  local file="$1" budget="$2"
+  if [[ ! -f "$file" ]]; then
+    echo "v1-freeze: $file deleted — shim fully retired, OK"
+    return
+  fi
+  local lines
+  lines=$(wc -l < "$file")
+  if (( lines > budget )); then
+    echo "v1-freeze: FROZEN surface grew: $file has $lines lines" \
+         "(budget $budget). Add to the v2 envelope instead."
+    status=1
+  else
+    echo "v1-freeze: $file ${lines}/${budget} lines OK"
+  fi
+}
+
+check src/service/v1_compat.h 72
+check src/service/v1_compat.cc 99
+exit "$status"

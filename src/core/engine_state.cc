@@ -1,5 +1,6 @@
 #include "core/engine_state.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "canvas/brj.h"
@@ -93,10 +94,21 @@ Mode ModeForPlan(query::PlanKind plan) {
 
 void RunMaybeParallel(const ExecHooks& hooks, size_t n,
                       const std::function<void(size_t)>& fn) {
-  if (hooks.parallel_for && n > 1) {
-    hooks.parallel_for(n, fn);
-  } else {
+  if (!hooks.parallel_for || n <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const size_t chunk = hooks.max_fanout == 0 ? n : hooks.max_fanout;
+  // Chunks run back to back, so at most `chunk` iterations are in flight
+  // at once; the iteration->result mapping (and thus every merge order
+  // downstream) is unchanged by the cap.
+  for (size_t start = 0; start < n; start += chunk) {
+    const size_t len = std::min(chunk, n - start);
+    if (len == 1) {
+      fn(start);
+    } else {
+      hooks.parallel_for(len, [&](size_t i) { fn(start + i); });
+    }
   }
 }
 
@@ -148,7 +160,7 @@ void RowsFromRegionAggregates(const std::vector<join::CellAggregate>& per_region
       lo = range.lo;
       hi = range.hi;
     } else {  // AVG
-      value = a.count > 0 ? a.sum / a.count : 0.0;
+      value = a.count > 0 ? a.SumValue() / a.count : 0.0;
       lo = hi = value;
     }
     (*rows)[r] = {static_cast<uint32_t>(r), value, lo, hi};
@@ -186,8 +198,9 @@ AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
       const join::JoinStats stats = join::ActJoin(in, agg, state.grid, opts);
       answer.stats.pip_tests = stats.pip_tests;
       answer.stats.index_bytes = stats.index_bytes;
+      answer.stats.hr_level = state.grid.LevelForEpsilon(epsilon);
       answer.stats.achieved_epsilon =
-          state.grid.AchievedEpsilon(state.grid.LevelForEpsilon(epsilon));
+          state.grid.AchievedEpsilon(answer.stats.hr_level);
       answer.rows.resize(stats.value.size());
       for (size_t r = 0; r < stats.value.size(); ++r) {
         answer.rows[r] = {static_cast<uint32_t>(r), stats.value[r], stats.value[r],
@@ -199,8 +212,9 @@ AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
       DBSA_CHECK(state.point_index.has_value());
       DBSA_CHECK(agg == join::AggKind::kCount || agg == join::AggKind::kSum ||
                  agg == join::AggKind::kAvg);
+      answer.stats.hr_level = state.grid.LevelForEpsilon(epsilon);
       answer.stats.achieved_epsilon =
-          state.grid.AchievedEpsilon(state.grid.LevelForEpsilon(epsilon));
+          state.grid.AchievedEpsilon(answer.stats.hr_level);
       // Stage 1 — independent per polygon (HR query cells + prefix-sum
       // lookups), so the hook may fan it out across threads.
       const std::vector<geom::Polygon>& polys = state.regions->polys;
@@ -211,17 +225,14 @@ AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
         per_poly[j] = state.point_index->QueryCells(*hr,
                                                     join::SearchStrategy::kRadixSpline);
       };
-      if (hooks.parallel_for) {
-        hooks.parallel_for(polys.size(), one_poly);
-      } else {
-        for (size_t j = 0; j < polys.size(); ++j) one_poly(j);
-      }
+      RunMaybeParallel(hooks, polys.size(), one_poly);
       // Stage 2 — combine into regions serially in polygon order, keeping
       // floating-point accumulation order independent of the scheduling
       // above (the service's determinism guarantee). The boundary partials
       // give the Section 6 result range.
       std::vector<join::CellAggregate> per_region(state.regions->num_regions);
       for (size_t j = 0; j < polys.size(); ++j) {
+        answer.stats.query_cells += per_poly[j].query_cells;
         per_region[state.regions->region_of[j]].Merge(per_poly[j]);
       }
       answer.stats.index_bytes =
@@ -273,23 +284,108 @@ AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
 join::ResultRange ExecuteCountInPolygon(const EngineState& state,
                                         const geom::Polygon& poly, double epsilon,
                                         const ExecHooks& hooks) {
-  DBSA_CHECK(state.point_index.has_value());
-  const std::shared_ptr<const raster::HierarchicalRaster> hr =
-      HrForPolygon(state, hooks, kAdHocPolygon, poly, epsilon);
-  const join::CellAggregate agg =
-      state.point_index->QueryCells(*hr, join::SearchStrategy::kRadixSpline);
-  return join::CountRange(agg);
+  return ExecuteCount(state, poly, query::ErrorBound::Absolute(epsilon), hooks)
+      .range;
 }
 
 std::vector<uint32_t> ExecuteSelectInPolygon(const EngineState& state,
                                              const geom::Polygon& poly, double epsilon,
                                              const ExecHooks& hooks) {
-  DBSA_CHECK(state.point_index.has_value());
-  const std::shared_ptr<const raster::HierarchicalRaster> hr =
-      HrForPolygon(state, hooks, kAdHocPolygon, poly, epsilon);
-  std::vector<uint32_t> ids;
-  state.point_index->SelectIds(*hr, join::SearchStrategy::kRadixSpline, &ids);
-  return ids;
+  return ExecuteSelect(state, poly, query::ErrorBound::Absolute(epsilon), hooks)
+      .ids;
+}
+
+// ---- v2 executors: the typed distance-bound contract -------------------
+
+AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
+                                 Attr attr, const query::ErrorBound& bound,
+                                 Mode mode, const ExecHooks& hooks) {
+  // Effective epsilon 0 routes to the exact plan inside
+  // ResolveAggregatePlan; pinning the mode as well just makes the contract
+  // explicit in the EXPLAIN output.
+  return ExecuteAggregate(state, agg, attr, bound.EffectiveEpsilon(state.grid),
+                          bound.exact() ? Mode::kExact : mode, hooks);
+}
+
+namespace {
+
+/// Shared brute-force stage of the kExact ad-hoc queries: visits every
+/// point inside the polygon, ascending by row id. The bounding-box
+/// prefilter keeps the PIP count honest in `pip_tests`.
+template <typename Fn>
+size_t ForEachInsidePoint(const EngineState& state, const geom::Polygon& poly,
+                          Fn&& fn) {
+  const std::vector<geom::Point>& locs = state.points->locs;
+  const geom::Box& bounds = poly.bounds();
+  size_t pip_tests = 0;
+  for (uint32_t i = 0; i < locs.size(); ++i) {
+    const geom::Point& p = locs[i];
+    if (p.x < bounds.min.x || p.x > bounds.max.x || p.y < bounds.min.y ||
+        p.y > bounds.max.y) {
+      continue;
+    }
+    ++pip_tests;
+    if (poly.Contains(p)) fn(i);
+  }
+  return pip_tests;
+}
+
+}  // namespace
+
+CountAnswer ExecuteCount(const EngineState& state, const geom::Polygon& poly,
+                         const query::ErrorBound& bound, const ExecHooks& hooks) {
+  CountAnswer out;
+  Timer timer;
+  if (bound.exact()) {
+    double count = 0.0;
+    out.stats.pip_tests =
+        ForEachInsidePoint(state, poly, [&](uint32_t) { count += 1.0; });
+    out.range.approx = out.range.lo = out.range.hi = out.range.estimate = count;
+    out.stats.plan = query::PlanKind::kExactRStar;
+  } else {
+    DBSA_CHECK(state.point_index.has_value());
+    const double epsilon = bound.EffectiveEpsilon(state.grid);
+    const std::shared_ptr<const raster::HierarchicalRaster> hr =
+        HrForPolygon(state, hooks, kAdHocPolygon, poly, epsilon);
+    const join::CellAggregate agg =
+        state.point_index->QueryCells(*hr, join::SearchStrategy::kRadixSpline);
+    out.range = join::CountRange(agg);
+    out.stats.plan = query::PlanKind::kPointIndexJoin;
+    out.stats.hr_level = state.grid.LevelForEpsilon(epsilon);
+    out.stats.achieved_epsilon = state.grid.AchievedEpsilon(out.stats.hr_level);
+    out.stats.query_cells = agg.query_cells;
+    out.stats.index_bytes =
+        state.point_index->MemoryBytes(join::SearchStrategy::kRadixSpline);
+  }
+  out.stats.elapsed_ms = timer.Millis();
+  return out;
+}
+
+SelectAnswer ExecuteSelect(const EngineState& state, const geom::Polygon& poly,
+                           const query::ErrorBound& bound,
+                           const ExecHooks& hooks) {
+  SelectAnswer out;
+  Timer timer;
+  if (bound.exact()) {
+    out.stats.pip_tests =
+        ForEachInsidePoint(state, poly, [&](uint32_t i) { out.ids.push_back(i); });
+    out.stats.plan = query::PlanKind::kExactRStar;
+  } else {
+    DBSA_CHECK(state.point_index.has_value());
+    const double epsilon = bound.EffectiveEpsilon(state.grid);
+    const std::shared_ptr<const raster::HierarchicalRaster> hr =
+        HrForPolygon(state, hooks, kAdHocPolygon, poly, epsilon);
+    state.point_index->SelectIds(*hr, join::SearchStrategy::kRadixSpline,
+                                 &out.ids);
+    out.stats.plan = query::PlanKind::kPointIndexJoin;
+    out.stats.hr_level = state.grid.LevelForEpsilon(epsilon);
+    out.stats.achieved_epsilon = state.grid.AchievedEpsilon(out.stats.hr_level);
+    out.stats.query_cells = hr->cells().size();
+    out.stats.index_bytes =
+        state.point_index->MemoryBytes(join::SearchStrategy::kRadixSpline);
+  }
+  out.stats.elapsed_ms = timer.Millis();
+  return out;
 }
 
 }  // namespace dbsa::core

@@ -21,6 +21,7 @@
 #include "join/exact_join.h"
 #include "join/point_index_join.h"
 #include "join/result_range.h"
+#include "query/error_bound.h"
 #include "query/optimizer.h"
 
 namespace dbsa::core {
@@ -41,6 +42,13 @@ struct ExecStats {
   std::string explain;
   double elapsed_ms = 0.0;
   double achieved_epsilon = 0.0;
+  /// Hierarchical-raster level actually served (-1: no raster was
+  /// involved — exact plans, canvas plans).
+  int hr_level = -1;
+  /// Approximation cells probed. Sharded executions count each cell once
+  /// per shard slice it was routed to (honest scatter accounting), so the
+  /// number may exceed the unsharded cell count for the same query.
+  size_t query_cells = 0;
   size_t pip_tests = 0;
   size_t index_bytes = 0;
   size_t hr_cache_hits = 0;    ///< Approximations served from a cache.
@@ -52,6 +60,19 @@ struct ExecStats {
 
 struct AggregateAnswer {
   std::vector<AggregateRow> rows;
+  ExecStats stats;
+};
+
+/// Answers of the ad-hoc polygon queries under the v2 envelope: payload
+/// plus the execution report the serving layer turns into the achieved
+/// side of the distance-bound contract (service::Result::bound).
+struct CountAnswer {
+  join::ResultRange range;
+  ExecStats stats;
+};
+
+struct SelectAnswer {
+  std::vector<uint32_t> ids;
   ExecStats stats;
 };
 
@@ -114,6 +135,12 @@ struct ExecHooks {
   /// stays serial in polygon order, so results are bit-identical to the
   /// serial execution regardless of scheduling.
   std::function<void(size_t n, const std::function<void(size_t)>& fn)> parallel_for;
+  /// Cap on concurrently in-flight iterations of any fan-out stage
+  /// (RunMaybeParallel chunks the iteration space). 0 = unlimited. A
+  /// scheduling knob only — results are identical at any cap; the serving
+  /// layer wires service::ExecOptions::max_shard_fanout here to keep one
+  /// query from monopolizing every shard connection at once.
+  size_t max_fanout = 0;
 };
 
 // ---- executor building blocks -----------------------------------------
@@ -171,6 +198,33 @@ join::ResultRange ExecuteCountInPolygon(const EngineState& state,
 std::vector<uint32_t> ExecuteSelectInPolygon(const EngineState& state,
                                              const geom::Polygon& poly, double epsilon,
                                              const ExecHooks& hooks = {});
+
+// ---- v2 executors: the typed distance-bound contract -------------------
+// The envelope's ErrorBound replaces the loose epsilon: kAbsoluteDistance
+// reproduces the Grid::LevelForEpsilon snapping, kGridLevel pins the HR
+// level exactly, kExact bypasses approximation entirely (exact plans for
+// aggregations, brute-force point-in-polygon for ad-hoc queries). The
+// double-epsilon entry points above remain as the Absolute(epsilon) case.
+
+AggregateAnswer ExecuteAggregate(const EngineState& state, join::AggKind agg,
+                                 Attr attr, const query::ErrorBound& bound,
+                                 Mode mode = Mode::kAuto,
+                                 const ExecHooks& hooks = {});
+
+/// COUNT under a typed bound. Exact bounds scan the point table with PIP
+/// tests (range collapses to the exact count); approximate bounds probe
+/// the point index through the bound's grid level.
+CountAnswer ExecuteCount(const EngineState& state, const geom::Polygon& poly,
+                         const query::ErrorBound& bound,
+                         const ExecHooks& hooks = {});
+
+/// Selection under a typed bound. Exact bounds return exactly the inside
+/// points, ascending by row id; approximate bounds return the
+/// conservative covered set in the index's canonical (leaf key, row)
+/// order, as before.
+SelectAnswer ExecuteSelect(const EngineState& state, const geom::Polygon& poly,
+                           const query::ErrorBound& bound,
+                           const ExecHooks& hooks = {});
 
 }  // namespace dbsa::core
 

@@ -252,7 +252,8 @@ namespace {
 join::CellAggregate ScatterGatherCells(const ShardedState& sharded,
                                        const raster::HierarchicalRaster& hr,
                                        const ExecHooks& hooks,
-                                       std::atomic<uint32_t>* touched) {
+                                       std::atomic<uint32_t>* touched,
+                                       size_t* num_surviving = nullptr) {
   // Routes computed once, shared by every shard's pruning pass.
   const std::vector<ShardedState::CellRoute> routes =
       sharded.MakeRoutes(hr.cells().data(), hr.cells().size());
@@ -263,6 +264,7 @@ join::CellAggregate ScatterGatherCells(const ShardedState& sharded,
       touched[s].store(1, std::memory_order_relaxed);
     }
   }
+  if (num_surviving != nullptr) *num_surviving = surviving.size();
   std::vector<join::CellAggregate> partials(surviving.size());
   const auto one_shard = [&](size_t t) {
     const size_t s = surviving[t];
@@ -320,8 +322,9 @@ AggregateAnswer ExecuteAggregate(const ShardedState& sharded, join::AggKind agg,
   Timer timer;
   DBSA_CHECK(agg == join::AggKind::kCount || agg == join::AggKind::kSum ||
              agg == join::AggKind::kAvg);
+  answer.stats.hr_level = base.grid.LevelForEpsilon(epsilon);
   answer.stats.achieved_epsilon =
-      base.grid.AchievedEpsilon(base.grid.LevelForEpsilon(epsilon));
+      base.grid.AchievedEpsilon(answer.stats.hr_level);
 
   // Scatter stage — independent per polygon (HR lookup + shard-local
   // prefix-sum probes), fanned out via the hook. The gather inside each
@@ -343,6 +346,7 @@ AggregateAnswer ExecuteAggregate(const ShardedState& sharded, join::AggKind agg,
   // into regions serially in polygon order.
   std::vector<join::CellAggregate> per_region(base.regions->num_regions);
   for (size_t j = 0; j < polys.size(); ++j) {
+    answer.stats.query_cells += per_poly[j].query_cells;
     per_region[base.regions->region_of[j]].Merge(per_poly[j]);
   }
   answer.stats.index_bytes = sharded.IndexBytes();
@@ -357,19 +361,58 @@ AggregateAnswer ExecuteAggregate(const ShardedState& sharded, join::AggKind agg,
 join::ResultRange ExecuteCountInPolygon(const ShardedState& sharded,
                                         const geom::Polygon& poly, double epsilon,
                                         const ExecHooks& hooks) {
-  const EngineState& base = sharded.base();
-  const std::shared_ptr<const raster::HierarchicalRaster> hr =
-      HrForPolygon(base, hooks, kAdHocPolygon, poly, epsilon);
-  // Scatter across the surviving shards in parallel; gather in ascending
-  // shard order (counts are integers — the merge is exact).
-  return join::CountRange(ScatterGatherCells(sharded, *hr, hooks, nullptr));
+  return ExecuteCount(sharded, poly, query::ErrorBound::Absolute(epsilon), hooks)
+      .range;
 }
 
 std::vector<uint32_t> ExecuteSelectInPolygon(const ShardedState& sharded,
                                              const geom::Polygon& poly,
                                              double epsilon,
                                              const ExecHooks& hooks) {
+  return ExecuteSelect(sharded, poly, query::ErrorBound::Absolute(epsilon), hooks)
+      .ids;
+}
+
+AggregateAnswer ExecuteAggregate(const ShardedState& sharded, join::AggKind agg,
+                                 Attr attr, const query::ErrorBound& bound,
+                                 Mode mode, const ExecHooks& hooks) {
+  return ExecuteAggregate(sharded, agg, attr,
+                          bound.EffectiveEpsilon(sharded.base().grid),
+                          bound.exact() ? Mode::kExact : mode, hooks);
+}
+
+CountAnswer ExecuteCount(const ShardedState& sharded, const geom::Polygon& poly,
+                         const query::ErrorBound& bound, const ExecHooks& hooks) {
   const EngineState& base = sharded.base();
+  if (bound.exact()) return ExecuteCount(base, poly, bound, hooks);
+  CountAnswer out;
+  Timer timer;
+  const double epsilon = bound.EffectiveEpsilon(base.grid);
+  const std::shared_ptr<const raster::HierarchicalRaster> hr =
+      HrForPolygon(base, hooks, kAdHocPolygon, poly, epsilon);
+  // Scatter across the surviving shards in parallel; gather in ascending
+  // shard order (counts are integers and sums compensated pairs — the
+  // merge is exact).
+  const join::CellAggregate agg = ScatterGatherCells(
+      sharded, *hr, hooks, /*touched=*/nullptr, &out.stats.shards_probed);
+  out.range = join::CountRange(agg);
+  out.stats.plan = query::PlanKind::kPointIndexJoin;
+  out.stats.hr_level = base.grid.LevelForEpsilon(epsilon);
+  out.stats.achieved_epsilon = base.grid.AchievedEpsilon(out.stats.hr_level);
+  out.stats.query_cells = agg.query_cells;
+  out.stats.index_bytes = sharded.IndexBytes();
+  out.stats.elapsed_ms = timer.Millis();
+  return out;
+}
+
+SelectAnswer ExecuteSelect(const ShardedState& sharded, const geom::Polygon& poly,
+                           const query::ErrorBound& bound,
+                           const ExecHooks& hooks) {
+  const EngineState& base = sharded.base();
+  if (bound.exact()) return ExecuteSelect(base, poly, bound, hooks);
+  SelectAnswer out;
+  Timer timer;
+  const double epsilon = bound.EffectiveEpsilon(base.grid);
   const std::shared_ptr<const raster::HierarchicalRaster> hr =
       HrForPolygon(base, hooks, kAdHocPolygon, poly, epsilon);
   const std::vector<ShardedState::CellRoute> routes =
@@ -380,11 +423,13 @@ std::vector<uint32_t> ExecuteSelectInPolygon(const ShardedState& sharded,
   // Scatter: each surviving shard selects its local rows, remapped to
   // base-table ids.
   std::vector<std::vector<uint32_t>> per_shard(surviving.size());
+  std::vector<size_t> per_shard_cells(surviving.size(), 0);
   RunMaybeParallel(hooks, surviving.size(), [&](size_t t) {
     const size_t s = surviving[t];
     const ShardedState::Shard& shard = sharded.shard(s);
     const std::vector<raster::HrCell> cells = sharded.PruneCellsForShard(
         s, hr->cells().data(), routes.data(), hr->cells().size());
+    per_shard_cells[t] = cells.size();
     std::vector<uint32_t> local;
     shard.state->point_index->SelectIds(cells.data(), cells.size(),
                                         join::SearchStrategy::kRadixSpline, &local);
@@ -403,9 +448,15 @@ std::vector<uint32_t> ExecuteSelectInPolygon(const ShardedState& sharded,
     }
   }
   std::sort(keyed.begin(), keyed.end());
-  std::vector<uint32_t> out;
-  out.reserve(keyed.size());
-  for (const auto& [key, id] : keyed) out.push_back(id);
+  out.ids.reserve(keyed.size());
+  for (const auto& [key, id] : keyed) out.ids.push_back(id);
+  out.stats.plan = query::PlanKind::kPointIndexJoin;
+  out.stats.hr_level = base.grid.LevelForEpsilon(epsilon);
+  out.stats.achieved_epsilon = base.grid.AchievedEpsilon(out.stats.hr_level);
+  for (const size_t c : per_shard_cells) out.stats.query_cells += c;
+  out.stats.index_bytes = sharded.IndexBytes();
+  out.stats.shards_probed = surviving.size();
+  out.stats.elapsed_ms = timer.Millis();
   return out;
 }
 

@@ -25,11 +25,14 @@
 // point's home cell survives pruning for its own shard, and the gather
 // order is canonical — so COUNT aggregates, result ranges and selections
 // are byte-identical to the unsharded engine for any shard count and any
-// thread count. SUM aggregates additionally match bit-for-bit whenever
-// per-cell sums are exact in double (integer-valued or dyadic
-// attributes, e.g. counts, passengers, quantized fares); for arbitrary
-// attributes they are still deterministic (fixed merge order) but may
-// differ from the unsharded engine by floating-point reassociation.
+// thread count. SUM/AVG aggregates match bit-for-bit as well: range sums
+// travel as Neumaier-compensated (error-free transformation) pairs from
+// the prefix arrays through CellAggregate::Merge (util/compensated.h),
+// so partial sums are exact — association order never rounds — for any
+// attribute column whose running sums fit the pair's ~106-bit window
+// (every realistic column; previously the contract required dyadic
+// values). Tested with adversarial non-dyadic attributes at
+// K in {1,7,16} in sharded_state_test.cc.
 // Under Mode::kAuto the identity covers the EXECUTION of whichever plan
 // is chosen, not the choice itself: the shard-aware cost model (see
 // QueryProfile::parallel_shards) may legitimately pick a different plan
@@ -194,6 +197,24 @@ std::vector<uint32_t> ExecuteSelectInPolygon(const ShardedState& sharded,
                                              const geom::Polygon& poly,
                                              double epsilon,
                                              const ExecHooks& hooks = {});
+
+// ---- v2 executors (typed distance-bound contract) ----------------------
+// Same envelope semantics as the EngineState versions in engine_state.h;
+// exact bounds never scatter — they execute against the base snapshot, so
+// all deployment paths answer exact queries identically by construction.
+
+AggregateAnswer ExecuteAggregate(const ShardedState& sharded, join::AggKind agg,
+                                 Attr attr, const query::ErrorBound& bound,
+                                 Mode mode = Mode::kAuto,
+                                 const ExecHooks& hooks = {});
+
+CountAnswer ExecuteCount(const ShardedState& sharded, const geom::Polygon& poly,
+                         const query::ErrorBound& bound,
+                         const ExecHooks& hooks = {});
+
+SelectAnswer ExecuteSelect(const ShardedState& sharded, const geom::Polygon& poly,
+                           const query::ErrorBound& bound,
+                           const ExecHooks& hooks = {});
 
 }  // namespace dbsa::core
 

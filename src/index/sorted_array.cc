@@ -50,12 +50,20 @@ PrefixSumIndex PrefixSumIndex::Build(std::vector<uint64_t> keys,
   std::vector<uint64_t> sorted_keys(n);
   PrefixSumIndex idx;
   idx.prefix_.resize(n + 1);
+  idx.prefix_comp_.resize(n + 1);
   idx.prefix_[0] = 0.0;
+  idx.prefix_comp_[0] = 0.0;
   idx.ids_.resize(n);
+  // The prefix sums accumulate through error-free transformations: each
+  // entry is a compensated pair, so range sums (pair differences) are
+  // exact rather than rounded-at-every-prefix — see SumPairBetween.
+  TwoDouble run;
   for (size_t i = 0; i < n; ++i) {
     sorted_keys[i] = keys[order[i]];
     idx.ids_[i] = static_cast<uint32_t>(order[i]);
-    idx.prefix_[i + 1] = idx.prefix_[i] + values[order[i]];
+    run = AddDouble(run, values[order[i]]);
+    idx.prefix_[i + 1] = run.hi;
+    idx.prefix_comp_[i + 1] = run.lo;
   }
   SortedKeyArray arr;
   arr = SortedKeyArray::Build(std::move(sorted_keys));  // Already sorted; cheap.

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/compensated.h"
+
 namespace dbsa::index {
 
 /// Sorted key array with branch-reduced binary search.
@@ -71,18 +73,31 @@ class PrefixSumIndex {
     return hi_pos > lo_pos ? hi_pos - lo_pos : 0;
   }
   double SumBetween(size_t lo_pos, size_t hi_pos) const {
-    return hi_pos > lo_pos ? prefix_[hi_pos] - prefix_[lo_pos] : 0.0;
+    return SumPairBetween(lo_pos, hi_pos).Rounded();
+  }
+
+  /// Range SUM as a compensated pair. The prefix array is accumulated
+  /// through error-free transformations, so the pair equals the EXACT sum
+  /// of the range's values whenever the running sums fit the ~106-bit
+  /// pair window — which is what lets spatially-partitioned executions
+  /// merge shard partials into byte-identical totals for non-dyadic
+  /// attribute columns (core/sharded_state.h merge identity).
+  TwoDouble SumPairBetween(size_t lo_pos, size_t hi_pos) const {
+    if (hi_pos <= lo_pos) return TwoDouble{};
+    return SubPair({prefix_[hi_pos], prefix_comp_[hi_pos]},
+                   {prefix_[lo_pos], prefix_comp_[lo_pos]});
   }
 
   size_t MemoryBytes() const {
     return keys_.MemoryBytes() + prefix_.size() * sizeof(double) +
-           ids_.size() * sizeof(uint32_t);
+           prefix_comp_.size() * sizeof(double) + ids_.size() * sizeof(uint32_t);
   }
 
  private:
   SortedKeyArray keys_;
-  std::vector<double> prefix_;  ///< prefix_[i] = sum of values[0..i).
-  std::vector<uint32_t> ids_;   ///< Sort permutation (original row ids).
+  std::vector<double> prefix_;       ///< Leading parts: sum of values[0..i).
+  std::vector<double> prefix_comp_;  ///< Trailing (compensation) parts.
+  std::vector<uint32_t> ids_;        ///< Sort permutation (original row ids).
 };
 
 }  // namespace dbsa::index

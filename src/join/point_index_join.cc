@@ -69,12 +69,16 @@ CellAggregate PointIndex::QueryCells(const raster::HrCell* cells, size_t num_cel
     agg.searches += 2;
     ++agg.query_cells;
     const double cnt = static_cast<double>(index_.CountBetween(lo, hi));
-    const double sum = index_.SumBetween(lo, hi);
+    const TwoDouble sum = index_.SumPairBetween(lo, hi);
     agg.count += cnt;
-    agg.sum += sum;
+    const TwoDouble s = AddPair({agg.sum, agg.sum_comp}, sum);
+    agg.sum = s.hi;
+    agg.sum_comp = s.lo;
     if (cell.boundary) {
       agg.boundary_count += cnt;
-      agg.boundary_sum += sum;
+      const TwoDouble b = AddPair({agg.boundary_sum, agg.boundary_sum_comp}, sum);
+      agg.boundary_sum = b.hi;
+      agg.boundary_sum_comp = b.lo;
     }
   }
   return agg;
@@ -88,7 +92,9 @@ CellAggregate PointIndex::QueryCellRange(const raster::CellId& cell,
   agg.searches = 2;
   agg.query_cells = 1;
   agg.count = static_cast<double>(index_.CountBetween(lo, hi));
-  agg.sum = index_.SumBetween(lo, hi);
+  const TwoDouble sum = index_.SumPairBetween(lo, hi);
+  agg.sum = sum.hi;
+  agg.sum_comp = sum.lo;
   return agg;
 }
 

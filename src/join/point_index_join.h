@@ -17,6 +17,7 @@
 #include "join/agg.h"
 #include "raster/grid.h"
 #include "raster/hierarchical_raster.h"
+#include "util/compensated.h"
 
 namespace dbsa::join {
 
@@ -25,21 +26,44 @@ enum class SearchStrategy { kBinarySearch, kRadixSpline, kBTree };
 
 const char* SearchStrategyName(SearchStrategy s);
 
-/// Aggregates returned for one query polygon.
+/// Aggregates returned for one query polygon. SUMs are carried as
+/// Neumaier-compensated (error-free transformation) pairs — (sum,
+/// sum_comp) is the unevaluated double-double total — so accumulating
+/// per-cell range sums and merging shard partials never rounds: as long
+/// as the running totals fit the pair's ~106-bit window (any realistic
+/// attribute column), the merged total is EXACT and therefore identical
+/// under every association order. This is what makes the sharded
+/// byte-identity contract of core/sharded_state.h hold for non-dyadic
+/// attributes, not just dyadic ones. Read totals through SumValue() /
+/// BoundarySumValue(), never `sum` alone.
 struct CellAggregate {
   double count = 0.0;
-  double sum = 0.0;
+  double sum = 0.0;             ///< Leading part of the compensated SUM.
+  double sum_comp = 0.0;        ///< Trailing (compensation) part.
   double boundary_count = 0.0;  ///< Partial restricted to boundary cells.
   double boundary_sum = 0.0;
+  double boundary_sum_comp = 0.0;
   size_t query_cells = 0;
   size_t searches = 0;
 
-  /// Folds another polygon's aggregate into this one (multi-part regions).
+  double SumValue() const { return TwoDouble{sum, sum_comp}.Rounded(); }
+  double BoundarySumValue() const {
+    return TwoDouble{boundary_sum, boundary_sum_comp}.Rounded();
+  }
+
+  /// Folds another partial into this one (multi-part regions, shard
+  /// gathers). Counts are exact integers; sums merge pairwise through
+  /// error-free transformations (see struct comment).
   void Merge(const CellAggregate& other) {
     count += other.count;
-    sum += other.sum;
     boundary_count += other.boundary_count;
-    boundary_sum += other.boundary_sum;
+    const TwoDouble s = AddPair({sum, sum_comp}, {other.sum, other.sum_comp});
+    sum = s.hi;
+    sum_comp = s.lo;
+    const TwoDouble b = AddPair({boundary_sum, boundary_sum_comp},
+                                {other.boundary_sum, other.boundary_sum_comp});
+    boundary_sum = b.hi;
+    boundary_sum_comp = b.lo;
     query_cells += other.query_cells;
     searches += other.searches;
   }

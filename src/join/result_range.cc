@@ -19,7 +19,8 @@ ResultRange CountRange(const CellAggregate& agg, double beta) {
 }
 
 ResultRange SumRange(const CellAggregate& agg, double beta) {
-  return MakeResultRange(agg.sum, agg.boundary_sum, beta);
+  // Round the compensated pairs once, here — the partials merged exactly.
+  return MakeResultRange(agg.SumValue(), agg.BoundarySumValue(), beta);
 }
 
 }  // namespace dbsa::join

@@ -1,0 +1,154 @@
+// The paper's distance bound as a first-class, typed contract. A query
+// no longer carries a raw `double epsilon`: it carries an ErrorBound that
+// says WHICH error regime the caller is in —
+//
+//   kAbsoluteDistance  "answer within Hausdorff distance epsilon" — the
+//                      paper's native contract. The engine snaps to the
+//                      coarsest grid level whose cell diagonal still
+//                      honors the bound (Grid::LevelForEpsilon);
+//   kGridLevel         "serve exactly hierarchical-raster level L" — the
+//                      caller pins the approximation resolution (zoom
+//                      levels, cache-key stability across clients);
+//   kExact             "no approximation at all" — exact plans only,
+//                      brute-force point-in-polygon for ad-hoc queries.
+//
+// The absolute/relative regime split follows Har-Peled & Sharir's
+// distinction between absolute and relative (p,eps)-approximations: the
+// engine can serve either under one API because the bound, not the call
+// site, names the contract. The achieved side of the contract travels
+// back on service::Result (epsilon actually guaranteed, level served).
+
+#ifndef DBSA_QUERY_ERROR_BOUND_H_
+#define DBSA_QUERY_ERROR_BOUND_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "raster/cell_id.h"
+#include "raster/grid.h"
+#include "util/status.h"
+
+namespace dbsa::query {
+
+/// Stable wire values (transport.h ships the kind as u8): append only.
+enum class BoundKind : uint8_t {
+  kAbsoluteDistance = 0,
+  kGridLevel = 1,
+  kExact = 2,
+};
+
+inline const char* BoundKindName(BoundKind kind) {
+  switch (kind) {
+    case BoundKind::kAbsoluteDistance:
+      return "absolute-distance";
+    case BoundKind::kGridLevel:
+      return "grid-level";
+    case BoundKind::kExact:
+      return "exact";
+  }
+  return "?";
+}
+
+/// The distance-bound contract of one query. Construct through the
+/// factories; `epsilon` is meaningful only under kAbsoluteDistance and
+/// `level` only under kGridLevel.
+struct ErrorBound {
+  BoundKind kind = BoundKind::kExact;
+  double epsilon = 0.0;
+  int level = 0;
+
+  static ErrorBound Absolute(double epsilon) {
+    return ErrorBound{BoundKind::kAbsoluteDistance, epsilon, 0};
+  }
+  static ErrorBound AtLevel(int level) {
+    return ErrorBound{BoundKind::kGridLevel, 0.0, level};
+  }
+  static ErrorBound Exact() { return ErrorBound{BoundKind::kExact, 0.0, 0}; }
+
+  /// True iff this bound demands exact answers: kExact, or an absolute
+  /// bound of zero (or less) — the engine-wide "epsilon <= 0 means exact"
+  /// convention, now spelled once.
+  bool exact() const {
+    return kind == BoundKind::kExact ||
+           (kind == BoundKind::kAbsoluteDistance && epsilon <= 0.0);
+  }
+
+  /// Structural validity, independent of any grid.
+  Status Validate() const {
+    switch (kind) {
+      case BoundKind::kAbsoluteDistance:
+        if (std::isnan(epsilon)) {
+          return Status::InvalidArgument("absolute bound epsilon must not be NaN");
+        }
+        return Status::OK();
+      case BoundKind::kGridLevel:
+        if (level < 0 || level > raster::CellId::kMaxLevel) {
+          return Status::InvalidArgument(
+              "grid level " + std::to_string(level) + " outside [0, " +
+              std::to_string(raster::CellId::kMaxLevel) + "]");
+        }
+        return Status::OK();
+      case BoundKind::kExact:
+        return Status::OK();
+    }
+    return Status::InvalidArgument("unknown bound kind");
+  }
+
+  /// The epsilon the approximate execution path runs with. For kGridLevel
+  /// this is grid.AchievedEpsilon(level), which LevelForEpsilon maps back
+  /// to exactly `level` (the diagonal halves per level, so the snap
+  /// relation round-trips bit-for-bit — tested in query_envelope_test) —
+  /// pinning the HR level without widening every executor signature.
+  /// Exact bounds yield 0. Callers must not feed 0 to LevelForEpsilon;
+  /// use exact() to branch first.
+  double EffectiveEpsilon(const raster::Grid& grid) const {
+    switch (kind) {
+      case BoundKind::kAbsoluteDistance:
+        return epsilon;
+      case BoundKind::kGridLevel:
+        return grid.AchievedEpsilon(level);
+      case BoundKind::kExact:
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+  /// The HR level an approximate execution serves under this bound
+  /// (-1 when the bound demands exactness).
+  int ServedLevel(const raster::Grid& grid) const {
+    if (exact()) return -1;
+    return kind == BoundKind::kGridLevel ? level
+                                         : grid.LevelForEpsilon(epsilon);
+  }
+
+  bool operator==(const ErrorBound& o) const {
+    if (kind != o.kind) return false;
+    switch (kind) {
+      case BoundKind::kAbsoluteDistance:
+        return epsilon == o.epsilon;
+      case BoundKind::kGridLevel:
+        return level == o.level;
+      case BoundKind::kExact:
+        return true;
+    }
+    return false;
+  }
+  bool operator!=(const ErrorBound& o) const { return !(*this == o); }
+
+  std::string ToString() const {
+    switch (kind) {
+      case BoundKind::kAbsoluteDistance:
+        return "d_H<=" + std::to_string(epsilon);
+      case BoundKind::kGridLevel:
+        return "level=" + std::to_string(level);
+      case BoundKind::kExact:
+        return "exact";
+    }
+    return "?";
+  }
+};
+
+}  // namespace dbsa::query
+
+#endif  // DBSA_QUERY_ERROR_BOUND_H_

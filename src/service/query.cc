@@ -1,0 +1,58 @@
+#include "service/query.h"
+
+namespace dbsa::service {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kAggregate:
+      return "aggregate";
+    case QueryKind::kCount:
+      return "count";
+    case QueryKind::kSelect:
+      return "select";
+  }
+  return "?";
+}
+
+const char* ExecPathName(ExecPath path) {
+  switch (path) {
+    case ExecPath::kLocal:
+      return "local";
+    case ExecPath::kSharded:
+      return "sharded";
+    case ExecPath::kTransport:
+      return "transport";
+  }
+  return "?";
+}
+
+namespace {
+
+struct SpecValidator {
+  Status operator()(const AggregateSpec& spec) const {
+    if ((spec.agg == join::AggKind::kSum || spec.agg == join::AggKind::kAvg) &&
+        spec.attr == core::Attr::kNone) {
+      return Status::InvalidArgument("SUM/AVG require an attribute column");
+    }
+    return Status::OK();
+  }
+  Status operator()(const CountSpec& spec) const { return ValidPoly(spec.poly); }
+  Status operator()(const SelectSpec& spec) const { return ValidPoly(spec.poly); }
+
+  static Status ValidPoly(const geom::Polygon& poly) {
+    if (poly.outer().size() < 3) {
+      return Status::InvalidArgument("query polygon needs at least 3 vertices");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Status ValidateQuery(const Query& query, const ExecOptions& options) {
+  const Status bound = options.bound.Validate();
+  if (!bound.ok()) return bound;
+  return query.Visit(SpecValidator{});
+}
+
+}  // namespace dbsa::service

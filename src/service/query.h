@@ -1,0 +1,192 @@
+// The v2 query envelope: what a client hands the serving layer and what
+// it gets back.
+//
+//   Query        WHAT to compute — a closed set of typed descriptors
+//                (AggregateSpec / CountSpec / SelectSpec) behind a
+//                variant. Adding a query kind means adding a spec type
+//                and one visitor branch in the service, not editing an
+//                enum switch scattered across five files.
+//   ExecOptions  HOW to compute it — the per-query contract: a typed
+//                distance bound (query::ErrorBound), an execution-mode
+//                hint, a deadline, a cancellation token, and a cap on
+//                concurrent shard fan-out.
+//   Result       the answer PLUS the achieved side of the contract
+//                (BoundReport: epsilon requested vs. grid epsilon
+//                actually served, HR level, cells touched, cache and
+//                deployment provenance) and a typed Status instead of a
+//                string error.
+//
+// The same envelope runs on every execution path — single-threaded
+// engine, pooled service, in-process sharded, shard-server transport
+// seam — with byte-identical payloads per pinned plan (the contract
+// restated and tested over v2 in tests/query_envelope_test.cc).
+//
+// The v1 Request/Response surface lives on as a frozen shim in
+// service/v1_compat.h.
+
+#ifndef DBSA_SERVICE_QUERY_H_
+#define DBSA_SERVICE_QUERY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/engine_state.h"
+#include "geom/polygon.h"
+#include "join/agg.h"
+#include "join/result_range.h"
+#include "query/error_bound.h"
+#include "util/status.h"
+
+namespace dbsa::service {
+
+// ------------------------------------------------------------ the query
+
+/// SELECT AGG(attr) FROM points, regions GROUP BY region.
+struct AggregateSpec {
+  join::AggKind agg = join::AggKind::kCount;
+  core::Attr attr = core::Attr::kNone;
+};
+
+/// COUNT points inside an ad-hoc polygon, with a guaranteed range.
+struct CountSpec {
+  geom::Polygon poly;
+};
+
+/// SELECT ids of points inside an ad-hoc polygon.
+struct SelectSpec {
+  geom::Polygon poly;
+};
+
+/// The open descriptor union. New query kinds extend this variant (and
+/// the service's visitor) without touching existing specs.
+using QuerySpec = std::variant<AggregateSpec, CountSpec, SelectSpec>;
+
+/// Reporting tag of a spec (Result::kind); tracks the variant order.
+enum class QueryKind : uint8_t { kAggregate = 0, kCount = 1, kSelect = 2 };
+
+const char* QueryKindName(QueryKind kind);
+
+/// One query, built from a typed descriptor.
+class Query {
+ public:
+  Query() : spec_(AggregateSpec{}) {}
+  explicit Query(QuerySpec spec) : spec_(std::move(spec)) {}
+
+  static Query Aggregate(join::AggKind agg, core::Attr attr = core::Attr::kNone) {
+    return Query(AggregateSpec{agg, attr});
+  }
+  static Query Count(geom::Polygon poly) {
+    return Query(CountSpec{std::move(poly)});
+  }
+  static Query Select(geom::Polygon poly) {
+    return Query(SelectSpec{std::move(poly)});
+  }
+
+  const QuerySpec& spec() const { return spec_; }
+  QueryKind kind() const { return static_cast<QueryKind>(spec_.index()); }
+
+  template <typename Visitor>
+  decltype(auto) Visit(Visitor&& visitor) const {
+    return std::visit(std::forward<Visitor>(visitor), spec_);
+  }
+
+ private:
+  QuerySpec spec_;
+};
+
+// ---------------------------------------------------------- the options
+
+/// Cooperative cancellation flag, shared between the submitter and the
+/// worker. Cancel() any time; the query observes it when it starts
+/// executing (queued queries are the common win — a cancelled query that
+/// already runs completes normally).
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-query execution contract.
+struct ExecOptions {
+  /// The distance-bound contract (defaults to exact — approximation is
+  /// opt-in, exactly as the paper frames it).
+  query::ErrorBound bound = query::ErrorBound::Exact();
+  /// Plan override hint for aggregations (kAuto = optimizer's choice).
+  core::Mode mode = core::Mode::kAuto;
+  /// Wall-clock budget measured from Submit; 0 = none. Enforced at
+  /// execution start: a query still queued past its deadline answers
+  /// kDeadlineExceeded instead of running.
+  double deadline_ms = 0.0;
+  /// Optional cooperative cancellation (see CancelToken).
+  std::shared_ptr<const CancelToken> cancel;
+  /// Cap on concurrently in-flight shard probes (and pool fan-out) for
+  /// this query; 0 = unlimited. Scheduling only — results are identical
+  /// at any cap.
+  size_t max_shard_fanout = 0;
+};
+
+// ----------------------------------------------------------- the result
+
+/// Which deployment path executed the query (provenance, not semantics —
+/// payloads are byte-identical across paths per pinned plan).
+enum class ExecPath : uint8_t {
+  kLocal = 0,      ///< Unsharded snapshot execution.
+  kSharded = 1,    ///< In-process scatter-gather across spatial shards.
+  kTransport = 2,  ///< Shard servers behind the serialized message seam.
+};
+
+const char* ExecPathName(ExecPath path);
+
+/// The achieved side of the distance-bound contract, reported with every
+/// successful Result: what was asked, what the grid actually guaranteed,
+/// and where the answer came from.
+struct BoundReport {
+  query::ErrorBound requested;
+  /// Hausdorff bound actually guaranteed (cell diagonal of the served
+  /// level; 0 for exact answers). <= requested epsilon except when the
+  /// request was finer than the finest grid level.
+  double epsilon_achieved = 0.0;
+  /// Hierarchical-raster level served (-1: no raster involved).
+  int hr_level = -1;
+  /// Approximation cells probed (per shard slice on scattered paths).
+  size_t cells_touched = 0;
+  size_t hr_cache_hits = 0;
+  size_t hr_cache_misses = 0;
+  /// Distinct shards that survived pruning (0 on unscattered paths).
+  size_t shards_probed = 0;
+  ExecPath path = ExecPath::kLocal;
+};
+
+/// Response to one query: the payload field matching `kind`, the achieved
+/// bound, and a typed status. A failed query carries its Status (never a
+/// loose string) and default payloads — Drain still never loses a ticket.
+struct Result {
+  uint64_t ticket = 0;
+  QueryKind kind = QueryKind::kAggregate;
+  Status status;
+
+  core::AggregateAnswer aggregate;  ///< kAggregate.
+  join::ResultRange range;          ///< kCount.
+  std::vector<uint32_t> ids;        ///< kSelect.
+
+  BoundReport bound;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Structural validation shared by every submission path: the bound's own
+/// Validate() plus per-spec rules (SUM/AVG need a column, polygons need
+/// >= 3 vertices). OK does not mean the execution cannot fail — it means
+/// the envelope is well-formed.
+Status ValidateQuery(const Query& query, const ExecOptions& options);
+
+}  // namespace dbsa::service
+
+#endif  // DBSA_SERVICE_QUERY_H_

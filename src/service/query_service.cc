@@ -3,68 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <stdexcept>
+#include <exception>
 
 #include "util/check.h"
 
 namespace dbsa::service {
-
-namespace {
-
-// Request validation: contract violations that would otherwise abort the
-// process deep in the engine (DBSA_CHECK) or poison a batch are rejected
-// with std::invalid_argument here; Drain converts the exception into an
-// error Response for the offending ticket only.
-
-void ValidateEpsilon(double epsilon) {
-  if (std::isnan(epsilon)) {
-    throw std::invalid_argument("epsilon must not be NaN");
-  }
-}
-
-void ValidateAggregate(const Request& request) {
-  ValidateEpsilon(request.epsilon);
-  if ((request.agg == join::AggKind::kSum || request.agg == join::AggKind::kAvg) &&
-      request.attr == core::Attr::kNone) {
-    throw std::invalid_argument("SUM/AVG require an attribute column");
-  }
-}
-
-void ValidatePolygonQuery(const geom::Polygon& poly, double epsilon) {
-  ValidateEpsilon(epsilon);
-  if (poly.outer().size() < 3) {
-    throw std::invalid_argument("query polygon needs at least 3 vertices");
-  }
-}
-
-}  // namespace
-
-Request Request::MakeAggregate(join::AggKind agg, core::Attr attr, double epsilon,
-                               core::Mode mode) {
-  Request r;
-  r.kind = Kind::kAggregate;
-  r.agg = agg;
-  r.attr = attr;
-  r.epsilon = epsilon;
-  r.mode = mode;
-  return r;
-}
-
-Request Request::MakeCount(geom::Polygon poly, double epsilon) {
-  Request r;
-  r.kind = Kind::kCountInPolygon;
-  r.poly = std::move(poly);
-  r.epsilon = epsilon;
-  return r;
-}
-
-Request Request::MakeSelect(geom::Polygon poly, double epsilon) {
-  Request r;
-  r.kind = Kind::kSelectInPolygon;
-  r.poly = std::move(poly);
-  r.epsilon = epsilon;
-  return r;
-}
 
 QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
                            const ServiceOptions& options)
@@ -109,9 +52,17 @@ QueryService::QueryService(data::PointSet points, data::RegionSet regions,
 
 QueryService::~QueryService() = default;
 
-core::ExecHooks QueryService::MakeHooks(std::atomic<size_t>* query_hits,
+ExecPath QueryService::exec_path() const {
+  if (router_ != nullptr) return ExecPath::kTransport;
+  if (sharded_ != nullptr) return ExecPath::kSharded;
+  return ExecPath::kLocal;
+}
+
+core::ExecHooks QueryService::MakeHooks(const ExecOptions& options,
+                                        std::atomic<size_t>* query_hits,
                                         std::atomic<size_t>* query_misses) {
   core::ExecHooks hooks;
+  hooks.max_fanout = options.max_shard_fanout;
   hooks.hr_provider = [this, query_hits, query_misses](
                           size_t poly_index, const geom::Polygon& poly,
                           double epsilon) {
@@ -142,143 +93,192 @@ core::ExecHooks QueryService::MakeHooks(std::atomic<size_t>* query_hits,
   return hooks;
 }
 
-core::AggregateAnswer QueryService::RunAggregate(const Request& request) {
-  ValidateAggregate(request);
+namespace {
+
+/// The achieved side of the contract, lifted off the execution report
+/// (BoundReport::requested and ::path are set by RunQuery).
+void FillBoundReport(const core::ExecStats& stats, Result* result) {
+  result->bound.epsilon_achieved = stats.achieved_epsilon;
+  result->bound.hr_level = stats.hr_level;
+  result->bound.cells_touched = stats.query_cells;
+  result->bound.hr_cache_hits = stats.hr_cache_hits;
+  result->bound.hr_cache_misses = stats.hr_cache_misses;
+  result->bound.shards_probed = stats.shards_probed;
+}
+
+}  // namespace
+
+template <typename RunFn>
+auto QueryService::RunWithStats(const ExecOptions& options, Result* result,
+                                RunFn&& run) {
   std::atomic<size_t> query_hits{0};
   std::atomic<size_t> query_misses{0};
-  const core::ExecHooks hooks = MakeHooks(&query_hits, &query_misses);
-  core::AggregateAnswer answer =
-      router_ != nullptr
-          ? ExecuteAggregate(*router_, request.agg, request.attr, request.epsilon,
-                             request.mode, hooks)
-          : (sharded_ != nullptr
-                 ? core::ExecuteAggregate(*sharded_, request.agg, request.attr,
-                                          request.epsilon, request.mode, hooks)
-                 : core::ExecuteAggregate(*state_, request.agg, request.attr,
-                                          request.epsilon, request.mode, hooks));
+  const core::ExecHooks hooks = MakeHooks(options, &query_hits, &query_misses);
+  auto answer = run(hooks);
   answer.stats.hr_cache_hits = query_hits.load(std::memory_order_relaxed);
   answer.stats.hr_cache_misses = query_misses.load(std::memory_order_relaxed);
+  FillBoundReport(answer.stats, result);
   return answer;
 }
 
-join::ResultRange QueryService::RunCount(const geom::Polygon& poly, double epsilon) {
-  ValidatePolygonQuery(poly, epsilon);
-  if (router_ != nullptr) {
-    return ExecuteCountInPolygon(*router_, poly, epsilon, MakeHooks());
-  }
-  return sharded_ != nullptr
-             ? core::ExecuteCountInPolygon(*sharded_, poly, epsilon, MakeHooks())
-             : core::ExecuteCountInPolygon(*state_, poly, epsilon, MakeHooks());
+void QueryService::RunSpec(const AggregateSpec& spec, const ExecOptions& options,
+                           Result* result) {
+  result->aggregate =
+      RunWithStats(options, result, [&](const core::ExecHooks& hooks) {
+        return router_ != nullptr
+                   ? ExecuteAggregate(*router_, spec.agg, spec.attr,
+                                      options.bound, options.mode, hooks)
+                   : (sharded_ != nullptr
+                          ? core::ExecuteAggregate(*sharded_, spec.agg, spec.attr,
+                                                   options.bound, options.mode,
+                                                   hooks)
+                          : core::ExecuteAggregate(*state_, spec.agg, spec.attr,
+                                                   options.bound, options.mode,
+                                                   hooks));
+      });
 }
 
-std::vector<uint32_t> QueryService::RunSelect(const geom::Polygon& poly,
-                                              double epsilon) {
-  ValidatePolygonQuery(poly, epsilon);
-  if (router_ != nullptr) {
-    return ExecuteSelectInPolygon(*router_, poly, epsilon, MakeHooks());
-  }
-  return sharded_ != nullptr
-             ? core::ExecuteSelectInPolygon(*sharded_, poly, epsilon, MakeHooks())
-             : core::ExecuteSelectInPolygon(*state_, poly, epsilon, MakeHooks());
+void QueryService::RunSpec(const CountSpec& spec, const ExecOptions& options,
+                           Result* result) {
+  result->range =
+      RunWithStats(options, result, [&](const core::ExecHooks& hooks) {
+        return router_ != nullptr
+                   ? ExecuteCount(*router_, spec.poly, options.bound, hooks)
+                   : (sharded_ != nullptr
+                          ? core::ExecuteCount(*sharded_, spec.poly,
+                                               options.bound, hooks)
+                          : core::ExecuteCount(*state_, spec.poly, options.bound,
+                                               hooks));
+      }).range;
 }
 
-Response QueryService::Run(uint64_t ticket, const Request& request) {
-  Response response;
-  response.ticket = ticket;
-  response.kind = request.kind;
-  // Failures become error responses HERE, on the worker: the batched
-  // path never stores an exception in a future, so one poisoned query
-  // can neither abort a Drain nor share exception state across threads.
-  try {
-    switch (request.kind) {
-      case Request::Kind::kAggregate:
-        response.aggregate = RunAggregate(request);
-        break;
-      case Request::Kind::kCountInPolygon:
-        response.range = RunCount(request.poly, request.epsilon);
-        break;
-      case Request::Kind::kSelectInPolygon:
-        response.ids = RunSelect(request.poly, request.epsilon);
-        break;
+void QueryService::RunSpec(const SelectSpec& spec, const ExecOptions& options,
+                           Result* result) {
+  result->ids = std::move(
+      RunWithStats(options, result, [&](const core::ExecHooks& hooks) {
+        return router_ != nullptr
+                   ? ExecuteSelect(*router_, spec.poly, options.bound, hooks)
+                   : (sharded_ != nullptr
+                          ? core::ExecuteSelect(*sharded_, spec.poly,
+                                                options.bound, hooks)
+                          : core::ExecuteSelect(*state_, spec.poly, options.bound,
+                                                hooks));
+      }).ids);
+}
+
+Result QueryService::RunQuery(uint64_t ticket, const Query& query,
+                              const ExecOptions& options,
+                              Clock::time_point submitted) {
+  Result result;
+  result.ticket = ticket;
+  result.kind = query.kind();
+  result.bound.requested = options.bound;
+  result.bound.path = exec_path();
+
+  // Admission: a cancelled or deadline-expired query never starts. Both
+  // checks run HERE, on the worker, so time spent queued counts against
+  // the deadline — the common case a deadline exists for.
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    result.status = Status::Cancelled("query cancelled before execution");
+    return result;
+  }
+  if (options.deadline_ms > 0.0) {
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - submitted).count();
+    if (waited_ms > options.deadline_ms) {
+      result.status = Status::DeadlineExceeded(
+          "deadline of " + std::to_string(options.deadline_ms) +
+          " ms exceeded before execution");
+      return result;
     }
-  } catch (const std::exception& e) {
-    response.error = e.what()[0] != '\0' ? e.what() : "query failed";
-  } catch (...) {
-    response.error = "query failed with a non-standard exception";
   }
-  return response;
+  const Status valid = ValidateQuery(query, options);
+  if (!valid.ok()) {
+    result.status = valid;
+    return result;
+  }
+
+  // Failures become Status results HERE: the batched path never stores an
+  // exception in a future, so one poisoned query can neither abort a
+  // Drain nor share exception state across threads.
+  try {
+    query.Visit([&](const auto& spec) { RunSpec(spec, options, &result); });
+    result.status = Status::OK();
+  } catch (const StatusException& e) {
+    result.status = e.status();  // Typed codes survive (wire errors etc.).
+  } catch (const std::exception& e) {
+    result.status =
+        Status::Internal(e.what()[0] != '\0' ? e.what() : "query failed");
+  } catch (...) {
+    result.status = Status::Internal("query failed with a non-standard exception");
+  }
+  return result;
 }
 
-std::future<core::AggregateAnswer> QueryService::Aggregate(join::AggKind agg,
-                                                           core::Attr attr,
-                                                           double epsilon,
-                                                           core::Mode mode) {
-  Request request = Request::MakeAggregate(agg, attr, epsilon, mode);
-  return pool_.Async(
-      [this, request = std::move(request)]() { return RunAggregate(request); });
-}
-
-std::future<join::ResultRange> QueryService::CountInPolygon(geom::Polygon poly,
-                                                            double epsilon) {
-  return pool_.Async([this, poly = std::move(poly), epsilon]() {
-    return RunCount(poly, epsilon);
+std::future<Result> QueryService::Execute(Query query, ExecOptions options) {
+  const Clock::time_point submitted = Clock::now();
+  return pool_.Async([this, query = std::move(query), options = std::move(options),
+                      submitted]() {
+    return RunQuery(0, query, options, submitted);
   });
 }
 
-std::future<std::vector<uint32_t>> QueryService::SelectInPolygon(geom::Polygon poly,
-                                                                 double epsilon) {
-  return pool_.Async([this, poly = std::move(poly), epsilon]() {
-    return RunSelect(poly, epsilon);
-  });
-}
-
-uint64_t QueryService::Submit(Request request) {
+uint64_t QueryService::Submit(Query query, ExecOptions options) {
+  const Clock::time_point submitted = Clock::now();
   std::lock_guard<std::mutex> lock(pending_mu_);
   const uint64_t ticket = next_ticket_++;
-  const Request::Kind kind = request.kind;
+  const QueryKind kind = query.kind();
   pending_.push_back(Pending{
-      ticket, kind, pool_.Async([this, ticket, request = std::move(request)]() {
-        return Run(ticket, request);
+      ticket, kind,
+      pool_.Async([this, ticket, query = std::move(query),
+                   options = std::move(options), submitted]() {
+        return RunQuery(ticket, query, options, submitted);
       })});
   return ticket;
 }
 
-std::vector<Response> QueryService::Drain() {
+std::vector<Result> QueryService::Drain() {
   std::vector<Pending> pending;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     pending.swap(pending_);
   }
-  std::vector<Response> responses;
-  responses.reserve(pending.size());
+  std::vector<Result> results;
+  results.reserve(pending.size());
   for (Pending& p : pending) {
-    // One throwing query must not abort the drain: every later future
-    // still gets consumed (abandoning them would lose their responses
-    // and leave the batch blocked on destruction), and the failed ticket
-    // surfaces as an error Response in its submission slot.
+    // RunQuery never throws, but one misbehaving future must still not
+    // abort the drain: every later future gets consumed and the failed
+    // ticket surfaces as a Status in its submission slot.
     try {
-      responses.push_back(p.future.get());
+      results.push_back(p.future.get());
+    } catch (const StatusException& e) {
+      Result error;
+      error.ticket = p.ticket;
+      error.kind = p.kind;
+      error.status = e.status();
+      results.push_back(std::move(error));
     } catch (const std::exception& e) {
-      Response error;
+      Result error;
       error.ticket = p.ticket;
       error.kind = p.kind;
-      error.error = e.what()[0] != '\0' ? e.what() : "query failed";
-      responses.push_back(std::move(error));
+      error.status =
+          Status::Internal(e.what()[0] != '\0' ? e.what() : "query failed");
+      results.push_back(std::move(error));
     } catch (...) {
-      Response error;
+      Result error;
       error.ticket = p.ticket;
       error.kind = p.kind;
-      error.error = "query failed with a non-standard exception";
-      responses.push_back(std::move(error));
+      error.status = Status::Internal("query failed with a non-standard exception");
+      results.push_back(std::move(error));
     }
   }
-  std::sort(responses.begin(), responses.end(),
-            [](const Response& a, const Response& b) { return a.ticket < b.ticket; });
-  return responses;
+  std::sort(results.begin(), results.end(),
+            [](const Result& a, const Result& b) { return a.ticket < b.ticket; });
+  return results;
 }
 
 void QueryService::WarmCache(double epsilon) {
-  const core::ExecHooks hooks = MakeHooks();
+  const core::ExecHooks hooks = MakeHooks(ExecOptions{});
   const std::vector<geom::Polygon>& polys = state_->regions->polys;
   const int level = state_->grid.LevelForEpsilon(epsilon);
   pool_.ParallelFor(polys.size(), [&](size_t j) {
@@ -290,6 +290,68 @@ void QueryService::WarmCache(double epsilon) {
       router_->WarmObject(ObjectKey(static_cast<uint64_t>(j)), level, *hr);
     }
   });
+}
+
+// ---- FROZEN v1 shims (conversion only; see service/v1_compat.h) --------
+
+std::future<core::AggregateAnswer> QueryService::Aggregate(join::AggKind agg,
+                                                           core::Attr attr,
+                                                           double epsilon,
+                                                           core::Mode mode) {
+  // Convert BEFORE capturing so geometry moves into the closure once.
+  const Request request = Request::MakeAggregate(agg, attr, epsilon, mode);
+  Query query = QueryFromV1(request);
+  ExecOptions options = OptionsFromV1(request);
+  const Clock::time_point submitted = Clock::now();
+  return pool_.Async([this, query = std::move(query),
+                      options = std::move(options), submitted]() {
+    Result result = RunQuery(0, query, options, submitted);
+    if (!result.ok()) ThrowLegacy(result.status);  // v1 exception contract.
+    return std::move(result.aggregate);
+  });
+}
+
+std::future<join::ResultRange> QueryService::CountInPolygon(geom::Polygon poly,
+                                                            double epsilon) {
+  Query query = Query::Count(std::move(poly));
+  ExecOptions options;
+  options.bound = query::ErrorBound::Absolute(epsilon);
+  const Clock::time_point submitted = Clock::now();
+  return pool_.Async(
+      [this, query = std::move(query), options = std::move(options), submitted]() {
+        Result result = RunQuery(0, query, options, submitted);
+        if (!result.ok()) ThrowLegacy(result.status);
+        return result.range;
+      });
+}
+
+std::future<std::vector<uint32_t>> QueryService::SelectInPolygon(geom::Polygon poly,
+                                                                 double epsilon) {
+  Query query = Query::Select(std::move(poly));
+  ExecOptions options;
+  options.bound = query::ErrorBound::Absolute(epsilon);
+  const Clock::time_point submitted = Clock::now();
+  return pool_.Async(
+      [this, query = std::move(query), options = std::move(options), submitted]() {
+        Result result = RunQuery(0, query, options, submitted);
+        if (!result.ok()) ThrowLegacy(result.status);
+        return std::move(result.ids);
+      });
+}
+
+uint64_t QueryService::Submit(Request request) {
+  ExecOptions options = OptionsFromV1(request);
+  return Submit(QueryFromV1(request), std::move(options));
+}
+
+std::vector<Response> QueryService::DrainResponses() {
+  std::vector<Result> results = Drain();
+  std::vector<Response> responses;
+  responses.reserve(results.size());
+  for (Result& result : results) {
+    responses.push_back(ResponseFromResult(std::move(result)));
+  }
+  return responses;
 }
 
 }  // namespace dbsa::service

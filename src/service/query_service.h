@@ -1,32 +1,39 @@
 // QueryService — the concurrent serving layer over one immutable engine
-// snapshot (core::EngineState). Clients submit Aggregate /
-// CountInPolygon / SelectInPolygon requests; a fixed thread pool executes
-// them, and a memory-budgeted LRU cache shares the HR approximations
-// across queries, sessions and threads (built once per (region, epsilon
-// level), with cache misses fanned out across the pool).
+// snapshot (core::EngineState), speaking the v2 query envelope
+// (service/query.h): clients submit Query descriptors with per-query
+// ExecOptions (typed distance bound, mode hint, deadline, cancellation,
+// shard fan-out cap) and get Results carrying the payload, the ACHIEVED
+// side of the distance-bound contract (BoundReport) and a typed Status.
+// A fixed thread pool executes queries; a memory-budgeted LRU cache
+// shares the HR approximations across queries, sessions and threads.
 //
-// Two client styles:
-//   * typed futures — Aggregate() / CountInPolygon() / SelectInPolygon()
-//     return std::future, one per request;
-//   * batched — Submit() tickets requests, Drain() waits for everything
-//     outstanding and returns the responses in submission order.
+// Client styles:
+//   * typed future  — Execute(query, options) returns one
+//     std::future<Result> per query;
+//   * batched       — Submit(query, options) tickets the query, Drain()
+//     waits for everything outstanding and returns the Results in
+//     submission order (one per ticket, failures as statuses — a
+//     poisoned query can never lose a batch).
+//   * v1 shims      — the frozen Request/Response surface of
+//     service/v1_compat.h (Submit(Request), DrainResponses(), the typed
+//     futures below) forwards to the envelope unchanged for one release.
 //
-// Determinism: a service run with any thread count returns results
-// byte-identical to the single-threaded SpatialEngine on the same
-// workload — per-query floating-point accumulation order is fixed (see
-// ExecHooks in core/engine_state.h), only scheduling varies.
+// Determinism: a service run with any thread count, shard count, fan-out
+// cap and deployment path (in-process, sharded, transport seam) returns
+// payloads byte-identical to the single-threaded engine on the same
+// workload per pinned plan — per-query floating-point accumulation order
+// is fixed (ExecHooks in core/engine_state.h; compensated SUM merges in
+// join/point_index_join.h), only scheduling varies. Restated and tested
+// over the v2 envelope in tests/query_envelope_test.cc.
 //
-// Sharding: with ServiceOptions::num_shards > 1 the snapshot's points are
-// partitioned into Hilbert-contiguous spatial shards (core::ShardedState)
-// and point-index queries run scatter-gather — approximation cells routed
-// only to intersecting shards, shard partials merged in canonical order —
-// preserving the determinism guarantee (see sharded_state.h for the exact
-// merge-identity contract).
+// Sharding and the message seam are unchanged from PR 2/3 (see
+// ServiceOptions below and core/sharded_state.h, service/shard_server.h).
 
 #ifndef DBSA_SERVICE_QUERY_SERVICE_H_
 #define DBSA_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -37,9 +44,11 @@
 #include "core/engine_state.h"
 #include "core/sharded_state.h"
 #include "service/approx_cache.h"
+#include "service/query.h"
 #include "service/shard_server.h"
 #include "service/thread_pool.h"
 #include "service/transport.h"
+#include "service/v1_compat.h"
 
 namespace dbsa::service {
 
@@ -72,41 +81,6 @@ struct ServiceOptions {
   size_t shard_cache_budget_bytes = size_t{8} << 20;
 };
 
-/// One queued request. kind selects which fields matter.
-struct Request {
-  enum class Kind { kAggregate, kCountInPolygon, kSelectInPolygon };
-
-  Kind kind = Kind::kAggregate;
-  // kAggregate:
-  join::AggKind agg = join::AggKind::kCount;
-  core::Attr attr = core::Attr::kNone;
-  core::Mode mode = core::Mode::kAuto;
-  // All kinds:
-  double epsilon = 0.0;
-  // kCountInPolygon / kSelectInPolygon:
-  geom::Polygon poly;
-
-  static Request MakeAggregate(join::AggKind agg, core::Attr attr, double epsilon,
-                               core::Mode mode = core::Mode::kAuto);
-  static Request MakeCount(geom::Polygon poly, double epsilon);
-  static Request MakeSelect(geom::Polygon poly, double epsilon);
-};
-
-/// Response to one request; the field matching the request's kind is set.
-/// A failed query (invalid request, execution exception) surfaces as a
-/// response with `error` set and default payload fields — Drain never
-/// loses a ticket to one bad query.
-struct Response {
-  uint64_t ticket = 0;
-  Request::Kind kind = Request::Kind::kAggregate;
-  core::AggregateAnswer aggregate;
-  join::ResultRange range;
-  std::vector<uint32_t> ids;
-  std::string error;  ///< Empty iff the query succeeded.
-
-  bool ok() const { return error.empty(); }
-};
-
 class QueryService {
  public:
   /// Serves the given snapshot. The snapshot is immutable and shared —
@@ -124,23 +98,19 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  // ---- typed futures -------------------------------------------------
-  std::future<core::AggregateAnswer> Aggregate(join::AggKind agg, core::Attr attr,
-                                               double epsilon,
-                                               core::Mode mode = core::Mode::kAuto);
-  std::future<join::ResultRange> CountInPolygon(geom::Polygon poly, double epsilon);
-  std::future<std::vector<uint32_t>> SelectInPolygon(geom::Polygon poly,
-                                                     double epsilon);
+  // ---- the v2 envelope ----------------------------------------------
+  /// One query, one future. The Result is always delivered (failures as
+  /// statuses); the future never stores an exception.
+  std::future<Result> Execute(Query query, ExecOptions options = {});
 
-  // ---- batched -------------------------------------------------------
-  /// Enqueues a request; returns its ticket. Never blocks.
-  uint64_t Submit(Request request);
+  /// Enqueues a query; returns its ticket. Never blocks. Deadlines are
+  /// measured from this call.
+  uint64_t Submit(Query query, ExecOptions options);
 
-  /// Waits for every outstanding submitted request and returns their
-  /// responses sorted by ticket (= submission) order. A query that threw
-  /// yields an error Response (same ticket slot, `ok() == false`); the
-  /// drain always returns one response per outstanding ticket.
-  std::vector<Response> Drain();
+  /// Waits for every outstanding submitted query and returns their
+  /// Results sorted by ticket (= submission) order — exactly one Result
+  /// per outstanding ticket, failed queries carrying their Status.
+  std::vector<Result> Drain();
 
   // ---- cache management ---------------------------------------------
   /// Builds the HR approximations of ALL region polygons at the given
@@ -158,6 +128,8 @@ class QueryService {
   /// (options.num_shards > 1, or options.use_transport).
   const core::ShardedState* sharded() const { return sharded_.get(); }
   size_t num_threads() const { return pool_.size(); }
+  /// The deployment path Results will report (BoundReport::path).
+  ExecPath exec_path() const;
 
   // ---- the message seam (non-null iff options.use_transport) ---------
   size_t num_shard_servers() const { return servers_.size(); }
@@ -169,16 +141,45 @@ class QueryService {
     return loopback_ != nullptr ? loopback_->stats() : LoopbackTransport::Stats{};
   }
 
+  // ---- FROZEN v1 shims (service/v1_compat.h) -------------------------
+  std::future<core::AggregateAnswer> Aggregate(join::AggKind agg, core::Attr attr,
+                                               double epsilon,
+                                               core::Mode mode = core::Mode::kAuto);
+  std::future<join::ResultRange> CountInPolygon(geom::Polygon poly, double epsilon);
+  std::future<std::vector<uint32_t>> SelectInPolygon(geom::Polygon poly,
+                                                     double epsilon);
+  uint64_t Submit(Request request);
+  /// v1 Drain: the same tickets as Drain(), converted to Responses.
+  std::vector<Response> DrainResponses();
+
  private:
-  /// Builds the cache-backed exec hooks. When the counter pointers are
-  /// non-null they receive this query's hit/miss tallies; they must
-  /// outlive every Execute* call using the hooks.
-  core::ExecHooks MakeHooks(std::atomic<size_t>* query_hits = nullptr,
+  using Clock = std::chrono::steady_clock;
+
+  /// Builds the cache-backed exec hooks for one query. When the counter
+  /// pointers are non-null they receive this query's hit/miss tallies;
+  /// they must outlive every Execute* call using the hooks.
+  core::ExecHooks MakeHooks(const ExecOptions& options,
+                            std::atomic<size_t>* query_hits = nullptr,
                             std::atomic<size_t>* query_misses = nullptr);
-  Response Run(uint64_t ticket, const Request& request);
-  core::AggregateAnswer RunAggregate(const Request& request);
-  join::ResultRange RunCount(const geom::Polygon& poly, double epsilon);
-  std::vector<uint32_t> RunSelect(const geom::Polygon& poly, double epsilon);
+
+  /// The one execution funnel: admission (cancel/deadline/validation),
+  /// dispatch on the spec visitor, BoundReport assembly, and the
+  /// exception->Status boundary. Runs on a pool worker; never throws.
+  Result RunQuery(uint64_t ticket, const Query& query, const ExecOptions& options,
+                  Clock::time_point submitted);
+
+  void RunSpec(const AggregateSpec& spec, const ExecOptions& options,
+               Result* result);
+  void RunSpec(const CountSpec& spec, const ExecOptions& options, Result* result);
+  void RunSpec(const SelectSpec& spec, const ExecOptions& options, Result* result);
+
+  /// Shared per-spec scaffolding: builds the counter-wired hooks, runs
+  /// the executor, copies the cache tallies into its stats and lifts the
+  /// achieved bound onto the Result. `run(hooks)` returns the answer
+  /// (AggregateAnswer / CountAnswer / SelectAnswer — anything with a
+  /// `stats` member).
+  template <typename RunFn>
+  auto RunWithStats(const ExecOptions& options, Result* result, RunFn&& run);
 
   std::shared_ptr<const core::EngineState> state_;
   std::shared_ptr<const core::ShardedState> sharded_;  ///< Null when unsharded.
@@ -193,8 +194,8 @@ class QueryService {
 
   struct Pending {
     uint64_t ticket = 0;
-    Request::Kind kind = Request::Kind::kAggregate;
-    std::future<Response> future;
+    QueryKind kind = QueryKind::kAggregate;
+    std::future<Result> future;
   };
   std::mutex pending_mu_;
   uint64_t next_ticket_ = 1;

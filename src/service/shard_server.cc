@@ -44,12 +44,15 @@ ShardServer::ShardServer(std::shared_ptr<const core::EngineState> state,
 std::string ShardServer::Handle(const std::string& request_bytes) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   ScatterRequest request;
-  std::string parse_error;
   GatherPartial partial;
-  if (!ScatterRequest::Decode(request_bytes, &request, &parse_error)) {
+  const Status parsed = ScatterRequest::Decode(request_bytes, &request);
+  if (!parsed.ok()) {
+    // The decoder's code travels back typed: a v1 frame answers
+    // kUnimplemented, corruption answers kInvalidArgument.
     parse_errors_.fetch_add(1, std::memory_order_relaxed);
-    partial.status = GatherPartial::Status::kError;
-    partial.error = "bad request: " + parse_error;
+    partial = GatherPartial::FromStatus(
+        ScatterRequest::Kind::kAggregateCells, GatherPartial::Disposition::kError,
+        Status(parsed.code(), "bad request: " + parsed.message()));
   } else {
     partial = Dispatch(request);
   }
@@ -62,9 +65,9 @@ GatherPartial ShardServer::Dispatch(const ScatterRequest& request) {
 
   if (request.kind == ScatterRequest::Kind::kWarm) {
     if (!request.has_object || !request.has_cells) {
-      out.status = GatherPartial::Status::kError;
-      out.error = "warm request needs an object key and cells";
-      return out;
+      return GatherPartial::FromStatus(
+          request.kind, GatherPartial::Disposition::kError,
+          Status::InvalidArgument("warm request needs an object key and cells"));
     }
     out.cells_cached = request.cells.size();
     CachePut({request.object, request.level}, request.checksum, request.cells);
@@ -85,16 +88,17 @@ GatherPartial ShardServer::Dispatch(const ScatterRequest& request) {
   } else if (request.has_object) {
     cached = CacheGet({request.object, request.level}, request.checksum);
     if (cached == nullptr) {
-      out.status = GatherPartial::Status::kNotCached;
-      out.error = "slice not cached";
-      return out;
+      return GatherPartial::FromStatus(request.kind,
+                                       GatherPartial::Disposition::kNotCached,
+                                       Status::NotFound("slice not cached"));
     }
     cells = cached->data();
     num_cells = cached->size();
   } else {
-    out.status = GatherPartial::Status::kError;
-    out.error = "request carries neither cells nor an object reference";
-    return out;
+    return GatherPartial::FromStatus(
+        request.kind, GatherPartial::Disposition::kError,
+        Status::InvalidArgument(
+            "request carries neither cells nor an object reference"));
   }
 
   if (state_ == nullptr || !state_->point_index.has_value() || num_cells == 0) {
@@ -107,6 +111,7 @@ GatherPartial ShardServer::Dispatch(const ScatterRequest& request) {
       break;
     }
     case ScatterRequest::Kind::kSelectIds: {
+      out.probe_cells = num_cells;
       std::vector<uint32_t> local;
       state_->point_index->SelectIds(cells, num_cells,
                                      join::SearchStrategy::kRadixSpline, &local);
@@ -231,19 +236,23 @@ GatherPartial RoundtripDecode(Transport& transport, size_t shard,
                               const ScatterRequest& request) {
   const std::string response = transport.Roundtrip(shard, request.Encode());
   GatherPartial partial;
-  std::string error;
-  if (!GatherPartial::Decode(response, &partial, &error)) {
-    throw std::runtime_error("shard " + std::to_string(shard) +
-                             ": undecodable response: " + error);
+  const Status decoded = GatherPartial::Decode(response, &partial);
+  if (!decoded.ok()) {
+    throw StatusException(Status(
+        decoded.code(), "shard " + std::to_string(shard) +
+                            ": undecodable response: " + decoded.message()));
   }
-  if (partial.status == GatherPartial::Status::kError) {
-    throw std::runtime_error("shard " + std::to_string(shard) + ": " +
-                             partial.error);
+  if (partial.status == GatherPartial::Disposition::kError) {
+    // The shard's typed code survives the hop: StatusException carries it
+    // up to the serving layer's Result.status unchanged.
+    const Status status = partial.ToStatus();
+    throw StatusException(Status(
+        status.code(), "shard " + std::to_string(shard) + ": " + status.message()));
   }
-  if (partial.status == GatherPartial::Status::kOk &&
+  if (partial.status == GatherPartial::Disposition::kOk &&
       partial.kind != request.kind) {
-    throw std::runtime_error("shard " + std::to_string(shard) +
-                             ": response kind mismatch");
+    throw StatusException(Status::Internal("shard " + std::to_string(shard) +
+                                           ": response kind mismatch"));
   }
   return partial;
 }
@@ -252,12 +261,15 @@ GatherPartial RoundtripDecode(Transport& transport, size_t shard,
 
 GatherPartial ShardRouter::CallShard(size_t shard, ScatterRequest::Kind kind,
                                      const ObjectKey* object, int level,
+                                     const query::ErrorBound& bound,
                                      uint64_t checksum,
                                      const raster::HrCell* cells,
                                      const core::ShardedState::CellRoute* routes,
                                      size_t num_cells) {
   ScatterRequest request;
   request.kind = kind;
+  request.bound_kind = bound.kind;
+  request.bound_epsilon = bound.epsilon;
   request.level = level;
   request.checksum = checksum;
   if (object != nullptr) {
@@ -269,15 +281,16 @@ GatherPartial ShardRouter::CallShard(size_t shard, ScatterRequest::Kind kind,
     // Reference-only request: no cell payload. The shard may have evicted
     // or replaced the slice; kNotCached falls through to the inline path.
     GatherPartial partial = RoundtripDecode(*transport_, shard, request);
-    if (partial.status == GatherPartial::Status::kOk) return partial;
+    if (partial.status == GatherPartial::Disposition::kOk) return partial;
     MarkCached(shard, key, false);
   }
   request.has_cells = true;
   request.cells = sharded_->PruneCellsForShard(shard, cells, routes, num_cells);
   GatherPartial partial = RoundtripDecode(*transport_, shard, request);
-  if (partial.status != GatherPartial::Status::kOk) {
-    throw std::runtime_error("shard " + std::to_string(shard) +
-                             ": rejected inline slice: " + partial.error);
+  if (partial.status != GatherPartial::Disposition::kOk) {
+    throw StatusException(
+        Status::Internal("shard " + std::to_string(shard) +
+                         ": rejected inline slice: " + partial.error));
   }
   if (object != nullptr) MarkCached(shard, key, true);
   return partial;
@@ -285,7 +298,8 @@ GatherPartial ShardRouter::CallShard(size_t shard, ScatterRequest::Kind kind,
 
 join::CellAggregate ShardRouter::ScatterGather(
     const raster::HierarchicalRaster& hr, const ObjectKey* object, int level,
-    const core::ExecHooks& hooks, std::atomic<uint32_t>* touched) {
+    const query::ErrorBound& bound, const core::ExecHooks& hooks,
+    std::atomic<uint32_t>* touched, size_t* num_surviving) {
   const raster::HrCell* cells = hr.cells().data();
   const size_t num_cells = hr.cells().size();
   const std::vector<core::ShardedState::CellRoute> routes =
@@ -297,11 +311,12 @@ join::CellAggregate ShardRouter::ScatterGather(
       touched[s].store(1, std::memory_order_relaxed);
     }
   }
+  if (num_surviving != nullptr) *num_surviving = surviving.size();
   const uint64_t checksum = ApproxChecksum(cells, num_cells);
   std::vector<join::CellAggregate> partials(surviving.size());
   const auto one_shard = [&](size_t t) {
     partials[t] = CallShard(surviving[t], ScatterRequest::Kind::kAggregateCells,
-                            object, level, checksum, cells, routes.data(),
+                            object, level, bound, checksum, cells, routes.data(),
                             num_cells)
                       .aggregate;
   };
@@ -319,23 +334,30 @@ join::CellAggregate ShardRouter::ScatterGather(
 
 std::vector<std::pair<uint64_t, uint32_t>> ShardRouter::SelectKeyed(
     const raster::HierarchicalRaster& hr, const ObjectKey* object, int level,
-    const core::ExecHooks& hooks) {
+    const query::ErrorBound& bound, const core::ExecHooks& hooks,
+    size_t* num_surviving, size_t* probe_cells) {
   const raster::HrCell* cells = hr.cells().data();
   const size_t num_cells = hr.cells().size();
   const std::vector<core::ShardedState::CellRoute> routes =
       sharded_->MakeRoutes(cells, num_cells);
   const std::vector<uint32_t> surviving =
       sharded_->SurvivingShards(routes.data(), num_cells);
+  if (num_surviving != nullptr) *num_surviving = surviving.size();
   const uint64_t checksum = ApproxChecksum(cells, num_cells);
   std::vector<std::vector<std::pair<uint64_t, uint32_t>>> per_shard(
       surviving.size());
+  std::vector<uint64_t> per_shard_cells(surviving.size(), 0);
   core::RunMaybeParallel(hooks, surviving.size(), [&](size_t t) {
-    per_shard[t] = std::move(CallShard(surviving[t],
-                                       ScatterRequest::Kind::kSelectIds, object,
-                                       level, checksum, cells, routes.data(),
-                                       num_cells)
-                                 .keyed_ids);
+    GatherPartial partial =
+        CallShard(surviving[t], ScatterRequest::Kind::kSelectIds, object, level,
+                  bound, checksum, cells, routes.data(), num_cells);
+    per_shard_cells[t] = partial.probe_cells;
+    per_shard[t] = std::move(partial.keyed_ids);
   });
+  if (probe_cells != nullptr) {
+    *probe_cells = 0;
+    for (const uint64_t c : per_shard_cells) *probe_cells += c;
+  }
   std::vector<std::pair<uint64_t, uint32_t>> keyed;
   for (std::vector<std::pair<uint64_t, uint32_t>>& ids : per_shard) {
     keyed.insert(keyed.end(), ids.begin(), ids.end());
@@ -355,6 +377,7 @@ size_t ShardRouter::WarmObject(const ObjectKey& object, int level,
   for (const uint32_t s : surviving) {
     ScatterRequest request;
     request.kind = ScatterRequest::Kind::kWarm;
+    request.bound_kind = query::BoundKind::kGridLevel;
     request.level = level;
     request.checksum = checksum;
     request.has_object = true;
@@ -370,12 +393,14 @@ size_t ShardRouter::WarmObject(const ObjectKey& object, int level,
 // ------------------------------------------- transport-backed executors
 
 core::AggregateAnswer ExecuteAggregate(ShardRouter& router, join::AggKind agg,
-                                       core::Attr attr, double epsilon,
+                                       core::Attr attr,
+                                       const query::ErrorBound& bound,
                                        core::Mode mode,
                                        const core::ExecHooks& hooks) {
   const core::ShardedState& sharded = router.sharded();
   const core::EngineState& base = sharded.base();
   DBSA_CHECK(!base.regions->polys.empty());
+  const double epsilon = bound.EffectiveEpsilon(base.grid);
 
   // Same shared plan-selection helpers as the in-process executors, plus
   // the transport-cost term: each shard probe now costs a message
@@ -384,8 +409,8 @@ core::AggregateAnswer ExecuteAggregate(ShardRouter& router, join::AggKind agg,
   profile.parallel_shards = static_cast<double>(sharded.num_shards());
   profile.transport_overhead = router.transport().CostPerMessage();
   const query::PlanChoice choice = query::ChoosePlan(profile);
-  const query::PlanKind plan =
-      core::ResolveAggregatePlan(choice.kind, agg, attr, epsilon, mode);
+  const query::PlanKind plan = core::ResolveAggregatePlan(
+      choice.kind, agg, attr, epsilon, bound.exact() ? core::Mode::kExact : mode);
 
   if (plan != query::PlanKind::kPointIndexJoin) {
     // Non-sharded plans never cross the seam: they execute against the
@@ -405,6 +430,7 @@ core::AggregateAnswer ExecuteAggregate(ShardRouter& router, join::AggKind agg,
   DBSA_CHECK(agg == join::AggKind::kCount || agg == join::AggKind::kSum ||
              agg == join::AggKind::kAvg);
   const int level = base.grid.LevelForEpsilon(epsilon);
+  answer.stats.hr_level = level;
   answer.stats.achieved_epsilon = base.grid.AchievedEpsilon(level);
 
   const std::vector<geom::Polygon>& polys = base.regions->polys;
@@ -416,7 +442,8 @@ core::AggregateAnswer ExecuteAggregate(ShardRouter& router, join::AggKind agg,
     const std::shared_ptr<const raster::HierarchicalRaster> hr =
         core::HrForPolygon(base, hooks, j, polys[j], epsilon);
     const ObjectKey object(static_cast<uint64_t>(j));
-    per_poly[j] = router.ScatterGather(*hr, &object, level, hooks, touched.get());
+    per_poly[j] =
+        router.ScatterGather(*hr, &object, level, bound, hooks, touched.get());
   };
   core::RunMaybeParallel(hooks, polys.size(), one_poly);
 
@@ -425,6 +452,7 @@ core::AggregateAnswer ExecuteAggregate(ShardRouter& router, join::AggKind agg,
   // sharded executor, hence (per pinned plan) to the unsharded engine.
   std::vector<join::CellAggregate> per_region(base.regions->num_regions);
   for (size_t j = 0; j < polys.size(); ++j) {
+    answer.stats.query_cells += per_poly[j].query_cells;
     per_region[base.regions->region_of[j]].Merge(per_poly[j]);
   }
   answer.stats.index_bytes = sharded.IndexBytes();
@@ -436,37 +464,80 @@ core::AggregateAnswer ExecuteAggregate(ShardRouter& router, join::AggKind agg,
   return answer;
 }
 
-join::ResultRange ExecuteCountInPolygon(ShardRouter& router,
-                                        const geom::Polygon& poly, double epsilon,
-                                        const core::ExecHooks& hooks) {
+core::CountAnswer ExecuteCount(ShardRouter& router, const geom::Polygon& poly,
+                               const query::ErrorBound& bound,
+                               const core::ExecHooks& hooks) {
   const core::EngineState& base = router.sharded().base();
+  if (bound.exact()) return core::ExecuteCount(base, poly, bound, hooks);
+  core::CountAnswer out;
+  Timer timer;
+  const double epsilon = bound.EffectiveEpsilon(base.grid);
   const std::shared_ptr<const raster::HierarchicalRaster> hr =
       core::HrForPolygon(base, hooks, core::kAdHocPolygon, poly, epsilon);
   const ObjectKey object = PolygonFingerprint(poly);
   const int level = base.grid.LevelForEpsilon(epsilon);
-  return join::CountRange(
-      router.ScatterGather(*hr, &object, level, hooks, nullptr));
+  const join::CellAggregate agg = router.ScatterGather(
+      *hr, &object, level, bound, hooks, nullptr, &out.stats.shards_probed);
+  out.range = join::CountRange(agg);
+  out.stats.plan = query::PlanKind::kPointIndexJoin;
+  out.stats.hr_level = level;
+  out.stats.achieved_epsilon = base.grid.AchievedEpsilon(level);
+  out.stats.query_cells = agg.query_cells;
+  out.stats.index_bytes = router.sharded().IndexBytes();
+  out.stats.elapsed_ms = timer.Millis();
+  return out;
+}
+
+core::SelectAnswer ExecuteSelect(ShardRouter& router, const geom::Polygon& poly,
+                                 const query::ErrorBound& bound,
+                                 const core::ExecHooks& hooks) {
+  const core::EngineState& base = router.sharded().base();
+  if (bound.exact()) return core::ExecuteSelect(base, poly, bound, hooks);
+  core::SelectAnswer out;
+  Timer timer;
+  const double epsilon = bound.EffectiveEpsilon(base.grid);
+  const std::shared_ptr<const raster::HierarchicalRaster> hr =
+      core::HrForPolygon(base, hooks, core::kAdHocPolygon, poly, epsilon);
+  const ObjectKey object = PolygonFingerprint(poly);
+  const int level = base.grid.LevelForEpsilon(epsilon);
+  std::vector<std::pair<uint64_t, uint32_t>> keyed =
+      router.SelectKeyed(*hr, &object, level, bound, hooks,
+                         &out.stats.shards_probed, &out.stats.query_cells);
+  // Canonicalize exactly like the in-process gather: the unsharded index
+  // emits (leaf key, row id) ascending, and re-sorting the shard union by
+  // the same key restores that order bit-for-bit.
+  std::sort(keyed.begin(), keyed.end());
+  out.ids.reserve(keyed.size());
+  for (const auto& [key, id] : keyed) out.ids.push_back(id);
+  out.stats.plan = query::PlanKind::kPointIndexJoin;
+  out.stats.hr_level = level;
+  out.stats.achieved_epsilon = base.grid.AchievedEpsilon(level);
+  out.stats.index_bytes = router.sharded().IndexBytes();
+  out.stats.elapsed_ms = timer.Millis();
+  return out;
+}
+
+core::AggregateAnswer ExecuteAggregate(ShardRouter& router, join::AggKind agg,
+                                       core::Attr attr, double epsilon,
+                                       core::Mode mode,
+                                       const core::ExecHooks& hooks) {
+  return ExecuteAggregate(router, agg, attr, query::ErrorBound::Absolute(epsilon),
+                          mode, hooks);
+}
+
+join::ResultRange ExecuteCountInPolygon(ShardRouter& router,
+                                        const geom::Polygon& poly, double epsilon,
+                                        const core::ExecHooks& hooks) {
+  return ExecuteCount(router, poly, query::ErrorBound::Absolute(epsilon), hooks)
+      .range;
 }
 
 std::vector<uint32_t> ExecuteSelectInPolygon(ShardRouter& router,
                                              const geom::Polygon& poly,
                                              double epsilon,
                                              const core::ExecHooks& hooks) {
-  const core::EngineState& base = router.sharded().base();
-  const std::shared_ptr<const raster::HierarchicalRaster> hr =
-      core::HrForPolygon(base, hooks, core::kAdHocPolygon, poly, epsilon);
-  const ObjectKey object = PolygonFingerprint(poly);
-  const int level = base.grid.LevelForEpsilon(epsilon);
-  std::vector<std::pair<uint64_t, uint32_t>> keyed =
-      router.SelectKeyed(*hr, &object, level, hooks);
-  // Canonicalize exactly like the in-process gather: the unsharded index
-  // emits (leaf key, row id) ascending, and re-sorting the shard union by
-  // the same key restores that order bit-for-bit.
-  std::sort(keyed.begin(), keyed.end());
-  std::vector<uint32_t> out;
-  out.reserve(keyed.size());
-  for (const auto& [key, id] : keyed) out.push_back(id);
-  return out;
+  return ExecuteSelect(router, poly, query::ErrorBound::Absolute(epsilon), hooks)
+      .ids;
 }
 
 }  // namespace dbsa::service

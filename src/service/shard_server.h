@@ -63,7 +63,9 @@ class ShardServer {
               std::vector<uint32_t> global_ids);
 
   /// Handles one framed ScatterRequest; always returns a framed
-  /// GatherPartial (malformed input yields a kError partial, never UB).
+  /// GatherPartial (malformed input yields a kError partial carrying the
+  /// decoder's typed StatusCode — kUnimplemented for version-skewed (e.g.
+  /// v1) frames, kInvalidArgument for corruption — never UB).
   std::string Handle(const std::string& request_bytes);
 
   struct Stats {
@@ -133,18 +135,27 @@ class ShardRouter {
 
   /// Scatter-gather of one approximation over the surviving shards;
   /// byte-identical to the in-process ScatterGatherCells. `object`, when
-  /// non-null, keys the per-shard caches. `touched`, when non-null, has
-  /// one flag per shard (ExecStats::shards_probed).
+  /// non-null, keys the per-shard caches. `bound` is the query's contract
+  /// as submitted (travels on every ScatterRequest). `touched`, when
+  /// non-null, has one flag per shard (multi-polygon callers union them
+  /// into ExecStats::shards_probed); `num_surviving`, when non-null,
+  /// receives this approximation's surviving-shard count directly.
   join::CellAggregate ScatterGather(const raster::HierarchicalRaster& hr,
                                     const ObjectKey* object, int level,
+                                    const query::ErrorBound& bound,
                                     const core::ExecHooks& hooks,
-                                    std::atomic<uint32_t>* touched);
+                                    std::atomic<uint32_t>* touched,
+                                    size_t* num_surviving = nullptr);
 
   /// Scatter of a selection: the union of the shards' (leaf key, base
-  /// row id) pairs, unsorted (the caller canonicalizes).
+  /// row id) pairs, unsorted (the caller canonicalizes). `num_surviving`
+  /// as in ScatterGather; `probe_cells`, when non-null, receives the
+  /// total slice cells the shards probed (per-shard-slice accounting,
+  /// exact even on cache-reference hits — the partials report it).
   std::vector<std::pair<uint64_t, uint32_t>> SelectKeyed(
       const raster::HierarchicalRaster& hr, const ObjectKey* object, int level,
-      const core::ExecHooks& hooks);
+      const query::ErrorBound& bound, const core::ExecHooks& hooks,
+      size_t* num_surviving = nullptr, size_t* probe_cells = nullptr);
 
   /// Warms the per-shard caches of exactly the shards `hr` routes to with
   /// their pruned slices. Returns the number of shards warmed.
@@ -157,7 +168,8 @@ class ShardRouter {
   /// One shard's call: reference-only when the shard is known to hold the
   /// key (falling back to inline cells on kNotCached), inline otherwise.
   GatherPartial CallShard(size_t shard, ScatterRequest::Kind kind,
-                          const ObjectKey* object, int level, uint64_t checksum,
+                          const ObjectKey* object, int level,
+                          const query::ErrorBound& bound, uint64_t checksum,
                           const raster::HrCell* cells,
                           const core::ShardedState::CellRoute* routes,
                           size_t num_cells);
@@ -182,15 +194,32 @@ class ShardRouter {
 };
 
 // ---- transport-backed executors ---------------------------------------
-// Mirrors of core::ExecuteAggregate/ExecuteCountInPolygon/
-// ExecuteSelectInPolygon over a ShardedState, with the shard probes
-// crossing the message seam. Per pinned plan, results are byte-identical
-// to the in-process sharded executors (and hence to the unsharded
-// engine). Plan choice feeds the transport's CostPerMessage into
-// query::QueryProfile::transport_overhead, so under Mode::kAuto the
+// Mirrors of the core executors over a ShardedState, with the shard
+// probes crossing the message seam. Per pinned plan, results are
+// byte-identical to the in-process sharded executors (and hence to the
+// unsharded engine). Plan choice feeds the transport's CostPerMessage
+// into query::QueryProfile::transport_overhead, so under Mode::kAuto the
 // optimizer may legitimately resolve differently than in-process — pin
 // the mode to compare executions (same caveat as sharding itself).
+// Exact bounds never cross the seam: they execute against the base
+// snapshot, identical on every deployment path by construction. Shard
+// failures surface as StatusException carrying the wire's typed code.
 
+core::AggregateAnswer ExecuteAggregate(ShardRouter& router, join::AggKind agg,
+                                       core::Attr attr,
+                                       const query::ErrorBound& bound,
+                                       core::Mode mode = core::Mode::kAuto,
+                                       const core::ExecHooks& hooks = {});
+
+core::CountAnswer ExecuteCount(ShardRouter& router, const geom::Polygon& poly,
+                               const query::ErrorBound& bound,
+                               const core::ExecHooks& hooks = {});
+
+core::SelectAnswer ExecuteSelect(ShardRouter& router, const geom::Polygon& poly,
+                                 const query::ErrorBound& bound,
+                                 const core::ExecHooks& hooks = {});
+
+// Double-epsilon shims (the Absolute(epsilon) case).
 core::AggregateAnswer ExecuteAggregate(ShardRouter& router, join::AggKind agg,
                                        core::Attr attr, double epsilon,
                                        core::Mode mode = core::Mode::kAuto,

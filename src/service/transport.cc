@@ -1,7 +1,10 @@
 #include "service/transport.h"
 
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
+
+#include "util/check.h"
 
 namespace dbsa::service {
 
@@ -70,38 +73,39 @@ double WireReader::F64() {
   return v;
 }
 
-bool ParseFrame(const std::string& bytes, MessageType* type,
-                const char** payload, size_t* payload_size, std::string* error) {
+Status ParseFrame(const std::string& bytes, MessageType* type,
+                  const char** payload, size_t* payload_size) {
   WireReader reader(bytes);
   const uint32_t length = reader.U32();
   const uint16_t magic = reader.U16();
   const uint8_t version = reader.U8();
   const uint8_t raw_type = reader.U8();
   if (!reader.ok()) {
-    *error = "frame shorter than header";
-    return false;
+    return Status::InvalidArgument("frame shorter than header");
   }
   if (magic != kWireMagic) {
-    *error = "bad magic";
-    return false;
+    return Status::InvalidArgument("bad magic");
   }
   if (version != kWireVersion) {
-    *error = "unsupported wire version " + std::to_string(version);
-    return false;
+    // Version skew is not corruption: the peer speaks a real-but-other
+    // protocol revision. v1 frames land here — rejected with a typed
+    // status, never decoded with defaulted contract fields.
+    return Status::Unimplemented("wire version " + std::to_string(version) +
+                                 " not served (this peer speaks version " +
+                                 std::to_string(kWireVersion) + ")");
   }
   if (static_cast<size_t>(length) + 4 != bytes.size()) {
-    *error = "frame length mismatch";
-    return false;
+    return Status::InvalidArgument("frame length mismatch");
   }
   if (raw_type != static_cast<uint8_t>(MessageType::kScatterRequest) &&
       raw_type != static_cast<uint8_t>(MessageType::kGatherPartial)) {
-    *error = "unknown message type " + std::to_string(raw_type);
-    return false;
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(raw_type));
   }
   *type = static_cast<MessageType>(raw_type);
   *payload = bytes.data() + 8;
   *payload_size = bytes.size() - 8;
-  return true;
+  return Status::OK();
 }
 
 namespace {
@@ -124,6 +128,12 @@ bool ValidScatterKind(uint8_t k) {
   return k <= static_cast<uint8_t>(ScatterRequest::Kind::kWarm);
 }
 
+bool ValidBoundKind(uint8_t k) {
+  return k <= static_cast<uint8_t>(query::BoundKind::kExact);
+}
+
+bool ValidStatusCode(uint8_t c) { return c <= static_cast<uint8_t>(kMaxStatusCode); }
+
 }  // namespace
 
 std::string ScatterRequest::Encode() const {
@@ -133,6 +143,8 @@ std::string ScatterRequest::Encode() const {
   if (has_object) flags |= kFlagHasObject;
   if (has_cells) flags |= kFlagHasCells;
   w.U8(flags);
+  w.U8(static_cast<uint8_t>(bound_kind));
+  w.F64(bound_epsilon);
   w.I32(level);
   w.U64(checksum);
   if (has_object) {
@@ -149,26 +161,33 @@ std::string ScatterRequest::Encode() const {
   return w.TakeFramed(MessageType::kScatterRequest);
 }
 
-bool ScatterRequest::Decode(const std::string& bytes, ScatterRequest* out,
-                            std::string* error) {
+Status ScatterRequest::Decode(const std::string& bytes, ScatterRequest* out) {
   MessageType type;
   const char* payload = nullptr;
   size_t payload_size = 0;
-  if (!ParseFrame(bytes, &type, &payload, &payload_size, error)) return false;
+  const Status framed = ParseFrame(bytes, &type, &payload, &payload_size);
+  if (!framed.ok()) return framed;
   if (type != MessageType::kScatterRequest) {
-    *error = "not a ScatterRequest";
-    return false;
+    return Status::InvalidArgument("not a ScatterRequest");
   }
   WireReader r(payload, payload_size);
   const uint8_t raw_kind = r.U8();
   const uint8_t flags = r.U8();
+  const uint8_t raw_bound_kind = r.U8();
+  out->bound_epsilon = r.F64();
   out->level = r.I32();
   out->checksum = r.U64();
   if (!ValidScatterKind(raw_kind)) {
-    *error = "unknown scatter kind";
-    return false;
+    return Status::InvalidArgument("unknown scatter kind");
+  }
+  if (!ValidBoundKind(raw_bound_kind)) {
+    return Status::InvalidArgument("unknown bound kind");
+  }
+  if (std::isnan(out->bound_epsilon)) {
+    return Status::InvalidArgument("NaN bound epsilon");
   }
   out->kind = static_cast<Kind>(raw_kind);
+  out->bound_kind = static_cast<query::BoundKind>(raw_bound_kind);
   out->has_object = (flags & kFlagHasObject) != 0;
   out->has_cells = (flags & kFlagHasCells) != 0;
   out->object = ObjectKey();
@@ -183,32 +202,56 @@ bool ScatterRequest::Decode(const std::string& bytes, ScatterRequest* out,
     // The count must be consistent with the remaining bytes before any
     // allocation — a corrupted count must not reserve gigabytes.
     if (!r.ok() || static_cast<uint64_t>(n) * 9 != r.remaining()) {
-      *error = "cell count inconsistent with payload size";
-      return false;
+      return Status::InvalidArgument("cell count inconsistent with payload size");
     }
     out->cells.reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
       const uint64_t id = r.U64();
       const uint8_t boundary = r.U8();
       if (!ValidCellIdBits(id) || boundary > 1) {
-        *error = "invalid cell encoding";
-        return false;
+        return Status::InvalidArgument("invalid cell encoding");
       }
       out->cells.push_back({raster::CellId(id), boundary != 0});
     }
   }
   if (!r.AtEnd()) {
-    *error = "trailing bytes in ScatterRequest";
-    return false;
+    return Status::InvalidArgument("trailing bytes in ScatterRequest");
   }
-  return true;
+  return Status::OK();
+}
+
+dbsa::Status GatherPartial::ToStatus() const {
+  switch (status) {
+    case Disposition::kOk:
+      return Status::OK();
+    case Disposition::kNotCached:
+      return Status(code != StatusCode::kOk ? code : StatusCode::kNotFound,
+                    error.empty() ? "slice not cached" : error);
+    case Disposition::kError:
+      return Status(code != StatusCode::kOk ? code : StatusCode::kInternal,
+                    error.empty() ? "shard error" : error);
+  }
+  return Status::Internal("invalid partial disposition");
+}
+
+GatherPartial GatherPartial::FromStatus(ScatterRequest::Kind kind,
+                                        Disposition disp,
+                                        const dbsa::Status& status) {
+  DBSA_CHECK(disp != Disposition::kOk && !status.ok());
+  GatherPartial out;
+  out.kind = kind;
+  out.status = disp;
+  out.code = status.code();
+  out.error = status.message();
+  return out;
 }
 
 std::string GatherPartial::Encode() const {
   WireWriter w;
   w.U8(static_cast<uint8_t>(kind));
   w.U8(static_cast<uint8_t>(status));
-  if (status != Status::kOk) {
+  if (status != Disposition::kOk) {
+    w.U8(static_cast<uint8_t>(code));
     w.U32(static_cast<uint32_t>(error.size()));
     w.Bytes(error.data(), error.size());
   } else {
@@ -216,13 +259,16 @@ std::string GatherPartial::Encode() const {
       case ScatterRequest::Kind::kAggregateCells: {
         w.F64(aggregate.count);
         w.F64(aggregate.sum);
+        w.F64(aggregate.sum_comp);
         w.F64(aggregate.boundary_count);
         w.F64(aggregate.boundary_sum);
+        w.F64(aggregate.boundary_sum_comp);
         w.U64(aggregate.query_cells);
         w.U64(aggregate.searches);
         break;
       }
       case ScatterRequest::Kind::kSelectIds: {
+        w.U64(probe_cells);
         w.U32(static_cast<uint32_t>(keyed_ids.size()));
         for (const auto& [key, id] : keyed_ids) {
           w.U64(key);
@@ -239,54 +285,60 @@ std::string GatherPartial::Encode() const {
   return w.TakeFramed(MessageType::kGatherPartial);
 }
 
-bool GatherPartial::Decode(const std::string& bytes, GatherPartial* out,
-                           std::string* error) {
+dbsa::Status GatherPartial::Decode(const std::string& bytes, GatherPartial* out) {
   MessageType type;
   const char* payload = nullptr;
   size_t payload_size = 0;
-  if (!ParseFrame(bytes, &type, &payload, &payload_size, error)) return false;
+  const Status framed = ParseFrame(bytes, &type, &payload, &payload_size);
+  if (!framed.ok()) return framed;
   if (type != MessageType::kGatherPartial) {
-    *error = "not a GatherPartial";
-    return false;
+    return Status::InvalidArgument("not a GatherPartial");
   }
   WireReader r(payload, payload_size);
   const uint8_t raw_kind = r.U8();
   const uint8_t raw_status = r.U8();
   if (!ValidScatterKind(raw_kind) ||
-      raw_status > static_cast<uint8_t>(Status::kNotCached)) {
-    *error = "invalid GatherPartial header";
-    return false;
+      raw_status > static_cast<uint8_t>(Disposition::kNotCached)) {
+    return Status::InvalidArgument("invalid GatherPartial header");
   }
   out->kind = static_cast<ScatterRequest::Kind>(raw_kind);
-  out->status = static_cast<Status>(raw_status);
+  out->status = static_cast<Disposition>(raw_status);
+  out->code = StatusCode::kOk;
   out->error.clear();
   out->aggregate = join::CellAggregate();
   out->keyed_ids.clear();
+  out->probe_cells = 0;
   out->cells_cached = 0;
-  if (out->status != Status::kOk) {
+  if (out->status != Disposition::kOk) {
+    const uint8_t raw_code = r.U8();
+    if (!r.ok() || !ValidStatusCode(raw_code)) {
+      return Status::InvalidArgument("invalid partial status code");
+    }
+    out->code = static_cast<StatusCode>(raw_code);
     const uint32_t n = r.U32();
     if (!r.ok() || n != r.remaining()) {
-      *error = "error text inconsistent with payload size";
-      return false;
+      return Status::InvalidArgument("error text inconsistent with payload size");
     }
     out->error.assign(payload + (payload_size - n), n);
-    return true;
+    return Status::OK();
   }
   switch (out->kind) {
     case ScatterRequest::Kind::kAggregateCells: {
       out->aggregate.count = r.F64();
       out->aggregate.sum = r.F64();
+      out->aggregate.sum_comp = r.F64();
       out->aggregate.boundary_count = r.F64();
       out->aggregate.boundary_sum = r.F64();
+      out->aggregate.boundary_sum_comp = r.F64();
       out->aggregate.query_cells = static_cast<size_t>(r.U64());
       out->aggregate.searches = static_cast<size_t>(r.U64());
       break;
     }
     case ScatterRequest::Kind::kSelectIds: {
+      out->probe_cells = r.U64();
       const uint32_t n = r.U32();
       if (!r.ok() || static_cast<uint64_t>(n) * 12 != r.remaining()) {
-        *error = "id count inconsistent with payload size";
-        return false;
+        return Status::InvalidArgument("id count inconsistent with payload size");
       }
       out->keyed_ids.reserve(n);
       for (uint32_t i = 0; i < n; ++i) {
@@ -302,10 +354,9 @@ bool GatherPartial::Decode(const std::string& bytes, GatherPartial* out,
     }
   }
   if (!r.AtEnd()) {
-    *error = "trailing bytes in GatherPartial";
-    return false;
+    return Status::InvalidArgument("trailing bytes in GatherPartial");
   }
-  return true;
+  return Status::OK();
 }
 
 std::string LoopbackTransport::Roundtrip(size_t shard, const std::string& request) {

@@ -22,13 +22,20 @@
 //     stream transport can frame messages without understanding them;
 //   * all integers are little-endian fixed-width; doubles travel as their
 //     IEEE-754 bit pattern (bit-exact round trip — the byte-identity
-//     contract of the sharded engine survives serialization);
+//     contract of the sharded engine survives serialization, including
+//     the compensated SUM pairs of CellAggregate);
 //   * decoding is total: truncated, oversized, version-skewed or
-//     corrupted bytes produce a decode error, never undefined behaviour
+//     corrupted bytes produce a typed Status, never undefined behaviour
 //     (cell ids are validated against the CellId invariants before any
 //     bit-twiddling touches them);
 //   * unknown trailing payload bytes are rejected — a frame must be
-//     consumed exactly.
+//     consumed exactly;
+//   * version 2 (current) carries the v2 envelope: the query's typed
+//     ErrorBound on ScatterRequest, a StatusCode on every non-OK
+//     GatherPartial, and the compensated aggregate pairs. Version 1
+//     frames are rejected with StatusCode::kUnimplemented — total,
+//     typed, never UB — since v1 predates the envelope's contract
+//     fields and silently defaulting them would falsify it.
 //
 // The Transport interface is one blocking round-trip per shard message.
 // LoopbackTransport is the in-process implementation (request and
@@ -46,8 +53,10 @@
 #include <vector>
 
 #include "join/point_index_join.h"
+#include "query/error_bound.h"
 #include "raster/hierarchical_raster.h"
 #include "service/approx_cache.h"
+#include "util/status.h"
 
 namespace dbsa::service {
 
@@ -57,7 +66,9 @@ namespace dbsa::service {
 // validate once at the end instead of after every field.
 
 inline constexpr uint16_t kWireMagic = 0xDB5A;
-inline constexpr uint8_t kWireVersion = 1;
+/// Version 2: the envelope wire format (see header comment). Decoders
+/// reject every other version with a typed status.
+inline constexpr uint8_t kWireVersion = 2;
 
 enum class MessageType : uint8_t {
   kScatterRequest = 1,
@@ -115,9 +126,12 @@ class WireReader {
 };
 
 /// Parses a frame header; on success points `payload` into `bytes`.
-/// Rejects short frames, length mismatches, bad magic and version skew.
-bool ParseFrame(const std::string& bytes, MessageType* type,
-                const char** payload, size_t* payload_size, std::string* error);
+/// Rejects short frames, length mismatches and bad magic with
+/// kInvalidArgument, and version skew (v1 included) with kUnimplemented —
+/// so a router can tell "corrupt bytes" from "peer speaks another
+/// version" without parsing error text.
+Status ParseFrame(const std::string& bytes, MessageType* type,
+                  const char** payload, size_t* payload_size);
 
 // ------------------------------------------------------------- messages
 
@@ -135,6 +149,12 @@ struct ScatterRequest {
   };
 
   Kind kind = Kind::kAggregateCells;
+  /// The query's distance-bound contract as submitted (v2 envelope
+  /// provenance: a shard can log/account the bound regime it served
+  /// under). The SERVING resolution is `level` below; warm requests
+  /// carry the level as a kGridLevel bound.
+  query::BoundKind bound_kind = query::BoundKind::kGridLevel;
+  double bound_epsilon = 0.0;
   /// Epsilon level of the approximation (half of the cache key).
   int32_t level = 0;
   /// Checksum of the FULL approximation the cells were pruned from
@@ -151,32 +171,49 @@ struct ScatterRequest {
   std::vector<raster::HrCell> cells;
 
   std::string Encode() const;
-  static bool Decode(const std::string& bytes, ScatterRequest* out,
-                     std::string* error);
+  /// Total: any malformed input yields a non-OK status (kUnimplemented
+  /// for version skew, kInvalidArgument otherwise), never UB.
+  static Status Decode(const std::string& bytes, ScatterRequest* out);
 };
 
 /// One shard's partial answer, merged client-side in ascending shard
 /// order (the canonical gather of the merge-identity contract).
 struct GatherPartial {
-  enum class Status : uint8_t {
+  enum class Disposition : uint8_t {
     kOk = 0,
-    kError = 1,      ///< `error` holds the server's message.
+    kError = 1,      ///< `code` + `error` carry the typed failure.
     kNotCached = 2,  ///< Cache reference missed; resend with cells.
   };
 
   ScatterRequest::Kind kind = ScatterRequest::Kind::kAggregateCells;
-  Status status = Status::kOk;
+  Disposition status = Disposition::kOk;
+  /// Typed error of a non-OK partial — wire errors round-trip as
+  /// StatusCode values, not as text to be re-parsed.
+  StatusCode code = StatusCode::kOk;
   std::string error;
-  /// kAggregateCells: the shard's cell aggregate (doubles bit-exact).
+  /// kAggregateCells: the shard's cell aggregate (doubles bit-exact,
+  /// compensated SUM pairs included).
   join::CellAggregate aggregate;
   /// kSelectIds: (base-grid leaf key, base-table row id), ascending.
   std::vector<std::pair<uint64_t, uint32_t>> keyed_ids;
+  /// kSelectIds: cells of the slice the shard probed — reported even on
+  /// cache-reference hits (the server knows its slice size when the
+  /// router deliberately does not), so ExecStats::query_cells keeps the
+  /// per-shard-slice accounting selects share with aggregates/counts.
+  uint64_t probe_cells = 0;
   /// kWarm: number of cells now cached for the key.
   uint64_t cells_cached = 0;
 
+  /// The typed status of this partial (OK for kOk; kNotCached maps to
+  /// kNotFound unless the server set a code).
+  dbsa::Status ToStatus() const;
+  /// Builds an error partial from a status (never from an OK one).
+  static GatherPartial FromStatus(ScatterRequest::Kind kind, Disposition disp,
+                                  const dbsa::Status& status);
+
   std::string Encode() const;
-  static bool Decode(const std::string& bytes, GatherPartial* out,
-                     std::string* error);
+  /// Total: any malformed input yields a non-OK status, never UB.
+  static dbsa::Status Decode(const std::string& bytes, GatherPartial* out);
 };
 
 // ------------------------------------------------------------ transport

@@ -1,0 +1,99 @@
+// FROZEN v1 shim implementations (see v1_compat.h). Everything here is
+// conversion glue; no execution logic may live in this file.
+
+#include "service/v1_compat.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dbsa::service {
+
+Request Request::MakeAggregate(join::AggKind agg, core::Attr attr, double epsilon,
+                               core::Mode mode) {
+  Request r;
+  r.kind = Kind::kAggregate;
+  r.agg = agg;
+  r.attr = attr;
+  r.epsilon = epsilon;
+  r.mode = mode;
+  return r;
+}
+
+Request Request::MakeCount(geom::Polygon poly, double epsilon) {
+  Request r;
+  r.kind = Kind::kCountInPolygon;
+  r.poly = std::move(poly);
+  r.epsilon = epsilon;
+  return r;
+}
+
+Request Request::MakeSelect(geom::Polygon poly, double epsilon) {
+  Request r;
+  r.kind = Kind::kSelectInPolygon;
+  r.poly = std::move(poly);
+  r.epsilon = epsilon;
+  return r;
+}
+
+Query QueryFromV1(const Request& request) {
+  switch (request.kind) {
+    case Request::Kind::kAggregate:
+      return Query::Aggregate(request.agg, request.attr);
+    case Request::Kind::kCountInPolygon:
+      return Query::Count(request.poly);
+    case Request::Kind::kSelectInPolygon:
+      return Query::Select(request.poly);
+  }
+  DBSA_CHECK(false);
+  return Query();
+}
+
+ExecOptions OptionsFromV1(const Request& request) {
+  ExecOptions options;
+  options.bound = query::ErrorBound::Absolute(request.epsilon);
+  options.mode = request.mode;
+  return options;
+}
+
+namespace {
+
+Request::Kind KindFromV2(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kAggregate:
+      return Request::Kind::kAggregate;
+    case QueryKind::kCount:
+      return Request::Kind::kCountInPolygon;
+    case QueryKind::kSelect:
+      return Request::Kind::kSelectInPolygon;
+  }
+  DBSA_CHECK(false);
+  return Request::Kind::kAggregate;
+}
+
+}  // namespace
+
+Response ResponseFromResult(Result result) {
+  Response response;
+  response.ticket = result.ticket;
+  response.kind = KindFromV2(result.kind);
+  response.aggregate = std::move(result.aggregate);
+  response.range = result.range;
+  response.ids = std::move(result.ids);
+  if (!result.status.ok()) {
+    response.error = result.status.message().empty() ? "query failed"
+                                                     : result.status.message();
+  }
+  return response;
+}
+
+void ThrowLegacy(const Status& status) {
+  DBSA_CHECK(!status.ok());
+  if (status.code() == StatusCode::kInvalidArgument) {
+    throw std::invalid_argument(status.message());
+  }
+  throw StatusException(status);
+}
+
+}  // namespace dbsa::service

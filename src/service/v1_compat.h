@@ -1,0 +1,72 @@
+// FROZEN v1 serving surface — thin shims over the v2 envelope
+// (service/query.h). Request/Response and the Submit/Drain/typed-future
+// entry points they feed keep one release of source compatibility while
+// callers migrate (see the README's v1 -> v2 table).
+//
+// Do not grow this surface: scripts/check_v1_freeze.sh fails CI if this
+// header or v1_compat.cc gains lines. New capabilities belong on the
+// envelope, not here.
+
+#ifndef DBSA_SERVICE_V1_COMPAT_H_
+#define DBSA_SERVICE_V1_COMPAT_H_
+
+#include <string>
+#include <vector>
+
+#include "service/query.h"
+
+namespace dbsa::service {
+
+/// v1: one queued request. kind selects which fields matter.
+struct Request {
+  enum class Kind { kAggregate, kCountInPolygon, kSelectInPolygon };
+
+  Kind kind = Kind::kAggregate;
+  // kAggregate:
+  join::AggKind agg = join::AggKind::kCount;
+  core::Attr attr = core::Attr::kNone;
+  core::Mode mode = core::Mode::kAuto;
+  // All kinds:
+  double epsilon = 0.0;
+  // kCountInPolygon / kSelectInPolygon:
+  geom::Polygon poly;
+
+  static Request MakeAggregate(join::AggKind agg, core::Attr attr, double epsilon,
+                               core::Mode mode = core::Mode::kAuto);
+  static Request MakeCount(geom::Polygon poly, double epsilon);
+  static Request MakeSelect(geom::Polygon poly, double epsilon);
+};
+
+/// v1: response to one request; `error` is the stringly-typed failure
+/// channel the v2 Result replaces with a Status.
+struct Response {
+  uint64_t ticket = 0;
+  Request::Kind kind = Request::Kind::kAggregate;
+  core::AggregateAnswer aggregate;
+  join::ResultRange range;
+  std::vector<uint32_t> ids;
+  std::string error;  ///< Empty iff the query succeeded.
+
+  bool ok() const { return error.empty(); }
+};
+
+/// v1 -> v2: the request's payload as an envelope Query.
+Query QueryFromV1(const Request& request);
+
+/// v1 -> v2: epsilon becomes an absolute distance bound, mode rides
+/// along; no deadline, no cancellation, unlimited fan-out.
+ExecOptions OptionsFromV1(const Request& request);
+
+/// v2 -> v1: payloads move over; a non-OK status collapses to its
+/// message text (code dropped — v1 never had one).
+Response ResponseFromResult(Result result);
+
+/// v2 -> v1 exception behavior for the typed-future shims: v1 validation
+/// failures threw std::invalid_argument, so kInvalidArgument must keep
+/// throwing it (a frozen caller's catch handlers still work); every
+/// other code throws StatusException.
+[[noreturn]] void ThrowLegacy(const Status& status);
+
+}  // namespace dbsa::service
+
+#endif  // DBSA_SERVICE_V1_COMPAT_H_

@@ -5,6 +5,7 @@
 #ifndef DBSA_UTIL_STATUS_H_
 #define DBSA_UTIL_STATUS_H_
 
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -12,6 +13,8 @@
 
 namespace dbsa {
 
+/// Codes are stable wire values (transport.h ships them as u8): append
+/// only, never renumber.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument = 1,
@@ -19,7 +22,14 @@ enum class StatusCode {
   kOutOfRange = 3,
   kUnimplemented = 4,
   kInternal = 5,
+  kDeadlineExceeded = 6,
+  kCancelled = 7,
 };
+
+/// Stable upper bound of the enum (wire validation).
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kCancelled;
+
+const char* StatusCodeName(StatusCode code);
 
 /// Result of a fallible operation: a code plus a human-readable message.
 class Status {
@@ -43,6 +53,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -54,6 +70,23 @@ class Status {
  private:
   StatusCode code_;
   std::string msg_;
+};
+
+/// Exception carrier for a non-OK Status: lets status-typed failures
+/// cross code that still propagates by throwing (thread-pool futures,
+/// scatter-gather fan-outs) without collapsing to untyped text — the
+/// catch site recovers the full Status.
+class StatusException : public std::runtime_error {
+ public:
+  explicit StatusException(Status status)
+      : std::runtime_error(status.message()), status_(std::move(status)) {
+    DBSA_CHECK(!status_.ok());
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
 };
 
 /// Either a value of type T or an error Status. Accessing the value of a

@@ -1,0 +1,524 @@
+// Acceptance tests for the v2 query envelope:
+//
+//   * every query kind runs through the envelope on all four execution
+//     paths — single-threaded engine, pooled service, in-process sharded,
+//     loopback transport seam — with BYTE-IDENTICAL payloads per pinned
+//     plan, and every Result reports the achieved epsilon / HR level;
+//   * ErrorBound semantics: kGridLevel pins the HR level exactly,
+//     kAbsoluteDistance reproduces Grid::LevelForEpsilon snapping (one-ulp
+//     sweep), kExact bypasses approximation and matches brute force;
+//   * ExecOptions: deadlines and cancellation answer typed statuses,
+//     the shard fan-out cap never changes results;
+//   * the frozen v1 shim surface produces byte-identical answers to the
+//     native envelope.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/dbsa.h"
+#include "service/query_service.h"
+#include "test_util.h"
+
+namespace dbsa::service {
+namespace {
+
+using dbsa::testing::MakeRectPolygon;
+using dbsa::testing::MakeStarPolygon;
+using query::ErrorBound;
+
+/// One envelope submission: the descriptor plus its contract.
+struct Submission {
+  Query query;
+  ExecOptions options;
+  std::string label;
+};
+
+class QueryEnvelopeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::TaxiConfig taxi_config;
+    taxi_config.universe = geom::Box(0, 0, 4096, 4096);
+    data::PointSet points = data::GenerateTaxiPoints(20000, taxi_config);
+    // Fares stay RAW (non-dyadic): with the compensated SUM pipeline the
+    // byte-identity contract no longer needs quantized attributes.
+    data::RegionConfig region_config;
+    region_config.universe = taxi_config.universe;
+    region_config.num_polygons = 16;
+    region_config.target_avg_vertices = 24;
+    region_config.multi_fraction = 0.2;
+    data::RegionSet regions = data::GenerateRegions(region_config);
+    state_ = core::BuildEngineState(std::move(points), std::move(regions));
+  }
+
+  /// The mixed workload: every query kind under every bound regime, with
+  /// aggregate plans pinned (the byte-identity contract is per pinned
+  /// plan — kAuto may legitimately resolve differently across paths).
+  std::vector<Submission> Workload() const {
+    std::vector<Submission> subs;
+    const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+    const geom::Polygon rect = MakeRectPolygon(600, 700, 1800, 1500);
+    const std::vector<ErrorBound> bounds = {
+        ErrorBound::Absolute(4.0), ErrorBound::Absolute(16.0),
+        ErrorBound::AtLevel(8)};
+    for (const ErrorBound& bound : bounds) {
+      for (const core::Mode mode : {core::Mode::kPointIndex, core::Mode::kAct}) {
+        ExecOptions options;
+        options.bound = bound;
+        options.mode = mode;
+        subs.push_back({Query::Aggregate(join::AggKind::kCount), options,
+                        "count-agg " + bound.ToString()});
+        subs.push_back(
+            {Query::Aggregate(join::AggKind::kSum, core::Attr::kFare), options,
+             "sum-agg " + bound.ToString()});
+        subs.push_back(
+            {Query::Aggregate(join::AggKind::kAvg, core::Attr::kFare), options,
+             "avg-agg " + bound.ToString()});
+      }
+      ExecOptions options;
+      options.bound = bound;
+      subs.push_back({Query::Count(star), options, "count " + bound.ToString()});
+      subs.push_back({Query::Count(rect), options, "count " + bound.ToString()});
+      subs.push_back({Query::Select(star), options, "select " + bound.ToString()});
+    }
+    // The exact regime: no approximation on any path.
+    ExecOptions exact;
+    exact.bound = ErrorBound::Exact();
+    subs.push_back({Query::Aggregate(join::AggKind::kCount), exact, "exact agg"});
+    subs.push_back({Query::Count(star), exact, "exact count"});
+    subs.push_back({Query::Select(star), exact, "exact select"});
+    return subs;
+  }
+
+  /// Path 1: the single-threaded engine — the envelope executed directly
+  /// through the core bound-typed executors, no service, no pool.
+  Result Baseline(const Submission& sub) const {
+    Result r;
+    r.kind = sub.query.kind();
+    r.bound.requested = sub.options.bound;
+    sub.query.Visit([&](const auto& spec) { BaselineSpec(spec, sub.options, &r); });
+    r.status = Status::OK();
+    return r;
+  }
+
+  void BaselineSpec(const AggregateSpec& spec, const ExecOptions& options,
+                    Result* r) const {
+    r->aggregate = core::ExecuteAggregate(*state_, spec.agg, spec.attr,
+                                          options.bound, options.mode);
+    r->bound.epsilon_achieved = r->aggregate.stats.achieved_epsilon;
+    r->bound.hr_level = r->aggregate.stats.hr_level;
+  }
+  void BaselineSpec(const CountSpec& spec, const ExecOptions& options,
+                    Result* r) const {
+    const core::CountAnswer answer =
+        core::ExecuteCount(*state_, spec.poly, options.bound);
+    r->range = answer.range;
+    r->bound.epsilon_achieved = answer.stats.achieved_epsilon;
+    r->bound.hr_level = answer.stats.hr_level;
+  }
+  void BaselineSpec(const SelectSpec& spec, const ExecOptions& options,
+                    Result* r) const {
+    core::SelectAnswer answer = core::ExecuteSelect(*state_, spec.poly, options.bound);
+    r->ids = std::move(answer.ids);
+    r->bound.epsilon_achieved = answer.stats.achieved_epsilon;
+    r->bound.hr_level = answer.stats.hr_level;
+  }
+
+  static void ExpectIdentical(const Result& got, const Result& want,
+                              const std::string& label) {
+    ASSERT_TRUE(got.ok()) << label << ": " << got.status.ToString();
+    ASSERT_EQ(got.kind, want.kind) << label;
+    switch (want.kind) {
+      case QueryKind::kAggregate: {
+        ASSERT_EQ(got.aggregate.rows.size(), want.aggregate.rows.size()) << label;
+        for (size_t r = 0; r < want.aggregate.rows.size(); ++r) {
+          EXPECT_EQ(got.aggregate.rows[r].region, want.aggregate.rows[r].region)
+              << label << " region " << r;
+          EXPECT_EQ(got.aggregate.rows[r].value, want.aggregate.rows[r].value)
+              << label << " region " << r;
+          EXPECT_EQ(got.aggregate.rows[r].lo, want.aggregate.rows[r].lo)
+              << label << " region " << r;
+          EXPECT_EQ(got.aggregate.rows[r].hi, want.aggregate.rows[r].hi)
+              << label << " region " << r;
+        }
+        break;
+      }
+      case QueryKind::kCount:
+        EXPECT_EQ(got.range.estimate, want.range.estimate) << label;
+        EXPECT_EQ(got.range.lo, want.range.lo) << label;
+        EXPECT_EQ(got.range.hi, want.range.hi) << label;
+        break;
+      case QueryKind::kSelect:
+        ASSERT_EQ(got.ids, want.ids) << label;
+        break;
+    }
+    // The achieved contract is part of the payload identity: every path
+    // must report the same served bound.
+    EXPECT_EQ(got.bound.epsilon_achieved, want.bound.epsilon_achieved) << label;
+    EXPECT_EQ(got.bound.hr_level, want.bound.hr_level) << label;
+    EXPECT_EQ(got.bound.requested, want.bound.requested) << label;
+  }
+
+  std::shared_ptr<const core::EngineState> state_;
+};
+
+// ---- the four-path byte-identity contract, restated over v2 ------------
+
+TEST_F(QueryEnvelopeTest, EveryKindByteIdenticalOnAllFourPaths) {
+  const std::vector<Submission> workload = Workload();
+  std::vector<Result> baseline;
+  baseline.reserve(workload.size());
+  for (const Submission& sub : workload) baseline.push_back(Baseline(sub));
+
+  struct PathConfig {
+    std::string name;
+    ServiceOptions options;
+    ExecPath expected_path;
+  };
+  std::vector<PathConfig> paths;
+  {
+    PathConfig pooled;
+    pooled.name = "pooled";
+    pooled.options.num_threads = 8;
+    pooled.expected_path = ExecPath::kLocal;
+    paths.push_back(pooled);
+    PathConfig sharded;
+    sharded.name = "sharded";
+    sharded.options.num_threads = 8;
+    sharded.options.num_shards = 7;
+    sharded.expected_path = ExecPath::kSharded;
+    paths.push_back(sharded);
+    PathConfig seam;
+    seam.name = "transport";
+    seam.options.num_threads = 8;
+    seam.options.num_shards = 7;
+    seam.options.use_transport = true;
+    seam.expected_path = ExecPath::kTransport;
+    paths.push_back(seam);
+  }
+
+  for (const PathConfig& path : paths) {
+    QueryService service(state_, path.options);
+    EXPECT_EQ(service.exec_path(), path.expected_path) << path.name;
+    std::vector<uint64_t> tickets;
+    tickets.reserve(workload.size());
+    for (const Submission& sub : workload) {
+      tickets.push_back(service.Submit(sub.query, sub.options));
+    }
+    const std::vector<Result> results = service.Drain();
+    ASSERT_EQ(results.size(), workload.size()) << path.name;
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].ticket, tickets[i]) << path.name;
+      EXPECT_EQ(results[i].bound.path, path.expected_path)
+          << path.name << " " << workload[i].label;
+      ExpectIdentical(results[i], baseline[i],
+                      path.name + " " + workload[i].label);
+      // Provenance consistency: every approximate query on a scattered
+      // path must report its surviving shards — selects included
+      // (regression: the transport select path used to report 0).
+      if (path.expected_path != ExecPath::kLocal &&
+          !workload[i].options.bound.exact() &&
+          results[i].kind != QueryKind::kAggregate) {
+        EXPECT_GT(results[i].bound.shards_probed, 0u)
+            << path.name << " " << workload[i].label;
+      }
+    }
+  }
+}
+
+TEST_F(QueryEnvelopeTest, CountAndSelectReportConsistentProvenance) {
+  // cells_touched uses per-shard-slice accounting on every scattered path
+  // and for every query kind (regression: selects used to report the raw
+  // approximation cell count while counts reported slice cells).
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  ExecOptions options;
+  options.bound = ErrorBound::Absolute(4.0);
+  for (const bool transport : {false, true}) {
+    ServiceOptions service_options;
+    service_options.num_threads = 4;
+    service_options.num_shards = 7;
+    service_options.use_transport = transport;
+    QueryService service(state_, service_options);
+    const Result count = service.Execute(Query::Count(star), options).get();
+    const Result select = service.Execute(Query::Select(star), options).get();
+    ASSERT_TRUE(count.ok() && select.ok()) << transport;
+    EXPECT_EQ(count.bound.cells_touched, select.bound.cells_touched) << transport;
+    EXPECT_EQ(count.bound.shards_probed, select.bound.shards_probed) << transport;
+    EXPECT_GT(select.bound.cells_touched, 0u) << transport;
+    EXPECT_GT(select.bound.shards_probed, 0u) << transport;
+  }
+}
+
+// ---- ErrorBound semantics ----------------------------------------------
+
+TEST_F(QueryEnvelopeTest, GridLevelRoundTripsThroughEpsilonAtEveryLevel) {
+  // The identity kGridLevel leans on: AchievedEpsilon(L) snaps back to
+  // exactly L, for every level of every grid (power-of-two cell scaling,
+  // identically computed diagonals).
+  for (const double side : {4096.0, 1.0, 12345.678}) {
+    const raster::Grid grid({0.0, 0.0}, side);
+    for (int level = 0; level <= raster::CellId::kMaxLevel; ++level) {
+      EXPECT_EQ(grid.LevelForEpsilon(grid.AchievedEpsilon(level)), level)
+          << "side " << side << " level " << level;
+      EXPECT_EQ(ErrorBound::AtLevel(level).ServedLevel(grid), level);
+      EXPECT_EQ(ErrorBound::AtLevel(level).EffectiveEpsilon(grid),
+                grid.AchievedEpsilon(level));
+    }
+  }
+}
+
+TEST_F(QueryEnvelopeTest, GridLevelPinsTheServedLevelExactly) {
+  QueryService service(state_, {});
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  for (int level = 0; level <= 14; ++level) {
+    ExecOptions options;
+    options.bound = ErrorBound::AtLevel(level);
+    const Result result = service.Execute(Query::Count(star), options).get();
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+    EXPECT_EQ(result.bound.hr_level, level) << "level " << level;
+    EXPECT_EQ(result.bound.epsilon_achieved, state_->grid.AchievedEpsilon(level))
+        << "level " << level;
+  }
+}
+
+TEST_F(QueryEnvelopeTest, AbsoluteBoundReproducesLevelForEpsilonOneUlpSweep) {
+  // kAbsoluteDistance must serve exactly the level LevelForEpsilon picks,
+  // including one ulp either side of every exact level diagonal (the FP
+  // snapping regression of PR 2, restated over the envelope).
+  const raster::Grid& grid = state_->grid;
+  for (int level = 0; level <= raster::CellId::kMaxLevel; ++level) {
+    const double eps = grid.AchievedEpsilon(level);
+    for (const double probe :
+         {eps, std::nextafter(eps, std::numeric_limits<double>::infinity()),
+          std::nextafter(eps, 0.0)}) {
+      EXPECT_EQ(ErrorBound::Absolute(probe).ServedLevel(grid),
+                grid.LevelForEpsilon(probe))
+          << "level " << level << " probe " << probe;
+    }
+  }
+  // Spot-check end to end: the serving layer reports the snapped level.
+  QueryService service(state_, {});
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  for (const double eps : {4.0, 8.0, 100.0}) {
+    ExecOptions options;
+    options.bound = ErrorBound::Absolute(eps);
+    const Result result = service.Execute(Query::Count(star), options).get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.bound.hr_level, grid.LevelForEpsilon(eps));
+    EXPECT_EQ(result.bound.epsilon_achieved,
+              grid.AchievedEpsilon(grid.LevelForEpsilon(eps)));
+    EXPECT_LE(result.bound.epsilon_achieved, eps);  // The paper's guarantee.
+  }
+}
+
+TEST_F(QueryEnvelopeTest, ExactBoundBypassesApproximationAndMatchesBruteForce) {
+  QueryService service(state_, {});
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+
+  // Brute force reference.
+  double inside = 0.0;
+  std::vector<uint32_t> inside_ids;
+  for (uint32_t i = 0; i < state_->points->size(); ++i) {
+    if (star.Contains(state_->points->locs[i])) {
+      inside += 1.0;
+      inside_ids.push_back(i);
+    }
+  }
+
+  ExecOptions exact;
+  exact.bound = ErrorBound::Exact();
+  const Result count = service.Execute(Query::Count(star), exact).get();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.range.estimate, inside);
+  EXPECT_EQ(count.range.lo, inside);  // Exact: the range collapses.
+  EXPECT_EQ(count.range.hi, inside);
+  EXPECT_EQ(count.bound.hr_level, -1);
+  EXPECT_EQ(count.bound.epsilon_achieved, 0.0);
+  EXPECT_EQ(count.bound.cells_touched, 0u);
+
+  const Result select = service.Execute(Query::Select(star), exact).get();
+  ASSERT_TRUE(select.ok());
+  EXPECT_EQ(select.ids, inside_ids);
+
+  // An approximate count at a finite bound must contain the exact answer
+  // in its guaranteed range (the distance-bound contract itself).
+  ExecOptions approx;
+  approx.bound = ErrorBound::Absolute(16.0);
+  const Result ranged = service.Execute(Query::Count(star), approx).get();
+  ASSERT_TRUE(ranged.ok());
+  EXPECT_LE(ranged.range.lo, inside);
+  EXPECT_GE(ranged.range.hi, inside);
+}
+
+// ---- ExecOptions: deadline, cancellation, fan-out cap ------------------
+
+TEST_F(QueryEnvelopeTest, ExpiredDeadlineAnswersTypedStatus) {
+  QueryService service(state_, {});
+  ExecOptions options;
+  options.bound = ErrorBound::Absolute(8.0);
+  options.deadline_ms = 1e-6;  // Expires before any worker can pick it up.
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  const Result result = service.Execute(Query::Count(star), options).get();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  // The batch path delivers the same status in the ticket's slot.
+  service.Submit(Query::Count(star), options);
+  const std::vector<Result> drained = service.Drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(QueryEnvelopeTest, CancelledTokenAnswersTypedStatus) {
+  QueryService service(state_, {});
+  auto token = std::make_shared<CancelToken>();
+  ExecOptions options;
+  options.bound = ErrorBound::Absolute(8.0);
+  options.cancel = token;
+  token->Cancel();  // Cancelled while "queued".
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  const Result result = service.Execute(Query::Count(star), options).get();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
+
+  // An uncancelled token changes nothing.
+  auto live = std::make_shared<CancelToken>();
+  options.cancel = live;
+  EXPECT_TRUE(service.Execute(Query::Count(star), options).get().ok());
+}
+
+TEST_F(QueryEnvelopeTest, FanOutCapNeverChangesResults) {
+  ServiceOptions service_options;
+  service_options.num_threads = 8;
+  service_options.num_shards = 7;
+  QueryService service(state_, service_options);
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  for (const size_t cap : {size_t{0}, size_t{1}, size_t{2}, size_t{64}}) {
+    ExecOptions options;
+    options.bound = ErrorBound::Absolute(4.0);
+    options.max_shard_fanout = cap;
+    options.mode = core::Mode::kPointIndex;
+    const Result count = service.Execute(Query::Count(star), options).get();
+    const Result agg =
+        service.Execute(Query::Aggregate(join::AggKind::kSum, core::Attr::kFare),
+                        options)
+            .get();
+    ASSERT_TRUE(count.ok() && agg.ok()) << "cap " << cap;
+    const core::CountAnswer want = core::ExecuteCount(
+        *state_, star, ErrorBound::Absolute(4.0));
+    EXPECT_EQ(count.range.estimate, want.range.estimate) << "cap " << cap;
+    EXPECT_EQ(count.range.lo, want.range.lo) << "cap " << cap;
+    EXPECT_EQ(count.range.hi, want.range.hi) << "cap " << cap;
+    const core::AggregateAnswer want_agg =
+        core::ExecuteAggregate(*state_, join::AggKind::kSum, core::Attr::kFare,
+                               ErrorBound::Absolute(4.0), core::Mode::kPointIndex);
+    ASSERT_EQ(agg.aggregate.rows.size(), want_agg.rows.size()) << "cap " << cap;
+    for (size_t r = 0; r < want_agg.rows.size(); ++r) {
+      EXPECT_EQ(agg.aggregate.rows[r].value, want_agg.rows[r].value)
+          << "cap " << cap << " region " << r;
+    }
+  }
+}
+
+// ---- typed failure statuses --------------------------------------------
+
+TEST_F(QueryEnvelopeTest, MalformedQueriesAnswerInvalidArgument) {
+  QueryService service(state_, {});
+  const geom::Polygon degenerate(geom::Ring{{0, 0}, {10, 10}});  // 2 vertices.
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+
+  ExecOptions ok_bound;
+  ok_bound.bound = ErrorBound::Absolute(8.0);
+  // SUM without a column.
+  Result r = service.Execute(Query::Aggregate(join::AggKind::kSum), ok_bound).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status.message().find("attribute"), std::string::npos);
+  // Degenerate polygon.
+  r = service.Execute(Query::Count(degenerate), ok_bound).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status.message().find("vertices"), std::string::npos);
+  // NaN bound.
+  ExecOptions nan_bound;
+  nan_bound.bound = ErrorBound::Absolute(std::nan(""));
+  r = service.Execute(Query::Count(star), nan_bound).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  // Out-of-range level.
+  ExecOptions bad_level;
+  bad_level.bound = ErrorBound::AtLevel(raster::CellId::kMaxLevel + 1);
+  r = service.Execute(Query::Count(star), bad_level).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  bad_level.bound = ErrorBound::AtLevel(-1);
+  r = service.Execute(Query::Count(star), bad_level).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+
+  // A poisoned ticket mid-batch keeps its slot and its typed status.
+  service.Submit(Query::Count(star), ok_bound);
+  service.Submit(Query::Aggregate(join::AggKind::kSum), ok_bound);
+  service.Submit(Query::Count(star), ok_bound);
+  const std::vector<Result> drained = service.Drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_TRUE(drained[0].ok());
+  EXPECT_EQ(drained[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(drained[2].ok());
+  EXPECT_EQ(drained[0].range.estimate, drained[2].range.estimate);
+}
+
+TEST_F(QueryEnvelopeTest, V1TypedFuturesKeepThrowingInvalidArgument) {
+  // The frozen v1 contract: validation failures surfaced as
+  // std::invalid_argument from future.get(). The shims must preserve the
+  // exception TYPE, not just the message — v1 catch handlers written
+  // against std::invalid_argument must keep firing.
+  QueryService service(state_, {});
+  std::future<core::AggregateAnswer> bad =
+      service.Aggregate(join::AggKind::kSum, core::Attr::kNone, 8.0);
+  EXPECT_THROW(bad.get(), std::invalid_argument);
+  const geom::Polygon degenerate(geom::Ring{{0, 0}, {10, 10}});
+  std::future<join::ResultRange> bad_count = service.CountInPolygon(degenerate, 8.0);
+  EXPECT_THROW(bad_count.get(), std::invalid_argument);
+}
+
+// ---- the frozen v1 shim ------------------------------------------------
+
+TEST_F(QueryEnvelopeTest, V1ShimMatchesNativeEnvelope) {
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  std::vector<Request> v1;
+  for (const double eps : {4.0, 16.0}) {
+    v1.push_back(Request::MakeAggregate(join::AggKind::kSum, core::Attr::kFare,
+                                        eps, core::Mode::kPointIndex));
+    v1.push_back(Request::MakeCount(star, eps));
+    v1.push_back(Request::MakeSelect(star, eps));
+  }
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  QueryService via_shim(state_, options);
+  QueryService native(state_, options);
+  for (const Request& req : v1) via_shim.Submit(req);
+  for (const Request& req : v1) {
+    native.Submit(QueryFromV1(req), OptionsFromV1(req));
+  }
+  const std::vector<Response> shim_responses = via_shim.DrainResponses();
+  const std::vector<Result> native_results = native.Drain();
+  ASSERT_EQ(shim_responses.size(), v1.size());
+  ASSERT_EQ(native_results.size(), v1.size());
+  for (size_t i = 0; i < v1.size(); ++i) {
+    const Response& s = shim_responses[i];
+    const Result& n = native_results[i];
+    ASSERT_TRUE(s.ok() && n.ok()) << i;
+    ASSERT_EQ(s.aggregate.rows.size(), n.aggregate.rows.size()) << i;
+    for (size_t r = 0; r < n.aggregate.rows.size(); ++r) {
+      EXPECT_EQ(s.aggregate.rows[r].value, n.aggregate.rows[r].value) << i;
+    }
+    EXPECT_EQ(s.range.estimate, n.range.estimate) << i;
+    EXPECT_EQ(s.range.lo, n.range.lo) << i;
+    EXPECT_EQ(s.range.hi, n.range.hi) << i;
+    EXPECT_EQ(s.ids, n.ids) << i;
+  }
+}
+
+}  // namespace
+}  // namespace dbsa::service

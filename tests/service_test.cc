@@ -245,7 +245,7 @@ TEST_F(QueryServiceTest, EightThreadsByteMatchSingleThreadedEngine) {
   std::vector<uint64_t> tickets;
   tickets.reserve(workload.size());
   for (const Request& req : workload) tickets.push_back(service.Submit(req));
-  const std::vector<Response> responses = service.Drain();
+  const std::vector<Response> responses = service.DrainResponses();
 
   ASSERT_EQ(responses.size(), workload.size());
   for (size_t i = 0; i < responses.size(); ++i) {
@@ -339,7 +339,7 @@ TEST_F(QueryServiceTest, DrainSurvivesPoisonedQueriesMidBatch) {
 
   std::vector<uint64_t> tickets;
   for (const Request& req : workload) tickets.push_back(service.Submit(req));
-  const std::vector<Response> responses = service.Drain();
+  const std::vector<Response> responses = service.DrainResponses();
 
   ASSERT_EQ(responses.size(), workload.size());  // No ticket lost.
   for (size_t i = 0; i < responses.size(); ++i) {
@@ -366,7 +366,7 @@ TEST_F(QueryServiceTest, DrainSurvivesPoisonedQueriesMidBatch) {
 
   // And the service stays fully usable after a poisoned batch.
   service.Submit(Request::MakeCount(star, 8.0));
-  const std::vector<Response> after = service.Drain();
+  const std::vector<Response> after = service.DrainResponses();
   ASSERT_EQ(after.size(), 1u);
   EXPECT_TRUE(after[0].ok());
   EXPECT_EQ(after[0].range.hi, want.hi);

@@ -235,7 +235,7 @@ TEST_F(ShardServerTest, TransportServiceByteMatchesUnshardedEngine) {
   ASSERT_EQ(service.num_shard_servers(), 8u);
 
   for (const Request& req : workload) service.Submit(req);
-  const std::vector<Response> responses = service.Drain();
+  const std::vector<Response> responses = service.DrainResponses();
   ASSERT_EQ(responses.size(), workload.size());
   EXPECT_GT(service.transport_stats().messages, 0u);
 
@@ -283,10 +283,12 @@ TEST_F(ShardServerTest, ReferenceRequestsShipFewerBytesOnRepeat) {
   const int level = base_->grid.LevelForEpsilon(4.0);
 
   const join::CellAggregate cold =
-      seam.router->ScatterGather(hr, &object, level, {}, nullptr);
+      seam.router->ScatterGather(hr, &object, level,
+                                 query::ErrorBound::Absolute(4.0), {}, nullptr);
   const LoopbackTransport::Stats after_cold = seam.transport->stats();
   const join::CellAggregate warm =
-      seam.router->ScatterGather(hr, &object, level, {}, nullptr);
+      seam.router->ScatterGather(hr, &object, level,
+                                 query::ErrorBound::Absolute(4.0), {}, nullptr);
   const LoopbackTransport::Stats after_warm = seam.transport->stats();
 
   // Identical partials either way (the cached slice is the pruned slice).
@@ -317,9 +319,11 @@ TEST_F(ShardServerTest, EvictedSliceFallsBackToInlineShipping) {
   const int level = base_->grid.LevelForEpsilon(4.0);
 
   const join::CellAggregate first =
-      seam.router->ScatterGather(hr, &object, level, {}, nullptr);
+      seam.router->ScatterGather(hr, &object, level,
+                                 query::ErrorBound::Absolute(4.0), {}, nullptr);
   const join::CellAggregate second =
-      seam.router->ScatterGather(hr, &object, level, {}, nullptr);
+      seam.router->ScatterGather(hr, &object, level,
+                                 query::ErrorBound::Absolute(4.0), {}, nullptr);
   EXPECT_EQ(second.count, first.count);
   EXPECT_EQ(second.sum, first.sum);
   size_t misses = 0, entries = 0;
@@ -348,9 +352,8 @@ TEST_F(ShardServerTest, ChecksumMismatchInvalidatesCachedSlice) {
   warm.has_cells = true;
   warm.cells = hr.cells();
   GatherPartial partial;
-  std::string error;
-  ASSERT_TRUE(GatherPartial::Decode(server.Handle(warm.Encode()), &partial, &error));
-  ASSERT_EQ(partial.status, GatherPartial::Status::kOk);
+  ASSERT_TRUE(GatherPartial::Decode(server.Handle(warm.Encode()), &partial).ok());
+  ASSERT_EQ(partial.status, GatherPartial::Disposition::kOk);
   EXPECT_EQ(server.stats().cache_entries, 1u);
 
   // A reference with the right checksum hits...
@@ -361,15 +364,15 @@ TEST_F(ShardServerTest, ChecksumMismatchInvalidatesCachedSlice) {
   reference.has_object = true;
   reference.object = warm.object;
   ASSERT_TRUE(
-      GatherPartial::Decode(server.Handle(reference.Encode()), &partial, &error));
-  EXPECT_EQ(partial.status, GatherPartial::Status::kOk);
+      GatherPartial::Decode(server.Handle(reference.Encode()), &partial).ok());
+  EXPECT_EQ(partial.status, GatherPartial::Disposition::kOk);
 
   // ...but a different checksum under the same key (a stale or colliding
   // entry) answers kNotCached and drops the entry.
   reference.checksum ^= 1;
   ASSERT_TRUE(
-      GatherPartial::Decode(server.Handle(reference.Encode()), &partial, &error));
-  EXPECT_EQ(partial.status, GatherPartial::Status::kNotCached);
+      GatherPartial::Decode(server.Handle(reference.Encode()), &partial).ok());
+  EXPECT_EQ(partial.status, GatherPartial::Disposition::kNotCached);
   EXPECT_EQ(server.stats().cache_entries, 0u);
 }
 
@@ -377,25 +380,31 @@ TEST_F(ShardServerTest, MalformedRequestYieldsErrorPartialNotUb) {
   Seam seam = MakeSeam(base_, 1);
   ShardServer& server = *seam.servers[0];
   GatherPartial partial;
-  std::string error;
-  // Unframed garbage.
-  ASSERT_TRUE(GatherPartial::Decode(server.Handle("garbage"), &partial, &error));
-  EXPECT_EQ(partial.status, GatherPartial::Status::kError);
+  // Unframed garbage — the decoder's typed code survives the round trip.
+  ASSERT_TRUE(GatherPartial::Decode(server.Handle("garbage"), &partial).ok());
+  EXPECT_EQ(partial.status, GatherPartial::Disposition::kError);
+  EXPECT_EQ(partial.code, StatusCode::kInvalidArgument);
+  // A version-1 frame is rejected as kUnimplemented, never decoded.
+  std::string v1_frame = ScatterRequest().Encode();
+  v1_frame[6] = 1;  // Version byte.
+  ASSERT_TRUE(GatherPartial::Decode(server.Handle(v1_frame), &partial).ok());
+  EXPECT_EQ(partial.status, GatherPartial::Disposition::kError);
+  EXPECT_EQ(partial.code, StatusCode::kUnimplemented);
   // A request that carries neither cells nor an object reference.
   ScatterRequest empty;
   empty.kind = ScatterRequest::Kind::kAggregateCells;
-  ASSERT_TRUE(GatherPartial::Decode(server.Handle(empty.Encode()), &partial, &error));
-  EXPECT_EQ(partial.status, GatherPartial::Status::kError);
+  ASSERT_TRUE(GatherPartial::Decode(server.Handle(empty.Encode()), &partial).ok());
+  EXPECT_EQ(partial.status, GatherPartial::Disposition::kError);
   // A warm request without cells.
   ScatterRequest bad_warm;
   bad_warm.kind = ScatterRequest::Kind::kWarm;
   bad_warm.has_object = true;
   bad_warm.object = ObjectKey(3);
   ASSERT_TRUE(
-      GatherPartial::Decode(server.Handle(bad_warm.Encode()), &partial, &error));
-  EXPECT_EQ(partial.status, GatherPartial::Status::kError);
-  EXPECT_EQ(server.stats().parse_errors, 1u);  // Only the unframed one.
-  EXPECT_EQ(server.stats().requests, 3u);
+      GatherPartial::Decode(server.Handle(bad_warm.Encode()), &partial).ok());
+  EXPECT_EQ(partial.status, GatherPartial::Disposition::kError);
+  EXPECT_EQ(server.stats().parse_errors, 2u);  // Garbage + v1 frame.
+  EXPECT_EQ(server.stats().requests, 4u);
 }
 
 // ---- shard-aware WarmCache --------------------------------------------
@@ -471,8 +480,8 @@ TEST_F(ShardServerTest, WarmAndColdResultsByteIdentical) {
         cold.Submit(req);
         warm.Submit(req);
       }
-      const std::vector<Response> cold_responses = cold.Drain();
-      const std::vector<Response> warm_responses = warm.Drain();
+      const std::vector<Response> cold_responses = cold.DrainResponses();
+      const std::vector<Response> warm_responses = warm.DrainResponses();
       ASSERT_EQ(cold_responses.size(), workload.size());
       ASSERT_EQ(warm_responses.size(), workload.size());
       const std::string label =

@@ -239,7 +239,7 @@ TEST_F(ShardedStateTest, ShardedQueryServiceByteMatchesUnshardedEngine) {
   ASSERT_EQ(service.sharded()->num_shards(), 8u);
 
   for (const service::Request& req : workload) service.Submit(req);
-  const std::vector<service::Response> responses = service.Drain();
+  const std::vector<service::Response> responses = service.DrainResponses();
   ASSERT_EQ(responses.size(), workload.size());
 
   for (size_t i = 0; i < responses.size(); ++i) {
@@ -264,6 +264,90 @@ TEST_F(ShardedStateTest, ShardedQueryServiceByteMatchesUnshardedEngine) {
             << "request " << i;
         break;
     }
+  }
+}
+
+// ---- the unconditional SUM/AVG merge identity --------------------------
+
+TEST(ShardedNonDyadicSumTest, AdversarialAttributesByteIdenticalAtEveryK) {
+  // Regression for the compensated (error-free transformation) SUM
+  // pipeline: BEFORE it, sharded SUM/AVG matched the unsharded engine
+  // bit-for-bit only for dyadic attributes — per-cell partials from the
+  // rounded prefix arrays re-associated differently across shard merges.
+  // The attribute column here is built to break that old contract:
+  //   * non-dyadic decimals (0.01 steps) whose partial sums always round,
+  //   * large-magnitude pairs (±1e9 + decimals) that cancel across cells,
+  //   * tiny values (1e-4 scale) whose bits die next to the big ones
+  // under plain double accumulation. With the compensated pairs, every
+  // per-cell and per-shard partial is exact, so the gather merges to
+  // identical bits at any shard count and any thread count.
+  data::TaxiConfig taxi_config;
+  taxi_config.universe = geom::Box(0, 0, 4096, 4096);
+  data::PointSet points = data::GenerateTaxiPoints(20000, taxi_config);
+  for (size_t i = 0; i < points.fare.size(); ++i) {
+    double fare = 0.01 * static_cast<double>(i % 977) + 1e-4;
+    if (i % 97 == 0) fare += 1e9 + 0.123;
+    if (i % 97 == 1) fare -= 1e9 - 0.456;  // Cancels a neighbour's spike.
+    points.fare[i] = fare;
+  }
+  data::RegionConfig region_config;
+  region_config.universe = taxi_config.universe;
+  region_config.num_polygons = 16;
+  region_config.target_avg_vertices = 24;
+  region_config.multi_fraction = 0.2;
+  data::RegionSet regions = data::GenerateRegions(region_config);
+  const auto base = BuildEngineState(std::move(points), std::move(regions));
+
+  for (const size_t k : {size_t{1}, size_t{7}, size_t{16}}) {
+    const auto sharded = ShardedState::Build(base, {k});
+    for (const size_t threads : {size_t{0}, size_t{8}}) {
+      std::unique_ptr<service::ThreadPool> pool;
+      ExecHooks hooks;
+      if (threads > 0) {
+        pool = std::make_unique<service::ThreadPool>(threads);
+        hooks.parallel_for = [&pool](size_t n,
+                                     const std::function<void(size_t)>& fn) {
+          pool->ParallelFor(n, fn);
+        };
+      }
+      const std::string label =
+          "k=" + std::to_string(k) + " threads=" + std::to_string(threads);
+      for (const double eps : {4.0, 16.0}) {
+        ExpectRowsIdentical(
+            ExecuteAggregate(*sharded, join::AggKind::kSum, Attr::kFare, eps,
+                             Mode::kPointIndex, hooks),
+            ExecuteAggregate(*base, join::AggKind::kSum, Attr::kFare, eps,
+                             Mode::kPointIndex),
+            label + " adversarial sum eps=" + std::to_string(eps));
+        ExpectRowsIdentical(
+            ExecuteAggregate(*sharded, join::AggKind::kAvg, Attr::kFare, eps,
+                             Mode::kPointIndex, hooks),
+            ExecuteAggregate(*base, join::AggKind::kAvg, Attr::kFare, eps,
+                             Mode::kPointIndex),
+            label + " adversarial avg eps=" + std::to_string(eps));
+      }
+    }
+    // And across the transport seam: serialization must not cost a bit
+    // even for the compensated pairs.
+    service::ServiceOptions options;
+    options.num_threads = 4;
+    options.num_shards = k;
+    options.use_transport = true;
+    service::QueryService seam(std::shared_ptr<const EngineState>(base), options);
+    const core::AggregateAnswer via_seam =
+        seam.Execute(service::Query::Aggregate(join::AggKind::kSum, Attr::kFare),
+                     [] {
+                       service::ExecOptions o;
+                       o.bound = query::ErrorBound::Absolute(4.0);
+                       o.mode = Mode::kPointIndex;
+                       return o;
+                     }())
+            .get()
+            .aggregate;
+    ExpectRowsIdentical(via_seam,
+                        ExecuteAggregate(*base, join::AggKind::kSum, Attr::kFare,
+                                         4.0, Mode::kPointIndex),
+                        "seam k=" + std::to_string(k) + " adversarial sum");
   }
 }
 

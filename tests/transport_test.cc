@@ -1,8 +1,9 @@
 // Tests for the shard-server wire format and transport abstraction:
 // bit-exact round trips (the byte-identity contract must survive
-// serialization), total decoding (truncated / corrupted / version-skewed
-// bytes are rejected, never undefined behaviour — this test runs under
-// ASan+UBSan in CI), and the loopback dispatch.
+// serialization, compensated SUM pairs included), total decoding
+// (truncated / corrupted / version-skewed bytes are rejected with a
+// typed Status, never undefined behaviour — this test runs under
+// ASan+UBSan in CI), v1-frame rejection, and the loopback dispatch.
 
 #include <gtest/gtest.h>
 
@@ -61,37 +62,70 @@ TEST(WireTest, FrameRoundTripAndRejection) {
   MessageType type;
   const char* payload = nullptr;
   size_t payload_size = 0;
-  std::string error;
-  ASSERT_TRUE(ParseFrame(framed, &type, &payload, &payload_size, &error)) << error;
+  ASSERT_TRUE(ParseFrame(framed, &type, &payload, &payload_size).ok());
   EXPECT_EQ(type, MessageType::kScatterRequest);
   ASSERT_EQ(payload_size, 4u);
   EXPECT_EQ(WireReader(payload, payload_size).U32(), 12345u);
 
   // Every strict prefix must be rejected (framing or header error).
   for (size_t len = 0; len < framed.size(); ++len) {
-    EXPECT_FALSE(ParseFrame(framed.substr(0, len), &type, &payload, &payload_size,
-                            &error))
-        << "prefix " << len;
+    const Status s = ParseFrame(framed.substr(0, len), &type, &payload,
+                                &payload_size);
+    EXPECT_FALSE(s.ok()) << "prefix " << len;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << "prefix " << len;
   }
   // Trailing garbage breaks the length invariant.
-  EXPECT_FALSE(ParseFrame(framed + "x", &type, &payload, &payload_size, &error));
+  EXPECT_EQ(ParseFrame(framed + "x", &type, &payload, &payload_size).code(),
+            StatusCode::kInvalidArgument);
   // Bad magic.
   std::string bad = framed;
   bad[4] ^= 0x5a;
-  EXPECT_FALSE(ParseFrame(bad, &type, &payload, &payload_size, &error));
-  // Version skew.
+  EXPECT_EQ(ParseFrame(bad, &type, &payload, &payload_size).code(),
+            StatusCode::kInvalidArgument);
+  // Version skew is not corruption: typed as kUnimplemented.
   bad = framed;
   bad[6] = static_cast<char>(kWireVersion + 1);
-  EXPECT_FALSE(ParseFrame(bad, &type, &payload, &payload_size, &error));
+  EXPECT_EQ(ParseFrame(bad, &type, &payload, &payload_size).code(),
+            StatusCode::kUnimplemented);
   // Unknown message type.
   bad = framed;
   bad[7] = 0x7f;
-  EXPECT_FALSE(ParseFrame(bad, &type, &payload, &payload_size, &error));
+  EXPECT_EQ(ParseFrame(bad, &type, &payload, &payload_size).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, V1FramesAreRejectedWithTypedStatus) {
+  // A well-formed VERSION 1 frame (the pre-envelope wire format): header
+  // plus a plausible v1 ScatterRequest payload. The v2 decoder must
+  // reject it with kUnimplemented — total, typed, never decoded with
+  // defaulted contract fields.
+  WireWriter payload;
+  payload.U8(0);       // kind = kAggregateCells
+  payload.U8(0);       // flags
+  payload.I32(13);     // level (v1 layout: no bound fields)
+  payload.U64(0x11);   // checksum
+  WireWriter framed;
+  framed.U32(static_cast<uint32_t>(payload.payload().size() + 4));
+  framed.U16(kWireMagic);
+  framed.U8(1);  // version 1
+  framed.U8(static_cast<uint8_t>(MessageType::kScatterRequest));
+  framed.Bytes(payload.payload().data(), payload.payload().size());
+  const std::string v1_frame = framed.payload();
+
+  ScatterRequest out;
+  const Status s = ScatterRequest::Decode(v1_frame, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnimplemented);
+  GatherPartial partial;
+  EXPECT_EQ(GatherPartial::Decode(v1_frame, &partial).code(),
+            StatusCode::kUnimplemented);
 }
 
 ScatterRequest MakeRequest(ScatterRequest::Kind kind, bool object, bool cells) {
   ScatterRequest req;
   req.kind = kind;
+  req.bound_kind = query::BoundKind::kAbsoluteDistance;
+  req.bound_epsilon = 0.1 + 0.2;  // Not exactly 0.3 — bits must survive.
   req.level = 13;
   req.checksum = 0x1122334455667788ull;
   if (object) {
@@ -107,6 +141,11 @@ ScatterRequest MakeRequest(ScatterRequest::Kind kind, bool object, bool cells) {
   return req;
 }
 
+/// Offset of the first cell id in an object-less, cells-carrying
+/// ScatterRequest frame: header(8) + kind(1) + flags(1) + bound_kind(1) +
+/// bound_epsilon(8) + level(4) + checksum(8) + cell count(4).
+constexpr size_t kFirstCellIdOffset = 8 + 1 + 1 + 1 + 8 + 4 + 8 + 4;
+
 TEST(ScatterRequestTest, RoundTripAllShapes) {
   for (const auto kind :
        {ScatterRequest::Kind::kAggregateCells, ScatterRequest::Kind::kSelectIds,
@@ -115,9 +154,10 @@ TEST(ScatterRequestTest, RoundTripAllShapes) {
       for (const bool cells : {false, true}) {
         const ScatterRequest req = MakeRequest(kind, object, cells);
         ScatterRequest got;
-        std::string error;
-        ASSERT_TRUE(ScatterRequest::Decode(req.Encode(), &got, &error)) << error;
+        ASSERT_TRUE(ScatterRequest::Decode(req.Encode(), &got).ok());
         EXPECT_EQ(got.kind, req.kind);
+        EXPECT_EQ(got.bound_kind, req.bound_kind);
+        EXPECT_EQ(got.bound_epsilon, req.bound_epsilon);
         EXPECT_EQ(got.level, req.level);
         EXPECT_EQ(got.checksum, req.checksum);
         EXPECT_EQ(got.has_object, req.has_object);
@@ -137,19 +177,19 @@ TEST(ScatterRequestTest, RejectsInvalidCellIds) {
   const ScatterRequest req = MakeRequest(ScatterRequest::Kind::kAggregateCells,
                                          /*object=*/false, /*cells=*/true);
   std::string bytes = req.Encode();
-  // The first cell id starts right after header(8) + kind(1) + flags(1) +
-  // level(4) + checksum(8) + count(4) = byte 26. Zero it: id 0 is invalid
-  // (its decoding would hit __builtin_ctzll(0), which is UB — exactly
-  // what the validation must prevent).
-  std::memset(&bytes[26], 0, 8);
+  // Zero the first cell id: id 0 is invalid (its decoding would hit
+  // __builtin_ctzll(0), which is UB — exactly what the validation must
+  // prevent).
+  std::memset(&bytes[kFirstCellIdOffset], 0, 8);
   ScatterRequest got;
-  std::string error;
-  EXPECT_FALSE(ScatterRequest::Decode(bytes, &got, &error));
+  EXPECT_EQ(ScatterRequest::Decode(bytes, &got).code(),
+            StatusCode::kInvalidArgument);
 
   // An id beyond the 49-bit cell domain is invalid too.
   bytes = req.Encode();
-  bytes[26 + 7] = static_cast<char>(0xff);
-  EXPECT_FALSE(ScatterRequest::Decode(bytes, &got, &error));
+  bytes[kFirstCellIdOffset + 7] = static_cast<char>(0xff);
+  EXPECT_EQ(ScatterRequest::Decode(bytes, &got).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(ScatterRequestTest, TruncationNeverCrashes) {
@@ -160,9 +200,8 @@ TEST(ScatterRequestTest, TruncationNeverCrashes) {
                                          /*object=*/true, /*cells=*/true);
   const std::string bytes = req.Encode();
   ScatterRequest got;
-  std::string error;
   for (size_t len = 0; len < bytes.size(); ++len) {
-    EXPECT_FALSE(ScatterRequest::Decode(bytes.substr(0, len), &got, &error))
+    EXPECT_FALSE(ScatterRequest::Decode(bytes.substr(0, len), &got).ok())
         << "prefix " << len;
   }
   // Single-byte corruptions must decode successfully or fail cleanly —
@@ -172,8 +211,7 @@ TEST(ScatterRequestTest, TruncationNeverCrashes) {
     std::string corrupt = bytes;
     corrupt[i] = static_cast<char>(corrupt[i] ^ 0xff);
     ScatterRequest out;
-    std::string err;
-    (void)ScatterRequest::Decode(corrupt, &out, &err);
+    (void)ScatterRequest::Decode(corrupt, &out);
   }
 }
 
@@ -182,19 +220,22 @@ TEST(GatherPartialTest, AggregateDoublesAreBitExact) {
   partial.kind = ScatterRequest::Kind::kAggregateCells;
   partial.aggregate.count = 1234567.0;
   partial.aggregate.sum = 0.1 + 0.2;  // Not exactly 0.3 — bits must survive.
+  partial.aggregate.sum_comp = 1e-17;  // Compensation travels bit-exact too.
   partial.aggregate.boundary_count = -0.0;
   partial.aggregate.boundary_sum = std::numeric_limits<double>::denorm_min();
+  partial.aggregate.boundary_sum_comp = -1e-33;
   partial.aggregate.query_cells = 77;
   partial.aggregate.searches = 154;
 
   GatherPartial got;
-  std::string error;
-  ASSERT_TRUE(GatherPartial::Decode(partial.Encode(), &got, &error)) << error;
-  EXPECT_EQ(got.status, GatherPartial::Status::kOk);
+  ASSERT_TRUE(GatherPartial::Decode(partial.Encode(), &got).ok());
+  EXPECT_EQ(got.status, GatherPartial::Disposition::kOk);
   uint64_t want_bits = 0, got_bits = 0;
   std::memcpy(&want_bits, &partial.aggregate.sum, 8);
   std::memcpy(&got_bits, &got.aggregate.sum, 8);
   EXPECT_EQ(got_bits, want_bits);
+  EXPECT_EQ(got.aggregate.sum_comp, 1e-17);
+  EXPECT_EQ(got.aggregate.boundary_sum_comp, -1e-33);
   EXPECT_EQ(got.aggregate.count, partial.aggregate.count);
   EXPECT_TRUE(std::signbit(got.aggregate.boundary_count));
   EXPECT_EQ(got.aggregate.boundary_sum, std::numeric_limits<double>::denorm_min());
@@ -207,30 +248,45 @@ TEST(GatherPartialTest, SelectWarmAndErrorRoundTrip) {
   select.kind = ScatterRequest::Kind::kSelectIds;
   select.keyed_ids = {{0, 0}, {42, 7}, {UINT64_MAX, UINT32_MAX}};
   GatherPartial got;
-  std::string error;
-  ASSERT_TRUE(GatherPartial::Decode(select.Encode(), &got, &error)) << error;
+  ASSERT_TRUE(GatherPartial::Decode(select.Encode(), &got).ok());
   EXPECT_EQ(got.keyed_ids, select.keyed_ids);
 
   GatherPartial warm;
   warm.kind = ScatterRequest::Kind::kWarm;
   warm.cells_cached = 321;
-  ASSERT_TRUE(GatherPartial::Decode(warm.Encode(), &got, &error)) << error;
+  ASSERT_TRUE(GatherPartial::Decode(warm.Encode(), &got).ok());
   EXPECT_EQ(got.cells_cached, 321u);
 
-  GatherPartial failed;
-  failed.kind = ScatterRequest::Kind::kAggregateCells;
-  failed.status = GatherPartial::Status::kError;
-  failed.error = "shard on fire";
-  ASSERT_TRUE(GatherPartial::Decode(failed.Encode(), &got, &error)) << error;
-  EXPECT_EQ(got.status, GatherPartial::Status::kError);
+  // Errors round-trip TYPED: the StatusCode survives the wire, so the
+  // router recovers Status{kInvalidArgument, ...}, not just text.
+  const GatherPartial failed = GatherPartial::FromStatus(
+      ScatterRequest::Kind::kAggregateCells, GatherPartial::Disposition::kError,
+      Status::InvalidArgument("shard on fire"));
+  ASSERT_TRUE(GatherPartial::Decode(failed.Encode(), &got).ok());
+  EXPECT_EQ(got.status, GatherPartial::Disposition::kError);
+  EXPECT_EQ(got.code, StatusCode::kInvalidArgument);
   EXPECT_EQ(got.error, "shard on fire");
+  EXPECT_EQ(got.ToStatus().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(got.ToStatus().message(), "shard on fire");
 
-  GatherPartial not_cached;
-  not_cached.kind = ScatterRequest::Kind::kAggregateCells;
-  not_cached.status = GatherPartial::Status::kNotCached;
-  not_cached.error = "slice not cached";
-  ASSERT_TRUE(GatherPartial::Decode(not_cached.Encode(), &got, &error)) << error;
-  EXPECT_EQ(got.status, GatherPartial::Status::kNotCached);
+  const GatherPartial not_cached = GatherPartial::FromStatus(
+      ScatterRequest::Kind::kAggregateCells,
+      GatherPartial::Disposition::kNotCached, Status::NotFound("slice not cached"));
+  ASSERT_TRUE(GatherPartial::Decode(not_cached.Encode(), &got).ok());
+  EXPECT_EQ(got.status, GatherPartial::Disposition::kNotCached);
+  EXPECT_EQ(got.ToStatus().code(), StatusCode::kNotFound);
+}
+
+TEST(GatherPartialTest, RejectsUnknownStatusCode) {
+  const GatherPartial failed = GatherPartial::FromStatus(
+      ScatterRequest::Kind::kAggregateCells, GatherPartial::Disposition::kError,
+      Status::Internal("x"));
+  std::string bytes = failed.Encode();
+  // Corrupt the status-code byte (header(8) + kind(1) + disposition(1)).
+  bytes[10] = static_cast<char>(0x7f);
+  GatherPartial got;
+  EXPECT_EQ(GatherPartial::Decode(bytes, &got).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(GatherPartialTest, TruncationNeverCrashes) {
@@ -239,9 +295,8 @@ TEST(GatherPartialTest, TruncationNeverCrashes) {
   for (uint32_t i = 0; i < 100; ++i) partial.keyed_ids.emplace_back(i * 31, i);
   const std::string bytes = partial.Encode();
   GatherPartial got;
-  std::string error;
   for (size_t len = 0; len < bytes.size(); ++len) {
-    EXPECT_FALSE(GatherPartial::Decode(bytes.substr(0, len), &got, &error))
+    EXPECT_FALSE(GatherPartial::Decode(bytes.substr(0, len), &got).ok())
         << "prefix " << len;
   }
 }
@@ -267,10 +322,8 @@ TEST(LoopbackTransportTest, DispatchesToHandlersAndCounts) {
   const std::string encoded = req.Encode();
   for (size_t s = 0; s < 3; ++s) {
     GatherPartial partial;
-    std::string error;
-    ASSERT_TRUE(GatherPartial::Decode(transport.Roundtrip(s, encoded), &partial,
-                                      &error))
-        << error;
+    ASSERT_TRUE(GatherPartial::Decode(transport.Roundtrip(s, encoded), &partial)
+                    .ok());
     EXPECT_EQ(partial.cells_cached, s * 100 + encoded.size());
   }
   const LoopbackTransport::Stats stats = transport.stats();

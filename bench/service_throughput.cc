@@ -24,7 +24,13 @@
 // the bytes-per-query column is what the per-shard HR cache saves on the
 // wire.
 //
-// A fourth section measures the v2 envelope itself: the same workload
+// A fourth section measures the socket transport: the same workload with
+// every shard probe crossing localhost TCP (in-process listeners on
+// ephemeral ports — real kernel sockets, real connection management) vs
+// the loopback seam. The qps gap is the per-message cost the optimizer
+// charges as transport_overhead.
+//
+// A fifth section measures the v2 envelope itself: the same workload
 // submitted through the frozen v1 Request shim vs the native
 // Query/ExecOptions path (shim conversion overhead — should be noise),
 // plus the serialized size of v2 wire messages (the envelope's bound
@@ -39,6 +45,7 @@
 
 #include "bench_util.h"
 #include "service/query_service.h"
+#include "service/socket_cluster.h"
 
 namespace dbsa {
 namespace {
@@ -342,6 +349,89 @@ void RunTransport(size_t n_points, size_t n_regions, size_t threads,
   PrintNote("per-shard HR cache keeping cell payloads off the wire.");
 }
 
+/// Real RPC: the same selective-viewport workload with every shard probe
+/// crossing localhost TCP sockets — in-process ShardListeners on
+/// ephemeral ports, so the kernel loopback interface, the framing and
+/// the connection management are all real — vs the loopback seam. The
+/// socket/loopback qps ratio is the honest per-message cost the
+/// optimizer charges as QueryProfile::transport_overhead
+/// (SocketTransport::kDefaultCostPerMessage vs
+/// LoopbackTransport::kCostPerMessage).
+void RunSocket(size_t n_points, size_t n_regions, size_t threads,
+               size_t max_shards, size_t num_viewports) {
+  PrintBanner("Socket transport: localhost TCP vs loopback seam");
+  bench::PrintScale(HumanCount(static_cast<double>(n_points)) + " points, " +
+                    std::to_string(num_viewports) + " viewports, " +
+                    std::to_string(threads) + " threads");
+
+  data::PointSet points = bench::BenchPoints(n_points);
+  data::RegionSet regions =
+      data::GenerateRegions(data::CensusConfig(bench::BenchUniverse(), n_regions));
+  const std::shared_ptr<const core::EngineState> snapshot =
+      core::BuildEngineState(std::move(points), std::move(regions));
+  const std::vector<geom::Polygon> viewports =
+      MakeViewports(snapshot->grid.universe(), num_viewports);
+  const double eps = 4.0;
+
+  TablePrinter table({"shards", "loopback warm qps", "socket warm qps",
+                      "socket/loopback", "dials", "msg B/query"});
+  for (size_t shards = 1; shards <= max_shards; shards *= 2) {
+    ServiceOptions loopback;
+    loopback.num_threads = threads;
+    loopback.cache_budget_bytes = size_t{256} << 20;
+    loopback.num_shards = shards;
+    loopback.use_transport = true;
+    QueryService loopback_service(snapshot, loopback);
+
+    // The cluster: one listener per shard, in-process but over real TCP.
+    const service::InProcessShardCluster cluster =
+        service::MakeInProcessShardCluster(snapshot, shards);
+    ServiceOptions socket = loopback;
+    socket.num_shards = 0;  // From the placement.
+    socket.transport_kind = service::TransportKind::kSocket;
+    socket.placement = cluster.placement;
+    QueryService socket_service(snapshot, socket);
+
+    const auto time_pass = [&](QueryService& service) {
+      Timer timer;
+      for (const geom::Polygon& v : viewports) {
+        service.CountInPolygon(v, eps).get();
+      }
+      return static_cast<double>(viewports.size()) / timer.Seconds();
+    };
+    (void)time_pass(loopback_service);  // Warm (central + per-shard).
+    const double loopback_qps = time_pass(loopback_service);
+    (void)time_pass(socket_service);  // Warm + connections established.
+    const service::SocketTransport::Stats s1 = socket_service.socket_transport()->stats();
+    const double socket_qps = time_pass(socket_service);
+    const service::SocketTransport::Stats s2 = socket_service.socket_transport()->stats();
+
+    const double nq = static_cast<double>(viewports.size());
+    const double wire_bytes =
+        static_cast<double>((s2.request_bytes + s2.response_bytes) -
+                            (s1.request_bytes + s1.response_bytes)) / nq;
+    table.AddRow({std::to_string(shards), TablePrinter::Num(loopback_qps, 5),
+                  TablePrinter::Num(socket_qps, 5),
+                  TablePrinter::Num(socket_qps / loopback_qps, 4),
+                  std::to_string(s2.dials), TablePrinter::Num(wire_bytes, 5)});
+    bench::JsonLine("service_socket_transport")
+        .Add("shards", shards)
+        .Add("threads", threads)
+        .Add("queries", viewports.size())
+        .Add("loopback_warm_qps", loopback_qps)
+        .Add("socket_warm_qps", socket_qps)
+        .Add("socket_over_loopback", socket_qps / loopback_qps)
+        .Add("dials", s2.dials)
+        .Add("wire_bytes_per_query", wire_bytes)
+        .Add("messages", s2.messages)
+        .Print();
+  }
+  table.Print();
+  PrintNote("socket/loopback < 1 is the real per-message cost (syscalls,");
+  PrintNote("kernel TCP) that transport_overhead charges the planner; dials");
+  PrintNote("staying ~ shards x threads shows connections persist and pool.");
+}
+
 /// The envelope-overhead section: v1 shim vs native v2 submissions of the
 /// same repeated-epsilon workload (warm cache, so conversion and
 /// dispatch — not HR builds — dominate), plus v2 wire bytes per message.
@@ -446,6 +536,7 @@ int main(int argc, char** argv) {
   dbsa::Run(n_points, n_regions, rounds, max_threads);
   dbsa::RunSharding(n_points, n_regions, max_threads, max_shards, viewports);
   dbsa::RunTransport(n_points, n_regions, max_threads, max_shards, viewports);
+  dbsa::RunSocket(n_points, n_regions, max_threads, max_shards, viewports);
   dbsa::RunEnvelope(n_points, n_regions, rounds, max_threads);
   dbsa::bench::CloseJsonOut();
   return 0;

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Docs rot guard (CI): fails on
+#   1. dead intra-repo markdown links (missing files OR missing #anchors)
+#      in README.md, ROADMAP.md and docs/*.md;
+#   2. backticked repo paths (src/..., tests/..., docs/..., ...) that no
+#      longer exist (globs like src/service/transport.* are expanded);
+#   3. backticked C++ symbols in docs/*.md — `Foo::Bar` qualified names
+#      and bare PascalCase identifiers — that appear nowhere under src/
+#      or tests/ (i.e. the documented symbol was renamed or deleted).
+#
+# Pure bash + grep/sed: no python dependency, runs anywhere CI does.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+  echo "check_docs_links: $*" >&2
+  fail=1
+}
+
+FILES=(README.md ROADMAP.md docs/*.md)
+
+# GitHub-style anchor of every heading in a file: lowercase, punctuation
+# stripped, spaces to hyphens. Fenced code blocks are excluded first —
+# a '# comment' inside ``` is not a heading, and treating it as one
+# would mint phantom anchors that let dead #links pass.
+anchors_of() {
+  awk '/^```/ { fence = !fence; next } !fence' "$1" \
+    | sed -n 's/^#\{1,6\} *//p' \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+# ---- 1. relative markdown links ---------------------------------------
+for f in "${FILES[@]}"; do
+  dir=$(dirname "$f")
+  while IFS= read -r link; do
+    [[ -z "${link}" ]] && continue
+    case "${link}" in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    target=${link%%#*}
+    anchor=""
+    [[ "${link}" == *#* ]] && anchor=${link#*#}
+    if [[ -z "${target}" ]]; then
+      resolved=$f
+    else
+      resolved="${dir}/${target}"
+    fi
+    if [[ ! -e "${resolved}" ]]; then
+      err "$f: dead link -> ${link}"
+      continue
+    fi
+    if [[ -n "${anchor}" && -f "${resolved}" ]]; then
+      if ! anchors_of "${resolved}" | grep -qx -- "${anchor}"; then
+        err "$f: link -> ${link}: no heading for anchor '#${anchor}'"
+      fi
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//')
+done
+
+# ---- 2. backticked repo paths -----------------------------------------
+for f in "${FILES[@]}"; do
+  while IFS= read -r p; do
+    if [[ "${p}" == *'*'* ]]; then
+      compgen -G "${p}" > /dev/null || err "$f: no file matches ${p}"
+    elif [[ ! -e "${p}" ]]; then
+      err "$f: references missing path ${p}"
+    fi
+  done < <(grep -oE '`(src|tests|bench|examples|scripts|docs)/[A-Za-z0-9_.*/-]+`' "$f" \
+             | tr -d '`' | sort -u)
+done
+
+# ---- 3. symbols documented in docs/ must still exist ------------------
+for f in docs/*.md; do
+  # Qualified names: `Namespace::Member` (any :: depth). Accept if the
+  # FULL qualified spelling appears anywhere, else require the final
+  # component as a whole word (-w) — a bare substring grep would let
+  # short components like `Status::OK` match prose and never catch the
+  # rename/delete this guard exists for.
+  while IFS= read -r sym; do
+    last=${sym##*::}
+    grep -rqF -- "${sym}" src tests \
+      || grep -rqwF -- "${last}" src tests \
+      || err "$f: documented symbol ${sym} not found under src/ or tests/"
+  done < <(grep -oE '`[A-Za-z_][A-Za-z0-9_]*(::~?[A-Za-z_][A-Za-z0-9_]*)+`' "$f" \
+             | tr -d '`' | sort -u)
+  # Bare type-looking identifiers: PascalCase with at least one lowercase
+  # letter (excludes acronyms like TCP and constants like NaN-free text).
+  while IFS= read -r sym; do
+    grep -rqF -- "${sym}" src tests \
+      || err "$f: documented identifier ${sym} not found under src/ or tests/"
+  done < <(grep -oE '`[A-Z][A-Za-z0-9]*`' "$f" | tr -d '`' \
+             | grep -E '[a-z]' | sort -u)
+done
+
+if [[ "${fail}" -ne 0 ]]; then
+  echo "check_docs_links: FAILED (fix the docs or the code reference)" >&2
+  exit 1
+fi
+echo "check_docs_links: OK (${#FILES[@]} files checked)"

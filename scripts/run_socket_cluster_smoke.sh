@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end socket-cluster smoke: real shard_server_main processes, a
+# placement file, the demo client verifying byte-identity over TCP, and
+# a failover drill (kill a primary, query again through its replica).
+# Mirrors the walkthrough in docs/operations.md. CI runs this after the
+# build; it exits non-zero if any query fails, any payload diverges from
+# the loopback reference, or the failover pass does not survive.
+#
+# usage: scripts/run_socket_cluster_smoke.sh [BUILD_DIR]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SHARDS=4
+SERVER="${BUILD_DIR}/shard_server_main"
+CLIENT="${BUILD_DIR}/example_socket_cluster_demo"
+
+for bin in "${SERVER}" "${CLIENT}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "missing binary: ${bin} (build first)" >&2
+    exit 1
+  fi
+done
+
+WORK_DIR="$(mktemp -d "${TMPDIR:-/tmp}/dbsa-smoke.XXXXXX")"
+PLACEMENT="${WORK_DIR}/cluster.placement"
+declare -a PIDS=()
+
+cleanup() {
+  local pid
+  for pid in "${PIDS[@]:-}"; do
+    kill "${pid}" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "${WORK_DIR}"
+}
+trap cleanup EXIT
+
+# Ports: a randomized base keeps parallel CI jobs off each other's toes;
+# retry the whole cluster on a fresh base if anything fails to bind.
+start_cluster() {
+  local base=$1
+  : > "${PLACEMENT}"
+  for ((s = 0; s < SHARDS; ++s)); do
+    echo "${s} 127.0.0.1:$((base + s)) 127.0.0.1:$((base + 100 + s))" \
+      >> "${PLACEMENT}"
+  done
+  for ((s = 0; s < SHARDS; ++s)); do
+    "${SERVER}" --placement="${PLACEMENT}" --shard="${s}" \
+      > "${WORK_DIR}/shard${s}-primary.log" 2>&1 &
+    PIDS+=($!)
+    "${SERVER}" --placement="${PLACEMENT}" --shard="${s}" --endpoint=replica \
+      > "${WORK_DIR}/shard${s}-replica.log" 2>&1 &
+    PIDS+=($!)
+  done
+  # Wait until every endpoint reports listening (servers build the
+  # dataset first, so give them a moment).
+  local deadline=$((SECONDS + 120))
+  while :; do
+    local listening
+    listening=$(grep -l "listening on" "${WORK_DIR}"/shard*-*.log 2>/dev/null | wc -l)
+    [[ "${listening}" -eq $((2 * SHARDS)) ]] && return 0
+    if ((SECONDS >= deadline)); then
+      echo "cluster did not come up; server logs:" >&2
+      tail -n 5 "${WORK_DIR}"/shard*-*.log >&2 || true
+      return 1
+    fi
+    # A server that died (port clash) never prints; fail fast.
+    local pid
+    for pid in "${PIDS[@]}"; do
+      if ! kill -0 "${pid}" 2>/dev/null; then
+        return 1
+      fi
+    done
+    sleep 0.3
+  done
+}
+
+started=0
+for attempt in 1 2 3; do
+  base=$(( (RANDOM % 2000) * 4 + 42000 ))
+  echo "== starting ${SHARDS}-shard cluster (+replicas) at ports ${base}+ (attempt ${attempt})"
+  if start_cluster "${base}"; then
+    started=1
+    break
+  fi
+  for pid in "${PIDS[@]:-}"; do kill "${pid}" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  PIDS=()
+done
+if [[ "${started}" -ne 1 ]]; then
+  echo "failed to start the cluster after 3 attempts" >&2
+  exit 1
+fi
+
+echo "== pass 1: full workload over TCP, byte-identity vs the loopback seam"
+"${CLIENT}" --placement="${PLACEMENT}"
+
+echo "== failover drill: killing shard 1's primary"
+# PIDS layout: shard s primary at index 2s, replica at 2s+1.
+kill "${PIDS[2]}" 2>/dev/null || true
+sleep 0.5
+
+echo "== pass 2: same workload, shard 1 served by its replica"
+"${CLIENT}" --placement="${PLACEMENT}"
+
+echo "== socket cluster smoke OK"

@@ -72,6 +72,12 @@ std::shared_ptr<const ShardedState> ShardedState::Build(
   const int hilbert_level =
       std::clamp(options.hilbert_level, 1, raster::CellId::kMaxLevel);
   sharded->hilbert_level_ = hilbert_level;
+  // Shard counts silently clamp to the point count; a requested
+  // only_slice must survive that clamp or shard(only_slice) would be an
+  // out-of-bounds access on the caller's side.
+  DBSA_CHECK(options.only_slice < 0 ||
+             static_cast<size_t>(options.only_slice) < k);
+  sharded->has_slices_ = options.build_slices && options.only_slice < 0;
 
   // Order the points along the Hilbert curve of the base grid at the
   // chosen level (ties — points in one curve cell — by row id, so every
@@ -104,6 +110,22 @@ std::shared_ptr<const ShardedState> ShardedState::Build(
         HilbertRunToKeyRanges(shard.hilbert_lo, shard.hilbert_hi, hilbert_level);
     std::sort(shard.global_ids.begin(), shard.global_ids.end());
 
+    // Routing metadata (bounds + exact leaf-coordinate box) is always
+    // built — pruning must behave identically on routing-only builds.
+    for (const uint32_t id : shard.global_ids) {
+      shard.bounds.Extend(b.points->locs[id]);
+      uint32_t ix = 0, iy = 0;
+      b.grid.PointToXY(b.points->locs[id], raster::CellId::kMaxLevel, &ix, &iy);
+      shard.min_ix = std::min(shard.min_ix, ix);
+      shard.min_iy = std::min(shard.min_iy, iy);
+      shard.max_ix = std::max(shard.max_ix, ix);
+      shard.max_iy = std::max(shard.max_iy, iy);
+    }
+    if (!options.build_slices) continue;  // Routing-only: no slice copy.
+    if (options.only_slice >= 0 && static_cast<size_t>(options.only_slice) != s) {
+      continue;  // Single-slice build: skip the other shards' copies.
+    }
+
     // Attribute columns are copied all-or-nothing: a column is either
     // parallel to locs (copied row-for-row) or absent (left empty) — a
     // partially-filled base column would otherwise silently misalign the
@@ -121,13 +143,6 @@ std::shared_ptr<const ShardedState> ShardedState::Build(
       if (has_fare) slice->fare.push_back(b.points->fare[id]);
       if (has_passengers) slice->passengers.push_back(b.points->passengers[id]);
       if (has_hour) slice->hour.push_back(b.points->hour[id]);
-      shard.bounds.Extend(b.points->locs[id]);
-      uint32_t ix = 0, iy = 0;
-      b.grid.PointToXY(b.points->locs[id], raster::CellId::kMaxLevel, &ix, &iy);
-      shard.min_ix = std::min(shard.min_ix, ix);
-      shard.min_iy = std::min(shard.min_iy, iy);
-      shard.max_ix = std::max(shard.max_ix, ix);
-      shard.max_iy = std::max(shard.max_iy, iy);
     }
     shard.state = BuildEngineState(std::move(slice), b.regions, &b.grid);
   }
@@ -155,7 +170,9 @@ std::vector<ShardedState::CellRoute> ShardedState::MakeRoutes(
 bool ShardedState::ShardIntersects(size_t s, const CellRoute* routes,
                                    size_t num_cells) const {
   const Shard& shard = shards_[s];
-  if (shard.state == nullptr || shard.min_ix > shard.max_ix) return false;
+  // global_ids (not state): a routing-only build has no slice states but
+  // must route identically to a full build.
+  if (shard.global_ids.empty() || shard.min_ix > shard.max_ix) return false;
   // Merge-join: routes are in ascending key order (HR cells are sorted
   // and disjoint) and key_ranges are sorted disjoint intervals, so one
   // forward pass with ~3 integer compares per step decides every cell.
@@ -203,7 +220,7 @@ std::vector<raster::HrCell> ShardedState::PruneCellsForShard(
     size_t num_cells) const {
   std::vector<raster::HrCell> out;
   const Shard& shard = shards_[s];
-  if (shard.state == nullptr || shard.min_ix > shard.max_ix) return out;
+  if (shard.global_ids.empty() || shard.min_ix > shard.max_ix) return out;
   // Merge-join over the sorted cell keys and the shard's sorted curve-run
   // intervals: curve-run test routes near-exclusively (only shards whose
   // run crosses the cell keep it), leaf-bounds test trims the run's
@@ -254,6 +271,9 @@ join::CellAggregate ScatterGatherCells(const ShardedState& sharded,
                                        const ExecHooks& hooks,
                                        std::atomic<uint32_t>* touched,
                                        size_t* num_surviving = nullptr) {
+  // The in-process scatter needs slice states; a routing-only build
+  // (socket clients) must go through ShardRouter instead.
+  DBSA_CHECK(sharded.has_slices());
   // Routes computed once, shared by every shard's pruning pass.
   const std::vector<ShardedState::CellRoute> routes =
       sharded.MakeRoutes(hr.cells().data(), hr.cells().size());
@@ -410,6 +430,7 @@ SelectAnswer ExecuteSelect(const ShardedState& sharded, const geom::Polygon& pol
                            const ExecHooks& hooks) {
   const EngineState& base = sharded.base();
   if (bound.exact()) return ExecuteSelect(base, poly, bound, hooks);
+  DBSA_CHECK(sharded.has_slices());  // Routing-only builds: ShardRouter only.
   SelectAnswer out;
   Timer timer;
   const double epsilon = bound.EffectiveEpsilon(base.grid);

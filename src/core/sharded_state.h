@@ -60,6 +60,21 @@ struct ShardingOptions {
   /// Points within one level-`hilbert_level` cell always land in the same
   /// shard run; 16 gives 2^32 curve positions — plenty below city scale.
   int hilbert_level = 16;
+  /// Build each shard's slice EngineState (a copy of its points +
+  /// attribute columns and an eagerly built point index). Routing
+  /// metadata — curve runs, key ranges, bounds, the global-id map — is
+  /// always built. Set false for a pure ROUTING client (the socket
+  /// transport: it prunes and scatters but never executes shard-locally;
+  /// the slices live in the shard-server processes), which skips the
+  /// second full copy of the dataset and K index builds.
+  bool build_slices = true;
+  /// When >= 0 (and build_slices), materialize ONLY this shard's slice:
+  /// a shard-server process keeps exactly one slice, and building the
+  /// other K-1 copies + indexes first makes cluster startup O(K) per
+  /// process. Routing metadata is still built for every shard. The
+  /// in-process scatter executors need every slice, so has_slices() is
+  /// false unless all of them were built.
+  int only_slice = -1;
 };
 
 /// K spatially-local shards of one EngineState snapshot. Immutable after
@@ -68,7 +83,9 @@ class ShardedState {
  public:
   struct Shard {
     /// Slice state: shard points + shared regions, base grid, eagerly
-    /// built point index. Null iff the shard is empty.
+    /// built point index. Null iff the shard is empty OR the state was
+    /// built with ShardingOptions::build_slices == false (routing-only;
+    /// see has_slices()).
     std::shared_ptr<const EngineState> state;
     /// Local row -> base-table row. Ascending, so shard-local sorted
     /// order equals the base (key, row) order restricted to the shard.
@@ -106,6 +123,10 @@ class ShardedState {
   const EngineState& base() const { return *base_; }
   const std::shared_ptr<const EngineState>& base_ptr() const { return base_; }
   size_t num_shards() const { return shards_.size(); }
+  /// False iff built with build_slices == false: routing/pruning work,
+  /// the in-process scatter executors (which need shard(s).state) do not
+  /// (they DBSA_CHECK), and IndexBytes() reports 0.
+  bool has_slices() const { return has_slices_; }
   const Shard& shard(size_t i) const { return shards_[i]; }
   const std::vector<Shard>& shards() const { return shards_; }
 
@@ -166,6 +187,7 @@ class ShardedState {
   std::shared_ptr<const EngineState> base_;
   std::vector<Shard> shards_;
   int hilbert_level_ = 16;
+  bool has_slices_ = true;
 };
 
 /// Below this many approximation cells a query's shard fan-out cannot

@@ -1,0 +1,79 @@
+// The "demo city": the deterministic synthetic dataset shared by BOTH
+// halves of the socket-cluster walkthrough — shard_server_main (the
+// server processes) and examples/socket_cluster_demo.cpp (the client).
+//
+// A socket deployment only reproduces the engine's byte-identity
+// contract if every process builds the SAME EngineState bit for bit:
+// the client shards it for routing metadata, each server shards it and
+// keeps its own slice, and the slices must line up exactly. The
+// generators (data/taxi.h, data/regions.h) are pure functions of their
+// configs, so agreeing on this one config — same flags on every process
+// — is sufficient. docs/operations.md walks through it.
+
+#ifndef DBSA_DATA_CLUSTER_DEMO_H_
+#define DBSA_DATA_CLUSTER_DEMO_H_
+
+#include "data/regions.h"
+#include "data/taxi.h"
+#include "util/flags.h"
+
+namespace dbsa::data {
+
+/// One knob set for the whole cluster; every field must match across
+/// processes (see header comment).
+struct ClusterDemoConfig {
+  double universe_side = 4096.0;
+  size_t num_points = 20000;
+  size_t num_regions = 24;
+  uint64_t seed = 20210111;
+  /// Hilbert ordering granularity of the shard cuts. Not a generator
+  /// knob, but every process's cuts must agree (client routing build AND
+  /// each server's slice build), so it rides in the must-match config.
+  int hilbert_level = 16;
+};
+
+/// Parses the knobs every cluster process must agree on (--universe,
+/// --points, --regions, --seed, --hilbert_level). ONE definition for
+/// shard_server_main AND the demo client: a knob added here reaches
+/// both binaries, so the flags-must-match contract holds by
+/// construction instead of by parallel edits.
+inline ClusterDemoConfig ClusterDemoConfigFromFlags(int argc, char** argv) {
+  ClusterDemoConfig config;
+  config.universe_side =
+      util::NumFlag(argc, argv, "universe", config.universe_side);
+  if (config.universe_side <= 0.0) {
+    std::fprintf(stderr, "error: --universe=%g must be positive\n",
+                 config.universe_side);
+    std::exit(2);
+  }
+  config.num_points = static_cast<size_t>(
+      util::UintFlag(argc, argv, "points", config.num_points));
+  config.num_regions = static_cast<size_t>(
+      util::UintFlag(argc, argv, "regions", config.num_regions));
+  config.seed = util::UintFlag(argc, argv, "seed", config.seed);
+  config.hilbert_level = static_cast<int>(util::UintFlag(
+      argc, argv, "hilbert_level",
+      static_cast<unsigned long long>(config.hilbert_level)));
+  return config;
+}
+
+inline PointSet ClusterDemoPoints(const ClusterDemoConfig& config = {}) {
+  TaxiConfig taxi;
+  taxi.universe = geom::Box(0.0, 0.0, config.universe_side, config.universe_side);
+  taxi.seed = config.seed;
+  return GenerateTaxiPoints(config.num_points, taxi);
+}
+
+inline RegionSet ClusterDemoRegions(const ClusterDemoConfig& config = {}) {
+  RegionConfig regions;
+  regions.universe = geom::Box(0.0, 0.0, config.universe_side, config.universe_side);
+  regions.num_polygons = config.num_regions;
+  regions.target_avg_vertices = 24.0;
+  regions.multi_fraction = 0.2;
+  regions.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  return GenerateRegions(regions);
+}
+
+}  // namespace dbsa::data
+
+#endif  // DBSA_DATA_CLUSTER_DEMO_H_

@@ -16,13 +16,54 @@ QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
       cache_(options.cache_budget_bytes),
       pool_(options.num_threads) {
   DBSA_CHECK(state_ != nullptr);
-  if (options.num_shards > 1 || options.use_transport) {
+  const bool socket_mode =
+      options.use_transport && options.transport_kind == TransportKind::kSocket;
+  if (!options.use_transport) {
+    // A socket transport_kind without use_transport would otherwise be
+    // silently ignored: the service would build the full local engine
+    // and answer every query in-process while the external cluster sits
+    // idle. Reject the misconfiguration at construction.
+    DBSA_CHECK(options.transport_kind == TransportKind::kLoopback);
+  }
+  if (!socket_mode) {
+    // Same trap one notch later: a placement with use_transport but the
+    // default kLoopback transport_kind would be ignored too.
+    DBSA_CHECK(options.placement.num_shards() == 0);
+  }
+  size_t num_shards = std::max<size_t>(options.num_shards, 1);
+  if (socket_mode) {
+    DBSA_CHECK(options.placement.num_shards() > 0);
+    if (options.num_shards <= 1) {
+      // Unspecified shard count: the placement is the deployment truth.
+      num_shards = options.placement.num_shards();
+    } else {
+      DBSA_CHECK(num_shards == options.placement.num_shards());
+    }
+    // A placement larger than the point table can never be served:
+    // ShardedState::Build would silently clamp K and the router would
+    // then abort on an opaque shard-count mismatch. Fail here, where
+    // the cause is nameable.
+    DBSA_CHECK(num_shards <= state_->points->locs.size());
+  }
+  if (num_shards > 1 || options.use_transport) {
     core::ShardingOptions sharding;
-    sharding.num_shards = std::max<size_t>(options.num_shards, 1);
+    sharding.num_shards = num_shards;
     sharding.hilbert_level = options.shard_hilbert_level;
+    // A socket client routes and prunes but never executes shard-locally:
+    // skip the slice copies and per-shard index builds entirely.
+    sharding.build_slices = !socket_mode;
     sharded_ = core::ShardedState::Build(state_, sharding);
   }
-  if (options.use_transport) {
+  if (socket_mode) {
+    // Real RPC deployment: the service is a pure client — it keeps only
+    // the routing metadata (sharded_ is a routing-only build: curve
+    // runs, key ranges, bounds; no slice states) and a socket transport
+    // to the external shard servers named by the placement. The shard
+    // slices live in those processes (shard_server_main), not here.
+    socket_ = std::make_shared<SocketTransport>(options.placement,
+                                                options.socket_options);
+    router_ = std::make_unique<ShardRouter>(sharded_, socket_);
+  } else if (options.use_transport) {
     // The distribution rehearsal: one ShardServer per shard (each owning
     // its slice, id map and per-shard cell cache) behind a loopback
     // transport; every shard probe crosses the serialized wire format.

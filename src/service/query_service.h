@@ -44,13 +44,27 @@
 #include "core/engine_state.h"
 #include "core/sharded_state.h"
 #include "service/approx_cache.h"
+#include "service/placement.h"
 #include "service/query.h"
 #include "service/shard_server.h"
+#include "service/socket_transport.h"
 #include "service/thread_pool.h"
 #include "service/transport.h"
 #include "service/v1_compat.h"
 
 namespace dbsa::service {
+
+/// Which Transport carries the shard messages when the seam is active
+/// (ServiceOptions::use_transport).
+enum class TransportKind : uint8_t {
+  /// In-process: shard servers owned by the service, requests handed to
+  /// them as function calls (every byte still crosses the wire format).
+  kLoopback = 0,
+  /// Real RPC: shard servers are EXTERNAL processes (shard_server_main)
+  /// reached over TCP per ServiceOptions::placement. The service owns
+  /// only the client half (routing metadata + SocketTransport).
+  kSocket = 1,
+};
 
 struct ServiceOptions {
   /// 0 = hardware concurrency.
@@ -77,8 +91,19 @@ struct ServiceOptions {
   /// plan; each ShardServer additionally keeps a per-shard HR cache of
   /// its routed cell slices (see WarmCache).
   bool use_transport = false;
-  /// Budget of each shard server's routed-cell cache (transport only).
+  /// Budget of each shard server's routed-cell cache (loopback transport
+  /// only — socket-mode servers configure their own, see
+  /// shard_server_main --cache_budget_mb).
   size_t shard_cache_budget_bytes = size_t{8} << 20;
+  /// Which transport carries the seam (use_transport only).
+  TransportKind transport_kind = TransportKind::kLoopback;
+  /// kSocket only: where each shard (and its optional failover replica)
+  /// listens. When `num_shards` is left at its default (<= 1) the shard
+  /// count is taken from the placement; otherwise the two must agree.
+  ShardPlacement placement;
+  /// kSocket only: connection management knobs (timeouts, backoff,
+  /// failover behaviour, cost model) — see socket_transport.h.
+  SocketTransport::Options socket_options;
 };
 
 class QueryService {
@@ -125,21 +150,28 @@ class QueryService {
 
   const core::EngineState& state() const { return *state_; }
   /// Non-null iff the shard-aware execution path is active
-  /// (options.num_shards > 1, or options.use_transport).
+  /// (options.num_shards > 1, or options.use_transport). In socket mode
+  /// this is a ROUTING-ONLY build (has_slices() == false): curve runs and
+  /// pruning metadata, no local slice states.
   const core::ShardedState* sharded() const { return sharded_.get(); }
   size_t num_threads() const { return pool_.size(); }
   /// The deployment path Results will report (BoundReport::path).
   ExecPath exec_path() const;
 
   // ---- the message seam (non-null iff options.use_transport) ---------
+  /// Loopback mode only: socket-mode servers live in other processes.
   size_t num_shard_servers() const { return servers_.size(); }
   const ShardServer* shard_server(size_t s) const {
     return s < servers_.size() ? servers_[s].get() : nullptr;
   }
-  /// Loopback byte/message counters ({} when the seam is inactive).
+  /// Loopback byte/message counters ({} when the seam is inactive or
+  /// carried by sockets — see socket_transport()).
   LoopbackTransport::Stats transport_stats() const {
     return loopback_ != nullptr ? loopback_->stats() : LoopbackTransport::Stats{};
   }
+  /// Non-null iff the seam runs over TCP (TransportKind::kSocket):
+  /// connection/failover/timeout counters and the placement in use.
+  const SocketTransport* socket_transport() const { return socket_.get(); }
 
   // ---- FROZEN v1 shims (service/v1_compat.h) -------------------------
   std::future<core::AggregateAnswer> Aggregate(join::AggKind agg, core::Attr attr,
@@ -183,10 +215,12 @@ class QueryService {
 
   std::shared_ptr<const core::EngineState> state_;
   std::shared_ptr<const core::ShardedState> sharded_;  ///< Null when unsharded.
-  /// The message seam (all null unless options.use_transport): one server
-  /// per shard behind a loopback transport, driven by the router.
+  /// The message seam (all null unless options.use_transport): either
+  /// one in-process server per shard behind a loopback transport, or a
+  /// socket transport to external servers — the router drives both.
   std::vector<std::shared_ptr<ShardServer>> servers_;
   std::shared_ptr<LoopbackTransport> loopback_;
+  std::shared_ptr<SocketTransport> socket_;
   std::unique_ptr<ShardRouter> router_;
   ServiceOptions options_;
   ApproxCache cache_;

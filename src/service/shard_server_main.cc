@@ -1,0 +1,167 @@
+// shard_server_main — one shard of a socket cluster, as a process.
+//
+// Builds the deterministic demo dataset (data/cluster_demo.h), shards it
+// exactly like the client will (core::ShardedState::Build), keeps ONLY
+// its own shard's slice behind a ShardServer, and serves wire-v2 frames
+// on the endpoint the placement file assigns it. Every dataset flag must
+// match across the cluster and the client — see docs/operations.md for
+// the full walkthrough and scripts/run_socket_cluster_smoke.sh for a
+// scripted 4-shard cluster.
+//
+//   ./build/shard_server_main --placement=cluster.placement --shard=2
+//   ./build/shard_server_main --placement=cluster.placement --shard=2
+//       --endpoint=replica         (the same slice, on the failover port)
+//
+// Stops cleanly on SIGINT/SIGTERM (prints final serve stats).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/engine_state.h"
+#include "core/sharded_state.h"
+#include "data/cluster_demo.h"
+#include "service/placement.h"
+#include "service/shard_server.h"
+#include "service/socket_transport.h"
+#include "util/flags.h"
+
+namespace {
+
+using dbsa::util::FlagValue;
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int /*signum*/) { g_stop.store(true); }
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --placement=FILE --shard=N [--endpoint=primary|replica]\n"
+      "          [--points=20000] [--regions=24] [--universe=4096]\n"
+      "          [--seed=20210111] [--hilbert_level=16] [--cache_budget_mb=8]\n"
+      "\n"
+      "Serves one shard of the demo-city dataset over the wire-v2 socket\n"
+      "protocol. Dataset flags must match on every server and the client.\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dbsa;
+
+  if (!util::KnownFlagsOnly(argc, argv,
+                            {"placement", "shard", "endpoint", "points",
+                             "regions", "universe", "seed", "hilbert_level",
+                             "cache_budget_mb"})) {
+    return Usage(argv[0]);
+  }
+  std::string placement_path;
+  if (!FlagValue(argc, argv, "placement", &placement_path)) return Usage(argv[0]);
+  std::string shard_str;
+  if (!FlagValue(argc, argv, "shard", &shard_str)) return Usage(argv[0]);
+  // Presence checked above; UintFlag re-finds the value and applies the
+  // same strict digits-only parsing as every other numeric flag.
+  const size_t shard =
+      static_cast<size_t>(util::UintFlag(argc, argv, "shard", 0));
+  std::string endpoint_role = "primary";
+  FlagValue(argc, argv, "endpoint", &endpoint_role);
+  if (endpoint_role != "primary" && endpoint_role != "replica") {
+    return Usage(argv[0]);
+  }
+
+  StatusOr<service::ShardPlacement> placement =
+      service::ShardPlacement::Load(placement_path);
+  if (!placement.ok()) {
+    std::fprintf(stderr, "error: %s\n", placement.status().ToString().c_str());
+    return 1;
+  }
+  if (shard >= placement->num_shards()) {
+    std::fprintf(stderr, "error: shard %zu out of range (placement has %zu)\n",
+                 shard, placement->num_shards());
+    return 1;
+  }
+  const service::ShardPlacement::Entry& entry = placement->shards[shard];
+  if (endpoint_role == "replica" && !entry.has_replica) {
+    std::fprintf(stderr, "error: shard %zu has no replica endpoint\n", shard);
+    return 1;
+  }
+  const service::Endpoint endpoint =
+      endpoint_role == "replica" ? entry.replica : entry.primary;
+
+  const data::ClusterDemoConfig dataset =
+      data::ClusterDemoConfigFromFlags(argc, argv);
+  if (dataset.num_points < placement->num_shards()) {
+    // ShardedState::Build clamps the shard count to the point count, so
+    // this placement could never be served consistently.
+    std::fprintf(stderr,
+                 "error: --points=%zu is fewer than the placement's %zu shards\n",
+                 dataset.num_points, placement->num_shards());
+    return 1;
+  }
+
+  std::printf("shard %zu (%s): building demo city (%zu points, %zu regions, "
+              "universe %.0f, seed %llu)...\n",
+              shard, endpoint_role.c_str(), dataset.num_points,
+              dataset.num_regions, dataset.universe_side,
+              static_cast<unsigned long long>(dataset.seed));
+  std::fflush(stdout);
+
+  // Build in an inner scope and keep ONLY this process's slice (the
+  // other K-1 are never materialized — only_slice below); the base
+  // snapshot frees before the serve loop starts, so a server's resident
+  // set is ~one shard regardless of cluster size.
+  std::shared_ptr<const core::EngineState> slice_state;
+  std::vector<uint32_t> slice_ids;
+  {
+    const auto base = core::BuildEngineState(data::ClusterDemoPoints(dataset),
+                                             data::ClusterDemoRegions(dataset));
+    core::ShardingOptions sharding;
+    sharding.num_shards = placement->num_shards();
+    sharding.hilbert_level = dataset.hilbert_level;
+    // Only this process's slice gets materialized (same cuts, same
+    // routing metadata): startup stays O(1) in cluster size instead of
+    // every server copying and indexing all K slices to keep one.
+    sharding.only_slice = static_cast<int>(shard);
+    const auto sharded = core::ShardedState::Build(base, sharding);
+    slice_state = sharded->shard(shard).state;
+    slice_ids = sharded->shard(shard).global_ids;
+  }
+
+  service::ShardServer::Options server_options;
+  server_options.cell_cache_budget_bytes =
+      static_cast<size_t>(util::UintFlag(argc, argv, "cache_budget_mb", 8)) << 20;
+  service::ShardServer server(std::move(slice_state), std::move(slice_ids),
+                              server_options);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  service::ShardListener::Options listen_options;
+  listen_options.host = endpoint.host;
+  listen_options.port = endpoint.port;
+  try {
+    const service::ShardListener::Stats stats = service::ServeShard(
+        [&server](const std::string& request) { return server.Handle(request); },
+        listen_options, g_stop, [&](const service::Endpoint& bound) {
+          std::printf("shard %zu (%s): listening on %s (%zu points)\n", shard,
+                      endpoint_role.c_str(), bound.ToString().c_str(),
+                      server.num_points());
+          std::fflush(stdout);
+        });
+    std::printf("shard %zu (%s): stopped after %llu frames "
+                "(%llu connections, %llu bad frames)\n",
+                shard, endpoint_role.c_str(),
+                static_cast<unsigned long long>(stats.frames),
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.bad_frames));
+  } catch (const dbsa::StatusException& e) {
+    std::fprintf(stderr, "error: %s\n", e.status().ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,686 @@
+#include "service/socket_transport.h"
+
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dbsa::service {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void SetNoDelay(int fd) {
+  // Request/response RPC with small frames: without TCP_NODELAY the
+  // Nagle + delayed-ACK interaction turns every roundtrip into ~40 ms.
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// poll() for `events` on fd within the deadline. OK when ready,
+/// kDeadlineExceeded on timeout, kUnavailable on poll failure.
+Status PollFor(int fd, short events, const Deadline& deadline, const char* op) {
+  while (true) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = events;
+    p.revents = 0;
+    const int timeout = deadline.RemainingMs();
+    if (!deadline.infinite() && timeout <= 0) {
+      return Status::DeadlineExceeded(std::string(op) + " timed out");
+    }
+    const int rc = poll(&p, 1, timeout);
+    if (rc > 0) return Status::OK();  // Ready (POLLERR/HUP surface on the op).
+    if (rc == 0) {
+      return Status::DeadlineExceeded(std::string(op) + " timed out");
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(Errno("poll"));
+  }
+}
+
+/// Reads exactly n bytes. kUnavailable on EOF/reset, kDeadlineExceeded
+/// on timeout.
+Status RecvExactly(int fd, char* out, size_t n, const Deadline& deadline) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t r = recv(fd, out + off, n - off, 0);
+    if (r > 0) {
+      off += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) return Status::Unavailable("connection closed by peer");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const Status ready = PollFor(fd, POLLIN, deadline, "recv");
+      if (!ready.ok()) return ready;
+      continue;
+    }
+    return Status::Unavailable(Errno("recv"));
+  }
+  return Status::OK();
+}
+
+uint32_t LoadLe32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));  // Supported targets are little-endian
+  return v;                       // (same convention as transport.cc).
+}
+
+}  // namespace
+
+int Deadline::RemainingMs() const {
+  if (infinite()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= at) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(at - now).count();
+  // +1: round up so a sub-millisecond remainder still polls, not spins.
+  return static_cast<int>(std::min<int64_t>(ms + 1, 1 << 30));
+}
+
+Status SendAll(int fd, const char* data, size_t n, const Deadline& deadline) {
+  size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a peer that died mid-write must yield EPIPE, not kill
+    // the process with SIGPIPE.
+    const ssize_t w = send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const Status ready = PollFor(fd, POLLOUT, deadline, "send");
+      if (!ready.ok()) return ready;
+      continue;
+    }
+    return Status::Unavailable(Errno("send"));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFrame(int fd, size_t max_frame_bytes,
+                                const Deadline& deadline,
+                                const Deadline* first_byte_deadline) {
+  char prefix[4];
+  // The wait for the FIRST byte may be capped tighter than the rest of
+  // the frame (failover hedging, see Roundtrip): once the peer has
+  // started answering, the transfer is making progress and gets the
+  // full deadline.
+  const Status got_first =
+      RecvExactly(fd, prefix, 1,
+                  first_byte_deadline != nullptr ? *first_byte_deadline : deadline);
+  if (!got_first.ok()) return got_first;
+  const Status got_prefix =
+      RecvExactly(fd, prefix + 1, sizeof(prefix) - 1, deadline);
+  if (!got_prefix.ok()) return got_prefix;
+  const uint32_t length = LoadLe32(prefix);
+  // A frame payload is at least magic+version+type (4 bytes, see
+  // transport.h). Anything outside the window means the stream is not
+  // speaking our framing at all — there is no way to resynchronize, so
+  // the caller must drop the connection.
+  if (length < 4 || static_cast<size_t>(length) > max_frame_bytes) {
+    return Status::InvalidArgument("frame length " + std::to_string(length) +
+                                   " outside [4, " +
+                                   std::to_string(max_frame_bytes) + "]");
+  }
+  std::string frame;
+  frame.resize(4 + static_cast<size_t>(length));
+  std::memcpy(&frame[0], prefix, sizeof(prefix));
+  const Status got_body =
+      RecvExactly(fd, &frame[4], static_cast<size_t>(length), deadline);
+  if (!got_body.ok()) return got_body;
+  return frame;
+}
+
+StatusOr<int> DialTcp(const Endpoint& endpoint, const Deadline& deadline) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port = std::to_string(endpoint.port);
+  const int rc = getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::Unavailable("resolve " + endpoint.ToString() + ": " +
+                               gai_strerror(rc));
+  }
+  Status last = Status::Unavailable("no addresses for " + endpoint.ToString());
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::Unavailable(Errno("socket"));
+      continue;
+    }
+    SetNoDelay(fd);
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      freeaddrinfo(res);
+      return fd;
+    }
+    if (errno != EINPROGRESS) {
+      last = Status::Unavailable(endpoint.ToString() + ": " + Errno("connect"));
+      close(fd);
+      continue;
+    }
+    const Status ready = PollFor(fd, POLLOUT, deadline, "connect");
+    if (!ready.ok()) {
+      close(fd);
+      if (ready.code() == StatusCode::kDeadlineExceeded) {
+        freeaddrinfo(res);
+        return Status::DeadlineExceeded("connect to " + endpoint.ToString() +
+                                        " timed out");
+      }
+      last = ready;
+      continue;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 || err != 0) {
+      last = Status::Unavailable(endpoint.ToString() + ": connect: " +
+                                 std::strerror(err != 0 ? err : errno));
+      close(fd);
+      continue;
+    }
+    freeaddrinfo(res);
+    return fd;
+  }
+  freeaddrinfo(res);
+  return last;
+}
+
+// ---------------------------------------------------------- SocketTransport
+
+SocketTransport::SocketTransport(ShardPlacement placement)
+    : SocketTransport(std::move(placement), Options()) {}
+
+SocketTransport::SocketTransport(ShardPlacement placement, const Options& options)
+    : placement_(std::move(placement)), options_(options) {
+  DBSA_CHECK(placement_.num_shards() > 0);
+  DBSA_CHECK(options_.max_dial_attempts >= 1);
+  conns_.reserve(placement_.num_shards());
+  for (size_t s = 0; s < placement_.num_shards(); ++s) {
+    conns_.push_back(std::make_unique<ShardConns>());
+  }
+}
+
+SocketTransport::~SocketTransport() { CloseIdleConnections(); }
+
+void SocketTransport::CloseIdleConnections() {
+  for (const std::unique_ptr<ShardConns>& sc : conns_) {
+    std::lock_guard<std::mutex> lock(sc->mu);
+    for (const PooledConn& conn : sc->idle) close(conn.fd);
+    sc->idle.clear();
+  }
+}
+
+const Endpoint& SocketTransport::EndpointOf(size_t shard, int which) const {
+  const ShardPlacement::Entry& entry = placement_.shards[shard];
+  return which == kPrimary ? entry.primary : entry.replica;
+}
+
+bool SocketTransport::HasEndpoint(size_t shard, int which) const {
+  return which == kPrimary || placement_.shards[shard].has_replica;
+}
+
+int SocketTransport::PopIdle(size_t shard, int endpoint) {
+  ShardConns& sc = *conns_[shard];
+  std::lock_guard<std::mutex> lock(sc.mu);
+  for (size_t i = 0; i < sc.idle.size(); ++i) {
+    if (sc.idle[i].endpoint != endpoint) continue;
+    const int fd = sc.idle[i].fd;
+    sc.idle.erase(sc.idle.begin() + static_cast<ptrdiff_t>(i));
+    return fd;
+  }
+  return -1;
+}
+
+void SocketTransport::PushIdle(size_t shard, int endpoint, int fd) {
+  ShardConns& sc = *conns_[shard];
+  std::lock_guard<std::mutex> lock(sc.mu);
+  if (sc.idle.size() >= options_.max_idle_connections_per_shard) {
+    close(fd);
+    return;
+  }
+  sc.idle.push_back(PooledConn{fd, endpoint});
+}
+
+Status SocketTransport::Exchange(int fd, const std::string& request,
+                                 std::string* response, const Deadline& deadline,
+                                 const Deadline* first_byte_deadline) {
+  // The hedge cap (when set) covers everything before the peer shows
+  // life: the request send AND the wait for the first response byte. A
+  // wedged peer that stops reading would otherwise stall SendAll for
+  // the full deadline and the untried replica would never get its hop.
+  const Status sent =
+      SendAll(fd, request.data(), request.size(),
+              first_byte_deadline != nullptr ? *first_byte_deadline : deadline);
+  if (!sent.ok()) return sent;
+  StatusOr<std::string> frame =
+      ReadFrame(fd, options_.max_frame_bytes, deadline, first_byte_deadline);
+  if (!frame.ok()) return frame.status();
+  *response = std::move(frame.value());
+  return Status::OK();
+}
+
+std::string SocketTransport::Roundtrip(size_t shard, const std::string& request) {
+  if (shard >= num_shards()) {
+    throw StatusException(Status::InvalidArgument(
+        "SocketTransport: no such shard " + std::to_string(shard)));
+  }
+  const Deadline deadline = Deadline::After(options_.roundtrip_timeout_ms);
+  ShardConns& sc = *conns_[shard];
+  int first;
+  {
+    std::lock_guard<std::mutex> lock(sc.mu);
+    first = sc.preferred;
+  }
+
+  const auto succeed = [&](int endpoint, int fd,
+                           std::string response) -> std::string {
+    PushIdle(shard, endpoint, fd);
+    {
+      std::lock_guard<std::mutex> lock(sc.mu);
+      sc.preferred = endpoint;
+    }
+    if (endpoint == kReplica) failovers_.fetch_add(1, std::memory_order_relaxed);
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    request_bytes_.fetch_add(request.size(), std::memory_order_relaxed);
+    response_bytes_.fetch_add(response.size(), std::memory_order_relaxed);
+    return response;
+  };
+  const auto timed_out = [&](const Status& status) -> StatusException {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return StatusException(Status::DeadlineExceeded(
+        "shard " + std::to_string(shard) + " roundtrip exceeded " +
+        std::to_string(options_.roundtrip_timeout_ms) + " ms (" +
+        status.message() + ")"));
+  };
+
+  Status last = Status::OK();
+  for (int hop = 0; hop < 2; ++hop) {
+    const int endpoint = (first + hop) % 2;
+    if (!HasEndpoint(shard, endpoint)) continue;
+    bool had_stale_conn = false;
+
+    // A stalled endpoint must not consume the whole roundtrip budget
+    // while the OTHER endpoint is still untried: a wedged-but-kernel-
+    // accepting primary would otherwise starve a healthy replica
+    // forever, every call burning the full deadline on recv. When a
+    // fallback exists, the first hop's connect and its wait for the
+    // FIRST response byte are capped at half the budget (standard
+    // hedging); a response that has started flowing is progress and
+    // keeps the full deadline, and the last hop always gets everything
+    // that remains. Resending after a stall is safe — requests are
+    // idempotent (header contract).
+    const bool has_fallback = hop == 0 && HasEndpoint(shard, (endpoint + 1) % 2);
+    const int hedge_ms = options_.hedge_timeout_ms < 0
+                             ? options_.roundtrip_timeout_ms / 2
+                             : options_.hedge_timeout_ms;
+    const bool hedged = has_fallback && hedge_ms > 0 && !deadline.infinite() &&
+                        hedge_ms < options_.roundtrip_timeout_ms;
+    Deadline attempt_deadline = deadline;
+    if (hedged) {
+      // Cap = roundtrip start + hedge budget.
+      attempt_deadline.at -= std::chrono::milliseconds(
+          options_.roundtrip_timeout_ms - hedge_ms);
+    }
+    const Deadline* first_byte = hedged ? &attempt_deadline : nullptr;
+    bool stalled = false;
+
+    // Reused connections first: a pooled socket that died since its last
+    // use costs nothing to discard (the request is idempotent — header
+    // contract — so resending it on a fresh connection is safe).
+    for (int fd = PopIdle(shard, endpoint); fd >= 0;
+         fd = PopIdle(shard, endpoint)) {
+      std::string response;
+      const Status exchanged =
+          Exchange(fd, request, &response, deadline, first_byte);
+      if (exchanged.ok()) return succeed(endpoint, fd, std::move(response));
+      close(fd);
+      if (exchanged.code() == StatusCode::kDeadlineExceeded) {
+        if (!has_fallback || deadline.expired()) throw timed_out(exchanged);
+        last = exchanged;
+        stalled = true;
+        break;
+      }
+      if (exchanged.code() == StatusCode::kInvalidArgument) {
+        // The peer answered, but not with our framing: a protocol bug,
+        // not an availability problem — do not mask it with a retry.
+        throw StatusException(Status::InvalidArgument(
+            "shard " + std::to_string(shard) + ": " + exchanged.message()));
+      }
+      last = exchanged;
+      had_stale_conn = true;
+    }
+    if (stalled) continue;  // This endpoint is wedged: try the other one.
+
+    // Fresh dials with exponential backoff.
+    for (int attempt = 0; attempt < options_.max_dial_attempts; ++attempt) {
+      if (attempt > 0) {
+        // Saturate the exponential: attempt counts are operator-tunable,
+        // and an unclamped shift overflows int past ~30 attempts (the nap
+        // would go negative and the loop would hot-spin instead of backing
+        // off). A 10s ceiling keeps retries inside realistic deadlines.
+        const long long scaled =
+            static_cast<long long>(options_.reconnect_backoff_ms)
+            << std::min(attempt - 1, 20);
+        const int backoff_ms =
+            static_cast<int>(std::min<long long>(scaled, 10000));
+        const int remaining = deadline.RemainingMs();
+        const int nap =
+            remaining < 0 ? backoff_ms : std::min(backoff_ms, remaining);
+        if (nap > 0) std::this_thread::sleep_for(std::chrono::milliseconds(nap));
+      }
+      if (deadline.expired()) throw timed_out(last.ok() ? Status::DeadlineExceeded("no attempt finished") : last);
+      Deadline connect_deadline = Deadline::After(options_.connect_timeout_ms);
+      if (!attempt_deadline.infinite() &&
+          (connect_deadline.infinite() ||
+           attempt_deadline.at < connect_deadline.at)) {
+        connect_deadline = attempt_deadline;
+      }
+      StatusOr<int> dialed = DialTcp(EndpointOf(shard, endpoint), connect_deadline);
+      if (!dialed.ok()) {
+        last = dialed.status();
+        if (last.code() == StatusCode::kDeadlineExceeded && deadline.expired()) {
+          throw timed_out(last);
+        }
+        if (attempt_deadline.expired() && has_fallback) break;
+        continue;
+      }
+      dials_.fetch_add(1, std::memory_order_relaxed);
+      if (had_stale_conn || attempt > 0) {
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+      }
+      const int fd = dialed.value();
+      std::string response;
+      const Status exchanged =
+          Exchange(fd, request, &response, deadline, first_byte);
+      if (exchanged.ok()) return succeed(endpoint, fd, std::move(response));
+      close(fd);
+      if (exchanged.code() == StatusCode::kDeadlineExceeded) {
+        if (!has_fallback || deadline.expired()) throw timed_out(exchanged);
+        last = exchanged;
+        break;  // This endpoint is wedged: try the other one.
+      }
+      if (exchanged.code() == StatusCode::kInvalidArgument) {
+        throw StatusException(Status::InvalidArgument(
+            "shard " + std::to_string(shard) + ": " + exchanged.message()));
+      }
+      // A freshly-dialed connection that still cannot complete an
+      // exchange means the endpoint itself is sick: fail over.
+      last = exchanged;
+      break;
+    }
+  }
+
+  transport_errors_.fetch_add(1, std::memory_order_relaxed);
+  throw StatusException(Status::Unavailable(
+      "shard " + std::to_string(shard) + " unreachable (primary " +
+      EndpointOf(shard, kPrimary).ToString() +
+      (HasEndpoint(shard, kReplica)
+           ? ", replica " + EndpointOf(shard, kReplica).ToString()
+           : std::string(", no replica")) +
+      "): " + (last.ok() ? std::string("no endpoint answered") : last.message())));
+}
+
+SocketTransport::Stats SocketTransport::stats() const {
+  Stats s;
+  s.messages = messages_.load(std::memory_order_relaxed);
+  s.request_bytes = request_bytes_.load(std::memory_order_relaxed);
+  s.response_bytes = response_bytes_.load(std::memory_order_relaxed);
+  s.dials = dials_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ----------------------------------------------------------- ShardListener
+
+namespace {
+
+/// Binds a listening socket on host:port (0 = ephemeral). Returns the fd;
+/// `bound_port` receives the actual port.
+StatusOr<int> BindListener(const std::string& host, uint16_t port, int backlog,
+                           uint16_t* bound_port) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                             port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::Unavailable("resolve " + host + ": " + gai_strerror(rc));
+  }
+  Status last = Status::Unavailable("no addresses for " + host);
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::Unavailable(Errno("socket"));
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 || listen(fd, backlog) != 0) {
+      last = Status::Unavailable(host + ":" + port_str + ": " + Errno("bind/listen"));
+      close(fd);
+      continue;
+    }
+    struct sockaddr_storage addr;
+    socklen_t addr_len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) == 0) {
+      if (addr.ss_family == AF_INET) {
+        *bound_port = ntohs(reinterpret_cast<struct sockaddr_in*>(&addr)->sin_port);
+      } else if (addr.ss_family == AF_INET6) {
+        *bound_port = ntohs(reinterpret_cast<struct sockaddr_in6*>(&addr)->sin6_port);
+      }
+    }
+    freeaddrinfo(res);
+    return fd;
+  }
+  freeaddrinfo(res);
+  return last;
+}
+
+}  // namespace
+
+ShardListener::ShardListener(Handler handler)
+    : ShardListener(std::move(handler), Options()) {}
+
+ShardListener::ShardListener(Handler handler, const Options& options)
+    : handler_(std::move(handler)), options_(options) {
+  DBSA_CHECK(handler_ != nullptr);
+  StatusOr<int> bound =
+      BindListener(options_.host, options_.port, options_.backlog, &port_);
+  if (!bound.ok()) throw StatusException(bound.status());
+  listen_fd_ = bound.value();
+  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+}
+
+ShardListener::~ShardListener() { Stop(); }
+
+void ShardListener::RegisterConn(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  live_fds_.insert(fd);
+  ++live_threads_;
+}
+
+void ShardListener::UnregisterConn(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  live_fds_.erase(fd);
+  close(fd);  // Under the lock: the fd number cannot be shut down by
+              // Stop/CloseConnections after the kernel reuses it.
+  --live_threads_;
+  conns_cv_.notify_all();
+}
+
+void ShardListener::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    struct pollfd p;
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    p.revents = 0;
+    const int rc = poll(&p, 1, /*timeout_ms=*/50);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    SetNoDelay(fd);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    {
+      // Thread-per-connection needs a cap: past it, refuse THIS
+      // connection (close; the client sees a reset and may retry) and
+      // keep serving the live ones. Only this thread registers
+      // connections, so the check cannot race RegisterConn.
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (live_fds_.size() >= options_.max_connections) {
+        close(fd);
+        continue;
+      }
+    }
+    RegisterConn(fd);
+    // Detached: Stop() joins by waiting for live_threads_ to reach zero
+    // (the thread's last touch of this object is the notify in
+    // UnregisterConn, made while Stop still holds the object alive).
+    try {
+      std::thread([this, fd]() { ConnectionLoop(fd); }).detach();
+    } catch (const std::system_error&) {
+      // Thread creation failed (RLIMIT_NPROC, memory pressure): refuse
+      // the one connection instead of letting the exception escape this
+      // thread and terminate the whole server. UnregisterConn also
+      // closes the fd and rebalances live_threads_ for Stop().
+      UnregisterConn(fd);
+    }
+  }
+}
+
+void ShardListener::ConnectionLoop(int fd) {
+  std::string buf;
+  char chunk[64 * 1024];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLIN;
+    p.revents = 0;
+    const int rc = poll(&p, 1, /*timeout_ms=*/100);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // Peer closed.
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+    // Extract and answer every complete frame in the buffer (clients may
+    // pipeline; partial frames wait for the next read).
+    while (buf.size() >= 4) {
+      const uint32_t length = LoadLe32(buf.data());
+      if (length < 4 || static_cast<size_t>(length) > options_.max_frame_bytes) {
+        // Not our framing: the stream cannot be resynchronized. Drop the
+        // connection; the listener itself keeps accepting.
+        bad_frames_.fetch_add(1, std::memory_order_relaxed);
+        open = false;
+        break;
+      }
+      const size_t frame_size = 4 + static_cast<size_t>(length);
+      if (buf.size() < frame_size) break;
+      // Common case — the buffer holds exactly one frame: hand it to the
+      // handler by move instead of copying (frames can be MBs of cells).
+      std::string frame;
+      if (buf.size() == frame_size) {
+        frame = std::move(buf);
+        buf.clear();  // Moved-from: restore to a known-empty state.
+      } else {
+        frame = buf.substr(0, frame_size);
+        buf.erase(0, frame_size);
+      }
+      frames_.fetch_add(1, std::memory_order_relaxed);
+      const std::string response = handler_(frame);
+      if (response.empty()) {
+        // Handler-signalled connection drop (fault injection hook).
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        open = false;
+        break;
+      }
+      // Bounded: a client that stops draining must not pin this thread
+      // and the response buffer forever (see Options::write_timeout_ms).
+      if (!SendAll(fd, response.data(), response.size(),
+                   Deadline::After(options_.write_timeout_ms))
+               .ok()) {
+        open = false;
+        break;
+      }
+    }
+  }
+  UnregisterConn(fd);
+}
+
+void ShardListener::CloseConnections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const int fd : live_fds_) shutdown(fd, SHUT_RDWR);
+}
+
+void ShardListener::Stop() {
+  stopping_.store(true);
+  // Serialize the teardown: join() on an already-joined std::thread is
+  // UB, so a second (possibly concurrent) Stop must wait for the first
+  // to finish rather than race it — idempotence the mutex way.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::unique_lock<std::mutex> lock(conns_mu_);
+  for (const int fd : live_fds_) shutdown(fd, SHUT_RDWR);
+  conns_cv_.wait(lock, [this]() { return live_threads_ == 0; });
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+ShardListener::Stats ShardListener::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ShardListener::Stats ServeShard(
+    ShardListener::Handler handler, const ShardListener::Options& options,
+    const std::atomic<bool>& stop,
+    const std::function<void(const Endpoint&)>& on_listening) {
+  ShardListener listener(std::move(handler), options);
+  if (on_listening != nullptr) on_listening(listener.endpoint());
+  while (!stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  listener.Stop();
+  return listener.stats();
+}
+
+}  // namespace dbsa::service

@@ -1,0 +1,354 @@
+// The real RPC leg of the shard seam: the wire-v2 frames of
+// service/transport.h (normative byte spec: docs/wire-format.md) carried
+// over TCP sockets instead of in-process function calls.
+//
+// Both halves live here because they share the framing and socket code:
+//
+//   SocketTransport  the client — a Transport whose Roundtrip writes one
+//                    framed ScatterRequest to the shard's endpoint
+//                    (service/placement.h) and blocks for the framed
+//                    GatherPartial. Connections are lazy, persistent and
+//                    pooled per shard; a broken connection reconnects
+//                    with exponential backoff, and when a shard's
+//                    primary endpoint stays down the call fails over
+//                    ONCE to the shard's replica (single-hop failover).
+//                    The whole roundtrip runs under one deadline; when
+//                    the shard has an untried second endpoint, the first
+//                    hop's connect and first-response-byte waits are
+//                    capped at half the budget so a wedged-but-accepting
+//                    peer cannot starve a healthy replica (a response
+//                    that has started flowing keeps the full deadline).
+//                    Timing out raises a typed kDeadlineExceeded,
+//                    exhausting every endpoint raises kUnavailable — a
+//                    Roundtrip
+//                    never hangs forever (with a finite timeout) and
+//                    never returns garbage bytes as a frame. One caveat:
+//                    name resolution (getaddrinfo) is a blocking call
+//                    the deadline cannot interrupt — numeric addresses
+//                    (the localhost walkthrough) never block, but a
+//                    placement naming a host behind a dead resolver can
+//                    stall a dial for the resolver's own timeout. A
+//                    deadline-bounded resolver rides with the async
+//                    transport work (see ROADMAP "Async / pipelined
+//                    transport").
+//
+//   ShardListener    the server — a blocking accept loop (one thread per
+//                    connection) that reassembles length-prefixed frames
+//                    from the byte stream and answers each with
+//                    handler(frame) (ShardServer::Handle in production).
+//                    The listener is total over hostile input: a frame
+//                    whose length prefix is out of range drops the
+//                    connection; garbage INSIDE a well-framed payload is
+//                    the handler's problem (ShardServer answers a typed
+//                    error partial) — the listener itself never crashes
+//                    and never stops accepting.
+//
+//   ServeShard       the library-level blocking server entry point
+//                    (shard_server_main.cc wraps it in a process; tests
+//                    spawn it — or ShardListener directly — on threads).
+//
+// Retry semantics: every ScatterRequest is read-only or idempotent
+// (queries touch nothing; warms overwrite the same cache slot), so the
+// client may safely resend a request whose connection died after the
+// bytes left — the reconnect and failover paths below rely on this.
+// Non-idempotent message kinds must not be added to the wire without
+// revisiting SocketTransport::Roundtrip.
+//
+// Everything here is localhost-tested and deployment-shaped; remote
+// placement (hosts beyond 127.0.0.1) goes through the same code path —
+// see docs/operations.md for running a cluster.
+
+#ifndef DBSA_SERVICE_SOCKET_TRANSPORT_H_
+#define DBSA_SERVICE_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "service/placement.h"
+#include "service/transport.h"
+#include "util/status.h"
+
+namespace dbsa::service {
+
+/// A point on the monotonic clock after which socket operations give up
+/// with kDeadlineExceeded. `Infinite()` never expires.
+struct Deadline {
+  std::chrono::steady_clock::time_point at =
+      std::chrono::steady_clock::time_point::max();
+
+  static Deadline Infinite() { return Deadline{}; }
+  static Deadline After(int ms) {
+    if (ms <= 0) return Infinite();
+    return Deadline{std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(ms)};
+  }
+
+  bool infinite() const {
+    return at == std::chrono::steady_clock::time_point::max();
+  }
+  bool expired() const {
+    return !infinite() && std::chrono::steady_clock::now() >= at;
+  }
+  /// Milliseconds left, clamped to >= 0; -1 when infinite (poll() idiom).
+  int RemainingMs() const;
+};
+
+// ---- low-level socket helpers (shared by client and server) ----------
+// All fds are non-blocking with CLOEXEC; progress waits go through
+// poll() bounded by the deadline, so a peer that stalls mid-frame maps
+// to kDeadlineExceeded and a peer that vanishes maps to kUnavailable.
+
+/// Dials `endpoint` (name resolution included). kUnavailable on refusal
+/// or resolution failure, kDeadlineExceeded on connect timeout.
+StatusOr<int> DialTcp(const Endpoint& endpoint, const Deadline& deadline);
+
+/// Writes all of `data`. kUnavailable on EPIPE/ECONNRESET (SIGPIPE is
+/// suppressed), kDeadlineExceeded on timeout.
+Status SendAll(int fd, const char* data, size_t n, const Deadline& deadline);
+
+/// Reads one complete length-prefixed frame ([u32 len][len bytes]) and
+/// returns it INCLUDING the prefix (transport.h decoders take the full
+/// frame). A length prefix outside [4, max_frame_bytes] is rejected with
+/// kInvalidArgument without reading further — the stream is then
+/// unsynchronized and the caller must drop the connection. When
+/// `first_byte_deadline` is set, only the wait for the frame's FIRST
+/// byte is bounded by it (failover hedging); the rest of the frame runs
+/// under `deadline`.
+StatusOr<std::string> ReadFrame(int fd, size_t max_frame_bytes,
+                                const Deadline& deadline,
+                                const Deadline* first_byte_deadline = nullptr);
+
+// ------------------------------------------------------------- client
+
+/// Transport over per-shard TCP connections, per the constructor's
+/// ShardPlacement. Thread-safe: concurrent Roundtrips to the same shard
+/// each check a connection out of the shard's idle pool (or dial a new
+/// one) — they never share a socket mid-flight.
+class SocketTransport : public Transport {
+ public:
+  struct Options {
+    /// Budget for establishing one TCP connection (also bounded by the
+    /// roundtrip deadline, whichever is sooner).
+    int connect_timeout_ms = 2000;
+    /// Budget for one Roundtrip call end to end: every dial, send, recv,
+    /// reconnect and failover inside it shares this deadline. <= 0 means
+    /// no timeout (tests only — production callers should always bound).
+    int roundtrip_timeout_ms = 10000;
+    /// Base reconnect backoff; doubles per fresh dial to the same
+    /// endpoint within one Roundtrip (25, 50, 100, ... ms).
+    int reconnect_backoff_ms = 25;
+    /// Failover hedge: when the shard has an untried second endpoint,
+    /// the first hop's connect/send/first-response-byte waits are capped
+    /// at this budget so a wedged-but-accepting peer cannot starve a
+    /// healthy replica. < 0 = half of roundtrip_timeout_ms (default);
+    /// 0 disables hedging (a wedged first endpoint may then consume the
+    /// whole deadline). Tradeoff inherent to hedging: a healthy endpoint
+    /// whose query legitimately computes longer than the hedge is
+    /// abandoned and the work repeats on the replica — size it above the
+    /// workload's worst-case server latency.
+    int hedge_timeout_ms = -1;
+    /// Fresh dial attempts per endpoint per Roundtrip (>= 1). A reused
+    /// idle connection that turns out dead does not count: finding out a
+    /// pooled socket is stale costs no dial.
+    int max_dial_attempts = 2;
+    /// Frames larger than this are rejected (stream desync guard).
+    size_t max_frame_bytes = size_t{64} << 20;
+    /// Idle connections kept per shard beyond which sockets are closed
+    /// after use instead of pooled.
+    size_t max_idle_connections_per_shard = 8;
+    /// Optimizer cost units per message (QueryProfile::transport_overhead)
+    /// — see kDefaultCostPerMessage.
+    double cost_per_message = kDefaultCostPerMessage;
+  };
+
+  /// A real network roundtrip in optimizer cost units (one simple memory
+  /// op = 1): ~64x the loopback seam's serialization-only figure, so the
+  /// planner weighs shard fan-out against genuine per-message latency.
+  /// Honest by construction rather than measurement — operators can
+  /// calibrate Options::cost_per_message from bench_service_throughput.
+  static constexpr double kDefaultCostPerMessage = 4096.0;
+
+  SocketTransport(ShardPlacement placement, const Options& options);
+  explicit SocketTransport(ShardPlacement placement);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  size_t num_shards() const override { return placement_.num_shards(); }
+  /// Throws StatusException: kDeadlineExceeded when the roundtrip
+  /// deadline expires, kUnavailable when every endpoint of the shard is
+  /// exhausted, kInvalidArgument for a malformed response frame.
+  std::string Roundtrip(size_t shard, const std::string& request) override;
+  double CostPerMessage() const override { return options_.cost_per_message; }
+
+  const ShardPlacement& placement() const { return placement_; }
+  const Options& options() const { return options_; }
+
+  struct Stats {
+    uint64_t messages = 0;        ///< Successful roundtrips.
+    uint64_t request_bytes = 0;   ///< Of successful roundtrips.
+    uint64_t response_bytes = 0;
+    uint64_t dials = 0;           ///< TCP connections established.
+    uint64_t reconnects = 0;      ///< Dials after a dead pooled/primary conn.
+    uint64_t failovers = 0;       ///< Roundtrips served by a replica.
+    uint64_t timeouts = 0;        ///< Roundtrips that died on the deadline.
+    uint64_t transport_errors = 0;///< Roundtrips that exhausted all endpoints.
+  };
+  Stats stats() const;
+
+  /// Drops every pooled idle connection (the next Roundtrip redials).
+  /// Lets tests and operators force reconnection; never affects
+  /// in-flight roundtrips, which own their sockets.
+  void CloseIdleConnections();
+
+ private:
+  /// Endpoint index within a shard's placement entry.
+  enum : int { kPrimary = 0, kReplica = 1 };
+
+  struct PooledConn {
+    int fd = -1;
+    int endpoint = kPrimary;
+  };
+  struct ShardConns {
+    std::mutex mu;
+    std::vector<PooledConn> idle;
+    /// Endpoint that last completed a roundtrip — tried first, so a
+    /// failed-over shard does not re-pay the dead primary's connect
+    /// timeout on every call.
+    int preferred = kPrimary;
+  };
+
+  const Endpoint& EndpointOf(size_t shard, int which) const;
+  bool HasEndpoint(size_t shard, int which) const;
+  /// Pops an idle connection to (shard, endpoint); fd -1 if none.
+  int PopIdle(size_t shard, int endpoint);
+  void PushIdle(size_t shard, int endpoint, int fd);
+  /// One request/response exchange on an open connection. The optional
+  /// first_byte_deadline caps only the wait for the first response byte
+  /// (failover hedging, see Roundtrip).
+  Status Exchange(int fd, const std::string& request, std::string* response,
+                  const Deadline& deadline,
+                  const Deadline* first_byte_deadline = nullptr);
+
+  ShardPlacement placement_;
+  Options options_;
+  std::vector<std::unique_ptr<ShardConns>> conns_;
+
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> request_bytes_{0};
+  std::atomic<uint64_t> response_bytes_{0};
+  std::atomic<uint64_t> dials_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> transport_errors_{0};
+};
+
+// ------------------------------------------------------------- server
+
+/// Serves `handler` over TCP: accepts connections on host:port and
+/// answers each well-framed request with handler(frame). One OS thread
+/// per live connection (shard fan-in is a handful of routers, not a
+/// public web tier). Destruction stops and joins everything.
+class ShardListener {
+ public:
+  /// Maps one full request frame to one full response frame (both
+  /// include the length prefix). Returning an EMPTY string drops the
+  /// connection without answering — the fault-injection hook the
+  /// socket tests use to simulate a mid-query connection kill.
+  using Handler = std::function<std::string(const std::string&)>;
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = ephemeral: the OS picks, port() reports the real one.
+    uint16_t port = 0;
+    int backlog = 64;
+    size_t max_frame_bytes = size_t{64} << 20;
+    /// Budget for writing one response back to the client. A client
+    /// that stops draining its socket would otherwise pin this
+    /// connection's thread (and the response buffer) in an unbounded
+    /// send — the connection is dropped instead. <= 0 means no timeout.
+    int write_timeout_ms = 30000;
+    /// Cap on simultaneously served connections (thread-per-connection:
+    /// this bounds the thread count). Connections accepted past the cap
+    /// are closed immediately; the listener keeps serving the rest.
+    size_t max_connections = 256;
+  };
+
+  /// Binds and starts accepting immediately; throws StatusException
+  /// (kUnavailable) if the address cannot be bound.
+  ShardListener(Handler handler, const Options& options);
+  explicit ShardListener(Handler handler);
+  ~ShardListener();
+
+  ShardListener(const ShardListener&) = delete;
+  ShardListener& operator=(const ShardListener&) = delete;
+
+  uint16_t port() const { return port_; }
+  Endpoint endpoint() const { return Endpoint{options_.host, port_}; }
+
+  /// Stops accepting, severs every live connection and joins all
+  /// threads. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Fault injection / connection management: shuts down every LIVE
+  /// connection (in-flight reads see EOF) but keeps accepting new ones.
+  void CloseConnections();
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t frames = 0;      ///< Well-framed requests answered.
+    uint64_t bad_frames = 0;  ///< Length-prefix violations (conn dropped).
+    uint64_t dropped = 0;     ///< Connections dropped by the handler hook.
+  };
+  Stats stats() const;
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+  void RegisterConn(int fd);
+  void UnregisterConn(int fd);
+
+  Handler handler_;
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  ///< Serializes concurrent Stop() calls (join is not).
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::condition_variable conns_cv_;
+  std::unordered_set<int> live_fds_;
+  size_t live_threads_ = 0;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> frames_{0};
+  std::atomic<uint64_t> bad_frames_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// Blocking server entry point: serves `handler` on `options` until
+/// `*stop` becomes true (polled ~10 Hz). `on_listening`, when non-null,
+/// receives the bound endpoint once the socket is accepting (the
+/// "listening on ..." line of shard_server_main, a port-handoff for
+/// tests). Returns the final stats. Throws StatusException if the
+/// address cannot be bound.
+ShardListener::Stats ServeShard(
+    ShardListener::Handler handler, const ShardListener::Options& options,
+    const std::atomic<bool>& stop,
+    const std::function<void(const Endpoint&)>& on_listening = nullptr);
+
+}  // namespace dbsa::service
+
+#endif  // DBSA_SERVICE_SOCKET_TRANSPORT_H_

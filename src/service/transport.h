@@ -14,7 +14,9 @@
 //                    aggregations/counts, (leaf key, global id) pairs for
 //                    selections — or a typed error / not-cached signal.
 //
-// Wire format invariants (tested in transport_test.cc):
+// The NORMATIVE byte-level spec — offsets, field tables, acceptance
+// rules, compatibility policy — is docs/wire-format.md; this comment is
+// the summary. Wire format invariants (tested in transport_test.cc):
 //
 //   * every message is length-prefixed and versioned:
 //       [u32 length][u16 magic 0xDB5A][u8 version][u8 type][payload]

@@ -24,10 +24,11 @@ enum class StatusCode {
   kInternal = 5,
   kDeadlineExceeded = 6,
   kCancelled = 7,
+  kUnavailable = 8,
 };
 
 /// Stable upper bound of the enum (wire validation).
-inline constexpr StatusCode kMaxStatusCode = StatusCode::kCancelled;
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kUnavailable;
 
 const char* StatusCodeName(StatusCode code);
 
@@ -58,6 +59,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

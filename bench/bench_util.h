@@ -16,12 +16,32 @@
 
 #include "core/dbsa.h"
 #include "join/si_join.h"
+#include "telemetry/histogram.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 namespace dbsa::bench {
+
+/// Streaming latency percentiles for bench loops, backed by the SAME
+/// log2-bucket histogram the telemetry layer scrapes over the wire
+/// (telemetry::HistogramData) — one quantile implementation, one error
+/// model (bucket-width bounded; see src/telemetry/histogram.h). Use
+/// Percentiles (util/stats.h) only where a bench's contract needs EXACT
+/// order statistics.
+class LatencyRecorder {
+ public:
+  void Record(double ms) { hist_.Record(ms); }
+  double Quantile(double p) const { return hist_.Quantile(p); }
+  double MeanMs() const {
+    return hist_.count ? hist_.sum_ms / static_cast<double>(hist_.count) : 0.0;
+  }
+  const telemetry::HistogramData& histogram() const { return hist_; }
+
+ private:
+  telemetry::HistogramData hist_;
+};
 
 /// Parses "--name=value" style integer flags from argv.
 inline size_t FlagSize(int argc, char** argv, const char* name, size_t def) {

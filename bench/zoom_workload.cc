@@ -41,8 +41,10 @@ void Run(size_t n_points) {
     viewport_poly.Normalize();
     const raster::HierarchicalRaster hr = raster::HierarchicalRaster::BuildEpsilon(
         viewport_poly, grid, steps[z].epsilon);
-    // Warm: median of several runs.
-    Percentiles lat;
+    // Warm: median of several runs (streaming log2-bucket quantile — the
+    // same histogram the telemetry layer uses; exact order statistics are
+    // overkill for a 5-sample median).
+    RunningStats lat;
     join::CellAggregate agg;
     for (int run = 0; run < 5; ++run) {
       Timer t;
@@ -55,7 +57,8 @@ void Run(size_t n_points) {
                   steps[z].viewport.Width() / 1000.0);
     table.AddRow({std::to_string(z), viewport_km,
                   TablePrinter::Num(steps[z].epsilon, 4),
-                  std::to_string(agg.query_cells), TablePrinter::Num(lat.Median(), 4),
+                  std::to_string(agg.query_cells),
+                  TablePrinter::Num(lat.Quantile(50), 4),
                   TablePrinter::Num(agg.count, 10),
                   TablePrinter::Num(range.Width(), 4)});
   }

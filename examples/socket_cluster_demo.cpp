@@ -32,6 +32,7 @@
 #include "service/query_service.h"
 #include "service/socket_cluster.h"
 #include "service/socket_transport.h"
+#include "telemetry/trace.h"
 #include "util/flags.h"
 
 namespace {
@@ -143,6 +144,15 @@ bool RunAndCompare(dbsa::service::QueryService& socket_service,
   }
   std::printf("[%s] %zu/%zu results byte-identical to the loopback seam\n",
               label, identical, want.size());
+  if (!got.empty()) {
+    // Every query minted a trace id (identity travels to every shard in
+    // the v3 frames); print one so an operator can grep it out of a
+    // SLOW_QUERY / SLOW_SHARD line on the servers.
+    std::printf("[%s] sample trace id: %s\n", label,
+                dbsa::telemetry::TraceIdHex(got.front().bound.trace_hi,
+                                            got.front().bound.trace_lo)
+                    .c_str());
+  }
   return true;
 }
 

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # End-to-end socket-cluster smoke: real shard_server_main processes, a
-# placement file, the demo client verifying byte-identity over TCP, and
-# a failover drill (kill a primary, query again through its replica).
-# Mirrors the walkthrough in docs/operations.md. CI runs this after the
-# build; it exits non-zero if any query fails, any payload diverges from
-# the loopback reference, or the failover pass does not survive.
+# placement file, the demo client verifying byte-identity over TCP, a
+# wire-level metrics scrape of the live cluster, and a failover drill
+# (kill a primary, query again through its replica). Mirrors the
+# walkthrough in docs/operations.md. CI runs this after the build; it
+# exits non-zero if any query fails, any payload diverges from the
+# loopback reference, any shard's scrape comes back without traffic, or
+# the failover pass does not survive.
 #
 # usage: scripts/run_socket_cluster_smoke.sh [BUILD_DIR]
 set -euo pipefail
@@ -13,8 +15,9 @@ BUILD_DIR="${1:-build}"
 SHARDS=4
 SERVER="${BUILD_DIR}/shard_server_main"
 CLIENT="${BUILD_DIR}/example_socket_cluster_demo"
+SCRAPER_WRAPPER="scripts/scrape_cluster_stats.sh"
 
-for bin in "${SERVER}" "${CLIENT}"; do
+for bin in "${SERVER}" "${CLIENT}" "${BUILD_DIR}/example_cluster_stats"; do
   if [[ ! -x "${bin}" ]]; then
     echo "missing binary: ${bin} (build first)" >&2
     exit 1
@@ -94,6 +97,27 @@ fi
 
 echo "== pass 1: full workload over TCP, byte-identity vs the loopback seam"
 "${CLIENT}" --placement="${PLACEMENT}"
+
+echo "== scrape: kStatsRequest against every live primary"
+SCRAPE="${WORK_DIR}/scrape.txt"
+bash "${SCRAPER_WRAPPER}" "${PLACEMENT}" "${BUILD_DIR}" > "${SCRAPE}"
+for ((s = 0; s < SHARDS; ++s)); do
+  # Every shard must have served scatter traffic during pass 1 — a zero
+  # (or missing) counter means the router never reached that shard over
+  # the wire, which byte-identity alone would not catch if the loopback
+  # reference skipped it the same way.
+  count=$(grep -E "^dbsa_shard_scatter_requests_total\{shard=\"${s}\"\} " \
+    "${SCRAPE}" | awk '{print $2}')
+  if [[ -z "${count}" || "${count}" -eq 0 ]]; then
+    echo "shard ${s}: no scatter traffic in scrape (got '${count:-missing}')" >&2
+    exit 1
+  fi
+  if ! grep -qE "^dbsa_shard_handle_ms_count\{shard=\"${s}\"\} [1-9]" "${SCRAPE}"; then
+    echo "shard ${s}: handle-latency histogram empty in scrape" >&2
+    exit 1
+  fi
+  echo "   shard ${s}: ${count} scatter requests served"
+done
 
 echo "== failover drill: killing shard 1's primary"
 # PIDS layout: shard s primary at index 2s, replica at 2s+1.

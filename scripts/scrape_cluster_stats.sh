@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Scrapes every shard of a running socket cluster over the wire: one
+# kStatsRequest frame per endpoint, Prometheus text out. Thin wrapper
+# around the example_cluster_stats binary so operators (and the smoke
+# script) have a one-liner; see docs/operations.md § Monitoring for the
+# metric catalogue and a worked slow-query example.
+#
+# usage: scripts/scrape_cluster_stats.sh PLACEMENT_FILE [BUILD_DIR] [extra flags]
+#   scripts/scrape_cluster_stats.sh cluster.placement
+#   scripts/scrape_cluster_stats.sh cluster.placement build --shard=2
+#   scripts/scrape_cluster_stats.sh cluster.placement build --endpoint=replica
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 PLACEMENT_FILE [BUILD_DIR] [extra --flags]" >&2
+  exit 2
+fi
+
+PLACEMENT="$1"
+BUILD_DIR="${2:-build}"
+shift
+[[ $# -gt 0 ]] && shift
+SCRAPER="${BUILD_DIR}/example_cluster_stats"
+
+if [[ ! -x "${SCRAPER}" ]]; then
+  echo "missing binary: ${SCRAPER} (build first)" >&2
+  exit 1
+fi
+if [[ ! -f "${PLACEMENT}" ]]; then
+  echo "missing placement file: ${PLACEMENT}" >&2
+  exit 1
+fi
+
+exec "${SCRAPER}" --placement="${PLACEMENT}" "$@"

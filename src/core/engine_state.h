@@ -23,6 +23,7 @@
 #include "join/result_range.h"
 #include "query/error_bound.h"
 #include "query/optimizer.h"
+#include "telemetry/trace.h"
 
 namespace dbsa::core {
 
@@ -141,6 +142,11 @@ struct ExecHooks {
   /// layer wires service::ExecOptions::max_shard_fanout here to keep one
   /// query from monopolizing every shard connection at once.
   size_t max_fanout = 0;
+  /// Span collector of the submitting query (telemetry/trace.h); null
+  /// when tracing is off. Observe-only: stages record wall-clock spans
+  /// into it, nothing reads it back during execution — results are
+  /// byte-identical with or without a trace attached.
+  telemetry::QueryTrace* trace = nullptr;
 };
 
 // ---- executor building blocks -----------------------------------------

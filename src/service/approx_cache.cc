@@ -77,7 +77,25 @@ bool GeometrySummary::Matches(const GeometrySummary& o) const {
          first_vertex.x == o.first_vertex.x && first_vertex.y == o.first_vertex.y;
 }
 
-ApproxCache::ApproxCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+ApproxCache::ApproxCache(size_t budget_bytes,
+                         std::shared_ptr<telemetry::MetricRegistry> registry)
+    : budget_bytes_(budget_bytes),
+      registry_(registry ? std::move(registry)
+                         : std::make_shared<telemetry::MetricRegistry>()),
+      hits_(registry_->GetCounter("dbsa_approx_cache_hits_total")),
+      misses_(registry_->GetCounter("dbsa_approx_cache_misses_total")),
+      evictions_(registry_->GetCounter("dbsa_approx_cache_evictions_total")),
+      collisions_(registry_->GetCounter("dbsa_approx_cache_collisions_total")),
+      entries_gauge_(registry_->GetGauge("dbsa_approx_cache_entries")),
+      bytes_gauge_(registry_->GetGauge("dbsa_approx_cache_bytes_used")) {
+  registry_->GetGauge("dbsa_approx_cache_budget_bytes")
+      ->Set(static_cast<double>(budget_bytes_));
+}
+
+void ApproxCache::UpdateGaugesLocked() {
+  entries_gauge_->Set(static_cast<double>(map_.size()));
+  bytes_gauge_->Set(static_cast<double>(bytes_used_));
+}
 
 ApproxCache::HrPtr ApproxCache::GetOrBuild(const ObjectKey& object_id, int level,
                                            const Builder& build, bool* built,
@@ -99,11 +117,12 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(const ObjectKey& object_id, int level
         // Fingerprint collision: the cached entry was built from different
         // geometry. Drop it and fall through to a fresh build under the
         // same key (last writer wins; both geometries stay correct).
-        ++collisions_;
+        collisions_->Add(1);
         EraseEntryLocked(it->second);
         map_.erase(it);
+        UpdateGaugesLocked();
       } else {
-        ++hits_;
+        hits_->Add(1);
         lru_.splice(lru_.begin(), lru_, it->second);  // Promote.
         return it->second->hr;
       }
@@ -115,16 +134,16 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(const ObjectKey& object_id, int level
         // Collision against an in-flight build of different geometry: do
         // not wait on (or poison) the other build — construct our own
         // uncached result below.
-        ++collisions_;
-        ++misses_;
+        collisions_->Add(1);
+        misses_->Add(1);
         lock.unlock();
         if (built != nullptr) *built = true;
         return std::make_shared<const raster::HierarchicalRaster>(build());
       }
-      ++hits_;  // No construction on this thread.
+      hits_->Add(1);  // No construction on this thread.
       wait_on = flight->second.future;
     } else {
-      ++misses_;
+      misses_->Add(1);
       my_generation = generation_;
       Inflight flight_entry;
       flight_entry.future = promise.get_future().share();
@@ -167,6 +186,7 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(const ObjectKey& object_id, int level
       map_.emplace(key, lru_.begin());
       bytes_used_ += bytes;
       EvictToBudgetLocked();
+      UpdateGaugesLocked();
     }
   }
   promise.set_value(hr);
@@ -183,10 +203,10 @@ ApproxCache::HrPtr ApproxCache::Peek(const ObjectKey& object_id, int level) cons
 ApproxCache::Stats ApproxCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
-  s.collisions = collisions_;
+  s.hits = static_cast<size_t>(hits_->Value());
+  s.misses = static_cast<size_t>(misses_->Value());
+  s.evictions = static_cast<size_t>(evictions_->Value());
+  s.collisions = static_cast<size_t>(collisions_->Value());
   s.entries = map_.size();
   s.bytes_used = bytes_used_;
   s.budget_bytes = budget_bytes_;
@@ -199,6 +219,7 @@ void ApproxCache::Clear() {
   lru_.clear();
   bytes_used_ = 0;
   ++generation_;
+  UpdateGaugesLocked();
 }
 
 void ApproxCache::EraseEntryLocked(LruList::iterator it) {
@@ -212,7 +233,7 @@ void ApproxCache::EvictToBudgetLocked() {
     bytes_used_ -= victim.bytes;
     map_.erase(victim.key);
     lru_.pop_back();
-    ++evictions_;
+    evictions_->Add(1);
   }
 }
 

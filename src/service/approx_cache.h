@@ -29,6 +29,7 @@
 
 #include "geom/polygon.h"
 #include "raster/hierarchical_raster.h"
+#include "telemetry/metrics.h"
 
 namespace dbsa::service {
 
@@ -124,8 +125,12 @@ class ApproxCache {
 
   /// budget_bytes bounds the summed HierarchicalRaster::MemoryBytes() of
   /// the cached entries. An entry larger than the whole budget is built
-  /// and returned but never cached.
-  explicit ApproxCache(size_t budget_bytes);
+  /// and returned but never cached. Counters/gauges live in `registry`
+  /// under dbsa_approx_cache_* names (Stats is a thin read of them); a
+  /// null registry gets a private one so standalone construction keeps
+  /// working.
+  explicit ApproxCache(size_t budget_bytes,
+                       std::shared_ptr<telemetry::MetricRegistry> registry = nullptr);
 
   /// Returns the cached approximation for (object_id, level), building it
   /// with `build` on a miss. Waiters on an in-flight build count as hits
@@ -166,18 +171,24 @@ class ApproxCache {
 
   void EvictToBudgetLocked();
   void EraseEntryLocked(LruList::iterator it);
+  /// Mirrors entries/bytes_used into the registry gauges (call with mu_
+  /// held after any mutation of map_/bytes_used_).
+  void UpdateGaugesLocked();
 
   const size_t budget_bytes_;
+  std::shared_ptr<telemetry::MetricRegistry> registry_;
+  telemetry::Counter* hits_;
+  telemetry::Counter* misses_;
+  telemetry::Counter* evictions_;
+  telemetry::Counter* collisions_;
+  telemetry::Gauge* entries_gauge_;
+  telemetry::Gauge* bytes_gauge_;
   mutable std::mutex mu_;
   LruList lru_;  ///< Front = most recently used.
   std::unordered_map<Key, LruList::iterator, KeyHash> map_;
   std::unordered_map<Key, Inflight, KeyHash> inflight_;
   size_t bytes_used_ = 0;
   uint64_t generation_ = 0;  ///< Bumped by Clear(); stale builds not cached.
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-  size_t evictions_ = 0;
-  size_t collisions_ = 0;
 };
 
 }  // namespace dbsa::service

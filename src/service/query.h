@@ -162,6 +162,12 @@ struct BoundReport {
   /// Distinct shards that survived pruning (0 on unscattered paths).
   size_t shards_probed = 0;
   ExecPath path = ExecPath::kLocal;
+  /// 128-bit trace id of this query (telemetry/trace.h) — correlate the
+  /// Result with its slow-query line or scraped spans. Zero when the
+  /// service ran with tracing disabled. Provenance only, like `path`:
+  /// payloads are byte-identical traced or not.
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
 };
 
 /// Response to one query: the payload field matching `kind`, the achieved

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <exception>
 
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace dbsa::service {
 
@@ -13,9 +15,22 @@ QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
                            const ServiceOptions& options)
     : state_(std::move(state)),
       options_(options),
-      cache_(options.cache_budget_bytes),
+      registry_(options.registry ? options.registry
+                                 : std::make_shared<telemetry::MetricRegistry>()),
+      cache_(options.cache_budget_bytes, registry_),
       pool_(options.num_threads) {
   DBSA_CHECK(state_ != nullptr);
+  // Per-kind query metrics, resolved once so recording never takes the
+  // registry lock on the query path.
+  for (const QueryKind kind :
+       {QueryKind::kAggregate, QueryKind::kCount, QueryKind::kSelect}) {
+    const std::string label = std::string("{kind=\"") + QueryKindName(kind) + "\"}";
+    const size_t k = static_cast<size_t>(kind);
+    queries_total_[k] = registry_->GetCounter("dbsa_queries_total" + label);
+    query_latency_ms_[k] =
+        registry_->GetHistogram("dbsa_query_latency_ms" + label);
+  }
+  slow_queries_total_ = registry_->GetCounter("dbsa_slow_queries_total");
   const bool socket_mode =
       options.use_transport && options.transport_kind == TransportKind::kSocket;
   if (!options.use_transport) {
@@ -60,20 +75,25 @@ QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
     // runs, key ranges, bounds; no slice states) and a socket transport
     // to the external shard servers named by the placement. The shard
     // slices live in those processes (shard_server_main), not here.
-    socket_ = std::make_shared<SocketTransport>(options.placement,
-                                                options.socket_options);
+    SocketTransport::Options socket_options = options.socket_options;
+    socket_options.registry = registry_;
+    socket_ = std::make_shared<SocketTransport>(options.placement, socket_options);
     router_ = std::make_unique<ShardRouter>(sharded_, socket_);
   } else if (options.use_transport) {
     // The distribution rehearsal: one ShardServer per shard (each owning
     // its slice, id map and per-shard cell cache) behind a loopback
     // transport; every shard probe crosses the serialized wire format.
+    // All shards record into the service registry, distinguished by their
+    // {shard="N"} label.
     ShardServer::Options server_options;
     server_options.cell_cache_budget_bytes = options.shard_cache_budget_bytes;
+    server_options.registry = registry_;
     std::vector<LoopbackTransport::Handler> handlers;
     servers_.reserve(sharded_->num_shards());
     handlers.reserve(sharded_->num_shards());
     for (size_t s = 0; s < sharded_->num_shards(); ++s) {
       const core::ShardedState::Shard& shard = sharded_->shard(s);
+      server_options.shard_index = s;
       servers_.push_back(std::make_shared<ShardServer>(
           shard.state, shard.global_ids, server_options));
       handlers.push_back(
@@ -81,7 +101,7 @@ QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
             return server->Handle(request);
           });
     }
-    loopback_ = std::make_shared<LoopbackTransport>(std::move(handlers));
+    loopback_ = std::make_shared<LoopbackTransport>(std::move(handlers), registry_);
     router_ = std::make_unique<ShardRouter>(sharded_, loopback_);
   }
 }
@@ -101,12 +121,17 @@ ExecPath QueryService::exec_path() const {
 
 core::ExecHooks QueryService::MakeHooks(const ExecOptions& options,
                                         std::atomic<size_t>* query_hits,
-                                        std::atomic<size_t>* query_misses) {
+                                        std::atomic<size_t>* query_misses,
+                                        telemetry::QueryTrace* trace) {
   core::ExecHooks hooks;
   hooks.max_fanout = options.max_shard_fanout;
-  hooks.hr_provider = [this, query_hits, query_misses](
+  hooks.trace = trace;
+  hooks.hr_provider = [this, query_hits, query_misses, trace](
                           size_t poly_index, const geom::Polygon& poly,
                           double epsilon) {
+    // Span stage depends on the OUTCOME (hit -> cache_lookup, miss ->
+    // hr_build), so the span is recorded manually after the call.
+    const double span_start_ms = trace != nullptr ? trace->ElapsedMs() : 0.0;
     const int level = state_->grid.LevelForEpsilon(epsilon);
     const bool ad_hoc = poly_index == core::kAdHocPolygon;
     const ObjectKey object_id =
@@ -123,6 +148,10 @@ core::ExecHooks QueryService::MakeHooks(const ExecOptions& options,
         &built, ad_hoc ? &poly : nullptr);
     if (query_hits != nullptr && query_misses != nullptr) {
       (built ? *query_misses : *query_hits).fetch_add(1, std::memory_order_relaxed);
+    }
+    if (trace != nullptr) {
+      trace->Record(built ? "hr_build" : "cache_lookup", span_start_ms,
+                    trace->ElapsedMs() - span_start_ms);
     }
     return hr;
   };
@@ -150,12 +179,17 @@ void FillBoundReport(const core::ExecStats& stats, Result* result) {
 }  // namespace
 
 template <typename RunFn>
-auto QueryService::RunWithStats(const ExecOptions& options, Result* result,
+auto QueryService::RunWithStats(const ExecOptions& options,
+                                telemetry::QueryTrace* trace, Result* result,
                                 RunFn&& run) {
   std::atomic<size_t> query_hits{0};
   std::atomic<size_t> query_misses{0};
-  const core::ExecHooks hooks = MakeHooks(options, &query_hits, &query_misses);
-  auto answer = run(hooks);
+  const core::ExecHooks hooks =
+      MakeHooks(options, &query_hits, &query_misses, trace);
+  auto answer = [&]() {
+    telemetry::SpanTimer span(trace, "execute");
+    return run(hooks);
+  }();
   answer.stats.hr_cache_hits = query_hits.load(std::memory_order_relaxed);
   answer.stats.hr_cache_misses = query_misses.load(std::memory_order_relaxed);
   FillBoundReport(answer.stats, result);
@@ -163,9 +197,9 @@ auto QueryService::RunWithStats(const ExecOptions& options, Result* result,
 }
 
 void QueryService::RunSpec(const AggregateSpec& spec, const ExecOptions& options,
-                           Result* result) {
+                           telemetry::QueryTrace* trace, Result* result) {
   result->aggregate =
-      RunWithStats(options, result, [&](const core::ExecHooks& hooks) {
+      RunWithStats(options, trace, result, [&](const core::ExecHooks& hooks) {
         return router_ != nullptr
                    ? ExecuteAggregate(*router_, spec.agg, spec.attr,
                                       options.bound, options.mode, hooks)
@@ -180,9 +214,9 @@ void QueryService::RunSpec(const AggregateSpec& spec, const ExecOptions& options
 }
 
 void QueryService::RunSpec(const CountSpec& spec, const ExecOptions& options,
-                           Result* result) {
+                           telemetry::QueryTrace* trace, Result* result) {
   result->range =
-      RunWithStats(options, result, [&](const core::ExecHooks& hooks) {
+      RunWithStats(options, trace, result, [&](const core::ExecHooks& hooks) {
         return router_ != nullptr
                    ? ExecuteCount(*router_, spec.poly, options.bound, hooks)
                    : (sharded_ != nullptr
@@ -194,9 +228,9 @@ void QueryService::RunSpec(const CountSpec& spec, const ExecOptions& options,
 }
 
 void QueryService::RunSpec(const SelectSpec& spec, const ExecOptions& options,
-                           Result* result) {
+                           telemetry::QueryTrace* trace, Result* result) {
   result->ids = std::move(
-      RunWithStats(options, result, [&](const core::ExecHooks& hooks) {
+      RunWithStats(options, trace, result, [&](const core::ExecHooks& hooks) {
         return router_ != nullptr
                    ? ExecuteSelect(*router_, spec.poly, options.bound, hooks)
                    : (sharded_ != nullptr
@@ -207,35 +241,80 @@ void QueryService::RunSpec(const SelectSpec& spec, const ExecOptions& options,
       }).ids);
 }
 
+void QueryService::FinishQueryTelemetry(const Result& result,
+                                        telemetry::QueryTrace* trace,
+                                        double total_ms) {
+  const size_t k = static_cast<size_t>(result.kind);
+  queries_total_[k]->Add(1);
+  query_latency_ms_[k]->Record(total_ms);
+  std::vector<telemetry::TraceSpan> spans;
+  if (trace != nullptr) {
+    spans = trace->spans();
+    // Per-stage latency distributions: one histogram family keyed by the
+    // stage label. The stage set is tiny and closed, so the registry
+    // lookups here (post-query, not on the execution path) stay cheap.
+    for (const telemetry::TraceSpan& s : spans) {
+      registry_->GetHistogram("dbsa_stage_ms{stage=\"" + s.stage + "\"}")
+          ->Record(s.duration_ms);
+    }
+  }
+  if (options_.slow_query_ms > 0.0 && total_ms > options_.slow_query_ms) {
+    slow_queries_total_->Add(1);
+    const telemetry::TraceContext ctx =
+        trace != nullptr ? trace->ctx() : telemetry::TraceContext{};
+    const std::string line = telemetry::FormatSlowQueryLine(
+        ctx, QueryKindName(result.kind), result.bound.requested.ToString(),
+        result.bound.epsilon_achieved, result.status.ToString(), total_ms,
+        std::move(spans));
+    if (options_.slow_query_sink) {
+      options_.slow_query_sink(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+}
+
 Result QueryService::RunQuery(uint64_t ticket, const Query& query,
                               const ExecOptions& options,
                               Clock::time_point submitted) {
+  Timer timer;
+  std::unique_ptr<telemetry::QueryTrace> trace;
+  if (options_.enable_tracing) {
+    trace = std::make_unique<telemetry::QueryTrace>(telemetry::NewTraceContext());
+  }
   Result result;
   result.ticket = ticket;
   result.kind = query.kind();
   result.bound.requested = options.bound;
   result.bound.path = exec_path();
+  if (trace != nullptr) {
+    result.bound.trace_hi = trace->ctx().trace_hi;
+    result.bound.trace_lo = trace->ctx().trace_lo;
+  }
 
   // Admission: a cancelled or deadline-expired query never starts. Both
   // checks run HERE, on the worker, so time spent queued counts against
   // the deadline — the common case a deadline exists for.
-  if (options.cancel != nullptr && options.cancel->cancelled()) {
-    result.status = Status::Cancelled("query cancelled before execution");
-    return result;
-  }
-  if (options.deadline_ms > 0.0) {
-    const double waited_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - submitted).count();
-    if (waited_ms > options.deadline_ms) {
-      result.status = Status::DeadlineExceeded(
-          "deadline of " + std::to_string(options.deadline_ms) +
-          " ms exceeded before execution");
-      return result;
+  const Status admitted = [&]() -> Status {
+    telemetry::SpanTimer span(trace.get(), "admission");
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return Status::Cancelled("query cancelled before execution");
     }
-  }
-  const Status valid = ValidateQuery(query, options);
-  if (!valid.ok()) {
-    result.status = valid;
+    if (options.deadline_ms > 0.0) {
+      const double waited_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - submitted)
+              .count();
+      if (waited_ms > options.deadline_ms) {
+        return Status::DeadlineExceeded(
+            "deadline of " + std::to_string(options.deadline_ms) +
+            " ms exceeded before execution");
+      }
+    }
+    return ValidateQuery(query, options);
+  }();
+  if (!admitted.ok()) {
+    result.status = admitted;
+    FinishQueryTelemetry(result, trace.get(), timer.Millis());
     return result;
   }
 
@@ -243,7 +322,8 @@ Result QueryService::RunQuery(uint64_t ticket, const Query& query,
   // exception in a future, so one poisoned query can neither abort a
   // Drain nor share exception state across threads.
   try {
-    query.Visit([&](const auto& spec) { RunSpec(spec, options, &result); });
+    query.Visit(
+        [&](const auto& spec) { RunSpec(spec, options, trace.get(), &result); });
     result.status = Status::OK();
   } catch (const StatusException& e) {
     result.status = e.status();  // Typed codes survive (wire errors etc.).
@@ -253,6 +333,7 @@ Result QueryService::RunQuery(uint64_t ticket, const Query& query,
   } catch (...) {
     result.status = Status::Internal("query failed with a non-standard exception");
   }
+  FinishQueryTelemetry(result, trace.get(), timer.Millis());
   return result;
 }
 

@@ -104,6 +104,25 @@ struct ServiceOptions {
   /// kSocket only: connection management knobs (timeouts, backoff,
   /// failover behaviour, cost model) — see socket_transport.h.
   SocketTransport::Options socket_options;
+
+  // ---- telemetry (src/telemetry/) -----------------------------------
+  /// Mint a TraceContext per query and record per-stage spans (admission,
+  /// cache lookup, HR build, route, per-shard roundtrip, execute, merge,
+  /// gather), propagated to shard servers over wire v3. Observe-only:
+  /// payloads are byte-identical with tracing on or off.
+  bool enable_tracing = true;
+  /// > 0: a query whose end-to-end latency exceeds this emits one
+  /// structured SLOW_QUERY line (trace id, kind, bound, achieved epsilon,
+  /// per-stage span table) to `slow_query_sink`. Needs enable_tracing for
+  /// the span table; the line is emitted either way.
+  double slow_query_ms = 0.0;
+  /// Destination of SLOW_QUERY lines; null -> stderr.
+  std::function<void(const std::string&)> slow_query_sink;
+  /// Registry every component of this service records into (cache,
+  /// transports, loopback shard servers, per-query latencies). Null: the
+  /// service creates its own — shard it to aggregate several services or
+  /// to expose one process-wide scrape.
+  std::shared_ptr<telemetry::MetricRegistry> registry;
 };
 
 class QueryService {
@@ -148,6 +167,12 @@ class QueryService {
 
   ApproxCache::Stats cache_stats() const { return cache_.stats(); }
 
+  /// The metric registry this service records into (ServiceOptions::
+  /// registry, or the service-private one) — RenderText() it to scrape.
+  const std::shared_ptr<telemetry::MetricRegistry>& registry() const {
+    return registry_;
+  }
+
   const core::EngineState& state() const { return *state_; }
   /// Non-null iff the shard-aware execution path is active
   /// (options.num_shards > 1, or options.use_transport). In socket mode
@@ -189,21 +214,27 @@ class QueryService {
 
   /// Builds the cache-backed exec hooks for one query. When the counter
   /// pointers are non-null they receive this query's hit/miss tallies;
-  /// they must outlive every Execute* call using the hooks.
+  /// they must outlive every Execute* call using the hooks. `trace`, when
+  /// non-null, is threaded through the hooks (cache_lookup / hr_build
+  /// spans, shard roundtrip spans downstream).
   core::ExecHooks MakeHooks(const ExecOptions& options,
                             std::atomic<size_t>* query_hits = nullptr,
-                            std::atomic<size_t>* query_misses = nullptr);
+                            std::atomic<size_t>* query_misses = nullptr,
+                            telemetry::QueryTrace* trace = nullptr);
 
   /// The one execution funnel: admission (cancel/deadline/validation),
-  /// dispatch on the spec visitor, BoundReport assembly, and the
+  /// dispatch on the spec visitor, BoundReport assembly, telemetry
+  /// (latency histograms, stage spans, slow-query log), and the
   /// exception->Status boundary. Runs on a pool worker; never throws.
   Result RunQuery(uint64_t ticket, const Query& query, const ExecOptions& options,
                   Clock::time_point submitted);
 
   void RunSpec(const AggregateSpec& spec, const ExecOptions& options,
-               Result* result);
-  void RunSpec(const CountSpec& spec, const ExecOptions& options, Result* result);
-  void RunSpec(const SelectSpec& spec, const ExecOptions& options, Result* result);
+               telemetry::QueryTrace* trace, Result* result);
+  void RunSpec(const CountSpec& spec, const ExecOptions& options,
+               telemetry::QueryTrace* trace, Result* result);
+  void RunSpec(const SelectSpec& spec, const ExecOptions& options,
+               telemetry::QueryTrace* trace, Result* result);
 
   /// Shared per-spec scaffolding: builds the counter-wired hooks, runs
   /// the executor, copies the cache tallies into its stats and lifts the
@@ -211,7 +242,13 @@ class QueryService {
   /// (AggregateAnswer / CountAnswer / SelectAnswer — anything with a
   /// `stats` member).
   template <typename RunFn>
-  auto RunWithStats(const ExecOptions& options, Result* result, RunFn&& run);
+  auto RunWithStats(const ExecOptions& options, telemetry::QueryTrace* trace,
+                    Result* result, RunFn&& run);
+
+  /// End-of-query telemetry: latency/stage histograms, query counters,
+  /// the slow-query log. Called once per RunQuery, success or failure.
+  void FinishQueryTelemetry(const Result& result, telemetry::QueryTrace* trace,
+                            double total_ms);
 
   std::shared_ptr<const core::EngineState> state_;
   std::shared_ptr<const core::ShardedState> sharded_;  ///< Null when unsharded.
@@ -223,6 +260,14 @@ class QueryService {
   std::shared_ptr<SocketTransport> socket_;
   std::unique_ptr<ShardRouter> router_;
   ServiceOptions options_;
+  /// Declared before cache_: the cache (and every other component)
+  /// records into it.
+  std::shared_ptr<telemetry::MetricRegistry> registry_;
+  /// Pre-resolved per-kind metrics (indexed by QueryKind) so the query
+  /// path never takes the registry lock.
+  telemetry::Counter* queries_total_[3] = {};
+  telemetry::Histogram* query_latency_ms_[3] = {};
+  telemetry::Counter* slow_queries_total_ = nullptr;
   ApproxCache cache_;
   ThreadPool pool_;  ///< Last member: workers die before cache/state.
 

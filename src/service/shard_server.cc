@@ -1,10 +1,12 @@
 #include "service/shard_server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
 #include "join/result_range.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -29,11 +31,41 @@ uint64_t ApproxChecksum(const raster::HrCell* cells, size_t num_cells) {
 
 // ------------------------------------------------------------ ShardServer
 
+namespace {
+
+/// dbsa_<family>{shard="N"} — the per-shard label scheme of every shard
+/// metric, so loopback servers sharing a registry stay distinguishable.
+std::string ShardMetric(const char* family, size_t shard) {
+  return std::string(family) + "{shard=\"" + std::to_string(shard) + "\"}";
+}
+
+}  // namespace
+
 ShardServer::ShardServer(std::shared_ptr<const core::EngineState> state,
                          std::vector<uint32_t> global_ids, const Options& options)
     : state_(std::move(state)),
       global_ids_(std::move(global_ids)),
-      cache_budget_bytes_(options.cell_cache_budget_bytes) {
+      cache_budget_bytes_(options.cell_cache_budget_bytes),
+      options_(options),
+      registry_(options.registry
+                    ? options.registry
+                    : std::make_shared<telemetry::MetricRegistry>()),
+      requests_(registry_->GetCounter(
+          ShardMetric("dbsa_shard_scatter_requests_total", options.shard_index))),
+      parse_errors_(registry_->GetCounter(
+          ShardMetric("dbsa_shard_parse_errors_total", options.shard_index))),
+      cache_hits_(registry_->GetCounter(
+          ShardMetric("dbsa_shard_cache_hits_total", options.shard_index))),
+      cache_misses_(registry_->GetCounter(
+          ShardMetric("dbsa_shard_cache_misses_total", options.shard_index))),
+      cache_evictions_(registry_->GetCounter(
+          ShardMetric("dbsa_shard_cache_evictions_total", options.shard_index))),
+      cache_entries_gauge_(registry_->GetGauge(
+          ShardMetric("dbsa_shard_cache_entries", options.shard_index))),
+      cache_bytes_gauge_(registry_->GetGauge(
+          ShardMetric("dbsa_shard_cache_bytes", options.shard_index))),
+      handle_ms_(registry_->GetHistogram(
+          ShardMetric("dbsa_shard_handle_ms", options.shard_index))) {
   DBSA_CHECK(state_ == nullptr || state_->points->size() == global_ids_.size());
 }
 
@@ -42,21 +74,39 @@ ShardServer::ShardServer(std::shared_ptr<const core::EngineState> state,
     : ShardServer(std::move(state), std::move(global_ids), Options()) {}
 
 std::string ShardServer::Handle(const std::string& request_bytes) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  Timer timer;
+  requests_->Add(1);
   ScatterRequest request;
   GatherPartial partial;
   const Status parsed = ScatterRequest::Decode(request_bytes, &request);
   if (!parsed.ok()) {
-    // The decoder's code travels back typed: a v1 frame answers
-    // kUnimplemented, corruption answers kInvalidArgument.
-    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    // The decoder's code travels back typed: a version-skewed frame
+    // answers kUnimplemented, corruption answers kInvalidArgument.
+    parse_errors_->Add(1);
     partial = GatherPartial::FromStatus(
         ScatterRequest::Kind::kAggregateCells, GatherPartial::Disposition::kError,
         Status(parsed.code(), "bad request: " + parsed.message()));
   } else {
     partial = Dispatch(request);
   }
-  return partial.Encode();
+  std::string encoded = partial.Encode();
+  const double elapsed_ms = timer.Millis();
+  handle_ms_->Record(elapsed_ms);
+  if (options_.slow_handle_ms > 0.0 && elapsed_ms > options_.slow_handle_ms) {
+    // The server-side half of the distributed trace: one line keyed by
+    // the WIRE trace id, so it joins the client's slow-query record.
+    char buf[192];
+    std::snprintf(
+        buf, sizeof(buf), "SLOW_SHARD trace=%s shard=%zu kind=%u ms=%.3f",
+        telemetry::TraceIdHex(request.trace_hi, request.trace_lo).c_str(),
+        options_.shard_index, static_cast<unsigned>(request.kind), elapsed_ms);
+    if (options_.slow_handle_sink) {
+      options_.slow_handle_sink(buf);
+    } else {
+      std::fprintf(stderr, "%s\n", buf);
+    }
+  }
+  return encoded;
 }
 
 GatherPartial ShardServer::Dispatch(const ScatterRequest& request) {
@@ -152,8 +202,10 @@ void ShardServer::CachePut(const CacheKey& key, uint64_t checksum,
     cache_bytes_ -= victim.bytes;
     map_.erase(victim.key);
     lru_.pop_back();
-    ++cache_evictions_;
+    cache_evictions_->Add(1);
   }
+  cache_entries_gauge_->Set(static_cast<double>(map_.size()));
+  cache_bytes_gauge_->Set(static_cast<double>(cache_bytes_));
 }
 
 ShardServer::CellsPtr ShardServer::CacheGet(const CacheKey& key,
@@ -168,25 +220,27 @@ ShardServer::CellsPtr ShardServer::CacheGet(const CacheKey& key,
       cache_bytes_ -= it->second->bytes;
       lru_.erase(it->second);
       map_.erase(it);
+      cache_entries_gauge_->Set(static_cast<double>(map_.size()));
+      cache_bytes_gauge_->Set(static_cast<double>(cache_bytes_));
     }
-    ++cache_misses_;
+    cache_misses_->Add(1);
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // Promote.
-  ++cache_hits_;
+  cache_hits_->Add(1);
   return it->second->cells;  // Shared, immutable: no copy under the lock.
 }
 
 ShardServer::Stats ShardServer::stats() const {
   Stats s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.requests = requests_->Value();
+  s.parse_errors = parse_errors_->Value();
+  s.cache_hits = cache_hits_->Value();
+  s.cache_misses = cache_misses_->Value();
+  s.cache_evictions = cache_evictions_->Value();
   std::lock_guard<std::mutex> lock(mu_);
   s.cache_entries = map_.size();
   s.cache_bytes = cache_bytes_;
-  s.cache_hits = cache_hits_;
-  s.cache_misses = cache_misses_;
-  s.cache_evictions = cache_evictions_;
   return s;
 }
 
@@ -265,13 +319,22 @@ GatherPartial ShardRouter::CallShard(size_t shard, ScatterRequest::Kind kind,
                                      uint64_t checksum,
                                      const raster::HrCell* cells,
                                      const core::ShardedState::CellRoute* routes,
-                                     size_t num_cells) {
+                                     size_t num_cells,
+                                     telemetry::QueryTrace* trace) {
+  // The whole call — reference attempt, fallback re-ship included — is
+  // one per-shard roundtrip span in the query's trace.
+  telemetry::SpanTimer span(trace, "shard_roundtrip", static_cast<int>(shard));
   ScatterRequest request;
   request.kind = kind;
   request.bound_kind = bound.kind;
   request.bound_epsilon = bound.epsilon;
   request.level = level;
   request.checksum = checksum;
+  if (trace != nullptr) {
+    request.trace_hi = trace->ctx().trace_hi;
+    request.trace_lo = trace->ctx().trace_lo;
+    request.span_id = trace->ctx().span_id;
+  }
   if (object != nullptr) {
     request.has_object = true;
     request.object = *object;
@@ -302,10 +365,14 @@ join::CellAggregate ShardRouter::ScatterGather(
     std::atomic<uint32_t>* touched, size_t* num_surviving) {
   const raster::HrCell* cells = hr.cells().data();
   const size_t num_cells = hr.cells().size();
-  const std::vector<core::ShardedState::CellRoute> routes =
-      sharded_->MakeRoutes(cells, num_cells);
-  const std::vector<uint32_t> surviving =
-      sharded_->SurvivingShards(routes.data(), num_cells);
+  telemetry::QueryTrace* trace = hooks.trace;
+  std::vector<core::ShardedState::CellRoute> routes;
+  std::vector<uint32_t> surviving;
+  {
+    telemetry::SpanTimer route_span(trace, "route");
+    routes = sharded_->MakeRoutes(cells, num_cells);
+    surviving = sharded_->SurvivingShards(routes.data(), num_cells);
+  }
   if (touched != nullptr) {
     for (const uint32_t s : surviving) {
       touched[s].store(1, std::memory_order_relaxed);
@@ -317,7 +384,7 @@ join::CellAggregate ShardRouter::ScatterGather(
   const auto one_shard = [&](size_t t) {
     partials[t] = CallShard(surviving[t], ScatterRequest::Kind::kAggregateCells,
                             object, level, bound, checksum, cells, routes.data(),
-                            num_cells)
+                            num_cells, trace)
                       .aggregate;
   };
   // Same fan-out threshold as the in-process executor: scheduling (not
@@ -327,6 +394,7 @@ join::CellAggregate ShardRouter::ScatterGather(
   } else {
     for (size_t t = 0; t < surviving.size(); ++t) one_shard(t);
   }
+  telemetry::SpanTimer merge_span(trace, "merge");
   join::CellAggregate agg;
   for (const join::CellAggregate& partial : partials) agg.Merge(partial);
   return agg;
@@ -338,10 +406,14 @@ std::vector<std::pair<uint64_t, uint32_t>> ShardRouter::SelectKeyed(
     size_t* num_surviving, size_t* probe_cells) {
   const raster::HrCell* cells = hr.cells().data();
   const size_t num_cells = hr.cells().size();
-  const std::vector<core::ShardedState::CellRoute> routes =
-      sharded_->MakeRoutes(cells, num_cells);
-  const std::vector<uint32_t> surviving =
-      sharded_->SurvivingShards(routes.data(), num_cells);
+  telemetry::QueryTrace* trace = hooks.trace;
+  std::vector<core::ShardedState::CellRoute> routes;
+  std::vector<uint32_t> surviving;
+  {
+    telemetry::SpanTimer route_span(trace, "route");
+    routes = sharded_->MakeRoutes(cells, num_cells);
+    surviving = sharded_->SurvivingShards(routes.data(), num_cells);
+  }
   if (num_surviving != nullptr) *num_surviving = surviving.size();
   const uint64_t checksum = ApproxChecksum(cells, num_cells);
   std::vector<std::vector<std::pair<uint64_t, uint32_t>>> per_shard(
@@ -350,10 +422,11 @@ std::vector<std::pair<uint64_t, uint32_t>> ShardRouter::SelectKeyed(
   core::RunMaybeParallel(hooks, surviving.size(), [&](size_t t) {
     GatherPartial partial =
         CallShard(surviving[t], ScatterRequest::Kind::kSelectIds, object, level,
-                  bound, checksum, cells, routes.data(), num_cells);
+                  bound, checksum, cells, routes.data(), num_cells, trace);
     per_shard_cells[t] = partial.probe_cells;
     per_shard[t] = std::move(partial.keyed_ids);
   });
+  telemetry::SpanTimer gather_span(trace, "gather");
   if (probe_cells != nullptr) {
     *probe_cells = 0;
     for (const uint64_t c : per_shard_cells) *probe_cells += c;

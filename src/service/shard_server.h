@@ -53,6 +53,16 @@ class ShardServer {
   struct Options {
     /// Budget for the per-shard cache of routed cell slices.
     size_t cell_cache_budget_bytes = size_t{8} << 20;
+    /// Registry the server's dbsa_shard_* metrics live in (labelled with
+    /// `shard_index` so several servers share one registry — the loopback
+    /// deployment); null gets a private one.
+    std::shared_ptr<telemetry::MetricRegistry> registry;
+    size_t shard_index = 0;
+    /// > 0: a Handle() call exceeding this wall-clock budget emits one
+    /// SLOW_SHARD line (with the request's wire trace id) to the sink.
+    double slow_handle_ms = 0.0;
+    /// Destination of SLOW_SHARD lines; null -> stderr.
+    std::function<void(const std::string&)> slow_handle_sink;
   };
 
   /// Serves one shard slice. `state` may be null (an empty shard): every
@@ -77,12 +87,20 @@ class ShardServer {
     uint64_t cache_misses = 0;    ///< Reference requests answered kNotCached.
     uint64_t cache_evictions = 0;
   };
+  /// Thin read of the registry counters (plus the mutex-guarded cache
+  /// directory sizes).
   Stats stats() const;
 
   /// (object, level) keys currently cached (test introspection).
   std::vector<std::pair<ObjectKey, int>> CachedKeys() const;
 
   size_t num_points() const { return global_ids_.size(); }
+
+  /// The registry the server records into (the process registry a
+  /// scraping listener renders; private if Options carried none).
+  const std::shared_ptr<telemetry::MetricRegistry>& registry() const {
+    return registry_;
+  }
 
  private:
   using CacheKey = ObjectLevelKey;
@@ -106,16 +124,22 @@ class ShardServer {
   std::shared_ptr<const core::EngineState> state_;
   std::vector<uint32_t> global_ids_;
   const size_t cache_budget_bytes_;
+  Options options_;
+
+  std::shared_ptr<telemetry::MetricRegistry> registry_;
+  telemetry::Counter* requests_;
+  telemetry::Counter* parse_errors_;
+  telemetry::Counter* cache_hits_;
+  telemetry::Counter* cache_misses_;
+  telemetry::Counter* cache_evictions_;
+  telemetry::Gauge* cache_entries_gauge_;
+  telemetry::Gauge* cache_bytes_gauge_;
+  telemetry::Histogram* handle_ms_;
 
   mutable std::mutex mu_;
   LruList lru_;  ///< Front = most recently used.
   std::unordered_map<CacheKey, LruList::iterator, ObjectLevelKeyHash> map_;
   size_t cache_bytes_ = 0;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
-  uint64_t cache_evictions_ = 0;
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> parse_errors_{0};
 };
 
 /// Cheap order-sensitive checksum of an approximation's cell list; shipped
@@ -167,12 +191,14 @@ class ShardRouter {
 
   /// One shard's call: reference-only when the shard is known to hold the
   /// key (falling back to inline cells on kNotCached), inline otherwise.
+  /// `trace`, when non-null, stamps the request's wire trace fields and
+  /// receives a per-shard "shard_roundtrip" span.
   GatherPartial CallShard(size_t shard, ScatterRequest::Kind kind,
                           const ObjectKey* object, int level,
                           const query::ErrorBound& bound, uint64_t checksum,
                           const raster::HrCell* cells,
                           const core::ShardedState::CellRoute* routes,
-                          size_t num_cells);
+                          size_t num_cells, telemetry::QueryTrace* trace);
 
   bool KnownCached(size_t shard, const Key& key) const;
   void MarkCached(size_t shard, const Key& key, bool cached);

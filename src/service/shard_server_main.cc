@@ -2,7 +2,7 @@
 //
 // Builds the deterministic demo dataset (data/cluster_demo.h), shards it
 // exactly like the client will (core::ShardedState::Build), keeps ONLY
-// its own shard's slice behind a ShardServer, and serves wire-v2 frames
+// its own shard's slice behind a ShardServer, and serves wire-v3 frames
 // on the endpoint the placement file assigns it. Every dataset flag must
 // match across the cluster and the client — see docs/operations.md for
 // the full walkthrough and scripts/run_socket_cluster_smoke.sh for a
@@ -42,9 +42,11 @@ int Usage(const char* argv0) {
       "usage: %s --placement=FILE --shard=N [--endpoint=primary|replica]\n"
       "          [--points=20000] [--regions=24] [--universe=4096]\n"
       "          [--seed=20210111] [--hilbert_level=16] [--cache_budget_mb=8]\n"
+      "          [--slow_handle_ms=0]\n"
       "\n"
-      "Serves one shard of the demo-city dataset over the wire-v2 socket\n"
-      "protocol. Dataset flags must match on every server and the client.\n",
+      "Serves one shard of the demo-city dataset over the wire-v3 socket\n"
+      "protocol (kStatsRequest frames answer with the server's metrics).\n"
+      "Dataset flags must match on every server and the client.\n",
       argv0);
   return 2;
 }
@@ -57,7 +59,7 @@ int main(int argc, char** argv) {
   if (!util::KnownFlagsOnly(argc, argv,
                             {"placement", "shard", "endpoint", "points",
                              "regions", "universe", "seed", "hilbert_level",
-                             "cache_budget_mb"})) {
+                             "cache_budget_mb", "slow_handle_ms"})) {
     return Usage(argv[0]);
   }
   std::string placement_path;
@@ -135,6 +137,13 @@ int main(int argc, char** argv) {
   service::ShardServer::Options server_options;
   server_options.cell_cache_budget_bytes =
       static_cast<size_t>(util::UintFlag(argc, argv, "cache_budget_mb", 8)) << 20;
+  // One registry for the whole process: the server's shard metrics and
+  // the listener's scrape endpoint share it, so one kStatsRequest frame
+  // returns everything this process measures.
+  server_options.registry = std::make_shared<telemetry::MetricRegistry>();
+  server_options.shard_index = shard;
+  server_options.slow_handle_ms = static_cast<double>(
+      util::UintFlag(argc, argv, "slow_handle_ms", 0));
   service::ShardServer server(std::move(slice_state), std::move(slice_ids),
                               server_options);
 
@@ -144,6 +153,7 @@ int main(int argc, char** argv) {
   service::ShardListener::Options listen_options;
   listen_options.host = endpoint.host;
   listen_options.port = endpoint.port;
+  listen_options.registry = server.registry();
   try {
     const service::ShardListener::Stats stats = service::ServeShard(
         [&server](const std::string& request) { return server.Handle(request); },

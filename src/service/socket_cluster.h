@@ -59,15 +59,24 @@ inline InProcessShardCluster MakeInProcessShardCluster(
   cluster.sharded = core::ShardedState::Build(base, sharding);
   for (size_t s = 0; s < cluster.sharded->num_shards(); ++s) {
     const core::ShardedState::Shard& shard = cluster.sharded->shard(s);
-    cluster.servers.push_back(
-        std::make_unique<ShardServer>(shard.state, shard.global_ids));
+    // One registry per server, served by its listener's kStatsRequest
+    // path — the same shape as a real shard_server_main process, so a
+    // wire-level scrape of this cluster exercises the production seam.
+    ShardServer::Options server_options;
+    server_options.shard_index = s;
+    cluster.servers.push_back(std::make_unique<ShardServer>(
+        shard.state, shard.global_ids, server_options));
     ShardServer* server = cluster.servers.back().get();
     const ShardListener::Handler handler =
         [server](const std::string& request) { return server->Handle(request); };
+    ShardListener::Options listen_options;
+    listen_options.registry = server->registry();
     cluster.primaries.push_back(std::make_unique<ShardListener>(
-        options.wrap_primary ? options.wrap_primary(s, handler) : handler));
+        options.wrap_primary ? options.wrap_primary(s, handler) : handler,
+        listen_options));
     if (options.with_replicas) {
-      cluster.replicas.push_back(std::make_unique<ShardListener>(handler));
+      cluster.replicas.push_back(
+          std::make_unique<ShardListener>(handler, listen_options));
       cluster.placement.Add(cluster.primaries.back()->endpoint(),
                             cluster.replicas.back()->endpoint());
     } else {

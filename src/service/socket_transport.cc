@@ -211,12 +211,28 @@ SocketTransport::SocketTransport(ShardPlacement placement)
     : SocketTransport(std::move(placement), Options()) {}
 
 SocketTransport::SocketTransport(ShardPlacement placement, const Options& options)
-    : placement_(std::move(placement)), options_(options) {
+    : placement_(std::move(placement)),
+      options_(options),
+      registry_(options.registry
+                    ? options.registry
+                    : std::make_shared<telemetry::MetricRegistry>()),
+      messages_(registry_->GetCounter("dbsa_socket_messages_total")),
+      request_bytes_(registry_->GetCounter("dbsa_socket_request_bytes_total")),
+      response_bytes_(registry_->GetCounter("dbsa_socket_response_bytes_total")),
+      dials_(registry_->GetCounter("dbsa_socket_dials_total")),
+      reconnects_(registry_->GetCounter("dbsa_socket_reconnects_total")),
+      failovers_(registry_->GetCounter("dbsa_socket_failovers_total")),
+      timeouts_(registry_->GetCounter("dbsa_socket_timeouts_total")),
+      transport_errors_(
+          registry_->GetCounter("dbsa_socket_transport_errors_total")) {
   DBSA_CHECK(placement_.num_shards() > 0);
   DBSA_CHECK(options_.max_dial_attempts >= 1);
   conns_.reserve(placement_.num_shards());
+  roundtrip_ms_.reserve(placement_.num_shards());
   for (size_t s = 0; s < placement_.num_shards(); ++s) {
     conns_.push_back(std::make_unique<ShardConns>());
+    roundtrip_ms_.push_back(registry_->GetHistogram(
+        "dbsa_socket_roundtrip_ms{shard=\"" + std::to_string(s) + "\"}"));
   }
 }
 
@@ -285,6 +301,7 @@ std::string SocketTransport::Roundtrip(size_t shard, const std::string& request)
         "SocketTransport: no such shard " + std::to_string(shard)));
   }
   const Deadline deadline = Deadline::After(options_.roundtrip_timeout_ms);
+  const auto started = std::chrono::steady_clock::now();
   ShardConns& sc = *conns_[shard];
   int first;
   {
@@ -299,14 +316,18 @@ std::string SocketTransport::Roundtrip(size_t shard, const std::string& request)
       std::lock_guard<std::mutex> lock(sc.mu);
       sc.preferred = endpoint;
     }
-    if (endpoint == kReplica) failovers_.fetch_add(1, std::memory_order_relaxed);
-    messages_.fetch_add(1, std::memory_order_relaxed);
-    request_bytes_.fetch_add(request.size(), std::memory_order_relaxed);
-    response_bytes_.fetch_add(response.size(), std::memory_order_relaxed);
+    if (endpoint == kReplica) failovers_->Add(1);
+    messages_->Add(1);
+    request_bytes_->Add(request.size());
+    response_bytes_->Add(response.size());
+    roundtrip_ms_[shard]->Record(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count());
     return response;
   };
   const auto timed_out = [&](const Status& status) -> StatusException {
-    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    timeouts_->Add(1);
     return StatusException(Status::DeadlineExceeded(
         "shard " + std::to_string(shard) + " roundtrip exceeded " +
         std::to_string(options_.roundtrip_timeout_ms) + " ms (" +
@@ -404,10 +425,8 @@ std::string SocketTransport::Roundtrip(size_t shard, const std::string& request)
         if (attempt_deadline.expired() && has_fallback) break;
         continue;
       }
-      dials_.fetch_add(1, std::memory_order_relaxed);
-      if (had_stale_conn || attempt > 0) {
-        reconnects_.fetch_add(1, std::memory_order_relaxed);
-      }
+      dials_->Add(1);
+      if (had_stale_conn || attempt > 0) reconnects_->Add(1);
       const int fd = dialed.value();
       std::string response;
       const Status exchanged =
@@ -430,7 +449,7 @@ std::string SocketTransport::Roundtrip(size_t shard, const std::string& request)
     }
   }
 
-  transport_errors_.fetch_add(1, std::memory_order_relaxed);
+  transport_errors_->Add(1);
   throw StatusException(Status::Unavailable(
       "shard " + std::to_string(shard) + " unreachable (primary " +
       EndpointOf(shard, kPrimary).ToString() +
@@ -442,14 +461,14 @@ std::string SocketTransport::Roundtrip(size_t shard, const std::string& request)
 
 SocketTransport::Stats SocketTransport::stats() const {
   Stats s;
-  s.messages = messages_.load(std::memory_order_relaxed);
-  s.request_bytes = request_bytes_.load(std::memory_order_relaxed);
-  s.response_bytes = response_bytes_.load(std::memory_order_relaxed);
-  s.dials = dials_.load(std::memory_order_relaxed);
-  s.reconnects = reconnects_.load(std::memory_order_relaxed);
-  s.failovers = failovers_.load(std::memory_order_relaxed);
-  s.timeouts = timeouts_.load(std::memory_order_relaxed);
-  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  s.messages = messages_->Value();
+  s.request_bytes = request_bytes_->Value();
+  s.response_bytes = response_bytes_->Value();
+  s.dials = dials_->Value();
+  s.reconnects = reconnects_->Value();
+  s.failovers = failovers_->Value();
+  s.timeouts = timeouts_->Value();
+  s.transport_errors = transport_errors_->Value();
   return s;
 }
 
@@ -620,6 +639,30 @@ void ShardListener::ConnectionLoop(int fd) {
         buf.erase(0, frame_size);
       }
       frames_.fetch_add(1, std::memory_order_relaxed);
+      // Stats scrape is served by the LISTENER, not the shard handler:
+      // the registry covers the whole server process (shard metrics,
+      // cache gauges, handle-latency histograms), and a scrape must keep
+      // working even while the handler is busy with a heavy query. The
+      // type byte sits at frame index 7 ([u32 len][u16 magic][u8 ver]
+      // [u8 type], docs/wire-format.md); a malformed or version-skewed
+      // stats frame falls through to the handler's typed error path.
+      if (options_.registry != nullptr && frame.size() >= 8 &&
+          static_cast<uint8_t>(frame[7]) ==
+              static_cast<uint8_t>(MessageType::kStatsRequest)) {
+        StatsRequest stats_request;
+        if (StatsRequest::Decode(frame, &stats_request).ok()) {
+          StatsReply reply;
+          reply.text = options_.registry->RenderText();
+          const std::string stats_response = reply.Encode();
+          if (!SendAll(fd, stats_response.data(), stats_response.size(),
+                       Deadline::After(options_.write_timeout_ms))
+                   .ok()) {
+            open = false;
+            break;
+          }
+          continue;
+        }
+      }
       const std::string response = handler_(frame);
       if (response.empty()) {
         // Handler-signalled connection drop (fault injection hook).

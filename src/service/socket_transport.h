@@ -1,4 +1,4 @@
-// The real RPC leg of the shard seam: the wire-v2 frames of
+// The real RPC leg of the shard seam: the wire-v3 frames of
 // service/transport.h (normative byte spec: docs/wire-format.md) carried
 // over TCP sockets instead of in-process function calls.
 //
@@ -75,6 +75,7 @@
 
 #include "service/placement.h"
 #include "service/transport.h"
+#include "telemetry/metrics.h"
 #include "util/status.h"
 
 namespace dbsa::service {
@@ -168,6 +169,10 @@ class SocketTransport : public Transport {
     /// Optimizer cost units per message (QueryProfile::transport_overhead)
     /// — see kDefaultCostPerMessage.
     double cost_per_message = kDefaultCostPerMessage;
+    /// Registry the transport's dbsa_socket_* metrics live in (shared
+    /// with the owning QueryService so one scrape covers the whole
+    /// client); null gets a private one.
+    std::shared_ptr<telemetry::MetricRegistry> registry;
   };
 
   /// A real network roundtrip in optimizer cost units (one simple memory
@@ -204,7 +209,14 @@ class SocketTransport : public Transport {
     uint64_t timeouts = 0;        ///< Roundtrips that died on the deadline.
     uint64_t transport_errors = 0;///< Roundtrips that exhausted all endpoints.
   };
+  /// Thin read of the registry counters.
   Stats stats() const;
+
+  /// The registry the transport records into (private if Options carried
+  /// none).
+  const std::shared_ptr<telemetry::MetricRegistry>& registry() const {
+    return registry_;
+  }
 
   /// Drops every pooled idle connection (the next Roundtrip redials).
   /// Lets tests and operators force reconnection; never affects
@@ -244,14 +256,18 @@ class SocketTransport : public Transport {
   Options options_;
   std::vector<std::unique_ptr<ShardConns>> conns_;
 
-  std::atomic<uint64_t> messages_{0};
-  std::atomic<uint64_t> request_bytes_{0};
-  std::atomic<uint64_t> response_bytes_{0};
-  std::atomic<uint64_t> dials_{0};
-  std::atomic<uint64_t> reconnects_{0};
-  std::atomic<uint64_t> failovers_{0};
-  std::atomic<uint64_t> timeouts_{0};
-  std::atomic<uint64_t> transport_errors_{0};
+  std::shared_ptr<telemetry::MetricRegistry> registry_;
+  telemetry::Counter* messages_;
+  telemetry::Counter* request_bytes_;
+  telemetry::Counter* response_bytes_;
+  telemetry::Counter* dials_;
+  telemetry::Counter* reconnects_;
+  telemetry::Counter* failovers_;
+  telemetry::Counter* timeouts_;
+  telemetry::Counter* transport_errors_;
+  /// Per shard: dbsa_socket_roundtrip_ms{shard="N"} — wall clock of each
+  /// successful Roundtrip, the client-observed network+server latency.
+  std::vector<telemetry::Histogram*> roundtrip_ms_;
 };
 
 // ------------------------------------------------------------- server
@@ -283,6 +299,12 @@ class ShardListener {
     /// this bounds the thread count). Connections accepted past the cap
     /// are closed immediately; the listener keeps serving the rest.
     size_t max_connections = 256;
+    /// When non-null, the listener answers kStatsRequest frames itself
+    /// with a kStatsReply carrying this registry's RenderText() — the
+    /// wire-level scrape endpoint (scripts/scrape_cluster_stats.sh).
+    /// Null: stats frames fall through to `handler` like any other type
+    /// (ShardServer answers a typed kError partial).
+    std::shared_ptr<telemetry::MetricRegistry> registry;
   };
 
   /// Binds and starts accepting immediately; throws StatusException

@@ -88,8 +88,8 @@ Status ParseFrame(const std::string& bytes, MessageType* type,
   }
   if (version != kWireVersion) {
     // Version skew is not corruption: the peer speaks a real-but-other
-    // protocol revision. v1 frames land here — rejected with a typed
-    // status, never decoded with defaulted contract fields.
+    // protocol revision. v1 and v2 frames land here — rejected with a
+    // typed status, never decoded with defaulted contract/trace fields.
     return Status::Unimplemented("wire version " + std::to_string(version) +
                                  " not served (this peer speaks version " +
                                  std::to_string(kWireVersion) + ")");
@@ -97,8 +97,8 @@ Status ParseFrame(const std::string& bytes, MessageType* type,
   if (static_cast<size_t>(length) + 4 != bytes.size()) {
     return Status::InvalidArgument("frame length mismatch");
   }
-  if (raw_type != static_cast<uint8_t>(MessageType::kScatterRequest) &&
-      raw_type != static_cast<uint8_t>(MessageType::kGatherPartial)) {
+  if (raw_type < static_cast<uint8_t>(MessageType::kScatterRequest) ||
+      raw_type > static_cast<uint8_t>(MessageType::kStatsReply)) {
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(raw_type));
   }
@@ -147,6 +147,9 @@ std::string ScatterRequest::Encode() const {
   w.F64(bound_epsilon);
   w.I32(level);
   w.U64(checksum);
+  w.U64(trace_hi);
+  w.U64(trace_lo);
+  w.U64(span_id);
   if (has_object) {
     w.U64(object.hi);
     w.U64(object.lo);
@@ -177,6 +180,9 @@ Status ScatterRequest::Decode(const std::string& bytes, ScatterRequest* out) {
   out->bound_epsilon = r.F64();
   out->level = r.I32();
   out->checksum = r.U64();
+  out->trace_hi = r.U64();
+  out->trace_lo = r.U64();
+  out->span_id = r.U64();
   if (!ValidScatterKind(raw_kind)) {
     return Status::InvalidArgument("unknown scatter kind");
   }
@@ -359,23 +365,80 @@ dbsa::Status GatherPartial::Decode(const std::string& bytes, GatherPartial* out)
   return Status::OK();
 }
 
+std::string StatsRequest::Encode() const {
+  WireWriter w;
+  return w.TakeFramed(MessageType::kStatsRequest);
+}
+
+dbsa::Status StatsRequest::Decode(const std::string& bytes, StatsRequest* out) {
+  (void)out;
+  MessageType type;
+  const char* payload = nullptr;
+  size_t payload_size = 0;
+  const Status framed = ParseFrame(bytes, &type, &payload, &payload_size);
+  if (!framed.ok()) return framed;
+  if (type != MessageType::kStatsRequest) {
+    return Status::InvalidArgument("not a StatsRequest");
+  }
+  if (payload_size != 0) {
+    return Status::InvalidArgument("trailing bytes in StatsRequest");
+  }
+  return Status::OK();
+}
+
+std::string StatsReply::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(text.size()));
+  w.Bytes(text.data(), text.size());
+  return w.TakeFramed(MessageType::kStatsReply);
+}
+
+dbsa::Status StatsReply::Decode(const std::string& bytes, StatsReply* out) {
+  MessageType type;
+  const char* payload = nullptr;
+  size_t payload_size = 0;
+  const Status framed = ParseFrame(bytes, &type, &payload, &payload_size);
+  if (!framed.ok()) return framed;
+  if (type != MessageType::kStatsReply) {
+    return Status::InvalidArgument("not a StatsReply");
+  }
+  WireReader r(payload, payload_size);
+  const uint32_t n = r.U32();
+  if (!r.ok() || n != r.remaining()) {
+    return Status::InvalidArgument("stats text inconsistent with payload size");
+  }
+  out->text.assign(payload + (payload_size - n), n);
+  return Status::OK();
+}
+
+LoopbackTransport::LoopbackTransport(
+    std::vector<Handler> handlers,
+    std::shared_ptr<telemetry::MetricRegistry> registry)
+    : handlers_(std::move(handlers)),
+      registry_(registry ? std::move(registry)
+                         : std::make_shared<telemetry::MetricRegistry>()),
+      messages_(registry_->GetCounter("dbsa_loopback_messages_total")),
+      request_bytes_(registry_->GetCounter("dbsa_loopback_request_bytes_total")),
+      response_bytes_(
+          registry_->GetCounter("dbsa_loopback_response_bytes_total")) {}
+
 std::string LoopbackTransport::Roundtrip(size_t shard, const std::string& request) {
   if (shard >= handlers_.size()) {
     throw std::runtime_error("LoopbackTransport: no such shard " +
                              std::to_string(shard));
   }
-  messages_.fetch_add(1, std::memory_order_relaxed);
-  request_bytes_.fetch_add(request.size(), std::memory_order_relaxed);
+  messages_->Add(1);
+  request_bytes_->Add(request.size());
   std::string response = handlers_[shard](request);
-  response_bytes_.fetch_add(response.size(), std::memory_order_relaxed);
+  response_bytes_->Add(response.size());
   return response;
 }
 
 LoopbackTransport::Stats LoopbackTransport::stats() const {
   Stats s;
-  s.messages = messages_.load(std::memory_order_relaxed);
-  s.request_bytes = request_bytes_.load(std::memory_order_relaxed);
-  s.response_bytes = response_bytes_.load(std::memory_order_relaxed);
+  s.messages = messages_->Value();
+  s.request_bytes = request_bytes_->Value();
+  s.response_bytes = response_bytes_->Value();
   return s;
 }
 

@@ -32,12 +32,16 @@
 //     bit-twiddling touches them);
 //   * unknown trailing payload bytes are rejected — a frame must be
 //     consumed exactly;
-//   * version 2 (current) carries the v2 envelope: the query's typed
-//     ErrorBound on ScatterRequest, a StatusCode on every non-OK
-//     GatherPartial, and the compensated aggregate pairs. Version 1
-//     frames are rejected with StatusCode::kUnimplemented — total,
-//     typed, never UB — since v1 predates the envelope's contract
-//     fields and silently defaulting them would falsify it.
+//   * version 3 (current) extends the v2 envelope (typed ErrorBound on
+//     ScatterRequest, StatusCode on every non-OK GatherPartial,
+//     compensated aggregate pairs) with a trace identity on every
+//     ScatterRequest — 128-bit trace id + parent span id, zero when
+//     untraced — so shard-server-side spans join the client's trace, and
+//     with the kStatsRequest/kStatsReply admin frames that scrape a shard
+//     process's MetricRegistry over the same seam. Versions 1 and 2 are
+//     rejected with StatusCode::kUnimplemented — total, typed, never UB —
+//     since silently defaulting the missing fields would misattribute
+//     traces (v2) or falsify the bound contract (v1).
 //
 // The Transport interface is one blocking round-trip per shard message.
 // LoopbackTransport is the in-process implementation (request and
@@ -47,9 +51,9 @@
 #ifndef DBSA_SERVICE_TRANSPORT_H_
 #define DBSA_SERVICE_TRANSPORT_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,6 +62,7 @@
 #include "query/error_bound.h"
 #include "raster/hierarchical_raster.h"
 #include "service/approx_cache.h"
+#include "telemetry/metrics.h"
 #include "util/status.h"
 
 namespace dbsa::service {
@@ -68,13 +73,16 @@ namespace dbsa::service {
 // validate once at the end instead of after every field.
 
 inline constexpr uint16_t kWireMagic = 0xDB5A;
-/// Version 2: the envelope wire format (see header comment). Decoders
-/// reject every other version with a typed status.
-inline constexpr uint8_t kWireVersion = 2;
+/// Version 3: the envelope wire format plus trace propagation and the
+/// stats-scrape admin frames (see header comment). Decoders reject every
+/// other version with a typed status.
+inline constexpr uint8_t kWireVersion = 3;
 
 enum class MessageType : uint8_t {
   kScatterRequest = 1,
   kGatherPartial = 2,
+  kStatsRequest = 3,  ///< Admin: scrape the server's MetricRegistry.
+  kStatsReply = 4,    ///< Admin: Prometheus text exposition bytes.
 };
 
 class WireWriter {
@@ -164,6 +172,13 @@ struct ScatterRequest {
   /// compared on reference requests, so a stale or colliding cache entry
   /// is detected instead of silently reused.
   uint64_t checksum = 0;
+  /// Trace identity (v3): the submitting query's 128-bit trace id and the
+  /// client-side span this request descends from. All-zero means
+  /// untraced; servers record their spans under this id either way and
+  /// never branch execution on it (observe-only contract).
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
   /// Identity of the approximation the cells came from (region index or
   /// ad-hoc polygon fingerprint — the ApproxCache key space).
   bool has_object = false;
@@ -218,6 +233,23 @@ struct GatherPartial {
   static dbsa::Status Decode(const std::string& bytes, GatherPartial* out);
 };
 
+/// Admin frame (v3): asks a shard process for its MetricRegistry. Empty
+/// payload by design — a scraper needs no state to ask.
+struct StatsRequest {
+  std::string Encode() const;
+  static dbsa::Status Decode(const std::string& bytes, StatsRequest* out);
+};
+
+/// Admin reply (v3): the Prometheus text exposition of the serving
+/// process's registry. Opaque bytes on the wire (length-prefixed), so the
+/// exposition format can evolve without a wire revision.
+struct StatsReply {
+  std::string text;
+
+  std::string Encode() const;
+  static dbsa::Status Decode(const std::string& bytes, StatsReply* out);
+};
+
 // ------------------------------------------------------------ transport
 
 /// Blocking message transport to a set of shard servers. Implementations
@@ -247,8 +279,12 @@ class LoopbackTransport : public Transport {
  public:
   using Handler = std::function<std::string(const std::string&)>;
 
-  explicit LoopbackTransport(std::vector<Handler> handlers)
-      : handlers_(std::move(handlers)) {}
+  /// Counters live in `registry` under dbsa_loopback_* names (one scrape
+  /// covers the transport); a null registry gets a private one so
+  /// standalone construction keeps working.
+  explicit LoopbackTransport(
+      std::vector<Handler> handlers,
+      std::shared_ptr<telemetry::MetricRegistry> registry = nullptr);
 
   size_t num_shards() const override { return handlers_.size(); }
   std::string Roundtrip(size_t shard, const std::string& request) override;
@@ -259,6 +295,8 @@ class LoopbackTransport : public Transport {
     uint64_t request_bytes = 0;
     uint64_t response_bytes = 0;
   };
+  /// Thin read of the registry counters (kept for callers that predate
+  /// the MetricRegistry migration).
   Stats stats() const;
 
   /// Loopback serialization overhead in optimizer cost units. A real RPC
@@ -267,9 +305,10 @@ class LoopbackTransport : public Transport {
 
  private:
   std::vector<Handler> handlers_;
-  std::atomic<uint64_t> messages_{0};
-  std::atomic<uint64_t> request_bytes_{0};
-  std::atomic<uint64_t> response_bytes_{0};
+  std::shared_ptr<telemetry::MetricRegistry> registry_;
+  telemetry::Counter* messages_;
+  telemetry::Counter* request_bytes_;
+  telemetry::Counter* response_bytes_;
 };
 
 }  // namespace dbsa::service

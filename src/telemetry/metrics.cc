@@ -1,0 +1,172 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace dbsa::telemetry {
+namespace {
+
+/// Formats a metric value the way Prometheus text exposition expects:
+/// integers without a decimal point, everything else with enough digits
+/// to round-trip.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+/// Bucket upper bounds are 0.001·2^i ms — 10 significant digits render
+/// every bound exactly (the largest, 0.001·2^32 = 4294967.296, needs all
+/// ten) without the float noise %.17g would print (le="1.024", not
+/// le="1.0240000000000002").
+std::string FormatBound(double bound) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", bound);
+  return buf;
+}
+
+/// `name` may carry labels (`family{k="v"}`). Returns the family.
+std::string FamilyOf(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Splices an `le` label into a (possibly labeled) series name:
+///   f            -> f_bucket{le="X"}
+///   f{k="v"}     -> f_bucket{k="v",le="X"}
+std::string BucketSeries(const std::string& name, const std::string& le) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + "_bucket{le=\"" + le + "\"}";
+  std::string out = name.substr(0, brace) + "_bucket";
+  out += name.substr(brace, name.size() - brace - 1);  // Drop trailing '}'.
+  out += ",le=\"" + le + "\"}";
+  return out;
+}
+
+/// Appends a suffix to the family while preserving labels:
+///   f{k="v"} + _sum -> f_sum{k="v"}
+std::string SuffixSeries(const std::string& name, const char* suffix) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + suffix;
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+}  // namespace
+
+size_t ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData out;
+  uint64_t sum_us = 0;
+  for (const Stripe& s : stripes_) {
+    for (size_t i = 0; i < HistogramData::kNumBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.count += s.count.load(std::memory_order_relaxed);
+    sum_us += s.sum_us.load(std::memory_order_relaxed);
+  }
+  out.sum_ms = static_cast<double>(sum_us) / 1000.0;
+  return out;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second.counter;
+  counters_.emplace_back();
+  Slot slot;
+  slot.kind = MetricKind::kCounter;
+  slot.counter = &counters_.back();
+  by_name_.emplace(name, slot);
+  return slot.counter;
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second.gauge;
+  gauges_.emplace_back();
+  Slot slot;
+  slot.kind = MetricKind::kGauge;
+  slot.gauge = &gauges_.back();
+  by_name_.emplace(name, slot);
+  return slot.gauge;
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second.histogram;
+  histograms_.emplace_back();
+  Slot slot;
+  slot.kind = MetricKind::kHistogram;
+  slot.histogram = &histograms_.back();
+  by_name_.emplace(name, slot);
+  return slot.histogram;
+}
+
+std::string MetricRegistry::RenderText() const {
+  // Copy the directory under the lock, then read metric values lock-free
+  // (metric cells are atomics; pointers are stable).
+  std::vector<std::pair<std::string, Slot>> slots;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots.assign(by_name_.begin(), by_name_.end());
+  }
+
+  std::string out;
+  out.reserve(slots.size() * 64);
+  std::string last_family;
+  for (const auto& [name, slot] : slots) {
+    const std::string family = FamilyOf(name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " ";
+      switch (slot.kind) {
+        case MetricKind::kCounter: out += "counter"; break;
+        case MetricKind::kGauge: out += "gauge"; break;
+        case MetricKind::kHistogram: out += "histogram"; break;
+      }
+      out += "\n";
+      last_family = family;
+    }
+    switch (slot.kind) {
+      case MetricKind::kCounter:
+        out += name + " " +
+               FormatValue(static_cast<double>(slot.counter->Value())) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += name + " " + FormatValue(slot.gauge->Value()) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramData data = slot.histogram->Snapshot();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < HistogramData::kNumBounds; ++i) {
+          cumulative += data.buckets[i];
+          out += BucketSeries(name, FormatBound(HistogramData::UpperBound(i))) +
+                 " " + FormatValue(static_cast<double>(cumulative)) + "\n";
+        }
+        out += BucketSeries(name, "+Inf") + " " +
+               FormatValue(static_cast<double>(data.count)) + "\n";
+        out += SuffixSeries(name, "_sum") + " " + FormatValue(data.sum_ms) +
+               "\n";
+        out += SuffixSeries(name, "_count") + " " +
+               FormatValue(static_cast<double>(data.count)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dbsa::telemetry

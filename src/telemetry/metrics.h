@@ -1,0 +1,153 @@
+// MetricRegistry — the process-local metrics surface of the serving
+// stack: counters, gauges and fixed-boundary latency histograms with a
+// Prometheus-style text exposition (RenderText), scrapeable over the
+// shard wire via the kStatsRequest admin frame (service/transport.h) and
+// scripts/scrape_cluster_stats.sh.
+//
+// Hot-path contract: recording is ONE relaxed atomic add into a
+// per-thread-striped cell — no lock, no allocation, TSan-clean (all
+// cross-thread traffic is atomics). Reads (Value(), RenderText) merge the
+// stripes; they are monotone but not a snapshot — a render racing a
+// recorder may see the newest increments of one stripe and not another,
+// which is the standard and acceptable semantics for monitoring counters.
+//
+// Metric naming: the full name may carry a fixed Prometheus label set,
+// e.g. `dbsa_queries_total{kind="count"}`. Metrics sharing the family
+// (the part before '{') are grouped under one `# TYPE` line. Histograms
+// expose the conventional `<family>_bucket{le="..."}`, `<family>_sum`,
+// `<family>_count` series with the `le` label spliced into the metric's
+// own labels.
+//
+// Lifetime: Counter/Gauge/Histogram pointers returned by the registry are
+// stable for the registry's lifetime (deque storage, no erasure) — owners
+// resolve them once at construction and record through raw pointers.
+
+#ifndef DBSA_TELEMETRY_METRICS_H_
+#define DBSA_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "telemetry/histogram.h"
+
+namespace dbsa::telemetry {
+
+/// Stripes per metric. Recording threads hash to a stripe; one cache line
+/// each so concurrent recorders do not false-share.
+inline constexpr size_t kMetricStripes = 8;
+
+/// Stripe of the calling thread (stable per thread, assigned round-robin
+/// on first use).
+size_t ThreadStripe();
+
+/// Monotone counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    cells_[ThreadStripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell cells_[kMetricStripes];
+};
+
+/// Last-write-wins gauge (a double). Set is a relaxed store of the bit
+/// pattern; no striping — gauges are set under their owner's own
+/// serialization (cache mutations, pool construction).
+class Gauge {
+ public:
+  void Set(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double Value() const {
+    const uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double v = 0.0;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Concurrent fixed-boundary latency histogram (milliseconds). Recording
+/// is three relaxed adds into the caller's stripe (bucket, count, sum in
+/// integer microseconds — no atomic-double CAS loop on the hot path).
+class Histogram {
+ public:
+  void Record(double ms) {
+    Stripe& s = stripes_[ThreadStripe()];
+    s.buckets[HistogramData::BucketIndex(ms)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    const double us = ms * 1000.0;
+    s.sum_us.fetch_add(us > 0.0 ? static_cast<uint64_t>(us + 0.5) : 0,
+                       std::memory_order_relaxed);
+  }
+
+  /// Merged view of all stripes (monotone, not an atomic snapshot).
+  HistogramData Snapshot() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> buckets[HistogramData::kNumBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_us{0};
+  };
+  Stripe stripes_[kMetricStripes];
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Resolve-or-create by full name (labels included). Pointers are
+  /// stable for the registry's lifetime; resolving an existing name
+  /// returns the same metric (shared by design — e.g. two transports in
+  /// one registry would merge, so owners label their names).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition, sorted by name: `# TYPE` per family,
+  /// counters/gauges as `name value`, histograms as the conventional
+  /// _bucket/_sum/_count series.
+  std::string RenderText() const;
+
+ private:
+  enum class MetricKind { kCounter, kGauge, kHistogram };
+  struct Slot {
+    MetricKind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Slot> by_name_;  ///< Ordered: render is sorted.
+};
+
+}  // namespace dbsa::telemetry
+
+#endif  // DBSA_TELEMETRY_METRICS_H_

@@ -1,0 +1,91 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+namespace dbsa::telemetry {
+namespace {
+
+/// splitmix64 — the id mixer. Self-contained so telemetry does not pull
+/// in util/random.h (which sits above it in the include graph).
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t NextId() {
+  // Per-thread generator seeded from the clock, the thread id, and a
+  // process-wide counter: unique within a process, distinct across
+  // processes sharing a trace (shard servers mint only span-local ids).
+  static std::atomic<uint64_t> salt{0};
+  thread_local uint64_t state = [] {
+    uint64_t s = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    s ^= std::hash<std::thread::id>{}(std::this_thread::get_id()) *
+         0x9e3779b97f4a7c15ULL;
+    s ^= salt.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+    return s;
+  }();
+  return SplitMix64(state);
+}
+
+}  // namespace
+
+TraceContext NewTraceContext() {
+  TraceContext ctx;
+  do {
+    ctx.trace_hi = NextId();
+    ctx.trace_lo = NextId();
+  } while (!ctx.valid());  // The all-zero id means "untraced" on the wire.
+  ctx.span_id = NextId();
+  return ctx;
+}
+
+std::string TraceIdHex(uint64_t hi, uint64_t lo) {
+  if ((hi | lo) == 0) return "untraced";
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+std::string FormatSlowQueryLine(const TraceContext& ctx,
+                                const std::string& kind,
+                                const std::string& bound,
+                                double epsilon_achieved,
+                                const std::string& status, double total_ms,
+                                std::vector<TraceSpan> spans) {
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start_ms < b.start_ms;
+                   });
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "SLOW_QUERY trace=%s kind=%s bound=%s eps_achieved=%.6g "
+                "status=%s total_ms=%.3f spans=[",
+                TraceIdHex(ctx.trace_hi, ctx.trace_lo).c_str(), kind.c_str(),
+                bound.c_str(), epsilon_achieved, status.c_str(), total_ms);
+  std::string out = buf;
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) out += " ";
+    first = false;
+    if (s.shard >= 0) {
+      std::snprintf(buf, sizeof(buf), "%s{shard=%d}@%.3f+%.3fms",
+                    s.stage.c_str(), s.shard, s.start_ms, s.duration_ms);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s@%.3f+%.3fms", s.stage.c_str(),
+                    s.start_ms, s.duration_ms);
+    }
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dbsa::telemetry

@@ -18,6 +18,7 @@ void RunningStats::Add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+  hist_.Record(x);
 }
 
 double RunningStats::variance() const {

@@ -8,9 +8,15 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/histogram.h"
+
 namespace dbsa {
 
-/// Welford one-pass mean / variance accumulator.
+/// Welford one-pass mean / variance accumulator, with a bucketed
+/// quantile view (telemetry::HistogramData) so streaming consumers get
+/// percentiles in O(1) memory. Quantile() is bucket-interpolated (error
+/// bounded by the log2 bucket width); use Percentiles when samples are
+/// retained and exact order statistics matter.
 class RunningStats {
  public:
   void Add(double x);
@@ -23,6 +29,10 @@ class RunningStats {
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return sum_; }
 
+  /// p in [0, 100]; bucket-interpolated from the histogram view.
+  double Quantile(double p) const { return hist_.Quantile(p); }
+  const telemetry::HistogramData& histogram() const { return hist_; }
+
  private:
   size_t n_ = 0;
   double mean_ = 0.0;
@@ -30,6 +40,7 @@ class RunningStats {
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
+  telemetry::HistogramData hist_;
 };
 
 /// Exact percentile summary: stores all samples (fine at bench scales).

@@ -17,12 +17,14 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/dbsa.h"
 #include "service/query_service.h"
+#include "telemetry/trace.h"
 #include "test_util.h"
 
 namespace dbsa::service {
@@ -479,6 +481,145 @@ TEST_F(QueryEnvelopeTest, V1TypedFuturesKeepThrowingInvalidArgument) {
   const geom::Polygon degenerate(geom::Ring{{0, 0}, {10, 10}});
   std::future<join::ResultRange> bad_count = service.CountInPolygon(degenerate, 8.0);
   EXPECT_THROW(bad_count.get(), std::invalid_argument);
+}
+
+// ---- telemetry: observe-only tracing, slow-query log, metrics ----------
+
+TEST_F(QueryEnvelopeTest, TelemetryIsObserveOnlyOnEveryPath) {
+  // The tentpole invariant: result payloads are BYTE-IDENTICAL with
+  // tracing and slow-query logging on or off, on every execution path at
+  // pinned plan. Telemetry observes; it never steers.
+  const std::vector<Submission> workload = Workload();
+  struct PathConfig {
+    size_t num_shards;
+    bool use_transport;
+  };
+  for (const PathConfig& path :
+       {PathConfig{0, false}, PathConfig{7, false}, PathConfig{7, true}}) {
+    ServiceOptions off;
+    off.num_threads = 4;
+    off.num_shards = path.num_shards;
+    off.use_transport = path.use_transport;
+    off.enable_tracing = false;
+    ServiceOptions on = off;
+    on.enable_tracing = true;
+    on.slow_query_ms = 1e-6;  // Every query "slow": the log path runs too.
+    on.slow_query_sink = [](const std::string&) {};
+
+    QueryService traced(state_, on);
+    QueryService untraced(state_, off);
+    for (const Submission& sub : workload) {
+      traced.Submit(sub.query, sub.options);
+      untraced.Submit(sub.query, sub.options);
+    }
+    const std::vector<Result> with = traced.Drain();
+    const std::vector<Result> without = untraced.Drain();
+    ASSERT_EQ(with.size(), workload.size());
+    ASSERT_EQ(without.size(), workload.size());
+    for (size_t i = 0; i < workload.size(); ++i) {
+      ExpectIdentical(with[i], without[i],
+                      (path.use_transport
+                           ? std::string("transport ")
+                           : path.num_shards > 0 ? std::string("sharded ")
+                                                 : std::string("pooled ")) +
+                          workload[i].label);
+      // Tracing surfaces the id; disabled tracing reports zero.
+      EXPECT_NE(with[i].bound.trace_hi | with[i].bound.trace_lo, 0u);
+      EXPECT_EQ(without[i].bound.trace_hi | without[i].bound.trace_lo, 0u);
+    }
+  }
+}
+
+TEST_F(QueryEnvelopeTest, SlowQueryLogCarriesTheFullSpanTable) {
+  // A deliberately "slowed" query (threshold below any real latency) must
+  // emit ONE structured line per query carrying the trace id from the
+  // result and a span table covering every serving stage of the
+  // transport path.
+  std::mutex mu;
+  std::vector<std::string> lines;
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.num_shards = 4;
+  options.use_transport = true;
+  options.slow_query_ms = 1e-6;
+  options.slow_query_sink = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  QueryService service(state_, options);
+
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  ExecOptions exec;
+  exec.bound = ErrorBound::Absolute(4.0);
+  const Result result = service.Execute(Query::Count(star), exec).get();
+  ASSERT_TRUE(result.ok());
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_NE(line.find("SLOW_QUERY"), std::string::npos) << line;
+  EXPECT_NE(line.find("trace=" + telemetry::TraceIdHex(result.bound.trace_hi,
+                                                       result.bound.trace_lo)),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("kind=count"), std::string::npos) << line;
+  EXPECT_NE(line.find("status=OK"), std::string::npos) << line;
+  // The span table covers the whole stack: admission, the execute stage,
+  // HR acquisition, routing, at least one per-shard roundtrip, and the
+  // partial-combining stage (aggregates record "merge"; selects "gather").
+  for (const char* stage :
+       {"admission@", "execute@", "route@", "shard_roundtrip{shard=",
+        "merge@"}) {
+    EXPECT_NE(line.find(stage), std::string::npos) << stage << " in " << line;
+  }
+  const bool hr_span = line.find("hr_build@") != std::string::npos ||
+                       line.find("cache_lookup@") != std::string::npos;
+  EXPECT_TRUE(hr_span) << line;
+}
+
+TEST_F(QueryEnvelopeTest, RegistryCoversTheWholeServingStack) {
+  // One shared registry: per-kind query counters and latency histograms,
+  // per-shard scatter counters from the loopback shard servers, cache
+  // gauges, per-stage histograms — all render from QueryService::registry().
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.num_shards = 3;
+  options.use_transport = true;
+  QueryService service(state_, options);
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  ExecOptions exec;
+  exec.bound = ErrorBound::Absolute(4.0);
+  ASSERT_TRUE(service.Execute(Query::Count(star), exec).get().ok());
+  ASSERT_TRUE(service.Execute(Query::Select(star), exec).get().ok());
+
+  const std::string text = service.registry()->RenderText();
+  EXPECT_NE(text.find("dbsa_queries_total{kind=\"count\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dbsa_queries_total{kind=\"select\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dbsa_query_latency_ms_count{kind=\"count\"} 1"),
+            std::string::npos);
+  // Every loopback shard server labels its metrics with its index and
+  // records into the SAME registry.
+  for (const char* series :
+       {"dbsa_shard_scatter_requests_total{shard=\"0\"}",
+        "dbsa_shard_scatter_requests_total{shard=\"1\"}",
+        "dbsa_shard_scatter_requests_total{shard=\"2\"}"}) {
+    const size_t pos = text.find(series);
+    ASSERT_NE(pos, std::string::npos) << series;
+    // The count after the series name is non-zero (both queries fanned
+    // out across all three shards).
+    EXPECT_NE(text.substr(pos + std::string(series).size(), 2), " 0")
+        << series;
+  }
+  EXPECT_NE(text.find("dbsa_approx_cache_misses_total"), std::string::npos);
+  EXPECT_NE(text.find("dbsa_loopback_messages_total"), std::string::npos);
+  // Per-stage histograms exist under the spliced-label scheme.
+  EXPECT_NE(text.find("dbsa_stage_ms_bucket{stage=\"route\""),
+            std::string::npos);
+  EXPECT_NE(text.find("dbsa_stage_ms_count{stage=\"shard_roundtrip\"}"),
+            std::string::npos);
 }
 
 // ---- the frozen v1 shim ------------------------------------------------

@@ -407,6 +407,61 @@ TEST_F(ShardServerTest, MalformedRequestYieldsErrorPartialNotUb) {
   EXPECT_EQ(server.stats().requests, 4u);
 }
 
+TEST_F(ShardServerTest, SlowHandleEmitsTraceJoinedLine) {
+  // Server-side slow-query diagnostics: a Handle() call over the
+  // threshold emits one SLOW_SHARD line carrying the request's WIRE
+  // trace id — the join key between a client's SLOW_QUERY record and the
+  // shard that was slow. Zero trace fields render as "untraced".
+  Seam seam = MakeSeam(base_, 1);
+  const core::ShardedState::Shard& slice = seam.sharded->shard(0);
+  ShardServer::Options options;
+  options.shard_index = 3;
+  options.slow_handle_ms = 1e-6;  // Everything is "slow".
+  std::vector<std::string> lines;
+  options.slow_handle_sink = [&lines](const std::string& line) {
+    lines.push_back(line);
+  };
+  ShardServer server(slice.state, slice.global_ids, options);
+
+  const geom::Polygon star = MakeStarPolygon({2000, 2000}, 400, 900, 16, 11);
+  const raster::HierarchicalRaster hr =
+      raster::HierarchicalRaster::BuildEpsilon(star, base_->grid, 8.0);
+  ScatterRequest request;
+  request.kind = ScatterRequest::Kind::kAggregateCells;
+  request.level = 7;
+  request.trace_hi = 0x00c0ffee00000001ull;
+  request.trace_lo = 0xdeadbeef00000002ull;
+  request.span_id = 0x42;
+  request.has_cells = true;
+  request.cells = hr.cells();
+  GatherPartial partial;
+  ASSERT_TRUE(
+      GatherPartial::Decode(server.Handle(request.Encode()), &partial).ok());
+  ASSERT_EQ(partial.status, GatherPartial::Disposition::kOk);
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("SLOW_SHARD"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("trace=00c0ffee00000001deadbeef00000002"),
+            std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("shard=3"), std::string::npos) << lines[0];
+
+  // Untraced requests log too (slowness is slowness), marked as such.
+  request.trace_hi = request.trace_lo = request.span_id = 0;
+  ASSERT_TRUE(
+      GatherPartial::Decode(server.Handle(request.Encode()), &partial).ok());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("trace=untraced"), std::string::npos) << lines[1];
+
+  // The server's handle-latency histogram recorded both calls under its
+  // shard label.
+  EXPECT_EQ(server.registry()
+                ->GetHistogram("dbsa_shard_handle_ms{shard=\"3\"}")
+                ->Snapshot()
+                .count,
+            2u);
+}
+
 // ---- shard-aware WarmCache --------------------------------------------
 
 TEST_F(ShardServerTest, WarmCacheWarmsOnlyRoutedRegionsPerShard) {

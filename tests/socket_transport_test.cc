@@ -301,6 +301,79 @@ TEST_F(SocketTransportTest, QueryServiceSocketMatchesLoopback) {
   EXPECT_EQ(stats.timeouts, 0u);
 }
 
+// ---- wire-level stats scrape ------------------------------------------
+
+TEST_F(SocketTransportTest, StatsFramesScrapePerShardMetricsOverTheWire) {
+  SocketSeam seam = MakeSocketSeam(base_, 3, /*with_replicas=*/false);
+  // A query covering the whole universe routes to every shard, so each
+  // server has a non-zero scatter count to report.
+  const geom::Polygon everything = MakeRectPolygon(0, 0, 4096, 4096);
+  ExecuteCount(*seam.router, everything, query::ErrorBound::Absolute(8.0), {});
+
+  for (size_t s = 0; s < seam.placement.num_shards(); ++s) {
+    // Raw wire client: dial the shard, send one kStatsRequest frame,
+    // decode the kStatsReply — exactly what scrape_cluster_stats.sh does
+    // through examples/cluster_stats.cpp.
+    StatusOr<int> fd =
+        DialTcp(seam.placement.shards[s].primary, Deadline::After(2000));
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    const std::string request = StatsRequest().Encode();
+    ASSERT_TRUE(SendAll(fd.value(), request.data(), request.size(),
+                        Deadline::After(2000))
+                    .ok());
+    StatusOr<std::string> frame =
+        ReadFrame(fd.value(), size_t{64} << 20, Deadline::After(5000));
+    close(fd.value());
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    StatsReply reply;
+    ASSERT_TRUE(StatsReply::Decode(frame.value(), &reply).ok());
+
+    // The exposition carries this shard's labelled scatter counter with a
+    // non-zero value, and its handle-latency histogram.
+    const std::string series =
+        "dbsa_shard_scatter_requests_total{shard=\"" + std::to_string(s) +
+        "\"}";
+    const size_t pos = reply.text.find(series);
+    ASSERT_NE(pos, std::string::npos) << "shard " << s << ":\n" << reply.text;
+    EXPECT_NE(reply.text.substr(pos + series.size(), 2), " 0") << reply.text;
+    EXPECT_NE(reply.text.find("dbsa_shard_handle_ms_count{shard=\"" +
+                              std::to_string(s) + "\"}"),
+              std::string::npos);
+    EXPECT_NE(reply.text.find("dbsa_shard_cache_entries"), std::string::npos);
+  }
+
+  // The CLIENT side of the same traffic: the transport's own registry
+  // holds per-shard roundtrip histograms and the migrated counters.
+  const std::string client = seam.transport->registry()->RenderText();
+  EXPECT_NE(client.find("dbsa_socket_messages_total"), std::string::npos);
+  EXPECT_NE(client.find("dbsa_socket_roundtrip_ms_count{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_EQ(seam.transport->stats().messages,
+            seam.transport->registry()
+                    ->GetCounter("dbsa_socket_messages_total")
+                    ->Value());
+
+  // A stats frame against a listener WITHOUT a registry falls through to
+  // the shard handler, which answers a typed error partial — never a
+  // hang, never a dropped connection.
+  ShardListener bare([](const std::string& request) {
+    GatherPartial partial;
+    partial.kind = ScatterRequest::Kind::kWarm;
+    (void)request;
+    return partial.Encode();
+  });
+  StatusOr<int> fd = DialTcp(bare.endpoint(), Deadline::After(2000));
+  ASSERT_TRUE(fd.ok());
+  const std::string request = StatsRequest().Encode();
+  ASSERT_TRUE(SendAll(fd.value(), request.data(), request.size(),
+                      Deadline::After(2000))
+                  .ok());
+  StatusOr<std::string> frame =
+      ReadFrame(fd.value(), size_t{64} << 20, Deadline::After(5000));
+  close(fd.value());
+  ASSERT_TRUE(frame.ok());
+}
+
 // ---- fault paths -------------------------------------------------------
 
 TEST_F(SocketTransportTest, ReconnectsAfterConnectionKill) {

@@ -3,7 +3,9 @@
 // serialization, compensated SUM pairs included), total decoding
 // (truncated / corrupted / version-skewed bytes are rejected with a
 // typed Status, never undefined behaviour — this test runs under
-// ASan+UBSan in CI), v1-frame rejection, and the loopback dispatch.
+// ASan+UBSan in CI), v1/v2-frame rejection, the v3 trace-identity
+// fields, the kStatsRequest/kStatsReply admin frames, and the loopback
+// dispatch.
 
 #include <gtest/gtest.h>
 
@@ -96,7 +98,7 @@ TEST(WireTest, FrameRoundTripAndRejection) {
 
 TEST(WireTest, V1FramesAreRejectedWithTypedStatus) {
   // A well-formed VERSION 1 frame (the pre-envelope wire format): header
-  // plus a plausible v1 ScatterRequest payload. The v2 decoder must
+  // plus a plausible v1 ScatterRequest payload. The v3 decoder must
   // reject it with kUnimplemented — total, typed, never decoded with
   // defaulted contract fields.
   WireWriter payload;
@@ -121,6 +123,42 @@ TEST(WireTest, V1FramesAreRejectedWithTypedStatus) {
             StatusCode::kUnimplemented);
 }
 
+TEST(WireTest, V2FramesAreRejectedWithTypedStatus) {
+  // A well-formed VERSION 2 frame: the v2 ScatterRequest layout (no
+  // trace-identity fields between checksum and the object flag). The v3
+  // decoder must reject it on the version byte with kUnimplemented —
+  // NEVER decode the object key out of what are actually trace bytes.
+  WireWriter payload;
+  payload.U8(0);      // kind = kAggregateCells
+  payload.U8(0);      // flags (no object, no cells)
+  payload.U8(0);      // bound_kind
+  payload.F64(0.25);  // bound_epsilon
+  payload.I32(13);    // level
+  payload.U64(0x11);  // checksum (v2 layout: object flag follows directly)
+  WireWriter framed;
+  framed.U32(static_cast<uint32_t>(payload.payload().size() + 4));
+  framed.U16(kWireMagic);
+  framed.U8(2);  // version 2
+  framed.U8(static_cast<uint8_t>(MessageType::kScatterRequest));
+  framed.Bytes(payload.payload().data(), payload.payload().size());
+  const std::string v2_frame = framed.payload();
+
+  ScatterRequest out;
+  EXPECT_EQ(ScatterRequest::Decode(v2_frame, &out).code(),
+            StatusCode::kUnimplemented);
+  GatherPartial partial;
+  EXPECT_EQ(GatherPartial::Decode(v2_frame, &partial).code(),
+            StatusCode::kUnimplemented);
+  StatsRequest stats;
+  WireWriter stats_framed;
+  stats_framed.U32(4);
+  stats_framed.U16(kWireMagic);
+  stats_framed.U8(2);
+  stats_framed.U8(static_cast<uint8_t>(MessageType::kStatsRequest));
+  EXPECT_EQ(StatsRequest::Decode(stats_framed.payload(), &stats).code(),
+            StatusCode::kUnimplemented);
+}
+
 ScatterRequest MakeRequest(ScatterRequest::Kind kind, bool object, bool cells) {
   ScatterRequest req;
   req.kind = kind;
@@ -128,6 +166,9 @@ ScatterRequest MakeRequest(ScatterRequest::Kind kind, bool object, bool cells) {
   req.bound_epsilon = 0.1 + 0.2;  // Not exactly 0.3 — bits must survive.
   req.level = 13;
   req.checksum = 0x1122334455667788ull;
+  req.trace_hi = 0xfeedface00000001ull;
+  req.trace_lo = 0xcafe000000000002ull;
+  req.span_id = 0xabad1dea00000003ull;
   if (object) {
     req.has_object = true;
     req.object = ObjectKey(0x8000000000000001ull, 42);
@@ -143,8 +184,9 @@ ScatterRequest MakeRequest(ScatterRequest::Kind kind, bool object, bool cells) {
 
 /// Offset of the first cell id in an object-less, cells-carrying
 /// ScatterRequest frame: header(8) + kind(1) + flags(1) + bound_kind(1) +
-/// bound_epsilon(8) + level(4) + checksum(8) + cell count(4).
-constexpr size_t kFirstCellIdOffset = 8 + 1 + 1 + 1 + 8 + 4 + 8 + 4;
+/// bound_epsilon(8) + level(4) + checksum(8) + trace identity (3 × 8,
+/// wire v3) + cell count(4).
+constexpr size_t kFirstCellIdOffset = 8 + 1 + 1 + 1 + 8 + 4 + 8 + 24 + 4;
 
 TEST(ScatterRequestTest, RoundTripAllShapes) {
   for (const auto kind :
@@ -160,6 +202,9 @@ TEST(ScatterRequestTest, RoundTripAllShapes) {
         EXPECT_EQ(got.bound_epsilon, req.bound_epsilon);
         EXPECT_EQ(got.level, req.level);
         EXPECT_EQ(got.checksum, req.checksum);
+        EXPECT_EQ(got.trace_hi, req.trace_hi);
+        EXPECT_EQ(got.trace_lo, req.trace_lo);
+        EXPECT_EQ(got.span_id, req.span_id);
         EXPECT_EQ(got.has_object, req.has_object);
         EXPECT_EQ(got.object, req.object);
         EXPECT_EQ(got.has_cells, req.has_cells);
@@ -298,6 +343,78 @@ TEST(GatherPartialTest, TruncationNeverCrashes) {
   for (size_t len = 0; len < bytes.size(); ++len) {
     EXPECT_FALSE(GatherPartial::Decode(bytes.substr(0, len), &got).ok())
         << "prefix " << len;
+  }
+}
+
+TEST(ScatterRequestTest, DefaultTraceIsUntraced) {
+  // Tracing-off requests carry all-zero trace identity, and it survives
+  // the round trip as zero — servers treat zero as "untraced" and must
+  // never observe a phantom id.
+  ScatterRequest req;
+  req.kind = ScatterRequest::Kind::kWarm;
+  ScatterRequest got;
+  ASSERT_TRUE(ScatterRequest::Decode(req.Encode(), &got).ok());
+  EXPECT_EQ(got.trace_hi, 0u);
+  EXPECT_EQ(got.trace_lo, 0u);
+  EXPECT_EQ(got.span_id, 0u);
+}
+
+TEST(StatsFrameTest, RequestRoundTripAndRejection) {
+  const StatsRequest req;
+  const std::string bytes = req.Encode();
+  // A stats request is pure header: 4-byte length prefix + 4-byte header.
+  EXPECT_EQ(bytes.size(), 8u);
+  StatsRequest got;
+  EXPECT_TRUE(StatsRequest::Decode(bytes, &got).ok());
+
+  // Every strict prefix is rejected...
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(StatsRequest::Decode(bytes.substr(0, len), &got).ok())
+        << "prefix " << len;
+  }
+  // ...as are trailing bytes (the empty-payload invariant is checked).
+  EXPECT_EQ(StatsRequest::Decode(bytes + "x", &got).code(),
+            StatusCode::kInvalidArgument);
+  // A stats request is not a scatter request and vice versa.
+  ScatterRequest scatter;
+  EXPECT_EQ(ScatterRequest::Decode(bytes, &scatter).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StatsRequest::Decode(MakeRequest(ScatterRequest::Kind::kWarm, false,
+                                             false)
+                                     .Encode(),
+                                 &got)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StatsFrameTest, ReplyRoundTripAndTruncation) {
+  StatsReply reply;
+  reply.text =
+      "# TYPE dbsa_queries_total counter\n"
+      "dbsa_queries_total{kind=\"aggregate\"} 7\n";
+  const std::string bytes = reply.Encode();
+  StatsReply got;
+  ASSERT_TRUE(StatsReply::Decode(bytes, &got).ok());
+  EXPECT_EQ(got.text, reply.text);
+
+  // Empty exposition is legal (a freshly-started server).
+  StatsReply empty;
+  ASSERT_TRUE(StatsReply::Decode(empty.Encode(), &got).ok());
+  EXPECT_EQ(got.text, "");
+
+  // Total decoding: every prefix rejected, trailing bytes rejected, and
+  // a length word pointing past the payload rejected (never a read past
+  // the buffer — ASan-gated).
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(StatsReply::Decode(bytes.substr(0, len), &got).ok())
+        << "prefix " << len;
+  }
+  EXPECT_FALSE(StatsReply::Decode(bytes + "x", &got).ok());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xff);
+    StatsReply out;
+    (void)StatsReply::Decode(corrupt, &out);  // Must not crash.
   }
 }
 

@@ -36,6 +36,15 @@
 // plus the serialized size of v2 wire messages (the envelope's bound
 // fields and typed status codes cost a handful of bytes per message).
 //
+// A seventh section (RunMux) is the multiplexing argument: a CLOSED LOOP
+// of D concurrent clients over a one-shard socket deployment, so all D
+// requests contend for ONE connection. The "blocking" arm caps the
+// connection at one in-flight request (max_inflight_per_connection = 1 —
+// the retired Roundtrip-per-message transport, faithfully re-created on
+// the same engine); the "multiplexed" arm pipelines all D. qps and p99
+// vs depth is the case for the async seam: >= 1x at depth 1 (the tag
+// adds nothing when there is nothing to overlap) and growing with depth.
+//
 // A sixth section measures the telemetry layer: the repeated-epsilon
 // workload warm, tracing + slow-query accounting ON vs OFF. Tracing is
 // observe-only by contract (payloads byte-identical either way); this
@@ -48,6 +57,8 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -439,6 +450,101 @@ void RunSocket(size_t n_points, size_t n_regions, size_t threads,
   PrintNote("staying ~ shards x threads shows connections persist and pool.");
 }
 
+/// The multiplexing section: closed-loop concurrency over ONE shard
+/// connection, blocking-equivalent vs pipelined (see the file comment).
+void RunMux(size_t n_points, size_t n_regions, size_t num_viewports) {
+  PrintBanner("Multiplexed transport: closed loop, blocking vs pipelined");
+  bench::PrintScale(HumanCount(static_cast<double>(n_points)) + " points, " +
+                    std::to_string(num_viewports) + " viewports, 1 shard");
+
+  data::PointSet points = bench::BenchPoints(n_points);
+  data::RegionSet regions =
+      data::GenerateRegions(data::CensusConfig(bench::BenchUniverse(), n_regions));
+  const std::shared_ptr<const core::EngineState> snapshot =
+      core::BuildEngineState(std::move(points), std::move(regions));
+  const std::vector<geom::Polygon> viewports =
+      MakeViewports(snapshot->grid.universe(), num_viewports);
+  const double eps = 4.0;
+  constexpr size_t kPerClient = 16;
+
+  // One shard: every query's probe rides the same connection, so the
+  // in-flight cap is the only variable between the two arms.
+  const service::InProcessShardCluster cluster =
+      service::MakeInProcessShardCluster(snapshot, 1);
+
+  // One closed-loop pass: `depth` clients, each running kPerClient
+  // queries back to back. Returns qps; per-query latencies land in `lat`.
+  const auto closed_loop = [&](size_t depth, size_t inflight_cap,
+                               bench::LatencyRecorder* lat) {
+    ServiceOptions options;
+    options.num_threads = depth;  // The pool must never be the bottleneck.
+    options.cache_budget_bytes = size_t{256} << 20;
+    options.use_transport = true;
+    options.num_shards = 0;  // From the placement.
+    options.transport_kind = service::TransportKind::kSocket;
+    options.placement = cluster.placement;
+    options.socket_options.max_inflight_per_connection = inflight_cap;
+    QueryService service(snapshot, options);
+
+    const auto pass = [&](bool record) {
+      std::vector<std::vector<double>> per_client(depth);
+      Timer timer;
+      std::vector<std::thread> clients;
+      for (size_t c = 0; c < depth; ++c) {
+        clients.emplace_back([&, c]() {
+          per_client[c].reserve(kPerClient);
+          for (size_t i = 0; i < kPerClient; ++i) {
+            Timer one;
+            service.CountInPolygon(viewports[(c * kPerClient + i) % viewports.size()],
+                                   eps)
+                .get();
+            per_client[c].push_back(one.Millis());
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      const double qps =
+          static_cast<double>(depth * kPerClient) / timer.Seconds();
+      if (record && lat != nullptr) {
+        for (const std::vector<double>& ms : per_client) {
+          for (const double m : ms) lat->Record(m);
+        }
+      }
+      return qps;
+    };
+    (void)pass(false);  // Warm caches and the connection off the clock.
+    return pass(true);
+  };
+
+  TablePrinter table({"depth", "blocking qps", "mux qps", "mux/blocking",
+                      "blocking p99 (ms)", "mux p99 (ms)"});
+  for (const size_t depth : {size_t{1}, size_t{8}, size_t{32}}) {
+    bench::LatencyRecorder blocking_lat, mux_lat;
+    const double blocking_qps = closed_loop(depth, 1, &blocking_lat);
+    const double mux_qps = closed_loop(depth, 0, &mux_lat);
+    table.AddRow({std::to_string(depth), TablePrinter::Num(blocking_qps, 5),
+                  TablePrinter::Num(mux_qps, 5),
+                  TablePrinter::Num(mux_qps / blocking_qps, 4),
+                  TablePrinter::Num(blocking_lat.Quantile(99), 4),
+                  TablePrinter::Num(mux_lat.Quantile(99), 4)});
+    bench::JsonLine("service_mux_transport")
+        .Add("inflight_depth", depth)
+        .Add("queries", depth * kPerClient)
+        .Add("blocking_qps", blocking_qps)
+        .Add("mux_qps", mux_qps)
+        .Add("mux_over_blocking", mux_qps / blocking_qps)
+        .Add("blocking_p50_ms", blocking_lat.Quantile(50))
+        .Add("blocking_p99_ms", blocking_lat.Quantile(99))
+        .Add("mux_p50_ms", mux_lat.Quantile(50))
+        .Add("mux_p99_ms", mux_lat.Quantile(99))
+        .Print();
+  }
+  table.Print();
+  PrintNote("mux/blocking ~ 1 at depth 1 (a tag on an idle connection is");
+  PrintNote("free) and > 1 at depth >= 8: pipelining hides the per-message");
+  PrintNote("wire latency the blocking arm pays serially per request.");
+}
+
 /// The envelope-overhead section: v1 shim vs native v2 submissions of the
 /// same repeated-epsilon workload (warm cache, so conversion and
 /// dispatch — not HR builds — dominate), plus v2 wire bytes per message.
@@ -623,6 +729,7 @@ int main(int argc, char** argv) {
   dbsa::RunSharding(n_points, n_regions, max_threads, max_shards, viewports);
   dbsa::RunTransport(n_points, n_regions, max_threads, max_shards, viewports);
   dbsa::RunSocket(n_points, n_regions, max_threads, max_shards, viewports);
+  dbsa::RunMux(n_points, n_regions, viewports);
   dbsa::RunEnvelope(n_points, n_regions, rounds, max_threads);
   dbsa::RunTelemetry(n_points, n_regions, rounds, max_threads);
   dbsa::bench::CloseJsonOut();

@@ -31,6 +31,8 @@ QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
         registry_->GetHistogram("dbsa_query_latency_ms" + label);
   }
   slow_queries_total_ = registry_->GetCounter("dbsa_slow_queries_total");
+  inflight_depth_gauge_ = registry_->GetGauge("dbsa_inflight_depth");
+  shed_total_ = registry_->GetCounter("dbsa_shed_total");
   const bool socket_mode =
       options.use_transport && options.transport_kind == TransportKind::kSocket;
   if (!options.use_transport) {
@@ -337,25 +339,89 @@ Result QueryService::RunQuery(uint64_t ticket, const Query& query,
   return result;
 }
 
+bool QueryService::AdmitQuery(uint64_t ticket, QueryKind kind, Result* shed) {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  // Shedding comes first: at or past the threshold the query is turned
+  // away with a cheap, typed answer BEFORE the pool, the cache or any
+  // HR build sees it — an overloaded service must get cheaper per
+  // request, not more expensive.
+  if (options_.shed_inflight_threshold > 0 &&
+      inflight_depth_ >= options_.shed_inflight_threshold) {
+    shed_total_->Add(1);
+    shed->ticket = ticket;
+    shed->kind = kind;
+    shed->bound.path = exec_path();
+    shed->status = Status::Unavailable(
+        "service overloaded: " + std::to_string(inflight_depth_) +
+        " queries in flight (shed threshold " +
+        std::to_string(options_.shed_inflight_threshold) + ")");
+    return false;
+  }
+  // Backpressure: at the hard cap the SUBMITTING thread waits — bounded
+  // in-flight depth instead of an unbounded pool queue.
+  if (options_.max_inflight > 0) {
+    inflight_cv_.wait(lock,
+                      [this]() { return inflight_depth_ < options_.max_inflight; });
+  }
+  ++inflight_depth_;
+  inflight_depth_gauge_->Set(static_cast<double>(inflight_depth_));
+  return true;
+}
+
+void QueryService::FinishInflight() {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    --inflight_depth_;
+    inflight_depth_gauge_->Set(static_cast<double>(inflight_depth_));
+  }
+  inflight_cv_.notify_one();
+}
+
 std::future<Result> QueryService::Execute(Query query, ExecOptions options) {
   const Clock::time_point submitted = Clock::now();
+  Result shed;
+  shed.bound.requested = options.bound;
+  if (!AdmitQuery(0, query.kind(), &shed)) {
+    std::promise<Result> ready;
+    ready.set_value(std::move(shed));
+    return ready.get_future();
+  }
   return pool_.Async([this, query = std::move(query), options = std::move(options),
                       submitted]() {
-    return RunQuery(0, query, options, submitted);
+    Result result = RunQuery(0, query, options, submitted);
+    FinishInflight();
+    return result;
   });
 }
 
 uint64_t QueryService::Submit(Query query, ExecOptions options) {
   const Clock::time_point submitted = Clock::now();
-  std::lock_guard<std::mutex> lock(pending_mu_);
-  const uint64_t ticket = next_ticket_++;
   const QueryKind kind = query.kind();
-  pending_.push_back(Pending{
-      ticket, kind,
+  // Admission runs OUTSIDE pending_mu_: backpressure may block, and a
+  // blocked Submit must not stall Drain (which takes pending_mu_).
+  uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ticket = next_ticket_++;
+  }
+  Result shed;
+  shed.bound.requested = options.bound;
+  if (!AdmitQuery(ticket, kind, &shed)) {
+    std::promise<Result> ready;
+    ready.set_value(std::move(shed));
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.push_back(Pending{ticket, kind, ready.get_future()});
+    return ticket;
+  }
+  std::future<Result> future =
       pool_.Async([this, ticket, query = std::move(query),
                    options = std::move(options), submitted]() {
-        return RunQuery(ticket, query, options, submitted);
-      })});
+        Result result = RunQuery(ticket, query, options, submitted);
+        FinishInflight();
+        return result;
+      });
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_.push_back(Pending{ticket, kind, std::move(future)});
   return ticket;
 }
 

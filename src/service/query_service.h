@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -123,6 +124,21 @@ struct ServiceOptions {
   /// service creates its own — shard it to aggregate several services or
   /// to expose one process-wide scrape.
   std::shared_ptr<telemetry::MetricRegistry> registry;
+
+  // ---- admission control --------------------------------------------
+  /// > 0: cap on queries in flight (queued + executing). Submit/Execute
+  /// past the cap BLOCK the caller until the depth drops below it —
+  /// bounded backpressure instead of an unbounded pool queue. 0 = off.
+  size_t max_inflight = 0;
+  /// > 0: when the in-flight depth is at or above this threshold, new
+  /// queries are REJECTED immediately with a typed kUnavailable Result
+  /// (load shedding) — before any pool enqueue, cache lookup or HR
+  /// build, so an overloaded service degrades by answering cheaply
+  /// instead of queueing expensively. Shed queries count in
+  /// dbsa_shed_total and still yield exactly one Result per ticket
+  /// (Drain never loses them). Set at or below max_inflight to shed
+  /// instead of blocking; 0 = never shed.
+  size_t shed_inflight_threshold = 0;
 };
 
 class QueryService {
@@ -147,8 +163,11 @@ class QueryService {
   /// statuses); the future never stores an exception.
   std::future<Result> Execute(Query query, ExecOptions options = {});
 
-  /// Enqueues a query; returns its ticket. Never blocks. Deadlines are
-  /// measured from this call.
+  /// Enqueues a query; returns its ticket. Deadlines are measured from
+  /// this call. Blocks only under admission control: at the
+  /// ServiceOptions::max_inflight cap the caller waits for capacity,
+  /// and at shed_inflight_threshold the ticket resolves immediately to
+  /// a kUnavailable Result without queueing.
   uint64_t Submit(Query query, ExecOptions options);
 
   /// Waits for every outstanding submitted query and returns their
@@ -250,6 +269,14 @@ class QueryService {
   void FinishQueryTelemetry(const Result& result, telemetry::QueryTrace* trace,
                             double total_ms);
 
+  /// Admission control (see ServiceOptions::max_inflight /
+  /// shed_inflight_threshold). Returns true when the query was admitted
+  /// (depth incremented — the caller MUST pair it with FinishInflight
+  /// when the query completes); false when it was shed, with `*shed`
+  /// holding the typed kUnavailable Result to deliver.
+  bool AdmitQuery(uint64_t ticket, QueryKind kind, Result* shed);
+  void FinishInflight();
+
   std::shared_ptr<const core::EngineState> state_;
   std::shared_ptr<const core::ShardedState> sharded_;  ///< Null when unsharded.
   /// The message seam (all null unless options.use_transport): either
@@ -268,6 +295,13 @@ class QueryService {
   telemetry::Counter* queries_total_[3] = {};
   telemetry::Histogram* query_latency_ms_[3] = {};
   telemetry::Counter* slow_queries_total_ = nullptr;
+  /// Admission control state: depth counts admitted-but-unfinished
+  /// queries (queued + executing). The gauge mirrors it for scrapes.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  size_t inflight_depth_ = 0;
+  telemetry::Gauge* inflight_depth_gauge_ = nullptr;
+  telemetry::Counter* shed_total_ = nullptr;
   ApproxCache cache_;
   ThreadPool pool_;  ///< Last member: workers die before cache/state.
 

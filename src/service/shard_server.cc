@@ -1,6 +1,8 @@
 #include "service/shard_server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
@@ -90,6 +92,9 @@ std::string ShardServer::Handle(const std::string& request_bytes) {
     partial = Dispatch(request);
   }
   std::string encoded = partial.Encode();
+  // Echo the request's correlation id: on a multiplexed connection the
+  // id — not stream position — pairs this reply with its request.
+  PatchCorrelation(&encoded, PeekCorrelation(request_bytes));
   const double elapsed_ms = timer.Millis();
   handle_ms_->Record(elapsed_ms);
   if (options_.slow_handle_ms > 0.0 && elapsed_ms > options_.slow_handle_ms) {
@@ -286,9 +291,12 @@ void ShardRouter::MarkCached(size_t shard, const Key& key, bool cached) {
 
 namespace {
 
-GatherPartial RoundtripDecode(Transport& transport, size_t shard,
-                              const ScatterRequest& request) {
-  const std::string response = transport.Roundtrip(shard, request.Encode());
+/// Decodes and validates one shard's framed reply into a GatherPartial.
+/// kError partials become a typed StatusException (the shard's code
+/// survives the hop to the serving layer's Result.status unchanged);
+/// kNotCached passes through for the caller's fallback policy.
+GatherPartial DecodePartial(size_t shard, ScatterRequest::Kind kind,
+                            const std::string& response) {
   GatherPartial partial;
   const Status decoded = GatherPartial::Decode(response, &partial);
   if (!decoded.ok()) {
@@ -297,66 +305,208 @@ GatherPartial RoundtripDecode(Transport& transport, size_t shard,
                             ": undecodable response: " + decoded.message()));
   }
   if (partial.status == GatherPartial::Disposition::kError) {
-    // The shard's typed code survives the hop: StatusException carries it
-    // up to the serving layer's Result.status unchanged.
     const Status status = partial.ToStatus();
     throw StatusException(Status(
         status.code(), "shard " + std::to_string(shard) + ": " + status.message()));
   }
-  if (partial.status == GatherPartial::Disposition::kOk &&
-      partial.kind != request.kind) {
+  if (partial.status == GatherPartial::Disposition::kOk && partial.kind != kind) {
     throw StatusException(Status::Internal("shard " + std::to_string(shard) +
                                            ": response kind mismatch"));
   }
   return partial;
 }
 
+GatherPartial RoundtripDecode(Transport& transport, size_t shard,
+                              const ScatterRequest& request) {
+  return DecodePartial(shard, request.kind,
+                       Roundtrip(transport, shard, request.Encode()));
+}
+
+/// One shard's slot in an in-flight scatter wave.
+struct ShardCall {
+  bool active = false;           ///< Has a request in this wave.
+  std::string request;           ///< Encoded frame to send.
+  Status status = Status::OK();  ///< Transport status of the completion.
+  std::string frame;             ///< Framed reply when status is OK.
+  uint64_t correlation = 0;
+  double start_ms = 0.0;         ///< Trace-epoch offset at Send.
+  double duration_ms = 0.0;
+};
+
+/// Starts every active slot's request through Transport::Send and blocks
+/// until every completion lands — unconditionally, so no callback can
+/// outlive the wave. Issuing runs under the caller's RunMaybeParallel
+/// policy when `parallel_issue` is set: for an inline-completing
+/// transport (loopback) that IS the shard-execution parallelism, for an
+/// async transport the issue loop merely enqueues and the per-shard
+/// demux engines overlap the work. Completions land in any order; slots
+/// keep wave results positionally, so completion order never reaches the
+/// merge. Per-call wall time and correlation ids are captured for span
+/// recording on the gathering thread.
+void SendWave(Transport& transport, const core::ExecHooks& hooks,
+              bool parallel_issue, const std::vector<uint32_t>& shards,
+              telemetry::QueryTrace* trace, std::vector<ShardCall>* calls) {
+  struct WaveState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  };
+  auto state = std::make_shared<WaveState>();
+  for (const ShardCall& call : *calls) state->remaining += call.active ? 1 : 0;
+  if (state->remaining == 0) return;
+  const auto issue_one = [&](size_t t) {
+    ShardCall& call = (*calls)[t];
+    if (!call.active) return;
+    call.start_ms = trace != nullptr ? trace->ElapsedMs() : 0.0;
+    const auto sent = std::chrono::steady_clock::now();
+    call.correlation = transport.Send(
+        shards[t], std::move(call.request),
+        [state, &call, sent](StatusOr<std::string> result) {
+          call.duration_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - sent)
+                                 .count();
+          if (result.ok()) {
+            call.frame = std::move(result).value();
+          } else {
+            call.status = result.status();
+          }
+          {
+            std::lock_guard<std::mutex> lock(state->mu);
+            --state->remaining;
+          }
+          state->cv.notify_one();
+        });
+  };
+  // RunMaybeParallel is a barrier: every Send (and its correlation-id
+  // write) has returned before the wait below starts.
+  if (parallel_issue) {
+    core::RunMaybeParallel(hooks, calls->size(), issue_one);
+  } else {
+    for (size_t t = 0; t < calls->size(); ++t) issue_one(t);
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->remaining == 0; });
+}
+
 }  // namespace
 
-GatherPartial ShardRouter::CallShard(size_t shard, ScatterRequest::Kind kind,
-                                     const ObjectKey* object, int level,
-                                     const query::ErrorBound& bound,
-                                     uint64_t checksum,
-                                     const raster::HrCell* cells,
-                                     const core::ShardedState::CellRoute* routes,
-                                     size_t num_cells,
-                                     telemetry::QueryTrace* trace) {
-  // The whole call — reference attempt, fallback re-ship included — is
-  // one per-shard roundtrip span in the query's trace.
-  telemetry::SpanTimer span(trace, "shard_roundtrip", static_cast<int>(shard));
-  ScatterRequest request;
-  request.kind = kind;
-  request.bound_kind = bound.kind;
-  request.bound_epsilon = bound.epsilon;
-  request.level = level;
-  request.checksum = checksum;
+std::vector<GatherPartial> ShardRouter::GatherFromShards(
+    ScatterRequest::Kind kind, const ObjectKey* object, int level,
+    const query::ErrorBound& bound, uint64_t checksum,
+    const raster::HrCell* cells, const core::ShardedState::CellRoute* routes,
+    size_t num_cells, const core::ExecHooks& hooks,
+    const std::vector<uint32_t>& surviving) {
+  telemetry::QueryTrace* trace = hooks.trace;
+  const size_t n = surviving.size();
+  // Same fan-out threshold as the in-process executor: scheduling (not
+  // results) is all that changes with it.
+  const bool parallel_issue = num_cells >= core::kShardFanOutMinCells;
+  const Key key{object != nullptr ? *object : ObjectKey(), level};
+
+  ScatterRequest base;
+  base.kind = kind;
+  base.bound_kind = bound.kind;
+  base.bound_epsilon = bound.epsilon;
+  base.level = level;
+  base.checksum = checksum;
   if (trace != nullptr) {
-    request.trace_hi = trace->ctx().trace_hi;
-    request.trace_lo = trace->ctx().trace_lo;
-    request.span_id = trace->ctx().span_id;
+    base.trace_hi = trace->ctx().trace_hi;
+    base.trace_lo = trace->ctx().trace_lo;
+    base.span_id = trace->ctx().span_id;
   }
   if (object != nullptr) {
-    request.has_object = true;
-    request.object = *object;
+    base.has_object = true;
+    base.object = *object;
   }
-  const Key key{object != nullptr ? *object : ObjectKey(), level};
-  if (object != nullptr && KnownCached(shard, key)) {
-    // Reference-only request: no cell payload. The shard may have evicted
-    // or replaced the slice; kNotCached falls through to the inline path.
-    GatherPartial partial = RoundtripDecode(*transport_, shard, request);
-    if (partial.status == GatherPartial::Disposition::kOk) return partial;
-    MarkCached(shard, key, false);
+
+  // Wave 1: reference-only where the shard is believed to hold the key
+  // (no cell payload — the per-shard HR cache hit path), inline cells
+  // otherwise.
+  std::vector<ShardCall> calls(n);
+  std::vector<char> referenced(n, 0);
+  for (size_t t = 0; t < n; ++t) {
+    ScatterRequest request = base;
+    if (object != nullptr && KnownCached(surviving[t], key)) {
+      referenced[t] = 1;
+    } else {
+      request.has_cells = true;
+      request.cells =
+          sharded_->PruneCellsForShard(surviving[t], cells, routes, num_cells);
+    }
+    calls[t].active = true;
+    calls[t].request = request.Encode();
   }
-  request.has_cells = true;
-  request.cells = sharded_->PruneCellsForShard(shard, cells, routes, num_cells);
-  GatherPartial partial = RoundtripDecode(*transport_, shard, request);
-  if (partial.status != GatherPartial::Disposition::kOk) {
-    throw StatusException(
-        Status::Internal("shard " + std::to_string(shard) +
-                         ": rejected inline slice: " + partial.error));
+  SendWave(*transport_, hooks, parallel_issue, surviving, trace, &calls);
+
+  // Harvest on the gathering thread: spans, fallbacks, errors. Every
+  // completion has landed, so throwing from here leaves nothing in
+  // flight. The first failing shard (ascending) wins — deterministic
+  // regardless of completion order.
+  const auto record_span = [&](size_t t) {
+    if (trace != nullptr) {
+      trace->Record("shard_roundtrip", calls[t].start_ms, calls[t].duration_ms,
+                    static_cast<int>(surviving[t]), calls[t].correlation);
+    }
+  };
+  std::vector<GatherPartial> partials(n);
+  bool any_fallback = false;
+  for (size_t t = 0; t < n; ++t) {
+    record_span(t);
+    calls[t].active = false;  // Only fallback slots re-enter wave 2.
+    if (!calls[t].status.ok()) {
+      throw StatusException(Status(calls[t].status.code(),
+                                   "shard " + std::to_string(surviving[t]) +
+                                       ": " + calls[t].status.message()));
+    }
+    partials[t] = DecodePartial(surviving[t], kind, calls[t].frame);
+    if (partials[t].status == GatherPartial::Disposition::kOk) {
+      if (object != nullptr && !referenced[t]) {
+        MarkCached(surviving[t], key, true);
+      }
+      continue;
+    }
+    // kNotCached. A reference miss falls back to shipping the cells; a
+    // shard rejecting an INLINE slice this way is a protocol violation.
+    if (!referenced[t]) {
+      throw StatusException(
+          Status::Internal("shard " + std::to_string(surviving[t]) +
+                           ": rejected inline slice: " + partials[t].error));
+    }
+    MarkCached(surviving[t], key, false);
+    calls[t] = ShardCall();
+    calls[t].active = true;
+    any_fallback = true;
   }
-  if (object != nullptr) MarkCached(shard, key, true);
-  return partial;
+  if (!any_fallback) return partials;
+
+  // Wave 2: re-send with inline cells to the shards that evicted or
+  // replaced the referenced slice.
+  for (size_t t = 0; t < n; ++t) {
+    if (!calls[t].active) continue;
+    ScatterRequest request = base;
+    request.has_cells = true;
+    request.cells =
+        sharded_->PruneCellsForShard(surviving[t], cells, routes, num_cells);
+    calls[t].request = request.Encode();
+  }
+  SendWave(*transport_, hooks, parallel_issue, surviving, trace, &calls);
+  for (size_t t = 0; t < n; ++t) {
+    if (!calls[t].active) continue;
+    record_span(t);
+    if (!calls[t].status.ok()) {
+      throw StatusException(Status(calls[t].status.code(),
+                                   "shard " + std::to_string(surviving[t]) +
+                                       ": " + calls[t].status.message()));
+    }
+    partials[t] = DecodePartial(surviving[t], kind, calls[t].frame);
+    if (partials[t].status != GatherPartial::Disposition::kOk) {
+      throw StatusException(
+          Status::Internal("shard " + std::to_string(surviving[t]) +
+                           ": rejected inline slice: " + partials[t].error));
+    }
+    if (object != nullptr) MarkCached(surviving[t], key, true);
+  }
+  return partials;
 }
 
 join::CellAggregate ShardRouter::ScatterGather(
@@ -380,23 +530,16 @@ join::CellAggregate ShardRouter::ScatterGather(
   }
   if (num_surviving != nullptr) *num_surviving = surviving.size();
   const uint64_t checksum = ApproxChecksum(cells, num_cells);
-  std::vector<join::CellAggregate> partials(surviving.size());
-  const auto one_shard = [&](size_t t) {
-    partials[t] = CallShard(surviving[t], ScatterRequest::Kind::kAggregateCells,
-                            object, level, bound, checksum, cells, routes.data(),
-                            num_cells, trace)
-                      .aggregate;
-  };
-  // Same fan-out threshold as the in-process executor: scheduling (not
-  // results) is all that changes with it.
-  if (num_cells >= core::kShardFanOutMinCells) {
-    core::RunMaybeParallel(hooks, surviving.size(), one_shard);
-  } else {
-    for (size_t t = 0; t < surviving.size(); ++t) one_shard(t);
-  }
+  const std::vector<GatherPartial> partials =
+      GatherFromShards(ScatterRequest::Kind::kAggregateCells, object, level,
+                       bound, checksum, cells, routes.data(), num_cells, hooks,
+                       surviving);
+  // Completion order was whatever the wire delivered; the fold below is
+  // the canonical ascending-shard merge (partials are positional in
+  // `surviving`), preserving byte identity with the in-process engine.
   telemetry::SpanTimer merge_span(trace, "merge");
   join::CellAggregate agg;
-  for (const join::CellAggregate& partial : partials) agg.Merge(partial);
+  for (const GatherPartial& partial : partials) agg.Merge(partial.aggregate);
   return agg;
 }
 
@@ -416,24 +559,21 @@ std::vector<std::pair<uint64_t, uint32_t>> ShardRouter::SelectKeyed(
   }
   if (num_surviving != nullptr) *num_surviving = surviving.size();
   const uint64_t checksum = ApproxChecksum(cells, num_cells);
-  std::vector<std::vector<std::pair<uint64_t, uint32_t>>> per_shard(
-      surviving.size());
-  std::vector<uint64_t> per_shard_cells(surviving.size(), 0);
-  core::RunMaybeParallel(hooks, surviving.size(), [&](size_t t) {
-    GatherPartial partial =
-        CallShard(surviving[t], ScatterRequest::Kind::kSelectIds, object, level,
-                  bound, checksum, cells, routes.data(), num_cells, trace);
-    per_shard_cells[t] = partial.probe_cells;
-    per_shard[t] = std::move(partial.keyed_ids);
-  });
+  std::vector<GatherPartial> partials =
+      GatherFromShards(ScatterRequest::Kind::kSelectIds, object, level, bound,
+                       checksum, cells, routes.data(), num_cells, hooks,
+                       surviving);
   telemetry::SpanTimer gather_span(trace, "gather");
   if (probe_cells != nullptr) {
     *probe_cells = 0;
-    for (const uint64_t c : per_shard_cells) *probe_cells += c;
+    for (const GatherPartial& partial : partials) {
+      *probe_cells += partial.probe_cells;
+    }
   }
   std::vector<std::pair<uint64_t, uint32_t>> keyed;
-  for (std::vector<std::pair<uint64_t, uint32_t>>& ids : per_shard) {
-    keyed.insert(keyed.end(), ids.begin(), ids.end());
+  for (GatherPartial& partial : partials) {
+    keyed.insert(keyed.end(), partial.keyed_ids.begin(),
+                 partial.keyed_ids.end());
   }
   return keyed;
 }

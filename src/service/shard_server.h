@@ -189,16 +189,23 @@ class ShardRouter {
  private:
   using Key = ObjectLevelKey;
 
-  /// One shard's call: reference-only when the shard is known to hold the
-  /// key (falling back to inline cells on kNotCached), inline otherwise.
-  /// `trace`, when non-null, stamps the request's wire trace fields and
-  /// receives a per-shard "shard_roundtrip" span.
-  GatherPartial CallShard(size_t shard, ScatterRequest::Kind kind,
-                          const ObjectKey* object, int level,
-                          const query::ErrorBound& bound, uint64_t checksum,
-                          const raster::HrCell* cells,
-                          const core::ShardedState::CellRoute* routes,
-                          size_t num_cells, telemetry::QueryTrace* trace);
+  /// Completion-driven scatter over `surviving`: every shard's request is
+  /// started through Transport::Send (reference-only when the shard is
+  /// known to hold the key, inline cells otherwise), the gather blocks
+  /// until EVERY completion has landed, then a second wave re-sends
+  /// inline cells to the shards that answered kNotCached. Replies land in
+  /// any order; the returned partials are indexed by position in
+  /// `surviving`, so the caller's ascending-shard fold — and hence byte
+  /// identity — is untouched by completion order. Throws StatusException
+  /// (first failing shard in ascending order) only after all in-flight
+  /// completions have drained. Each wire request records one
+  /// "shard_roundtrip" span tagged with its shard and correlation id.
+  std::vector<GatherPartial> GatherFromShards(
+      ScatterRequest::Kind kind, const ObjectKey* object, int level,
+      const query::ErrorBound& bound, uint64_t checksum,
+      const raster::HrCell* cells,
+      const core::ShardedState::CellRoute* routes, size_t num_cells,
+      const core::ExecHooks& hooks, const std::vector<uint32_t>& surviving);
 
   bool KnownCached(size_t shard, const Key& key) const;
   void MarkCached(size_t shard, const Key& key, bool cached);

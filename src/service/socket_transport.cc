@@ -1,6 +1,7 @@
 #include "service/socket_transport.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -120,9 +121,8 @@ StatusOr<std::string> ReadFrame(int fd, size_t max_frame_bytes,
                                 const Deadline* first_byte_deadline) {
   char prefix[4];
   // The wait for the FIRST byte may be capped tighter than the rest of
-  // the frame (failover hedging, see Roundtrip): once the peer has
-  // started answering, the transfer is making progress and gets the
-  // full deadline.
+  // the frame: once the peer has started answering, the transfer is
+  // making progress and gets the full deadline.
   const Status got_first =
       RecvExactly(fd, prefix, 1,
                   first_byte_deadline != nullptr ? *first_byte_deadline : deadline);
@@ -207,6 +207,21 @@ StatusOr<int> DialTcp(const Endpoint& endpoint, const Deadline& deadline) {
 
 // ---------------------------------------------------------- SocketTransport
 
+/// One resolved address list, cached per endpoint after the first dial.
+/// getaddrinfo is the one blocking call a deadline cannot interrupt, so
+/// steady-state reconnects and redial storms must not re-enter it; the
+/// entry is dropped when every address fails (a moved host re-resolves).
+struct SocketTransport::ResolvedAddrs {
+  struct Addr {
+    int family = 0;
+    int socktype = 0;
+    int protocol = 0;
+    struct sockaddr_storage addr;
+    socklen_t len = 0;
+  };
+  std::vector<Addr> addrs;
+};
+
 SocketTransport::SocketTransport(ShardPlacement placement)
     : SocketTransport(std::move(placement), Options()) {}
 
@@ -224,25 +239,54 @@ SocketTransport::SocketTransport(ShardPlacement placement, const Options& option
       failovers_(registry_->GetCounter("dbsa_socket_failovers_total")),
       timeouts_(registry_->GetCounter("dbsa_socket_timeouts_total")),
       transport_errors_(
-          registry_->GetCounter("dbsa_socket_transport_errors_total")) {
+          registry_->GetCounter("dbsa_socket_transport_errors_total")),
+      hedges_(registry_->GetCounter("dbsa_socket_hedges_total")),
+      hedge_wins_(registry_->GetCounter("dbsa_socket_hedge_wins_total")),
+      resolves_(registry_->GetCounter("dbsa_socket_resolves_total")) {
   DBSA_CHECK(placement_.num_shards() > 0);
   DBSA_CHECK(options_.max_dial_attempts >= 1);
-  conns_.reserve(placement_.num_shards());
+  muxes_.reserve(placement_.num_shards());
   roundtrip_ms_.reserve(placement_.num_shards());
   for (size_t s = 0; s < placement_.num_shards(); ++s) {
-    conns_.push_back(std::make_unique<ShardConns>());
+    muxes_.push_back(std::make_unique<Mux>());
     roundtrip_ms_.push_back(registry_->GetHistogram(
         "dbsa_socket_roundtrip_ms{shard=\"" + std::to_string(s) + "\"}"));
   }
 }
 
-SocketTransport::~SocketTransport() { CloseIdleConnections(); }
+namespace {
+void WakeMux(const int* wake_fd) {
+  const char byte = 'w';
+  // EAGAIN (pipe full) is fine: a wake is already pending.
+  (void)!write(wake_fd[1], &byte, 1);
+}
+}  // namespace
+
+SocketTransport::~SocketTransport() {
+  for (const std::unique_ptr<Mux>& mux : muxes_) {
+    bool started;
+    {
+      std::lock_guard<std::mutex> lock(mux->mu);
+      mux->stop = true;
+      started = mux->thread_started;
+    }
+    if (!started) continue;
+    WakeMux(mux->wake_fd);
+    mux->thread.join();  // The loop fails every pending op on its way out.
+    close(mux->wake_fd[0]);
+    close(mux->wake_fd[1]);
+  }
+}
 
 void SocketTransport::CloseIdleConnections() {
-  for (const std::unique_ptr<ShardConns>& sc : conns_) {
-    std::lock_guard<std::mutex> lock(sc->mu);
-    for (const PooledConn& conn : sc->idle) close(conn.fd);
-    sc->idle.clear();
+  for (const std::unique_ptr<Mux>& mux : muxes_) {
+    bool started;
+    {
+      std::lock_guard<std::mutex> lock(mux->mu);
+      mux->close_idle = true;
+      started = mux->thread_started;
+    }
+    if (started) WakeMux(mux->wake_fd);
   }
 }
 
@@ -255,208 +299,561 @@ bool SocketTransport::HasEndpoint(size_t shard, int which) const {
   return which == kPrimary || placement_.shards[shard].has_replica;
 }
 
-int SocketTransport::PopIdle(size_t shard, int endpoint) {
-  ShardConns& sc = *conns_[shard];
-  std::lock_guard<std::mutex> lock(sc.mu);
-  for (size_t i = 0; i < sc.idle.size(); ++i) {
-    if (sc.idle[i].endpoint != endpoint) continue;
-    const int fd = sc.idle[i].fd;
-    sc.idle.erase(sc.idle.begin() + static_cast<ptrdiff_t>(i));
+StatusOr<int> SocketTransport::DialCached(const Endpoint& endpoint,
+                                          const Deadline& deadline) {
+  const std::string key = endpoint.ToString();
+  std::shared_ptr<ResolvedAddrs> cached;
+  {
+    std::lock_guard<std::mutex> lock(resolve_mu_);
+    auto it = resolve_cache_.find(key);
+    if (it != resolve_cache_.end()) cached = it->second;
+  }
+  if (cached == nullptr) {
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    const std::string port = std::to_string(endpoint.port);
+    resolves_->Add(1);
+    const int rc = getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &res);
+    if (rc != 0) {
+      return Status::Unavailable("resolve " + key + ": " + gai_strerror(rc));
+    }
+    cached = std::make_shared<ResolvedAddrs>();
+    for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      if (ai->ai_addrlen > sizeof(sockaddr_storage)) continue;
+      ResolvedAddrs::Addr addr;
+      addr.family = ai->ai_family;
+      addr.socktype = ai->ai_socktype;
+      addr.protocol = ai->ai_protocol;
+      std::memcpy(&addr.addr, ai->ai_addr, ai->ai_addrlen);
+      addr.len = ai->ai_addrlen;
+      cached->addrs.push_back(addr);
+    }
+    freeaddrinfo(res);
+    if (cached->addrs.empty()) {
+      return Status::Unavailable("no addresses for " + key);
+    }
+    std::lock_guard<std::mutex> lock(resolve_mu_);
+    resolve_cache_[key] = cached;
+  }
+
+  Status last = Status::Unavailable("no addresses for " + key);
+  for (const ResolvedAddrs::Addr& addr : cached->addrs) {
+    const int fd = socket(addr.family, addr.socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          addr.protocol);
+    if (fd < 0) {
+      last = Status::Unavailable(Errno("socket"));
+      continue;
+    }
+    SetNoDelay(fd);
+    if (connect(fd, reinterpret_cast<const struct sockaddr*>(&addr.addr),
+                addr.len) == 0) {
+      return fd;
+    }
+    if (errno != EINPROGRESS) {
+      last = Status::Unavailable(key + ": " + Errno("connect"));
+      close(fd);
+      continue;
+    }
+    const Status ready = PollFor(fd, POLLOUT, deadline, "connect");
+    if (!ready.ok()) {
+      close(fd);
+      if (ready.code() == StatusCode::kDeadlineExceeded) {
+        // The host is there but slow — keep the resolution cached.
+        return Status::DeadlineExceeded("connect to " + key + " timed out");
+      }
+      last = ready;
+      continue;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 || err != 0) {
+      last = Status::Unavailable(key + ": connect: " +
+                                 std::strerror(err != 0 ? err : errno));
+      close(fd);
+      continue;
+    }
     return fd;
   }
-  return -1;
-}
-
-void SocketTransport::PushIdle(size_t shard, int endpoint, int fd) {
-  ShardConns& sc = *conns_[shard];
-  std::lock_guard<std::mutex> lock(sc.mu);
-  if (sc.idle.size() >= options_.max_idle_connections_per_shard) {
-    close(fd);
-    return;
-  }
-  sc.idle.push_back(PooledConn{fd, endpoint});
-}
-
-Status SocketTransport::Exchange(int fd, const std::string& request,
-                                 std::string* response, const Deadline& deadline,
-                                 const Deadline* first_byte_deadline) {
-  // The hedge cap (when set) covers everything before the peer shows
-  // life: the request send AND the wait for the first response byte. A
-  // wedged peer that stops reading would otherwise stall SendAll for
-  // the full deadline and the untried replica would never get its hop.
-  const Status sent =
-      SendAll(fd, request.data(), request.size(),
-              first_byte_deadline != nullptr ? *first_byte_deadline : deadline);
-  if (!sent.ok()) return sent;
-  StatusOr<std::string> frame =
-      ReadFrame(fd, options_.max_frame_bytes, deadline, first_byte_deadline);
-  if (!frame.ok()) return frame.status();
-  *response = std::move(frame.value());
-  return Status::OK();
-}
-
-std::string SocketTransport::Roundtrip(size_t shard, const std::string& request) {
-  if (shard >= num_shards()) {
-    throw StatusException(Status::InvalidArgument(
-        "SocketTransport: no such shard " + std::to_string(shard)));
-  }
-  const Deadline deadline = Deadline::After(options_.roundtrip_timeout_ms);
-  const auto started = std::chrono::steady_clock::now();
-  ShardConns& sc = *conns_[shard];
-  int first;
+  // Every cached address failed: the host may have moved. Forget the
+  // entry so the next dial re-resolves.
   {
-    std::lock_guard<std::mutex> lock(sc.mu);
-    first = sc.preferred;
+    std::lock_guard<std::mutex> lock(resolve_mu_);
+    resolve_cache_.erase(key);
   }
+  return last;
+}
 
-  const auto succeed = [&](int endpoint, int fd,
-                           std::string response) -> std::string {
-    PushIdle(shard, endpoint, fd);
-    {
-      std::lock_guard<std::mutex> lock(sc.mu);
-      sc.preferred = endpoint;
-    }
-    if (endpoint == kReplica) failovers_->Add(1);
-    messages_->Add(1);
-    request_bytes_->Add(request.size());
-    response_bytes_->Add(response.size());
-    roundtrip_ms_[shard]->Record(
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - started)
-            .count());
-    return response;
+void SocketTransport::EnsureThread(size_t shard) {
+  Mux& mux = *muxes_[shard];
+  std::lock_guard<std::mutex> lock(mux.mu);
+  if (mux.thread_started) return;
+  if (pipe2(mux.wake_fd, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw StatusException(Status::Unavailable(Errno("pipe2")));
+  }
+  mux.thread = std::thread([this, shard]() { MuxLoop(shard); });
+  mux.thread_started = true;
+}
+
+uint64_t SocketTransport::Send(size_t shard, std::string request, Done done) {
+  if (shard >= num_shards()) {
+    done(Status::InvalidArgument("SocketTransport: no such shard " +
+                                 std::to_string(shard)));
+    return 0;
+  }
+  const uint64_t correlation =
+      next_correlation_.fetch_add(1, std::memory_order_relaxed);
+  PatchCorrelation(&request, correlation);
+  Op op;
+  op.corr = correlation;
+  op.request = std::move(request);
+  op.done = std::move(done);
+  op.deadline = Deadline::After(options_.roundtrip_timeout_ms);
+  op.start = std::chrono::steady_clock::now();
+  const int hedge_ms = options_.hedge_timeout_ms < 0
+                           ? options_.roundtrip_timeout_ms / 2
+                           : options_.hedge_timeout_ms;
+  if (HasEndpoint(shard, kReplica) && hedge_ms > 0 && !op.deadline.infinite() &&
+      hedge_ms < options_.roundtrip_timeout_ms) {
+    op.hedge_at = Deadline::After(hedge_ms);
+  }
+  EnsureThread(shard);
+  Mux& mux = *muxes_[shard];
+  {
+    std::lock_guard<std::mutex> lock(mux.mu);
+    mux.submitted.push_back(std::move(op));
+  }
+  WakeMux(mux.wake_fd);
+  return correlation;
+}
+
+void SocketTransport::MuxLoop(size_t shard) {
+  Mux& mux = *muxes_[shard];
+  const int max_dials = options_.max_dial_attempts;
+
+  // Completions are collected here and fired at the end of each
+  // iteration, outside every lock and with the engine state consistent
+  // (a done callback may re-enter Send from another op's continuation).
+  struct Fired {
+    Done done;
+    StatusOr<std::string> result;
   };
-  const auto timed_out = [&](const Status& status) -> StatusException {
-    timeouts_->Add(1);
-    return StatusException(Status::DeadlineExceeded(
-        "shard " + std::to_string(shard) + " roundtrip exceeded " +
-        std::to_string(options_.roundtrip_timeout_ms) + " ms (" +
-        status.message() + ")"));
+  std::vector<Fired> fired;
+
+  const auto queued_on = [&](int ep, uint64_t corr) {
+    const auto& q = mux.queue[ep];
+    return std::find(q.begin(), q.end(), corr) != q.end();
   };
-
-  Status last = Status::OK();
-  for (int hop = 0; hop < 2; ++hop) {
-    const int endpoint = (first + hop) % 2;
-    if (!HasEndpoint(shard, endpoint)) continue;
-    bool had_stale_conn = false;
-
-    // A stalled endpoint must not consume the whole roundtrip budget
-    // while the OTHER endpoint is still untried: a wedged-but-kernel-
-    // accepting primary would otherwise starve a healthy replica
-    // forever, every call burning the full deadline on recv. When a
-    // fallback exists, the first hop's connect and its wait for the
-    // FIRST response byte are capped at half the budget (standard
-    // hedging); a response that has started flowing is progress and
-    // keeps the full deadline, and the last hop always gets everything
-    // that remains. Resending after a stall is safe — requests are
-    // idempotent (header contract).
-    const bool has_fallback = hop == 0 && HasEndpoint(shard, (endpoint + 1) % 2);
-    const int hedge_ms = options_.hedge_timeout_ms < 0
-                             ? options_.roundtrip_timeout_ms / 2
-                             : options_.hedge_timeout_ms;
-    const bool hedged = has_fallback && hedge_ms > 0 && !deadline.infinite() &&
-                        hedge_ms < options_.roundtrip_timeout_ms;
-    Deadline attempt_deadline = deadline;
-    if (hedged) {
-      // Cap = roundtrip start + hedge budget.
-      attempt_deadline.at -= std::chrono::milliseconds(
-          options_.roundtrip_timeout_ms - hedge_ms);
+  const auto unqueue = [&](uint64_t corr) {
+    for (int ep = 0; ep < 2; ++ep) {
+      auto& q = mux.queue[ep];
+      auto it = std::find(q.begin(), q.end(), corr);
+      if (it != q.end()) q.erase(it);
     }
-    const Deadline* first_byte = hedged ? &attempt_deadline : nullptr;
-    bool stalled = false;
-
-    // Reused connections first: a pooled socket that died since its last
-    // use costs nothing to discard (the request is idempotent — header
-    // contract — so resending it on a fresh connection is safe).
-    for (int fd = PopIdle(shard, endpoint); fd >= 0;
-         fd = PopIdle(shard, endpoint)) {
-      std::string response;
-      const Status exchanged =
-          Exchange(fd, request, &response, deadline, first_byte);
-      if (exchanged.ok()) return succeed(endpoint, fd, std::move(response));
-      close(fd);
-      if (exchanged.code() == StatusCode::kDeadlineExceeded) {
-        if (!has_fallback || deadline.expired()) throw timed_out(exchanged);
-        last = exchanged;
-        stalled = true;
-        break;
+  };
+  const auto complete = [&](uint64_t corr, StatusOr<std::string> result) {
+    auto it = mux.ops.find(corr);
+    if (it == mux.ops.end()) return;
+    Op& op = it->second;
+    unqueue(corr);
+    for (int ep = 0; ep < 2; ++ep) {
+      if (op.inflight[ep] && mux.conns[ep].inflight > 0) {
+        --mux.conns[ep].inflight;
       }
-      if (exchanged.code() == StatusCode::kInvalidArgument) {
-        // The peer answered, but not with our framing: a protocol bug,
-        // not an availability problem — do not mask it with a retry.
-        throw StatusException(Status::InvalidArgument(
-            "shard " + std::to_string(shard) + ": " + exchanged.message()));
-      }
-      last = exchanged;
-      had_stale_conn = true;
     }
-    if (stalled) continue;  // This endpoint is wedged: try the other one.
-
-    // Fresh dials with exponential backoff.
-    for (int attempt = 0; attempt < options_.max_dial_attempts; ++attempt) {
-      if (attempt > 0) {
-        // Saturate the exponential: attempt counts are operator-tunable,
-        // and an unclamped shift overflows int past ~30 attempts (the nap
-        // would go negative and the loop would hot-spin instead of backing
-        // off). A 10s ceiling keeps retries inside realistic deadlines.
-        const long long scaled =
-            static_cast<long long>(options_.reconnect_backoff_ms)
-            << std::min(attempt - 1, 20);
-        const int backoff_ms =
-            static_cast<int>(std::min<long long>(scaled, 10000));
-        const int remaining = deadline.RemainingMs();
-        const int nap =
-            remaining < 0 ? backoff_ms : std::min(backoff_ms, remaining);
-        if (nap > 0) std::this_thread::sleep_for(std::chrono::milliseconds(nap));
-      }
-      if (deadline.expired()) throw timed_out(last.ok() ? Status::DeadlineExceeded("no attempt finished") : last);
-      Deadline connect_deadline = Deadline::After(options_.connect_timeout_ms);
-      if (!attempt_deadline.infinite() &&
-          (connect_deadline.infinite() ||
-           attempt_deadline.at < connect_deadline.at)) {
-        connect_deadline = attempt_deadline;
-      }
-      StatusOr<int> dialed = DialTcp(EndpointOf(shard, endpoint), connect_deadline);
-      if (!dialed.ok()) {
-        last = dialed.status();
-        if (last.code() == StatusCode::kDeadlineExceeded && deadline.expired()) {
-          throw timed_out(last);
-        }
-        if (attempt_deadline.expired() && has_fallback) break;
+    if (result.ok()) {
+      messages_->Add(1);
+      request_bytes_->Add(op.request.size());
+      response_bytes_->Add(result.value().size());
+      roundtrip_ms_[shard]->Record(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - op.start)
+              .count());
+    }
+    fired.push_back(Fired{std::move(op.done), std::move(result)});
+    mux.ops.erase(it);
+  };
+  const auto complete_unavailable = [&](uint64_t corr, const Status& last) {
+    transport_errors_->Add(1);
+    complete(corr,
+             Status::Unavailable(
+                 "shard " + std::to_string(shard) + " unreachable (primary " +
+                 EndpointOf(shard, kPrimary).ToString() +
+                 (HasEndpoint(shard, kReplica)
+                      ? ", replica " + EndpointOf(shard, kReplica).ToString()
+                      : std::string(", no replica")) +
+                 "): " +
+                 (last.ok() ? std::string("no endpoint answered")
+                            : last.message())));
+  };
+  // Moves every op in queue[ep] whose fresh dials there are exhausted to
+  // the other endpoint — or completes it kUnavailable when there is
+  // nowhere left to go.
+  const auto prune_queue = [&](int ep) {
+    std::deque<uint64_t> keep;
+    std::vector<uint64_t> exhausted;
+    for (const uint64_t corr : mux.queue[ep]) {
+      Op& op = mux.ops[corr];
+      if (op.dials[ep] < max_dials) {
+        keep.push_back(corr);
         continue;
       }
-      dials_->Add(1);
-      if (had_stale_conn || attempt > 0) reconnects_->Add(1);
-      const int fd = dialed.value();
-      std::string response;
-      const Status exchanged =
-          Exchange(fd, request, &response, deadline, first_byte);
-      if (exchanged.ok()) return succeed(endpoint, fd, std::move(response));
-      close(fd);
-      if (exchanged.code() == StatusCode::kDeadlineExceeded) {
-        if (!has_fallback || deadline.expired()) throw timed_out(exchanged);
-        last = exchanged;
-        break;  // This endpoint is wedged: try the other one.
+      const int other = 1 - ep;
+      if (op.inflight[other]) continue;  // A hedged copy is still out there.
+      if (HasEndpoint(shard, other) && op.dials[other] < max_dials &&
+          !queued_on(other, corr)) {
+        mux.queue[other].push_back(corr);
+        op.where = other;
+      } else {
+        exhausted.push_back(corr);
       }
-      if (exchanged.code() == StatusCode::kInvalidArgument) {
-        throw StatusException(Status::InvalidArgument(
-            "shard " + std::to_string(shard) + ": " + exchanged.message()));
-      }
-      // A freshly-dialed connection that still cannot complete an
-      // exchange means the endpoint itself is sick: fail over.
-      last = exchanged;
-      break;
     }
-  }
+    mux.queue[ep] = std::move(keep);
+    for (const uint64_t corr : exhausted) {
+      complete_unavailable(corr, mux.conns[ep].last_error);
+    }
+  };
+  // Connection death: close, then requeue (same endpoint first — its
+  // remaining dial budget — then failover) or fail each op that had its
+  // only copy here. `protocol` marks a framing violation: those ops get
+  // a typed kInvalidArgument and are never retried (a peer that answers
+  // with garbage is a bug, not an availability problem).
+  const auto conn_dead = [&](int ep, const Status& why, bool protocol) {
+    Conn& conn = mux.conns[ep];
+    if (conn.fd >= 0) close(conn.fd);
+    conn.fd = -1;
+    conn.inbuf.clear();
+    conn.outbuf.clear();
+    conn.inflight = 0;
+    conn.last_error = why;
+    std::vector<uint64_t> orphans;
+    for (auto& [corr, op] : mux.ops) {
+      if (op.inflight[ep]) orphans.push_back(corr);
+    }
+    for (const uint64_t corr : orphans) {
+      Op& op = mux.ops[corr];
+      op.inflight[ep] = false;
+      if (protocol) {
+        complete(corr, Status::InvalidArgument("shard " + std::to_string(shard) +
+                                               ": " + why.message()));
+        continue;
+      }
+      const int other = 1 - ep;
+      if (op.inflight[other]) continue;  // The hedged copy races on.
+      if (op.dials[ep] < max_dials && !queued_on(ep, corr)) {
+        mux.queue[ep].push_back(corr);  // Redial budget left: resend here.
+        op.where = ep;
+      } else if (HasEndpoint(shard, other) && op.dials[other] < max_dials &&
+                 !queued_on(other, corr)) {
+        mux.queue[other].push_back(corr);  // Fail over.
+        op.where = other;
+      } else if (!queued_on(ep, corr) && !queued_on(other, corr)) {
+        complete_unavailable(corr, why);
+      }
+    }
+  };
 
-  transport_errors_->Add(1);
-  throw StatusException(Status::Unavailable(
-      "shard " + std::to_string(shard) + " unreachable (primary " +
-      EndpointOf(shard, kPrimary).ToString() +
-      (HasEndpoint(shard, kReplica)
-           ? ", replica " + EndpointOf(shard, kReplica).ToString()
-           : std::string(", no replica")) +
-      "): " + (last.ok() ? std::string("no endpoint answered") : last.message())));
+  while (true) {
+    // ---- 1. Harvest control flags and freshly submitted ops.
+    std::vector<Op> incoming;
+    bool do_close_idle = false;
+    bool do_stop = false;
+    {
+      std::lock_guard<std::mutex> lock(mux.mu);
+      do_stop = mux.stop;
+      while (!mux.submitted.empty()) {
+        incoming.push_back(std::move(mux.submitted.front()));
+        mux.submitted.pop_front();
+      }
+      do_close_idle = mux.close_idle;
+      mux.close_idle = false;
+    }
+    if (do_stop) {
+      // Fail everything still pending; the transport is going away.
+      const Status bye =
+          Status::Unavailable("SocketTransport destroyed with request in flight");
+      for (Op& op : incoming) fired.push_back(Fired{std::move(op.done), bye});
+      for (auto& [corr, op] : mux.ops) {
+        fired.push_back(Fired{std::move(op.done), bye});
+      }
+      mux.ops.clear();
+      mux.queue[0].clear();
+      mux.queue[1].clear();
+      for (Conn& conn : mux.conns) {
+        if (conn.fd >= 0) close(conn.fd);
+        conn.fd = -1;
+      }
+      for (Fired& f : fired) f.done(std::move(f.result));
+      return;
+    }
+    for (Op& op : incoming) {
+      const int ep = HasEndpoint(shard, mux.preferred) ? mux.preferred : kPrimary;
+      const uint64_t corr = op.corr;
+      op.where = ep;
+      mux.queue[ep].push_back(corr);
+      mux.ops.emplace(corr, std::move(op));
+    }
+    if (do_close_idle) {
+      for (Conn& conn : mux.conns) {
+        if (conn.fd >= 0 && conn.inflight == 0 && conn.outbuf.empty()) {
+          close(conn.fd);
+          conn.fd = -1;
+          conn.inbuf.clear();  // ever_connected stays: the next dial is a reconnect.
+        }
+      }
+    }
+
+    // ---- 2. Timers: per-op deadlines, then hedges.
+    {
+      std::vector<uint64_t> expired;
+      for (const auto& [corr, op] : mux.ops) {
+        if (op.deadline.expired()) expired.push_back(corr);
+      }
+      for (const uint64_t corr : expired) {
+        timeouts_->Add(1);
+        const Status& why = mux.conns[mux.ops[corr].where].last_error;
+        complete(corr,
+                 Status::DeadlineExceeded(
+                     "shard " + std::to_string(shard) + " roundtrip exceeded " +
+                     std::to_string(options_.roundtrip_timeout_ms) + " ms (" +
+                     (why.ok() ? std::string("no reply within deadline")
+                               : why.message()) +
+                     ")"));
+      }
+    }
+    {
+      std::vector<uint64_t> to_hedge;
+      for (const auto& [corr, op] : mux.ops) {
+        if (!op.hedged && !op.hedge_at.infinite() && op.hedge_at.expired()) {
+          to_hedge.push_back(corr);
+        }
+      }
+      for (const uint64_t corr : to_hedge) {
+        Op& op = mux.ops[corr];
+        op.hedged = true;
+        const int other = 1 - op.where;
+        if (!HasEndpoint(shard, other) || op.inflight[other] ||
+            queued_on(other, corr) || op.dials[other] >= max_dials) {
+          continue;
+        }
+        if (op.inflight[op.where]) {
+          // True hedge: the original copy stays in flight, a DUPLICATE
+          // races it on the other endpoint. First reply wins; the loser
+          // lands as an unknown correlation id and is dropped.
+          hedges_->Add(1);
+          mux.queue[other].push_back(corr);
+        } else {
+          // Not sent anywhere yet (dial-blocked): a move, not a duplicate.
+          unqueue(corr);
+          mux.queue[other].push_back(corr);
+          op.where = other;
+        }
+      }
+    }
+
+    // ---- 3. Connections: dial where needed, then fill output buffers.
+    for (int ep = 0; ep < 2; ++ep) {
+      if (!HasEndpoint(shard, ep)) continue;
+      Conn& conn = mux.conns[ep];
+      if (conn.fd < 0 && !mux.queue[ep].empty()) {
+        prune_queue(ep);
+        if (!mux.queue[ep].empty() && conn.backoff_until.expired()) {
+          // Connect budget: the option, tightened by the nearest waiting
+          // op's deadline or pending hedge (a blackholed endpoint must
+          // not starve the hedge timer for the full connect timeout).
+          Deadline connect_deadline = Deadline::After(options_.connect_timeout_ms);
+          const auto tighten = [&](const Deadline& d) {
+            if (!d.infinite() && (connect_deadline.infinite() ||
+                                  d.at < connect_deadline.at)) {
+              connect_deadline = d;
+            }
+          };
+          for (const uint64_t corr : mux.queue[ep]) {
+            const Op& op = mux.ops[corr];
+            tighten(op.deadline);
+            if (!op.hedged) tighten(op.hedge_at);
+          }
+          StatusOr<int> dialed = DialCached(EndpointOf(shard, ep), connect_deadline);
+          // Every op that waited on this dial is charged one attempt,
+          // success or not — that is the per-request dial budget.
+          for (const uint64_t corr : mux.queue[ep]) ++mux.ops[corr].dials[ep];
+          if (dialed.ok()) {
+            conn.fd = dialed.value();
+            dials_->Add(1);
+            if (conn.ever_connected || conn.dial_failures > 0) {
+              reconnects_->Add(1);
+            }
+            conn.ever_connected = true;
+            conn.dial_failures = 0;
+            conn.last_error = Status::OK();
+          } else {
+            conn.last_error = dialed.status();
+            ++conn.dial_failures;
+            // Saturating exponential backoff (see Options), capped at 10 s.
+            const long long scaled =
+                static_cast<long long>(options_.reconnect_backoff_ms)
+                << std::min(conn.dial_failures - 1, 20);
+            conn.backoff_until = Deadline::After(
+                static_cast<int>(std::min<long long>(scaled, 10000)));
+            prune_queue(ep);
+          }
+        }
+      }
+      if (conn.fd >= 0) {
+        const size_t cap = options_.max_inflight_per_connection;
+        while (!mux.queue[ep].empty() && (cap == 0 || conn.inflight < cap)) {
+          const uint64_t corr = mux.queue[ep].front();
+          mux.queue[ep].pop_front();
+          Op& op = mux.ops[corr];
+          if (op.inflight[ep]) continue;  // Already racing on this conn.
+          conn.outbuf.append(op.request);
+          op.inflight[ep] = true;
+          op.where = ep;
+          if (op.first_endpoint < 0) op.first_endpoint = ep;
+          ++conn.inflight;
+        }
+      }
+    }
+
+    // ---- 4. Nearest timer = poll timeout.
+    int timeout = -1;
+    const auto nearer = [&](const Deadline& d) {
+      const int r = d.RemainingMs();
+      if (r >= 0 && (timeout < 0 || r < timeout)) timeout = r;
+    };
+    for (const auto& [corr, op] : mux.ops) {
+      nearer(op.deadline);
+      if (!op.hedged) nearer(op.hedge_at);
+    }
+    for (int ep = 0; ep < 2; ++ep) {
+      if (mux.conns[ep].fd < 0 && !mux.queue[ep].empty()) {
+        nearer(mux.conns[ep].backoff_until);
+      }
+    }
+    // Completions staged by the timer/dial steps above must not wait out
+    // a poll: their ops are already erased, so nothing else would bound
+    // the timeout (a dial-failure completion with otherwise-empty queues
+    // would strand its callback behind an infinite poll).
+    if (!fired.empty()) timeout = 0;
+
+    // ---- 5. Wait for IO or a timer.
+    struct pollfd fds[3];
+    int nfds = 0;
+    fds[nfds].fd = mux.wake_fd[0];
+    fds[nfds].events = POLLIN;
+    fds[nfds].revents = 0;
+    ++nfds;
+    int conn_idx[2] = {-1, -1};
+    for (int ep = 0; ep < 2; ++ep) {
+      const Conn& conn = mux.conns[ep];
+      if (conn.fd < 0) continue;
+      conn_idx[ep] = nfds;
+      fds[nfds].fd = conn.fd;
+      fds[nfds].events =
+          static_cast<short>(POLLIN | (conn.outbuf.empty() ? 0 : POLLOUT));
+      fds[nfds].revents = 0;
+      ++nfds;
+    }
+    const int rc = poll(fds, static_cast<nfds_t>(nfds), timeout);
+    if (rc < 0 && errno != EINTR) {
+      // poll() itself failing is unrecoverable for this loop tick; a
+      // short nap avoids a hot spin if the condition persists.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (fds[0].revents & POLLIN) {
+      char drain[256];
+      while (read(mux.wake_fd[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+
+    // ---- 6. Move bytes and pair replies to requests by correlation id.
+    for (int ep = 0; ep < 2; ++ep) {
+      Conn& conn = mux.conns[ep];
+      if (conn.fd < 0 || conn_idx[ep] < 0) continue;
+      const short revents = fds[conn_idx[ep]].revents;
+      if ((revents & POLLOUT) && !conn.outbuf.empty()) {
+        size_t off = 0;
+        bool dead = false;
+        while (off < conn.outbuf.size()) {
+          const ssize_t w = send(conn.fd, conn.outbuf.data() + off,
+                                 conn.outbuf.size() - off, MSG_NOSIGNAL);
+          if (w > 0) {
+            off += static_cast<size_t>(w);
+            continue;
+          }
+          if (w < 0 && errno == EINTR) continue;
+          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          conn_dead(ep, Status::Unavailable(Errno("send")), /*protocol=*/false);
+          dead = true;
+          break;
+        }
+        if (dead) continue;
+        conn.outbuf.erase(0, off);
+      }
+      if (revents & (POLLIN | POLLERR | POLLHUP)) {
+        bool dead = false;
+        char chunk[64 * 1024];
+        while (true) {
+          const ssize_t n = recv(conn.fd, chunk, sizeof(chunk), 0);
+          if (n > 0) {
+            conn.inbuf.append(chunk, static_cast<size_t>(n));
+            continue;
+          }
+          if (n == 0) {
+            conn_dead(ep, Status::Unavailable("connection closed by peer"),
+                      /*protocol=*/false);
+            dead = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          conn_dead(ep, Status::Unavailable(Errno("recv")), /*protocol=*/false);
+          dead = true;
+          break;
+        }
+        if (dead) continue;
+        while (conn.inbuf.size() >= 4) {
+          const uint32_t length = LoadLe32(conn.inbuf.data());
+          if (length < 4 ||
+              static_cast<size_t>(length) > options_.max_frame_bytes) {
+            conn_dead(ep,
+                      Status::InvalidArgument(
+                          "frame length " + std::to_string(length) +
+                          " outside [4, " +
+                          std::to_string(options_.max_frame_bytes) + "]"),
+                      /*protocol=*/true);
+            break;
+          }
+          const size_t frame_size = 4 + static_cast<size_t>(length);
+          if (conn.inbuf.size() < frame_size) break;
+          std::string frame;
+          if (conn.inbuf.size() == frame_size) {
+            frame = std::move(conn.inbuf);
+            conn.inbuf.clear();
+          } else {
+            frame = conn.inbuf.substr(0, frame_size);
+            conn.inbuf.erase(0, frame_size);
+          }
+          const uint64_t corr = PeekCorrelation(frame);
+          auto it = mux.ops.find(corr);
+          if (it == mux.ops.end()) continue;  // Hedge loser / expired op.
+          Op& op = it->second;
+          if (ep == kReplica) failovers_->Add(1);
+          if (op.hedged && op.first_endpoint >= 0 && ep != op.first_endpoint) {
+            hedge_wins_->Add(1);
+          }
+          mux.preferred = ep;  // Sticky: the endpoint that answered serves next.
+          complete(corr, std::move(frame));
+        }
+      }
+    }
+
+    // ---- 7. Fire completions with the engine consistent again.
+    for (Fired& f : fired) f.done(std::move(f.result));
+    fired.clear();
+  }
 }
 
 SocketTransport::Stats SocketTransport::stats() const {
@@ -469,6 +866,9 @@ SocketTransport::Stats SocketTransport::stats() const {
   s.failovers = failovers_->Value();
   s.timeouts = timeouts_->Value();
   s.transport_errors = transport_errors_->Value();
+  s.hedges = hedges_->Value();
+  s.hedge_wins = hedge_wins_->Value();
+  s.resolves = resolves_->Value();
   return s;
 }
 
@@ -525,6 +925,8 @@ StatusOr<int> BindListener(const std::string& host, uint16_t port, int backlog,
 
 }  // namespace
 
+ShardListener::Conn::~Conn() { close(fd); }
+
 ShardListener::ShardListener(Handler handler)
     : ShardListener(std::move(handler), Options()) {}
 
@@ -535,6 +937,11 @@ ShardListener::ShardListener(Handler handler, const Options& options)
       BindListener(options_.host, options_.port, options_.backlog, &port_);
   if (!bound.ok()) throw StatusException(bound.status());
   listen_fd_ = bound.value();
+  const size_t n_workers = std::max<size_t>(1, options_.handler_threads);
+  workers_.reserve(n_workers);
+  for (size_t i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
   accept_thread_ = std::thread([this]() { AcceptLoop(); });
 }
 
@@ -549,8 +956,10 @@ void ShardListener::RegisterConn(int fd) {
 void ShardListener::UnregisterConn(int fd) {
   std::lock_guard<std::mutex> lock(conns_mu_);
   live_fds_.erase(fd);
-  close(fd);  // Under the lock: the fd number cannot be shut down by
-              // Stop/CloseConnections after the kernel reuses it.
+  // shutdown, not close: queued responses may still hold the Conn. The
+  // fd number stays allocated (so Stop/CloseConnections cannot hit a
+  // recycled descriptor) until the LAST Conn owner closes it.
+  shutdown(fd, SHUT_RDWR);
   --live_threads_;
   conns_cv_.notify_all();
 }
@@ -580,27 +989,30 @@ void ShardListener::AcceptLoop() {
         continue;
       }
     }
+    auto conn = std::make_shared<Conn>(fd);
     RegisterConn(fd);
     // Detached: Stop() joins by waiting for live_threads_ to reach zero
     // (the thread's last touch of this object is the notify in
     // UnregisterConn, made while Stop still holds the object alive).
     try {
-      std::thread([this, fd]() { ConnectionLoop(fd); }).detach();
+      std::thread([this, conn]() { ConnectionLoop(conn); }).detach();
     } catch (const std::system_error&) {
       // Thread creation failed (RLIMIT_NPROC, memory pressure): refuse
       // the one connection instead of letting the exception escape this
-      // thread and terminate the whole server. UnregisterConn also
-      // closes the fd and rebalances live_threads_ for Stop().
+      // thread and terminate the whole server. UnregisterConn rebalances
+      // live_threads_ for Stop(); the Conn destructor closes the fd.
       UnregisterConn(fd);
     }
   }
 }
 
-void ShardListener::ConnectionLoop(int fd) {
+void ShardListener::ConnectionLoop(std::shared_ptr<Conn> conn) {
+  const int fd = conn->fd;
   std::string buf;
   char chunk[64 * 1024];
   bool open = true;
-  while (open && !stopping_.load(std::memory_order_acquire)) {
+  while (open && conn->open.load(std::memory_order_acquire) &&
+         !stopping_.load(std::memory_order_acquire)) {
     struct pollfd p;
     p.fd = fd;
     p.events = POLLIN;
@@ -615,8 +1027,8 @@ void ShardListener::ConnectionLoop(int fd) {
       break;
     }
     buf.append(chunk, static_cast<size_t>(n));
-    // Extract and answer every complete frame in the buffer (clients may
-    // pipeline; partial frames wait for the next read).
+    // Extract every complete frame in the buffer (multiplexing clients
+    // pipeline aggressively; partial frames wait for the next read).
     while (buf.size() >= 4) {
       const uint32_t length = LoadLe32(buf.data());
       if (length < 4 || static_cast<size_t>(length) > options_.max_frame_bytes) {
@@ -628,8 +1040,8 @@ void ShardListener::ConnectionLoop(int fd) {
       }
       const size_t frame_size = 4 + static_cast<size_t>(length);
       if (buf.size() < frame_size) break;
-      // Common case — the buffer holds exactly one frame: hand it to the
-      // handler by move instead of copying (frames can be MBs of cells).
+      // Common case — the buffer holds exactly one frame: hand it on by
+      // move instead of copying (frames can be MBs of cells).
       std::string frame;
       if (buf.size() == frame_size) {
         frame = std::move(buf);
@@ -642,10 +1054,12 @@ void ShardListener::ConnectionLoop(int fd) {
       // Stats scrape is served by the LISTENER, not the shard handler:
       // the registry covers the whole server process (shard metrics,
       // cache gauges, handle-latency histograms), and a scrape must keep
-      // working even while the handler is busy with a heavy query. The
-      // type byte sits at frame index 7 ([u32 len][u16 magic][u8 ver]
-      // [u8 type], docs/wire-format.md); a malformed or version-skewed
-      // stats frame falls through to the handler's typed error path.
+      // working even while every worker is busy with heavy queries —
+      // answered inline here, never queued. The type byte sits at frame
+      // index 7 ([u32 len][u16 magic][u8 ver][u8 type], docs/
+      // wire-format.md — same offset in v4); a malformed or
+      // version-skewed stats frame falls through to the handler's typed
+      // error path.
       if (options_.registry != nullptr && frame.size() >= 8 &&
           static_cast<uint8_t>(frame[7]) ==
               static_cast<uint8_t>(MessageType::kStatsRequest)) {
@@ -653,7 +1067,9 @@ void ShardListener::ConnectionLoop(int fd) {
         if (StatsRequest::Decode(frame, &stats_request).ok()) {
           StatsReply reply;
           reply.text = options_.registry->RenderText();
-          const std::string stats_response = reply.Encode();
+          std::string stats_response = reply.Encode();
+          PatchCorrelation(&stats_response, PeekCorrelation(frame));
+          std::lock_guard<std::mutex> wl(conn->write_mu);
           if (!SendAll(fd, stats_response.data(), stats_response.size(),
                        Deadline::After(options_.write_timeout_ms))
                    .ok()) {
@@ -663,24 +1079,62 @@ void ShardListener::ConnectionLoop(int fd) {
           continue;
         }
       }
-      const std::string response = handler_(frame);
-      if (response.empty()) {
-        // Handler-signalled connection drop (fault injection hook).
-        dropped_.fetch_add(1, std::memory_order_relaxed);
-        open = false;
-        break;
+      // Everything else goes to the worker pool: responses come back in
+      // COMPLETION order, each echoing its request's correlation id —
+      // a slow query never head-of-line blocks the fast one behind it.
+      // The queue is bounded: a flooding client parks ITS connection
+      // thread here, not the process.
+      {
+        std::unique_lock<std::mutex> lock(work_mu_);
+        space_cv_.wait(lock, [this]() {
+          return work_.size() < kMaxQueuedWork || workers_stop_;
+        });
+        if (workers_stop_) {
+          open = false;
+          break;
+        }
+        work_.push_back(Work{conn, std::move(frame)});
       }
-      // Bounded: a client that stops draining must not pin this thread
-      // and the response buffer forever (see Options::write_timeout_ms).
-      if (!SendAll(fd, response.data(), response.size(),
-                   Deadline::After(options_.write_timeout_ms))
-               .ok()) {
-        open = false;
-        break;
-      }
+      work_cv_.notify_one();
     }
   }
   UnregisterConn(fd);
+}
+
+void ShardListener::WorkerLoop() {
+  while (true) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this]() { return !work_.empty() || workers_stop_; });
+      if (work_.empty()) return;  // workers_stop_ and the queue is drained.
+      work = std::move(work_.front());
+      work_.pop_front();
+    }
+    space_cv_.notify_one();
+    if (!work.conn->open.load(std::memory_order_acquire)) continue;
+    std::string response = handler_(work.frame);
+    if (response.empty()) {
+      // Handler-signalled connection drop (fault injection hook).
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      work.conn->open.store(false, std::memory_order_release);
+      shutdown(work.conn->fd, SHUT_RDWR);
+      continue;
+    }
+    // Belt and braces: the reply must carry the request's correlation id
+    // or a multiplexing client cannot pair it (ShardServer already
+    // echoes it; raw test handlers get it stamped here).
+    PatchCorrelation(&response, PeekCorrelation(work.frame));
+    // Bounded write under the per-connection lock: a client that stops
+    // draining must not pin this worker forever (write_timeout_ms).
+    std::lock_guard<std::mutex> wl(work.conn->write_mu);
+    if (!SendAll(work.conn->fd, response.data(), response.size(),
+                 Deadline::After(options_.write_timeout_ms))
+             .ok()) {
+      work.conn->open.store(false, std::memory_order_release);
+      shutdown(work.conn->fd, SHUT_RDWR);
+    }
+  }
 }
 
 void ShardListener::CloseConnections() {
@@ -695,9 +1149,22 @@ void ShardListener::Stop() {
   // to finish rather than race it — idempotence the mutex way.
   std::lock_guard<std::mutex> stop_lock(stop_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::unique_lock<std::mutex> lock(conns_mu_);
-  for (const int fd : live_fds_) shutdown(fd, SHUT_RDWR);
-  conns_cv_.wait(lock, [this]() { return live_threads_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    for (const int fd : live_fds_) shutdown(fd, SHUT_RDWR);
+    conns_cv_.wait(lock, [this]() { return live_threads_ == 0; });
+  }
+  // Connection threads are gone; drain-and-stop the worker pool (queued
+  // work for severed connections fails fast on write).
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    workers_stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;

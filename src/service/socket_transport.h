@@ -1,47 +1,55 @@
-// The real RPC leg of the shard seam: the wire-v3 frames of
+// The real RPC leg of the shard seam: the wire-v4 frames of
 // service/transport.h (normative byte spec: docs/wire-format.md) carried
 // over TCP sockets instead of in-process function calls.
 //
 // Both halves live here because they share the framing and socket code:
 //
-//   SocketTransport  the client — a Transport whose Roundtrip writes one
-//                    framed ScatterRequest to the shard's endpoint
-//                    (service/placement.h) and blocks for the framed
-//                    GatherPartial. Connections are lazy, persistent and
-//                    pooled per shard; a broken connection reconnects
-//                    with exponential backoff, and when a shard's
-//                    primary endpoint stays down the call fails over
-//                    ONCE to the shard's replica (single-hop failover).
-//                    The whole roundtrip runs under one deadline; when
-//                    the shard has an untried second endpoint, the first
-//                    hop's connect and first-response-byte waits are
-//                    capped at half the budget so a wedged-but-accepting
-//                    peer cannot starve a healthy replica (a response
-//                    that has started flowing keeps the full deadline).
-//                    Timing out raises a typed kDeadlineExceeded,
-//                    exhausting every endpoint raises kUnavailable — a
-//                    Roundtrip
-//                    never hangs forever (with a finite timeout) and
-//                    never returns garbage bytes as a frame. One caveat:
-//                    name resolution (getaddrinfo) is a blocking call
-//                    the deadline cannot interrupt — numeric addresses
-//                    (the localhost walkthrough) never block, but a
-//                    placement naming a host behind a dead resolver can
-//                    stall a dial for the resolver's own timeout. A
-//                    deadline-bounded resolver rides with the async
-//                    transport work (see ROADMAP "Async / pipelined
-//                    transport").
+//   SocketTransport  the client — an asynchronous multiplexed Transport.
+//                    Each shard gets ONE persistent connection per
+//                    endpoint driven by a per-shard demux thread: Send
+//                    stamps a unique correlation id into the frame,
+//                    enqueues it, and returns; the demux loop writes
+//                    pending requests, reads replies (which may arrive
+//                    in ANY order), pairs each reply with its request by
+//                    correlation id, and fires the completion callback.
+//                    Many requests ride one connection concurrently —
+//                    K shards × Q queries no longer pin K×Q blocked
+//                    threads, just K demux threads.
+//
+//                    Failure policy per request: a connection that dies
+//                    redials the same endpoint with exponential backoff
+//                    and resends (requests are idempotent — see below);
+//                    an endpoint whose fresh dials are exhausted fails
+//                    over ONCE to the shard's other endpoint; a request
+//                    with no reply after the hedge budget fires a
+//                    DUPLICATE to the untried endpoint and the first
+//                    reply wins (tail-latency hedging — the stall case
+//                    of PR 5's connect-time hedge, generalized). The
+//                    per-request deadline maps to a typed
+//                    kDeadlineExceeded; exhausting every endpoint maps
+//                    to kUnavailable — a request never hangs forever
+//                    (with a finite timeout) and never completes with
+//                    garbage bytes as a frame. Name resolution is cached
+//                    per endpoint after the first dial, so redial storms
+//                    and steady-state reconnects never re-enter
+//                    getaddrinfo (the one blocking call a deadline
+//                    cannot interrupt); the cache drops on total dial
+//                    failure so a moved host is re-resolved.
 //
 //   ShardListener    the server — a blocking accept loop (one thread per
 //                    connection) that reassembles length-prefixed frames
-//                    from the byte stream and answers each with
-//                    handler(frame) (ShardServer::Handle in production).
-//                    The listener is total over hostile input: a frame
-//                    whose length prefix is out of range drops the
-//                    connection; garbage INSIDE a well-framed payload is
-//                    the handler's problem (ShardServer answers a typed
-//                    error partial) — the listener itself never crashes
-//                    and never stops accepting.
+//                    from the byte stream and dispatches each to a small
+//                    worker pool; responses are written back under a
+//                    per-connection write lock IN COMPLETION ORDER, each
+//                    carrying the correlation id of the request it
+//                    answers (out-of-order replies are the point of the
+//                    multiplexed wire). The listener is total over
+//                    hostile input: a frame whose length prefix is out
+//                    of range drops the connection; garbage INSIDE a
+//                    well-framed payload is the handler's problem
+//                    (ShardServer answers a typed error partial) — the
+//                    listener itself never crashes and never stops
+//                    accepting.
 //
 //   ServeShard       the library-level blocking server entry point
 //                    (shard_server_main.cc wraps it in a process; tests
@@ -49,10 +57,10 @@
 //
 // Retry semantics: every ScatterRequest is read-only or idempotent
 // (queries touch nothing; warms overwrite the same cache slot), so the
-// client may safely resend a request whose connection died after the
-// bytes left — the reconnect and failover paths below rely on this.
-// Non-idempotent message kinds must not be added to the wire without
-// revisiting SocketTransport::Roundtrip.
+// client may safely resend — or hedge-duplicate — a request whose reply
+// has not landed; the reconnect, failover and hedging paths below rely
+// on this. Non-idempotent message kinds must not be added to the wire
+// without revisiting the demux engine's resend policy.
 //
 // Everything here is localhost-tested and deployment-shaped; remote
 // placement (hosts beyond 127.0.0.1) goes through the same code path —
@@ -65,11 +73,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -122,50 +132,52 @@ Status SendAll(int fd, const char* data, size_t n, const Deadline& deadline);
 /// kInvalidArgument without reading further — the stream is then
 /// unsynchronized and the caller must drop the connection. When
 /// `first_byte_deadline` is set, only the wait for the frame's FIRST
-/// byte is bounded by it (failover hedging); the rest of the frame runs
-/// under `deadline`.
+/// byte is bounded by it; the rest of the frame runs under `deadline`.
 StatusOr<std::string> ReadFrame(int fd, size_t max_frame_bytes,
                                 const Deadline& deadline,
                                 const Deadline* first_byte_deadline = nullptr);
 
 // ------------------------------------------------------------- client
 
-/// Transport over per-shard TCP connections, per the constructor's
-/// ShardPlacement. Thread-safe: concurrent Roundtrips to the same shard
-/// each check a connection out of the shard's idle pool (or dial a new
-/// one) — they never share a socket mid-flight.
+/// Asynchronous multiplexed transport over per-shard TCP connections,
+/// per the constructor's ShardPlacement. Thread-safe: Send may be called
+/// from any thread; completions fire on the shard's demux thread.
 class SocketTransport : public Transport {
  public:
   struct Options {
     /// Budget for establishing one TCP connection (also bounded by the
-    /// roundtrip deadline, whichever is sooner).
+    /// pending requests' deadlines, whichever is sooner).
     int connect_timeout_ms = 2000;
-    /// Budget for one Roundtrip call end to end: every dial, send, recv,
-    /// reconnect and failover inside it shares this deadline. <= 0 means
-    /// no timeout (tests only — production callers should always bound).
+    /// Budget for one request end to end: every dial, send, recv,
+    /// reconnect, hedge and failover on its behalf shares this deadline.
+    /// <= 0 means no timeout (tests only — production callers should
+    /// always bound).
     int roundtrip_timeout_ms = 10000;
-    /// Base reconnect backoff; doubles per fresh dial to the same
-    /// endpoint within one Roundtrip (25, 50, 100, ... ms).
+    /// Base reconnect backoff; doubles per consecutive failed dial to
+    /// the same endpoint (25, 50, 100, ... ms, saturating at 10 s).
     int reconnect_backoff_ms = 25;
-    /// Failover hedge: when the shard has an untried second endpoint,
-    /// the first hop's connect/send/first-response-byte waits are capped
-    /// at this budget so a wedged-but-accepting peer cannot starve a
-    /// healthy replica. < 0 = half of roundtrip_timeout_ms (default);
-    /// 0 disables hedging (a wedged first endpoint may then consume the
-    /// whole deadline). Tradeoff inherent to hedging: a healthy endpoint
-    /// whose query legitimately computes longer than the hedge is
-    /// abandoned and the work repeats on the replica — size it above the
-    /// workload's worst-case server latency.
+    /// Tail-latency hedge: a request with no reply after this budget
+    /// whose shard has an untried second endpoint sends a DUPLICATE
+    /// there; the first reply wins and the loser is dropped by
+    /// correlation id. Fires on any cause of tail latency — wedged peer,
+    /// dead connection, genuinely slow server — not just connect
+    /// failure. < 0 = half of roundtrip_timeout_ms (default); 0 disables
+    /// (a wedged first endpoint may then consume the whole deadline).
+    /// Tradeoff inherent to hedging: a healthy endpoint whose query
+    /// legitimately computes longer than the hedge does the work twice —
+    /// size it above the workload's worst-case server latency.
     int hedge_timeout_ms = -1;
-    /// Fresh dial attempts per endpoint per Roundtrip (>= 1). A reused
-    /// idle connection that turns out dead does not count: finding out a
-    /// pooled socket is stale costs no dial.
+    /// Fresh dial attempts per endpoint per request (>= 1). Discovering
+    /// that the established connection died costs no attempt; only
+    /// dials made while this request waits are charged to it.
     int max_dial_attempts = 2;
     /// Frames larger than this are rejected (stream desync guard).
     size_t max_frame_bytes = size_t{64} << 20;
-    /// Idle connections kept per shard beyond which sockets are closed
-    /// after use instead of pooled.
-    size_t max_idle_connections_per_shard = 8;
+    /// Cap on requests in flight per connection; further requests queue
+    /// client-side. 0 = unlimited (multiplex freely). 1 reproduces the
+    /// retired one-blocking-call-per-message discipline — the bench's
+    /// baseline arm.
+    size_t max_inflight_per_connection = 0;
     /// Optimizer cost units per message (QueryProfile::transport_overhead)
     /// — see kDefaultCostPerMessage.
     double cost_per_message = kDefaultCostPerMessage;
@@ -190,24 +202,28 @@ class SocketTransport : public Transport {
   SocketTransport& operator=(const SocketTransport&) = delete;
 
   size_t num_shards() const override { return placement_.num_shards(); }
-  /// Throws StatusException: kDeadlineExceeded when the roundtrip
-  /// deadline expires, kUnavailable when every endpoint of the shard is
-  /// exhausted, kInvalidArgument for a malformed response frame.
-  std::string Roundtrip(size_t shard, const std::string& request) override;
+  /// Completes with: kDeadlineExceeded when the request deadline
+  /// expires, kUnavailable when every endpoint of the shard is
+  /// exhausted (or the transport is destroyed), kInvalidArgument for a
+  /// malformed response stream.
+  uint64_t Send(size_t shard, std::string request, Done done) override;
   double CostPerMessage() const override { return options_.cost_per_message; }
 
   const ShardPlacement& placement() const { return placement_; }
   const Options& options() const { return options_; }
 
   struct Stats {
-    uint64_t messages = 0;        ///< Successful roundtrips.
-    uint64_t request_bytes = 0;   ///< Of successful roundtrips.
+    uint64_t messages = 0;        ///< Successfully completed requests.
+    uint64_t request_bytes = 0;   ///< Of successful requests.
     uint64_t response_bytes = 0;
     uint64_t dials = 0;           ///< TCP connections established.
-    uint64_t reconnects = 0;      ///< Dials after a dead pooled/primary conn.
-    uint64_t failovers = 0;       ///< Roundtrips served by a replica.
-    uint64_t timeouts = 0;        ///< Roundtrips that died on the deadline.
-    uint64_t transport_errors = 0;///< Roundtrips that exhausted all endpoints.
+    uint64_t reconnects = 0;      ///< Dials replacing a previous connection.
+    uint64_t failovers = 0;       ///< Requests served by a replica.
+    uint64_t timeouts = 0;        ///< Requests that died on the deadline.
+    uint64_t transport_errors = 0;///< Requests that exhausted all endpoints.
+    uint64_t hedges = 0;          ///< Duplicate sends fired on hedge expiry.
+    uint64_t hedge_wins = 0;      ///< Requests won by the hedged duplicate.
+    uint64_t resolves = 0;        ///< getaddrinfo calls (cache misses).
   };
   /// Thin read of the registry counters.
   Stats stats() const;
@@ -218,43 +234,75 @@ class SocketTransport : public Transport {
     return registry_;
   }
 
-  /// Drops every pooled idle connection (the next Roundtrip redials).
-  /// Lets tests and operators force reconnection; never affects
-  /// in-flight roundtrips, which own their sockets.
+  /// Drops every established connection that has no request in flight
+  /// (the next Send redials). Lets tests and operators force
+  /// reconnection; never affects in-flight requests.
   void CloseIdleConnections();
 
  private:
   /// Endpoint index within a shard's placement entry.
   enum : int { kPrimary = 0, kReplica = 1 };
 
-  struct PooledConn {
-    int fd = -1;
-    int endpoint = kPrimary;
+  /// One pending request, owned by the shard's demux loop.
+  struct Op {
+    uint64_t corr = 0;
+    std::string request;
+    Done done;
+    Deadline deadline;
+    Deadline hedge_at;  ///< Infinite when hedging is off for this op.
+    std::chrono::steady_clock::time_point start;
+    bool inflight[2] = {false, false};  ///< Copy outstanding per endpoint.
+    int dials[2] = {0, 0};              ///< Fresh dials charged per endpoint.
+    bool hedged = false;                ///< Hedge already fired (once).
+    int first_endpoint = -1;            ///< Endpoint of the first send.
+    int where = kPrimary;               ///< Endpoint currently responsible.
   };
-  struct ShardConns {
+
+  /// One endpoint's connection state, owned by the demux loop.
+  struct Conn {
+    int fd = -1;
+    std::string inbuf;
+    std::string outbuf;
+    size_t inflight = 0;  ///< Ops with a copy outstanding here.
+    bool ever_connected = false;
+    int dial_failures = 0;  ///< Consecutive, drives backoff.
+    Deadline backoff_until = Deadline{std::chrono::steady_clock::time_point::min()};
+    Status last_error = Status::OK();  ///< For endpoint-exhaustion messages.
+  };
+
+  /// Per-shard demux engine: Send enqueues under `mu` and pokes the wake
+  /// pipe; everything below the lock comment is loop-thread-owned.
+  struct Mux {
     std::mutex mu;
-    std::vector<PooledConn> idle;
-    /// Endpoint that last completed a roundtrip — tried first, so a
-    /// failed-over shard does not re-pay the dead primary's connect
-    /// timeout on every call.
+    std::deque<Op> submitted;
+    bool stop = false;
+    bool close_idle = false;
+    bool thread_started = false;
+    std::thread thread;
+    int wake_fd[2] = {-1, -1};
+    // ---- demux-loop-owned state (no lock) ----
+    std::unordered_map<uint64_t, Op> ops;
+    std::deque<uint64_t> queue[2];  ///< Per-endpoint, awaiting send.
+    Conn conns[2];
     int preferred = kPrimary;
   };
 
   const Endpoint& EndpointOf(size_t shard, int which) const;
   bool HasEndpoint(size_t shard, int which) const;
-  /// Pops an idle connection to (shard, endpoint); fd -1 if none.
-  int PopIdle(size_t shard, int endpoint);
-  void PushIdle(size_t shard, int endpoint, int fd);
-  /// One request/response exchange on an open connection. The optional
-  /// first_byte_deadline caps only the wait for the first response byte
-  /// (failover hedging, see Roundtrip).
-  Status Exchange(int fd, const std::string& request, std::string* response,
-                  const Deadline& deadline,
-                  const Deadline* first_byte_deadline = nullptr);
+  /// Dials with the per-endpoint resolver cache (satellite of the async
+  /// work: steady-state redials never re-enter getaddrinfo).
+  StatusOr<int> DialCached(const Endpoint& endpoint, const Deadline& deadline);
+  void MuxLoop(size_t shard);
+  void EnsureThread(size_t shard);
 
   ShardPlacement placement_;
   Options options_;
-  std::vector<std::unique_ptr<ShardConns>> conns_;
+  std::vector<std::unique_ptr<Mux>> muxes_;
+  std::atomic<uint64_t> next_correlation_{1};
+
+  std::mutex resolve_mu_;
+  struct ResolvedAddrs;
+  std::unordered_map<std::string, std::shared_ptr<ResolvedAddrs>> resolve_cache_;
 
   std::shared_ptr<telemetry::MetricRegistry> registry_;
   telemetry::Counter* messages_;
@@ -265,17 +313,23 @@ class SocketTransport : public Transport {
   telemetry::Counter* failovers_;
   telemetry::Counter* timeouts_;
   telemetry::Counter* transport_errors_;
+  telemetry::Counter* hedges_;
+  telemetry::Counter* hedge_wins_;
+  telemetry::Counter* resolves_;
   /// Per shard: dbsa_socket_roundtrip_ms{shard="N"} — wall clock of each
-  /// successful Roundtrip, the client-observed network+server latency.
+  /// successful request, the client-observed network+server latency.
   std::vector<telemetry::Histogram*> roundtrip_ms_;
 };
 
 // ------------------------------------------------------------- server
 
-/// Serves `handler` over TCP: accepts connections on host:port and
-/// answers each well-framed request with handler(frame). One OS thread
-/// per live connection (shard fan-in is a handful of routers, not a
-/// public web tier). Destruction stops and joins everything.
+/// Serves `handler` over TCP: accepts connections on host:port,
+/// reassembles frames (one OS thread per live connection — shard fan-in
+/// is a handful of routers, not a public web tier) and dispatches each
+/// request to a small shared worker pool. Responses are written in
+/// COMPLETION order, each echoing its request's correlation id, so a
+/// multiplexing client is never head-of-line blocked behind a slow
+/// request. Destruction stops and joins everything.
 class ShardListener {
  public:
   /// Maps one full request frame to one full response frame (both
@@ -291,19 +345,25 @@ class ShardListener {
     int backlog = 64;
     size_t max_frame_bytes = size_t{64} << 20;
     /// Budget for writing one response back to the client. A client
-    /// that stops draining its socket would otherwise pin this
-    /// connection's thread (and the response buffer) in an unbounded
-    /// send — the connection is dropped instead. <= 0 means no timeout.
+    /// that stops draining its socket would otherwise pin a worker (and
+    /// the response buffer) in an unbounded send — the connection is
+    /// dropped instead. <= 0 means no timeout.
     int write_timeout_ms = 30000;
     /// Cap on simultaneously served connections (thread-per-connection:
     /// this bounds the thread count). Connections accepted past the cap
     /// are closed immediately; the listener keeps serving the rest.
     size_t max_connections = 256;
+    /// Worker threads running `handler` (shared across connections).
+    /// This is the server-side concurrency of one listener: multiplexed
+    /// requests on one connection execute on up to this many cores, and
+    /// replies overtake slower requests (out-of-order completion).
+    size_t handler_threads = 4;
     /// When non-null, the listener answers kStatsRequest frames itself
     /// with a kStatsReply carrying this registry's RenderText() — the
     /// wire-level scrape endpoint (scripts/scrape_cluster_stats.sh).
     /// Null: stats frames fall through to `handler` like any other type
-    /// (ShardServer answers a typed kError partial).
+    /// (ShardServer answers a typed kError partial). Served inline on
+    /// the connection thread, never queued behind query handling.
     std::shared_ptr<telemetry::MetricRegistry> registry;
   };
 
@@ -320,7 +380,8 @@ class ShardListener {
   Endpoint endpoint() const { return Endpoint{options_.host, port_}; }
 
   /// Stops accepting, severs every live connection and joins all
-  /// threads. Idempotent; the destructor calls it.
+  /// threads (the worker pool included). Idempotent; the destructor
+  /// calls it.
   void Stop();
 
   /// Fault injection / connection management: shuts down every LIVE
@@ -329,15 +390,32 @@ class ShardListener {
 
   struct Stats {
     uint64_t accepted = 0;
-    uint64_t frames = 0;      ///< Well-framed requests answered.
+    uint64_t frames = 0;      ///< Well-framed requests dispatched.
     uint64_t bad_frames = 0;  ///< Length-prefix violations (conn dropped).
     uint64_t dropped = 0;     ///< Connections dropped by the handler hook.
   };
   Stats stats() const;
 
  private:
+  /// Shared connection state: workers write responses under `write_mu`
+  /// while the connection thread keeps reading. The fd is closed by the
+  /// LAST owner (worker or connection thread) via the destructor, so a
+  /// queued response can never write into a recycled fd number.
+  struct Conn {
+    explicit Conn(int fd) : fd(fd) {}
+    ~Conn();
+    const int fd;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+  };
+  struct Work {
+    std::shared_ptr<Conn> conn;
+    std::string frame;
+  };
+
   void AcceptLoop();
-  void ConnectionLoop(int fd);
+  void ConnectionLoop(std::shared_ptr<Conn> conn);
+  void WorkerLoop();
   void RegisterConn(int fd);
   void UnregisterConn(int fd);
 
@@ -353,6 +431,16 @@ class ShardListener {
   std::condition_variable conns_cv_;
   std::unordered_set<int> live_fds_;
   size_t live_threads_ = 0;
+
+  /// Handler dispatch queue (bounded: a flooding client blocks its
+  /// connection thread, not the process).
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;   ///< Workers wait here.
+  std::condition_variable space_cv_;  ///< Connection threads wait here.
+  std::deque<Work> work_;
+  bool workers_stop_ = false;
+  std::vector<std::thread> workers_;
+  static constexpr size_t kMaxQueuedWork = 1024;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> frames_{0};

@@ -1,7 +1,9 @@
 #include "service/transport.h"
 
 #include <cmath>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 #include "util/check.h"
@@ -20,12 +22,14 @@ void WireWriter::F64(double v) {
   U64(bits);
 }
 
-std::string WireWriter::TakeFramed(MessageType type) {
+std::string WireWriter::TakeFramed(MessageType type, uint64_t correlation) {
   WireWriter framed;
-  framed.U32(static_cast<uint32_t>(out_.size() + 4));  // magic+version+type.
+  // magic+version+type+correlation.
+  framed.U32(static_cast<uint32_t>(out_.size() + 12));
   framed.U16(kWireMagic);
   framed.U8(kWireVersion);
   framed.U8(static_cast<uint8_t>(type));
+  framed.U64(correlation);
   framed.Bytes(out_.data(), out_.size());
   out_.clear();
   return std::move(framed.out_);
@@ -74,7 +78,8 @@ double WireReader::F64() {
 }
 
 Status ParseFrame(const std::string& bytes, MessageType* type,
-                  const char** payload, size_t* payload_size) {
+                  const char** payload, size_t* payload_size,
+                  uint64_t* correlation) {
   WireReader reader(bytes);
   const uint32_t length = reader.U32();
   const uint16_t magic = reader.U16();
@@ -88,11 +93,18 @@ Status ParseFrame(const std::string& bytes, MessageType* type,
   }
   if (version != kWireVersion) {
     // Version skew is not corruption: the peer speaks a real-but-other
-    // protocol revision. v1 and v2 frames land here — rejected with a
-    // typed status, never decoded with defaulted contract/trace fields.
+    // protocol revision. v1–v3 frames land here — rejected with a typed
+    // status, never decoded with a misread correlation field or defaulted
+    // contract/trace fields. Checked BEFORE the correlation read: older
+    // versions have no correlation field, so a short v1–v3 frame must
+    // reject as skew, not as truncation.
     return Status::Unimplemented("wire version " + std::to_string(version) +
                                  " not served (this peer speaks version " +
                                  std::to_string(kWireVersion) + ")");
+  }
+  const uint64_t corr = reader.U64();
+  if (!reader.ok()) {
+    return Status::InvalidArgument("frame shorter than v4 envelope");
   }
   if (static_cast<size_t>(length) + 4 != bytes.size()) {
     return Status::InvalidArgument("frame length mismatch");
@@ -103,9 +115,23 @@ Status ParseFrame(const std::string& bytes, MessageType* type,
                                    std::to_string(raw_type));
   }
   *type = static_cast<MessageType>(raw_type);
-  *payload = bytes.data() + 8;
-  *payload_size = bytes.size() - 8;
+  *payload = bytes.data() + kWireEnvelopeSize;
+  *payload_size = bytes.size() - kWireEnvelopeSize;
+  if (correlation != nullptr) *correlation = corr;
   return Status::OK();
+}
+
+uint64_t PeekCorrelation(const std::string& frame) {
+  if (frame.size() < kWireEnvelopeSize) return 0;
+  uint64_t corr = 0;
+  std::memcpy(&corr, frame.data() + kWireCorrelationOffset, sizeof(corr));
+  return corr;
+}
+
+void PatchCorrelation(std::string* frame, uint64_t correlation) {
+  if (frame->size() < kWireEnvelopeSize) return;
+  std::memcpy(frame->data() + kWireCorrelationOffset, &correlation,
+              sizeof(correlation));
 }
 
 namespace {
@@ -422,16 +448,52 @@ LoopbackTransport::LoopbackTransport(
       response_bytes_(
           registry_->GetCounter("dbsa_loopback_response_bytes_total")) {}
 
-std::string LoopbackTransport::Roundtrip(size_t shard, const std::string& request) {
+uint64_t LoopbackTransport::Send(size_t shard, std::string request, Done done) {
   if (shard >= handlers_.size()) {
-    throw std::runtime_error("LoopbackTransport: no such shard " +
-                             std::to_string(shard));
+    done(Status::InvalidArgument("LoopbackTransport: no such shard " +
+                                 std::to_string(shard)));
+    return 0;
   }
+  const uint64_t correlation =
+      next_correlation_.fetch_add(1, std::memory_order_relaxed);
+  PatchCorrelation(&request, correlation);
   messages_->Add(1);
   request_bytes_->Add(request.size());
   std::string response = handlers_[shard](request);
   response_bytes_->Add(response.size());
-  return response;
+  done(std::move(response));
+  return correlation;
+}
+
+std::string Roundtrip(Transport& transport, size_t shard, std::string request) {
+  // The callback may fire on a transport-owned thread after this frame
+  // would have unwound on an exception path, so the wait state is shared,
+  // not stack-owned.
+  struct WaitState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    Status status = Status::OK();
+    std::string frame;
+  };
+  auto state = std::make_shared<WaitState>();
+  transport.Send(shard, std::move(request),
+                 [state](StatusOr<std::string> result) {
+                   {
+                     std::lock_guard<std::mutex> lock(state->mu);
+                     if (result.ok()) {
+                       state->frame = std::move(result).value();
+                     } else {
+                       state->status = result.status();
+                     }
+                     state->ready = true;
+                   }
+                   state->cv.notify_one();
+                 });
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->ready; });
+  if (!state->status.ok()) throw StatusException(state->status);
+  return std::move(state->frame);
 }
 
 LoopbackTransport::Stats LoopbackTransport::stats() const {

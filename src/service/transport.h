@@ -18,8 +18,9 @@
 // rules, compatibility policy — is docs/wire-format.md; this comment is
 // the summary. Wire format invariants (tested in transport_test.cc):
 //
-//   * every message is length-prefixed and versioned:
-//       [u32 length][u16 magic 0xDB5A][u8 version][u8 type][payload]
+//   * every message is length-prefixed, versioned and correlated:
+//       [u32 length][u16 magic 0xDB5A][u8 version][u8 type]
+//       [u64 correlation][payload]
 //     where `length` counts every byte after the length field, so a
 //     stream transport can frame messages without understanding them;
 //   * all integers are little-endian fixed-width; doubles travel as their
@@ -32,25 +33,28 @@
 //     bit-twiddling touches them);
 //   * unknown trailing payload bytes are rejected — a frame must be
 //     consumed exactly;
-//   * version 3 (current) extends the v2 envelope (typed ErrorBound on
-//     ScatterRequest, StatusCode on every non-OK GatherPartial,
-//     compensated aggregate pairs) with a trace identity on every
-//     ScatterRequest — 128-bit trace id + parent span id, zero when
-//     untraced — so shard-server-side spans join the client's trace, and
-//     with the kStatsRequest/kStatsReply admin frames that scrape a shard
-//     process's MetricRegistry over the same seam. Versions 1 and 2 are
-//     rejected with StatusCode::kUnimplemented — total, typed, never UB —
-//     since silently defaulting the missing fields would misattribute
-//     traces (v2) or falsify the bound contract (v1).
+//   * version 4 (current) moves the v3 envelope to a multiplexed stream:
+//     every frame carries a u64 correlation id, a server echoes a
+//     request's id on the reply, and replies on one connection may
+//     arrive in ANY order — the id, not stream position, pairs them.
+//     Versions 1–3 are rejected with StatusCode::kUnimplemented — total,
+//     typed, never UB — since a v3-and-earlier peer would misread the
+//     correlation field as payload (and vice versa).
 //
-// The Transport interface is one blocking round-trip per shard message.
+// The Transport interface is asynchronous and multiplexed: Send starts
+// one tagged request and the completion callback delivers the framed
+// reply (or a typed Status) when it lands, so one connection per shard
+// carries many in-flight requests instead of one blocked thread each.
 // LoopbackTransport is the in-process implementation (request and
 // response still cross the byte format, so the rehearsal exercises the
-// full seam); a real RPC transport drops in by implementing Roundtrip.
+// full seam); a real RPC transport drops in by implementing Send. The
+// free function Roundtrip(transport, shard, request) is the blocking
+// one-shot wrapper for callers without concurrency.
 
 #ifndef DBSA_SERVICE_TRANSPORT_H_
 #define DBSA_SERVICE_TRANSPORT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -73,10 +77,15 @@ namespace dbsa::service {
 // validate once at the end instead of after every field.
 
 inline constexpr uint16_t kWireMagic = 0xDB5A;
-/// Version 3: the envelope wire format plus trace propagation and the
-/// stats-scrape admin frames (see header comment). Decoders reject every
-/// other version with a typed status.
-inline constexpr uint8_t kWireVersion = 3;
+/// Version 4: the v3 envelope plus a u64 correlation id on every frame
+/// (multiplexed out-of-order replies; see header comment). Decoders
+/// reject every other version with a typed status.
+inline constexpr uint8_t kWireVersion = 4;
+
+/// Byte offset of the correlation id field within a framed message, and
+/// the envelope size (where the payload starts).
+inline constexpr size_t kWireCorrelationOffset = 8;
+inline constexpr size_t kWireEnvelopeSize = 16;
 
 enum class MessageType : uint8_t {
   kScatterRequest = 1,
@@ -99,7 +108,10 @@ class WireWriter {
   const std::string& payload() const { return out_; }
 
   /// Wraps the accumulated payload in a framed message and resets.
-  std::string TakeFramed(MessageType type);
+  /// Encoders frame with correlation 0 by default; the transport stamps a
+  /// unique id at Send time (PatchCorrelation), and a server echoes the
+  /// request's id on the reply.
+  std::string TakeFramed(MessageType type, uint64_t correlation = 0);
 
  private:
   void Raw(const void* data, size_t n);
@@ -135,13 +147,28 @@ class WireReader {
   bool ok_ = true;
 };
 
-/// Parses a frame header; on success points `payload` into `bytes`.
+/// Parses a frame header; on success points `payload` into `bytes` and
+/// (when `correlation` is non-null) yields the frame's correlation id.
 /// Rejects short frames, length mismatches and bad magic with
-/// kInvalidArgument, and version skew (v1 included) with kUnimplemented —
-/// so a router can tell "corrupt bytes" from "peer speaks another
-/// version" without parsing error text.
+/// kInvalidArgument, and version skew (v1–v3 included) with
+/// kUnimplemented — so a router can tell "corrupt bytes" from "peer
+/// speaks another version" without parsing error text. The version check
+/// runs BEFORE the correlation field is read, so a short frame of an
+/// older (correlation-free) version still rejects as version skew, not
+/// as truncation.
 Status ParseFrame(const std::string& bytes, MessageType* type,
-                  const char** payload, size_t* payload_size);
+                  const char** payload, size_t* payload_size,
+                  uint64_t* correlation = nullptr);
+
+/// Reads the correlation id of a framed message without validating the
+/// rest of the envelope (0 if the frame is too short to carry one).
+/// Demux loops use this to pair an arriving reply with its pending
+/// request before — and regardless of — payload decoding.
+uint64_t PeekCorrelation(const std::string& frame);
+
+/// Overwrites the correlation id field of a framed message in place.
+/// No-op if the frame is too short to carry one.
+void PatchCorrelation(std::string* frame, uint64_t correlation);
 
 // ------------------------------------------------------------- messages
 
@@ -233,14 +260,14 @@ struct GatherPartial {
   static dbsa::Status Decode(const std::string& bytes, GatherPartial* out);
 };
 
-/// Admin frame (v3): asks a shard process for its MetricRegistry. Empty
+/// Admin frame (v3+): asks a shard process for its MetricRegistry. Empty
 /// payload by design — a scraper needs no state to ask.
 struct StatsRequest {
   std::string Encode() const;
   static dbsa::Status Decode(const std::string& bytes, StatsRequest* out);
 };
 
-/// Admin reply (v3): the Prometheus text exposition of the serving
+/// Admin reply (v3+): the Prometheus text exposition of the serving
 /// process's registry. Opaque bytes on the wire (length-prefixed), so the
 /// exposition format can evolve without a wire revision.
 struct StatsReply {
@@ -252,18 +279,28 @@ struct StatsReply {
 
 // ------------------------------------------------------------ transport
 
-/// Blocking message transport to a set of shard servers. Implementations
-/// must be thread-safe: the router fans scatter requests out across the
-/// service pool.
+/// Asynchronous multiplexed message transport to a set of shard servers.
+/// Implementations must be thread-safe: the router fans scatter requests
+/// out across the service pool, and many queries keep requests in flight
+/// on the same shard concurrently.
 class Transport {
  public:
+  /// Completion callback: the framed response, or the typed transport
+  /// failure. Invoked exactly once per Send — possibly inline on the
+  /// sending thread (loopback), possibly on a transport-owned demux
+  /// thread (sockets) — and must not throw.
+  using Done = std::function<void(StatusOr<std::string>)>;
+
   virtual ~Transport() = default;
 
   virtual size_t num_shards() const = 0;
 
-  /// Sends one framed request to shard `shard` and returns the framed
-  /// response. Throws std::runtime_error on transport failure.
-  virtual std::string Roundtrip(size_t shard, const std::string& request) = 0;
+  /// Starts one framed request to shard `shard` and returns the
+  /// correlation id the transport stamped into its envelope (the same id
+  /// the reply will carry). `done` fires exactly once with the framed
+  /// response or a typed Status; destruction of the transport completes
+  /// every still-pending request with kUnavailable before returning.
+  virtual uint64_t Send(size_t shard, std::string request, Done done) = 0;
 
   /// Abstract optimizer cost units (one simple memory op = 1) charged per
   /// message round-trip — the transport-cost term of the shard probe
@@ -271,10 +308,18 @@ class Transport {
   virtual double CostPerMessage() const = 0;
 };
 
+/// Blocking one-shot wrapper over Transport::Send: sends `request` and
+/// waits for its completion. Throws StatusException (a runtime_error
+/// carrying the typed Status) on transport failure. For callers without
+/// their own completion plumbing — tests, warming, admin scrapes.
+std::string Roundtrip(Transport& transport, size_t shard, std::string request);
+
 /// In-process transport: requests are handed to per-shard handler
-/// functions (ShardServer::Handle bound by the service). The bytes still
-/// cross the full wire format, so loopback execution exercises exactly
-/// the seam a remote deployment would.
+/// functions (ShardServer::Handle bound by the service) on the calling
+/// thread, so completion is always inline. The bytes still cross the
+/// full wire format — correlation id stamped and echoed included — so
+/// loopback execution exercises exactly the seam a remote deployment
+/// would.
 class LoopbackTransport : public Transport {
  public:
   using Handler = std::function<std::string(const std::string&)>;
@@ -287,7 +332,7 @@ class LoopbackTransport : public Transport {
       std::shared_ptr<telemetry::MetricRegistry> registry = nullptr);
 
   size_t num_shards() const override { return handlers_.size(); }
-  std::string Roundtrip(size_t shard, const std::string& request) override;
+  uint64_t Send(size_t shard, std::string request, Done done) override;
   double CostPerMessage() const override { return kCostPerMessage; }
 
   struct Stats {
@@ -309,6 +354,7 @@ class LoopbackTransport : public Transport {
   telemetry::Counter* messages_;
   telemetry::Counter* request_bytes_;
   telemetry::Counter* response_bytes_;
+  std::atomic<uint64_t> next_correlation_{1};
 };
 
 }  // namespace dbsa::service

@@ -75,7 +75,12 @@ std::string FormatSlowQueryLine(const TraceContext& ctx,
   for (const TraceSpan& s : spans) {
     if (!first) out += " ";
     first = false;
-    if (s.shard >= 0) {
+    if (s.shard >= 0 && s.correlation != 0) {
+      std::snprintf(buf, sizeof(buf), "%s{shard=%d,corr=%llu}@%.3f+%.3fms",
+                    s.stage.c_str(), s.shard,
+                    static_cast<unsigned long long>(s.correlation), s.start_ms,
+                    s.duration_ms);
+    } else if (s.shard >= 0) {
       std::snprintf(buf, sizeof(buf), "%s{shard=%d}@%.3f+%.3fms",
                     s.stage.c_str(), s.shard, s.start_ms, s.duration_ms);
     } else {

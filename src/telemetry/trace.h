@@ -46,12 +46,16 @@ TraceContext NewTraceContext();
 std::string TraceIdHex(uint64_t hi, uint64_t lo);
 
 /// One timed stage. `shard` is -1 for unscoped stages, >= 0 for
-/// per-shard spans (e.g. shard_roundtrip).
+/// per-shard spans (e.g. shard_roundtrip). `correlation`, when nonzero,
+/// is the wire correlation id of the in-flight request the span timed —
+/// it joins a client span to the exact multiplexed frame that carried
+/// it (grep the id across a connection dump or a hedged pair).
 struct TraceSpan {
   std::string stage;
   int shard = -1;
   double start_ms = 0.0;     ///< Offset from the trace epoch.
   double duration_ms = 0.0;
+  uint64_t correlation = 0;
 };
 
 /// Span collector for one query. Created in QueryService::RunQuery when
@@ -72,9 +76,9 @@ class QueryTrace {
   }
 
   void Record(const char* stage, double start_ms, double duration_ms,
-              int shard = -1) {
+              int shard = -1, uint64_t correlation = 0) {
     std::lock_guard<std::mutex> lock(mu_);
-    spans_.push_back(TraceSpan{stage, shard, start_ms, duration_ms});
+    spans_.push_back(TraceSpan{stage, shard, start_ms, duration_ms, correlation});
   }
 
   /// Snapshot of recorded spans, in recording order.

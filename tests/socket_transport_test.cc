@@ -477,7 +477,7 @@ TEST_F(SocketTransportTest, SilentPeerIsDeadlineExceeded) {
   SocketTransport transport(placement, options);
   const std::string request = ScatterRequest().Encode();
   try {
-    transport.Roundtrip(0, request);
+    Roundtrip(transport, 0, request);
     FAIL() << "expected StatusException";
   } catch (const StatusException& e) {
     EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded)
@@ -522,7 +522,7 @@ TEST_F(SocketTransportTest, StalledPrimaryFailsOverToHealthyReplica) {
   SocketTransport transport(placement, options);
 
   const std::string request = ScatterRequest().Encode();
-  const std::string response = transport.Roundtrip(0, request);
+  const std::string response = Roundtrip(transport, 0, request);
   GatherPartial partial;
   ASSERT_TRUE(GatherPartial::Decode(response, &partial).ok());
   EXPECT_GE(transport.stats().failovers, 1u);
@@ -531,7 +531,7 @@ TEST_F(SocketTransportTest, StalledPrimaryFailsOverToHealthyReplica) {
   // The preference sticks to the replica: the next call must not burn
   // another half-deadline stalling on the wedged primary.
   const auto before = std::chrono::steady_clock::now();
-  transport.Roundtrip(0, request);
+  Roundtrip(transport, 0, request);
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - before);
   EXPECT_LT(elapsed.count(), 4500) << "second call should skip the stalled primary";
@@ -608,7 +608,7 @@ TEST_F(SocketTransportTest, ListenerSurvivesGarbageAndTruncation) {
     ScatterRequest request;
     request.kind = ScatterRequest::Kind::kAggregateCells;
     request.has_cells = true;  // Empty slice: zero aggregate back.
-    const std::string response = transport.Roundtrip(0, request.Encode());
+    const std::string response = Roundtrip(transport, 0, request.Encode());
     GatherPartial partial;
     ASSERT_TRUE(GatherPartial::Decode(response, &partial).ok());
     EXPECT_EQ(partial.status, GatherPartial::Disposition::kOk);

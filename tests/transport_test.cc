@@ -3,9 +3,9 @@
 // serialization, compensated SUM pairs included), total decoding
 // (truncated / corrupted / version-skewed bytes are rejected with a
 // typed Status, never undefined behaviour — this test runs under
-// ASan+UBSan in CI), v1/v2-frame rejection, the v3 trace-identity
-// fields, the kStatsRequest/kStatsReply admin frames, and the loopback
-// dispatch.
+// ASan+UBSan in CI), v1–v3 frame rejection, the v3 trace-identity
+// fields, the v4 correlation envelope, the kStatsRequest/kStatsReply
+// admin frames, and the loopback dispatch.
 
 #include <gtest/gtest.h>
 
@@ -183,10 +183,11 @@ ScatterRequest MakeRequest(ScatterRequest::Kind kind, bool object, bool cells) {
 }
 
 /// Offset of the first cell id in an object-less, cells-carrying
-/// ScatterRequest frame: header(8) + kind(1) + flags(1) + bound_kind(1) +
-/// bound_epsilon(8) + level(4) + checksum(8) + trace identity (3 × 8,
-/// wire v3) + cell count(4).
-constexpr size_t kFirstCellIdOffset = 8 + 1 + 1 + 1 + 8 + 4 + 8 + 24 + 4;
+/// ScatterRequest frame: envelope(16, wire v4: length + magic + version +
+/// type + correlation) + kind(1) + flags(1) + bound_kind(1) +
+/// bound_epsilon(8) + level(4) + checksum(8) + trace identity (3 × 8) +
+/// cell count(4).
+constexpr size_t kFirstCellIdOffset = 16 + 1 + 1 + 1 + 8 + 4 + 8 + 24 + 4;
 
 TEST(ScatterRequestTest, RoundTripAllShapes) {
   for (const auto kind :
@@ -327,8 +328,8 @@ TEST(GatherPartialTest, RejectsUnknownStatusCode) {
       ScatterRequest::Kind::kAggregateCells, GatherPartial::Disposition::kError,
       Status::Internal("x"));
   std::string bytes = failed.Encode();
-  // Corrupt the status-code byte (header(8) + kind(1) + disposition(1)).
-  bytes[10] = static_cast<char>(0x7f);
+  // Corrupt the status-code byte (envelope(16) + kind(1) + disposition(1)).
+  bytes[18] = static_cast<char>(0x7f);
   GatherPartial got;
   EXPECT_EQ(GatherPartial::Decode(bytes, &got).code(),
             StatusCode::kInvalidArgument);
@@ -362,8 +363,9 @@ TEST(ScatterRequestTest, DefaultTraceIsUntraced) {
 TEST(StatsFrameTest, RequestRoundTripAndRejection) {
   const StatsRequest req;
   const std::string bytes = req.Encode();
-  // A stats request is pure header: 4-byte length prefix + 4-byte header.
-  EXPECT_EQ(bytes.size(), 8u);
+  // A stats request is pure envelope: 4-byte length prefix + 12-byte
+  // header (magic, version, type, correlation).
+  EXPECT_EQ(bytes.size(), 16u);
   StatsRequest got;
   EXPECT_TRUE(StatsRequest::Decode(bytes, &got).ok());
 
@@ -439,8 +441,8 @@ TEST(LoopbackTransportTest, DispatchesToHandlersAndCounts) {
   const std::string encoded = req.Encode();
   for (size_t s = 0; s < 3; ++s) {
     GatherPartial partial;
-    ASSERT_TRUE(GatherPartial::Decode(transport.Roundtrip(s, encoded), &partial)
-                    .ok());
+    ASSERT_TRUE(
+        GatherPartial::Decode(Roundtrip(transport, s, encoded), &partial).ok());
     EXPECT_EQ(partial.cells_cached, s * 100 + encoded.size());
   }
   const LoopbackTransport::Stats stats = transport.stats();
@@ -448,7 +450,7 @@ TEST(LoopbackTransportTest, DispatchesToHandlersAndCounts) {
   EXPECT_EQ(stats.request_bytes, 3 * encoded.size());
   EXPECT_GT(stats.response_bytes, 0u);
 
-  EXPECT_THROW(transport.Roundtrip(3, encoded), std::runtime_error);
+  EXPECT_THROW(Roundtrip(transport, 3, encoded), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,24 @@
+// lint_selftest fixture — MUST fail scripts/check_thread_safety.sh when
+// clang is available: writes a DBSA_GUARDED_BY field without holding its
+// mutex, the exact bug class the annotations exist to reject at compile
+// time. Never compiled into the library.
+#include "util/thread_annotations.h"
+
+namespace bad {
+
+class Counter {
+ public:
+  void SafeIncrement() {
+    dbsa::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // The violation: value_ is guarded by mu_, but nothing is held here.
+  void RacyIncrement() { ++value_; }
+
+ private:
+  dbsa::Mutex mu_;
+  int value_ DBSA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace bad

@@ -1,0 +1,13 @@
+// lint_selftest fixture — MUST fail scripts/check_lint.sh rule 3: a
+// reinterpret_cast outside the allowlist (only the socket layer's
+// sockaddr casts are sanctioned). Never compiled.
+#include <cstdint>
+
+namespace bad {
+
+inline double PunTheBits(uint64_t bits) {
+  // Strict-aliasing violation dressed up as a conversion.
+  return *reinterpret_cast<double*>(&bits);
+}
+
+}  // namespace bad

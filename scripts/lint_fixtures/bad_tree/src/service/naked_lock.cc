@@ -1,0 +1,27 @@
+// lint_selftest fixture — MUST fail scripts/check_lint.sh rule 1:
+// a manually driven mutex (naked .lock()/.unlock()) that the Thread
+// Safety Analysis and the MutexLock discipline cannot see. Never
+// compiled; never part of the library.
+#include "util/thread_annotations.h"
+
+namespace bad {
+
+inline int g_counter = 0;
+inline dbsa::Mutex g_mu;
+
+inline void Increment() {
+  g_mu.Lock();
+  ++g_counter;
+  g_mu.Unlock();
+}
+
+// The actual violation check_lint.sh greps for:
+struct RawDriver {
+  std::mutex mu;
+  void Touch() {
+    mu.lock();
+    mu.unlock();
+  }
+};
+
+}  // namespace bad

@@ -1,0 +1,29 @@
+// lint_selftest fixture — MUST fail scripts/check_lint.sh rule 2: raw
+// std::mutex / std::condition_variable declarations in src/service/,
+// invisible to the Thread Safety Analysis. Never compiled.
+#ifndef BAD_RAW_MUTEX_H_
+#define BAD_RAW_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+
+namespace bad {
+
+class UnannotatedQueue {
+ public:
+  void Push(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    q_.push(v);
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<int> q_;
+};
+
+}  // namespace bad
+
+#endif  // BAD_RAW_MUTEX_H_

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Negative tests for the custom static-analysis gates (ctest entry
+# `lint_selftest`; same pattern as check_docs_links.sh's fixtures): each
+# checker is pointed at a deliberately-bad input and MUST fail. A checker
+# that cannot fail — a typo'd grep pattern, a dead static_assert — passes
+# everything forever, which is strictly worse than having no checker.
+#
+# Checks that need tools the machine lacks (clang) self-skip; the CI
+# static-analysis job runs them with --require so they cannot skip there.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+  echo "lint_selftest: $*" >&2
+  fail=1
+}
+
+# ---- 1. check_lint.sh must pass the real tree -------------------------
+if ! scripts/check_lint.sh >/dev/null; then
+  err "check_lint.sh fails on the real tree (should be clean)"
+fi
+
+# ---- 2. check_lint.sh must FAIL the bad fixture tree ------------------
+# The fixture tree has one violation per rule (naked lock, raw
+# std::mutex, stray reinterpret_cast); a pass means a grep went dead.
+if scripts/check_lint.sh scripts/lint_fixtures/bad_tree >/dev/null 2>&1; then
+  err "check_lint.sh PASSED the bad fixture tree — a lint rule is dead"
+fi
+
+# ---- 3. wire-layout gate: positive and negative legs ------------------
+# check_wire_layout.sh runs its own negative probe (-DDBSA_WIRE_PROBE_BAD
+# must not compile) and fails if the bad probe slips through.
+if ! scripts/check_wire_layout.sh >/dev/null; then
+  err "check_wire_layout.sh failed (layout drifted, or the bad probe compiled)"
+fi
+
+# ---- 4. thread-safety gate must FAIL the off-lock fixture -------------
+# Clang-only: the fixture writes a DBSA_GUARDED_BY field with no lock
+# held. Self-skips without clang (CI's static-analysis job has it).
+if command -v "${CLANGXX:-clang++}" >/dev/null 2>&1; then
+  if scripts/check_thread_safety.sh scripts/lint_fixtures/bad_off_lock_write.cc >/dev/null 2>&1; then
+    err "check_thread_safety.sh PASSED the off-lock fixture — TSA gate is dead"
+  fi
+  if ! scripts/check_thread_safety.sh >/dev/null; then
+    err "check_thread_safety.sh fails on the real tree (should be clean)"
+  fi
+else
+  echo "lint_selftest: clang++ not installed — thread-safety legs skipped (CI runs them)"
+fi
+
+if [[ $fail -ne 0 ]]; then
+  exit 1
+fi
+echo "lint_selftest: all checkers fail their bad fixtures (gates are live)"

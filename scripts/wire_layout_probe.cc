@@ -1,0 +1,29 @@
+// Compile-only probe for the wire-layout freeze (scripts/
+// check_wire_layout.sh). Including transport.h re-evaluates its
+// static_assert chain — the envelope offsets (magic 4, version 6, type 7,
+// correlation 8, envelope 16, length counts 12 header bytes) — so the
+// check needs no linking and no test runner: `-fsyntax-only` is the gate.
+//
+// With -DDBSA_WIRE_PROBE_BAD the probe asserts a WRONG layout on purpose;
+// the checker compiles that variant expecting failure, proving the gate
+// can actually fail (the negative self-test, same pattern as
+// scripts/lint_selftest.sh).
+
+#include "service/transport.h"
+
+namespace dbsa::service {
+
+#ifdef DBSA_WIRE_PROBE_BAD
+// Deliberately false: correlation sits at offset 8, not 9. If this
+// COMPILES, static_assert evaluation is broken and the gate is dead.
+static_assert(kWireCorrelationOffset == 9, "intentional failure probe");
+#else
+static_assert(kWireMagicOffset == 4, "probe: magic offset");
+static_assert(kWireVersionOffset == 6, "probe: version offset");
+static_assert(kWireTypeOffset == 7, "probe: type offset");
+static_assert(kWireCorrelationOffset == 8, "probe: correlation offset");
+static_assert(kWireEnvelopeSize == 16, "probe: envelope size");
+static_assert(kWireHeaderAfterLength == 12, "probe: length-field coverage");
+#endif
+
+}  // namespace dbsa::service

@@ -109,8 +109,9 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(const ObjectKey& object_id, int level
   std::shared_future<HrPtr> wait_on;
   std::promise<HrPtr> promise;
   uint64_t my_generation = 0;
+  bool build_uncached = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    dbsa::MutexLock lock(mu_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
       if (verify && it->second->has_summary && !summary.Matches(it->second->summary)) {
@@ -133,15 +134,14 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(const ObjectKey& object_id, int level
           !summary.Matches(flight->second.summary)) {
         // Collision against an in-flight build of different geometry: do
         // not wait on (or poison) the other build — construct our own
-        // uncached result below.
+        // uncached result after dropping the lock.
         collisions_->Add(1);
         misses_->Add(1);
-        lock.unlock();
-        if (built != nullptr) *built = true;
-        return std::make_shared<const raster::HierarchicalRaster>(build());
+        build_uncached = true;
+      } else {
+        hits_->Add(1);  // No construction on this thread.
+        wait_on = flight->second.future;
       }
-      hits_->Add(1);  // No construction on this thread.
-      wait_on = flight->second.future;
     } else {
       misses_->Add(1);
       my_generation = generation_;
@@ -151,6 +151,10 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(const ObjectKey& object_id, int level
       flight_entry.summary = summary;
       inflight_.emplace(key, std::move(flight_entry));
     }
+  }
+  if (build_uncached) {
+    if (built != nullptr) *built = true;
+    return std::make_shared<const raster::HierarchicalRaster>(build());
   }
   if (wait_on.valid()) return wait_on.get();
   if (built != nullptr) *built = true;
@@ -162,7 +166,7 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(const ObjectKey& object_id, int level
     hr = std::make_shared<const raster::HierarchicalRaster>(build());
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      dbsa::MutexLock lock(mu_);
       inflight_.erase(key);  // The key stays retryable.
     }
     promise.set_exception(std::current_exception());
@@ -170,7 +174,7 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(const ObjectKey& object_id, int level
   }
   const size_t bytes = hr->MemoryBytes();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    dbsa::MutexLock lock(mu_);
     inflight_.erase(key);
     // A Clear() issued mid-build invalidates this generation: hand the
     // result to the waiters but do not resurrect it into the cache.
@@ -195,13 +199,13 @@ ApproxCache::HrPtr ApproxCache::GetOrBuild(const ObjectKey& object_id, int level
 
 ApproxCache::HrPtr ApproxCache::Peek(const ObjectKey& object_id, int level) const {
   const Key key{object_id, level};
-  std::lock_guard<std::mutex> lock(mu_);
+  dbsa::MutexLock lock(mu_);
   const auto it = map_.find(key);
   return it != map_.end() ? it->second->hr : nullptr;
 }
 
 ApproxCache::Stats ApproxCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbsa::MutexLock lock(mu_);
   Stats s;
   s.hits = static_cast<size_t>(hits_->Value());
   s.misses = static_cast<size_t>(misses_->Value());
@@ -214,7 +218,7 @@ ApproxCache::Stats ApproxCache::stats() const {
 }
 
 void ApproxCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbsa::MutexLock lock(mu_);
   map_.clear();
   lru_.clear();
   bytes_used_ = 0;

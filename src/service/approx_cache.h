@@ -24,12 +24,12 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "geom/polygon.h"
 #include "raster/hierarchical_raster.h"
 #include "telemetry/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace dbsa::service {
 
@@ -169,11 +169,11 @@ class ApproxCache {
     GeometrySummary summary;
   };
 
-  void EvictToBudgetLocked();
-  void EraseEntryLocked(LruList::iterator it);
-  /// Mirrors entries/bytes_used into the registry gauges (call with mu_
-  /// held after any mutation of map_/bytes_used_).
-  void UpdateGaugesLocked();
+  void EvictToBudgetLocked() DBSA_REQUIRES(mu_);
+  void EraseEntryLocked(LruList::iterator it) DBSA_REQUIRES(mu_);
+  /// Mirrors entries/bytes_used into the registry gauges after any
+  /// mutation of map_/bytes_used_.
+  void UpdateGaugesLocked() DBSA_REQUIRES(mu_);
 
   const size_t budget_bytes_;
   std::shared_ptr<telemetry::MetricRegistry> registry_;
@@ -183,12 +183,14 @@ class ApproxCache {
   telemetry::Counter* collisions_;
   telemetry::Gauge* entries_gauge_;
   telemetry::Gauge* bytes_gauge_;
-  mutable std::mutex mu_;
-  LruList lru_;  ///< Front = most recently used.
-  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
-  std::unordered_map<Key, Inflight, KeyHash> inflight_;
-  size_t bytes_used_ = 0;
-  uint64_t generation_ = 0;  ///< Bumped by Clear(); stale builds not cached.
+  mutable dbsa::Mutex mu_;
+  /// Front = most recently used.
+  LruList lru_ DBSA_GUARDED_BY(mu_);
+  std::unordered_map<Key, LruList::iterator, KeyHash> map_ DBSA_GUARDED_BY(mu_);
+  std::unordered_map<Key, Inflight, KeyHash> inflight_ DBSA_GUARDED_BY(mu_);
+  size_t bytes_used_ DBSA_GUARDED_BY(mu_) = 0;
+  /// Bumped by Clear(); stale builds not cached.
+  uint64_t generation_ DBSA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dbsa::service

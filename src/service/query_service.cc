@@ -340,7 +340,7 @@ Result QueryService::RunQuery(uint64_t ticket, const Query& query,
 }
 
 bool QueryService::AdmitQuery(uint64_t ticket, QueryKind kind, Result* shed) {
-  std::unique_lock<std::mutex> lock(inflight_mu_);
+  dbsa::MutexLock lock(inflight_mu_);
   // Shedding comes first: at or past the threshold the query is turned
   // away with a cheap, typed answer BEFORE the pool, the cache or any
   // HR build sees it — an overloaded service must get cheaper per
@@ -360,8 +360,7 @@ bool QueryService::AdmitQuery(uint64_t ticket, QueryKind kind, Result* shed) {
   // Backpressure: at the hard cap the SUBMITTING thread waits — bounded
   // in-flight depth instead of an unbounded pool queue.
   if (options_.max_inflight > 0) {
-    inflight_cv_.wait(lock,
-                      [this]() { return inflight_depth_ < options_.max_inflight; });
+    while (inflight_depth_ >= options_.max_inflight) inflight_cv_.Wait(lock);
   }
   ++inflight_depth_;
   inflight_depth_gauge_->Set(static_cast<double>(inflight_depth_));
@@ -370,11 +369,11 @@ bool QueryService::AdmitQuery(uint64_t ticket, QueryKind kind, Result* shed) {
 
 void QueryService::FinishInflight() {
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    dbsa::MutexLock lock(inflight_mu_);
     --inflight_depth_;
     inflight_depth_gauge_->Set(static_cast<double>(inflight_depth_));
   }
-  inflight_cv_.notify_one();
+  inflight_cv_.NotifyOne();
 }
 
 std::future<Result> QueryService::Execute(Query query, ExecOptions options) {
@@ -401,7 +400,7 @@ uint64_t QueryService::Submit(Query query, ExecOptions options) {
   // blocked Submit must not stall Drain (which takes pending_mu_).
   uint64_t ticket;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    dbsa::MutexLock lock(pending_mu_);
     ticket = next_ticket_++;
   }
   Result shed;
@@ -409,7 +408,7 @@ uint64_t QueryService::Submit(Query query, ExecOptions options) {
   if (!AdmitQuery(ticket, kind, &shed)) {
     std::promise<Result> ready;
     ready.set_value(std::move(shed));
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    dbsa::MutexLock lock(pending_mu_);
     pending_.push_back(Pending{ticket, kind, ready.get_future()});
     return ticket;
   }
@@ -420,7 +419,7 @@ uint64_t QueryService::Submit(Query query, ExecOptions options) {
         FinishInflight();
         return result;
       });
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  dbsa::MutexLock lock(pending_mu_);
   pending_.push_back(Pending{ticket, kind, std::move(future)});
   return ticket;
 }
@@ -428,7 +427,7 @@ uint64_t QueryService::Submit(Query query, ExecOptions options) {
 std::vector<Result> QueryService::Drain() {
   std::vector<Pending> pending;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    dbsa::MutexLock lock(pending_mu_);
     pending.swap(pending_);
   }
   std::vector<Result> results;

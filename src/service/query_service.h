@@ -34,10 +34,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +50,7 @@
 #include "service/thread_pool.h"
 #include "service/transport.h"
 #include "service/v1_compat.h"
+#include "util/thread_annotations.h"
 
 namespace dbsa::service {
 
@@ -297,9 +296,9 @@ class QueryService {
   telemetry::Counter* slow_queries_total_ = nullptr;
   /// Admission control state: depth counts admitted-but-unfinished
   /// queries (queued + executing). The gauge mirrors it for scrapes.
-  std::mutex inflight_mu_;
-  std::condition_variable inflight_cv_;
-  size_t inflight_depth_ = 0;
+  dbsa::Mutex inflight_mu_;
+  dbsa::CondVar inflight_cv_;  ///< Signals: a query finished, depth dropped.
+  size_t inflight_depth_ DBSA_GUARDED_BY(inflight_mu_) = 0;
   telemetry::Gauge* inflight_depth_gauge_ = nullptr;
   telemetry::Counter* shed_total_ = nullptr;
   ApproxCache cache_;
@@ -310,9 +309,9 @@ class QueryService {
     QueryKind kind = QueryKind::kAggregate;
     std::future<Result> future;
   };
-  std::mutex pending_mu_;
-  uint64_t next_ticket_ = 1;
-  std::vector<Pending> pending_;
+  dbsa::Mutex pending_mu_;
+  uint64_t next_ticket_ DBSA_GUARDED_BY(pending_mu_) = 1;
+  std::vector<Pending> pending_ DBSA_GUARDED_BY(pending_mu_);
 };
 
 }  // namespace dbsa::service

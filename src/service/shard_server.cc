@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
@@ -192,7 +191,7 @@ void ShardServer::CachePut(const CacheKey& key, uint64_t checksum,
   if (bytes > cache_budget_bytes_) return;  // Never cache a budget-buster.
   CellsPtr shared =
       std::make_shared<const std::vector<raster::HrCell>>(std::move(cells));
-  std::lock_guard<std::mutex> lock(mu_);
+  dbsa::MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
     cache_bytes_ -= it->second->bytes;
@@ -215,7 +214,7 @@ void ShardServer::CachePut(const CacheKey& key, uint64_t checksum,
 
 ShardServer::CellsPtr ShardServer::CacheGet(const CacheKey& key,
                                             uint64_t checksum) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbsa::MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end() || it->second->checksum != checksum) {
     // A checksum mismatch means the key now identifies a different
@@ -243,14 +242,14 @@ ShardServer::Stats ShardServer::stats() const {
   s.cache_hits = cache_hits_->Value();
   s.cache_misses = cache_misses_->Value();
   s.cache_evictions = cache_evictions_->Value();
-  std::lock_guard<std::mutex> lock(mu_);
+  dbsa::MutexLock lock(mu_);
   s.cache_entries = map_.size();
   s.cache_bytes = cache_bytes_;
   return s;
 }
 
 std::vector<std::pair<ObjectKey, int>> ShardServer::CachedKeys() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbsa::MutexLock lock(mu_);
   std::vector<std::pair<ObjectKey, int>> keys;
   keys.reserve(map_.size());
   for (const CacheEntry& entry : lru_) {
@@ -270,12 +269,12 @@ ShardRouter::ShardRouter(std::shared_ptr<const core::ShardedState> sharded,
 }
 
 bool ShardRouter::KnownCached(size_t shard, const Key& key) const {
-  std::lock_guard<std::mutex> lock(known_mu_);
+  dbsa::MutexLock lock(known_mu_);
   return known_[shard].count(key) != 0;
 }
 
 void ShardRouter::MarkCached(size_t shard, const Key& key, bool cached) {
-  std::lock_guard<std::mutex> lock(known_mu_);
+  dbsa::MutexLock lock(known_mu_);
   if (cached) {
     auto& keys = known_[shard];
     if (keys.size() >= kMaxKnownKeysPerShard && keys.count(key) == 0) {
@@ -347,13 +346,18 @@ void SendWave(Transport& transport, const core::ExecHooks& hooks,
               bool parallel_issue, const std::vector<uint32_t>& shards,
               telemetry::QueryTrace* trace, std::vector<ShardCall>* calls) {
   struct WaveState {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining = 0;
+    dbsa::Mutex mu;
+    dbsa::CondVar cv;
+    size_t remaining DBSA_GUARDED_BY(mu) = 0;
   };
+  size_t active = 0;
+  for (const ShardCall& call : *calls) active += call.active ? 1 : 0;
+  if (active == 0) return;
   auto state = std::make_shared<WaveState>();
-  for (const ShardCall& call : *calls) state->remaining += call.active ? 1 : 0;
-  if (state->remaining == 0) return;
+  {
+    dbsa::MutexLock lock(state->mu);
+    state->remaining = active;
+  }
   const auto issue_one = [&](size_t t) {
     ShardCall& call = (*calls)[t];
     if (!call.active) return;
@@ -371,10 +375,10 @@ void SendWave(Transport& transport, const core::ExecHooks& hooks,
             call.status = result.status();
           }
           {
-            std::lock_guard<std::mutex> lock(state->mu);
+            dbsa::MutexLock lock(state->mu);
             --state->remaining;
           }
-          state->cv.notify_one();
+          state->cv.NotifyOne();
         });
   };
   // RunMaybeParallel is a barrier: every Send (and its correlation-id
@@ -384,8 +388,8 @@ void SendWave(Transport& transport, const core::ExecHooks& hooks,
   } else {
     for (size_t t = 0; t < calls->size(); ++t) issue_one(t);
   }
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->remaining == 0; });
+  dbsa::MutexLock lock(state->mu);
+  while (state->remaining != 0) state->cv.Wait(lock);
 }
 
 }  // namespace

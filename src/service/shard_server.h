@@ -35,7 +35,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -43,6 +42,7 @@
 
 #include "core/sharded_state.h"
 #include "service/transport.h"
+#include "util/thread_annotations.h"
 
 namespace dbsa::service {
 
@@ -136,10 +136,12 @@ class ShardServer {
   telemetry::Gauge* cache_bytes_gauge_;
   telemetry::Histogram* handle_ms_;
 
-  mutable std::mutex mu_;
-  LruList lru_;  ///< Front = most recently used.
-  std::unordered_map<CacheKey, LruList::iterator, ObjectLevelKeyHash> map_;
-  size_t cache_bytes_ = 0;
+  mutable dbsa::Mutex mu_;
+  /// Front = most recently used.
+  LruList lru_ DBSA_GUARDED_BY(mu_);
+  std::unordered_map<CacheKey, LruList::iterator, ObjectLevelKeyHash> map_
+      DBSA_GUARDED_BY(mu_);
+  size_t cache_bytes_ DBSA_GUARDED_BY(mu_) = 0;
 };
 
 /// Cheap order-sensitive checksum of an approximation's cell list; shipped
@@ -219,11 +221,12 @@ class ShardRouter {
   /// polygons would accumulate fingerprint keys forever.
   static constexpr size_t kMaxKnownKeysPerShard = 4096;
 
-  mutable std::mutex known_mu_;
+  mutable dbsa::Mutex known_mu_;
   /// Advisory: keys each shard is believed to hold (server eviction or
   /// the cap makes this stale, which only costs a kNotCached round-trip
   /// or an unnecessary inline ship).
-  std::vector<std::unordered_map<Key, char, ObjectLevelKeyHash>> known_;
+  std::vector<std::unordered_map<Key, char, ObjectLevelKeyHash>> known_
+      DBSA_GUARDED_BY(known_mu_);
 };
 
 // ---- transport-backed executors ---------------------------------------

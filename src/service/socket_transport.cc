@@ -141,7 +141,7 @@ StatusOr<std::string> ReadFrame(int fd, size_t max_frame_bytes,
                                    std::to_string(max_frame_bytes) + "]");
   }
   std::string frame;
-  frame.resize(4 + static_cast<size_t>(length));
+  frame.resize(kWireLengthSize + static_cast<size_t>(length));
   std::memcpy(&frame[0], prefix, sizeof(prefix));
   const Status got_body =
       RecvExactly(fd, &frame[4], static_cast<size_t>(length), deadline);
@@ -266,7 +266,7 @@ SocketTransport::~SocketTransport() {
   for (const std::unique_ptr<Mux>& mux : muxes_) {
     bool started;
     {
-      std::lock_guard<std::mutex> lock(mux->mu);
+      dbsa::MutexLock lock(mux->mu);
       mux->stop = true;
       started = mux->thread_started;
     }
@@ -282,7 +282,7 @@ void SocketTransport::CloseIdleConnections() {
   for (const std::unique_ptr<Mux>& mux : muxes_) {
     bool started;
     {
-      std::lock_guard<std::mutex> lock(mux->mu);
+      dbsa::MutexLock lock(mux->mu);
       mux->close_idle = true;
       started = mux->thread_started;
     }
@@ -304,7 +304,7 @@ StatusOr<int> SocketTransport::DialCached(const Endpoint& endpoint,
   const std::string key = endpoint.ToString();
   std::shared_ptr<ResolvedAddrs> cached;
   {
-    std::lock_guard<std::mutex> lock(resolve_mu_);
+    dbsa::MutexLock lock(resolve_mu_);
     auto it = resolve_cache_.find(key);
     if (it != resolve_cache_.end()) cached = it->second;
   }
@@ -335,7 +335,7 @@ StatusOr<int> SocketTransport::DialCached(const Endpoint& endpoint,
     if (cached->addrs.empty()) {
       return Status::Unavailable("no addresses for " + key);
     }
-    std::lock_guard<std::mutex> lock(resolve_mu_);
+    dbsa::MutexLock lock(resolve_mu_);
     resolve_cache_[key] = cached;
   }
 
@@ -380,7 +380,7 @@ StatusOr<int> SocketTransport::DialCached(const Endpoint& endpoint,
   // Every cached address failed: the host may have moved. Forget the
   // entry so the next dial re-resolves.
   {
-    std::lock_guard<std::mutex> lock(resolve_mu_);
+    dbsa::MutexLock lock(resolve_mu_);
     resolve_cache_.erase(key);
   }
   return last;
@@ -388,7 +388,7 @@ StatusOr<int> SocketTransport::DialCached(const Endpoint& endpoint,
 
 void SocketTransport::EnsureThread(size_t shard) {
   Mux& mux = *muxes_[shard];
-  std::lock_guard<std::mutex> lock(mux.mu);
+  dbsa::MutexLock lock(mux.mu);
   if (mux.thread_started) return;
   if (pipe2(mux.wake_fd, O_NONBLOCK | O_CLOEXEC) != 0) {
     throw StatusException(Status::Unavailable(Errno("pipe2")));
@@ -422,7 +422,7 @@ uint64_t SocketTransport::Send(size_t shard, std::string request, Done done) {
   EnsureThread(shard);
   Mux& mux = *muxes_[shard];
   {
-    std::lock_guard<std::mutex> lock(mux.mu);
+    dbsa::MutexLock lock(mux.mu);
     mux.submitted.push_back(std::move(op));
   }
   WakeMux(mux.wake_fd);
@@ -561,7 +561,7 @@ void SocketTransport::MuxLoop(size_t shard) {
     bool do_close_idle = false;
     bool do_stop = false;
     {
-      std::lock_guard<std::mutex> lock(mux.mu);
+      dbsa::MutexLock lock(mux.mu);
       do_stop = mux.stop;
       while (!mux.submitted.empty()) {
         incoming.push_back(std::move(mux.submitted.front()));
@@ -814,7 +814,7 @@ void SocketTransport::MuxLoop(size_t shard) {
           break;
         }
         if (dead) continue;
-        while (conn.inbuf.size() >= 4) {
+        while (conn.inbuf.size() >= kWireLengthSize) {
           const uint32_t length = LoadLe32(conn.inbuf.data());
           if (length < 4 ||
               static_cast<size_t>(length) > options_.max_frame_bytes) {
@@ -826,7 +826,7 @@ void SocketTransport::MuxLoop(size_t shard) {
                       /*protocol=*/true);
             break;
           }
-          const size_t frame_size = 4 + static_cast<size_t>(length);
+          const size_t frame_size = kWireLengthSize + static_cast<size_t>(length);
           if (conn.inbuf.size() < frame_size) break;
           std::string frame;
           if (conn.inbuf.size() == frame_size) {
@@ -948,20 +948,20 @@ ShardListener::ShardListener(Handler handler, const Options& options)
 ShardListener::~ShardListener() { Stop(); }
 
 void ShardListener::RegisterConn(int fd) {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  dbsa::MutexLock lock(conns_mu_);
   live_fds_.insert(fd);
   ++live_threads_;
 }
 
 void ShardListener::UnregisterConn(int fd) {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  dbsa::MutexLock lock(conns_mu_);
   live_fds_.erase(fd);
   // shutdown, not close: queued responses may still hold the Conn. The
   // fd number stays allocated (so Stop/CloseConnections cannot hit a
   // recycled descriptor) until the LAST Conn owner closes it.
   shutdown(fd, SHUT_RDWR);
   --live_threads_;
-  conns_cv_.notify_all();
+  conns_cv_.NotifyAll();
 }
 
 void ShardListener::AcceptLoop() {
@@ -983,7 +983,7 @@ void ShardListener::AcceptLoop() {
       // connection (close; the client sees a reset and may retry) and
       // keep serving the live ones. Only this thread registers
       // connections, so the check cannot race RegisterConn.
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      dbsa::MutexLock lock(conns_mu_);
       if (live_fds_.size() >= options_.max_connections) {
         close(fd);
         continue;
@@ -1029,7 +1029,7 @@ void ShardListener::ConnectionLoop(std::shared_ptr<Conn> conn) {
     buf.append(chunk, static_cast<size_t>(n));
     // Extract every complete frame in the buffer (multiplexing clients
     // pipeline aggressively; partial frames wait for the next read).
-    while (buf.size() >= 4) {
+    while (buf.size() >= kWireLengthSize) {
       const uint32_t length = LoadLe32(buf.data());
       if (length < 4 || static_cast<size_t>(length) > options_.max_frame_bytes) {
         // Not our framing: the stream cannot be resynchronized. Drop the
@@ -1038,7 +1038,7 @@ void ShardListener::ConnectionLoop(std::shared_ptr<Conn> conn) {
         open = false;
         break;
       }
-      const size_t frame_size = 4 + static_cast<size_t>(length);
+      const size_t frame_size = kWireLengthSize + static_cast<size_t>(length);
       if (buf.size() < frame_size) break;
       // Common case — the buffer holds exactly one frame: hand it on by
       // move instead of copying (frames can be MBs of cells).
@@ -1055,13 +1055,12 @@ void ShardListener::ConnectionLoop(std::shared_ptr<Conn> conn) {
       // the registry covers the whole server process (shard metrics,
       // cache gauges, handle-latency histograms), and a scrape must keep
       // working even while every worker is busy with heavy queries —
-      // answered inline here, never queued. The type byte sits at frame
-      // index 7 ([u32 len][u16 magic][u8 ver][u8 type], docs/
-      // wire-format.md — same offset in v4); a malformed or
-      // version-skewed stats frame falls through to the handler's typed
-      // error path.
-      if (options_.registry != nullptr && frame.size() >= 8 &&
-          static_cast<uint8_t>(frame[7]) ==
+      // answered inline here, never queued. The type byte peek uses the
+      // envelope offsets transport.h freezes with static_asserts; a
+      // malformed or version-skewed stats frame falls through to the
+      // handler's typed error path.
+      if (options_.registry != nullptr && frame.size() > kWireTypeOffset &&
+          static_cast<uint8_t>(frame[kWireTypeOffset]) ==
               static_cast<uint8_t>(MessageType::kStatsRequest)) {
         StatsRequest stats_request;
         if (StatsRequest::Decode(frame, &stats_request).ok()) {
@@ -1069,7 +1068,7 @@ void ShardListener::ConnectionLoop(std::shared_ptr<Conn> conn) {
           reply.text = options_.registry->RenderText();
           std::string stats_response = reply.Encode();
           PatchCorrelation(&stats_response, PeekCorrelation(frame));
-          std::lock_guard<std::mutex> wl(conn->write_mu);
+          dbsa::MutexLock wl(conn->write_mu);
           if (!SendAll(fd, stats_response.data(), stats_response.size(),
                        Deadline::After(options_.write_timeout_ms))
                    .ok()) {
@@ -1085,17 +1084,17 @@ void ShardListener::ConnectionLoop(std::shared_ptr<Conn> conn) {
       // The queue is bounded: a flooding client parks ITS connection
       // thread here, not the process.
       {
-        std::unique_lock<std::mutex> lock(work_mu_);
-        space_cv_.wait(lock, [this]() {
-          return work_.size() < kMaxQueuedWork || workers_stop_;
-        });
+        dbsa::MutexLock lock(work_mu_);
+        while (work_.size() >= kMaxQueuedWork && !workers_stop_) {
+          space_cv_.Wait(lock);
+        }
         if (workers_stop_) {
           open = false;
           break;
         }
         work_.push_back(Work{conn, std::move(frame)});
       }
-      work_cv_.notify_one();
+      work_cv_.NotifyOne();
     }
   }
   UnregisterConn(fd);
@@ -1105,13 +1104,13 @@ void ShardListener::WorkerLoop() {
   while (true) {
     Work work;
     {
-      std::unique_lock<std::mutex> lock(work_mu_);
-      work_cv_.wait(lock, [this]() { return !work_.empty() || workers_stop_; });
+      dbsa::MutexLock lock(work_mu_);
+      while (work_.empty() && !workers_stop_) work_cv_.Wait(lock);
       if (work_.empty()) return;  // workers_stop_ and the queue is drained.
       work = std::move(work_.front());
       work_.pop_front();
     }
-    space_cv_.notify_one();
+    space_cv_.NotifyOne();
     if (!work.conn->open.load(std::memory_order_acquire)) continue;
     std::string response = handler_(work.frame);
     if (response.empty()) {
@@ -1127,7 +1126,7 @@ void ShardListener::WorkerLoop() {
     PatchCorrelation(&response, PeekCorrelation(work.frame));
     // Bounded write under the per-connection lock: a client that stops
     // draining must not pin this worker forever (write_timeout_ms).
-    std::lock_guard<std::mutex> wl(work.conn->write_mu);
+    dbsa::MutexLock wl(work.conn->write_mu);
     if (!SendAll(work.conn->fd, response.data(), response.size(),
                  Deadline::After(options_.write_timeout_ms))
              .ok()) {
@@ -1138,7 +1137,7 @@ void ShardListener::WorkerLoop() {
 }
 
 void ShardListener::CloseConnections() {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  dbsa::MutexLock lock(conns_mu_);
   for (const int fd : live_fds_) shutdown(fd, SHUT_RDWR);
 }
 
@@ -1147,21 +1146,21 @@ void ShardListener::Stop() {
   // Serialize the teardown: join() on an already-joined std::thread is
   // UB, so a second (possibly concurrent) Stop must wait for the first
   // to finish rather than race it — idempotence the mutex way.
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  dbsa::MutexLock stop_lock(stop_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::unique_lock<std::mutex> lock(conns_mu_);
+    dbsa::MutexLock lock(conns_mu_);
     for (const int fd : live_fds_) shutdown(fd, SHUT_RDWR);
-    conns_cv_.wait(lock, [this]() { return live_threads_ == 0; });
+    while (live_threads_ != 0) conns_cv_.Wait(lock);
   }
   // Connection threads are gone; drain-and-stop the worker pool (queued
   // work for severed connections fails fast on write).
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    dbsa::MutexLock lock(work_mu_);
     workers_stop_ = true;
   }
-  work_cv_.notify_all();
-  space_cv_.notify_all();
+  work_cv_.NotifyAll();
+  space_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }

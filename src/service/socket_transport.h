@@ -71,12 +71,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -87,6 +85,7 @@
 #include "service/transport.h"
 #include "telemetry/metrics.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace dbsa::service {
 
@@ -271,13 +270,15 @@ class SocketTransport : public Transport {
   };
 
   /// Per-shard demux engine: Send enqueues under `mu` and pokes the wake
-  /// pipe; everything below the lock comment is loop-thread-owned.
+  /// pipe; everything below the lock comment is loop-thread-owned (the
+  /// analysis has no capability for thread confinement, so those fields
+  /// stay unannotated — MuxLoop is their only reader and writer).
   struct Mux {
-    std::mutex mu;
-    std::deque<Op> submitted;
-    bool stop = false;
-    bool close_idle = false;
-    bool thread_started = false;
+    dbsa::Mutex mu;
+    std::deque<Op> submitted DBSA_GUARDED_BY(mu);
+    bool stop DBSA_GUARDED_BY(mu) = false;
+    bool close_idle DBSA_GUARDED_BY(mu) = false;
+    bool thread_started DBSA_GUARDED_BY(mu) = false;
     std::thread thread;
     int wake_fd[2] = {-1, -1};
     // ---- demux-loop-owned state (no lock) ----
@@ -300,9 +301,10 @@ class SocketTransport : public Transport {
   std::vector<std::unique_ptr<Mux>> muxes_;
   std::atomic<uint64_t> next_correlation_{1};
 
-  std::mutex resolve_mu_;
+  dbsa::Mutex resolve_mu_;
   struct ResolvedAddrs;
-  std::unordered_map<std::string, std::shared_ptr<ResolvedAddrs>> resolve_cache_;
+  std::unordered_map<std::string, std::shared_ptr<ResolvedAddrs>> resolve_cache_
+      DBSA_GUARDED_BY(resolve_mu_);
 
   std::shared_ptr<telemetry::MetricRegistry> registry_;
   telemetry::Counter* messages_;
@@ -405,7 +407,7 @@ class ShardListener {
     explicit Conn(int fd) : fd(fd) {}
     ~Conn();
     const int fd;
-    std::mutex write_mu;
+    dbsa::Mutex write_mu;  ///< Serializes whole response frames onto fd.
     std::atomic<bool> open{true};
   };
   struct Work {
@@ -424,21 +426,21 @@ class ShardListener {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
-  std::mutex stop_mu_;  ///< Serializes concurrent Stop() calls (join is not).
+  dbsa::Mutex stop_mu_;  ///< Serializes concurrent Stop() calls (join is not).
   std::thread accept_thread_;
 
-  std::mutex conns_mu_;
-  std::condition_variable conns_cv_;
-  std::unordered_set<int> live_fds_;
-  size_t live_threads_ = 0;
+  dbsa::Mutex conns_mu_;
+  dbsa::CondVar conns_cv_;  ///< Signals: a connection thread retired.
+  std::unordered_set<int> live_fds_ DBSA_GUARDED_BY(conns_mu_);
+  size_t live_threads_ DBSA_GUARDED_BY(conns_mu_) = 0;
 
   /// Handler dispatch queue (bounded: a flooding client blocks its
   /// connection thread, not the process).
-  std::mutex work_mu_;
-  std::condition_variable work_cv_;   ///< Workers wait here.
-  std::condition_variable space_cv_;  ///< Connection threads wait here.
-  std::deque<Work> work_;
-  bool workers_stop_ = false;
+  dbsa::Mutex work_mu_;
+  dbsa::CondVar work_cv_;   ///< Workers wait here.
+  dbsa::CondVar space_cv_;  ///< Connection threads wait here.
+  std::deque<Work> work_ DBSA_GUARDED_BY(work_mu_);
+  bool workers_stop_ DBSA_GUARDED_BY(work_mu_) = false;
   std::vector<std::thread> workers_;
   static constexpr size_t kMaxQueuedWork = 1024;
 

@@ -16,27 +16,27 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbsa::MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbsa::MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      dbsa::MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(lock);
       if (queue_.empty()) return;  // stop_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -62,10 +62,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::atomic<bool> failed{false};
-    std::mutex err_mu;
-    std::exception_ptr error;
-    std::mutex mu;
-    std::condition_variable cv;
+    dbsa::Mutex err_mu;
+    std::exception_ptr error DBSA_GUARDED_BY(err_mu);
+    dbsa::Mutex mu;  ///< Pairs with cv only; `done` itself is atomic.
+    dbsa::CondVar cv;
   };
   auto state = std::make_shared<LoopState>();
   const size_t total = n;
@@ -82,15 +82,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
           f(i);
         } catch (...) {
           {
-            std::lock_guard<std::mutex> lock(state->err_mu);
+            dbsa::MutexLock lock(state->err_mu);
             if (state->error == nullptr) state->error = std::current_exception();
           }
           state->failed.store(true, std::memory_order_release);
         }
       }
       if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->cv.notify_all();
+        dbsa::MutexLock lock(state->mu);
+        state->cv.NotifyAll();
       }
     }
   };
@@ -102,13 +102,13 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
   drain(fn);
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&]() {
-      return state->done.load(std::memory_order_acquire) == total;
-    });
+    dbsa::MutexLock lock(state->mu);
+    while (state->done.load(std::memory_order_acquire) != total) {
+      state->cv.Wait(lock);
+    }
   }
   if (state->failed.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(state->err_mu);
+    dbsa::MutexLock lock(state->err_mu);
     std::rethrow_exception(state->error);
   }
 }

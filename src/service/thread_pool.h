@@ -11,15 +11,15 @@
 #define DBSA_SERVICE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace dbsa::service {
 
@@ -63,11 +63,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::vector<std::thread> threads_;  ///< Written only in the constructor.
+  dbsa::Mutex mu_;
+  dbsa::CondVar cv_;  ///< Signals: task enqueued, or stop.
+  std::deque<std::function<void()>> queue_ DBSA_GUARDED_BY(mu_);
+  bool stop_ DBSA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dbsa::service

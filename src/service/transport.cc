@@ -1,12 +1,11 @@
 #include "service/transport.h"
 
 #include <cmath>
-#include <condition_variable>
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 
 #include "util/check.h"
+#include "util/thread_annotations.h"
 
 namespace dbsa::service {
 
@@ -25,7 +24,7 @@ void WireWriter::F64(double v) {
 std::string WireWriter::TakeFramed(MessageType type, uint64_t correlation) {
   WireWriter framed;
   // magic+version+type+correlation.
-  framed.U32(static_cast<uint32_t>(out_.size() + 12));
+  framed.U32(static_cast<uint32_t>(out_.size() + kWireHeaderAfterLength));
   framed.U16(kWireMagic);
   framed.U8(kWireVersion);
   framed.U8(static_cast<uint8_t>(type));
@@ -106,7 +105,7 @@ Status ParseFrame(const std::string& bytes, MessageType* type,
   if (!reader.ok()) {
     return Status::InvalidArgument("frame shorter than v4 envelope");
   }
-  if (static_cast<size_t>(length) + 4 != bytes.size()) {
+  if (static_cast<size_t>(length) + kWireLengthSize != bytes.size()) {
     return Status::InvalidArgument("frame length mismatch");
   }
   if (raw_type < static_cast<uint8_t>(MessageType::kScatterRequest) ||
@@ -470,17 +469,17 @@ std::string Roundtrip(Transport& transport, size_t shard, std::string request) {
   // would have unwound on an exception path, so the wait state is shared,
   // not stack-owned.
   struct WaitState {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool ready = false;
-    Status status = Status::OK();
-    std::string frame;
+    dbsa::Mutex mu;
+    dbsa::CondVar cv;
+    bool ready DBSA_GUARDED_BY(mu) = false;
+    Status status DBSA_GUARDED_BY(mu) = Status::OK();
+    std::string frame DBSA_GUARDED_BY(mu);
   };
   auto state = std::make_shared<WaitState>();
   transport.Send(shard, std::move(request),
                  [state](StatusOr<std::string> result) {
                    {
-                     std::lock_guard<std::mutex> lock(state->mu);
+                     dbsa::MutexLock lock(state->mu);
                      if (result.ok()) {
                        state->frame = std::move(result).value();
                      } else {
@@ -488,10 +487,10 @@ std::string Roundtrip(Transport& transport, size_t shard, std::string request) {
                      }
                      state->ready = true;
                    }
-                   state->cv.notify_one();
+                   state->cv.NotifyOne();
                  });
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->ready; });
+  dbsa::MutexLock lock(state->mu);
+  while (!state->ready) state->cv.Wait(lock);
   if (!state->status.ok()) throw StatusException(state->status);
   return std::move(state->frame);
 }

@@ -82,10 +82,40 @@ inline constexpr uint16_t kWireMagic = 0xDB5A;
 /// reject every other version with a typed status.
 inline constexpr uint8_t kWireVersion = 4;
 
-/// Byte offset of the correlation id field within a framed message, and
-/// the envelope size (where the payload starts).
-inline constexpr size_t kWireCorrelationOffset = 8;
-inline constexpr size_t kWireEnvelopeSize = 16;
+/// Envelope field layout, as byte offsets from the start of a framed
+/// message: [u32 length][u16 magic][u8 version][u8 type][u64 correlation].
+/// The length field counts everything AFTER itself (header remainder +
+/// payload), so a framed message is kWireLengthSize + length bytes long.
+inline constexpr size_t kWireLengthSize = sizeof(uint32_t);
+inline constexpr size_t kWireMagicOffset = kWireLengthSize;
+inline constexpr size_t kWireVersionOffset =
+    kWireMagicOffset + sizeof(kWireMagic);
+inline constexpr size_t kWireTypeOffset =
+    kWireVersionOffset + sizeof(kWireVersion);
+inline constexpr size_t kWireCorrelationOffset =
+    kWireTypeOffset + sizeof(uint8_t);  // The type byte.
+inline constexpr size_t kWireEnvelopeSize =
+    kWireCorrelationOffset + sizeof(uint64_t);
+/// What the length field itself counts for an empty payload.
+inline constexpr size_t kWireHeaderAfterLength =
+    kWireEnvelopeSize - kWireLengthSize;
+
+// The layout above is normative: every encoder, decoder, correlation
+// patcher and type-byte peek in the codebase (and the external processes
+// on the other end of the socket) agrees on these exact offsets, and
+// docs/wire-format.md documents them as numbers. Freeze them — a drifted
+// field size or a reordered header must fail the build, not corrupt a
+// conversation with a peer that framed yesterday's layout.
+static_assert(kWireMagicOffset == 4, "wire envelope: magic moved");
+static_assert(kWireVersionOffset == 6, "wire envelope: version moved");
+static_assert(kWireTypeOffset == 7, "wire envelope: type moved");
+static_assert(kWireCorrelationOffset == 8, "wire envelope: correlation moved");
+static_assert(kWireEnvelopeSize == 16, "wire envelope: size changed");
+static_assert(kWireHeaderAfterLength == 12,
+              "wire envelope: length field no longer counts 12 header bytes");
+static_assert(kWireMagic == 0xDB5A, "wire magic changed");
+static_assert(kWireVersion == 4, "wire version changed — update the asserts "
+                                 "and docs/wire-format.md together");
 
 enum class MessageType : uint8_t {
   kScatterRequest = 1,

@@ -81,7 +81,7 @@ HistogramData Histogram::Snapshot() const {
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbsa::MutexLock lock(mu_);
   auto it = by_name_.find(name);
   if (it != by_name_.end()) return it->second.counter;
   counters_.emplace_back();
@@ -93,7 +93,7 @@ Counter* MetricRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbsa::MutexLock lock(mu_);
   auto it = by_name_.find(name);
   if (it != by_name_.end()) return it->second.gauge;
   gauges_.emplace_back();
@@ -105,7 +105,7 @@ Gauge* MetricRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dbsa::MutexLock lock(mu_);
   auto it = by_name_.find(name);
   if (it != by_name_.end()) return it->second.histogram;
   histograms_.emplace_back();
@@ -121,7 +121,7 @@ std::string MetricRegistry::RenderText() const {
   // (metric cells are atomics; pointers are stable).
   std::vector<std::pair<std::string, Slot>> slots;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbsa::MutexLock lock(mu_);
     slots.assign(by_name_.begin(), by_name_.end());
   }
 

@@ -30,10 +30,10 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "telemetry/histogram.h"
+#include "util/thread_annotations.h"
 
 namespace dbsa::telemetry {
 
@@ -141,11 +141,16 @@ class MetricRegistry {
     Histogram* histogram = nullptr;
   };
 
-  mutable std::mutex mu_;
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::map<std::string, Slot> by_name_;  ///< Ordered: render is sorted.
+  /// Resolution lock: guards the name directory and the metric storage
+  /// deques. Recording does NOT take it (pointers are stable, cells are
+  /// atomics); only GetCounter/GetGauge/GetHistogram and the directory
+  /// copy at the top of RenderText do.
+  mutable dbsa::Mutex mu_;
+  std::deque<Counter> counters_ DBSA_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ DBSA_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ DBSA_GUARDED_BY(mu_);
+  /// Ordered: render is sorted.
+  std::map<std::string, Slot> by_name_ DBSA_GUARDED_BY(mu_);
 };
 
 }  // namespace dbsa::telemetry

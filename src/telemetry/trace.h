@@ -12,17 +12,19 @@
 // the lock is per-query (never shared across queries) and only taken
 // when tracing is enabled.
 //
-// Like the rest of src/telemetry/, this header is std-only: core and
-// service include it, it includes neither.
+// Like the rest of src/telemetry/, this header depends only on std and
+// util/ (the annotated lock wrappers): core and service include it, it
+// includes neither.
 
 #ifndef DBSA_TELEMETRY_TRACE_H_
 #define DBSA_TELEMETRY_TRACE_H_
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace dbsa::telemetry {
 
@@ -77,21 +79,23 @@ class QueryTrace {
 
   void Record(const char* stage, double start_ms, double duration_ms,
               int shard = -1, uint64_t correlation = 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbsa::MutexLock lock(mu_);
     spans_.push_back(TraceSpan{stage, shard, start_ms, duration_ms, correlation});
   }
 
   /// Snapshot of recorded spans, in recording order.
   std::vector<TraceSpan> spans() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    dbsa::MutexLock lock(mu_);
     return spans_;
   }
 
  private:
   const TraceContext ctx_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
+  /// Per-query (never shared across queries): shard fan-out records
+  /// spans from pool and demux threads concurrently.
+  mutable dbsa::Mutex mu_;
+  std::vector<TraceSpan> spans_ DBSA_GUARDED_BY(mu_);
 };
 
 /// RAII span: times its scope and records on destruction. Null trace is

@@ -1,0 +1,173 @@
+// Compile-time race detection: Clang Thread Safety Analysis attribute
+// macros, plus the annotatable synchronization wrappers the serving
+// stack's lock discipline is written in.
+//
+// Why this exists: the concurrent layer (src/service/, src/telemetry/)
+// holds the byte-identity guarantee together under mutation — LRU caches,
+// the demux Op registry, admission-control depth, the listener connection
+// table. TSan catches only the interleavings the tests happen to run;
+// with these annotations the COMPILER rejects a program that touches a
+// guarded field without its lock, on every path, every build
+// (`-Wthread-safety -Werror`, the `static-analysis` CI job). See
+// docs/development.md ("Static analysis gates") for how to annotate a
+// new lock.
+//
+// On non-Clang compilers every macro expands to nothing and the wrappers
+// degrade to zero-overhead shims over the std types, so g++ builds are
+// unchanged. The wrappers — not bare std::mutex — are mandatory in
+// src/service/ and src/telemetry/ (scripts/check_lint.sh enforces it):
+// an unannotatable lock is invisible to the analysis, which is exactly
+// the hole this header closes.
+//
+//   dbsa::Mutex      annotated exclusive capability over std::mutex
+//   dbsa::MutexLock  scoped acquire/release (std::unique_lock inside)
+//   dbsa::CondVar    condition variable waiting on a MutexLock; wait
+//                    predicates are written as explicit while-loops in
+//                    the calling function so the analysis sees the reads
+//                    under the held capability (a lambda predicate is
+//                    analyzed as an unannotated function and rejected)
+
+#ifndef DBSA_UTIL_THREAD_ANNOTATIONS_H_
+#define DBSA_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define DBSA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DBSA_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no TSA
+#endif
+
+/// Declares a type to be a capability ("mutex" in diagnostics).
+#define DBSA_CAPABILITY(x) DBSA_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction.
+#define DBSA_SCOPED_CAPABILITY DBSA_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated field may only be read or written while `x` is held.
+#define DBSA_GUARDED_BY(x) DBSA_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointee of the annotated pointer is guarded by `x` (the pointer
+/// itself is not).
+#define DBSA_PT_GUARDED_BY(x) DBSA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called with the listed capabilities held
+/// exclusively; it does not acquire or release them (the *Locked helper
+/// idiom).
+#define DBSA_REQUIRES(...) \
+  DBSA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) version of DBSA_REQUIRES.
+#define DBSA_REQUIRES_SHARED(...) \
+  DBSA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on
+/// return.
+#define DBSA_ACQUIRE(...) \
+  DBSA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (which must be held on
+/// entry).
+#define DBSA_RELEASE(...) \
+  DBSA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define DBSA_TRY_ACQUIRE(result, ...) \
+  DBSA_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// The function must NOT be called with the listed capabilities held
+/// (deadlock documentation: e.g. a completion callback that re-enters
+/// Send must not run under the demux lock).
+#define DBSA_EXCLUDES(...) DBSA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations between capabilities.
+#define DBSA_ACQUIRED_BEFORE(...) \
+  DBSA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DBSA_ACQUIRED_AFTER(...) \
+  DBSA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define DBSA_RETURN_CAPABILITY(x) DBSA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch — turns the analysis off for one function. Every use
+/// must carry a comment saying why the invariant holds anyway.
+#define DBSA_NO_THREAD_SAFETY_ANALYSIS \
+  DBSA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dbsa {
+
+/// Exclusive mutex the analysis can track. Same cost and semantics as
+/// the std::mutex it wraps; Lock/Unlock exist for the rare manual
+/// acquisition — prefer MutexLock (scoped) everywhere else.
+class DBSA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DBSA_ACQUIRE() { mu_.lock(); }
+  void Unlock() DBSA_RELEASE() { mu_.unlock(); }
+  bool TryLock() DBSA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex: acquires at construction, releases at
+/// destruction (or at an explicit early Unlock()). This is the one
+/// blessed way to hold a Mutex in src/service/ and src/telemetry/.
+class DBSA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DBSA_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() DBSA_RELEASE() {}  // unique_lock releases unless Unlock() ran.
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Early release, e.g. to drop the lock before a long build. The
+  /// destructor then releases nothing.
+  void Unlock() DBSA_RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. Waits release the
+/// capability and re-acquire it before returning, which the analysis
+/// models as "still held across the call" — so guarded predicate reads
+/// belong in an explicit while-loop around Wait in the function that
+/// holds the lock:
+///
+///   MutexLock lock(mu_);
+///   while (queue_.empty() && !stop_) cv_.Wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One blocking wait (no predicate — loop in the caller, see above).
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Timed wait; returns false on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(MutexLock& lock,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dbsa
+
+#endif  // DBSA_UTIL_THREAD_ANNOTATIONS_H_

@@ -37,7 +37,8 @@ using dbsa::service::StatsRequest;
 using dbsa::service::kWireEnvelopeSize;
 
 void CheckOneInput(const uint8_t* data, size_t size) {
-  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  const std::string bytes(reinterpret_cast<const char*>(data),  // lint-allow-reinterpret: libFuzzer ABI hands uint8_t*, ParseFrame wants chars.
+                          size);
 
   MessageType type = MessageType::kScatterRequest;
   const char* payload = nullptr;
@@ -156,7 +157,8 @@ int main(int argc, char** argv) {
     seeds.push_back(std::move(bytes));
   }
   for (const std::string& seed : seeds) {
-    CheckOneInput(reinterpret_cast<const uint8_t*>(seed.data()), seed.size());
+    CheckOneInput(reinterpret_cast<const uint8_t*>(seed.data()),  // lint-allow-reinterpret: inverse of the ABI cast above.
+                  seed.size());
   }
   std::fprintf(stderr, "fuzz_parse_frame: %zu corpus seeds replayed\n",
                seeds.size());
@@ -173,7 +175,7 @@ int main(int argc, char** argv) {
   while (std::chrono::steady_clock::now() < stop) {
     for (int burst = 0; burst < 256; ++burst) {
       const std::string input = Mutate(seeds[rng() % seeds.size()], &rng);
-      CheckOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+      CheckOneInput(reinterpret_cast<const uint8_t*>(input.data()),  // lint-allow-reinterpret: inverse of the ABI cast above.
                     input.size());
       ++iterations;
     }

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Fuzz-corpus freshness gate: the checked-in seed corpus
+# (fuzz/corpus/parse_frame/) must be byte-identical to what
+# fuzz/make_corpus.cc emits from the CURRENT encoders. A wire change that
+# forgets to regenerate the corpus leaves the fuzzer mutating stale
+# frames — every seed dies at the version check and coverage silently
+# collapses to the error paths. Byte-diffing also doubles as an encoder
+# determinism check: two builds must produce identical frames.
+#
+# Usage: check_fuzz_corpus.sh [--require] [path/to/make_corpus]
+#   --require   fail instead of skipping when the binary is missing
+#               (CI builds make_corpus first, so it cannot skip there).
+#   binary      defaults to build/make_corpus (cmake -DDBSA_FUZZ=ON).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUIRE=0
+if [[ "${1:-}" == "--require" ]]; then
+  REQUIRE=1
+  shift
+fi
+BIN="${1:-build/make_corpus}"
+CORPUS=fuzz/corpus/parse_frame
+
+if [[ ! -x "$BIN" ]]; then
+  if [[ $REQUIRE -eq 1 ]]; then
+    echo "check_fuzz_corpus: $BIN not built (cmake -DDBSA_FUZZ=ON, target make_corpus)" >&2
+    exit 1
+  fi
+  echo "check_fuzz_corpus: $BIN not built — skipped (CI runs with --require)"
+  exit 0
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$BIN" "$tmp" >/dev/null
+
+fail=0
+# Every checked-in seed must be regenerated bit-for-bit, and nothing new
+# may appear that is not checked in.
+for want in "$CORPUS"/*.bin; do
+  name=$(basename "$want")
+  if [[ ! -f "$tmp/$name" ]]; then
+    echo "check_fuzz_corpus: $name checked in but no longer emitted — regenerate and commit: ./$BIN $CORPUS" >&2
+    fail=1
+  elif ! cmp -s "$want" "$tmp/$name"; then
+    echo "check_fuzz_corpus: $name is stale (encoder output changed) — regenerate and commit: ./$BIN $CORPUS" >&2
+    fail=1
+  fi
+done
+for got in "$tmp"/*.bin; do
+  name=$(basename "$got")
+  if [[ ! -f "$CORPUS/$name" ]]; then
+    echo "check_fuzz_corpus: $name emitted but not checked in — regenerate and commit: ./$BIN $CORPUS" >&2
+    fail=1
+  fi
+done
+
+if [[ $fail -ne 0 ]]; then
+  exit 1
+fi
+echo "check_fuzz_corpus: $(ls "$CORPUS"/*.bin | wc -l) seeds byte-identical"

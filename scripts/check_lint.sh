@@ -41,8 +41,13 @@ cxx_files() {
   find "$ROOT/$1" -type f \( -name '*.cc' -o -name '*.h' \) 2>/dev/null | sort
 }
 
+# Audited scope for the lock rules: the concurrent layers (service,
+# telemetry), the engine facade (core), and the fuzz harnesses — fuzz
+# drivers spawn servers too, so the same discipline applies.
+LOCK_DIRS=(src/service src/telemetry src/core fuzz)
+
 # ---- rule 1: no naked lock()/unlock()/try_lock() calls ----------------
-for dir in src/service src/telemetry; do
+for dir in "${LOCK_DIRS[@]}"; do
   while IFS= read -r file; do
     [[ "$file" == *"$WRAPPER" ]] && continue
     if grep -nE '\.(lock|unlock|try_lock)\(\)' "$file" \
@@ -53,7 +58,7 @@ for dir in src/service src/telemetry; do
 done
 
 # ---- rule 2: no raw std::mutex / std::condition_variable --------------
-for dir in src/service src/telemetry; do
+for dir in "${LOCK_DIRS[@]}"; do
   while IFS= read -r file; do
     [[ "$file" == *"$WRAPPER" ]] && continue
     if grep -nE 'std::(mutex|condition_variable|recursive_mutex|shared_mutex)\b' "$file" \
@@ -75,7 +80,7 @@ while IFS= read -r file; do
       | grep -vE '^[0-9]+: *//' | grep -v '// *lint-allow-reinterpret'; then
     err "$rel: reinterpret_cast outside the allowlist (scripts/check_lint.sh)"
   fi
-done < <(cxx_files src)
+done < <(cxx_files src; cxx_files fuzz)
 
 if [[ $fail -ne 0 ]]; then
   exit 1

@@ -1,0 +1,65 @@
+// Compile-time probe for util/determinism.h, driven by
+// scripts/check_determinism.sh (same prove-the-gate-is-live idiom as
+// scripts/wire_layout_probe.cc):
+//
+//   default                            — every helper instantiates clean;
+//   -DDBSA_DETERMINISM_PROBE_BAD_ITER  — RequireOrderedIteration on an
+//                                        unordered_map must NOT compile;
+//   -DDBSA_DETERMINISM_PROBE_BAD_MEMCPY — StoreWire of a padded struct
+//                                        must NOT compile.
+//
+// A static_assert that never fires is indistinguishable from a deleted
+// one; the bad legs are the proof it still bites.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/determinism.h"
+
+namespace {
+
+// Deliberately padded: 4-byte member then 2-byte member leaves 2 tail
+// padding bytes whose values are indeterminate — exactly what StoreWire
+// exists to keep off the wire.
+struct PaddedPair {
+  std::uint32_t a;
+  std::uint16_t b;
+};
+
+}  // namespace
+
+int main() {
+  using dbsa::util::BitCast;
+  using dbsa::util::LoadWire;
+  using dbsa::util::StoreWire;
+
+  // Good legs: the ordered container passes the gate, primitives round-trip.
+  dbsa::util::RequireOrderedIteration<std::map<int, int>>();
+  static_assert(!dbsa::util::kIsHashOrdered<std::map<int, int>>, "");
+  static_assert(dbsa::util::kIsHashOrdered<std::unordered_set<int>>, "");
+
+  char buf[sizeof(std::uint64_t)] = {};
+  StoreWire(buf, std::uint64_t{0x1122334455667788ULL});
+  const double d = BitCast<double>(LoadWire<std::uint64_t>(buf));
+  StoreWire(buf, BitCast<std::uint64_t>(d));
+
+  const std::unordered_map<int, int> m{{2, 20}, {1, 10}};
+  const auto keys = dbsa::util::SortedKeys(m);
+  const auto items = dbsa::util::SortedItems(m);
+
+#if defined(DBSA_DETERMINISM_PROBE_BAD_ITER)
+  // Must NOT compile: hash-ordered container on a deterministic path.
+  dbsa::util::RequireOrderedIteration<std::unordered_map<int, int>>();
+#endif
+
+#if defined(DBSA_DETERMINISM_PROBE_BAD_MEMCPY)
+  // Must NOT compile: whole-struct store would put padding on the wire.
+  const PaddedPair p{1, 2};
+  char frame[sizeof(PaddedPair)] = {};
+  StoreWire(frame, p);
+#endif
+
+  return static_cast<int>(keys.size() + items.size());
+}

@@ -1,0 +1,12 @@
+// Fixture: hash-order iteration feeding an accumulator, no allow tag.
+// check_determinism.sh rule 1 must flag the range-for below.
+#include <unordered_map>
+
+double SumInHashOrder(const std::unordered_map<int, double>& totals) {
+  double out = 0.0;
+  for (const auto& [key, value] : totals) {
+    (void)key;
+    out = out * 1.0000001 + value;  // Order-sensitive fold.
+  }
+  return out;
+}

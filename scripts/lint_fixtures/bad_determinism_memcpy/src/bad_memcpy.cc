@@ -1,0 +1,14 @@
+// Fixture: whole-struct memcpy into a frame buffer — copies the struct's
+// indeterminate padding bytes onto the wire. check_determinism.sh rule 3
+// must flag the untagged memcpy below.
+#include <cstdint>
+#include <cstring>
+
+struct Header {
+  std::uint32_t length;
+  std::uint16_t magic;  // 2 tail padding bytes follow.
+};
+
+void EncodeWholeStruct(char* frame, const Header& h) {
+  std::memcpy(frame, &h, sizeof(h));
+}

@@ -1,0 +1,8 @@
+// Fixture: std::map keyed on a pointer — iterates in address order,
+// different every run under ASLR. check_determinism.sh rule 2 must flag
+// the declaration below.
+#include <map>
+
+struct Session {};
+
+std::map<const Session*, int> open_sessions;

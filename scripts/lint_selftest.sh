@@ -16,6 +16,26 @@ err() {
   fail=1
 }
 
+# ---- 0. every fixture this selftest leans on must exist ---------------
+# A deleted or renamed fixture silently turns its leg into "checker ran
+# on nothing and passed" — the exact failure mode this selftest exists
+# to catch. Listed explicitly so a rename here and in the legs below has
+# to happen together.
+FIXTURES=(
+  scripts/lint_fixtures/bad_tree
+  scripts/lint_fixtures/bad_determinism_iter
+  scripts/lint_fixtures/bad_determinism_ptr_key
+  scripts/lint_fixtures/bad_determinism_memcpy
+  scripts/lint_fixtures/bad_off_lock_write.cc
+  scripts/wire_layout_probe.cc
+  scripts/determinism_probe.cc
+)
+for fixture in "${FIXTURES[@]}"; do
+  if [[ ! -e "$fixture" ]]; then
+    err "fixture missing: $fixture — a selftest leg below is running on nothing"
+  fi
+done
+
 # ---- 1. check_lint.sh must pass the real tree -------------------------
 if ! scripts/check_lint.sh >/dev/null; then
   err "check_lint.sh fails on the real tree (should be clean)"
@@ -35,7 +55,46 @@ if ! scripts/check_wire_layout.sh >/dev/null; then
   err "check_wire_layout.sh failed (layout drifted, or the bad probe compiled)"
 fi
 
-# ---- 4. thread-safety gate must FAIL the off-lock fixture -------------
+# ---- 4. determinism gate: real tree + one fixture per rule ------------
+# check_determinism.sh runs its own probe legs on the real tree (the
+# static_asserts in util/determinism.h must reject the bad
+# instantiations); each grep rule then proves itself against its own
+# fixture — one tree per rule, so a single dead grep cannot hide behind
+# the others.
+if ! scripts/check_determinism.sh >/dev/null; then
+  err "check_determinism.sh fails on the real tree (should be clean)"
+fi
+for fixture in bad_determinism_iter bad_determinism_ptr_key bad_determinism_memcpy; do
+  if scripts/check_determinism.sh "scripts/lint_fixtures/$fixture" >/dev/null 2>&1; then
+    err "check_determinism.sh PASSED $fixture — that rule's grep is dead"
+  fi
+done
+
+# ---- 5. fuzz-corpus freshness gate must reject a stale seed -----------
+# Self-skips when make_corpus is not built (CI builds it and runs with
+# --require). The negative leg regenerates into a scratch corpus, flips
+# one byte, and the gate must notice.
+if [[ -x build/make_corpus ]]; then
+  if ! scripts/check_fuzz_corpus.sh >/dev/null; then
+    err "check_fuzz_corpus.sh fails on the checked-in corpus (stale seeds?)"
+  fi
+  # Negative leg: regenerate, flip one payload byte in one seed, and the
+  # same byte-compare the gate relies on must notice the difference.
+  scratch=$(mktemp -d)
+  cp fuzz/corpus/parse_frame/scatter_select.bin "$scratch/"
+  printf '\xff' | dd of="$scratch/scatter_select.bin" bs=1 seek=12 count=1 \
+      conv=notrunc status=none
+  regen=$(mktemp -d)
+  ./build/make_corpus "$regen" >/dev/null
+  if cmp -s "$regen/scatter_select.bin" "$scratch/scatter_select.bin"; then
+    err "corpus negative leg: corrupted seed compares equal — cmp harness is dead"
+  fi
+  rm -rf "$scratch" "$regen"
+else
+  echo "lint_selftest: build/make_corpus not built — corpus legs skipped (CI runs them)"
+fi
+
+# ---- 6. thread-safety gate must FAIL the off-lock fixture -------------
 # Clang-only: the fixture writes a DBSA_GUARDED_BY field with no lock
 # held. Self-skips without clang (CI's static-analysis job has it).
 if command -v "${CLANGXX:-clang++}" >/dev/null 2>&1; then

@@ -38,6 +38,14 @@ enum class BoundKind : uint8_t {
   kExact = 2,
 };
 
+/// Number of BoundKind values; non-switch dispatch sites (wire
+/// validation in transport.cc) pin this with an adjacent static_assert
+/// so a new bound regime is a compile error at every handling site.
+inline constexpr int kBoundKindCount = 3;
+static_assert(static_cast<int>(BoundKind::kExact) + 1 == kBoundKindCount,
+              "BoundKind grew: bump kBoundKindCount, then fix every "
+              "static_assert(kBoundKindCount == ...) handling site");
+
 inline const char* BoundKindName(BoundKind kind) {
   switch (kind) {
     case BoundKind::kAbsoluteDistance:

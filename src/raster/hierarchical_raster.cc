@@ -102,10 +102,10 @@ HierarchicalRaster HierarchicalRaster::BuildEpsilonTopDown(const geom::Polygon& 
 
   // Per-level boundary cells (prefix -> present), from edge supercover.
   // Total work is O(perimeter / finest cell size), independent of area.
-  std::vector<std::unordered_set<uint64_t>> boundary(
+  std::vector<std::unordered_set<uint64_t>> boundary_by_level(
       static_cast<size_t>(max_level + 1));
   for (int l = start_level; l <= max_level; ++l) {
-    auto& set = boundary[static_cast<size_t>(l)];
+    auto& set = boundary_by_level[static_cast<size_t>(l)];
     poly.ForEachEdge([&](const geom::Point& a, const geom::Point& b) {
       TraverseSegment(a, b, grid, l, [&](uint32_t ix, uint32_t iy) {
         set.insert(sfc::MortonEncode(ix, iy));
@@ -121,7 +121,7 @@ HierarchicalRaster HierarchicalRaster::BuildEpsilonTopDown(const geom::Polygon& 
   while (!stack.empty()) {
     const auto [l, prefix] = stack.back();
     stack.pop_back();
-    const bool is_boundary = boundary[static_cast<size_t>(l)].count(prefix) > 0;
+    const bool is_boundary = boundary_by_level[static_cast<size_t>(l)].count(prefix) > 0;
     if (!is_boundary) {
       // Off-boundary cell: homogeneous; its center decides.
       uint32_t ix, iy;

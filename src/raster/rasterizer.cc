@@ -140,6 +140,8 @@ CellCover RasterizePolygon(const geom::Polygon& poly, const Grid& grid, int leve
 
   // Boundary filtering (non-conservative mode drops low-coverage cells).
   cover.boundary.reserve(boundary_set.size());
+  // dbsa-lint-allow(determinism): membership-filter walk — the result is
+  // sorted below before anything downstream can observe an order.
   for (const uint64_t key : boundary_set) {
     const uint32_t ix = static_cast<uint32_t>(key & 0xffffffffu);
     const uint32_t iy = static_cast<uint32_t>(key >> 32);

@@ -1,7 +1,8 @@
 #include "service/approx_cache.h"
 
-#include <cstring>
 #include <utility>
+
+#include "util/determinism.h"
 
 namespace dbsa::service {
 
@@ -16,9 +17,7 @@ inline uint64_t FnvMixBits(uint64_t h, uint64_t bits) {
 }
 
 inline uint64_t FnvMix(uint64_t h, double v) {
-  uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return FnvMixBits(h, bits);
+  return FnvMixBits(h, util::BitCast<uint64_t>(v));
 }
 
 /// One FNV-1a stream over a ring's vertex bytes plus a separator, so

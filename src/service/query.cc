@@ -3,6 +3,7 @@
 namespace dbsa::service {
 
 const char* QueryKindName(QueryKind kind) {
+  static_assert(kQueryKindCount == 3, "new query kind: name it below");
   switch (kind) {
     case QueryKind::kAggregate:
       return "aggregate";
@@ -15,6 +16,7 @@ const char* QueryKindName(QueryKind kind) {
 }
 
 const char* ExecPathName(ExecPath path) {
+  static_assert(kExecPathCount == 3, "new execution path: name it below");
   switch (path) {
     case ExecPath::kLocal:
       return "local";

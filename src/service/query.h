@@ -68,6 +68,19 @@ using QuerySpec = std::variant<AggregateSpec, CountSpec, SelectSpec>;
 /// Reporting tag of a spec (Result::kind); tracks the variant order.
 enum class QueryKind : uint8_t { kAggregate = 0, kCount = 1, kSelect = 2 };
 
+/// Number of query kinds — pinned to the variant arity so the tag enum
+/// and the descriptor union cannot drift apart. Every visitor dispatch
+/// site carries an adjacent `static_assert(std::variant_size_v<QuerySpec>
+/// == kQueryKindCount)`: adding a query kind is then a compile error at
+/// each site that must learn to handle it, not a silent std::visit
+/// fallthrough into generic-lambda behaviour.
+inline constexpr int kQueryKindCount = 3;
+static_assert(std::variant_size_v<QuerySpec> == kQueryKindCount,
+              "QuerySpec grew: bump kQueryKindCount, extend QueryKind, then "
+              "fix every static_assert(kQueryKindCount == ...) dispatch site");
+static_assert(static_cast<int>(QueryKind::kSelect) + 1 == kQueryKindCount,
+              "QueryKind must track the variant order and arity");
+
 const char* QueryKindName(QueryKind kind);
 
 /// One query, built from a typed descriptor.
@@ -141,6 +154,12 @@ enum class ExecPath : uint8_t {
   kSharded = 1,    ///< In-process scatter-gather across spatial shards.
   kTransport = 2,  ///< Shard servers behind the serialized message seam.
 };
+
+/// Number of ExecPath values (see kQueryKindCount for the convention).
+inline constexpr int kExecPathCount = 3;
+static_assert(static_cast<int>(ExecPath::kTransport) + 1 == kExecPathCount,
+              "ExecPath grew: bump kExecPathCount and fix the asserting "
+              "dispatch sites");
 
 const char* ExecPathName(ExecPath path);
 

@@ -324,6 +324,14 @@ Result QueryService::RunQuery(uint64_t ticket, const Query& query,
   // exception in a future, so one poisoned query can neither abort a
   // Drain nor share exception state across threads.
   try {
+    // The service's ONE spec dispatch: the generic lambda resolves to the
+    // RunSpec overload set, so a new variant alternative without its
+    // RunSpec overload fails right here — the assert makes the failure a
+    // named instruction instead of an overload-resolution spew.
+    static_assert(std::variant_size_v<QuerySpec> == kQueryKindCount,
+                  "new query kind: add a RunSpec overload, then audit the "
+                  "shard seam (ScatterRequest::Kind) and BaselineSpec in "
+                  "the envelope tests");
     query.Visit(
         [&](const auto& spec) { RunSpec(spec, options, trace.get(), &result); });
     result.status = Status::OK();

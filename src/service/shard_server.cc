@@ -158,6 +158,8 @@ GatherPartial ShardServer::Dispatch(const ScatterRequest& request) {
   if (state_ == nullptr || !state_->point_index.has_value() || num_cells == 0) {
     return out;  // Empty shard or empty slice: zero partial.
   }
+  static_assert(ScatterRequest::kKindCount == 3,
+                "new scatter kind: execute it against the shard slice below");
   switch (request.kind) {
     case ScatterRequest::Kind::kAggregateCells: {
       out.aggregate = state_->point_index->QueryCells(

@@ -9,18 +9,6 @@
 
 namespace dbsa::service {
 
-void WireWriter::Raw(const void* data, size_t n) {
-  // Values are written in host order; the supported targets are
-  // little-endian (static_assert below would be the place to widen this).
-  out_.append(static_cast<const char*>(data), n);
-}
-
-void WireWriter::F64(double v) {
-  uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  U64(bits);
-}
-
 std::string WireWriter::TakeFramed(MessageType type, uint64_t correlation) {
   WireWriter framed;
   // magic+version+type+correlation.
@@ -32,48 +20,6 @@ std::string WireWriter::TakeFramed(MessageType type, uint64_t correlation) {
   framed.Bytes(out_.data(), out_.size());
   out_.clear();
   return std::move(framed.out_);
-}
-
-void WireReader::Raw(void* out, size_t n) {
-  if (!ok_ || n_ - pos_ < n) {
-    ok_ = false;
-    std::memset(out, 0, n);
-    return;
-  }
-  std::memcpy(out, p_ + pos_, n);
-  pos_ += n;
-}
-
-uint8_t WireReader::U8() {
-  uint8_t v = 0;
-  Raw(&v, sizeof(v));
-  return v;
-}
-uint16_t WireReader::U16() {
-  uint16_t v = 0;
-  Raw(&v, sizeof(v));
-  return v;
-}
-uint32_t WireReader::U32() {
-  uint32_t v = 0;
-  Raw(&v, sizeof(v));
-  return v;
-}
-uint64_t WireReader::U64() {
-  uint64_t v = 0;
-  Raw(&v, sizeof(v));
-  return v;
-}
-int32_t WireReader::I32() {
-  int32_t v = 0;
-  Raw(&v, sizeof(v));
-  return v;
-}
-double WireReader::F64() {
-  const uint64_t bits = U64();
-  double v = 0.0;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
 }
 
 Status ParseFrame(const std::string& bytes, MessageType* type,
@@ -108,6 +54,9 @@ Status ParseFrame(const std::string& bytes, MessageType* type,
   if (static_cast<size_t>(length) + kWireLengthSize != bytes.size()) {
     return Status::InvalidArgument("frame length mismatch");
   }
+  static_assert(kMessageTypeCount == 4,
+                "new MessageType: widen this acceptance range (and teach "
+                "ShardListener / the demux loops to route it)");
   if (raw_type < static_cast<uint8_t>(MessageType::kScatterRequest) ||
       raw_type > static_cast<uint8_t>(MessageType::kStatsReply)) {
     return Status::InvalidArgument("unknown message type " +
@@ -122,15 +71,12 @@ Status ParseFrame(const std::string& bytes, MessageType* type,
 
 uint64_t PeekCorrelation(const std::string& frame) {
   if (frame.size() < kWireEnvelopeSize) return 0;
-  uint64_t corr = 0;
-  std::memcpy(&corr, frame.data() + kWireCorrelationOffset, sizeof(corr));
-  return corr;
+  return util::LoadWire<uint64_t>(frame.data() + kWireCorrelationOffset);
 }
 
 void PatchCorrelation(std::string* frame, uint64_t correlation) {
   if (frame->size() < kWireEnvelopeSize) return;
-  std::memcpy(frame->data() + kWireCorrelationOffset, &correlation,
-              sizeof(correlation));
+  util::StoreWire(frame->data() + kWireCorrelationOffset, correlation);
 }
 
 namespace {
@@ -150,14 +96,23 @@ constexpr uint8_t kFlagHasObject = 1u << 0;
 constexpr uint8_t kFlagHasCells = 1u << 1;
 
 bool ValidScatterKind(uint8_t k) {
+  static_assert(ScatterRequest::kKindCount == 3,
+                "new scatter kind: widen this acceptance bound");
   return k <= static_cast<uint8_t>(ScatterRequest::Kind::kWarm);
 }
 
 bool ValidBoundKind(uint8_t k) {
+  static_assert(query::kBoundKindCount == 3,
+                "new bound kind: widen this acceptance bound");
   return k <= static_cast<uint8_t>(query::BoundKind::kExact);
 }
 
-bool ValidStatusCode(uint8_t c) { return c <= static_cast<uint8_t>(kMaxStatusCode); }
+bool ValidStatusCode(uint8_t c) {
+  static_assert(kStatusCodeCount == 9,
+                "new StatusCode: widen this acceptance bound (codes are "
+                "stable wire values — append only)");
+  return c <= static_cast<uint8_t>(kMaxStatusCode);
+}
 
 }  // namespace
 
@@ -252,6 +207,8 @@ Status ScatterRequest::Decode(const std::string& bytes, ScatterRequest* out) {
 }
 
 dbsa::Status GatherPartial::ToStatus() const {
+  static_assert(kDispositionCount == 3,
+                "new disposition: give it a typed status mapping below");
   switch (status) {
     case Disposition::kOk:
       return Status::OK();
@@ -286,6 +243,9 @@ std::string GatherPartial::Encode() const {
     w.U32(static_cast<uint32_t>(error.size()));
     w.Bytes(error.data(), error.size());
   } else {
+    static_assert(ScatterRequest::kKindCount == 3,
+                  "new scatter kind: encode its partial payload below (and "
+                  "mirror the decoder + docs/wire-format.md)");
     switch (kind) {
       case ScatterRequest::Kind::kAggregateCells: {
         w.F64(aggregate.count);
@@ -353,6 +313,8 @@ dbsa::Status GatherPartial::Decode(const std::string& bytes, GatherPartial* out)
     out->error.assign(payload + (payload_size - n), n);
     return Status::OK();
   }
+  static_assert(ScatterRequest::kKindCount == 3,
+                "new scatter kind: decode its partial payload below");
   switch (out->kind) {
     case ScatterRequest::Kind::kAggregateCells: {
       out->aggregate.count = r.F64();

@@ -67,6 +67,7 @@
 #include "raster/hierarchical_raster.h"
 #include "service/approx_cache.h"
 #include "telemetry/metrics.h"
+#include "util/determinism.h"
 #include "util/status.h"
 
 namespace dbsa::service {
@@ -124,16 +125,38 @@ enum class MessageType : uint8_t {
   kStatsReply = 4,    ///< Admin: Prometheus text exposition bytes.
 };
 
+/// Number of MessageType values (wire types number 1..kMessageTypeCount;
+/// zero is reserved as never-valid). Non-switch dispatch sites — frame
+/// type validation, the listener's type-byte peek — pin this with an
+/// adjacent static_assert so a new frame type is a compile error at
+/// every site that must learn to route it.
+inline constexpr int kMessageTypeCount = 4;
+static_assert(static_cast<int>(MessageType::kStatsReply) == kMessageTypeCount,
+              "MessageType grew: bump kMessageTypeCount, then fix every "
+              "static_assert(kMessageTypeCount == ...) handling site and "
+              "docs/wire-format.md");
+
+/// Serializes payload fields. Deliberately field-wise: the only way to
+/// put bytes on the wire is one arithmetic/enum primitive at a time
+/// (util::StoreWire rejects whole structs at compile time) or an
+/// explicit length-counted byte string. Struct padding therefore cannot
+/// reach a frame — the layout on the wire is the one docs/wire-format.md
+/// spells, never whatever the host ABI happened to pack.
 class WireWriter {
  public:
   void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U16(uint16_t v) { Raw(&v, sizeof(v)); }
-  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
-  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
-  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void U16(uint16_t v) { Put(v); }
+  void U32(uint32_t v) { Put(v); }
+  void U64(uint64_t v) { Put(v); }
+  void I32(int32_t v) { Put(v); }
   /// IEEE-754 bit pattern — bit-exact round trip.
-  void F64(double v);
-  void Bytes(const void* data, size_t n) { Raw(data, n); }
+  void F64(double v) { Put(util::BitCast<uint64_t>(v)); }
+  /// Opaque byte strings (error text, stats expositions) — callers
+  /// always write a length field first; this is not a struct escape
+  /// hatch (check_determinism.sh keeps raw memcpy out of the encoders).
+  void Bytes(const void* data, size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
 
   const std::string& payload() const { return out_; }
 
@@ -144,23 +167,35 @@ class WireWriter {
   std::string TakeFramed(MessageType type, uint64_t correlation = 0);
 
  private:
-  void Raw(const void* data, size_t n);
+  /// Values are written in host order; the supported targets are
+  /// little-endian (a static_assert here would be the place to widen
+  /// this). StoreWire statically rejects non-primitive T.
+  template <typename T>
+  void Put(const T& v) {
+    char buf[sizeof(T)];
+    util::StoreWire(buf, v);
+    out_.append(buf, sizeof(T));
+  }
 
   std::string out_;
 };
 
+/// Bounds-checked field-wise decoder: any read past the end flips ok()
+/// and returns zeros, so decoders can validate once at the end instead
+/// of after every field. Like WireWriter, reads are typed primitives
+/// only — a frame is never read through a struct layout.
 class WireReader {
  public:
   WireReader(const void* data, size_t n)
       : p_(static_cast<const uint8_t*>(data)), n_(n) {}
   explicit WireReader(const std::string& bytes) : WireReader(bytes.data(), bytes.size()) {}
 
-  uint8_t U8();
-  uint16_t U16();
-  uint32_t U32();
-  uint64_t U64();
-  int32_t I32();
-  double F64();
+  uint8_t U8() { return Take<uint8_t>(); }
+  uint16_t U16() { return Take<uint16_t>(); }
+  uint32_t U32() { return Take<uint32_t>(); }
+  uint64_t U64() { return Take<uint64_t>(); }
+  int32_t I32() { return Take<int32_t>(); }
+  double F64() { return util::BitCast<double>(Take<uint64_t>()); }
 
   /// True iff every read so far was in bounds.
   bool ok() const { return ok_; }
@@ -169,7 +204,16 @@ class WireReader {
   size_t remaining() const { return n_ - pos_; }
 
  private:
-  void Raw(void* out, size_t n);
+  template <typename T>
+  T Take() {
+    if (!ok_ || n_ - pos_ < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    const T v = util::LoadWire<T>(p_ + pos_);
+    pos_ += sizeof(T);
+    return v;
+  }
 
   const uint8_t* p_;
   size_t n_;
@@ -214,6 +258,9 @@ struct ScatterRequest {
     kSelectIds = 1,       ///< GatherPartial carries (leaf key, id) pairs.
     kWarm = 2,            ///< Cache the cells; no execution.
   };
+  /// Pinned at every Kind dispatch (encoder, decoder, server handler) by
+  /// an adjacent static_assert — a new request kind must visit each.
+  static constexpr int kKindCount = 3;
 
   Kind kind = Kind::kAggregateCells;
   /// The query's distance-bound contract as submitted (v2 envelope
@@ -258,6 +305,8 @@ struct GatherPartial {
     kError = 1,      ///< `code` + `error` carry the typed failure.
     kNotCached = 2,  ///< Cache reference missed; resend with cells.
   };
+  /// Pinned at the disposition dispatches (ToStatus, wire validation).
+  static constexpr int kDispositionCount = 3;
 
   ScatterRequest::Kind kind = ScatterRequest::Kind::kAggregateCells;
   Disposition status = Disposition::kOk;

@@ -132,6 +132,8 @@ std::string MetricRegistry::RenderText() const {
     const std::string family = FamilyOf(name);
     if (family != last_family) {
       out += "# TYPE " + family + " ";
+      static_assert(kMetricKindCount == 3,
+                    "new MetricKind: extend both RenderText switches below");
       switch (slot.kind) {
         case MetricKind::kCounter: out += "counter"; break;
         case MetricKind::kGauge: out += "gauge"; break;

@@ -33,6 +33,7 @@
 #include <string>
 
 #include "telemetry/histogram.h"
+#include "util/determinism.h"
 #include "util/thread_annotations.h"
 
 namespace dbsa::telemetry {
@@ -70,16 +71,10 @@ class Counter {
 class Gauge {
  public:
   void Set(double v) {
-    uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
-    __builtin_memcpy(&bits, &v, sizeof(bits));
-    bits_.store(bits, std::memory_order_relaxed);
+    bits_.store(util::BitCast<uint64_t>(v), std::memory_order_relaxed);
   }
   double Value() const {
-    const uint64_t bits = bits_.load(std::memory_order_relaxed);
-    double v = 0.0;
-    __builtin_memcpy(&v, &bits, sizeof(v));
-    return v;
+    return util::BitCast<double>(bits_.load(std::memory_order_relaxed));
   }
 
  private:
@@ -134,6 +129,8 @@ class MetricRegistry {
 
  private:
   enum class MetricKind { kCounter, kGauge, kHistogram };
+  /// Pinned at the RenderText dispatch (see util/status.h convention).
+  static constexpr int kMetricKindCount = 3;
   struct Slot {
     MetricKind kind;
     Counter* counter = nullptr;

@@ -3,6 +3,10 @@
 namespace dbsa {
 
 const char* StatusCodeName(StatusCode code) {
+  static_assert(kStatusCodeCount == 9,
+                "new StatusCode: add its name below (the switch itself is "
+                "caught by -Werror=switch-enum; this assert catches a "
+                "renumbering that keeps the arity)");
   switch (code) {
     case StatusCode::kOk:
       return "OK";

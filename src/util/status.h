@@ -30,6 +30,17 @@ enum class StatusCode {
 /// Stable upper bound of the enum (wire validation).
 inline constexpr StatusCode kMaxStatusCode = StatusCode::kUnavailable;
 
+/// Number of StatusCode values. Every non-switch dispatch over
+/// StatusCode (name tables, wire validation) pins this with an adjacent
+/// `static_assert(kStatusCodeCount == ...)`, so appending a code is a
+/// compile error at each handling site instead of a silent fallthrough
+/// (-Werror=switch-enum already covers the plain switches).
+inline constexpr int kStatusCodeCount = 9;
+static_assert(static_cast<int>(kMaxStatusCode) + 1 == kStatusCodeCount,
+              "StatusCode grew: bump kStatusCodeCount, then fix every "
+              "static_assert(kStatusCodeCount == ...) handling site the "
+              "bump flushes out");
+
 const char* StatusCodeName(StatusCode code);
 
 /// Result of a fallible operation: a code plus a human-readable message.

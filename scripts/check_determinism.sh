@@ -16,12 +16,15 @@
 #   2. POINTER-KEYED ORDERED CONTAINERS — std::map/std::set keyed on a
 #      pointer iterate in address order, which varies run to run; same
 #      tag discipline.
-#   3. RAW memcpy — a whole-struct memcpy into a wire buffer copies
-#      indeterminate padding bytes onto the wire. All byte movement goes
-#      through util::StoreWire / LoadWire / BitCast, whose static_asserts
-#      reject anything that can carry padding; the only raw memcpys are
-#      inside util/determinism.h itself or tagged
-#      `dbsa-lint-allow(memcpy): <why>`.
+#   3. RAW BYTE COPIES — a whole-struct memcpy (any spelling: memcpy,
+#      std::memcpy, __builtin_memcpy) or a std::copy/std::copy_n into a
+#      wire buffer copies indeterminate padding bytes onto the wire. All
+#      byte movement goes through util::StoreWire / LoadWire / BitCast,
+#      whose static_asserts reject anything that can carry padding; the
+#      only raw copies are inside util/determinism.h itself or tagged
+#      `dbsa-lint-allow(memcpy): <why>`. (Known escape: a bare
+#      unqualified `copy(` from a `using namespace std` — the audited
+#      dirs never use that.)
 #
 # Then the compiled legs (real tree only): scripts/determinism_probe.cc
 # must compile clean, and its two deliberately-bad variants
@@ -101,18 +104,22 @@ while IFS= read -r file; do
              | grep -vE '^[0-9]+: *//' || true)
 done < <(cxx_files)
 
-# ---- rule 3: no raw memcpy ---------------------------------------------
+# ---- rule 3: no raw byte copies ----------------------------------------
 # Field movement goes through util::StoreWire/LoadWire/BitCast; those
 # three carry the blessed in-header tags. Anything else needs its own
-# audited tag (the POSIX sockaddr blob in socket_transport.cc is the
-# whole current set).
+# audited tag (the POSIX sockaddr blob and the framing-prefix splice in
+# socket_transport.cc are the whole current set). The pattern must catch
+# every spelling that moves raw bytes: \bmemcpy misses __builtin_memcpy
+# (underscore is a word character, so \b never fires there), and
+# std::copy of char ranges is memcpy in std:: clothing — both are
+# matched explicitly.
 while IFS= read -r file; do
   while IFS=: read -r line _; do
     [[ -z "$line" ]] && continue
     if ! has_tag "$file" "$line" 'dbsa-lint-allow(memcpy)'; then
-      err "$file:$line: raw memcpy — encode field-wise via util::StoreWire/LoadWire/BitCast (util/determinism.h), or tag dbsa-lint-allow(memcpy) with a rationale"
+      err "$file:$line: raw byte copy (memcpy/__builtin_memcpy/std::copy) — encode field-wise via util::StoreWire/LoadWire/BitCast (util/determinism.h), or tag dbsa-lint-allow(memcpy) with a rationale"
     fi
-  done < <(grep -nE '\bmemcpy[[:space:]]*\(' "$file" \
+  done < <(grep -nE '(^|[^A-Za-z0-9_])((__builtin_)?memcpy|std::copy(_n)?)[[:space:]]*\(' "$file" \
              | grep -vE '^[0-9]+: *//' || true)
 done < <(cxx_files)
 

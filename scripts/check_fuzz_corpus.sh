@@ -7,10 +7,13 @@
 # collapses to the error paths. Byte-diffing also doubles as an encoder
 # determinism check: two builds must produce identical frames.
 #
-# Usage: check_fuzz_corpus.sh [--require] [path/to/make_corpus]
+# Usage: check_fuzz_corpus.sh [--require] [path/to/make_corpus] [corpus-dir]
 #   --require   fail instead of skipping when the binary is missing
 #               (CI builds make_corpus first, so it cannot skip there).
 #   binary      defaults to build/make_corpus (cmake -DDBSA_FUZZ=ON).
+#   corpus-dir  defaults to fuzz/corpus/parse_frame; lint_selftest.sh
+#               points it at deliberately-corrupted scratch corpora to
+#               prove the stale/missing/extra-seed legs below are live.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +23,7 @@ if [[ "${1:-}" == "--require" ]]; then
   shift
 fi
 BIN="${1:-build/make_corpus}"
-CORPUS=fuzz/corpus/parse_frame
+CORPUS="${2:-fuzz/corpus/parse_frame}"
 
 if [[ ! -x "$BIN" ]]; then
   if [[ $REQUIRE -eq 1 ]]; then

@@ -1,0 +1,13 @@
+// Fixture: whole-struct __builtin_memcpy into a frame buffer — same
+// padding leak as plain memcpy, but the underscore defeats a naive
+// \bmemcpy word-boundary pattern (underscore is a word character, so \b
+// never fires). check_determinism.sh rule 3 must flag the untagged
+// copy below; if it passes, the builtin spelling has gone invisible.
+struct Header {
+  unsigned short magic;   // 2 bytes, then 6 bytes padding
+  unsigned long long correlation;
+};
+
+void Encode(const Header& h, char* frame) {
+  __builtin_memcpy(frame, &h, sizeof(h));
+}

@@ -1,0 +1,15 @@
+// Fixture: std::copy of a struct's raw bytes into a frame buffer —
+// memcpy in std:: clothing, moving the same indeterminate padding bytes
+// without ever spelling "memcpy". check_determinism.sh rule 3 must flag
+// the untagged copy below; if it passes, the std::copy leg is dead.
+#include <algorithm>
+
+struct Header {
+  unsigned short magic;   // 2 bytes, then 6 bytes padding
+  unsigned long long correlation;
+};
+
+void Encode(const Header& h, char* frame) {
+  const char* bytes = reinterpret_cast<const char*>(&h);
+  std::copy(bytes, bytes + sizeof(h), frame);
+}

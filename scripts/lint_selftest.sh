@@ -26,6 +26,8 @@ FIXTURES=(
   scripts/lint_fixtures/bad_determinism_iter
   scripts/lint_fixtures/bad_determinism_ptr_key
   scripts/lint_fixtures/bad_determinism_memcpy
+  scripts/lint_fixtures/bad_determinism_builtin_memcpy
+  scripts/lint_fixtures/bad_determinism_copy
   scripts/lint_fixtures/bad_off_lock_write.cc
   scripts/wire_layout_probe.cc
   scripts/determinism_probe.cc
@@ -64,32 +66,56 @@ fi
 if ! scripts/check_determinism.sh >/dev/null; then
   err "check_determinism.sh fails on the real tree (should be clean)"
 fi
-for fixture in bad_determinism_iter bad_determinism_ptr_key bad_determinism_memcpy; do
+# bad_determinism_builtin_memcpy / bad_determinism_copy are separate
+# trees, not extra files in bad_determinism_memcpy: sharing a tree would
+# let a dead sub-pattern (__builtin_memcpy, std::copy) hide behind the
+# plain-memcpy file still tripping the gate.
+for fixture in bad_determinism_iter bad_determinism_ptr_key \
+               bad_determinism_memcpy bad_determinism_builtin_memcpy \
+               bad_determinism_copy; do
   if scripts/check_determinism.sh "scripts/lint_fixtures/$fixture" >/dev/null 2>&1; then
     err "check_determinism.sh PASSED $fixture — that rule's grep is dead"
   fi
 done
 
-# ---- 5. fuzz-corpus freshness gate must reject a stale seed -----------
+# ---- 5. fuzz-corpus freshness gate must reject a bad corpus -----------
 # Self-skips when make_corpus is not built (CI builds it and runs with
-# --require). The negative leg regenerates into a scratch corpus, flips
-# one byte, and the gate must notice.
+# --require). Each negative leg points check_fuzz_corpus.sh ITSELF at a
+# scratch corpus dir — exercising the gate script's own diff loops, not
+# a re-implementation of them — and the gate must exit nonzero. Three
+# legs, one per failure mode the gate claims to catch: a stale seed, a
+# seed the encoders no longer emit, and an emitted seed that is missing.
 if [[ -x build/make_corpus ]]; then
   if ! scripts/check_fuzz_corpus.sh >/dev/null; then
     err "check_fuzz_corpus.sh fails on the checked-in corpus (stale seeds?)"
   fi
-  # Negative leg: regenerate, flip one payload byte in one seed, and the
-  # same byte-compare the gate relies on must notice the difference.
   scratch=$(mktemp -d)
-  cp fuzz/corpus/parse_frame/scatter_select.bin "$scratch/"
-  printf '\xff' | dd of="$scratch/scatter_select.bin" bs=1 seek=12 count=1 \
-      conv=notrunc status=none
-  regen=$(mktemp -d)
-  ./build/make_corpus "$regen" >/dev/null
-  if cmp -s "$regen/scatter_select.bin" "$scratch/scatter_select.bin"; then
-    err "corpus negative leg: corrupted seed compares equal — cmp harness is dead"
+  # Stale-seed leg: XOR-flip one payload byte (complementing whatever
+  # value is there — a stored constant would stop detecting corruption
+  # the day the encoder happened to emit that constant).
+  cp fuzz/corpus/parse_frame/*.bin "$scratch/"
+  byte=$(od -An -tu1 -j12 -N1 "$scratch/scatter_select.bin" | tr -d ' ')
+  printf "$(printf '\\%03o' $((byte ^ 0xff)))" \
+    | dd of="$scratch/scatter_select.bin" bs=1 seek=12 count=1 \
+        conv=notrunc status=none
+  if scripts/check_fuzz_corpus.sh build/make_corpus "$scratch" >/dev/null 2>&1; then
+    err "corpus stale-seed leg: gate PASSED a corrupted seed — its cmp loop is dead"
   fi
-  rm -rf "$scratch" "$regen"
+  # Extra-seed leg: a checked-in seed the encoders no longer emit.
+  rm -rf "$scratch"; scratch=$(mktemp -d)
+  cp fuzz/corpus/parse_frame/*.bin "$scratch/"
+  cp "$scratch/scatter_select.bin" "$scratch/zz_orphaned_seed.bin"
+  if scripts/check_fuzz_corpus.sh build/make_corpus "$scratch" >/dev/null 2>&1; then
+    err "corpus extra-seed leg: gate PASSED an orphaned seed — its no-longer-emitted loop is dead"
+  fi
+  # Missing-seed leg: an emitted seed absent from the corpus.
+  rm -rf "$scratch"; scratch=$(mktemp -d)
+  cp fuzz/corpus/parse_frame/*.bin "$scratch/"
+  rm "$scratch/scatter_select.bin"
+  if scripts/check_fuzz_corpus.sh build/make_corpus "$scratch" >/dev/null 2>&1; then
+    err "corpus missing-seed leg: gate PASSED an incomplete corpus — its not-checked-in loop is dead"
+  fi
+  rm -rf "$scratch"
 else
   echo "lint_selftest: build/make_corpus not built — corpus legs skipped (CI runs them)"
 fi

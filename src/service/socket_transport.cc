@@ -142,6 +142,9 @@ StatusOr<std::string> ReadFrame(int fd, size_t max_frame_bytes,
   }
   std::string frame;
   frame.resize(kWireLengthSize + static_cast<size_t>(length));
+  // dbsa-lint-allow(memcpy): splicing the already-received length prefix
+  // back onto the frame — char-to-char of bytes the peer sent, no struct
+  // and no padding can be involved.
   std::copy(prefix, prefix + sizeof(prefix), &frame[0]);
   const Status got_body =
       RecvExactly(fd, &frame[4], static_cast<size_t>(length), deadline);

@@ -152,11 +152,14 @@ class WireWriter {
   /// IEEE-754 bit pattern — bit-exact round trip.
   void F64(double v) { Put(util::BitCast<uint64_t>(v)); }
   /// Opaque byte strings (error text, stats expositions) — callers
-  /// always write a length field first; this is not a struct escape
-  /// hatch (check_determinism.sh keeps raw memcpy out of the encoders).
-  void Bytes(const void* data, size_t n) {
-    out_.append(static_cast<const char*>(data), n);
-  }
+  /// always write a length field first. Typed char*-only so this is not
+  /// a struct escape hatch: `w.Bytes(&some_struct, sizeof(...))` would
+  /// put padding bytes on the wire without any memcpy token for
+  /// check_determinism.sh to see, so the deleted overload makes it a
+  /// compile error instead.
+  void Bytes(const char* data, size_t n) { out_.append(data, n); }
+  template <typename T>
+  void Bytes(const T*, size_t) = delete;  // field-wise encode via U8/.../F64
 
   const std::string& payload() const { return out_; }
 

@@ -45,6 +45,11 @@
 // vs depth is the case for the async seam: >= 1x at depth 1 (the tag
 // adds nothing when there is nothing to overlap) and growing with depth.
 //
+// A startup section (RunStartup) prices the snapshot interchange
+// (docs/snapshot-format.md): per-shard process start rebuilding the
+// dataset vs loading an epoch-stamped slice file, and post-failover
+// replica latency with a cold cell cache vs rewarm_on_failover.
+//
 // A sixth section measures the telemetry layer: the repeated-epsilon
 // workload warm, tracing + slow-query accounting ON vs OFF. Tracing is
 // observe-only by contract (payloads byte-identical either way); this
@@ -55,6 +60,7 @@
 // Flags: --points=N --regions=N --rounds=N --max_threads=N
 //        --max_shards=N --viewports=N --json_out=PATH
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -64,6 +70,7 @@
 #include "bench_util.h"
 #include "service/query_service.h"
 #include "service/socket_cluster.h"
+#include "snapshot/snapshot.h"
 
 namespace dbsa {
 namespace {
@@ -714,6 +721,179 @@ void RunTelemetry(size_t n_points, size_t n_regions, size_t rounds,
       .Print();
 }
 
+/// The snapshot-startup section: what epoch-stamped snapshot files
+/// (src/snapshot/, docs/snapshot-format.md) buy at the two moments that
+/// matter operationally. (a) Process start: a shard server without a
+/// snapshot rebuilds the WHOLE dataset to agree on the shard cuts and
+/// then slices its own shard (ShardingOptions::only_slice); with one it
+/// parses + assembles its slice file. (b) Failover: a freshly promoted
+/// replica has the right bytes but a cold cell cache — reference
+/// requests miss and re-ship inline payloads until it refills;
+/// ServiceOptions::rewarm_on_failover re-warms it off the query path,
+/// and this section prices the difference in post-failover p99 and
+/// wire bytes.
+void RunStartup(size_t n_points, size_t n_regions, size_t max_shards) {
+  PrintBanner("Snapshot startup: load vs rebuild, post-failover rewarm");
+  const size_t shards = max_shards < 2 ? 2 : (max_shards > 4 ? 4 : max_shards);
+  bench::PrintScale(HumanCount(static_cast<double>(n_points)) + " points, " +
+                    std::to_string(n_regions) + " region polygons, " +
+                    std::to_string(shards) + " shards");
+
+  data::PointSet points = bench::BenchPoints(n_points);
+  data::RegionSet regions =
+      data::GenerateRegions(data::CensusConfig(bench::BenchUniverse(), n_regions));
+  const std::shared_ptr<const core::EngineState> snapshot =
+      core::BuildEngineState(std::move(points), std::move(regions));
+
+  // Cut the snapshot set once, off the clock (deploy-time cost, paid
+  // once per dataset generation, not per process).
+  core::ShardingOptions full_build;
+  full_build.num_shards = shards;
+  const std::shared_ptr<const core::ShardedState> sharded =
+      core::ShardedState::Build(snapshot, full_build);
+  constexpr uint64_t kEpoch = 7;
+  std::vector<std::string> slice_bytes;
+  slice_bytes.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    slice_bytes.push_back(snapshot::EncodeShardSnapshot(*sharded, s, kEpoch));
+  }
+
+  // Arm 1 — rebuild: per shard-server process, regenerate the dataset
+  // (the processes must agree on the cuts) and materialize one slice.
+  Timer rebuild_timer;
+  for (size_t s = 0; s < shards; ++s) {
+    data::PointSet p = bench::BenchPoints(n_points);
+    data::RegionSet r = data::GenerateRegions(
+        data::CensusConfig(bench::BenchUniverse(), n_regions));
+    const std::shared_ptr<const core::EngineState> base =
+        core::BuildEngineState(std::move(p), std::move(r));
+    core::ShardingOptions one;
+    one.num_shards = shards;
+    one.only_slice = static_cast<int>(s);
+    (void)core::ShardedState::Build(base, one);
+  }
+  const double rebuild_ms =
+      rebuild_timer.Millis() / static_cast<double>(shards);
+
+  // Arm 2 — load: parse the slice file image (the copy stands in for
+  // the disk read) and assemble the slice + id map, as
+  // shard_server_main --snapshot does.
+  Timer load_timer;
+  for (size_t s = 0; s < shards; ++s) {
+    StatusOr<snapshot::SnapshotReader> reader =
+        snapshot::SnapshotReader::Parse(std::string(slice_bytes[s]));
+    (void)reader->AssembleEngineState().value();
+    (void)reader->DecodeShardIds().value();
+  }
+  const double load_ms = load_timer.Millis() / static_cast<double>(shards);
+
+  TablePrinter startup_table(
+      {"per-shard rebuild (ms)", "snapshot load (ms)", "rebuild/load"});
+  startup_table.AddRow({TablePrinter::Num(rebuild_ms, 5),
+                        TablePrinter::Num(load_ms, 5),
+                        TablePrinter::Num(rebuild_ms / load_ms, 4)});
+  startup_table.Print();
+  PrintNote("rebuild/load is the startup speedup of --snapshot; it grows");
+  PrintNote("with dataset size (load is O(slice), rebuild O(dataset)).");
+  bench::JsonLine("service_snapshot_startup")
+      .Add("shards", shards)
+      .Add("points", n_points)
+      .Add("rebuild_ms_per_shard", rebuild_ms)
+      .Add("snapshot_load_ms_per_shard", load_ms)
+      .Add("rebuild_over_load", rebuild_ms / load_ms)
+      .Print();
+
+  // (b) Post-failover: all primaries die after a warm pass; the replica
+  // arm difference is rewarm_on_failover only.
+  const double eps = 4.0;
+  const size_t kQueries = 16;
+  const auto failover_arm = [&](bool rewarm, bench::LatencyRecorder* lat,
+                                double* bytes_per_query) {
+    service::InProcessShardClusterOptions cluster_options;
+    cluster_options.with_replicas = true;
+    // Replicas as separate processes: own server, own (cold) cache.
+    cluster_options.replica_own_server = true;
+    service::InProcessShardCluster cluster =
+        service::MakeInProcessShardCluster(snapshot, shards, cluster_options);
+    ServiceOptions options;
+    options.num_threads = 4;
+    options.cache_budget_bytes = size_t{256} << 20;
+    options.use_transport = true;
+    options.num_shards = 0;  // From the placement.
+    options.transport_kind = service::TransportKind::kSocket;
+    options.placement = cluster.placement;
+    options.rewarm_on_failover = rewarm;
+    QueryService service(snapshot, options);
+
+    const auto one_query = [&]() {
+      Timer one;
+      service.Submit(Request::MakeAggregate(join::AggKind::kCount,
+                                            core::Attr::kNone, eps,
+                                            core::Mode::kPointIndex));
+      service.Drain();
+      return one.Millis();
+    };
+
+    service.WarmCache(eps);
+    for (size_t i = 0; i < 4; ++i) (void)one_query();  // Primaries warm.
+
+    for (auto& primary : cluster.primaries) primary->Stop();
+    // Trigger the failover (and the async rewarm) with an AD-HOC count
+    // over the whole universe: it scatters to (and fails over) EVERY
+    // shard but ships only its own fingerprint slices, so the REGION
+    // objects the measured aggregates need stay cold unless
+    // rewarm_on_failover refills them.
+    const geom::Box u = snapshot->grid.universe();
+    geom::Polygon trigger(geom::Ring{{u.min.x, u.min.y},
+                                     {u.max.x, u.min.y},
+                                     {u.max.x, u.max.y},
+                                     {u.min.x, u.max.y}});
+    trigger.Normalize();
+    service.CountInPolygon(trigger, eps).get();
+    // Give the rewarm arm time to finish off the query path; the cold
+    // arm sleeps the same amount so the clock fairness is exact.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    const service::SocketTransport::Stats s1 =
+        service.socket_transport()->stats();
+    for (size_t i = 0; i < kQueries; ++i) lat->Record(one_query());
+    const service::SocketTransport::Stats s2 =
+        service.socket_transport()->stats();
+    *bytes_per_query =
+        static_cast<double>(s2.request_bytes - s1.request_bytes) /
+        static_cast<double>(kQueries);
+  };
+
+  bench::LatencyRecorder cold_lat, rewarmed_lat;
+  double cold_bytes = 0.0, rewarmed_bytes = 0.0;
+  failover_arm(false, &cold_lat, &cold_bytes);
+  failover_arm(true, &rewarmed_lat, &rewarmed_bytes);
+
+  TablePrinter failover_table({"replica", "p50 (ms)", "p99 (ms)",
+                               "req B/query"});
+  failover_table.AddRow({"cold", TablePrinter::Num(cold_lat.Quantile(50), 4),
+                         TablePrinter::Num(cold_lat.Quantile(99), 4),
+                         TablePrinter::Num(cold_bytes, 5)});
+  failover_table.AddRow({"rewarmed",
+                         TablePrinter::Num(rewarmed_lat.Quantile(50), 4),
+                         TablePrinter::Num(rewarmed_lat.Quantile(99), 4),
+                         TablePrinter::Num(rewarmed_bytes, 5)});
+  failover_table.Print();
+  PrintNote("cold replicas answer kNotCached and force inline re-ships");
+  PrintNote("(req B/query); rewarm_on_failover refills them off the query");
+  PrintNote("path, so post-failover p99 returns to reference-request rates.");
+  bench::JsonLine("service_failover_rewarm")
+      .Add("shards", shards)
+      .Add("queries", kQueries)
+      .Add("cold_p50_ms", cold_lat.Quantile(50))
+      .Add("cold_p99_ms", cold_lat.Quantile(99))
+      .Add("cold_request_bytes_per_query", cold_bytes)
+      .Add("rewarmed_p50_ms", rewarmed_lat.Quantile(50))
+      .Add("rewarmed_p99_ms", rewarmed_lat.Quantile(99))
+      .Add("rewarmed_request_bytes_per_query", rewarmed_bytes)
+      .Print();
+}
+
 }  // namespace
 }  // namespace dbsa
 
@@ -732,6 +912,7 @@ int main(int argc, char** argv) {
   dbsa::RunMux(n_points, n_regions, viewports);
   dbsa::RunEnvelope(n_points, n_regions, rounds, max_threads);
   dbsa::RunTelemetry(n_points, n_regions, rounds, max_threads);
+  dbsa::RunStartup(n_points, n_regions, max_shards);
   dbsa::bench::CloseJsonOut();
   return 0;
 }

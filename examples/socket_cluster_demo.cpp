@@ -163,11 +163,13 @@ int main(int argc, char** argv) {
 
   if (!util::KnownFlagsOnly(argc, argv,
                             {"placement", "shards", "points", "regions",
-                             "universe", "seed", "hilbert_level"})) {
+                             "universe", "seed", "hilbert_level", "epoch"})) {
     std::fprintf(stderr,
                  "usage: %s [--placement=FILE] [--shards=4] [--points=20000]\n"
                  "          [--regions=24] [--universe=4096] [--seed=20210111]\n"
-                 "          [--hilbert_level=16]\n",
+                 "          [--hilbert_level=16] [--epoch=0]\n"
+                 "--epoch=E pins every socket query to serving epoch E\n"
+                 "(snapshot-loaded clusters; 0 = wildcard, accept any).\n",
                  argv[0]);
     return 2;
   }
@@ -251,6 +253,10 @@ int main(int argc, char** argv) {
     socket_options.num_shards = 0;
   }
   socket_options.socket_options.roundtrip_timeout_ms = 30000;
+  // Pin queries to a snapshot generation (read-your-epoch). The loopback
+  // reference serves at the wildcard epoch, so pinning only the socket
+  // side keeps the byte-identity comparison intact.
+  socket_options.serving_epoch = util::UintFlag(argc, argv, "epoch", 0);
   service::QueryService socket_service(base, socket_options);
 
   bool ok = RunAndCompare(socket_service, loopback_service, viewport, "tcp");

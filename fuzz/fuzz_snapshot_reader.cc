@@ -1,0 +1,255 @@
+// Fuzz harness for the snapshot reader (src/snapshot/snapshot.h). The
+// reader's contract is TOTAL — any byte string resolves to OK or a
+// typed Status (corruption -> kInvalidArgument, version skew ->
+// kUnimplemented), never UB — and a snapshot file is exactly the kind
+// of input an operator restores from disk they do not control.
+//
+// Same two build modes as fuzz_parse_frame.cc (CMake option DBSA_FUZZ):
+// clang gets -fsanitize=fuzzer coverage-guided mutation, everything
+// else gets the standalone corpus-replay + random-mutation main below.
+// On top of the generic byte mutations, the standalone driver knows the
+// container format (directory offsets, FNV-1a section checksums) and
+// fixes the checksum up after corrupting section bytes — the mutation
+// class that penetrates past the checksum gate into the section
+// decoders, where the interesting bugs live.
+//
+// Seed corpus: the checked-in golden fixture (tests/golden/snapshot/
+// *.snapshot) plus the deliberately corrupted negative fixture —
+// scripts/check_snapshot_golden.sh already keeps the seeds fresh, so
+// there is no second corpus directory to drift.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot.h"
+#include "util/check.h"
+#include "util/determinism.h"
+
+namespace {
+
+using dbsa::Status;
+using dbsa::StatusCode;
+using dbsa::StatusOr;
+using dbsa::snapshot::SnapshotReader;
+
+void CheckOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data),  // lint-allow-reinterpret: libFuzzer ABI hands uint8_t*, Parse wants chars.
+                          size);
+
+  StatusOr<SnapshotReader> reader = SnapshotReader::Parse(bytes);
+  if (!reader.ok()) {
+    // The only rejections the format defines: corruption and version
+    // skew. Anything else (or a crash before we get here) is a bug.
+    DBSA_CHECK(reader.status().code() == StatusCode::kInvalidArgument ||
+               reader.status().code() == StatusCode::kUnimplemented);
+    return;
+  }
+
+  // Parser-accepted invariants: the epoch is never the wire wildcard and
+  // the section count fits the directory the geometry checks walked.
+  DBSA_CHECK(reader->meta().epoch != 0);
+
+  // Everything downstream of Parse must be total too: a well-formed
+  // container can still hold garbage sections (the checksum-fixup
+  // mutation below manufactures exactly that).
+  StatusOr<std::shared_ptr<const dbsa::core::EngineState>> state =
+      reader->AssembleEngineState();
+  if (!state.ok()) {
+    DBSA_CHECK(state.status().code() == StatusCode::kInvalidArgument);
+  }
+  StatusOr<std::vector<uint32_t>> ids = reader->DecodeShardIds();
+  if (!ids.ok()) {
+    DBSA_CHECK(ids.status().code() == StatusCode::kInvalidArgument);
+  }
+  if (state.ok()) {
+    StatusOr<std::shared_ptr<const dbsa::core::ShardedState>> routing =
+        reader->AssembleRoutingState(state.value());
+    if (!routing.ok()) {
+      DBSA_CHECK(routing.status().code() == StatusCode::kInvalidArgument);
+    }
+  }
+
+  // Readers are copyable (copies share the backing buffer): a copy must
+  // see the same metadata and sections.
+  const SnapshotReader copy = *reader;
+  DBSA_CHECK(copy.meta().epoch == reader->meta().epoch);
+  DBSA_CHECK(copy.meta().shard_index == reader->meta().shard_index);
+  for (int id = 1; id <= dbsa::snapshot::kSectionIdCount; ++id) {
+    DBSA_CHECK(copy.HasSection(static_cast<dbsa::snapshot::SectionId>(id)) ==
+               reader->HasSection(static_cast<dbsa::snapshot::SectionId>(id)));
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  CheckOneInput(data, size);
+  return 0;
+}
+
+#ifndef DBSA_USE_LIBFUZZER
+
+// ---------------------------------------------------------------------
+// Standalone driver (no libFuzzer): replay every corpus file passed on
+// the command line, then mutate them randomly for a time budget.
+//
+//   fuzz_snapshot_reader [-seconds N] corpus_file...
+//
+// Deterministic per (seed corpus, N, DBSA_FUZZ_SEED): mutations come
+// from one seeded mt19937, so a CI failure reproduces locally.
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+
+namespace {
+
+using dbsa::snapshot::SnapshotChecksum;
+using dbsa::snapshot::kSnapshotDirEntrySize;
+using dbsa::snapshot::kSnapshotHeaderSize;
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+uint32_t LoadU32(const std::string& b, size_t at) {
+  return dbsa::util::LoadWire<uint32_t>(b.data() + at);
+}
+
+uint64_t LoadU64(const std::string& b, size_t at) {
+  return dbsa::util::LoadWire<uint64_t>(b.data() + at);
+}
+
+void StoreU64(std::string* b, size_t at, uint64_t v) {
+  dbsa::util::StoreWire(b->data() + at, v);
+}
+
+/// Corrupts bytes INSIDE a random section, then recomputes that
+/// section's directory checksum so the mutation survives the checksum
+/// gate and reaches the section decoders. Falls back to a plain flip
+/// when the container geometry does not parse far enough to target.
+std::string CorruptSectionChecksumFixed(std::string m, std::mt19937* rng) {
+  if (m.size() < kSnapshotHeaderSize + kSnapshotDirEntrySize) return m;
+  const uint32_t section_count = LoadU32(m, 28);
+  if (section_count == 0 || section_count > 64) return m;
+  const size_t entry =
+      kSnapshotHeaderSize + ((*rng)() % section_count) * kSnapshotDirEntrySize;
+  if (entry + kSnapshotDirEntrySize > m.size()) return m;
+  const uint64_t offset = LoadU64(m, entry + 8);
+  const uint64_t length = LoadU64(m, entry + 16);
+  if (length == 0 || offset > m.size() || length > m.size() - offset) return m;
+  const size_t edits = 1 + (*rng)() % 8;
+  for (size_t i = 0; i < edits; ++i) {
+    m[offset + (*rng)() % length] = static_cast<char>((*rng)());
+  }
+  StoreU64(&m, entry + 24, SnapshotChecksum(m.data() + offset, length));
+  return m;
+}
+
+std::string Mutate(const std::vector<std::string>& seeds, std::mt19937* rng) {
+  std::string m = seeds[(*rng)() % seeds.size()];
+  switch ((*rng)() % 7) {
+    case 0:  // Flip bytes (the checksum gate catches these; cheap smoke).
+      if (!m.empty()) {
+        const size_t edits = 1 + (*rng)() % 8;
+        for (size_t i = 0; i < edits; ++i) {
+          m[(*rng)() % m.size()] = static_cast<char>((*rng)());
+        }
+      }
+      break;
+    case 1:  // Truncate.
+      m.resize(m.empty() ? 0 : (*rng)() % m.size());
+      break;
+    case 2: {  // Extend with noise (trailing bytes must be rejected).
+      const size_t extra = 1 + (*rng)() % 64;
+      for (size_t i = 0; i < extra; ++i) m.push_back(static_cast<char>((*rng)()));
+      break;
+    }
+    case 3:  // Fresh garbage, header-sized neighborhood.
+      m.resize((*rng)() % 96);
+      for (char& c : m) c = static_cast<char>((*rng)());
+      break;
+    case 4: {  // Section splice: graft a random range from ANOTHER seed.
+      const std::string& other = seeds[(*rng)() % seeds.size()];
+      if (!m.empty() && !other.empty()) {
+        const size_t at = (*rng)() % m.size();
+        const size_t from = (*rng)() % other.size();
+        const size_t n =
+            std::min({size_t{1} + (*rng)() % 512, m.size() - at,
+                      other.size() - from});
+        // dbsa-lint-allow(memcpy): fuzz mutation splices raw bytes between
+        // seed corpora — there is no field structure to encode field-wise.
+        std::memcpy(m.data() + at, other.data() + from, n);
+      }
+      break;
+    }
+    case 5:  // Bad checksum bytes in a directory entry.
+      if (m.size() >= kSnapshotHeaderSize + kSnapshotDirEntrySize) {
+        const size_t at = kSnapshotHeaderSize + kSnapshotDirEntrySize - 8 +
+                          (*rng)() % 8;
+        m[at] = static_cast<char>((*rng)());
+      }
+      break;
+    default:  // Corrupt section bytes, then FIX the checksum up.
+      m = CorruptSectionChecksumFixed(std::move(m), rng);
+      break;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seconds = 5;
+  std::vector<std::string> seeds;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-seconds") == 0 && i + 1 < argc) {
+      seconds = std::atoi(argv[++i]);
+      continue;
+    }
+    std::string bytes;
+    if (!ReadFile(argv[i], &bytes)) {
+      std::fprintf(stderr, "fuzz_snapshot_reader: cannot read %s\n", argv[i]);
+      return 2;
+    }
+    seeds.push_back(std::move(bytes));
+  }
+  for (const std::string& seed : seeds) {
+    CheckOneInput(reinterpret_cast<const uint8_t*>(seed.data()),  // lint-allow-reinterpret: inverse of the ABI cast above.
+                  seed.size());
+  }
+  std::fprintf(stderr, "fuzz_snapshot_reader: %zu corpus seeds replayed\n",
+               seeds.size());
+  if (seeds.empty()) seeds.push_back(std::string());
+
+  uint32_t seed_value = 0x5eed;
+  if (const char* env = std::getenv("DBSA_FUZZ_SEED")) {
+    seed_value = static_cast<uint32_t>(std::strtoul(env, nullptr, 0));
+  }
+  std::mt19937 rng(seed_value);
+  const auto stop =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  uint64_t iterations = 0;
+  while (std::chrono::steady_clock::now() < stop) {
+    for (int burst = 0; burst < 256; ++burst) {
+      const std::string input = Mutate(seeds, &rng);
+      CheckOneInput(reinterpret_cast<const uint8_t*>(input.data()),  // lint-allow-reinterpret: inverse of the ABI cast above.
+                    input.size());
+      ++iterations;
+    }
+  }
+  std::fprintf(stderr,
+               "fuzz_snapshot_reader: %llu mutated inputs, no failures\n",
+               static_cast<unsigned long long>(iterations));
+  return 0;
+}
+
+#endif  // !DBSA_USE_LIBFUZZER

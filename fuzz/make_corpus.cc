@@ -1,5 +1,5 @@
 // Regenerates the checked-in seed corpus for fuzz_parse_frame: one valid
-// v4 frame per message type/variant, written into the directory given as
+// v5 frame per message type/variant, written into the directory given as
 // argv[1] (default fuzz/corpus/parse_frame). Run from the repo root after
 // any wire change, and commit the result — the fuzzer starts from real
 // frames, not from zero.
@@ -44,6 +44,7 @@ ScatterRequest BaseScatter() {
   request.trace_hi = 0xc0ffee00c0ffee00ULL;
   request.trace_lo = 0xdeadbeefdeadbeefULL;
   request.span_id = 42;
+  request.epoch = 9;  // Pinned to a snapshot generation (v5 epoch field).
   request.has_object = true;
   request.object = ObjectKey(0x8000000000000001ULL, 7);
   request.has_cells = true;
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
 
   GatherPartial gather_aggregate;
   gather_aggregate.kind = ScatterRequest::Kind::kAggregateCells;
+  gather_aggregate.epoch = 9;  // Serving epoch rides every partial (v5).
   gather_aggregate.aggregate.count = 128.0;
   gather_aggregate.aggregate.sum = 3.25;
   gather_aggregate.aggregate.sum_comp = -1e-17;

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Golden-snapshot freshness gate: the checked-in fixture
+# (tests/golden/snapshot/) must be byte-identical to what the CURRENT
+# build/snapshot_write emits for the pinned flags below. Any change to
+# the snapshot encoders (src/snapshot/snapshot.cc), the demo-city
+# generator (data/cluster_demo.*) or the engine build that alters the
+# emitted bytes MUST regenerate the fixture — otherwise a reader change
+# could silently stop understanding files already deployed. Byte-diffing
+# also doubles as a determinism check: two builds must emit identical
+# snapshots (the property shard_server_main --snapshot and the
+# conformance tests rely on).
+#
+# Usage: check_snapshot_golden.sh [--require] [path/to/snapshot_write] [golden-dir]
+#   --require   fail instead of skipping when the binary is missing
+#               (CI builds snapshot_write first, so it cannot skip there).
+#   binary      defaults to build/snapshot_write.
+#   golden-dir  defaults to tests/golden/snapshot; lint_selftest.sh
+#               points it at a deliberately-corrupted fixture to prove
+#               the stale/missing/extra legs below are live.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The fixture's generation flags — the ONE place they are defined. To
+# regenerate after an intentional format change:
+#   ./build/snapshot_write ${GOLDEN_FLAGS[*]} --out_dir=tests/golden/snapshot
+GOLDEN_FLAGS=(--shards=2 --epoch=3 --points=600 --regions=6 --universe=1024
+              --seed=20210111 --hilbert_level=12)
+
+REQUIRE=0
+if [[ "${1:-}" == "--require" ]]; then
+  REQUIRE=1
+  shift
+fi
+BIN="${1:-build/snapshot_write}"
+GOLDEN="${2:-tests/golden/snapshot}"
+
+if [[ ! -x "$BIN" ]]; then
+  if [[ $REQUIRE -eq 1 ]]; then
+    echo "check_snapshot_golden: $BIN not built (cmake target snapshot_write)" >&2
+    exit 1
+  fi
+  echo "check_snapshot_golden: $BIN not built — skipped (CI runs with --require)"
+  exit 0
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$BIN" "${GOLDEN_FLAGS[@]}" --out_dir="$tmp" >/dev/null
+
+fail=0
+# Every checked-in file must be regenerated bit-for-bit, and nothing new
+# may appear that is not checked in.
+for want in "$GOLDEN"/*.snapshot; do
+  name=$(basename "$want")
+  if [[ ! -f "$tmp/$name" ]]; then
+    echo "check_snapshot_golden: $name checked in but no longer emitted — regenerate and commit: ./$BIN ${GOLDEN_FLAGS[*]} --out_dir=$GOLDEN" >&2
+    fail=1
+  elif ! cmp -s "$want" "$tmp/$name"; then
+    echo "check_snapshot_golden: $name is stale (snapshot encoder output changed) — regenerate and commit: ./$BIN ${GOLDEN_FLAGS[*]} --out_dir=$GOLDEN" >&2
+    fail=1
+  fi
+done
+for got in "$tmp"/*.snapshot; do
+  name=$(basename "$got")
+  if [[ ! -f "$GOLDEN/$name" ]]; then
+    echo "check_snapshot_golden: $name emitted but not checked in — regenerate and commit: ./$BIN ${GOLDEN_FLAGS[*]} --out_dir=$GOLDEN" >&2
+    fail=1
+  fi
+done
+
+if [[ $fail -ne 0 ]]; then
+  exit 1
+fi
+echo "check_snapshot_golden: $(ls "$GOLDEN"/*.snapshot | wc -l) files byte-identical"

@@ -29,8 +29,10 @@ FIXTURES=(
   scripts/lint_fixtures/bad_determinism_builtin_memcpy
   scripts/lint_fixtures/bad_determinism_copy
   scripts/lint_fixtures/bad_off_lock_write.cc
+  scripts/lint_fixtures/bad_snapshot_golden/client.snapshot
   scripts/wire_layout_probe.cc
   scripts/determinism_probe.cc
+  tests/golden/snapshot/client.snapshot
 )
 for fixture in "${FIXTURES[@]}"; do
   if [[ ! -e "$fixture" ]]; then
@@ -120,7 +122,40 @@ else
   echo "lint_selftest: build/make_corpus not built — corpus legs skipped (CI runs them)"
 fi
 
-# ---- 6. thread-safety gate must FAIL the off-lock fixture -------------
+# ---- 6. golden-snapshot gate must reject a corrupted fixture ----------
+# Self-skips when snapshot_write is not built (CI builds it and runs
+# with --require). The static corrupted fixture
+# (scripts/lint_fixtures/bad_snapshot_golden: one XOR-flipped byte in
+# client.snapshot's section data) proves the gate's cmp loop is live;
+# the scratch legs prove the missing/extra-file loops are.
+if [[ -x build/snapshot_write ]]; then
+  if ! scripts/check_snapshot_golden.sh >/dev/null; then
+    err "check_snapshot_golden.sh fails on the checked-in fixture (stale snapshots?)"
+  fi
+  if scripts/check_snapshot_golden.sh build/snapshot_write \
+       scripts/lint_fixtures/bad_snapshot_golden >/dev/null 2>&1; then
+    err "golden corrupt leg: gate PASSED a bit-flipped snapshot — its cmp loop is dead"
+  fi
+  scratch=$(mktemp -d)
+  # Extra-file leg: a checked-in snapshot the writer no longer emits.
+  cp tests/golden/snapshot/*.snapshot "$scratch/"
+  cp "$scratch/client.snapshot" "$scratch/zz-orphan.snapshot"
+  if scripts/check_snapshot_golden.sh build/snapshot_write "$scratch" >/dev/null 2>&1; then
+    err "golden extra-file leg: gate PASSED an orphaned snapshot — its no-longer-emitted loop is dead"
+  fi
+  # Missing-file leg: an emitted snapshot absent from the fixture.
+  rm -rf "$scratch"; scratch=$(mktemp -d)
+  cp tests/golden/snapshot/*.snapshot "$scratch/"
+  rm "$scratch/shard-1.snapshot"
+  if scripts/check_snapshot_golden.sh build/snapshot_write "$scratch" >/dev/null 2>&1; then
+    err "golden missing-file leg: gate PASSED an incomplete fixture — its not-checked-in loop is dead"
+  fi
+  rm -rf "$scratch"
+else
+  echo "lint_selftest: build/snapshot_write not built — golden snapshot legs skipped (CI runs them)"
+fi
+
+# ---- 7. thread-safety gate must FAIL the off-lock fixture -------------
 # Clang-only: the fixture writes a DBSA_GUARDED_BY field with no lock
 # held. Self-skips without clang (CI's static-analysis job has it).
 if command -v "${CLANGXX:-clang++}" >/dev/null 2>&1; then

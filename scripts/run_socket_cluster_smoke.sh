@@ -8,24 +8,44 @@
 # loopback reference, any shard's scrape comes back without traffic, or
 # the failover pass does not survive.
 #
+# A second arm repeats the drill against a SNAPSHOT-LOADED cluster
+# (docs/snapshot-format.md): snapshot_write cuts an epoch-stamped
+# snapshot set, every server loads its slice with --snapshot instead of
+# rebuilding, and the client pins its queries to the stamped epoch — so
+# the smoke also proves loaded == rebuilt over real TCP, that failover
+# stays inside the pinned generation, and that a client pinned to the
+# WRONG epoch is rejected typed rather than silently served.
+#
 # usage: scripts/run_socket_cluster_smoke.sh [BUILD_DIR]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 SHARDS=4
+EPOCH=7
 SERVER="${BUILD_DIR}/shard_server_main"
 CLIENT="${BUILD_DIR}/example_socket_cluster_demo"
+SNAPSHOT_WRITE="${BUILD_DIR}/snapshot_write"
 SCRAPER_WRAPPER="scripts/scrape_cluster_stats.sh"
 
-for bin in "${SERVER}" "${CLIENT}" "${BUILD_DIR}/example_cluster_stats"; do
+for bin in "${SERVER}" "${CLIENT}" "${SNAPSHOT_WRITE}" \
+           "${BUILD_DIR}/example_cluster_stats"; do
   if [[ ! -x "${bin}" ]]; then
     echo "missing binary: ${bin} (build first)" >&2
     exit 1
   fi
 done
 
-WORK_DIR="$(mktemp -d "${TMPDIR:-/tmp}/dbsa-smoke.XXXXXX")"
+# DBSA_SMOKE_WORK_DIR pins the scratch directory to a known path (CI
+# uploads it as a failure artifact); default is a throwaway mktemp dir.
+if [[ -n "${DBSA_SMOKE_WORK_DIR:-}" ]]; then
+  WORK_DIR="${DBSA_SMOKE_WORK_DIR}"
+  mkdir -p "${WORK_DIR}"
+else
+  WORK_DIR="$(mktemp -d "${TMPDIR:-/tmp}/dbsa-smoke.XXXXXX")"
+fi
 PLACEMENT="${WORK_DIR}/cluster.placement"
+SNAP_PLACEMENT="${WORK_DIR}/snapshot-cluster.placement"
+SNAP_DIR="${WORK_DIR}/snap"
 declare -a PIDS=()
 
 cleanup() {
@@ -34,66 +54,96 @@ cleanup() {
     kill "${pid}" 2>/dev/null || true
   done
   wait 2>/dev/null || true
-  rm -rf "${WORK_DIR}"
+  # CI uploads ${WORK_DIR} as a failure artifact before this trap runs
+  # (DBSA_SMOKE_KEEP_WORK_DIR=1 skips the cleanup so it can).
+  if [[ "${DBSA_SMOKE_KEEP_WORK_DIR:-0}" != "1" ]]; then
+    rm -rf "${WORK_DIR}"
+  fi
 }
 trap cleanup EXIT
+echo "work dir: ${WORK_DIR}"
 
 # Ports: a randomized base keeps parallel CI jobs off each other's toes;
 # retry the whole cluster on a fresh base if anything fails to bind.
+#
+# start_cluster BASE MODE PLACEMENT_FILE — MODE is "rebuild" (servers
+# build the dataset from flags) or "snapshot" (servers load
+# ${SNAP_DIR}/shard-N.snapshot). Appends the new processes to PIDS; on
+# failure, kills them and truncates PIDS back so a retry starts clean.
 start_cluster() {
-  local base=$1
-  : > "${PLACEMENT}"
+  local base=$1 mode=$2 placement=$3
+  local first=${#PIDS[@]}
+  : > "${placement}"
   for ((s = 0; s < SHARDS; ++s)); do
     echo "${s} 127.0.0.1:$((base + s)) 127.0.0.1:$((base + 100 + s))" \
-      >> "${PLACEMENT}"
+      >> "${placement}"
   done
+  local -a extra=()
   for ((s = 0; s < SHARDS; ++s)); do
-    "${SERVER}" --placement="${PLACEMENT}" --shard="${s}" \
-      > "${WORK_DIR}/shard${s}-primary.log" 2>&1 &
+    if [[ "${mode}" == snapshot ]]; then
+      extra=(--snapshot="${SNAP_DIR}/shard-${s}.snapshot")
+    fi
+    "${SERVER}" --placement="${placement}" --shard="${s}" \
+      ${extra[@]+"${extra[@]}"} \
+      > "${WORK_DIR}/${mode}-shard${s}-primary.log" 2>&1 &
     PIDS+=($!)
-    "${SERVER}" --placement="${PLACEMENT}" --shard="${s}" --endpoint=replica \
-      > "${WORK_DIR}/shard${s}-replica.log" 2>&1 &
+    "${SERVER}" --placement="${placement}" --shard="${s}" --endpoint=replica \
+      ${extra[@]+"${extra[@]}"} \
+      > "${WORK_DIR}/${mode}-shard${s}-replica.log" 2>&1 &
     PIDS+=($!)
   done
-  # Wait until every endpoint reports listening (servers build the
-  # dataset first, so give them a moment).
+  # Wait until every endpoint reports listening (rebuild-mode servers
+  # build the dataset first, so give them a moment).
   local deadline=$((SECONDS + 120))
   while :; do
     local listening
-    listening=$(grep -l "listening on" "${WORK_DIR}"/shard*-*.log 2>/dev/null | wc -l)
+    listening=$(grep -l "listening on" \
+      "${WORK_DIR}/${mode}"-shard*-*.log 2>/dev/null | wc -l)
     [[ "${listening}" -eq $((2 * SHARDS)) ]] && return 0
+    local pid ok=1
     if ((SECONDS >= deadline)); then
-      echo "cluster did not come up; server logs:" >&2
-      tail -n 5 "${WORK_DIR}"/shard*-*.log >&2 || true
-      return 1
+      echo "${mode} cluster did not come up; server logs:" >&2
+      tail -n 5 "${WORK_DIR}/${mode}"-shard*-*.log >&2 || true
+      ok=0
     fi
     # A server that died (port clash) never prints; fail fast.
-    local pid
-    for pid in "${PIDS[@]}"; do
+    for pid in "${PIDS[@]:first}"; do
       if ! kill -0 "${pid}" 2>/dev/null; then
-        return 1
+        ok=0
       fi
     done
+    if [[ "${ok}" -ne 1 ]]; then
+      for pid in "${PIDS[@]:first}"; do kill "${pid}" 2>/dev/null || true; done
+      wait 2>/dev/null || true
+      PIDS=("${PIDS[@]:0:first}")
+      return 1
+    fi
     sleep 0.3
   done
 }
 
-started=0
-for attempt in 1 2 3; do
-  base=$(( (RANDOM % 2000) * 4 + 42000 ))
-  echo "== starting ${SHARDS}-shard cluster (+replicas) at ports ${base}+ (attempt ${attempt})"
-  if start_cluster "${base}"; then
-    started=1
-    break
-  fi
-  for pid in "${PIDS[@]:-}"; do kill "${pid}" 2>/dev/null || true; done
-  wait 2>/dev/null || true
-  PIDS=()
-done
-if [[ "${started}" -ne 1 ]]; then
-  echo "failed to start the cluster after 3 attempts" >&2
-  exit 1
-fi
+# launch MODE PLACEMENT_FILE — start_cluster with port-clash retries.
+# Sets LAUNCH_FIRST_PID_INDEX to the PIDS index of the new cluster's
+# first process (shard s: primary at FIRST+2s, replica at FIRST+2s+1).
+launch() {
+  local mode=$1 placement=$2
+  local attempt base
+  for attempt in 1 2 3; do
+    base=$(( (RANDOM % 2000) * 4 + 42000 ))
+    echo "== starting ${SHARDS}-shard ${mode} cluster (+replicas) at ports ${base}+ (attempt ${attempt})"
+    LAUNCH_FIRST_PID_INDEX=${#PIDS[@]}
+    if start_cluster "${base}" "${mode}" "${placement}"; then
+      return 0
+    fi
+  done
+  echo "failed to start the ${mode} cluster after 3 attempts" >&2
+  return 1
+}
+
+# ---- arm 1: every process rebuilds the dataset from flags -------------
+
+launch rebuild "${PLACEMENT}"
+REBUILD_FIRST=${LAUNCH_FIRST_PID_INDEX}
 
 echo "== pass 1: full workload over TCP, byte-identity vs the loopback seam"
 "${CLIENT}" --placement="${PLACEMENT}"
@@ -120,11 +170,49 @@ for ((s = 0; s < SHARDS; ++s)); do
 done
 
 echo "== failover drill: killing shard 1's primary"
-# PIDS layout: shard s primary at index 2s, replica at 2s+1.
-kill "${PIDS[2]}" 2>/dev/null || true
+kill "${PIDS[REBUILD_FIRST + 2]}" 2>/dev/null || true
 sleep 0.5
 
 echo "== pass 2: same workload, shard 1 served by its replica"
 "${CLIENT}" --placement="${PLACEMENT}"
 
-echo "== socket cluster smoke OK"
+# ---- arm 2: snapshot-loaded cluster, epoch-pinned client --------------
+
+echo "== snapshot arm: cutting the epoch-${EPOCH} snapshot set"
+"${SNAPSHOT_WRITE}" --placement="${PLACEMENT}" --epoch="${EPOCH}" \
+  --out_dir="${SNAP_DIR}"
+
+launch snapshot "${SNAP_PLACEMENT}"
+SNAP_FIRST=${LAUNCH_FIRST_PID_INDEX}
+
+# Every endpoint must have LOADED its slice (not rebuilt) and pinned
+# itself to the stamped epoch.
+loaded=$(grep -l "loaded .* (epoch ${EPOCH}," \
+  "${WORK_DIR}"/snapshot-shard*-*.log 2>/dev/null | wc -l)
+if [[ "${loaded}" -ne $((2 * SHARDS)) ]]; then
+  echo "expected $((2 * SHARDS)) endpoints loaded at epoch ${EPOCH}, saw ${loaded}" >&2
+  exit 1
+fi
+echo "   all $((2 * SHARDS)) endpoints loaded snapshots at epoch ${EPOCH}"
+
+echo "== pass 3: snapshot-loaded cluster vs rebuilt loopback reference, pinned to epoch ${EPOCH}"
+# The client rebuilds its loopback reference from the dataset flags, so
+# a clean exit here IS the loaded-equals-rebuilt byte comparison.
+"${CLIENT}" --placement="${SNAP_PLACEMENT}" --epoch="${EPOCH}"
+
+echo "== epoch-skew drill: a client pinned to epoch $((EPOCH - 1)) must be rejected"
+if "${CLIENT}" --placement="${SNAP_PLACEMENT}" --epoch="$((EPOCH - 1))" \
+    > "${WORK_DIR}/epoch-skew-client.log" 2>&1; then
+  echo "client pinned to the WRONG epoch was served — epoch gate broken" >&2
+  exit 1
+fi
+echo "   wrong-epoch client rejected (typed), as specified"
+
+echo "== failover drill: killing snapshot shard 1's primary"
+kill "${PIDS[SNAP_FIRST + 2]}" 2>/dev/null || true
+sleep 0.5
+
+echo "== pass 4: shard 1 served by its replica, still pinned to epoch ${EPOCH}"
+"${CLIENT}" --placement="${SNAP_PLACEMENT}" --epoch="${EPOCH}"
+
+echo "== socket cluster smoke OK (rebuild + snapshot arms)"

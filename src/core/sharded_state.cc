@@ -149,6 +149,24 @@ std::shared_ptr<const ShardedState> ShardedState::Build(
   return sharded;
 }
 
+std::shared_ptr<const ShardedState> ShardedState::FromParts(
+    std::shared_ptr<const EngineState> base, std::vector<Shard> shards,
+    int hilbert_level, bool has_slices) {
+  DBSA_CHECK(base != nullptr);
+  DBSA_CHECK(!shards.empty());
+  if (has_slices) {
+    for (const Shard& shard : shards) {
+      DBSA_CHECK(shard.state != nullptr || shard.global_ids.empty());
+    }
+  }
+  std::shared_ptr<ShardedState> sharded(new ShardedState());
+  sharded->base_ = std::move(base);
+  sharded->shards_ = std::move(shards);
+  sharded->hilbert_level_ = hilbert_level;
+  sharded->has_slices_ = has_slices;
+  return sharded;
+}
+
 std::vector<ShardedState::CellRoute> ShardedState::MakeRoutes(
     const raster::HrCell* cells, size_t num_cells) const {
   std::vector<CellRoute> routes(num_cells);

@@ -120,6 +120,18 @@ class ShardedState {
   static std::shared_ptr<const ShardedState> Build(
       std::shared_ptr<const EngineState> base, const ShardingOptions& options = {});
 
+  /// Reassembles a sharded state from frozen parts (snapshot load,
+  /// src/snapshot/). `shards` must be EXACTLY what Build would produce
+  /// for the same base + hilbert_level — routing metadata (global_ids,
+  /// bounds, leaf-coordinate extents, curve run, key_ranges) for every
+  /// shard, slice states present iff `has_slices`. The byte-identity
+  /// contract then holds by construction because routing and execution
+  /// consume only these fields. SnapshotReader validates untrusted input
+  /// before assembling; this factory trusts its caller.
+  static std::shared_ptr<const ShardedState> FromParts(
+      std::shared_ptr<const EngineState> base, std::vector<Shard> shards,
+      int hilbert_level, bool has_slices);
+
   const EngineState& base() const { return *base_; }
   const std::shared_ptr<const EngineState>& base_ptr() const { return base_; }
   size_t num_shards() const { return shards_.size(); }

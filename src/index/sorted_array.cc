@@ -71,6 +71,23 @@ PrefixSumIndex PrefixSumIndex::Build(std::vector<uint64_t> keys,
   return idx;
 }
 
+PrefixSumIndex PrefixSumIndex::FromParts(std::vector<uint64_t> sorted_keys,
+                                         std::vector<double> prefix,
+                                         std::vector<double> prefix_comp,
+                                         std::vector<uint32_t> ids) {
+  const size_t n = sorted_keys.size();
+  DBSA_CHECK(prefix.size() == n + 1);
+  DBSA_CHECK(prefix_comp.size() == n + 1);
+  DBSA_CHECK(ids.size() == n);
+  DBSA_CHECK(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  PrefixSumIndex idx;
+  idx.keys_ = SortedKeyArray::Build(std::move(sorted_keys));
+  idx.prefix_ = std::move(prefix);
+  idx.prefix_comp_ = std::move(prefix_comp);
+  idx.ids_ = std::move(ids);
+  return idx;
+}
+
 size_t PrefixSumIndex::RangeCount(uint64_t lo_key, uint64_t hi_key) const {
   const size_t lo = keys_.LowerBound(lo_key);
   const size_t hi = keys_.UpperBound(hi_key);

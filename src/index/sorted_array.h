@@ -51,6 +51,17 @@ class PrefixSumIndex {
   /// Builds from parallel key/value arrays (reordered together).
   static PrefixSumIndex Build(std::vector<uint64_t> keys, std::vector<double> values);
 
+  /// Reassembles an index from its frozen representation (snapshot load,
+  /// src/snapshot/). The inputs must be EXACTLY what Build produced:
+  /// `sorted_keys` ascending, both prefix arrays of size n+1 with
+  /// entry 0 == 0.0, and `ids` an n-sized row-id permutation. Untrusted
+  /// bytes are validated by SnapshotReader BEFORE this runs; the checks
+  /// here guard programming errors, they are not a parse path.
+  static PrefixSumIndex FromParts(std::vector<uint64_t> sorted_keys,
+                                  std::vector<double> prefix,
+                                  std::vector<double> prefix_comp,
+                                  std::vector<uint32_t> ids);
+
   /// Original row id stored at sorted position `pos`.
   uint32_t IdAt(size_t pos) const { return ids_[pos]; }
 
@@ -61,6 +72,14 @@ class PrefixSumIndex {
 
   const SortedKeyArray& keys() const { return keys_; }
   size_t size() const { return keys_.size(); }
+
+  /// Frozen representation, exposed for serialization (src/snapshot/):
+  /// the compensated prefix arrays (size n+1, entry 0 == 0.0) and the
+  /// sort permutation. Round-tripping these three arrays plus keys()
+  /// through FromParts reproduces the index bit-for-bit.
+  const std::vector<double>& prefix() const { return prefix_; }
+  const std::vector<double>& prefix_comp() const { return prefix_comp_; }
+  const std::vector<uint32_t>& ids() const { return ids_; }
 
   /// COUNT of keys in [lo_key, hi_key] (inclusive).
   size_t RangeCount(uint64_t lo_key, uint64_t hi_key) const;

@@ -27,6 +27,22 @@ PointIndex::PointIndex(const geom::Point* points, const double* attrs, size_t n,
   btree_ = index::StaticBTree::Build(index_.keys().keys());
 }
 
+PointIndex PointIndex::FromParts(const raster::Grid& grid,
+                                 index::PrefixSumIndex index) {
+  return FromParts(grid, std::move(index), Options{});
+}
+
+PointIndex PointIndex::FromParts(const raster::Grid& grid,
+                                 index::PrefixSumIndex index,
+                                 const Options& opts) {
+  PointIndex idx(grid);
+  idx.index_ = std::move(index);
+  idx.spline_ = index::RadixSpline::Build(idx.index_.keys().keys(),
+                                          opts.radix_bits, opts.spline_error);
+  idx.btree_ = index::StaticBTree::Build(idx.index_.keys().keys());
+  return idx;
+}
+
 size_t PointIndex::LowerBound(uint64_t key, SearchStrategy s) const {
   switch (s) {
     case SearchStrategy::kBinarySearch:

@@ -84,6 +84,17 @@ class PointIndex {
              const raster::Grid& grid)
       : PointIndex(points, attrs, n, grid, Options{}) {}
 
+  /// Reassembles an index from a frozen PrefixSumIndex (snapshot load,
+  /// src/snapshot/). The spline and B+-tree are deterministic functions
+  /// of the sorted key array, so they are REBUILT here rather than
+  /// serialized — byte-identity of query answers needs the keys, prefix
+  /// pairs and id permutation exactly, nothing more. `grid` must be the
+  /// grid the keys were linearized against.
+  static PointIndex FromParts(const raster::Grid& grid,
+                              index::PrefixSumIndex index, const Options& opts);
+  static PointIndex FromParts(const raster::Grid& grid,
+                              index::PrefixSumIndex index);
+
   /// Answers a query polygon given its precomputed HR approximation.
   CellAggregate QueryCells(const raster::HierarchicalRaster& hr,
                            SearchStrategy strategy) const;
@@ -115,9 +126,16 @@ class PointIndex {
 
   const raster::Grid& grid() const { return grid_; }
   size_t size() const { return index_.size(); }
+  /// Frozen representation, exposed for serialization (src/snapshot/):
+  /// together with grid() this fully determines the index — FromParts
+  /// rebuilds the spline and B+-tree from it bit-identically.
+  const index::PrefixSumIndex& prefix_index() const { return index_; }
   size_t MemoryBytes(SearchStrategy strategy) const;
 
  private:
+  /// FromParts backdoor: members are assigned after construction.
+  explicit PointIndex(const raster::Grid& grid) : grid_(grid) {}
+
   // Positions of the first key >= key under the chosen strategy.
   size_t LowerBound(uint64_t key, SearchStrategy s) const;
   size_t UpperBound(uint64_t key, SearchStrategy s) const;

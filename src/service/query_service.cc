@@ -13,6 +13,19 @@ namespace dbsa::service {
 
 QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
                            const ServiceOptions& options)
+    : QueryService(std::move(state), nullptr, options) {}
+
+QueryService::QueryService(std::shared_ptr<const core::ShardedState> sharded,
+                           const ServiceOptions& options)
+    // `sharded` is COPIED into the delegate, not moved: argument
+    // evaluation order is unspecified, and a move could empty it before
+    // the base_ptr() argument reads it.
+    : QueryService(sharded != nullptr ? sharded->base_ptr() : nullptr, sharded,
+                   options) {}
+
+QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
+                           std::shared_ptr<const core::ShardedState> preassembled,
+                           const ServiceOptions& options)
     : state_(std::move(state)),
       options_(options),
       registry_(options.registry ? options.registry
@@ -62,7 +75,19 @@ QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
     // the cause is nameable.
     DBSA_CHECK(num_shards <= state_->points->locs.size());
   }
-  if (num_shards > 1 || options.use_transport) {
+  if (preassembled != nullptr) {
+    // Snapshot deployment: adopt the assembled state instead of
+    // re-partitioning. The same misconfigurations the build path rejects
+    // are rejected here — and loopback servers below need slices.
+    DBSA_CHECK(num_shards <= 1 || preassembled->num_shards() == num_shards);
+    if (socket_mode) {
+      DBSA_CHECK(preassembled->num_shards() == options.placement.num_shards());
+    } else {
+      DBSA_CHECK(options.use_transport);  // preassembly exists to serve a seam
+      DBSA_CHECK(preassembled->has_slices());
+    }
+    sharded_ = std::move(preassembled);
+  } else if (num_shards > 1 || options.use_transport) {
     core::ShardingOptions sharding;
     sharding.num_shards = num_shards;
     sharding.hilbert_level = options.shard_hilbert_level;
@@ -79,6 +104,13 @@ QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
     // slices live in those processes (shard_server_main), not here.
     SocketTransport::Options socket_options = options.socket_options;
     socket_options.registry = registry_;
+    if (options.rewarm_on_failover) {
+      // Demux thread -> pool task: the rewarm sends warm requests over
+      // THIS transport, so it must not run on the demux thread itself.
+      socket_options.on_failover = [this](size_t shard) {
+        pool_.Submit([this, shard]() { RewarmShard(shard); });
+      };
+    }
     socket_ = std::make_shared<SocketTransport>(options.placement, socket_options);
     router_ = std::make_unique<ShardRouter>(sharded_, socket_);
   } else if (options.use_transport) {
@@ -90,6 +122,7 @@ QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
     ShardServer::Options server_options;
     server_options.cell_cache_budget_bytes = options.shard_cache_budget_bytes;
     server_options.registry = registry_;
+    server_options.serving_epoch = options.serving_epoch;
     std::vector<LoopbackTransport::Handler> handlers;
     servers_.reserve(sharded_->num_shards());
     handlers.reserve(sharded_->num_shards());
@@ -106,6 +139,9 @@ QueryService::QueryService(std::shared_ptr<const core::EngineState> state,
     loopback_ = std::make_shared<LoopbackTransport>(std::move(handlers), registry_);
     router_ = std::make_unique<ShardRouter>(sharded_, loopback_);
   }
+  // Pin every outgoing scatter to the serving generation (wire v5 epoch;
+  // 0 stays the wildcard for epoch-less deployments).
+  if (router_ != nullptr) router_->set_epoch(options.serving_epoch);
 }
 
 QueryService::QueryService(data::PointSet points, data::RegionSet regions,
@@ -485,6 +521,29 @@ void QueryService::WarmCache(double epsilon) {
       router_->WarmObject(ObjectKey(static_cast<uint64_t>(j)), level, *hr);
     }
   });
+  // Remember the working set's epsilon so a post-failover rewarm replays
+  // exactly this warm for the promoted endpoint.
+  dbsa::MutexLock lock(warm_mu_);
+  last_warm_epsilon_ = epsilon;
+}
+
+void QueryService::RewarmShard(size_t shard) {
+  double epsilon = 0.0;
+  {
+    dbsa::MutexLock lock(warm_mu_);
+    epsilon = last_warm_epsilon_;
+  }
+  if (epsilon <= 0.0 || router_ == nullptr) return;  // Never warmed: nothing to replay.
+  if (shard >= sharded_->num_shards()) return;
+  const core::ExecHooks hooks = MakeHooks(ExecOptions{});
+  const std::vector<geom::Polygon>& polys = state_->regions->polys;
+  const int level = state_->grid.LevelForEpsilon(epsilon);
+  // Serial over regions: this runs on one pool worker already, and the
+  // warm traffic of a single shard should not crowd out query fan-outs.
+  for (size_t j = 0; j < polys.size(); ++j) {
+    const ApproxCache::HrPtr hr = hooks.hr_provider(j, polys[j], epsilon);
+    router_->WarmShard(shard, ObjectKey(static_cast<uint64_t>(j)), level, *hr);
+  }
 }
 
 // ---- FROZEN v1 shims (conversion only; see service/v1_compat.h) --------

@@ -105,6 +105,23 @@ struct ServiceOptions {
   /// failover behaviour, cost model) — see socket_transport.h.
   SocketTransport::Options socket_options;
 
+  // ---- epoch-stamped snapshots (src/snapshot/) ----------------------
+  /// Dataset generation this service serves. Non-zero (the snapshot
+  /// deployment: state loaded from epoch-stamped files): every outgoing
+  /// ScatterRequest is pinned to it and every loopback shard server
+  /// rejects other epochs typed (kFailedPrecondition) — see
+  /// ShardServer::Options::serving_epoch. Zero (default): queries carry
+  /// the wildcard epoch and accept any serving generation.
+  uint64_t serving_epoch = 0;
+  /// kSocket only: when a shard's preferred endpoint changes (failover
+  /// to a replica, or failback), re-warm the newly serving endpoint's
+  /// per-shard cell cache with the routed slices of every region, at the
+  /// last WarmCache epsilon — off the query path, on a pool worker. A
+  /// freshly promoted replica then serves reference requests at primary
+  /// hit rates instead of a kNotCached round-trip per object. No-op
+  /// until WarmCache has been called once.
+  bool rewarm_on_failover = false;
+
   // ---- telemetry (src/telemetry/) -----------------------------------
   /// Mint a TraceContext per query and record per-stage spans (admission,
   /// cache lookup, HR build, route, per-shard roundtrip, execute, merge,
@@ -151,6 +168,15 @@ class QueryService {
   /// Convenience: builds the snapshot from the tables (moved, not copied).
   QueryService(data::PointSet points, data::RegionSet regions,
                const ServiceOptions& options = {});
+
+  /// Serves a PREASSEMBLED sharded state (snapshot load, src/snapshot/):
+  /// the service adopts `sharded` — base + routing (+ slices, loopback)
+  /// — instead of re-partitioning the dataset. Shard count and (socket
+  /// mode) placement must agree with the assembled state; loopback mode
+  /// requires has_slices(). Pair with ServiceOptions::serving_epoch so
+  /// queries pin to the snapshot's generation.
+  QueryService(std::shared_ptr<const core::ShardedState> sharded,
+               const ServiceOptions& options);
 
   ~QueryService();
 
@@ -229,6 +255,18 @@ class QueryService {
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// The one real constructor: `preassembled`, when non-null, is adopted
+  /// as the sharded state instead of partitioning `state`.
+  QueryService(std::shared_ptr<const core::EngineState> state,
+               std::shared_ptr<const core::ShardedState> preassembled,
+               const ServiceOptions& options);
+
+  /// Post-failover cache rewarm of one shard (pool task; see
+  /// ServiceOptions::rewarm_on_failover): re-ships the routed cell slice
+  /// of every region whose cells route to `shard`, at the last WarmCache
+  /// epsilon.
+  void RewarmShard(size_t shard);
 
   /// Builds the cache-backed exec hooks for one query. When the counter
   /// pointers are non-null they receive this query's hit/miss tallies;
@@ -312,6 +350,11 @@ class QueryService {
   dbsa::Mutex pending_mu_;
   uint64_t next_ticket_ DBSA_GUARDED_BY(pending_mu_) = 1;
   std::vector<Pending> pending_ DBSA_GUARDED_BY(pending_mu_);
+
+  /// Epsilon of the most recent WarmCache call (0 = never warmed); what
+  /// a post-failover rewarm replays.
+  mutable dbsa::Mutex warm_mu_;
+  double last_warm_epsilon_ DBSA_GUARDED_BY(warm_mu_) = 0.0;
 };
 
 }  // namespace dbsa::service

@@ -55,6 +55,8 @@ ShardServer::ShardServer(std::shared_ptr<const core::EngineState> state,
           ShardMetric("dbsa_shard_scatter_requests_total", options.shard_index))),
       parse_errors_(registry_->GetCounter(
           ShardMetric("dbsa_shard_parse_errors_total", options.shard_index))),
+      epoch_rejects_(registry_->GetCounter(
+          ShardMetric("dbsa_shard_epoch_rejects_total", options.shard_index))),
       cache_hits_(registry_->GetCounter(
           ShardMetric("dbsa_shard_cache_hits_total", options.shard_index))),
       cache_misses_(registry_->GetCounter(
@@ -87,9 +89,24 @@ std::string ShardServer::Handle(const std::string& request_bytes) {
     partial = GatherPartial::FromStatus(
         ScatterRequest::Kind::kAggregateCells, GatherPartial::Disposition::kError,
         Status(parsed.code(), "bad request: " + parsed.message()));
+  } else if (options_.serving_epoch != 0 && request.epoch != 0 &&
+             request.epoch != options_.serving_epoch) {
+    // Read-your-epoch: a request pinned to another dataset generation is
+    // rejected typed, never answered from the wrong data. The rejection
+    // still echoes OUR serving epoch (below), so the client can tell
+    // which generation this server holds.
+    epoch_rejects_->Add(1);
+    partial = GatherPartial::FromStatus(
+        request.kind, GatherPartial::Disposition::kError,
+        Status::FailedPrecondition(
+            "epoch mismatch: request pinned to epoch " +
+            std::to_string(request.epoch) + ", serving epoch " +
+            std::to_string(options_.serving_epoch)));
   } else {
     partial = Dispatch(request);
   }
+  // EVERY partial — ok, error, not-cached — carries the serving epoch.
+  partial.epoch = options_.serving_epoch;
   std::string encoded = partial.Encode();
   // Echo the request's correlation id: on a multiplexed connection the
   // id — not stream position — pairs this reply with its request.
@@ -241,6 +258,7 @@ ShardServer::Stats ShardServer::stats() const {
   Stats s;
   s.requests = requests_->Value();
   s.parse_errors = parse_errors_->Value();
+  s.epoch_rejects = epoch_rejects_->Value();
   s.cache_hits = cache_hits_->Value();
   s.cache_misses = cache_misses_->Value();
   s.cache_evictions = cache_evictions_->Value();
@@ -415,6 +433,7 @@ std::vector<GatherPartial> ShardRouter::GatherFromShards(
   base.bound_epsilon = bound.epsilon;
   base.level = level;
   base.checksum = checksum;
+  base.epoch = epoch_;
   if (trace != nullptr) {
     base.trace_hi = trace->ctx().trace_hi;
     base.trace_lo = trace->ctx().trace_lo;
@@ -599,6 +618,7 @@ size_t ShardRouter::WarmObject(const ObjectKey& object, int level,
     request.bound_kind = query::BoundKind::kGridLevel;
     request.level = level;
     request.checksum = checksum;
+    request.epoch = epoch_;
     request.has_object = true;
     request.object = object;
     request.has_cells = true;
@@ -607,6 +627,28 @@ size_t ShardRouter::WarmObject(const ObjectKey& object, int level,
     MarkCached(s, Key{object, level}, true);
   }
   return surviving.size();
+}
+
+bool ShardRouter::WarmShard(size_t shard, const ObjectKey& object, int level,
+                            const raster::HierarchicalRaster& hr) {
+  const raster::HrCell* cells = hr.cells().data();
+  const size_t num_cells = hr.cells().size();
+  const std::vector<core::ShardedState::CellRoute> routes =
+      sharded_->MakeRoutes(cells, num_cells);
+  if (!sharded_->ShardIntersects(shard, routes.data(), num_cells)) return false;
+  ScatterRequest request;
+  request.kind = ScatterRequest::Kind::kWarm;
+  request.bound_kind = query::BoundKind::kGridLevel;
+  request.level = level;
+  request.checksum = ApproxChecksum(cells, num_cells);
+  request.epoch = epoch_;
+  request.has_object = true;
+  request.object = object;
+  request.has_cells = true;
+  request.cells = sharded_->PruneCellsForShard(shard, cells, routes.data(), num_cells);
+  RoundtripDecode(*transport_, shard, request);
+  MarkCached(shard, Key{object, level}, true);
+  return true;
 }
 
 // ------------------------------------------- transport-backed executors

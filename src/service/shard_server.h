@@ -63,6 +63,14 @@ class ShardServer {
     double slow_handle_ms = 0.0;
     /// Destination of SLOW_SHARD lines; null -> stderr.
     std::function<void(const std::string&)> slow_handle_sink;
+    /// Dataset generation this server serves (the snapshot's epoch stamp;
+    /// see src/snapshot/). Non-zero: a request pinned to a DIFFERENT
+    /// non-zero epoch is rejected with a typed kFailedPrecondition kError
+    /// partial — the read-your-epoch guarantee across failover. Zero (the
+    /// default) serves any epoch — the in-process/test configuration
+    /// where no snapshot defines a generation. Every partial this server
+    /// emits echoes this value in GatherPartial::epoch.
+    uint64_t serving_epoch = 0;
   };
 
   /// Serves one shard slice. `state` may be null (an empty shard): every
@@ -81,6 +89,7 @@ class ShardServer {
   struct Stats {
     uint64_t requests = 0;
     uint64_t parse_errors = 0;
+    uint64_t epoch_rejects = 0;  ///< Requests pinned to another epoch.
     size_t cache_entries = 0;
     size_t cache_bytes = 0;
     uint64_t cache_hits = 0;      ///< Reference requests served from cache.
@@ -129,6 +138,7 @@ class ShardServer {
   std::shared_ptr<telemetry::MetricRegistry> registry_;
   telemetry::Counter* requests_;
   telemetry::Counter* parse_errors_;
+  telemetry::Counter* epoch_rejects_;
   telemetry::Counter* cache_hits_;
   telemetry::Counter* cache_misses_;
   telemetry::Counter* cache_evictions_;
@@ -159,6 +169,16 @@ class ShardRouter {
   const core::ShardedState& sharded() const { return *sharded_; }
   Transport& transport() const { return *transport_; }
 
+  /// Pins every outgoing ScatterRequest to dataset generation `epoch`
+  /// (stamped into the wire's epoch field): servers of another non-zero
+  /// generation reject typed instead of answering from the wrong data.
+  /// Zero (the default) is the wildcard — requests accept any serving
+  /// epoch. Set once at router construction time (snapshot-loaded
+  /// deployments), before queries flow; not synchronized for mid-flight
+  /// repinning.
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+  uint64_t epoch() const { return epoch_; }
+
   /// Scatter-gather of one approximation over the surviving shards;
   /// byte-identical to the in-process ScatterGatherCells. `object`, when
   /// non-null, keys the per-shard caches. `bound` is the query's contract
@@ -188,6 +208,13 @@ class ShardRouter {
   size_t WarmObject(const ObjectKey& object, int level,
                     const raster::HierarchicalRaster& hr);
 
+  /// Warms ONLY `shard` with its pruned slice of `hr`, iff the
+  /// approximation routes there (returns false otherwise). The
+  /// post-failover rewarm path: one shard's newly serving endpoint gets
+  /// its cache back without re-shipping to the healthy ones.
+  bool WarmShard(size_t shard, const ObjectKey& object, int level,
+                 const raster::HierarchicalRaster& hr);
+
  private:
   using Key = ObjectLevelKey;
 
@@ -214,6 +241,7 @@ class ShardRouter {
 
   std::shared_ptr<const core::ShardedState> sharded_;
   std::shared_ptr<Transport> transport_;
+  uint64_t epoch_ = 0;
 
   /// Per-shard cap on the advisory key set below — it mirrors the
   /// server-side LRU (which is byte-bounded), so it must not outgrow it:

@@ -2,15 +2,23 @@
 //
 // Builds the deterministic demo dataset (data/cluster_demo.h), shards it
 // exactly like the client will (core::ShardedState::Build), keeps ONLY
-// its own shard's slice behind a ShardServer, and serves wire-v3 frames
+// its own shard's slice behind a ShardServer, and serves wire-v5 frames
 // on the endpoint the placement file assigns it. Every dataset flag must
 // match across the cluster and the client — see docs/operations.md for
 // the full walkthrough and scripts/run_socket_cluster_smoke.sh for a
 // scripted 4-shard cluster.
 //
+// Alternatively --snapshot=FILE loads an epoch-stamped slice emitted by
+// snapshot_write (src/snapshot/) instead of rebuilding: startup skips
+// the dataset build entirely and the server pins its serving epoch to
+// the file's, rejecting requests pinned to any other epoch with a typed
+// kFailedPrecondition partial (docs/snapshot-format.md).
+//
 //   ./build/shard_server_main --placement=cluster.placement --shard=2
 //   ./build/shard_server_main --placement=cluster.placement --shard=2
 //       --endpoint=replica         (the same slice, on the failover port)
+//   ./build/shard_server_main --placement=cluster.placement --shard=2
+//       --snapshot=snap/shard-2.snapshot     (load, don't rebuild)
 //
 // Stops cleanly on SIGINT/SIGTERM (prints final serve stats).
 
@@ -26,6 +34,7 @@
 #include "service/placement.h"
 #include "service/shard_server.h"
 #include "service/socket_transport.h"
+#include "snapshot/snapshot.h"
 #include "util/flags.h"
 
 namespace {
@@ -40,13 +49,18 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --placement=FILE --shard=N [--endpoint=primary|replica]\n"
+      "          [--snapshot=FILE]\n"
       "          [--points=20000] [--regions=24] [--universe=4096]\n"
       "          [--seed=20210111] [--hilbert_level=16] [--cache_budget_mb=8]\n"
       "          [--slow_handle_ms=0]\n"
       "\n"
-      "Serves one shard of the demo-city dataset over the wire-v3 socket\n"
+      "Serves one shard of the demo-city dataset over the wire-v5 socket\n"
       "protocol (kStatsRequest frames answer with the server's metrics).\n"
-      "Dataset flags must match on every server and the client.\n",
+      "With --snapshot the slice is LOADED from an epoch-stamped snapshot\n"
+      "file (snapshot_write emits them) instead of rebuilding the dataset;\n"
+      "the server then pins its serving epoch to the file's and rejects\n"
+      "requests of other epochs typed. Without it, dataset flags must\n"
+      "match on every server and the client.\n",
       argv0);
   return 2;
 }
@@ -57,9 +71,10 @@ int main(int argc, char** argv) {
   using namespace dbsa;
 
   if (!util::KnownFlagsOnly(argc, argv,
-                            {"placement", "shard", "endpoint", "points",
-                             "regions", "universe", "seed", "hilbert_level",
-                             "cache_budget_mb", "slow_handle_ms"})) {
+                            {"placement", "shard", "endpoint", "snapshot",
+                             "points", "regions", "universe", "seed",
+                             "hilbert_level", "cache_budget_mb",
+                             "slow_handle_ms"})) {
     return Usage(argv[0]);
   }
   std::string placement_path;
@@ -95,31 +110,79 @@ int main(int argc, char** argv) {
   const service::Endpoint endpoint =
       endpoint_role == "replica" ? entry.replica : entry.primary;
 
-  const data::ClusterDemoConfig dataset =
-      data::ClusterDemoConfigFromFlags(argc, argv);
-  if (dataset.num_points < placement->num_shards()) {
-    // ShardedState::Build clamps the shard count to the point count, so
-    // this placement could never be served consistently.
-    std::fprintf(stderr,
-                 "error: --points=%zu is fewer than the placement's %zu shards\n",
-                 dataset.num_points, placement->num_shards());
-    return 1;
-  }
+  std::string snapshot_path;
+  const bool from_snapshot = FlagValue(argc, argv, "snapshot", &snapshot_path);
 
-  std::printf("shard %zu (%s): building demo city (%zu points, %zu regions, "
-              "universe %.0f, seed %llu)...\n",
-              shard, endpoint_role.c_str(), dataset.num_points,
-              dataset.num_regions, dataset.universe_side,
-              static_cast<unsigned long long>(dataset.seed));
-  std::fflush(stdout);
-
-  // Build in an inner scope and keep ONLY this process's slice (the
-  // other K-1 are never materialized — only_slice below); the base
-  // snapshot frees before the serve loop starts, so a server's resident
-  // set is ~one shard regardless of cluster size.
   std::shared_ptr<const core::EngineState> slice_state;
   std::vector<uint32_t> slice_ids;
-  {
+  uint64_t serving_epoch = 0;
+  if (from_snapshot) {
+    // The slice arrives prebuilt and epoch-stamped: no dataset rebuild,
+    // no dataset flags to keep in sync across the cluster. The file
+    // itself says which shard of which topology it is — mismatches with
+    // the placement are refused here, before a single frame is served.
+    StatusOr<snapshot::SnapshotReader> reader =
+        snapshot::SnapshotReader::Load(snapshot_path);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "error: %s\n", reader.status().ToString().c_str());
+      return 1;
+    }
+    if (reader->meta().shard_index != static_cast<int32_t>(shard)) {
+      std::fprintf(stderr,
+                   "error: %s is the slice for shard %d, not shard %zu\n",
+                   snapshot_path.c_str(), reader->meta().shard_index, shard);
+      return 1;
+    }
+    if (reader->meta().num_shards != placement->num_shards()) {
+      std::fprintf(stderr,
+                   "error: %s was cut for %u shards, placement has %zu\n",
+                   snapshot_path.c_str(), reader->meta().num_shards,
+                   placement->num_shards());
+      return 1;
+    }
+    StatusOr<std::shared_ptr<const core::EngineState>> state =
+        reader->AssembleEngineState();
+    if (!state.ok()) {
+      std::fprintf(stderr, "error: %s\n", state.status().ToString().c_str());
+      return 1;
+    }
+    StatusOr<std::vector<uint32_t>> ids = reader->DecodeShardIds();
+    if (!ids.ok()) {
+      std::fprintf(stderr, "error: %s\n", ids.status().ToString().c_str());
+      return 1;
+    }
+    slice_state = *std::move(state);
+    slice_ids = *std::move(ids);
+    serving_epoch = reader->meta().epoch;
+    std::printf("shard %zu (%s): loaded %s (epoch %llu, %zu points)\n", shard,
+                endpoint_role.c_str(), snapshot_path.c_str(),
+                static_cast<unsigned long long>(serving_epoch),
+                slice_ids.size());
+    std::fflush(stdout);
+  } else {
+    const data::ClusterDemoConfig dataset =
+        data::ClusterDemoConfigFromFlags(argc, argv);
+    if (dataset.num_points < placement->num_shards()) {
+      // ShardedState::Build clamps the shard count to the point count, so
+      // this placement could never be served consistently.
+      std::fprintf(
+          stderr,
+          "error: --points=%zu is fewer than the placement's %zu shards\n",
+          dataset.num_points, placement->num_shards());
+      return 1;
+    }
+
+    std::printf("shard %zu (%s): building demo city (%zu points, %zu regions, "
+                "universe %.0f, seed %llu)...\n",
+                shard, endpoint_role.c_str(), dataset.num_points,
+                dataset.num_regions, dataset.universe_side,
+                static_cast<unsigned long long>(dataset.seed));
+    std::fflush(stdout);
+
+    // Build in an inner scope and keep ONLY this process's slice (the
+    // other K-1 are never materialized — only_slice below); the base
+    // snapshot frees before the serve loop starts, so a server's resident
+    // set is ~one shard regardless of cluster size.
     const auto base = core::BuildEngineState(data::ClusterDemoPoints(dataset),
                                              data::ClusterDemoRegions(dataset));
     core::ShardingOptions sharding;
@@ -135,6 +198,7 @@ int main(int argc, char** argv) {
   }
 
   service::ShardServer::Options server_options;
+  server_options.serving_epoch = serving_epoch;
   server_options.cell_cache_budget_bytes =
       static_cast<size_t>(util::UintFlag(argc, argv, "cache_budget_mb", 8)) << 20;
   // One registry for the whole process: the server's shard metrics and

@@ -33,15 +33,28 @@ struct InProcessShardCluster {
   std::vector<std::unique_ptr<ShardListener>> primaries;
   /// Empty unless with_replicas was set.
   std::vector<std::unique_ptr<ShardListener>> replicas;
+  /// Empty unless replica_own_server was set (the replica's servers,
+  /// indexed by shard; otherwise replicas share `servers`).
+  std::vector<std::unique_ptr<ShardServer>> replica_servers;
   ShardPlacement placement;
 };
 
 struct InProcessShardClusterOptions {
   /// Add a replica listener per shard (same server, failover port).
   bool with_replicas = false;
+  /// Give each replica listener its OWN ShardServer (own slice cache,
+  /// own registry) instead of sharing the primary's — the faithful
+  /// model of a real deployment, where the replica is a separate
+  /// process and fails over COLD. Leave false where the replica's
+  /// cache temperature does not matter (most tests).
+  bool replica_own_server = false;
   /// Hilbert ordering granularity for the shard cuts (must match the
   /// client's routing build — ShardingOptions::hilbert_level).
   int hilbert_level = 16;
+  /// Every server's ShardServer::Options::serving_epoch: 0 serves any
+  /// request; nonzero pins the cluster to one dataset generation (the
+  /// snapshot-loaded shape — src/snapshot/snapshot.h).
+  uint64_t serving_epoch = 0;
   /// Optional wrapper around shard s's PRIMARY handler — the fault
   /// injection seam (tests drop connections / stall shards through it).
   /// Replicas always get the plain handler.
@@ -49,14 +62,14 @@ struct InProcessShardClusterOptions {
       wrap_primary;
 };
 
-inline InProcessShardCluster MakeInProcessShardCluster(
-    const std::shared_ptr<const core::EngineState>& base, size_t num_shards,
+/// Stands the cluster up over an ALREADY-BUILT sharded state (slices
+/// materialized) — the seam for snapshot-loaded clusters, where the
+/// state comes from snapshot::AssembleClusterState instead of a build.
+inline InProcessShardCluster MakeInProcessShardClusterFromState(
+    std::shared_ptr<const core::ShardedState> sharded,
     const InProcessShardClusterOptions& options = {}) {
   InProcessShardCluster cluster;
-  core::ShardingOptions sharding;
-  sharding.num_shards = num_shards;
-  sharding.hilbert_level = options.hilbert_level;
-  cluster.sharded = core::ShardedState::Build(base, sharding);
+  cluster.sharded = std::move(sharded);
   for (size_t s = 0; s < cluster.sharded->num_shards(); ++s) {
     const core::ShardedState::Shard& shard = cluster.sharded->shard(s);
     // One registry per server, served by its listener's kStatsRequest
@@ -64,6 +77,7 @@ inline InProcessShardCluster MakeInProcessShardCluster(
     // wire-level scrape of this cluster exercises the production seam.
     ShardServer::Options server_options;
     server_options.shard_index = s;
+    server_options.serving_epoch = options.serving_epoch;
     cluster.servers.push_back(std::make_unique<ShardServer>(
         shard.state, shard.global_ids, server_options));
     ShardServer* server = cluster.servers.back().get();
@@ -75,8 +89,19 @@ inline InProcessShardCluster MakeInProcessShardCluster(
         options.wrap_primary ? options.wrap_primary(s, handler) : handler,
         listen_options));
     if (options.with_replicas) {
-      cluster.replicas.push_back(
-          std::make_unique<ShardListener>(handler, listen_options));
+      ShardListener::Handler replica_handler = handler;
+      ShardListener::Options replica_listen_options = listen_options;
+      if (options.replica_own_server) {
+        cluster.replica_servers.push_back(std::make_unique<ShardServer>(
+            shard.state, shard.global_ids, server_options));
+        ShardServer* replica_server = cluster.replica_servers.back().get();
+        replica_handler = [replica_server](const std::string& request) {
+          return replica_server->Handle(request);
+        };
+        replica_listen_options.registry = replica_server->registry();
+      }
+      cluster.replicas.push_back(std::make_unique<ShardListener>(
+          replica_handler, replica_listen_options));
       cluster.placement.Add(cluster.primaries.back()->endpoint(),
                             cluster.replicas.back()->endpoint());
     } else {
@@ -84,6 +109,16 @@ inline InProcessShardCluster MakeInProcessShardCluster(
     }
   }
   return cluster;
+}
+
+inline InProcessShardCluster MakeInProcessShardCluster(
+    const std::shared_ptr<const core::EngineState>& base, size_t num_shards,
+    const InProcessShardClusterOptions& options = {}) {
+  core::ShardingOptions sharding;
+  sharding.num_shards = num_shards;
+  sharding.hilbert_level = options.hilbert_level;
+  return MakeInProcessShardClusterFromState(
+      core::ShardedState::Build(base, sharding), options);
 }
 
 }  // namespace dbsa::service

@@ -446,6 +446,9 @@ void SocketTransport::MuxLoop(size_t shard) {
     StatusOr<std::string> result;
   };
   std::vector<Fired> fired;
+  /// Set when a reply flips mux.preferred; drained (and the on_failover
+  /// hook fired) at the end of the iteration, after the completions.
+  bool preferred_switched = false;
 
   const auto queued_on = [&](int ep, uint64_t corr) {
     const auto& q = mux.queue[ep];
@@ -859,6 +862,7 @@ void SocketTransport::MuxLoop(size_t shard) {
           if (op.hedged && op.first_endpoint >= 0 && ep != op.first_endpoint) {
             hedge_wins_->Add(1);
           }
+          if (ep != mux.preferred) preferred_switched = true;
           mux.preferred = ep;  // Sticky: the endpoint that answered serves next.
           complete(corr, std::move(frame));
         }
@@ -868,6 +872,13 @@ void SocketTransport::MuxLoop(size_t shard) {
     // ---- 7. Fire completions with the engine consistent again.
     for (Fired& f : fired) f.done(std::move(f.result));
     fired.clear();
+    if (preferred_switched) {
+      // The serving endpoint changed (failover or failback): notify after
+      // the completions so the observer sees a consistent engine. Same
+      // deferred discipline as `fired`.
+      preferred_switched = false;
+      if (options_.on_failover) options_.on_failover(shard);
+    }
   }
 }
 

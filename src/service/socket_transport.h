@@ -184,6 +184,16 @@ class SocketTransport : public Transport {
     /// with the owning QueryService so one scrape covers the whole
     /// client); null gets a private one.
     std::shared_ptr<telemetry::MetricRegistry> registry;
+    /// Fired (from the shard's demux thread, outside every transport
+    /// lock) when the shard's PREFERRED endpoint changes — a reply
+    /// arrived from a different endpoint than the one serving until now,
+    /// i.e. a failover (or failback). The newly preferred endpoint may
+    /// have a cold cache: QueryService wires its post-failover replica
+    /// rewarm here (ServiceOptions::rewarm_on_failover). Must not call
+    /// back into the transport synchronously with work that blocks on
+    /// THIS shard's replies (it runs on the demux thread) — enqueue
+    /// instead.
+    std::function<void(size_t shard)> on_failover;
   };
 
   /// A real network roundtrip in optimizer cost units (one simple memory

@@ -38,18 +38,18 @@ Status ParseFrame(const std::string& bytes, MessageType* type,
   }
   if (version != kWireVersion) {
     // Version skew is not corruption: the peer speaks a real-but-other
-    // protocol revision. v1–v3 frames land here — rejected with a typed
-    // status, never decoded with a misread correlation field or defaulted
-    // contract/trace fields. Checked BEFORE the correlation read: older
-    // versions have no correlation field, so a short v1–v3 frame must
-    // reject as skew, not as truncation.
+    // protocol revision. v1–v4 frames land here — rejected with a typed
+    // status, never decoded with a misread correlation field, defaulted
+    // contract/trace fields, or a missing epoch. Checked BEFORE the
+    // correlation read: v1–v3 have no correlation field, so a short
+    // older-version frame must reject as skew, not as truncation.
     return Status::Unimplemented("wire version " + std::to_string(version) +
                                  " not served (this peer speaks version " +
                                  std::to_string(kWireVersion) + ")");
   }
   const uint64_t corr = reader.U64();
   if (!reader.ok()) {
-    return Status::InvalidArgument("frame shorter than v4 envelope");
+    return Status::InvalidArgument("frame shorter than v5 envelope");
   }
   if (static_cast<size_t>(length) + kWireLengthSize != bytes.size()) {
     return Status::InvalidArgument("frame length mismatch");
@@ -108,7 +108,7 @@ bool ValidBoundKind(uint8_t k) {
 }
 
 bool ValidStatusCode(uint8_t c) {
-  static_assert(kStatusCodeCount == 9,
+  static_assert(kStatusCodeCount == 10,
                 "new StatusCode: widen this acceptance bound (codes are "
                 "stable wire values — append only)");
   return c <= static_cast<uint8_t>(kMaxStatusCode);
@@ -130,6 +130,7 @@ std::string ScatterRequest::Encode() const {
   w.U64(trace_hi);
   w.U64(trace_lo);
   w.U64(span_id);
+  w.U64(epoch);
   if (has_object) {
     w.U64(object.hi);
     w.U64(object.lo);
@@ -163,6 +164,7 @@ Status ScatterRequest::Decode(const std::string& bytes, ScatterRequest* out) {
   out->trace_hi = r.U64();
   out->trace_lo = r.U64();
   out->span_id = r.U64();
+  out->epoch = r.U64();
   if (!ValidScatterKind(raw_kind)) {
     return Status::InvalidArgument("unknown scatter kind");
   }
@@ -238,6 +240,9 @@ std::string GatherPartial::Encode() const {
   WireWriter w;
   w.U8(static_cast<uint8_t>(kind));
   w.U8(static_cast<uint8_t>(status));
+  // The serving epoch travels on EVERY partial — error and not-cached
+  // included — so an epoch-skew rejection names the server's epoch typed.
+  w.U64(epoch);
   if (status != Disposition::kOk) {
     w.U8(static_cast<uint8_t>(code));
     w.U32(static_cast<uint32_t>(error.size()));
@@ -288,12 +293,14 @@ dbsa::Status GatherPartial::Decode(const std::string& bytes, GatherPartial* out)
   WireReader r(payload, payload_size);
   const uint8_t raw_kind = r.U8();
   const uint8_t raw_status = r.U8();
-  if (!ValidScatterKind(raw_kind) ||
+  const uint64_t epoch = r.U64();
+  if (!r.ok() || !ValidScatterKind(raw_kind) ||
       raw_status > static_cast<uint8_t>(Disposition::kNotCached)) {
     return Status::InvalidArgument("invalid GatherPartial header");
   }
   out->kind = static_cast<ScatterRequest::Kind>(raw_kind);
   out->status = static_cast<Disposition>(raw_status);
+  out->epoch = epoch;
   out->code = StatusCode::kOk;
   out->error.clear();
   out->aggregate = join::CellAggregate();

@@ -33,13 +33,16 @@
 //     bit-twiddling touches them);
 //   * unknown trailing payload bytes are rejected — a frame must be
 //     consumed exactly;
-//   * version 4 (current) moves the v3 envelope to a multiplexed stream:
-//     every frame carries a u64 correlation id, a server echoes a
-//     request's id on the reply, and replies on one connection may
-//     arrive in ANY order — the id, not stream position, pairs them.
-//     Versions 1–3 are rejected with StatusCode::kUnimplemented — total,
-//     typed, never UB — since a v3-and-earlier peer would misread the
-//     correlation field as payload (and vice versa).
+//   * version 5 (current) keeps the v4 multiplexed envelope — a u64
+//     correlation id on every frame, replies paired by id, never by
+//     stream position — and adds a u64 serving EPOCH to every
+//     ScatterRequest and GatherPartial payload: a client pinned to epoch
+//     E is rejected typed (kFailedPrecondition) by a server loaded at a
+//     different epoch, so read-your-epoch holds across failover
+//     (docs/snapshot-format.md). Versions 1–4 are rejected with
+//     StatusCode::kUnimplemented — total, typed, never UB — since an
+//     older peer would misread the epoch field as payload (and vice
+//     versa).
 //
 // The Transport interface is asynchronous and multiplexed: Send starts
 // one tagged request and the completion callback delivers the framed
@@ -78,10 +81,11 @@ namespace dbsa::service {
 // validate once at the end instead of after every field.
 
 inline constexpr uint16_t kWireMagic = 0xDB5A;
-/// Version 4: the v3 envelope plus a u64 correlation id on every frame
-/// (multiplexed out-of-order replies; see header comment). Decoders
-/// reject every other version with a typed status.
-inline constexpr uint8_t kWireVersion = 4;
+/// Version 5: the v4 envelope with a u64 serving-epoch field on every
+/// ScatterRequest and GatherPartial payload (read-your-epoch across
+/// failover; see docs/snapshot-format.md). Decoders reject every other
+/// version with a typed status.
+inline constexpr uint8_t kWireVersion = 5;
 
 /// Envelope field layout, as byte offsets from the start of a framed
 /// message: [u32 length][u16 magic][u8 version][u8 type][u64 correlation].
@@ -115,7 +119,7 @@ static_assert(kWireEnvelopeSize == 16, "wire envelope: size changed");
 static_assert(kWireHeaderAfterLength == 12,
               "wire envelope: length field no longer counts 12 header bytes");
 static_assert(kWireMagic == 0xDB5A, "wire magic changed");
-static_assert(kWireVersion == 4, "wire version changed — update the asserts "
+static_assert(kWireVersion == 5, "wire version changed — update the asserts "
                                  "and docs/wire-format.md together");
 
 enum class MessageType : uint8_t {
@@ -286,6 +290,13 @@ struct ScatterRequest {
   uint64_t trace_hi = 0;
   uint64_t trace_lo = 0;
   uint64_t span_id = 0;
+  /// Serving epoch the client is pinned to (v5). Zero means "any epoch"
+  /// — a client that never loaded a snapshot accepts whatever the server
+  /// serves. Non-zero: a server whose own serving epoch differs rejects
+  /// the request with a typed kFailedPrecondition partial, so a failover
+  /// to a stale replica can never silently answer from another dataset
+  /// generation (read-your-epoch; docs/snapshot-format.md).
+  uint64_t epoch = 0;
   /// Identity of the approximation the cells came from (region index or
   /// ad-hoc polygon fingerprint — the ApproxCache key space).
   bool has_object = false;
@@ -313,6 +324,11 @@ struct GatherPartial {
 
   ScatterRequest::Kind kind = ScatterRequest::Kind::kAggregateCells;
   Disposition status = Disposition::kOk;
+  /// The answering server's serving epoch (v5), echoed on EVERY partial
+  /// — OK, error and not-cached alike — so a client can observe which
+  /// dataset generation produced the answer (and an epoch-skew rejection
+  /// names the server's epoch without parsing error text).
+  uint64_t epoch = 0;
   /// Typed error of a non-OK partial — wire errors round-trip as
   /// StatusCode values, not as text to be re-parsed.
   StatusCode code = StatusCode::kOk;

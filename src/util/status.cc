@@ -3,7 +3,7 @@
 namespace dbsa {
 
 const char* StatusCodeName(StatusCode code) {
-  static_assert(kStatusCodeCount == 9,
+  static_assert(kStatusCodeCount == 10,
                 "new StatusCode: add its name below (the switch itself is "
                 "caught by -Werror=switch-enum; this assert catches a "
                 "renumbering that keeps the arity)");
@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
   }
   return "UNKNOWN";
 }

@@ -25,17 +25,18 @@ enum class StatusCode {
   kDeadlineExceeded = 6,
   kCancelled = 7,
   kUnavailable = 8,
+  kFailedPrecondition = 9,
 };
 
 /// Stable upper bound of the enum (wire validation).
-inline constexpr StatusCode kMaxStatusCode = StatusCode::kUnavailable;
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kFailedPrecondition;
 
 /// Number of StatusCode values. Every non-switch dispatch over
 /// StatusCode (name tables, wire validation) pins this with an adjacent
 /// `static_assert(kStatusCodeCount == ...)`, so appending a code is a
 /// compile error at each handling site instead of a silent fallthrough
 /// (-Werror=switch-enum already covers the plain switches).
-inline constexpr int kStatusCodeCount = 9;
+inline constexpr int kStatusCodeCount = 10;
 static_assert(static_cast<int>(kMaxStatusCode) + 1 == kStatusCodeCount,
               "StatusCode grew: bump kStatusCodeCount, then fix every "
               "static_assert(kStatusCodeCount == ...) handling site the "
@@ -73,6 +74,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -328,8 +328,9 @@ TEST(GatherPartialTest, RejectsUnknownStatusCode) {
       ScatterRequest::Kind::kAggregateCells, GatherPartial::Disposition::kError,
       Status::Internal("x"));
   std::string bytes = failed.Encode();
-  // Corrupt the status-code byte (envelope(16) + kind(1) + disposition(1)).
-  bytes[18] = static_cast<char>(0x7f);
+  // Corrupt the status-code byte
+  // (envelope(16) + kind(1) + disposition(1) + epoch(8)).
+  bytes[26] = static_cast<char>(0x7f);
   GatherPartial got;
   EXPECT_EQ(GatherPartial::Decode(bytes, &got).code(),
             StatusCode::kInvalidArgument);
